@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Solution-quality ablations for the two codes whose publications claim
+ * quality wins in addition to speed (paper Section II-B):
+ *
+ *  - ECL-MIS "utilizes partially random priority values that are
+ *    inversely proportional to a vertex's degree, which enables the
+ *    code to find relatively large sets" (the TOPC'18 paper reports 10%
+ *    larger sets than prior GPU codes). We compare the degree-weighted
+ *    priorities against plain uniform (Luby) priorities.
+ *
+ *  - ECL-GC "uses as few or fewer colors as the best prior GPU code"
+ *    thanks to the largest-degree-first heuristic. We compare LDF
+ *    ordering against random ordering.
+ */
+#include <iostream>
+
+#include "algos/gc.hpp"
+#include "algos/mis.hpp"
+#include "bench_util.hpp"
+#include "core/stats.hpp"
+#include "graph/catalog.hpp"
+
+namespace {
+
+using namespace eclsim;
+
+template <typename Run>
+auto
+freshRun(const simt::GpuSpec& gpu, u64 seed, Run&& run)
+{
+    simt::DeviceMemory memory;
+    simt::EngineOptions options;
+    options.seed = seed;
+    simt::Engine engine(gpu, memory, options);
+    return run(engine);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Flags flags(argc, argv);
+    const auto config = bench::configFromFlags(flags);
+    const auto& gpu = simt::findGpu(flags.getString("gpu", "Titan V"));
+
+    TextTable table({"Input", "MIS deg-weighted", "MIS uniform",
+                     "set ratio", "GC LDF colors", "GC random colors"});
+    std::vector<double> set_ratios, color_ratios;
+    for (const auto& entry : graph::undirectedCatalog()) {
+        const auto graph = entry.make(config.graph_divisor);
+
+        const auto mis_ecl = freshRun(gpu, config.seed, [&](auto& e) {
+            return algos::runMis(e, graph, algos::Variant::kRaceFree);
+        });
+        algos::MisOptions uniform;
+        uniform.priority = algos::MisPriorityMode::kUniform;
+        uniform.priority_seed = config.seed;
+        const auto mis_luby = freshRun(gpu, config.seed, [&](auto& e) {
+            return algos::runMis(e, graph, algos::Variant::kRaceFree,
+                                 uniform);
+        });
+
+        const auto gc_ldf = freshRun(gpu, config.seed, [&](auto& e) {
+            return algos::runGc(e, graph, algos::Variant::kRaceFree);
+        });
+        algos::GcOptions random_order;
+        random_order.priority = algos::GcPriorityMode::kRandom;
+        random_order.priority_seed = config.seed;
+        const auto gc_rnd = freshRun(gpu, config.seed, [&](auto& e) {
+            return algos::runGc(e, graph, algos::Variant::kRaceFree,
+                                random_order);
+        });
+
+        const double set_ratio =
+            static_cast<double>(mis_ecl.set_size) /
+            static_cast<double>(std::max<u64>(mis_luby.set_size, 1));
+        set_ratios.push_back(set_ratio);
+        color_ratios.push_back(static_cast<double>(gc_rnd.num_colors) /
+                               std::max<u32>(gc_ldf.num_colors, 1));
+        table.addRow({entry.name, fmtGrouped(mis_ecl.set_size),
+                      fmtGrouped(mis_luby.set_size),
+                      fmtFixed(set_ratio, 3),
+                      std::to_string(gc_ldf.num_colors),
+                      std::to_string(gc_rnd.num_colors)});
+    }
+    table.addSeparator();
+    table.addRow({"Geomean", "", "",
+                  fmtFixed(stats::geomean(set_ratios), 3), "",
+                  "x" + fmtFixed(stats::geomean(color_ratios), 2)});
+
+    bench::emitTable(flags,
+                     "ABLATION: solution quality of the ECL heuristics "
+                     "on " + gpu.name,
+                     table);
+    std::cout << "Expectation: degree-weighted priorities give larger "
+                 "independent sets\n(ECL-MIS's published ~10% edge), "
+                 "and largest-degree-first uses no more\ncolors than "
+                 "random ordering on skewed graphs.\n";
+    return 0;
+}

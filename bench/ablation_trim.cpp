@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation for SCC trivial-SCC trimming: parallel SCC codes peel
+ * vertices that cannot lie on a cycle (no active predecessor or no
+ * active successor) before running the expensive max-ID propagation.
+ * Power-law inputs decompose into one giant SCC plus a large fringe of
+ * singletons, so trimming shrinks the propagation working set there;
+ * on the mesh inputs (one giant cycle-connected component) there is
+ * nothing to trim and the pass is pure overhead.
+ */
+#include <iostream>
+
+#include "algos/scc.hpp"
+#include "bench_util.hpp"
+#include "graph/catalog.hpp"
+
+namespace {
+
+using namespace eclsim;
+
+algos::SccResult
+sccRun(const simt::GpuSpec& gpu, const graph::CsrGraph& graph,
+       const algos::SccOptions& options, u64 seed)
+{
+    simt::DeviceMemory memory;
+    simt::EngineOptions engine_options;
+    engine_options.seed = seed;
+    simt::Engine engine(gpu, memory, engine_options);
+    return algos::runScc(engine, graph, algos::Variant::kRaceFree,
+                         options);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Flags flags(argc, argv);
+    const auto config = bench::configFromFlags(flags);
+    const auto& gpu = simt::findGpu(flags.getString("gpu", "A100"));
+
+    TextTable table({"Input", "type", "plain ms", "trimmed ms", "speedup",
+                     "plain launches", "trimmed launches"});
+    for (const auto& entry : graph::directedCatalog()) {
+        const auto graph = entry.make(config.graph_divisor);
+        const auto plain =
+            sccRun(gpu, graph, algos::SccOptions{}, config.seed);
+        algos::SccOptions trim;
+        trim.trim_trivial = true;
+        const auto trimmed = sccRun(gpu, graph, trim, config.seed);
+        table.addRow({entry.name, entry.type,
+                      fmtFixed(plain.stats.ms, 3),
+                      fmtFixed(trimmed.stats.ms, 3),
+                      fmtFixed(plain.stats.ms / trimmed.stats.ms, 2),
+                      std::to_string(plain.stats.launches),
+                      std::to_string(trimmed.stats.launches)});
+    }
+    bench::emitTable(flags,
+                     "ABLATION: SCC trivial-SCC trimming on " + gpu.name,
+                     table);
+    std::cout << "Expectation: wins on power-law inputs with large "
+                 "singleton fringes (wikipedia,\nweb-Google), neutral "
+                 "on the meshes (nothing to trim), and a net overhead "
+                 "on\npower-law inputs whose fringe is too small to pay "
+                 "for the extra passes.\n";
+    return 0;
+}

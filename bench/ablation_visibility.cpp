@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation for the MIS speedup mechanism (Section VI-A): the paper
+ * attributes the 5-11% race-free MIS speedup to atomics preventing the
+ * compiler from delaying when status updates become visible to other
+ * threads. eclsim models that delay with the sweep-snapshot visibility
+ * class; this bench toggles the model off and shows that the speedup
+ * disappears (and the baseline's sweep count drops to the race-free
+ * code's), isolating delayed visibility as the cause.
+ */
+#include <iostream>
+
+#include "algos/mis.hpp"
+#include "bench_util.hpp"
+#include "core/stats.hpp"
+#include "graph/catalog.hpp"
+
+namespace {
+
+using namespace eclsim;
+
+struct Row
+{
+    std::string input;
+    double speedup = 0.0;
+    u32 base_sweeps = 0;
+    u32 free_sweeps = 0;
+};
+
+Row
+runOne(const simt::GpuSpec& gpu, const graph::CsrGraph& graph,
+       const std::string& name, bool model_visibility, u64 seed)
+{
+    Row row;
+    row.input = name;
+    double ms[2] = {0.0, 0.0};
+    for (auto variant :
+         {algos::Variant::kBaseline, algos::Variant::kRaceFree}) {
+        simt::DeviceMemory memory;
+        simt::EngineOptions options;
+        options.seed = seed;
+        options.memory.model_sweep_visibility = model_visibility;
+        simt::Engine engine(gpu, memory, options);
+        const auto r = algos::runMis(engine, graph, variant);
+        if (variant == algos::Variant::kBaseline) {
+            ms[0] = r.stats.ms;
+            row.base_sweeps = r.stats.iterations;
+        } else {
+            ms[1] = r.stats.ms;
+            row.free_sweeps = r.stats.iterations;
+        }
+    }
+    row.speedup = ms[0] / ms[1];
+    return row;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Flags flags(argc, argv);
+    const auto config = bench::configFromFlags(flags);
+    const auto& gpu = simt::findGpu(flags.getString("gpu", "Titan V"));
+
+    TextTable table({"Input", "speedup (model on)", "sweeps b/f",
+                     "speedup (model off)", "sweeps b/f"});
+    std::vector<double> on_speedups, off_speedups;
+    for (const auto& entry : graph::undirectedCatalog()) {
+        const auto graph = entry.make(config.graph_divisor);
+        const Row on = runOne(gpu, graph, entry.name, true, config.seed);
+        const Row off = runOne(gpu, graph, entry.name, false, config.seed);
+        on_speedups.push_back(on.speedup);
+        off_speedups.push_back(off.speedup);
+        table.addRow({entry.name, fmtFixed(on.speedup, 2),
+                      std::to_string(on.base_sweeps) + "/" +
+                          std::to_string(on.free_sweeps),
+                      fmtFixed(off.speedup, 2),
+                      std::to_string(off.base_sweeps) + "/" +
+                          std::to_string(off.free_sweeps)});
+    }
+    table.addSeparator();
+    table.addRow({"Geomean", fmtFixed(stats::geomean(on_speedups), 2), "",
+                  fmtFixed(stats::geomean(off_speedups), 2), ""});
+
+    bench::emitTable(flags,
+                     "ABLATION: MIS race-free speedup with and without "
+                     "the delayed-visibility model on " + gpu.name,
+                     table);
+    std::cout << "Expectation: with the model on, the baseline needs "
+                 "extra sweeps and the race-free code wins (geomean > "
+                 "1); with it off, both variants see live values and "
+                 "the race-free code pays only the atomic cost (geomean "
+                 "<= 1).\n";
+    return 0;
+}

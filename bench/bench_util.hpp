@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared command-line handling for the table/figure bench binaries.
+ *
+ * Every bench accepts:
+ *   --reps=N      repetitions per configuration (default 3; paper: 9)
+ *   --divisor=N   input scale divisor (default 512; smaller = larger
+ *                 graphs = slower but closer to the paper's regime)
+ *   --csv=PATH    also write the table as CSV
+ *   --verify      cross-check every run against the reference oracles
+ */
+#pragma once
+
+#include <iostream>
+
+#include "core/flags.hpp"
+#include "harness/experiment.hpp"
+
+namespace eclsim::bench {
+
+/** Parse the standard bench flags. */
+inline harness::ExperimentConfig
+configFromFlags(const Flags& flags)
+{
+    harness::ExperimentConfig config;
+    config.reps = static_cast<u32>(flags.getInt("reps", 3));
+    config.graph_divisor =
+        static_cast<u32>(flags.getInt("divisor", 512));
+    config.verify = flags.getBool("verify", false);
+    config.seed = static_cast<u64>(flags.getInt("seed", 12345));
+    return config;
+}
+
+/** Print a rendered table, and write CSV when --csv was given. */
+inline void
+emitTable(const Flags& flags, const std::string& title,
+          const TextTable& table)
+{
+    std::cout << title << "\n\n" << table.toText() << std::endl;
+    const std::string csv = flags.getString("csv", "");
+    if (!csv.empty()) {
+        table.writeCsv(csv);
+        std::cout << "(csv written to " << csv << ")" << std::endl;
+    }
+}
+
+/** Progress line printed as measurements come in. */
+inline harness::ProgressFn
+stderrProgress()
+{
+    return [](const harness::Measurement& m) {
+        std::cerr << "  " << m.gpu << " " << harness::algoName(m.algo)
+                  << " " << m.input << ": "
+                  << fmtFixed(m.speedup(), 2) << "\n";
+    };
+}
+
+/**
+ * One of the per-GPU speedup tables (Tables IV-VII): run the undirected
+ * suite on the named GPU and print it in the paper's layout.
+ */
+inline int
+runSpeedupTableMain(int argc, char** argv, const std::string& gpu_name,
+                    const std::string& table_title)
+{
+    Flags flags(argc, argv);
+    const auto config = configFromFlags(flags);
+    const auto& gpu = simt::findGpu(gpu_name);
+    const auto measurements = harness::runUndirectedSuite(
+        gpu, config, flags.getBool("quiet", false) ? harness::ProgressFn{}
+                                                   : stderrProgress());
+    emitTable(flags, table_title, harness::makeSpeedupTable(measurements));
+    return 0;
+}
+
+}  // namespace eclsim::bench

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regenerates Fig. 6: the geometric-mean speedup of every algorithm over
+ * the baseline across all inputs, on all four tested GPUs — printed both
+ * as a table and as an ASCII bar chart mirroring the paper's figure.
+ *
+ * The expected shape: MIS above 1.0 everywhere; GC and MST just below
+ * 1.0; CC and SCC well below 1.0, with the newer GPUs (A100, 4090)
+ * showing more slowdown than the older ones.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace eclsim;
+    Flags flags(argc, argv);
+    const auto config = bench::configFromFlags(flags);
+    const auto progress = flags.getBool("quiet", false)
+                              ? harness::ProgressFn{}
+                              : bench::stderrProgress();
+
+    std::vector<harness::Measurement> all;
+    for (const auto& gpu : simt::evaluationGpus()) {
+        auto und = harness::runUndirectedSuite(gpu, config, progress);
+        all.insert(all.end(), und.begin(), und.end());
+        auto scc = harness::runSccSuite(gpu, config, progress);
+        all.insert(all.end(), scc.begin(), scc.end());
+    }
+
+    bench::emitTable(flags,
+                     "FIG. 6: Geometric-mean speedup over the baseline "
+                     "across all inputs on all tested GPUs",
+                     harness::makeGeomeanTable(all));
+
+    // ASCII rendition of the bar chart.
+    const std::vector<harness::Algo> algos = {
+        harness::Algo::kCc, harness::Algo::kGc, harness::Algo::kMis,
+        harness::Algo::kMst, harness::Algo::kScc};
+    std::cout << "bar chart (each # = 0.02, | marks speedup 1.00):\n";
+    for (harness::Algo algo : algos) {
+        std::cout << "\n" << harness::algoName(algo) << "\n";
+        for (const auto& gpu : simt::evaluationGpus()) {
+            const double g = harness::geomeanSpeedup(all, algo, gpu.name);
+            std::cout << "  " << gpu.name;
+            for (size_t pad = gpu.name.size(); pad < 12; ++pad)
+                std::cout << ' ';
+            const int bars = static_cast<int>(g / 0.02);
+            for (int i = 0; i < bars; ++i)
+                std::cout << (i == 49 ? '|' : '#');
+            if (bars < 50)
+                std::cout << std::string(50 - bars, ' ') << '|';
+            std::cout << ' ' << fmtFixed(g, 2) << "\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's primitives: raw
+ * access-path costs (plain / volatile / atomic / RMW), the ecl::
+ * byte-masking helpers, cache-model throughput, and graph generation.
+ * These measure *host* performance of the simulator itself, which bounds
+ * how large the scaled inputs can be.
+ */
+#include <benchmark/benchmark.h>
+
+#include "algos/cc.hpp"
+#include "algos/mis.hpp"
+#include "graph/generators.hpp"
+#include "simt/cache.hpp"
+#include "simt/ecl_atomics.hpp"
+#include "simt/engine.hpp"
+
+namespace {
+
+using namespace eclsim;
+using simt::AccessMode;
+
+void
+accessPath(benchmark::State& state, AccessMode mode, bool rmw)
+{
+    simt::DeviceMemory memory;
+    simt::Engine engine(simt::titanV(), memory);
+    const u32 n = 4096;
+    auto data = memory.alloc<u32>(n, "data");
+
+    for (auto _ : state) {
+        engine.launch("touch", simt::launchFor(n),
+                      [&](simt::ThreadCtx& t) -> simt::Task {
+                          const u32 v = t.globalThreadId();
+                          if (v >= n)
+                              co_return;
+                          if (rmw)
+                              co_await t.atomicAdd(data, v, u32{1});
+                          else
+                              co_await t.load(data, v, mode);
+                      });
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) * n);
+}
+
+void
+BM_PlainLoad(benchmark::State& state)
+{
+    accessPath(state, AccessMode::kPlain, false);
+}
+void
+BM_VolatileLoad(benchmark::State& state)
+{
+    accessPath(state, AccessMode::kVolatile, false);
+}
+void
+BM_AtomicLoad(benchmark::State& state)
+{
+    accessPath(state, AccessMode::kAtomic, false);
+}
+void
+BM_AtomicRmw(benchmark::State& state)
+{
+    accessPath(state, AccessMode::kAtomic, true);
+}
+BENCHMARK(BM_PlainLoad);
+BENCHMARK(BM_VolatileLoad);
+BENCHMARK(BM_AtomicLoad);
+BENCHMARK(BM_AtomicRmw);
+
+void
+BM_ByteMaskedWrite(benchmark::State& state)
+{
+    // The Fig. 4 typecast-and-mask path used by the race-free MIS.
+    simt::DeviceMemory memory;
+    simt::Engine engine(simt::titanV(), memory);
+    const u32 n = 4096;
+    auto stat = memory.alloc<u8>(n, "stat");
+
+    for (auto _ : state) {
+        engine.launch("mask", simt::launchFor(n),
+                      [&](simt::ThreadCtx& t) -> simt::Task {
+                          const u32 v = t.globalThreadId();
+                          if (v >= n)
+                              co_return;
+                          co_await ecl::atomicByteAnd(t, stat, v, 0x00);
+                      });
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) * n);
+}
+BENCHMARK(BM_ByteMaskedWrite);
+
+void
+BM_CacheModelAccess(benchmark::State& state)
+{
+    simt::CacheModel cache(96 * 1024, 128, 4);
+    u64 addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, false));
+        addr = (addr + 4093) & 0xfffff;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheModelAccess);
+
+void
+BM_RmatGeneration(benchmark::State& state)
+{
+    const auto scale = static_cast<u32>(state.range(0));
+    for (auto _ : state) {
+        auto g = graph::makeRmat(scale, u64{8} << scale,
+                                 graph::RmatParams{}, 42);
+        benchmark::DoNotOptimize(g.numArcs());
+    }
+}
+BENCHMARK(BM_RmatGeneration)->Arg(10)->Arg(14);
+
+void
+BM_SimulatedCc(benchmark::State& state)
+{
+    const auto graph =
+        graph::makeRmat(static_cast<u32>(state.range(0)), 16384,
+                        graph::RmatParams{}, 7);
+    for (auto _ : state) {
+        simt::DeviceMemory memory;
+        simt::Engine engine(simt::titanV(), memory);
+        auto r = algos::runCc(engine, graph, algos::Variant::kBaseline);
+        benchmark::DoNotOptimize(r.labels.data());
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            graph.numArcs());
+}
+BENCHMARK(BM_SimulatedCc)->Arg(11);
+
+void
+BM_SimulatedMis(benchmark::State& state)
+{
+    const auto graph =
+        graph::makeRmat(static_cast<u32>(state.range(0)), 16384,
+                        graph::RmatParams{}, 7);
+    for (auto _ : state) {
+        simt::DeviceMemory memory;
+        simt::Engine engine(simt::titanV(), memory);
+        auto r = algos::runMis(engine, graph, algos::Variant::kRaceFree);
+        benchmark::DoNotOptimize(r.set_size);
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            graph.numArcs());
+}
+BENCHMARK(BM_SimulatedMis)->Arg(11);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces the profiling claim of Section VI-A: "the baseline [CC]
+ * code has a much higher L1 hit rate for both loads and stores, which
+ * explains the performance difference." Runs both CC variants on every
+ * undirected input and prints the L1 load-hit rates side by side.
+ */
+#include <iostream>
+
+#include "algos/cc.hpp"
+#include "bench_util.hpp"
+#include "graph/catalog.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace eclsim;
+    Flags flags(argc, argv);
+    const auto config = bench::configFromFlags(flags);
+    const auto& gpu = simt::findGpu(flags.getString("gpu", "Titan V"));
+
+    TextTable table({"Input", "base L1 load-hit", "free L1 load-hit",
+                     "base L1 hits", "free L1 hits", "speedup"});
+    for (const auto& entry : graph::undirectedCatalog()) {
+        const auto graph = entry.make(config.graph_divisor);
+
+        algos::RunStats base_stats, free_stats;
+        double base_ms = 0, free_ms = 0;
+        {
+            simt::DeviceMemory memory;
+            simt::EngineOptions options;
+            options.seed = config.seed;
+            simt::Engine engine(gpu, memory, options);
+            auto r = algos::runCc(engine, graph,
+                                  algos::Variant::kBaseline);
+            base_stats = r.stats;
+            base_ms = r.stats.ms;
+        }
+        {
+            simt::DeviceMemory memory;
+            simt::EngineOptions options;
+            options.seed = config.seed;
+            simt::Engine engine(gpu, memory, options);
+            auto r = algos::runCc(engine, graph,
+                                  algos::Variant::kRaceFree);
+            free_stats = r.stats;
+            free_ms = r.stats.ms;
+        }
+        table.addRow(
+            {entry.name,
+             fmtFixed(100.0 * base_stats.mem.l1.loadHitRate(), 1) + "%",
+             fmtFixed(100.0 * free_stats.mem.l1.loadHitRate(), 1) + "%",
+             fmtGrouped(base_stats.mem.l1.hits()),
+             fmtGrouped(free_stats.mem.l1.hits()),
+             fmtFixed(base_ms / free_ms, 2)});
+    }
+    bench::emitTable(flags,
+                     "PROFILE: CC L1 behaviour, baseline vs race-free "
+                     "(Section VI-A) on " + gpu.name,
+                     table);
+    std::cout << "Expectation: the baseline keeps its pointer-jumping "
+                 "reads in the L1;\nthe race-free conversion moves them "
+                 "to the L2, collapsing the L1 hit count.\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduction scorecard: runs the full evaluation (all four GPUs, all
+ * five algorithms, all 27 inputs) and prints our Min/Geomean/Max next
+ * to the paper's published values from Tables IV-VIII, with a PASS/FAIL
+ * verdict on the qualitative shape:
+ *
+ *   - CC and SCC geomeans below 0.9 on every GPU (substantial slowdown),
+ *   - GC and MST geomeans in [0.90, 1.02] (nearly unaffected),
+ *   - MIS geomean >= 1.0 on every GPU (the headline speedup),
+ *   - CC+SCC combined slowdown worse on the newest GPU than the mildest
+ *     one (the Fig. 6 "newer GPUs are more affected" trend).
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/stats.hpp"
+#include "harness/paper_reference.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace eclsim;
+    Flags flags(argc, argv);
+    const auto config = bench::configFromFlags(flags);
+    const auto progress = flags.getBool("quiet", false)
+                              ? harness::ProgressFn{}
+                              : bench::stderrProgress();
+
+    std::vector<harness::Measurement> all;
+    for (const auto& gpu : simt::evaluationGpus()) {
+        auto und = harness::runUndirectedSuite(gpu, config, progress);
+        all.insert(all.end(), und.begin(), und.end());
+        auto scc = harness::runSccSuite(gpu, config, progress);
+        all.insert(all.end(), scc.begin(), scc.end());
+    }
+
+    TextTable table({"GPU", "Algo", "paper geomean", "ours", "paper min",
+                     "ours", "paper max", "ours"});
+    const std::vector<harness::Algo> algos = {
+        harness::Algo::kCc, harness::Algo::kGc, harness::Algo::kMis,
+        harness::Algo::kMst, harness::Algo::kScc};
+    for (const auto& gpu : simt::evaluationGpus()) {
+        for (harness::Algo algo : algos) {
+            const auto& paper = harness::paperSummary(gpu.name, algo);
+            std::vector<double> speedups;
+            for (const auto& m : all)
+                if (m.gpu == gpu.name && m.algo == algo)
+                    speedups.push_back(m.speedup());
+            table.addRow({gpu.name, harness::algoName(algo),
+                          fmtFixed(paper.geomean, 2),
+                          fmtFixed(stats::geomean(speedups), 2),
+                          fmtFixed(paper.min, 2),
+                          fmtFixed(stats::minimum(speedups), 2),
+                          fmtFixed(paper.max, 2),
+                          fmtFixed(stats::maximum(speedups), 2)});
+        }
+        table.addSeparator();
+    }
+    bench::emitTable(flags,
+                     "SCORECARD: paper (Tables IV-VIII summaries) vs "
+                     "this reproduction",
+                     table);
+
+    // Shape verdicts.
+    int failures = 0;
+    auto check = [&failures](bool ok, const std::string& what) {
+        std::cout << (ok ? "  PASS  " : "  FAIL  ") << what << "\n";
+        if (!ok)
+            ++failures;
+    };
+    double mildest_ccscc = 1e9, newest_ccscc = 0.0;
+    for (const auto& gpu : simt::evaluationGpus()) {
+        const double cc =
+            harness::geomeanSpeedup(all, harness::Algo::kCc, gpu.name);
+        const double gc =
+            harness::geomeanSpeedup(all, harness::Algo::kGc, gpu.name);
+        const double mis =
+            harness::geomeanSpeedup(all, harness::Algo::kMis, gpu.name);
+        const double mst =
+            harness::geomeanSpeedup(all, harness::Algo::kMst, gpu.name);
+        const double scc =
+            harness::geomeanSpeedup(all, harness::Algo::kScc, gpu.name);
+        check(cc < 0.9, "CC substantially slower on " + gpu.name);
+        check(scc < 0.9, "SCC substantially slower on " + gpu.name);
+        check(gc >= 0.90 && gc <= 1.02,
+              "GC nearly unaffected on " + gpu.name);
+        check(mst >= 0.90 && mst <= 1.02,
+              "MST nearly unaffected on " + gpu.name);
+        check(mis >= 1.0, "MIS faster race-free on " + gpu.name);
+        mildest_ccscc = std::min(mildest_ccscc, cc * scc);
+        if (gpu.name == "4090")
+            newest_ccscc = cc * scc;
+    }
+    check(newest_ccscc <= mildest_ccscc * 1.05,
+          "newest GPU among the most affected (Fig. 6 trend)");
+
+    std::cout << "\n"
+              << (failures == 0 ? "ALL SHAPE CHECKS PASSED"
+                                : "SHAPE CHECK FAILURES: " +
+                                      std::to_string(failures))
+              << "\n";
+    return failures == 0 ? 0 : 1;
+}

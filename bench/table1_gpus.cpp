@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Regenerates Table I: GPU specifications and compilation parameters,
+ * straight from the simulator's GpuSpec presets, plus the timing-model
+ * parameters eclsim adds on top of the published numbers.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace eclsim;
+    Flags flags(argc, argv);
+    bench::emitTable(flags,
+                     "TABLE I: GPU specifications and compilation "
+                     "parameters",
+                     harness::makeGpuTable());
+
+    // eclsim extension: the timing-model parameters behind each preset.
+    TextTable model({"GPU Name", "L1 lat", "L2 lat", "DRAM lat",
+                     "atomic extra", "RMW extra", "issue", "hide"});
+    for (const auto& gpu : simt::evaluationGpus()) {
+        model.addRow({gpu.name, std::to_string(gpu.l1_latency),
+                      std::to_string(gpu.l2_latency),
+                      std::to_string(gpu.dram_latency),
+                      std::to_string(gpu.atomic_extra),
+                      std::to_string(gpu.rmw_extra),
+                      std::to_string(gpu.issue_cycles),
+                      fmtFixed(gpu.latency_hiding, 0)});
+    }
+    std::cout << "Timing-model parameters (cycles; eclsim additions)\n\n"
+              << model.toText() << std::endl;
+    return 0;
+}

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Regenerates Table IV: speedups of the race-free codes on the Titan V
+ * across the 17 undirected inputs (CC, GC, MIS, MST).
+ */
+#include "bench_util.hpp"
+
+int
+main(int argc, char** argv)
+{
+    return eclsim::bench::runSpeedupTableMain(
+        argc, argv, "Titan V",
+        "TABLE IV: Speedups of race-free codes on Titan V");
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Regenerates Table V: speedups of the race-free codes on the 2070 Super.
+ */
+#include "bench_util.hpp"
+
+int
+main(int argc, char** argv)
+{
+    return eclsim::bench::runSpeedupTableMain(
+        argc, argv, "2070 Super",
+        "TABLE V: Speedups of race-free codes on 2070 Super");
+}

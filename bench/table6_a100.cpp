@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Regenerates Table VI: speedups of the race-free codes on the A100.
+ */
+#include "bench_util.hpp"
+
+int
+main(int argc, char** argv)
+{
+    return eclsim::bench::runSpeedupTableMain(
+        argc, argv, "A100",
+        "TABLE VI: Speedups of race-free codes on A100");
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Regenerates Table VII: speedups of the race-free codes on the RTX 4090.
+ */
+#include "bench_util.hpp"
+
+int
+main(int argc, char** argv)
+{
+    return eclsim::bench::runSpeedupTableMain(
+        argc, argv, "4090",
+        "TABLE VII: Speedups of race-free codes on 4090");
+}

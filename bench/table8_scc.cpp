@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Regenerates Table VIII: speedups of the race-free SCC on the 10
+ * directed inputs across all four GPUs.
+ */
+#include "bench_util.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace eclsim;
+    Flags flags(argc, argv);
+    const auto config = bench::configFromFlags(flags);
+    const auto progress = flags.getBool("quiet", false)
+                              ? harness::ProgressFn{}
+                              : bench::stderrProgress();
+
+    std::vector<harness::Measurement> all;
+    for (const auto& gpu : simt::evaluationGpus()) {
+        auto part = harness::runSccSuite(gpu, config, progress);
+        all.insert(all.end(), part.begin(), part.end());
+    }
+    bench::emitTable(flags, "TABLE VIII: Speedups of race-free SCC",
+                     harness::makeSccTable(all));
+    return 0;
+}

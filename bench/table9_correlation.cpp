@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Regenerates Table IX: Pearson correlation coefficients between the
+ * input graphs' properties (edge count, vertex count, average degree)
+ * and the observed race-free speedups, per GPU per algorithm.
+ *
+ * This bench runs the full evaluation (Tables IV-VIII) to collect the
+ * speedups it correlates, so it is the most expensive binary.
+ */
+#include "bench_util.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace eclsim;
+    Flags flags(argc, argv);
+    const auto config = bench::configFromFlags(flags);
+    const auto progress = flags.getBool("quiet", false)
+                              ? harness::ProgressFn{}
+                              : bench::stderrProgress();
+
+    std::vector<harness::Measurement> all;
+    for (const auto& gpu : simt::evaluationGpus()) {
+        auto und = harness::runUndirectedSuite(gpu, config, progress);
+        all.insert(all.end(), und.begin(), und.end());
+        auto scc = harness::runSccSuite(gpu, config, progress);
+        all.insert(all.end(), scc.begin(), scc.end());
+    }
+    bench::emitTable(flags,
+                     "TABLE IX: Correlation coefficients between input "
+                     "graph properties and observed speedups",
+                     harness::makeCorrelationTable(all));
+    return 0;
+}

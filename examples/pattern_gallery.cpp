@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Pattern gallery: walk the labeled race-pattern microsuite (the
+ * Indigo3/DataRaceBench-style library in src/patterns) and print, for
+ * each pattern, the detector's verdict against the ground truth plus
+ * whether the computed result was correct under a handful of simulated
+ * interleavings. Racy patterns demonstrate that "benign" races are not
+ * benign: several of them produce wrong answers under some schedules.
+ *
+ * Run:  ./build/examples/pattern_gallery [--seeds=N]
+ */
+#include <iostream>
+
+#include "core/flags.hpp"
+#include "core/table.hpp"
+#include "patterns/patterns.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace eclsim;
+    Flags flags(argc, argv);
+    const auto seeds = static_cast<u64>(flags.getInt("seeds", 16));
+
+    TextTable table({"Pattern", "labeled", "detector", "wrong results",
+                     "description"});
+    table.setAlign(4, TextTable::Align::kLeft);
+
+    bool all_verdicts_match = true;
+    for (const auto& pattern : patterns::patternSuite()) {
+        bool flagged = false;
+        u64 wrong = 0;
+        for (u64 seed = 1; seed <= seeds; ++seed) {
+            simt::DeviceMemory memory;
+            simt::EngineOptions options;
+            options.mode = simt::ExecMode::kInterleaved;
+            options.detect_races = true;
+            options.seed = seed;
+            simt::Engine engine(simt::titanV(), memory, options);
+            if (!pattern.run(engine))
+                ++wrong;
+            flagged |= engine.raceDetector()->totalRaces() > 0;
+        }
+        if (flagged != pattern.racy)
+            all_verdicts_match = false;
+        table.addRow({pattern.name, pattern.racy ? "racy" : "clean",
+                      flagged ? "races" : "clean",
+                      std::to_string(wrong) + "/" + std::to_string(seeds),
+                      pattern.description});
+    }
+
+    std::cout << "Labeled race-pattern microsuite under the dynamic "
+                 "detector (" << seeds << " interleavings each):\n\n"
+              << table.toText() << "\n"
+              << (all_verdicts_match
+                      ? "detector verdicts match all labels (perfect "
+                        "precision and recall on this suite)\n"
+                      : "DETECTOR MISMATCH — see the table above\n");
+    return all_verdicts_match ? 0 : 1;
+}

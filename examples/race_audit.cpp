@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Race audit: the paper's Section IV workflow as a runnable tool.
+ *
+ * Runs every algorithm of the suite — baseline and race-free — under the
+ * dynamic race detector (eclsim's stand-in for Compute Sanitizer and
+ * iGuard) on a small input and prints a sanitizer-style report. The
+ * expected output matches the paper's findings: every baseline except
+ * APSP races on its shared arrays; every race-free variant is clean.
+ *
+ * Run:  ./build/examples/race_audit [--vertices=N]
+ */
+#include <iostream>
+
+#include "algos/apsp.hpp"
+#include "algos/cc.hpp"
+#include "algos/gc.hpp"
+#include "algos/mis.hpp"
+#include "algos/mst.hpp"
+#include "algos/scc.hpp"
+#include "core/flags.hpp"
+#include "graph/generators.hpp"
+#include "simt/engine.hpp"
+
+namespace {
+
+using namespace eclsim;
+
+/** Run one code under the race detector and print its report. */
+template <typename Run>
+void
+audit(const std::string& name, Run&& run)
+{
+    simt::DeviceMemory memory;
+    simt::EngineOptions options;
+    options.mode = simt::ExecMode::kInterleaved;  // races need interleaving
+    options.detect_races = true;
+    simt::Engine engine(simt::titanV(), memory, options);
+
+    run(engine);
+
+    const auto* detector = engine.raceDetector();
+    std::cout << "==== " << name << " ====\n";
+    if (detector->totalRaces() == 0)
+        std::cout << "  no data races detected\n";
+    else
+        for (const auto& report : detector->reports())
+            std::cout << "  " << simt::raceKindName(report.kind)
+                      << " race on '" << report.allocation << "' ("
+                      << report.count << " conflicting pairs, e.g. "
+                      << "threads " << report.first_thread_a << " and "
+                      << report.first_thread_b << ")\n";
+    std::cout << "\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Flags flags(argc, argv);
+    const auto n = static_cast<VertexId>(flags.getInt("vertices", 2000));
+
+    const auto undirected = graph::makeRmat(11, 4 * n, {}, 3);
+    const auto weighted = graph::withSyntheticWeights(undirected, 50, 4);
+    const auto directed = graph::makeDirectedPowerLaw(10, 3 * n, 0.3, 5);
+    const auto apsp_in = graph::withSyntheticWeights(
+        graph::makeRandomUniform(48, 200, 6), 20, 7);
+
+    std::cout << "Auditing the baseline (racy) codes — the paper's "
+                 "Section IV-A findings:\n\n";
+    for (auto variant :
+         {algos::Variant::kBaseline, algos::Variant::kRaceFree}) {
+        const std::string tag =
+            std::string(" [") + algos::variantName(variant) + "]";
+        audit("CC" + tag, [&](simt::Engine& e) {
+            algos::runCc(e, undirected, variant);
+        });
+        audit("GC" + tag, [&](simt::Engine& e) {
+            algos::runGc(e, undirected, variant);
+        });
+        audit("MIS" + tag, [&](simt::Engine& e) {
+            algos::runMis(e, undirected, variant);
+        });
+        audit("MST" + tag, [&](simt::Engine& e) {
+            algos::runMst(e, weighted, variant);
+        });
+        audit("SCC" + tag, [&](simt::Engine& e) {
+            algos::runScc(e, directed, variant);
+        });
+        if (variant == algos::Variant::kBaseline) {
+            // APSP has no races and no converted variant (Section IV-A).
+            audit("APSP [regular code, no races by construction]",
+                  [&](simt::Engine& e) { algos::runApsp(e, apsp_in); });
+            std::cout << "Now the converted race-free codes — expected "
+                         "clean:\n\n";
+        }
+    }
+    return 0;
+}

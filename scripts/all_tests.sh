@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Reproduction of the paper artifact's all_tests.sh (Appendix E.2): build
+# everything, run the test suite, then regenerate every table and figure.
+#
+# Usage: ./scripts/all_tests.sh [reps] [divisor]
+#   reps     repetitions per configuration (artifact default: 9; ours: 3)
+#   divisor  input scale divisor (512 keeps the sweep to a few minutes)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${1:-3}"
+DIVISOR="${2:-512}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build
+
+mkdir -p results output
+for bench in build/bench/table* build/bench/fig6_geomean \
+             build/bench/profile_l1_cc build/bench/ablation_visibility \
+             build/bench/ablation_memory_order; do
+    echo "==== $(basename "$bench") ===="
+    "$bench" --reps="$REPS" --divisor="$DIVISOR" --quiet
+done
+build/bench/ablation_quality --reps="$REPS" --divisor="$DIVISOR"
+build/bench/ablation_trim --reps="$REPS" --divisor="$DIVISOR"
+build/bench/ablation_load_balance --reps="$REPS" --divisor="$DIVISOR"
+build/bench/scorecard --reps="$REPS" --divisor="$DIVISOR" --quiet
+build/bench/artifact_pipeline --reps="$REPS" --divisor="$DIVISOR" --outdir=.

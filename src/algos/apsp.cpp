@@ -1,0 +1,193 @@
+#include "algos/apsp.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace eclsim::algos {
+
+namespace {
+
+using simt::DevicePtr;
+using simt::LaunchConfig;
+using simt::Task;
+using simt::ThreadCtx;
+
+constexpr u32 kB = kApspTile;
+
+struct ApspArrays
+{
+    DevicePtr<i32> dist;
+    u32 np = 0;  ///< padded matrix dimension (multiple of kB)
+    u32 nb = 0;  ///< number of tiles per dimension
+    u32 k = 0;   ///< current pivot tile
+};
+
+/** Phase 1: relax the pivot (diagonal) tile entirely in shared memory. */
+Task
+apspPhase1(ThreadCtx& t, const ApspArrays& a)
+{
+    i32* tile = t.sharedArray<i32>(kB * kB);
+    const u32 tx = t.threadX();
+    const u32 ty = t.threadY();
+    const u32 row = a.k * kB + ty;
+    const u32 col = a.k * kB + tx;
+
+    tile[ty * kB + tx] =
+        co_await t.load(a.dist, static_cast<u64>(row) * a.np + col);
+    co_await t.syncthreads();
+    for (u32 kk = 0; kk < kB; ++kk) {
+        const i32 through = tile[ty * kB + kk] + tile[kk * kB + tx];
+        if (through < tile[ty * kB + tx])
+            tile[ty * kB + tx] = through;
+        t.work(4);
+        co_await t.syncthreads();
+    }
+    co_await t.store(a.dist, static_cast<u64>(row) * a.np + col,
+                     tile[ty * kB + tx]);
+}
+
+/** Phase 2: relax the pivot row and pivot column tiles. */
+Task
+apspPhase2(ThreadCtx& t, const ApspArrays& a)
+{
+    i32* own = t.sharedArray<i32>(kB * kB);
+    i32* diag = t.sharedArray<i32>(kB * kB);
+    const u32 tx = t.threadX();
+    const u32 ty = t.threadY();
+
+    // Blocks [0, nb-1) handle pivot-row tiles, the rest pivot-column.
+    const u32 half = a.nb - 1;
+    const bool is_row = t.blockId() < half;
+    u32 other = is_row ? t.blockId() : t.blockId() - half;
+    if (other >= a.k)
+        ++other;  // skip the pivot tile itself
+
+    const u32 row = (is_row ? a.k : other) * kB + ty;
+    const u32 col = (is_row ? other : a.k) * kB + tx;
+    const u32 drow = a.k * kB + ty;
+    const u32 dcol = a.k * kB + tx;
+
+    own[ty * kB + tx] =
+        co_await t.load(a.dist, static_cast<u64>(row) * a.np + col);
+    diag[ty * kB + tx] =
+        co_await t.load(a.dist, static_cast<u64>(drow) * a.np + dcol);
+    co_await t.syncthreads();
+
+    for (u32 kk = 0; kk < kB; ++kk) {
+        const i32 through = is_row
+                                ? diag[ty * kB + kk] + own[kk * kB + tx]
+                                : own[ty * kB + kk] + diag[kk * kB + tx];
+        if (through < own[ty * kB + tx])
+            own[ty * kB + tx] = through;
+        t.work(4);
+        co_await t.syncthreads();
+    }
+    co_await t.store(a.dist, static_cast<u64>(row) * a.np + col,
+                     own[ty * kB + tx]);
+}
+
+/** Phase 3: relax every remaining tile against the pivot strips. */
+Task
+apspPhase3(ThreadCtx& t, const ApspArrays& a)
+{
+    i32* strip_col = t.sharedArray<i32>(kB * kB);  // tile (i, k)
+    i32* strip_row = t.sharedArray<i32>(kB * kB);  // tile (k, j)
+    const u32 tx = t.threadX();
+    const u32 ty = t.threadY();
+
+    const u32 side = a.nb - 1;
+    u32 i = t.blockId() / side;
+    u32 j = t.blockId() % side;
+    if (i >= a.k)
+        ++i;
+    if (j >= a.k)
+        ++j;
+
+    const u32 row = i * kB + ty;
+    const u32 col = j * kB + tx;
+
+    strip_col[ty * kB + tx] = co_await t.load(
+        a.dist, static_cast<u64>(row) * a.np + a.k * kB + tx);
+    strip_row[ty * kB + tx] = co_await t.load(
+        a.dist, static_cast<u64>(a.k * kB + ty) * a.np + col);
+    i32 mine = co_await t.load(a.dist, static_cast<u64>(row) * a.np + col);
+    co_await t.syncthreads();
+
+    for (u32 kk = 0; kk < kB; ++kk) {
+        const i32 through =
+            strip_col[ty * kB + kk] + strip_row[kk * kB + tx];
+        if (through < mine)
+            mine = through;
+    }
+    t.work(4 * kB);
+    co_await t.store(a.dist, static_cast<u64>(row) * a.np + col, mine);
+}
+
+}  // namespace
+
+ApspResult
+runApsp(simt::Engine& engine, const CsrGraph& graph)
+{
+    ECLSIM_ASSERT(graph.weighted(), "APSP expects a weighted graph");
+    simt::DeviceMemory& memory = engine.memory();
+
+    const u32 n = graph.numVertices();
+    const u32 np = (n + kB - 1) / kB * kB;
+    const u32 nb = np / kB;
+
+    ApspArrays a;
+    a.np = np;
+    a.nb = nb;
+    a.dist = memory.alloc<i32>(static_cast<u64>(np) * np, "apsp.dist");
+
+    // Host-side matrix init (adjacency with min-weight multi-edges).
+    std::vector<i32> init(static_cast<size_t>(np) * np, kApspInf);
+    for (u32 v = 0; v < np; ++v)
+        init[static_cast<size_t>(v) * np + v] = 0;
+    for (VertexId v = 0; v < n; ++v)
+        for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+            const VertexId u = graph.arcTarget(e);
+            i32& cell = init[static_cast<size_t>(v) * np + u];
+            cell = std::min(cell, graph.arcWeight(e));
+        }
+    memory.upload(a.dist, init);
+
+    ApspResult result;
+    result.n = n;
+
+    LaunchConfig tile_cfg;
+    tile_cfg.block_x = kB;
+    tile_cfg.block_y = kB;
+    tile_cfg.shared_bytes = 2 * kB * kB * sizeof(i32);
+
+    for (u32 k = 0; k < nb; ++k) {
+        a.k = k;
+        tile_cfg.grid = 1;
+        result.stats.add(engine.launch(
+            "apsp.phase1", tile_cfg,
+            [&a](ThreadCtx& t) { return apspPhase1(t, a); }));
+        if (nb > 1) {
+            tile_cfg.grid = 2 * (nb - 1);
+            result.stats.add(engine.launch(
+                "apsp.phase2", tile_cfg,
+                [&a](ThreadCtx& t) { return apspPhase2(t, a); }));
+            tile_cfg.grid = (nb - 1) * (nb - 1);
+            result.stats.add(engine.launch(
+                "apsp.phase3", tile_cfg,
+                [&a](ThreadCtx& t) { return apspPhase3(t, a); }));
+        }
+        ++result.stats.iterations;
+    }
+
+    // Download the n x n corner of the padded matrix.
+    const auto full = memory.download(a.dist, static_cast<u64>(np) * np);
+    result.dist.resize(static_cast<size_t>(n) * n);
+    for (u32 r = 0; r < n; ++r)
+        for (u32 c = 0; c < n; ++c)
+            result.dist[static_cast<size_t>(r) * n + c] =
+                full[static_cast<size_t>(r) * np + c];
+    return result;
+}
+
+}  // namespace eclsim::algos

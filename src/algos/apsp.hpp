@@ -1,0 +1,50 @@
+/**
+ * @file
+ * All-pairs shortest paths in the style of ECL-APSP (Liu & Burtscher,
+ * 2021): the blocked Floyd-Warshall algorithm with shared-memory tiles.
+ *
+ * APSP is the one *regular* code in the suite: it processes every matrix
+ * element with constant strides, each element is written by exactly one
+ * thread per phase, and the phases are ordered by kernel boundaries —
+ * so, as the paper observes in Section IV-A, the baseline has no data
+ * races and no converted variant exists. It is included for suite
+ * completeness and as a clean negative test for the race detector.
+ *
+ * Each round k processes one pivot tile: phase 1 relaxes the diagonal
+ * tile in shared memory, phase 2 the pivot row and column tiles, and
+ * phase 3 every remaining tile.
+ */
+#pragma once
+
+#include <vector>
+
+#include "algos/common.hpp"
+
+namespace eclsim::algos {
+
+/** Distance value meaning "unreachable" (safe against i32 overflow). */
+constexpr i32 kApspInf = 1 << 28;
+
+/** Result of an APSP run. */
+struct ApspResult
+{
+    u32 n = 0;
+    std::vector<i32> dist;  ///< row-major n*n distance matrix
+    RunStats stats;
+
+    i32
+    at(u32 from, u32 to) const
+    {
+        return dist[static_cast<size_t>(from) * n + to];
+    }
+};
+
+/** Tile edge length used by the blocked kernels. */
+constexpr u32 kApspTile = 16;
+
+/** Run all-pairs shortest paths on a weighted graph. O(n^3): intended
+ *  for the small verification inputs, like the paper's 64x64 subblocks
+ *  scaled to the simulator. */
+ApspResult runApsp(simt::Engine& engine, const CsrGraph& graph);
+
+}  // namespace eclsim::algos

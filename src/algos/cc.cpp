@@ -1,0 +1,257 @@
+#include "algos/cc.hpp"
+
+#include "core/logging.hpp"
+#include "simt/ecl_atomics.hpp"
+
+namespace eclsim::algos {
+
+namespace {
+
+using simt::AccessMode;
+using simt::DevicePtr;
+using simt::Task;
+using simt::ThreadCtx;
+
+/**
+ * Climb from vertex start to its current representative, shortening the
+ * path along the way (ECL-CC's `representative()`). Reads and writes of
+ * the parent array use the variant's access mode: plain loads/stores in
+ * the baseline (the data race the paper eliminates), relaxed atomics in
+ * the race-free code. Shared coroutine used by the compute and flatten
+ * kernels via macro-free inlining: C++ coroutines cannot call awaiting
+ * helpers cheaply, so the jump loop is expressed in the kernels directly
+ * through this macro-like lambda pattern instead; see ccCompute below.
+ */
+
+struct CcArrays
+{
+    DeviceGraph g;
+    DevicePtr<u32> parent;
+    AccessMode mode;  ///< kPlain (baseline) or kAtomic (race-free)
+    // heavy-vertex offload (ECL-CC's coarser processing granularities)
+    DevicePtr<u32> heavy_arcs;  ///< arc ids of heavy vertices' edges
+    u32 num_heavy_arcs = 0;
+    u32 heavy_threshold = ~u32{0};  ///< degrees >= this are offloaded
+};
+
+/** Init: hook every vertex onto its first smaller-ID neighbor. */
+Task
+ccInit(ThreadCtx& t, const CcArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const u32 begin = co_await t.load(a.g.row_offsets, v);
+    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    u32 hook = v;
+    for (u32 e = begin; e < end; ++e) {
+        const u32 u = co_await t.load(a.g.col_indices, e);
+        if (u < v) {
+            hook = u;
+            break;
+        }
+    }
+    co_await t.store(a.parent, v, hook, a.mode);
+}
+
+/**
+ * Compute: union-find over every undirected edge (processed once, from
+ * the larger endpoint). Pointer jumping with path shortening uses the
+ * variant's access mode; the hook itself is a CAS in both variants, as
+ * in the published ECL-CC.
+ */
+Task
+ccCompute(ThreadCtx& t, const CcArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const u32 begin = co_await t.load(a.g.row_offsets, v);
+    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    if (end - begin >= a.heavy_threshold)
+        co_return;  // handled edge-parallel by ccComputeHeavy
+
+    for (u32 e = begin; e < end; ++e) {
+        const u32 u = co_await t.load(a.g.col_indices, e);
+        if (u >= v)
+            continue;  // process each undirected edge from one side
+
+        // representative(v) with path shortening
+        u32 x = v;
+        {
+            u32 cur = co_await t.load(a.parent, x, a.mode);
+            if (cur != x) {
+                u32 prev = x;
+                u32 next;
+                while (cur > (next = co_await t.load(a.parent, cur,
+                                                     a.mode))) {
+                    co_await t.store(a.parent, prev, next, a.mode);
+                    prev = cur;
+                    cur = next;
+                }
+            }
+            x = cur;
+        }
+        // representative(u)
+        u32 y = u;
+        {
+            u32 cur = co_await t.load(a.parent, y, a.mode);
+            if (cur != y) {
+                u32 prev = y;
+                u32 next;
+                while (cur > (next = co_await t.load(a.parent, cur,
+                                                     a.mode))) {
+                    co_await t.store(a.parent, prev, next, a.mode);
+                    prev = cur;
+                    cur = next;
+                }
+            }
+            y = cur;
+        }
+
+        // Hook the larger representative under the smaller one; the CAS
+        // result tells us where to continue climbing on failure.
+        while (x != y) {
+            if (x < y) {
+                const u32 tmp = x;
+                x = y;
+                y = tmp;
+            }
+            const u32 old = co_await t.atomicCas(a.parent, x, x, y);
+            if (old == x)
+                break;  // merged
+            x = old;
+        }
+    }
+}
+
+/**
+ * Edge-parallel compute for heavy (hub) vertices: one thread per
+ * offloaded arc, so a single hub's adjacency list spreads across many
+ * blocks and SMs instead of serializing in one thread (ECL-CC's warp/
+ * block granularity, modeled edge-centric).
+ */
+Task
+ccComputeHeavy(ThreadCtx& t, const CcArrays& a)
+{
+    const u32 i = t.globalThreadId();
+    if (i >= a.num_heavy_arcs)
+        co_return;
+    const u32 e = co_await t.load(a.heavy_arcs, i);
+    const u32 v = co_await t.load(a.g.arc_sources, e);
+    const u32 u = co_await t.load(a.g.col_indices, e);
+
+    // representative(v) with path shortening
+    u32 x = v;
+    {
+        u32 cur = co_await t.load(a.parent, x, a.mode);
+        if (cur != x) {
+            u32 prev = x;
+            u32 next;
+            while (cur > (next = co_await t.load(a.parent, cur, a.mode))) {
+                co_await t.store(a.parent, prev, next, a.mode);
+                prev = cur;
+                cur = next;
+            }
+        }
+        x = cur;
+    }
+    // representative(u)
+    u32 y = u;
+    {
+        u32 cur = co_await t.load(a.parent, y, a.mode);
+        if (cur != y) {
+            u32 prev = y;
+            u32 next;
+            while (cur > (next = co_await t.load(a.parent, cur, a.mode))) {
+                co_await t.store(a.parent, prev, next, a.mode);
+                prev = cur;
+                cur = next;
+            }
+        }
+        y = cur;
+    }
+    while (x != y) {
+        if (x < y) {
+            const u32 tmp = x;
+            x = y;
+            y = tmp;
+        }
+        const u32 old = co_await t.atomicCas(a.parent, x, x, y);
+        if (old == x)
+            break;
+        x = old;
+    }
+}
+
+/** Flatten: collapse every vertex directly onto its root. */
+Task
+ccFlatten(ThreadCtx& t, const CcArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    u32 cur = co_await t.load(a.parent, v, a.mode);
+    u32 next;
+    while (cur > (next = co_await t.load(a.parent, cur, a.mode)))
+        cur = next;
+    co_await t.store(a.parent, v, cur, a.mode);
+}
+
+}  // namespace
+
+CcResult
+runCc(simt::Engine& engine, const CsrGraph& graph, Variant variant,
+      const CcOptions& options)
+{
+    ECLSIM_ASSERT(!graph.directed(), "CC expects an undirected graph");
+    simt::DeviceMemory& memory = engine.memory();
+    CcArrays a;
+    a.g = uploadGraph(memory, graph, /*with_weights=*/false,
+                      /*with_sources=*/options.heavy_vertex_offload);
+    a.parent = memory.alloc<u32>(std::max<u32>(a.g.num_vertices, 1),
+                                 "cc.parent");
+    a.mode = variant == Variant::kBaseline ? AccessMode::kPlain
+                                           : AccessMode::kAtomic;
+
+    if (options.heavy_vertex_offload) {
+        a.heavy_threshold = options.heavy_degree_threshold;
+        std::vector<u32> heavy;
+        for (VertexId v = 0; v < graph.numVertices(); ++v) {
+            if (graph.degree(v) < options.heavy_degree_threshold)
+                continue;
+            for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e)
+                if (graph.arcTarget(e) < v)
+                    heavy.push_back(static_cast<u32>(e));
+        }
+        a.num_heavy_arcs = static_cast<u32>(heavy.size());
+        if (!heavy.empty()) {
+            a.heavy_arcs =
+                memory.alloc<u32>(heavy.size(), "cc.heavy_arcs");
+            memory.upload(a.heavy_arcs, heavy);
+        }
+    }
+
+    const auto cfg = simt::launchFor(a.g.num_vertices, kBlockSize);
+    CcResult result;
+    result.stats.add(engine.launch("cc.init", cfg, [&a](ThreadCtx& t) {
+        return ccInit(t, a);
+    }));
+    result.stats.add(engine.launch("cc.compute", cfg, [&a](ThreadCtx& t) {
+        return ccCompute(t, a);
+    }));
+    if (a.num_heavy_arcs > 0) {
+        result.stats.add(engine.launch(
+            "cc.compute_heavy", simt::launchFor(a.num_heavy_arcs, kBlockSize),
+            [&a](ThreadCtx& t) { return ccComputeHeavy(t, a); }));
+    }
+    result.stats.add(engine.launch("cc.flatten", cfg, [&a](ThreadCtx& t) {
+        return ccFlatten(t, a);
+    }));
+    result.stats.iterations = 1;
+
+    result.labels = memory.download(a.parent, a.g.num_vertices);
+    return result;
+}
+
+}  // namespace eclsim::algos

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Connected components in the style of ECL-CC (Jaiganesh & Burtscher,
+ * HPDC'18), the CC code studied by the paper.
+ *
+ * Three kernels: an init pass that hooks each vertex onto its first
+ * smaller-ID neighbor, a compute pass that performs lock-free union-find
+ * over every undirected edge with pointer jumping and path shortening,
+ * and a flatten pass that collapses every vertex onto its root.
+ *
+ * The paper's Section VI-A singles out the pointer-jumping section: the
+ * baseline reads and shortens the parent chain with plain non-volatile
+ * accesses that hit in the L1, while the race-free version performs "an
+ * atomic read and an atomic write for every jump", which is why the
+ * converted CC loses the most performance of all five codes.
+ */
+#pragma once
+
+#include <vector>
+
+#include "algos/common.hpp"
+
+namespace eclsim::algos {
+
+/** Result of a CC run. */
+struct CcResult
+{
+    std::vector<VertexId> labels;  ///< component id = root vertex id
+    RunStats stats;
+};
+
+/**
+ * Load-balancing options. ECL-CC "processes the vertices at thread,
+ * warp, or block granularity depending on the number of neighbors"
+ * (paper Section II-B). When heavy_vertex_offload is on, vertices whose
+ * degree reaches heavy_degree_threshold are peeled out of the per-vertex
+ * compute kernel and their edges are processed edge-parallel in a
+ * separate kernel, spreading hub work across many blocks/SMs.
+ */
+struct CcOptions
+{
+    bool heavy_vertex_offload = false;
+    u32 heavy_degree_threshold = 64;
+};
+
+/** Run connected components on an undirected graph. */
+CcResult runCc(simt::Engine& engine, const CsrGraph& graph,
+               Variant variant, const CcOptions& options = {});
+
+}  // namespace eclsim::algos

@@ -1,0 +1,59 @@
+#include "algos/common.hpp"
+
+#include "core/logging.hpp"
+
+namespace eclsim::algos {
+
+const char*
+variantName(Variant variant)
+{
+    switch (variant) {
+      case Variant::kBaseline:
+        return "baseline";
+      case Variant::kRaceFree:
+        return "race-free";
+    }
+    return "unknown";
+}
+
+DeviceGraph
+uploadGraph(simt::DeviceMemory& memory, const CsrGraph& graph,
+            bool with_weights, bool with_sources)
+{
+    ECLSIM_ASSERT(graph.numArcs() < (u64{1} << 32),
+                  "graph too large for 32-bit arc indices");
+    DeviceGraph dev;
+    dev.num_vertices = graph.numVertices();
+    dev.num_arcs = static_cast<u32>(graph.numArcs());
+
+    std::vector<u32> offsets(graph.rowOffsets().size());
+    for (size_t i = 0; i < offsets.size(); ++i)
+        offsets[i] = static_cast<u32>(graph.rowOffsets()[i]);
+    dev.row_offsets =
+        memory.alloc<u32>(offsets.size(), "csr.row_offsets");
+    memory.upload(dev.row_offsets, offsets);
+
+    dev.col_indices =
+        memory.alloc<u32>(std::max<u64>(graph.numArcs(), 1),
+                          "csr.col_indices");
+    if (graph.numArcs() > 0)
+        memory.upload(dev.col_indices, graph.colIndices());
+
+    if (with_weights) {
+        ECLSIM_ASSERT(graph.weighted(), "graph has no weights to upload");
+        dev.weights = memory.alloc<i32>(graph.numArcs(), "csr.weights");
+        memory.upload(dev.weights, graph.weights());
+    }
+    if (with_sources) {
+        std::vector<u32> sources(graph.numArcs());
+        for (VertexId v = 0; v < graph.numVertices(); ++v)
+            for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e)
+                sources[e] = v;
+        dev.arc_sources =
+            memory.alloc<u32>(graph.numArcs(), "csr.arc_sources");
+        memory.upload(dev.arc_sources, sources);
+    }
+    return dev;
+}
+
+}  // namespace eclsim::algos

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared plumbing for the simulated ECL graph analytics codes.
+ *
+ * Every algorithm in the suite comes in two variants, exactly like the
+ * paper's artifact:
+ *
+ *  - Variant::kBaseline: the original racy code. Shared mutable arrays
+ *    are read and written with plain or volatile accesses (matching what
+ *    each published baseline uses; Section IV-A of the paper).
+ *  - Variant::kRaceFree: the converted code. Every access to shared
+ *    mutable data is a relaxed atomic via the ecl:: helpers of
+ *    Figures 2-5.
+ *
+ * Read-only graph structure (CSR offsets, targets, weights) is shared
+ * safely by both variants: concurrent reads do not race.
+ */
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+#include "simt/engine.hpp"
+
+namespace eclsim::algos {
+
+using graph::CsrGraph;
+
+/** Which side of the paper's comparison a run implements. */
+enum class Variant : u8 {
+    kBaseline,
+    kRaceFree,
+};
+
+/** Printable variant name. */
+const char* variantName(Variant variant);
+
+/** Aggregated statistics of one algorithm run (all launches summed). */
+struct RunStats
+{
+    double ms = 0.0;   ///< total simulated kernel time
+    u32 launches = 0;
+    u32 iterations = 0;  ///< algorithm-level sweeps / rounds
+    simt::MemoryCounters mem;
+
+    /** Fold one kernel launch into the totals. */
+    void
+    add(const simt::LaunchStats& launch)
+    {
+        ms += launch.ms;
+        ++launches;
+        mem += launch.mem;
+    }
+};
+
+/** CSR graph resident in simulated device memory. */
+struct DeviceGraph
+{
+    u32 num_vertices = 0;
+    u32 num_arcs = 0;
+    simt::DevicePtr<u32> row_offsets;  ///< n+1 entries
+    simt::DevicePtr<u32> col_indices;  ///< m entries
+    simt::DevicePtr<i32> weights;      ///< m entries, only if uploaded
+    simt::DevicePtr<u32> arc_sources;  ///< m entries, only if uploaded
+};
+
+/**
+ * Upload a CSR graph into device memory (cudaMemcpy analogue).
+ *
+ * @param with_weights also upload edge weights (MST, APSP)
+ * @param with_sources also upload the per-arc source vertex (MST's
+ *        edge-centric connect phase needs to map an arc back to both
+ *        endpoints)
+ */
+DeviceGraph uploadGraph(simt::DeviceMemory& memory, const CsrGraph& graph,
+                        bool with_weights = false,
+                        bool with_sources = false);
+
+/** Standard thread-block size used by all kernels. */
+constexpr u32 kBlockSize = 256;
+
+/** Guard for iterative host loops; hit only on a simulator bug. */
+constexpr u32 kMaxHostIterations = 100000;
+
+}  // namespace eclsim::algos

@@ -1,0 +1,162 @@
+#include "algos/gc.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+#include "simt/ecl_atomics.hpp"
+
+namespace eclsim::algos {
+
+namespace {
+
+using simt::AccessMode;
+using simt::DevicePtr;
+using simt::Task;
+using simt::ThreadCtx;
+
+constexpr u32 kNoColor = ~u32{0};
+/** Upper bound on distinct colors the kernel tracks in its bitset. */
+constexpr u32 kMaxColors = 1024;
+constexpr u32 kForbWords = kMaxColors / 64;
+
+/** Largest-degree-first priority with hashed tiebreak. */
+constexpr u32
+gcPriority(u64 degree, VertexId v)
+{
+    const u32 deg = static_cast<u32>(std::min<u64>(degree, 0xffff));
+    return (deg << 16) | (hash32(v) & 0xffffu);
+}
+
+/** True if (prio_a, a) outranks (prio_b, b). */
+constexpr bool
+outranks(u32 prio_a, u32 a, u32 prio_b, u32 b)
+{
+    return prio_a > prio_b || (prio_a == prio_b && a > b);
+}
+
+struct GcArrays
+{
+    DeviceGraph g;
+    DevicePtr<u32> color;
+    DevicePtr<u32> lowbound;  ///< lowest color each vertex could still take
+    DevicePtr<u32> prio;      ///< static priorities (read-only)
+    DevicePtr<u32> again;
+    AccessMode mode;  ///< kVolatile (baseline) or kAtomic (race-free)
+};
+
+/** One Jones-Plassmann pass with the ECL-GC shortcuts. */
+Task
+gcPass(ThreadCtx& t, const GcArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    // Reading one's own color races with nobody (only v writes it), but
+    // the published code reads the shared array the same way throughout.
+    const u32 cv = co_await t.load(a.color, v, a.mode);
+    if (cv != kNoColor)
+        co_return;
+
+    const u32 my_prio = co_await t.load(a.prio, v);
+    const u32 begin = co_await t.load(a.g.row_offsets, v);
+    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+
+    u64 forbidden[kForbWords] = {};
+    bool blocked = false;          ///< some higher-priority vtx uncolored
+    u32 min_high_low = kNoColor;   ///< min lowbound among those vertices
+    for (u32 e = begin; e < end; ++e) {
+        const u32 u = co_await t.load(a.g.col_indices, e);
+        if (u == v)
+            continue;
+        const u32 cu = co_await t.load(a.color, u, a.mode);
+        if (cu != kNoColor) {
+            ECLSIM_ASSERT(cu < kMaxColors,
+                          "graph needs more than {} colors", kMaxColors);
+            forbidden[cu / 64] |= u64{1} << (cu % 64);
+        } else {
+            const u32 pu = co_await t.load(a.prio, u);
+            if (outranks(pu, u, my_prio, v)) {
+                blocked = true;
+                // Shortcut 1 needs this neighbor's lowest possible color.
+                const u32 lb = co_await t.load(a.lowbound, u, a.mode);
+                min_high_low = std::min(min_high_low, lb);
+            }
+        }
+    }
+
+    // Candidate: smallest color not used by any colored neighbor.
+    u32 candidate = 0;
+    while (candidate < kMaxColors &&
+           (forbidden[candidate / 64] >> (candidate % 64)) & 1)
+        ++candidate;
+    ECLSIM_ASSERT(candidate < kMaxColors, "graph needs more than {} colors",
+                  kMaxColors);
+
+    if (!blocked || candidate < min_high_low) {
+        // Either every higher-priority neighbor is colored (classic
+        // Jones-Plassmann) or the candidate provably cannot collide with
+        // any of them (ECL-GC shortcut): color now.
+        co_await t.store(a.color, v, candidate, a.mode);
+        co_return;
+    }
+
+    // Still blocked: publish the tightened lower bound (shortcut 2) and
+    // request another pass.
+    co_await t.store(a.lowbound, v, candidate, a.mode);
+    co_await t.store(a.again, 0, u32{1}, a.mode);
+}
+
+}  // namespace
+
+GcResult
+runGc(simt::Engine& engine, const CsrGraph& graph, Variant variant,
+      const GcOptions& options)
+{
+    ECLSIM_ASSERT(!graph.directed(), "GC expects an undirected graph");
+    simt::DeviceMemory& memory = engine.memory();
+
+    GcArrays a;
+    a.g = uploadGraph(memory, graph);
+    const u32 n = std::max<u32>(a.g.num_vertices, 1);
+    a.color = memory.alloc<u32>(n, "gc.color");
+    a.lowbound = memory.alloc<u32>(n, "gc.posscol");
+    a.prio = memory.alloc<u32>(n, "gc.priority");
+    a.again = memory.alloc<u32>(1, "gc.again");
+    a.mode = variant == Variant::kBaseline ? AccessMode::kVolatile
+                                           : AccessMode::kAtomic;
+
+    memory.fill(a.color, n, kNoColor);
+    memory.fill(a.lowbound, n, u32{0});
+    std::vector<u32> prio(n, 0);
+    for (VertexId v = 0; v < a.g.num_vertices; ++v) {
+        if (options.priority == GcPriorityMode::kLargestDegreeFirst)
+            prio[v] = gcPriority(graph.degree(v), v);
+        else
+            prio[v] = static_cast<u32>(
+                hash64(options.priority_seed ^ (v + 1)));
+    }
+    memory.upload(a.prio, prio);
+
+    GcResult result;
+    const auto cfg = simt::launchFor(a.g.num_vertices, kBlockSize);
+    for (u32 iter = 0; iter < kMaxHostIterations; ++iter) {
+        memory.write(a.again, u32{0});
+        result.stats.add(engine.launch(
+            "gc.pass", cfg, [&a](ThreadCtx& t) { return gcPass(t, a); }));
+        ++result.stats.iterations;
+        if (memory.read(a.again) == 0)
+            break;
+    }
+
+    result.colors = memory.download(a.color, a.g.num_vertices);
+    u32 max_color = 0;
+    for (u32 c : result.colors) {
+        ECLSIM_ASSERT(c != kNoColor, "vertex left uncolored after GC");
+        max_color = std::max(max_color, c + 1);
+    }
+    result.num_colors = max_color;
+    return result;
+}
+
+}  // namespace eclsim::algos

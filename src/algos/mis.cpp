@@ -1,0 +1,190 @@
+#include "algos/mis.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+#include "simt/ecl_atomics.hpp"
+
+namespace eclsim::algos {
+
+namespace {
+
+using simt::AccessMode;
+using simt::DevicePtr;
+using simt::Task;
+using simt::ThreadCtx;
+
+/** True if the status byte means "still undecided". */
+constexpr bool
+undecided(u8 stat)
+{
+    return stat != kMisOut && stat != kMisIn;
+}
+
+/** Lexicographic priority comparison with vertex-ID tiebreak. */
+constexpr bool
+beats(u8 prio_a, u32 a, u8 prio_b, u32 b)
+{
+    return prio_a > prio_b || (prio_a == prio_b && a > b);
+}
+
+struct MisArrays
+{
+    DeviceGraph g;
+    DevicePtr<u8> stat;
+    DevicePtr<u32> again;
+    Variant variant;
+};
+
+/** One decision sweep over all still-undecided vertices. */
+Task
+misPass(ThreadCtx& t, const MisArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const bool atomic = a.variant == Variant::kRaceFree;
+
+    u8 sv;
+    if (atomic) {
+        const u32 word = co_await ecl::atomicReadByteWord(t, a.stat, v);
+        sv = ecl::extractByte(word, v);
+    } else {
+        sv = co_await t.load(a.stat, v, AccessMode::kVolatile);
+    }
+    if (!undecided(sv))
+        co_return;
+
+    const u32 begin = co_await t.load(a.g.row_offsets, v);
+    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+
+    bool in_neighbor = false;
+    bool best = true;
+    for (u32 e = begin; e < end && best; ++e) {
+        const u32 u = co_await t.load(a.g.col_indices, e);
+        if (u == v)
+            continue;
+        u8 su;
+        if (atomic) {
+            const u32 word =
+                co_await ecl::atomicReadByteWord(t, a.stat, u);
+            su = ecl::extractByte(word, u);
+        } else {
+            su = co_await t.load(a.stat, u, AccessMode::kVolatile);
+        }
+        if (su == kMisIn) {
+            in_neighbor = true;
+            break;
+        }
+        if (undecided(su) && beats(su, u, sv, v))
+            best = false;
+    }
+
+    if (in_neighbor) {
+        // A neighbor made it into the set; this vertex is out.
+        if (atomic)
+            co_await ecl::atomicByteAnd(t, a.stat, v, kMisOut);
+        else
+            co_await t.store(a.stat, v, kMisOut, AccessMode::kVolatile);
+        co_return;
+    }
+    if (!best) {
+        // Still undecided; ask the host for another sweep.
+        if (atomic)
+            co_await ecl::atomicWrite(t, a.again, 0, u32{1});
+        else
+            co_await t.store(a.again, 0, u32{1}, AccessMode::kVolatile);
+        co_return;
+    }
+
+    // Highest priority in the undecided neighborhood: join the set and
+    // knock every undecided neighbor out.
+    if (atomic)
+        co_await ecl::atomicByteOr(t, a.stat, v, kMisIn);
+    else
+        co_await t.store(a.stat, v, kMisIn, AccessMode::kVolatile);
+    for (u32 e = begin; e < end; ++e) {
+        const u32 u = co_await t.load(a.g.col_indices, e);
+        if (u == v)
+            continue;
+        if (atomic)
+            co_await ecl::atomicByteAnd(t, a.stat, u, kMisOut);
+        else
+            co_await t.store(a.stat, u, kMisOut, AccessMode::kVolatile);
+    }
+}
+
+}  // namespace
+
+u8
+misPriority(VertexId v, u64 degree)
+{
+    // Partially random, inversely proportional to degree (ECL-MIS):
+    // low-degree vertices get a head start, the hash breaks the rest.
+    const u32 invdeg =
+        120u / static_cast<u32>(2 + std::min<u64>(degree, 118));
+    const u32 jitter = hash32(v) % 130u;
+    const u32 prio = 2 + 2 * invdeg + jitter;  // in [2, 251]
+    return static_cast<u8>(prio);
+}
+
+MisResult
+runMis(simt::Engine& engine, const CsrGraph& graph, Variant variant,
+       const MisOptions& options)
+{
+    ECLSIM_ASSERT(!graph.directed(), "MIS expects an undirected graph");
+    simt::DeviceMemory& memory = engine.memory();
+
+    MisArrays a;
+    a.g = uploadGraph(memory, graph);
+    const u32 n = a.g.num_vertices;
+    // Pad to a word multiple so the race-free variant's int-granule
+    // accesses stay in bounds (paper Fig. 3 requires this too).
+    const u64 padded = (static_cast<u64>(n) + 3) / 4 * 4;
+    // The baseline's plain char accesses are subject to delayed update
+    // visibility (see file comment in mis.hpp).
+    a.stat = memory.alloc<u8>(std::max<u64>(padded, 4), "mis.node_stat",
+                              variant == Variant::kBaseline
+                                  ? simt::Visibility::kSweepSnapshot
+                                  : simt::Visibility::kLive);
+    a.again = memory.alloc<u32>(1, "mis.again");
+    a.variant = variant;
+
+    // Host-side init (the published code computes priorities in a tiny
+    // init kernel; the cost is negligible either way).
+    std::vector<u8> init(padded, kMisOut);
+    for (VertexId v = 0; v < n; ++v) {
+        if (options.priority == MisPriorityMode::kDegreeWeighted) {
+            init[v] = misPriority(v, graph.degree(v));
+        } else {
+            // plain Luby: uniformly random priority in [2, 253]
+            const u64 h = hash64(options.priority_seed ^ (v + 1));
+            init[v] = static_cast<u8>(2 + h % 252);
+        }
+    }
+    memory.upload(a.stat, init);
+
+    MisResult result;
+    const auto cfg = simt::launchFor(n, kBlockSize);
+    for (u32 iter = 0; iter < kMaxHostIterations; ++iter) {
+        memory.write(a.again, u32{0});
+        result.stats.add(engine.launch(
+            "mis.pass", cfg, [&a](ThreadCtx& t) { return misPass(t, a); }));
+        ++result.stats.iterations;
+        if (memory.read(a.again) == 0)
+            break;
+    }
+
+    const auto stat = memory.download(a.stat, n);
+    result.in_set.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+        ECLSIM_ASSERT(!undecided(stat[v]),
+                      "vertex {} left undecided after MIS", v);
+        result.in_set[v] = stat[v] == kMisIn;
+        result.set_size += result.in_set[v] ? 1 : 0;
+    }
+    return result;
+}
+
+}  // namespace eclsim::algos

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Maximal independent set in the style of ECL-MIS (Burtscher et al.,
+ * TOPC'18), the MIS code studied by the paper.
+ *
+ * ECL-MIS packs each vertex's status and priority into a single byte of
+ * a shared char array: 0 = out of the set, 1 = in the set, and values
+ * >= 2 are the vertex's (static) priority while it is still undecided.
+ * Priorities are partially random and inversely proportional to degree,
+ * which yields large sets.
+ *
+ * The baseline reads and writes this array with plain char accesses. The
+ * compiler may cache those values, delaying when one thread's decision
+ * becomes visible to the others — the mechanism the paper credits for
+ * the 5-11% speedup of the race-free code (Section VI-A). eclsim models
+ * that delay with the kSweepSnapshot visibility class.
+ *
+ * The race-free variant cannot use char atomics (CUDA has none), so it
+ * applies the paper's typecasting-and-masking workaround: it atomically
+ * loads the covering int and shifts/masks the byte out (Fig. 3b), and it
+ * writes decisions with atomic bitwise AND/OR on the covering int
+ * (Fig. 4b).
+ */
+#pragma once
+
+#include <vector>
+
+#include "algos/common.hpp"
+
+namespace eclsim::algos {
+
+/** Result of a MIS run. */
+struct MisResult
+{
+    std::vector<bool> in_set;
+    u64 set_size = 0;
+    RunStats stats;
+};
+
+/** Priority assignment policy. */
+enum class MisPriorityMode : u8 {
+    /** ECL-MIS: partially random, inversely proportional to degree —
+     *  "enables the code to find relatively large sets" (paper II-B). */
+    kDegreeWeighted,
+    /** Plain Luby: uniformly random priorities (the ablation baseline). */
+    kUniform,
+};
+
+/** MIS tuning knobs. */
+struct MisOptions
+{
+    MisPriorityMode priority = MisPriorityMode::kDegreeWeighted;
+    u64 priority_seed = 0;  ///< extra entropy for the uniform mode
+};
+
+/** Run maximal independent set on an undirected graph. */
+MisResult runMis(simt::Engine& engine, const CsrGraph& graph,
+                 Variant variant, const MisOptions& options = {});
+
+/** ECL-MIS status byte: vertex excluded from the set. */
+constexpr u8 kMisOut = 0x00;
+/**
+ * ECL-MIS status byte: vertex included in the set. 0xFF so that the
+ * race-free variant can set it with a single atomic OR and clear a vertex
+ * with a single atomic AND (paper Fig. 4) — one indivisible transition,
+ * never exposing an intermediate status.
+ */
+constexpr u8 kMisIn = 0xFF;
+
+/**
+ * ECL-MIS priority byte for a vertex: >= 2 (i.e. undecided), partially
+ * random, and higher for low-degree vertices. Exposed for tests.
+ */
+u8 misPriority(VertexId v, u64 degree);
+
+}  // namespace eclsim::algos

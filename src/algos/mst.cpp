@@ -1,0 +1,211 @@
+#include "algos/mst.hpp"
+
+#include "core/logging.hpp"
+#include "simt/ecl_atomics.hpp"
+
+namespace eclsim::algos {
+
+namespace {
+
+using simt::AccessMode;
+using simt::DevicePtr;
+using simt::Task;
+using simt::ThreadCtx;
+
+constexpr u64 kNoEdge = ~u64{0};
+
+/** Pack (weight, arc) into the 64-bit best word; lower packs win. */
+constexpr u64
+packBest(i32 weight, u32 arc)
+{
+    return (static_cast<u64>(static_cast<u32>(weight)) << 32) | arc;
+}
+
+struct MstArrays
+{
+    DeviceGraph g;
+    DevicePtr<u32> parent;
+    DevicePtr<u64> best;
+    DevicePtr<u8> in_mst;      ///< per-arc output flags
+    DevicePtr<u64> total;      ///< accumulated forest weight
+    DevicePtr<u32> again;
+    AccessMode mode;  ///< kVolatile (baseline) or kAtomic (race-free)
+};
+
+/** Reset each component root's best word for the next round. */
+Task
+mstReset(ThreadCtx& t, const MstArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    co_await t.store(a.best, v, kNoEdge, a.mode);
+}
+
+/**
+ * Find phase: every arc offers itself to both endpoint components via
+ * atomicMin on the 64-bit best word. Union-find parent reads use the
+ * variant's access mode with path compression writes.
+ */
+Task
+mstFindMin(ThreadCtx& t, const MstArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const u32 begin = co_await t.load(a.g.row_offsets, v);
+    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+
+    // Representative of v (computed once; edges below share it).
+    u32 rv = v;
+    {
+        u32 p = co_await t.load(a.parent, rv, a.mode);
+        while (p != rv) {
+            const u32 gp = co_await t.load(a.parent, p, a.mode);
+            if (gp != p)
+                co_await t.store(a.parent, rv, gp, a.mode);  // compress
+            rv = p;
+            p = gp;
+        }
+    }
+
+    for (u32 e = begin; e < end; ++e) {
+        const u32 u = co_await t.load(a.g.col_indices, e);
+        if (u >= v)
+            continue;  // handle each undirected edge once
+        u32 ru = u;
+        {
+            u32 p = co_await t.load(a.parent, ru, a.mode);
+            while (p != ru) {
+                const u32 gp = co_await t.load(a.parent, p, a.mode);
+                if (gp != p)
+                    co_await t.store(a.parent, ru, gp, a.mode);
+                ru = p;
+                p = gp;
+            }
+        }
+        if (rv == ru)
+            continue;  // already in the same component
+        const i32 w = co_await t.load(a.g.weights, e);
+        const u64 packed = packBest(w, e);
+        co_await t.atomicMin(a.best, rv, packed);
+        co_await t.atomicMin(a.best, ru, packed);
+    }
+}
+
+/**
+ * Connect phase: each root with a best edge merges along it. The 64-bit
+ * read of the best word is volatile in the baseline (two 32-bit pieces:
+ * the tearing hazard) and a single atomic in the race-free code. The
+ * hook itself is a CAS in both variants.
+ */
+Task
+mstConnect(ThreadCtx& t, const MstArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const u32 pv = co_await t.load(a.parent, v, a.mode);
+    if (pv != v)
+        co_return;  // not a component root
+    const u64 packed = co_await t.load(a.best, v, a.mode);
+    if (packed == kNoEdge)
+        co_return;
+    const u32 arc = static_cast<u32>(packed);
+    const i32 w = static_cast<i32>(packed >> 32);
+
+    const u32 src = co_await t.load(a.g.arc_sources, arc);
+    const u32 dst = co_await t.load(a.g.col_indices, arc);
+
+    // Union the two endpoint components (min-ID wins the root).
+    u32 x = src, y = dst;
+    bool merged = false;
+    while (true) {
+        // climb to current roots
+        u32 px = co_await t.load(a.parent, x, a.mode);
+        while (px != x) {
+            x = px;
+            px = co_await t.load(a.parent, x, a.mode);
+        }
+        u32 py = co_await t.load(a.parent, y, a.mode);
+        while (py != y) {
+            y = py;
+            py = co_await t.load(a.parent, y, a.mode);
+        }
+        if (x == y)
+            break;  // another root merged the same pair first
+        if (x < y) {
+            const u32 tmp = x;
+            x = y;
+            y = tmp;
+        }
+        const u32 old = co_await t.atomicCas(a.parent, x, x, y);
+        if (old == x) {
+            merged = true;
+            break;
+        }
+    }
+    if (merged) {
+        // This root owns the merge: account the edge exactly once.
+        co_await t.store(a.in_mst, arc, u8{1});
+        co_await t.atomicAdd(a.total, 0,
+                             static_cast<u64>(static_cast<u32>(w)));
+        co_await t.store(a.again, 0, u32{1}, a.mode);
+    }
+}
+
+}  // namespace
+
+MstResult
+runMst(simt::Engine& engine, const CsrGraph& graph, Variant variant)
+{
+    ECLSIM_ASSERT(!graph.directed(), "MST expects an undirected graph");
+    ECLSIM_ASSERT(graph.weighted(), "MST expects a weighted graph");
+    simt::DeviceMemory& memory = engine.memory();
+
+    MstArrays a;
+    a.g = uploadGraph(memory, graph, /*with_weights=*/true,
+                      /*with_sources=*/true);
+    const u32 n = std::max<u32>(a.g.num_vertices, 1);
+    a.parent = memory.alloc<u32>(n, "mst.parent");
+    a.best = memory.alloc<u64>(n, "mst.best");
+    a.in_mst = memory.alloc<u8>(std::max<u32>(a.g.num_arcs, 1),
+                                "mst.in_mst");
+    a.total = memory.alloc<u64>(1, "mst.total");
+    a.again = memory.alloc<u32>(1, "mst.again");
+    a.mode = variant == Variant::kBaseline ? AccessMode::kVolatile
+                                           : AccessMode::kAtomic;
+
+    std::vector<u32> ids(n);
+    for (u32 v = 0; v < n; ++v)
+        ids[v] = v;
+    memory.upload(a.parent, ids);
+    memory.fill(a.in_mst, a.g.num_arcs, u8{0});
+    memory.write(a.total, u64{0});
+
+    MstResult result;
+    const auto cfg = simt::launchFor(a.g.num_vertices, kBlockSize);
+    for (u32 round = 0; round < kMaxHostIterations; ++round) {
+        memory.write(a.again, u32{0});
+        result.stats.add(engine.launch("mst.reset", cfg, [&a](ThreadCtx& t) {
+            return mstReset(t, a);
+        }));
+        result.stats.add(engine.launch(
+            "mst.findmin", cfg,
+            [&a](ThreadCtx& t) { return mstFindMin(t, a); }));
+        result.stats.add(engine.launch(
+            "mst.connect", cfg,
+            [&a](ThreadCtx& t) { return mstConnect(t, a); }));
+        ++result.stats.iterations;
+        if (memory.read(a.again) == 0)
+            break;
+    }
+
+    result.total_weight = memory.read(a.total);
+    result.in_mst = memory.download(a.in_mst, a.g.num_arcs);
+    for (u8 flag : result.in_mst)
+        result.num_edges += flag;
+    return result;
+}
+
+}  // namespace eclsim::algos

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimum spanning tree/forest in the style of ECL-MST (Fallin, Gonzalez,
+ * Seo & Burtscher, SC'23), the MST code studied by the paper.
+ *
+ * Data-driven Borůvka rounds: every component records its cheapest
+ * outgoing edge in a shared 64-bit word (weight in the high half, arc id
+ * in the low half — "the best neighbor to merge next for each union in a
+ * shared long long array", paper Section IV-A) via atomicMin, then the
+ * components merge along those edges with union-find using implicit path
+ * compression.
+ *
+ * The published baseline reads the union-find parents and the 64-bit
+ * best words with volatile accesses; the 64-bit volatile loads are
+ * exactly the word-tearing hazard of the paper's Fig. 1 (they compile to
+ * two 32-bit transfers on some targets). The race-free variant converts
+ * them to relaxed atomics, which costs only the atomic-unit overhead —
+ * hence MST's small slowdown (geomean 0.93-0.97 in Tables IV-VII).
+ */
+#pragma once
+
+#include <vector>
+
+#include "algos/common.hpp"
+
+namespace eclsim::algos {
+
+/** Result of an MST run. */
+struct MstResult
+{
+    u64 total_weight = 0;          ///< weight of the spanning forest
+    u64 num_edges = 0;             ///< edges selected into the forest
+    std::vector<u8> in_mst;        ///< per-arc selection flags
+    RunStats stats;
+};
+
+/** Run minimum spanning forest on a weighted undirected graph. */
+MstResult runMst(simt::Engine& engine, const CsrGraph& graph,
+                 Variant variant);
+
+}  // namespace eclsim::algos

@@ -1,0 +1,255 @@
+#include "algos/scc.hpp"
+
+#include "core/logging.hpp"
+#include "simt/ecl_atomics.hpp"
+
+namespace eclsim::algos {
+
+namespace {
+
+using simt::AccessMode;
+using simt::DevicePtr;
+using simt::Task;
+using simt::ThreadCtx;
+
+constexpr u32 kUnassigned = ~u32{0};
+
+struct SccArrays
+{
+    DeviceGraph g;
+    DeviceGraph rev;        ///< reverse arcs (only for trimming)
+    DevicePtr<u64> pair;    ///< (in_max, out_max) int2 stored as long long
+    DevicePtr<u32> label;   ///< kUnassigned while the vertex is active
+    DevicePtr<u32> repeat;  ///< the racy bool -> atomic int of the paper
+    Variant variant;
+};
+
+/**
+ * Trim pass: an active vertex with no active predecessor or no active
+ * successor lies on no cycle — retire it as its own SCC. Label writes
+ * are to the thread's own slot (no race in either variant); the reads
+ * of other labels race benignly in the baseline sense, but since labels
+ * transition monotonically from kUnassigned to final exactly once, the
+ * pass is restartable and the repeat flag re-runs it to a fixpoint.
+ */
+Task
+sccTrim(ThreadCtx& t, const SccArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    if (co_await t.load(a.label, v) != kUnassigned)
+        co_return;
+
+    bool active_succ = false;
+    {
+        const u32 begin = co_await t.load(a.g.row_offsets, v);
+        const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+        for (u32 e = begin; e < end && !active_succ; ++e) {
+            const u32 u = co_await t.load(a.g.col_indices, e);
+            if (u != v &&
+                (co_await t.load(a.label, u)) == kUnassigned)
+                active_succ = true;
+        }
+    }
+    bool active_pred = false;
+    if (active_succ) {
+        const u32 begin = co_await t.load(a.rev.row_offsets, v);
+        const u32 end = co_await t.load(a.rev.row_offsets, v + 1);
+        for (u32 e = begin; e < end && !active_pred; ++e) {
+            const u32 u = co_await t.load(a.rev.col_indices, e);
+            if (u != v &&
+                (co_await t.load(a.label, u)) == kUnassigned)
+                active_pred = true;
+        }
+    }
+    if (!active_succ || !active_pred) {
+        co_await t.store(a.label, v, v);  // trivial SCC
+        if (a.variant == Variant::kRaceFree)
+            co_await ecl::atomicWrite(t, a.repeat, 0, u32{1});
+        else
+            co_await t.store(a.repeat, 0, u32{1});
+    }
+}
+
+/** (Re)initialize every active vertex's pair to (v, v). */
+Task
+sccInit(ThreadCtx& t, const SccArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const u32 lab = co_await t.load(a.label, v);
+    if (lab != kUnassigned)
+        co_return;
+    if (a.variant == Variant::kRaceFree) {
+        co_await ecl::writeFirst(t, a.pair, v, v);
+        co_await ecl::writeSecond(t, a.pair, v, v);
+    } else {
+        co_await ecl::plainWriteFirst(t, a.pair, v, v);
+        co_await ecl::plainWriteSecond(t, a.pair, v, v);
+    }
+}
+
+/**
+ * One propagation sweep: push in_max along each active arc and pull
+ * out_max against it. Monotone max updates tolerate lost updates; the
+ * repeat flag re-runs the sweep until a fixpoint.
+ */
+Task
+sccPropagate(ThreadCtx& t, const SccArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const u32 lab = co_await t.load(a.label, v);
+    if (lab != kUnassigned)
+        co_return;
+    const bool atomic = a.variant == Variant::kRaceFree;
+
+    const u32 begin = co_await t.load(a.g.row_offsets, v);
+    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+
+    u32 my_in = atomic ? co_await ecl::readFirst(t, a.pair, v)
+                       : co_await ecl::plainReadFirst(t, a.pair, v);
+    u32 my_out = atomic ? co_await ecl::readSecond(t, a.pair, v)
+                        : co_await ecl::plainReadSecond(t, a.pair, v);
+    bool changed = false;
+
+    for (u32 e = begin; e < end; ++e) {
+        const u32 u = co_await t.load(a.g.col_indices, e);
+        if (u == v)
+            continue;
+        const u32 lab_u = co_await t.load(a.label, u);
+        if (lab_u != kUnassigned)
+            continue;  // retired SCCs do not carry paths
+
+        // Push: the maximum ID reaching v also reaches u (arc v->u).
+        const u32 u_in = atomic
+                             ? co_await ecl::readFirst(t, a.pair, u)
+                             : co_await ecl::plainReadFirst(t, a.pair, u);
+        if (my_in > u_in) {
+            if (atomic)
+                co_await ecl::writeFirst(t, a.pair, u, my_in);
+            else
+                co_await ecl::plainWriteFirst(t, a.pair, u, my_in);
+            changed = true;
+        }
+        // Pull: anything reachable from u is reachable from v.
+        const u32 u_out = atomic
+                              ? co_await ecl::readSecond(t, a.pair, u)
+                              : co_await ecl::plainReadSecond(t, a.pair, u);
+        if (u_out > my_out) {
+            my_out = u_out;
+            changed = true;
+        }
+    }
+    if (my_out > (atomic ? co_await ecl::readSecond(t, a.pair, v)
+                         : co_await ecl::plainReadSecond(t, a.pair, v))) {
+        if (atomic)
+            co_await ecl::writeSecond(t, a.pair, v, my_out);
+        else
+            co_await ecl::plainWriteSecond(t, a.pair, v, my_out);
+    }
+    if (changed) {
+        if (atomic)
+            co_await ecl::atomicWrite(t, a.repeat, 0, u32{1});
+        else
+            co_await t.store(a.repeat, 0, u32{1});
+    }
+}
+
+/**
+ * Classification: a vertex whose incoming and outgoing maxima agree
+ * belongs to the SCC pivoted by that vertex; everyone else resets for
+ * the next round.
+ */
+Task
+sccClassify(ThreadCtx& t, const SccArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const u32 lab = co_await t.load(a.label, v);
+    if (lab != kUnassigned)
+        co_return;
+    const bool atomic = a.variant == Variant::kRaceFree;
+    const u32 my_in = atomic ? co_await ecl::readFirst(t, a.pair, v)
+                             : co_await ecl::plainReadFirst(t, a.pair, v);
+    const u32 my_out = atomic
+                           ? co_await ecl::readSecond(t, a.pair, v)
+                           : co_await ecl::plainReadSecond(t, a.pair, v);
+    if (my_in == my_out) {
+        co_await t.store(a.label, v, my_in);
+    } else {
+        if (atomic)
+            co_await ecl::atomicWrite(t, a.repeat, 0, u32{1});
+        else
+            co_await t.store(a.repeat, 0, u32{1});
+    }
+}
+
+}  // namespace
+
+SccResult
+runScc(simt::Engine& engine, const CsrGraph& graph, Variant variant,
+       const SccOptions& options)
+{
+    ECLSIM_ASSERT(graph.directed(), "SCC expects a directed graph");
+    simt::DeviceMemory& memory = engine.memory();
+
+    SccArrays a;
+    a.g = uploadGraph(memory, graph);
+    if (options.trim_trivial)
+        a.rev = uploadGraph(memory, graph.reversed());
+    const u32 n = std::max<u32>(a.g.num_vertices, 1);
+    a.pair = memory.alloc<u64>(n, "scc.pair");
+    a.label = memory.alloc<u32>(n, "scc.label");
+    a.repeat = memory.alloc<u32>(1, "scc.repeat");
+    a.variant = variant;
+    memory.fill(a.label, n, kUnassigned);
+
+    SccResult result;
+    const auto cfg = simt::launchFor(a.g.num_vertices, kBlockSize);
+
+    for (u32 round = 0; round < kMaxHostIterations; ++round) {
+        if (options.trim_trivial) {
+            // Peel trivial SCCs until the trim pass finds nothing new.
+            for (u32 sweep = 0; sweep < kMaxHostIterations; ++sweep) {
+                memory.write(a.repeat, u32{0});
+                result.stats.add(engine.launch(
+                    "scc.trim", cfg,
+                    [&a](ThreadCtx& t) { return sccTrim(t, a); }));
+                if (memory.read(a.repeat) == 0)
+                    break;
+            }
+        }
+
+        result.stats.add(engine.launch(
+            "scc.init", cfg,
+            [&a](ThreadCtx& t) { return sccInit(t, a); }));
+
+        // Propagate to a fixpoint.
+        for (u32 sweep = 0; sweep < kMaxHostIterations; ++sweep) {
+            memory.write(a.repeat, u32{0});
+            result.stats.add(engine.launch(
+                "scc.propagate", cfg,
+                [&a](ThreadCtx& t) { return sccPropagate(t, a); }));
+            ++result.stats.iterations;
+            if (memory.read(a.repeat) == 0)
+                break;
+        }
+
+        memory.write(a.repeat, u32{0});
+        result.stats.add(engine.launch(
+            "scc.classify", cfg,
+            [&a](ThreadCtx& t) { return sccClassify(t, a); }));
+        if (memory.read(a.repeat) == 0)
+            break;  // every vertex classified
+    }
+
+    result.labels = memory.download(a.label, a.g.num_vertices);
+    return result;
+}
+
+}  // namespace eclsim::algos

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Strongly connected components in the style of ECL-SCC (Alabandi,
+ * Sands, Biros & Burtscher, SC'23), the SCC code studied by the paper.
+ *
+ * The algorithm propagates, for every vertex, the maximum vertex ID on
+ * its incoming paths and on its outgoing paths. A vertex whose two
+ * maxima agree belongs to the SCC pivoted by that maximum — all vertices
+ * act as pivots simultaneously, and the monotonicity of max-ID
+ * propagation lets the kernels tolerate lost updates. Identified SCCs
+ * are retired and the process repeats on the remainder.
+ *
+ * The two maxima are an int2 pair stored as one long long per vertex
+ * (paper Section IV-C): the baseline reads/writes each half with plain
+ * 32-bit accesses; the race-free variant uses the readFirst/readSecond/
+ * writeFirst/writeSecond atomic helpers of Fig. 5. The global repeat
+ * flag is the racy bool the paper converts to an atomic int.
+ */
+#pragma once
+
+#include <vector>
+
+#include "algos/common.hpp"
+
+namespace eclsim::algos {
+
+/** Result of an SCC run. */
+struct SccResult
+{
+    std::vector<VertexId> labels;  ///< SCC id = pivot (max member) vertex
+    RunStats stats;
+};
+
+/** SCC tuning knobs. */
+struct SccOptions
+{
+    /**
+     * Trim trivial SCCs up front: a vertex with no active predecessor or
+     * no active successor cannot lie on any cycle, so it is its own SCC.
+     * Iterated trimming peels chains of such vertices before the (much
+     * more expensive) max-ID propagation — a standard optimization of
+     * parallel SCC codes on power-law inputs, which decompose into one
+     * giant SCC plus a large fringe of singletons.
+     */
+    bool trim_trivial = false;
+};
+
+/** Run strongly connected components on a directed graph. */
+SccResult runScc(simt::Engine& engine, const CsrGraph& graph,
+                 Variant variant, const SccOptions& options = {});
+
+}  // namespace eclsim::algos

@@ -1,0 +1,88 @@
+#include "core/flags.hpp"
+
+#include <cstdlib>
+
+#include "core/logging.hpp"
+
+namespace eclsim {
+
+Flags::Flags(int argc, const char* const* argv)
+{
+    program_ = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        std::string body = arg.substr(2);
+        const size_t eq = body.find('=');
+        if (eq != std::string::npos)
+            values_.emplace_back(body.substr(0, eq), body.substr(eq + 1));
+        else
+            values_.emplace_back(body, "");
+    }
+}
+
+std::optional<std::string>
+Flags::lookup(const std::string& name) const
+{
+    for (const auto& [key, value] : values_)
+        if (key == name)
+            return value;
+    return std::nullopt;
+}
+
+bool
+Flags::has(const std::string& name) const
+{
+    return lookup(name).has_value();
+}
+
+std::string
+Flags::getString(const std::string& name, const std::string& fallback) const
+{
+    auto v = lookup(name);
+    return v ? *v : fallback;
+}
+
+i64
+Flags::getInt(const std::string& name, i64 fallback) const
+{
+    auto v = lookup(name);
+    if (!v)
+        return fallback;
+    char* end = nullptr;
+    const i64 out = std::strtoll(v->c_str(), &end, 0);
+    if (end == v->c_str() || *end != '\0')
+        fatal("flag --{} expects an integer, got '{}'", name, *v);
+    return out;
+}
+
+double
+Flags::getDouble(const std::string& name, double fallback) const
+{
+    auto v = lookup(name);
+    if (!v)
+        return fallback;
+    char* end = nullptr;
+    const double out = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0')
+        fatal("flag --{} expects a number, got '{}'", name, *v);
+    return out;
+}
+
+bool
+Flags::getBool(const std::string& name, bool fallback) const
+{
+    auto v = lookup(name);
+    if (!v)
+        return fallback;
+    if (*v == "" || *v == "1" || *v == "true" || *v == "yes")
+        return true;
+    if (*v == "0" || *v == "false" || *v == "no")
+        return false;
+    fatal("flag --{} expects a boolean, got '{}'", name, *v);
+}
+
+}  // namespace eclsim

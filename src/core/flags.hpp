@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the bench and example binaries.
+ *
+ * Accepted forms: --name=value and --flag (boolean true). The
+ * space-separated --name value form is deliberately not supported: it is
+ * ambiguous with a boolean flag followed by a positional argument.
+ * Positional arguments are collected in order.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eclsim {
+
+/** Parsed command line. */
+class Flags
+{
+  public:
+    Flags(int argc, const char* const* argv);
+
+    /** True if --name was given (with or without a value). */
+    bool has(const std::string& name) const;
+
+    /** String value of --name, or fallback. */
+    std::string getString(const std::string& name,
+                          const std::string& fallback) const;
+
+    /** Integer value of --name, or fallback; fatal() on a malformed value. */
+    i64 getInt(const std::string& name, i64 fallback) const;
+
+    /** Floating-point value of --name, or fallback. */
+    double getDouble(const std::string& name, double fallback) const;
+
+    /** Boolean: --name / --name=true / --name=1 / --name=false / --name=0. */
+    bool getBool(const std::string& name, bool fallback) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string>& positional() const { return positional_; }
+
+    /** Program name (argv[0]). */
+    const std::string& program() const { return program_; }
+
+  private:
+    std::optional<std::string> lookup(const std::string& name) const;
+
+    std::string program_;
+    std::vector<std::pair<std::string, std::string>> values_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace eclsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tiny "{}" placeholder string formatting (std::format is unavailable in
+ * the toolchains we target, so eclsim carries its own minimal version).
+ *
+ * Supported syntax: each "{}" in the format string is replaced by the next
+ * argument, streamed via operator<<. "{{" and "}}" escape literal braces.
+ * Surplus placeholders are left verbatim; surplus arguments are appended.
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace eclsim {
+
+namespace detail {
+
+inline void
+formatImpl(std::ostringstream& out, std::string_view fmt)
+{
+    for (size_t i = 0; i < fmt.size(); ++i) {
+        if (fmt[i] == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+            out << '{';
+            ++i;
+        } else if (fmt[i] == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+            out << '}';
+            ++i;
+        } else {
+            out << fmt[i];
+        }
+    }
+}
+
+template <typename First, typename... Rest>
+void
+formatImpl(std::ostringstream& out, std::string_view fmt, First&& first,
+           Rest&&... rest)
+{
+    for (size_t i = 0; i < fmt.size(); ++i) {
+        if (fmt[i] == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+            out << '{';
+            ++i;
+        } else if (fmt[i] == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+            out << '}';
+            ++i;
+        } else if (fmt[i] == '{' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+            out << std::forward<First>(first);
+            formatImpl(out, fmt.substr(i + 2), std::forward<Rest>(rest)...);
+            return;
+        } else {
+            out << fmt[i];
+        }
+    }
+    // No placeholder left: append remaining arguments so data is not lost.
+    out << ' ' << std::forward<First>(first);
+    (void)std::initializer_list<int>{((out << ' ' << rest), 0)...};
+}
+
+}  // namespace detail
+
+/** Format args into fmt, replacing each "{}" in order. */
+template <typename... Args>
+std::string
+strfmt(std::string_view fmt, Args&&... args)
+{
+    std::ostringstream out;
+    detail::formatImpl(out, fmt, std::forward<Args>(args)...);
+    return out.str();
+}
+
+}  // namespace eclsim

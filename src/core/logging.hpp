@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers in the gem5 style.
+ *
+ * fatal()  — the situation is the user's fault (bad input, bad flag);
+ *            prints a message and exits with status 1.
+ * panic()  — the situation is a bug in eclsim itself; prints a message
+ *            and aborts so a core dump or debugger can catch it.
+ * warn()   — something suspicious but survivable happened.
+ * inform() — plain status output.
+ */
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+#include "core/format.hpp"
+
+namespace eclsim {
+
+namespace detail {
+
+[[noreturn]] inline void
+terminateFatal(std::string_view msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+[[noreturn]] inline void
+terminatePanic(std::string_view msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+}  // namespace detail
+
+/** Terminate due to a user-caused error (bad configuration or input). */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, Args&&... args)
+{
+    detail::terminateFatal(strfmt(fmt, std::forward<Args>(args)...));
+}
+
+/** Terminate due to an internal invariant violation (an eclsim bug). */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, Args&&... args)
+{
+    detail::terminatePanic(strfmt(fmt, std::forward<Args>(args)...));
+}
+
+/** Print a non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(std::string_view fmt, Args&&... args)
+{
+    std::cerr << "warn: " << strfmt(fmt, std::forward<Args>(args)...)
+              << std::endl;
+}
+
+/** Print a status message to stdout. */
+template <typename... Args>
+void
+inform(std::string_view fmt, Args&&... args)
+{
+    std::cout << strfmt(fmt, std::forward<Args>(args)...) << std::endl;
+}
+
+/** panic() unless the condition holds. */
+#define ECLSIM_ASSERT(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::eclsim::panic("assertion '{}' failed at {}:{}: {}", #cond,     \
+                            __FILE__, __LINE__,                              \
+                            ::eclsim::strfmt(__VA_ARGS__));                  \
+        }                                                                    \
+    } while (0)
+
+}  // namespace eclsim

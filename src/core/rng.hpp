@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * eclsim results must be exactly reproducible across platforms, so all
+ * randomness flows through SplitMix64 (a tiny, well-mixed 64-bit PRNG)
+ * and a stateless hash used by the graph analytics kernels for vertex
+ * priorities (mirroring the hash used by ECL-MIS).
+ */
+#pragma once
+
+#include "core/types.hpp"
+
+namespace eclsim {
+
+/** SplitMix64 pseudo-random generator (Steele, Lea & Flood, OOPSLA'14). */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(u64 seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    u64
+    nextBelow(u64 bound)
+    {
+        // Multiply-shift range reduction; bias is negligible for our use.
+        return static_cast<u64>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool nextBool(double p) { return nextDouble() < p; }
+
+  private:
+    u64 state_;
+};
+
+/** Stateless avalanche hash (finalizer of MurmurHash3). */
+constexpr u32
+hash32(u32 x)
+{
+    x = ((x >> 16) ^ x) * 0x45d9f3bU;
+    x = ((x >> 16) ^ x) * 0x45d9f3bU;
+    return (x >> 16) ^ x;
+}
+
+/** Stateless 64-bit avalanche hash (SplitMix64 finalizer). */
+constexpr u64
+hash64(u64 x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace eclsim

@@ -1,0 +1,109 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hpp"
+
+namespace eclsim::stats {
+
+double
+median(std::vector<double> values)
+{
+    ECLSIM_ASSERT(!values.empty(), "median of empty sample");
+    const size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    double hi = values[mid];
+    if (values.size() % 2 == 1)
+        return hi;
+    double lo = *std::max_element(values.begin(), values.begin() + mid);
+    return 0.5 * (lo + hi);
+}
+
+double
+mean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    ECLSIM_ASSERT(!values.empty(), "geomean of empty sample");
+    double log_sum = 0.0;
+    for (double v : values) {
+        ECLSIM_ASSERT(v > 0.0, "geomean requires positive values, got {}", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+minimum(const std::vector<double>& values)
+{
+    ECLSIM_ASSERT(!values.empty(), "minimum of empty sample");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maximum(const std::vector<double>& values)
+{
+    ECLSIM_ASSERT(!values.empty(), "maximum of empty sample");
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+stddev(const std::vector<double>& values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double
+pearson(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    ECLSIM_ASSERT(xs.size() == ys.size(),
+                  "pearson sample size mismatch: {} vs {}", xs.size(),
+                  ys.size());
+    const size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+medianRelativeDeviation(const std::vector<double>& values)
+{
+    const double med = median(values);
+    if (med == 0.0)
+        return 0.0;
+    std::vector<double> devs;
+    devs.reserve(values.size());
+    for (double v : values)
+        devs.push_back(std::abs(v - med) / med);
+    return median(std::move(devs));
+}
+
+}  // namespace eclsim::stats

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Descriptive statistics used by the experiment harness: median, geometric
+ * mean, Pearson correlation, and relative deviation (the paper reports the
+ * median of 9 runs, geometric-mean speedups, Pearson correlations between
+ * graph properties and speedups, and a median relative deviation of 0.6%).
+ */
+#pragma once
+
+#include <vector>
+
+namespace eclsim::stats {
+
+/** Median of a sample (averages the two middle elements for even sizes). */
+double median(std::vector<double> values);
+
+/** Arithmetic mean. Returns 0 for an empty sample. */
+double mean(const std::vector<double>& values);
+
+/** Geometric mean. All values must be positive. */
+double geomean(const std::vector<double>& values);
+
+/** Smallest element. */
+double minimum(const std::vector<double>& values);
+
+/** Largest element. */
+double maximum(const std::vector<double>& values);
+
+/** Sample standard deviation (n-1 denominator). */
+double stddev(const std::vector<double>& values);
+
+/**
+ * Pearson product-moment correlation coefficient between two equal-length
+ * samples. Returns 0 when either sample has zero variance.
+ */
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/**
+ * Median of |x_i - median(x)| / median(x) over the sample — the "median
+ * relative deviation" statistic quoted in the paper's Section VI.
+ */
+double medianRelativeDeviation(const std::vector<double>& values);
+
+}  // namespace eclsim::stats

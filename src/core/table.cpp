@@ -1,0 +1,201 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/logging.hpp"
+
+namespace eclsim {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    ECLSIM_ASSERT(!header_.empty(), "table needs at least one column");
+    aligns_.assign(header_.size(), Align::kRight);
+    aligns_[0] = Align::kLeft;
+}
+
+void
+TextTable::setAlign(size_t column, Align align)
+{
+    ECLSIM_ASSERT(column < columns(), "column {} out of range", column);
+    aligns_[column] = align;
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    ECLSIM_ASSERT(cells.size() == columns(),
+                  "row has {} cells, table has {} columns", cells.size(),
+                  columns());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+const std::string&
+TextTable::cell(size_t row, size_t column) const
+{
+    ECLSIM_ASSERT(row < rows() && column < columns(),
+                  "cell ({}, {}) out of range", row, column);
+    return rows_[row][column];
+}
+
+std::vector<size_t>
+TextTable::columnWidths() const
+{
+    std::vector<size_t> widths(columns(), 0);
+    for (size_t c = 0; c < columns(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < columns(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    return widths;
+}
+
+namespace {
+
+void
+appendAligned(std::string& out, const std::string& cell, size_t width,
+              TextTable::Align align)
+{
+    const size_t pad = width - cell.size();
+    if (align == TextTable::Align::kRight)
+        out.append(pad, ' ');
+    out += cell;
+    if (align == TextTable::Align::kLeft)
+        out.append(pad, ' ');
+}
+
+}  // namespace
+
+std::string
+TextTable::toText() const
+{
+    const auto widths = columnWidths();
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+
+    std::string out;
+    for (size_t c = 0; c < columns(); ++c) {
+        appendAligned(out, header_[c], widths[c], aligns_[c]);
+        out += "  ";
+    }
+    out += '\n';
+    out.append(total, '-');
+    out += '\n';
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separators_.begin(), separators_.end(), r) !=
+            separators_.end()) {
+            out.append(total, '-');
+            out += '\n';
+        }
+        for (size_t c = 0; c < columns(); ++c) {
+            appendAligned(out, rows_[r][c], widths[c], aligns_[c]);
+            out += "  ";
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+TextTable::toMarkdown() const
+{
+    std::string out = "|";
+    for (const auto& h : header_)
+        out += " " + h + " |";
+    out += "\n|";
+    for (size_t c = 0; c < columns(); ++c)
+        out += aligns_[c] == Align::kRight ? " ---: |" : " --- |";
+    out += '\n';
+    for (const auto& row : rows_) {
+        out += "|";
+        for (const auto& cell : row)
+            out += " " + cell + " |";
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+std::string
+TextTable::toCsv() const
+{
+    std::string out;
+    for (size_t c = 0; c < columns(); ++c) {
+        if (c)
+            out += ',';
+        out += csvEscape(header_[c]);
+    }
+    out += '\n';
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < columns(); ++c) {
+            if (c)
+                out += ',';
+            out += csvEscape(row[c]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+TextTable::writeCsv(const std::string& path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot open '{}' for writing", path);
+    file << toCsv();
+    if (!file)
+        fatal("failed writing '{}'", path);
+}
+
+std::string
+fmtFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtGrouped(unsigned long long value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    const size_t n = digits.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (i != 0 && (n - i) % 3 == 0)
+            out += ',';
+        out += digits[i];
+    }
+    return out;
+}
+
+}  // namespace eclsim

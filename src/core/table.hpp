@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Text table rendering for the benchmark harness. The paper's evaluation
+ * is a set of tables (Tables I-IX); TextTable renders aligned plain text,
+ * Markdown, or CSV so each bench binary can print the rows the paper
+ * reports and also emit machine-readable output (the artifact produces
+ * undirected_speedups.csv / directed_speedups.csv).
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eclsim {
+
+/** A simple column-aligned table with a header row. */
+class TextTable
+{
+  public:
+    /** Alignment of a column's cells. */
+    enum class Align { kLeft, kRight };
+
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Number of columns (fixed by the header). */
+    size_t columns() const { return header_.size(); }
+    /** Number of body rows added so far. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Set the alignment for one column (default: left for column 0,
+     *  right for the rest, which suits name-plus-numbers tables). */
+    void setAlign(size_t column, Align align);
+
+    /** Append a body row; must have exactly columns() cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator before the next added row. */
+    void addSeparator();
+
+    /** Cell accessor (row-major, body rows only). */
+    const std::string& cell(size_t row, size_t column) const;
+
+    /** Render as aligned plain text (the bench binaries' stdout format). */
+    std::string toText() const;
+    /** Render as GitHub-flavored Markdown. */
+    std::string toMarkdown() const;
+    /** Render as RFC-4180-ish CSV (quotes cells containing commas). */
+    std::string toCsv() const;
+
+    /** Write toCsv() to a file; fatal() on IO failure. */
+    void writeCsv(const std::string& path) const;
+
+  private:
+    std::vector<size_t> columnWidths() const;
+
+    std::vector<std::string> header_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> separators_;  ///< row indices preceded by a rule
+};
+
+/** Format a double with the given number of decimals (e.g. "0.97"). */
+std::string fmtFixed(double value, int decimals);
+
+/** Format an integer with thousands separators (e.g. "4,190,208"). */
+std::string fmtGrouped(unsigned long long value);
+
+}  // namespace eclsim

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fixed-width integer aliases used throughout eclsim.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eclsim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Vertex identifier in a graph (matches the papers' use of 32-bit ints). */
+using VertexId = u32;
+/** Edge index into a CSR adjacency array. */
+using EdgeId = u64;
+
+}  // namespace eclsim

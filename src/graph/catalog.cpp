@@ -1,0 +1,251 @@
+#include "graph/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hpp"
+#include "graph/generators.hpp"
+
+namespace eclsim::graph {
+
+namespace {
+
+/** Clamp the scaled vertex count into a range the simulator handles
+ *  comfortably while keeping size ordering between inputs. */
+VertexId
+scaledVertices(u64 paper_vertices, u32 divisor)
+{
+    const u64 target = std::max<u64>(paper_vertices / divisor, 1);
+    return static_cast<VertexId>(std::clamp<u64>(target, 1024, 1u << 20));
+}
+
+/** Pick a grid side so side*side is close to the scaled vertex count. */
+u32
+gridSide(u64 paper_vertices, u32 divisor)
+{
+    const auto n = scaledVertices(paper_vertices, divisor);
+    return std::max<u32>(
+        4, static_cast<u32>(std::lround(std::sqrt(static_cast<double>(n)))));
+}
+
+/** log2 of the scaled vertex count, for the RMAT generators. */
+u32
+scaledScale(u64 paper_vertices, u32 divisor)
+{
+    const auto n = scaledVertices(paper_vertices, divisor);
+    u32 s = 0;
+    while ((VertexId{1} << (s + 1)) <= n)
+        ++s;
+    return std::max<u32>(s, 8);
+}
+
+u64
+edgesFor(u64 paper_vertices, u32 divisor, double davg)
+{
+    const auto n = scaledVertices(paper_vertices, divisor);
+    return std::max<u64>(static_cast<u64>(davg * n / 2.0), n);
+}
+
+std::vector<CatalogEntry>
+buildUndirected()
+{
+    std::vector<CatalogEntry> list;
+
+    auto add = [&list](std::string name, std::string type, u64 edges,
+                       u64 vertices, double davg, u64 dmax,
+                       std::function<CsrGraph(u32)> make) {
+        CatalogEntry e;
+        e.name = std::move(name);
+        e.type = std::move(type);
+        e.directed = false;
+        e.paper_edges = edges;
+        e.paper_vertices = vertices;
+        e.paper_davg = davg;
+        e.paper_dmax = dmax;
+        e.make = std::move(make);
+        list.push_back(std::move(e));
+    };
+
+    add("2d-2e20.sym", "grid", 4190208, 1048576, 4.0, 4, [](u32 d) {
+        const u32 side = gridSide(1048576, d);
+        return makeGrid2d(side, side);
+    });
+    add("amazon0601", "co-purchases", 4886816, 403394, 12.1, 2752,
+        [](u32 d) {
+            return makePrefAttach(scaledVertices(403394, d), 6, 0xa3a201);
+        });
+    add("as-skitter", "Internet topology", 22190596, 1696415, 13.1, 35455,
+        [](u32 d) {
+            return makePrefAttach(scaledVertices(1696415, d), 7, 0x5417);
+        });
+    add("citationCiteseer", "publication citations", 2313294, 268495, 8.6,
+        1318, [](u32 d) {
+            return makePrefAttach(scaledVertices(268495, d), 4, 0xc17e);
+        });
+    add("cit-Patents", "patent citations", 33037894, 3774768, 8.8, 793,
+        [](u32 d) {
+            return makePrefAttach(scaledVertices(3774768, d), 4, 0x9a7e);
+        });
+    add("coPapersDBLP", "publication citations", 30491458, 540486, 56.4,
+        3299, [](u32 d) {
+            return makeClustered(scaledVertices(540486, d), 28, 2.0,
+                                 0xdb19);
+        });
+    add("delaunay_n24", "triangulation", 100663202, 16777216, 6.0, 26,
+        [](u32 d) {
+            const u32 side = gridSide(16777216, d);
+            return makeTriangulatedGrid(side, side);
+        });
+    add("europe_osm", "roadmap", 108109320, 50912018, 2.1, 13, [](u32 d) {
+        const u32 side = gridSide(50912018, d);
+        return makeRoadNetwork(side, side, 0.45, 0xe05e);
+    });
+    add("in-2004", "weblinks", 27182946, 1382908, 19.7, 21869, [](u32 d) {
+        RmatParams p;
+        return makeRmat(scaledScale(1382908, d),
+                        edgesFor(1382908, d, 19.7), p, 0x12004);
+    });
+    add("internet", "Internet topology", 387240, 124651, 3.1, 151,
+        [](u32 d) {
+            return makePrefAttach(scaledVertices(124651, d), 2, 0x17e7);
+        });
+    add("kron_g500-logn21", "Kronecker", 182081864, 2097152, 86.8, 213904,
+        [](u32 d) {
+            RmatParams p;
+            return makeRmat(scaledScale(2097152, d),
+                            edgesFor(2097152, d, 86.8), p, 0x500);
+        });
+    add("r4-2e23.sym", "random", 67108846, 8388608, 8.0, 26, [](u32 d) {
+        return makeRandomUniform(scaledVertices(8388608, d),
+                                 edgesFor(8388608, d, 8.0), 0x42e23);
+    });
+    add("rmat16.sym", "RMAT", 967866, 65536, 14.8, 569, [](u32 d) {
+        RmatParams p;
+        return makeRmat(scaledScale(65536, d), edgesFor(65536, d, 14.8), p,
+                        0x16);
+    });
+    add("rmat22.sym", "RMAT", 65660814, 4194304, 15.7, 3687, [](u32 d) {
+        RmatParams p;
+        return makeRmat(scaledScale(4194304, d),
+                        edgesFor(4194304, d, 15.7), p, 0x22);
+    });
+    add("soc-LiveJournal1", "community", 85702474, 4847571, 17.7, 20333,
+        [](u32 d) {
+            return makePrefAttach(scaledVertices(4847571, d), 9, 0x50c);
+        });
+    add("USA-road-d.NY", "roadmap", 730100, 264346, 2.8, 8, [](u32 d) {
+        const u32 side = gridSide(264346, d);
+        return makeRoadNetwork(side, side, 0.62, 0x4ae);
+    });
+    add("USA-road-d.USA", "roadmap", 57708624, 23947347, 2.4, 9, [](u32 d) {
+        const u32 side = gridSide(23947347, d);
+        return makeRoadNetwork(side, side, 0.52, 0x45a);
+    });
+    return list;
+}
+
+std::vector<CatalogEntry>
+buildDirected()
+{
+    std::vector<CatalogEntry> list;
+
+    auto add = [&list](std::string name, std::string type, u64 edges,
+                       u64 vertices, double davg, u64 dmax,
+                       std::function<CsrGraph(u32)> make) {
+        CatalogEntry e;
+        e.name = std::move(name);
+        e.type = std::move(type);
+        e.directed = true;
+        e.paper_edges = edges;
+        e.paper_vertices = vertices;
+        e.paper_davg = davg;
+        e.paper_dmax = dmax;
+        e.make = std::move(make);
+        list.push_back(std::move(e));
+    };
+
+    add("cage14", "power-law", 27130349, 1505785, 18.02, 41, [](u32 d) {
+        return makeDirectedPowerLaw(scaledScale(1505785, d),
+                                    edgesFor(1505785, d, 18.02) * 2, 0.5,
+                                    0xca9e14);
+    });
+    add("circuit5M", "power-law", 59524291, 5558326, 10.71, 1290501,
+        [](u32 d) {
+            return makeDirectedPowerLaw(scaledScale(5558326, d),
+                                        edgesFor(5558326, d, 10.71) * 2,
+                                        0.35, 0xc1c5);
+        });
+    add("cold-flow", "mesh", 6295941, 2112512, 2.98, 5, [](u32 d) {
+        return makeDirectedMesh(scaledVertices(2112512, d), 0.75, false,
+                                0xc01d);
+    });
+    add("flickr", "power-law", 9837214, 820878, 11.98, 10272, [](u32 d) {
+        return makeDirectedPowerLaw(scaledScale(820878, d),
+                                    edgesFor(820878, d, 11.98) * 2, 0.3,
+                                    0xf11c);
+    });
+    add("klein-bottle", "mesh", 18793715, 8388608, 2.24, 4, [](u32 d) {
+        return makeDirectedMesh(scaledVertices(8388608, d), 0.22, true,
+                                0x7b01);
+    });
+    add("star", "mesh", 654080, 327680, 2.00, 2, [](u32 d) {
+        return makeDirectedStar(scaledVertices(327680, d), 0x57a4);
+    });
+    add("toroid-hex", "mesh", 4684142, 1572864, 2.98, 4, [](u32 d) {
+        return makeDirectedMesh(scaledVertices(1572864, d), 0.8, false,
+                                0x706e);
+    });
+    add("toroid-wedge", "mesh", 487798, 196608, 2.48, 4, [](u32 d) {
+        return makeDirectedMesh(scaledVertices(196608, d), 0.42, false,
+                                0x70e3);
+    });
+    add("web-Google", "power-law", 5105039, 916428, 5.57, 456, [](u32 d) {
+        return makeDirectedPowerLaw(scaledScale(916428, d),
+                                    edgesFor(916428, d, 5.57) * 2, 0.3,
+                                    0x90091e);
+    });
+    add("wikipedia", "power-law", 39383235, 3148440, 12.51, 6576,
+        [](u32 d) {
+            return makeDirectedPowerLaw(scaledScale(3148440, d),
+                                        edgesFor(3148440, d, 12.51) * 2,
+                                        0.4, 0x31c19e);
+        });
+    return list;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>&
+undirectedCatalog()
+{
+    static const std::vector<CatalogEntry> catalog = buildUndirected();
+    return catalog;
+}
+
+const std::vector<CatalogEntry>&
+directedCatalog()
+{
+    static const std::vector<CatalogEntry> catalog = buildDirected();
+    return catalog;
+}
+
+const CatalogEntry&
+findCatalogEntry(const std::string& name)
+{
+    for (const auto& entry : undirectedCatalog())
+        if (entry.name == name)
+            return entry;
+    for (const auto& entry : directedCatalog())
+        if (entry.name == name)
+            return entry;
+    fatal("unknown catalog input '{}'", name);
+}
+
+CsrGraph
+makeInput(const std::string& name, u32 divisor)
+{
+    ECLSIM_ASSERT(divisor >= 1, "scale divisor must be >= 1");
+    return findCatalogEntry(name).make(divisor);
+}
+
+}  // namespace eclsim::graph

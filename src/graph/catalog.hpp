@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Catalog of the paper's input graphs (Tables II and III) with synthetic
+ * stand-in recipes.
+ *
+ * The paper's experiments run on 17 undirected graphs (CC, GC, MIS, MST)
+ * and 10 directed graphs (SCC) downloaded from the ECL graph repository.
+ * Those inputs are not redistributable inside this repository, so every
+ * catalog entry carries (a) the original statistics, for reproducing the
+ * Table II/III listings, and (b) a generator recipe that builds a scaled
+ * synthetic graph of the same structural family and similar average
+ * degree. The scale divisor shrinks the vertex count (default 256x) so
+ * the full sweep finishes on a single host core; pass divisor 1 for
+ * full-size graphs if you have the time and memory.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace eclsim::graph {
+
+/** Default shrink factor applied to the paper's vertex counts. */
+constexpr u32 kDefaultScaleDivisor = 256;
+
+/** One input graph of Table II or III. */
+struct CatalogEntry
+{
+    std::string name;       ///< the paper's input name
+    std::string type;       ///< the paper's "Type" column
+    bool directed = false;
+    u64 paper_edges = 0;    ///< arc count from the paper's table
+    u64 paper_vertices = 0;
+    double paper_davg = 0.0;
+    u64 paper_dmax = 0;
+    /** Build the scaled synthetic stand-in. */
+    std::function<CsrGraph(u32 divisor)> make;
+};
+
+/** The 17 undirected inputs of Table II (CC, GC, MIS, MST). */
+const std::vector<CatalogEntry>& undirectedCatalog();
+
+/** The 10 directed inputs of Table III (SCC). */
+const std::vector<CatalogEntry>& directedCatalog();
+
+/** Find an entry by name in either catalog; fatal() if unknown. */
+const CatalogEntry& findCatalogEntry(const std::string& name);
+
+/** Build the stand-in for a named input. */
+CsrGraph makeInput(const std::string& name,
+                   u32 divisor = kDefaultScaleDivisor);
+
+}  // namespace eclsim::graph

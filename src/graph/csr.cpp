@@ -1,0 +1,130 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+
+namespace eclsim::graph {
+
+CsrGraph::CsrGraph(std::vector<EdgeId> row_offsets,
+                   std::vector<VertexId> col_indices,
+                   std::vector<i32> weights, bool directed)
+    : row_offsets_(std::move(row_offsets)),
+      col_indices_(std::move(col_indices)), weights_(std::move(weights)),
+      directed_(directed)
+{
+    ECLSIM_ASSERT(!row_offsets_.empty(), "row offsets must have n+1 entries");
+    ECLSIM_ASSERT(row_offsets_.front() == 0, "first row offset must be 0");
+    ECLSIM_ASSERT(row_offsets_.back() == col_indices_.size(),
+                  "last row offset {} != arc count {}", row_offsets_.back(),
+                  col_indices_.size());
+    ECLSIM_ASSERT(weights_.empty() || weights_.size() == col_indices_.size(),
+                  "weight count {} != arc count {}", weights_.size(),
+                  col_indices_.size());
+    for (size_t i = 1; i < row_offsets_.size(); ++i)
+        ECLSIM_ASSERT(row_offsets_[i - 1] <= row_offsets_[i],
+                      "row offsets must be monotone at {}", i);
+    const auto n = numVertices();
+    for (VertexId t : col_indices_)
+        ECLSIM_ASSERT(t < n, "arc target {} out of range {}", t, n);
+}
+
+CsrGraph
+CsrGraph::reversed() const
+{
+    const VertexId n = numVertices();
+    std::vector<EdgeId> offsets(n + 1, 0);
+    for (VertexId t : col_indices_)
+        ++offsets[t + 1];
+    for (VertexId v = 0; v < n; ++v)
+        offsets[v + 1] += offsets[v];
+
+    std::vector<VertexId> targets(numArcs());
+    std::vector<i32> rweights(weighted() ? numArcs() : 0);
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+        for (EdgeId e = rowBegin(v); e < rowEnd(v); ++e) {
+            const VertexId t = arcTarget(e);
+            const EdgeId slot = cursor[t]++;
+            targets[slot] = v;
+            if (weighted())
+                rweights[slot] = weights_[e];
+        }
+    }
+    return CsrGraph(std::move(offsets), std::move(targets),
+                    std::move(rweights), directed_);
+}
+
+CsrGraph
+buildCsr(VertexId num_vertices, std::vector<Edge> edges,
+         const BuildOptions& options)
+{
+    std::vector<Edge> arcs;
+    arcs.reserve(options.directed ? edges.size() : 2 * edges.size());
+    for (const Edge& e : edges) {
+        ECLSIM_ASSERT(e.src < num_vertices && e.dst < num_vertices,
+                      "edge ({}, {}) out of range {}", e.src, e.dst,
+                      num_vertices);
+        if (options.remove_self_loops && e.src == e.dst)
+            continue;
+        arcs.push_back(e);
+        if (!options.directed)
+            arcs.push_back({e.dst, e.src, e.weight});
+    }
+
+    std::sort(arcs.begin(), arcs.end(), [](const Edge& a, const Edge& b) {
+        if (a.src != b.src)
+            return a.src < b.src;
+        if (a.dst != b.dst)
+            return a.dst < b.dst;
+        return a.weight < b.weight;
+    });
+    if (options.dedup) {
+        arcs.erase(std::unique(arcs.begin(), arcs.end(),
+                               [](const Edge& a, const Edge& b) {
+                                   return a.src == b.src && a.dst == b.dst;
+                               }),
+                   arcs.end());
+    }
+
+    std::vector<EdgeId> offsets(static_cast<size_t>(num_vertices) + 1, 0);
+    for (const Edge& a : arcs)
+        ++offsets[a.src + 1];
+    for (VertexId v = 0; v < num_vertices; ++v)
+        offsets[v + 1] += offsets[v];
+
+    std::vector<VertexId> targets;
+    targets.reserve(arcs.size());
+    std::vector<i32> weights;
+    if (options.keep_weights)
+        weights.reserve(arcs.size());
+    for (const Edge& a : arcs) {
+        targets.push_back(a.dst);
+        if (options.keep_weights)
+            weights.push_back(a.weight);
+    }
+    return CsrGraph(std::move(offsets), std::move(targets),
+                    std::move(weights), options.directed);
+}
+
+CsrGraph
+withSyntheticWeights(const CsrGraph& graph, i32 max_weight, u64 seed)
+{
+    ECLSIM_ASSERT(max_weight >= 1, "max_weight must be positive");
+    std::vector<i32> weights(graph.numArcs());
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+            const VertexId t = graph.arcTarget(e);
+            const u64 lo = std::min<u64>(v, t);
+            const u64 hi = std::max<u64>(v, t);
+            const u64 h = hash64(seed ^ hash64((lo << 32) | hi));
+            weights[e] = static_cast<i32>(h % static_cast<u64>(max_weight)) +
+                         1;
+        }
+    }
+    return CsrGraph(graph.rowOffsets(), graph.colIndices(),
+                    std::move(weights), graph.directed());
+}
+
+}  // namespace eclsim::graph

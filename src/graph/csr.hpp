@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Compressed-sparse-row graph representation.
+ *
+ * All six studied ECL codes operate on graphs stored in CSR format
+ * (paper Section IV-A). CsrGraph stores the row-offset and column-index
+ * arrays plus optional integer edge weights (used by MST and APSP).
+ * Undirected graphs store each edge in both directions, exactly like the
+ * ECL graph inputs.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eclsim::graph {
+
+/** A weighted edge used while building graphs. */
+struct Edge
+{
+    VertexId src = 0;
+    VertexId dst = 0;
+    i32 weight = 1;
+
+    friend bool
+    operator==(const Edge& a, const Edge& b)
+    {
+        return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+    }
+};
+
+/** Immutable CSR graph. */
+class CsrGraph
+{
+  public:
+    CsrGraph() = default;
+
+    /**
+     * Construct from prebuilt arrays.
+     *
+     * @param row_offsets n+1 monotonically non-decreasing offsets
+     * @param col_indices adjacency targets, size row_offsets.back()
+     * @param weights edge weights, either empty or same size as col_indices
+     * @param directed whether the arcs are one-directional
+     */
+    CsrGraph(std::vector<EdgeId> row_offsets,
+             std::vector<VertexId> col_indices, std::vector<i32> weights,
+             bool directed);
+
+    VertexId
+    numVertices() const
+    {
+        return row_offsets_.empty()
+                   ? 0
+                   : static_cast<VertexId>(row_offsets_.size() - 1);
+    }
+    /** Number of stored arcs (an undirected edge counts twice). */
+    EdgeId numArcs() const { return col_indices_.size(); }
+    bool directed() const { return directed_; }
+    bool weighted() const { return !weights_.empty(); }
+
+    /** Begin offset of v's adjacency list. */
+    EdgeId rowBegin(VertexId v) const { return row_offsets_[v]; }
+    /** End offset of v's adjacency list. */
+    EdgeId rowEnd(VertexId v) const { return row_offsets_[v + 1]; }
+    /** Out-degree of v. */
+    u64 degree(VertexId v) const { return rowEnd(v) - rowBegin(v); }
+    /** Target of arc e. */
+    VertexId arcTarget(EdgeId e) const { return col_indices_[e]; }
+    /** Weight of arc e (graph must be weighted). */
+    i32 arcWeight(EdgeId e) const { return weights_[e]; }
+
+    const std::vector<EdgeId>& rowOffsets() const { return row_offsets_; }
+    const std::vector<VertexId>& colIndices() const { return col_indices_; }
+    const std::vector<i32>& weights() const { return weights_; }
+
+    /** Graph with every arc direction flipped (used by SCC's backward
+     *  propagation). Weights are carried along. */
+    CsrGraph reversed() const;
+
+    /** Structural equality (same arrays, same directedness). */
+    friend bool operator==(const CsrGraph& a, const CsrGraph& b) = default;
+
+  private:
+    std::vector<EdgeId> row_offsets_;
+    std::vector<VertexId> col_indices_;
+    std::vector<i32> weights_;
+    bool directed_ = false;
+};
+
+/** Options controlling edge-list to CSR conversion. */
+struct BuildOptions
+{
+    bool directed = false;        ///< keep arcs one-directional
+    bool remove_self_loops = true;
+    bool dedup = true;            ///< drop duplicate arcs
+    bool keep_weights = false;    ///< carry Edge::weight into the CSR
+};
+
+/**
+ * Build a CSR graph from an edge list.
+ *
+ * For undirected graphs every edge is mirrored; duplicate arcs keep the
+ * smallest weight so that mirrored weighted edges stay consistent.
+ * num_vertices must be larger than every endpoint.
+ */
+CsrGraph buildCsr(VertexId num_vertices, std::vector<Edge> edges,
+                  const BuildOptions& options);
+
+/**
+ * Attach deterministic pseudo-random weights in [1, max_weight] to an
+ * unweighted graph. Both directions of an undirected edge receive the same
+ * weight (derived from the unordered endpoint pair), matching how the ECL
+ * inputs attach weights for MST.
+ */
+CsrGraph withSyntheticWeights(const CsrGraph& graph, i32 max_weight,
+                              u64 seed);
+
+}  // namespace eclsim::graph

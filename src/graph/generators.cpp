@@ -1,0 +1,262 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+
+namespace eclsim::graph {
+
+namespace {
+
+VertexId
+gridId(u32 x, u32 y, u32 width)
+{
+    return static_cast<VertexId>(y) * width + x;
+}
+
+}  // namespace
+
+CsrGraph
+makeGrid2d(u32 width, u32 height)
+{
+    ECLSIM_ASSERT(width >= 2 && height >= 2, "grid too small");
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<size_t>(width) * height * 2);
+    for (u32 y = 0; y < height; ++y) {
+        for (u32 x = 0; x < width; ++x) {
+            if (x + 1 < width)
+                edges.push_back({gridId(x, y, width),
+                                 gridId(x + 1, y, width)});
+            if (y + 1 < height)
+                edges.push_back({gridId(x, y, width),
+                                 gridId(x, y + 1, width)});
+        }
+    }
+    return buildCsr(width * height, std::move(edges), {});
+}
+
+CsrGraph
+makeTriangulatedGrid(u32 width, u32 height)
+{
+    ECLSIM_ASSERT(width >= 2 && height >= 2, "grid too small");
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<size_t>(width) * height * 3);
+    for (u32 y = 0; y < height; ++y) {
+        for (u32 x = 0; x < width; ++x) {
+            if (x + 1 < width)
+                edges.push_back({gridId(x, y, width),
+                                 gridId(x + 1, y, width)});
+            if (y + 1 < height)
+                edges.push_back({gridId(x, y, width),
+                                 gridId(x, y + 1, width)});
+            if (x + 1 < width && y + 1 < height)
+                edges.push_back({gridId(x, y, width),
+                                 gridId(x + 1, y + 1, width)});
+        }
+    }
+    return buildCsr(width * height, std::move(edges), {});
+}
+
+CsrGraph
+makeRoadNetwork(u32 width, u32 height, double keep_prob, u64 seed)
+{
+    ECLSIM_ASSERT(width >= 2 && height >= 2, "grid too small");
+    SplitMix64 rng(seed);
+    std::vector<Edge> edges;
+    const VertexId n = width * height;
+    // Sparse lattice: keep each grid edge with keep_prob.
+    for (u32 y = 0; y < height; ++y) {
+        for (u32 x = 0; x < width; ++x) {
+            if (x + 1 < width && rng.nextBool(keep_prob))
+                edges.push_back({gridId(x, y, width),
+                                 gridId(x + 1, y, width)});
+            if (y + 1 < height && rng.nextBool(keep_prob))
+                edges.push_back({gridId(x, y, width),
+                                 gridId(x, y + 1, width)});
+        }
+    }
+    // Spanning chain through a shuffled-but-local order keeps most of the
+    // map in one component, like a real road network's trunk roads.
+    for (VertexId v = 1; v < n; ++v) {
+        if (rng.nextBool(0.1))
+            edges.push_back({v - 1, v});
+    }
+    return buildCsr(n, std::move(edges), {});
+}
+
+CsrGraph
+makeRandomUniform(VertexId num_vertices, u64 edge_count, u64 seed)
+{
+    ECLSIM_ASSERT(num_vertices >= 2, "graph too small");
+    SplitMix64 rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(edge_count);
+    for (u64 i = 0; i < edge_count; ++i) {
+        const auto s = static_cast<VertexId>(rng.nextBelow(num_vertices));
+        const auto t = static_cast<VertexId>(rng.nextBelow(num_vertices));
+        edges.push_back({s, t});
+    }
+    return buildCsr(num_vertices, std::move(edges), {});
+}
+
+CsrGraph
+makeRmat(u32 scale, u64 edge_count, const RmatParams& params, u64 seed)
+{
+    ECLSIM_ASSERT(scale >= 2 && scale < 31, "rmat scale {} out of range",
+                  scale);
+    const double d = 1.0 - params.a - params.b - params.c;
+    ECLSIM_ASSERT(d > 0.0, "rmat probabilities must sum below 1");
+    const VertexId n = VertexId{1} << scale;
+    SplitMix64 rng(seed);
+
+    std::vector<VertexId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    if (params.permute) {
+        for (VertexId i = n - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.nextBelow(i + 1)]);
+    }
+
+    std::vector<Edge> edges;
+    edges.reserve(edge_count);
+    for (u64 i = 0; i < edge_count; ++i) {
+        VertexId src = 0, dst = 0;
+        for (u32 bit = 0; bit < scale; ++bit) {
+            const double r = rng.nextDouble();
+            u32 quadrant;
+            if (r < params.a)
+                quadrant = 0;
+            else if (r < params.a + params.b)
+                quadrant = 1;
+            else if (r < params.a + params.b + params.c)
+                quadrant = 2;
+            else
+                quadrant = 3;
+            src = (src << 1) | (quadrant >> 1);
+            dst = (dst << 1) | (quadrant & 1);
+        }
+        edges.push_back({perm[src], perm[dst]});
+    }
+    BuildOptions options;
+    options.directed = params.directed;
+    return buildCsr(n, std::move(edges), options);
+}
+
+CsrGraph
+makePrefAttach(VertexId num_vertices, u32 edges_per_vertex, u64 seed)
+{
+    ECLSIM_ASSERT(num_vertices > edges_per_vertex,
+                  "need more vertices than attachments");
+    ECLSIM_ASSERT(edges_per_vertex >= 1, "need at least one attachment");
+    SplitMix64 rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<size_t>(num_vertices) * edges_per_vertex);
+    // endpoint pool: sampling uniformly from all prior edge endpoints is
+    // equivalent to degree-proportional attachment.
+    std::vector<VertexId> pool;
+    pool.reserve(2 * static_cast<size_t>(num_vertices) * edges_per_vertex);
+    pool.push_back(0);
+    for (VertexId v = 1; v < num_vertices; ++v) {
+        for (u32 k = 0; k < edges_per_vertex; ++k) {
+            const VertexId t = pool[rng.nextBelow(pool.size())];
+            edges.push_back({v, t});
+            pool.push_back(t);
+        }
+        pool.push_back(v);
+    }
+    return buildCsr(num_vertices, std::move(edges), {});
+}
+
+CsrGraph
+makeClustered(VertexId num_vertices, u32 clique_size,
+              double inter_edge_ratio, u64 seed)
+{
+    ECLSIM_ASSERT(clique_size >= 2, "clique size too small");
+    SplitMix64 rng(seed);
+    std::vector<Edge> edges;
+    for (VertexId base = 0; base < num_vertices; base += clique_size) {
+        const VertexId end =
+            std::min<VertexId>(base + clique_size, num_vertices);
+        for (VertexId a = base; a < end; ++a)
+            for (VertexId b = a + 1; b < end; ++b)
+                edges.push_back({a, b});
+    }
+    const auto inter = static_cast<u64>(inter_edge_ratio * num_vertices);
+    for (u64 i = 0; i < inter; ++i) {
+        const auto s = static_cast<VertexId>(rng.nextBelow(num_vertices));
+        const auto t = static_cast<VertexId>(rng.nextBelow(num_vertices));
+        edges.push_back({s, t});
+    }
+    return buildCsr(num_vertices, std::move(edges), {});
+}
+
+CsrGraph
+makeDirectedMesh(VertexId num_vertices, double extra_prob, bool twist,
+                 u64 seed)
+{
+    ECLSIM_ASSERT(num_vertices >= 8, "mesh too small");
+    SplitMix64 rng(seed);
+    std::vector<Edge> edges;
+    const VertexId stride =
+        std::max<VertexId>(2, static_cast<VertexId>(num_vertices / 97));
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        edges.push_back({v, (v + 1) % num_vertices});
+        if (rng.nextBool(extra_prob)) {
+            VertexId chord = (v + stride) % num_vertices;
+            if (twist && (v & 1))
+                chord = (v + num_vertices - stride) % num_vertices;
+            edges.push_back({v, chord});
+            if (rng.nextBool(extra_prob))
+                edges.push_back({v, (v + 2 * stride) % num_vertices});
+        }
+    }
+    BuildOptions options;
+    options.directed = true;
+    return buildCsr(num_vertices, std::move(edges), options);
+}
+
+CsrGraph
+makeDirectedStar(VertexId num_vertices, u64 seed)
+{
+    ECLSIM_ASSERT(num_vertices >= 4, "star too small");
+    std::vector<Edge> edges;
+    edges.reserve(2 * static_cast<size_t>(num_vertices));
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        edges.push_back({v, (v + 1) % num_vertices});
+        const VertexId chord = static_cast<VertexId>(
+            (v + 1 + hash64(seed ^ v) % (num_vertices - 2)) % num_vertices);
+        edges.push_back({v, chord == v ? (v + 2) % num_vertices : chord});
+    }
+    BuildOptions options;
+    options.directed = true;
+    options.dedup = false;  // keep out-degree exactly 2 like Table III
+    options.remove_self_loops = false;
+    return buildCsr(num_vertices, std::move(edges), options);
+}
+
+CsrGraph
+makeDirectedPowerLaw(u32 scale, u64 arc_count, double back_prob, u64 seed)
+{
+    RmatParams params;
+    params.directed = true;
+    SplitMix64 rng(seed ^ 0xd1ec7edULL);
+    CsrGraph forward = makeRmat(scale, arc_count, params, seed);
+    // Mirror a fraction of the arcs so a giant SCC forms.
+    std::vector<Edge> edges;
+    edges.reserve(forward.numArcs() + static_cast<u64>(
+                      back_prob * static_cast<double>(forward.numArcs())));
+    for (VertexId v = 0; v < forward.numVertices(); ++v) {
+        for (EdgeId e = forward.rowBegin(v); e < forward.rowEnd(v); ++e) {
+            const VertexId t = forward.arcTarget(e);
+            edges.push_back({v, t});
+            if (rng.nextBool(back_prob))
+                edges.push_back({t, v});
+        }
+    }
+    BuildOptions options;
+    options.directed = true;
+    return buildCsr(forward.numVertices(), std::move(edges), options);
+}
+
+}  // namespace eclsim::graph

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * The paper evaluates on 17 undirected (Table II) and 10 directed
+ * (Table III) real-world and synthetic graphs. The real inputs are not
+ * redistributable here, so the generators below produce scaled stand-ins
+ * of each structural family the tables cover: regular grids, triangulated
+ * (Delaunay-like) meshes, road networks, toroidal/Klein-bottle object
+ * meshes, stars, uniform random graphs, RMAT/Kronecker power-law graphs,
+ * preferential-attachment (community / co-purchase / citation) graphs, and
+ * clustered co-authorship graphs. Every generator is deterministic in its
+ * seed.
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace eclsim::graph {
+
+/** w x h four-connected grid (the "2d-2e20.sym" family). */
+CsrGraph makeGrid2d(u32 width, u32 height);
+
+/**
+ * w x h grid with one diagonal per cell — a planar triangulation with
+ * average degree ~6, standing in for the "delaunay_n24" inputs.
+ */
+CsrGraph makeTriangulatedGrid(u32 width, u32 height);
+
+/**
+ * Road-network stand-in ("europe_osm", "USA-road-d.*"): a sparse grid in
+ * which each potential lattice edge is kept with probability keep_prob,
+ * plus a random spanning chain so the map stays mostly connected.
+ * Average degree lands near 2-3 like real road graphs.
+ */
+CsrGraph makeRoadNetwork(u32 width, u32 height, double keep_prob, u64 seed);
+
+/**
+ * Uniform random multigraph with num_vertices vertices and edge_count
+ * undirected edges ("r4-2e23.sym" family).
+ */
+CsrGraph makeRandomUniform(VertexId num_vertices, u64 edge_count, u64 seed);
+
+/** Parameters of the recursive-matrix generator. */
+struct RmatParams
+{
+    double a = 0.57;  ///< Graph500 Kronecker defaults
+    double b = 0.19;
+    double c = 0.19;
+    bool directed = false;
+    /** Skip the degree-0 top of the ID space by shuffling vertex IDs. */
+    bool permute = true;
+};
+
+/**
+ * RMAT / Kronecker power-law generator (the "rmat*", "kron_g500-logn21",
+ * and — with directed=true — "flickr"/"wikipedia"/"web-Google" families).
+ * Generates edge_count edges over 2^scale vertices.
+ */
+CsrGraph makeRmat(u32 scale, u64 edge_count, const RmatParams& params,
+                  u64 seed);
+
+/**
+ * Preferential-attachment graph: each new vertex attaches to edges_per_vertex
+ * existing vertices chosen proportionally to degree. Models the co-purchase
+ * ("amazon0601"), community ("soc-LiveJournal1"), citation
+ * ("citationCiteseer", "cit-Patents"), and internet-topology
+ * ("as-skitter", "internet") families.
+ */
+CsrGraph makePrefAttach(VertexId num_vertices, u32 edges_per_vertex,
+                        u64 seed);
+
+/**
+ * Clustered collaboration graph ("coPapersDBLP"): vertices grouped into
+ * cliques of size clique_size (papers' author lists), plus sparse random
+ * inter-clique edges. Produces high average degree with strong locality.
+ */
+CsrGraph makeClustered(VertexId num_vertices, u32 clique_size,
+                       double inter_edge_ratio, u64 seed);
+
+/**
+ * Directed object-mesh stand-in for the SCC inputs ("cold-flow",
+ * "klein-bottle", "toroid-hex", "toroid-wedge"): a directed cycle through
+ * all vertices (so one giant SCC exists) with extra short chords added per
+ * vertex with probability extra_prob (possibly twice), yielding the 2.0-3.0
+ * average out-degrees of Table III. A twist flag flips chord direction for
+ * half the vertices (Klein-bottle-style non-orientability stand-in).
+ */
+CsrGraph makeDirectedMesh(VertexId num_vertices, double extra_prob,
+                          bool twist, u64 seed);
+
+/**
+ * Directed "star" stand-in from Table III (avg and max out-degree exactly
+ * 2): every vertex points at its successor and at a hashed longer chord,
+ * giving one strongly connected component.
+ */
+CsrGraph makeDirectedStar(VertexId num_vertices, u64 seed);
+
+/**
+ * Directed power-law graph via RMAT ("cage14", "circuit5M", "flickr",
+ * "web-Google", "wikipedia"). back_prob of the arcs are mirrored so a
+ * sizeable (but not total) giant SCC forms.
+ */
+CsrGraph makeDirectedPowerLaw(u32 scale, u64 arc_count, double back_prob,
+                              u64 seed);
+
+}  // namespace eclsim::graph

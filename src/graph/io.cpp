@@ -1,0 +1,101 @@
+#include "graph/io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/logging.hpp"
+
+namespace eclsim::graph {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'C', 'L', 'S', 'I', 'M', 'G', '1'};
+constexpr u32 kFlagDirected = 1u << 0;
+constexpr u32 kFlagWeighted = 1u << 1;
+
+template <typename T>
+void
+writeRaw(std::ofstream& out, const T& value)
+{
+    out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void
+writeVec(std::ofstream& out, const std::vector<T>& values)
+{
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+T
+readRaw(std::ifstream& in, const std::string& path)
+{
+    T value{};
+    in.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!in)
+        fatal("truncated graph file '{}'", path);
+    return value;
+}
+
+template <typename T>
+std::vector<T>
+readVec(std::ifstream& in, size_t count, const std::string& path)
+{
+    std::vector<T> values(count);
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+    if (!in)
+        fatal("truncated graph file '{}'", path);
+    return values;
+}
+
+}  // namespace
+
+void
+writeGraph(const CsrGraph& graph, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open '{}' for writing", path);
+    out.write(kMagic, sizeof(kMagic));
+    u32 flags = 0;
+    if (graph.directed())
+        flags |= kFlagDirected;
+    if (graph.weighted())
+        flags |= kFlagWeighted;
+    writeRaw(out, flags);
+    writeRaw(out, graph.numVertices());
+    writeRaw(out, graph.numArcs());
+    writeVec(out, graph.rowOffsets());
+    writeVec(out, graph.colIndices());
+    if (graph.weighted())
+        writeVec(out, graph.weights());
+    if (!out)
+        fatal("failed writing '{}'", path);
+}
+
+CsrGraph
+readGraph(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '{}' for reading", path);
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("'{}' is not an eclsim graph file", path);
+    const auto flags = readRaw<u32>(in, path);
+    const auto n = readRaw<VertexId>(in, path);
+    const auto m = readRaw<EdgeId>(in, path);
+    auto offsets = readVec<EdgeId>(in, static_cast<size_t>(n) + 1, path);
+    auto targets = readVec<VertexId>(in, m, path);
+    std::vector<i32> weights;
+    if (flags & kFlagWeighted)
+        weights = readVec<i32>(in, m, path);
+    return CsrGraph(std::move(offsets), std::move(targets),
+                    std::move(weights), (flags & kFlagDirected) != 0);
+}
+
+}  // namespace eclsim::graph

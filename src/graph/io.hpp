@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Binary graph file IO.
+ *
+ * The ECL codes load graphs from a simple binary CSR container; eclsim
+ * uses an equivalent little-endian format so generated inputs can be
+ * cached on disk and exchanged between the bench binaries:
+ *
+ *   8 bytes  magic "ECLSIMG1"
+ *   4 bytes  flags (bit 0: directed, bit 1: weighted)
+ *   4 bytes  vertex count n
+ *   8 bytes  arc count m
+ *   (n+1) x 8 bytes row offsets
+ *   m x 4 bytes     column indices
+ *   [m x 4 bytes    weights, iff weighted]
+ */
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace eclsim::graph {
+
+/** Serialize a graph to path; fatal() on IO failure. */
+void writeGraph(const CsrGraph& graph, const std::string& path);
+
+/** Load a graph from path; fatal() on IO failure or format error. */
+CsrGraph readGraph(const std::string& path);
+
+}  // namespace eclsim::graph

@@ -1,0 +1,28 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+
+namespace eclsim::graph {
+
+GraphProperties
+computeProperties(const CsrGraph& graph)
+{
+    GraphProperties props;
+    props.num_vertices = graph.numVertices();
+    props.num_arcs = graph.numArcs();
+    if (props.num_vertices == 0)
+        return props;
+    props.avg_degree = static_cast<double>(props.num_arcs) /
+                       static_cast<double>(props.num_vertices);
+    props.min_degree = ~u64{0};
+    for (VertexId v = 0; v < props.num_vertices; ++v) {
+        const u64 d = graph.degree(v);
+        props.max_degree = std::max(props.max_degree, d);
+        props.min_degree = std::min(props.min_degree, d);
+        if (d == 0)
+            ++props.isolated_vertices;
+    }
+    return props;
+}
+
+}  // namespace eclsim::graph

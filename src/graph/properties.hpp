@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Degree statistics of a graph — the columns of the paper's Tables II/III
+ * (edges, vertices, average degree, maximum degree) and the inputs to the
+ * Table IX correlation study.
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace eclsim::graph {
+
+/** Summary statistics of one graph. */
+struct GraphProperties
+{
+    VertexId num_vertices = 0;
+    EdgeId num_arcs = 0;       ///< stored arcs (undirected edges count twice)
+    double avg_degree = 0.0;   ///< arcs / vertices
+    u64 max_degree = 0;
+    u64 min_degree = 0;
+    VertexId isolated_vertices = 0;
+};
+
+/** Compute the summary statistics of a graph. */
+GraphProperties computeProperties(const CsrGraph& graph);
+
+}  // namespace eclsim::graph

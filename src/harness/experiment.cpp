@@ -1,0 +1,465 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+
+#include "algos/cc.hpp"
+#include "algos/gc.hpp"
+#include "algos/mis.hpp"
+#include "algos/mst.hpp"
+#include "algos/scc.hpp"
+#include "core/logging.hpp"
+#include "core/stats.hpp"
+#include "graph/properties.hpp"
+#include "refalgos/refalgos.hpp"
+
+namespace eclsim::harness {
+
+const char*
+algoName(Algo algo)
+{
+    switch (algo) {
+      case Algo::kCc:
+        return "CC";
+      case Algo::kGc:
+        return "GC";
+      case Algo::kMis:
+        return "MIS";
+      case Algo::kMst:
+        return "MST";
+      case Algo::kScc:
+        return "SCC";
+    }
+    return "?";
+}
+
+const std::vector<Algo>&
+undirectedAlgos()
+{
+    static const std::vector<Algo> algos = {Algo::kCc, Algo::kGc,
+                                            Algo::kMis, Algo::kMst};
+    return algos;
+}
+
+namespace {
+
+simt::EngineOptions
+engineOptions(const ExperimentConfig& config, u64 seed)
+{
+    simt::EngineOptions options;
+    options.mode = simt::ExecMode::kFast;
+    options.detect_races = false;
+    options.shuffle_blocks = true;
+    options.seed = seed;
+    options.memory.cache_divisor = config.cache_divisor;
+    return options;
+}
+
+void
+verifyResult(const CsrGraph& graph, Algo algo, const void* result)
+{
+    using namespace refalgos;
+    switch (algo) {
+      case Algo::kCc: {
+        const auto& r = *static_cast<const algos::CcResult*>(result);
+        ECLSIM_ASSERT(samePartition(r.labels, connectedComponents(graph)),
+                      "CC labels disagree with the BFS oracle");
+        break;
+      }
+      case Algo::kGc: {
+        const auto& r = *static_cast<const algos::GcResult*>(result);
+        ECLSIM_ASSERT(isValidColoring(graph, r.colors),
+                      "GC produced an invalid coloring");
+        break;
+      }
+      case Algo::kMis: {
+        const auto& r = *static_cast<const algos::MisResult*>(result);
+        ECLSIM_ASSERT(isMaximalIndependentSet(graph, r.in_set),
+                      "MIS produced a non-maximal or dependent set");
+        break;
+      }
+      case Algo::kMst: {
+        const auto& r = *static_cast<const algos::MstResult*>(result);
+        ECLSIM_ASSERT(r.total_weight ==
+                          minimumSpanningForestWeight(graph),
+                      "MST weight disagrees with Kruskal");
+        break;
+      }
+      case Algo::kScc: {
+        const auto& r = *static_cast<const algos::SccResult*>(result);
+        ECLSIM_ASSERT(samePartition(r.labels,
+                                    stronglyConnectedComponents(graph)),
+                      "SCC labels disagree with Tarjan");
+        break;
+      }
+    }
+}
+
+}  // namespace
+
+double
+runOnce(const GpuSpec& gpu, const CsrGraph& graph, Algo algo,
+        Variant variant, const ExperimentConfig& config, u64 seed,
+        algos::RunStats* stats_out)
+{
+    simt::DeviceMemory memory;
+    simt::Engine engine(gpu, memory, engineOptions(config, seed));
+
+    algos::RunStats stats;
+    switch (algo) {
+      case Algo::kCc: {
+        auto r = algos::runCc(engine, graph, variant);
+        if (config.verify)
+            verifyResult(graph, algo, &r);
+        stats = r.stats;
+        break;
+      }
+      case Algo::kGc: {
+        auto r = algos::runGc(engine, graph, variant);
+        if (config.verify)
+            verifyResult(graph, algo, &r);
+        stats = r.stats;
+        break;
+      }
+      case Algo::kMis: {
+        auto r = algos::runMis(engine, graph, variant);
+        if (config.verify)
+            verifyResult(graph, algo, &r);
+        stats = r.stats;
+        break;
+      }
+      case Algo::kMst: {
+        auto r = algos::runMst(engine, graph, variant);
+        if (config.verify)
+            verifyResult(graph, algo, &r);
+        stats = r.stats;
+        break;
+      }
+      case Algo::kScc: {
+        auto r = algos::runScc(engine, graph, variant);
+        if (config.verify)
+            verifyResult(graph, algo, &r);
+        stats = r.stats;
+        break;
+      }
+    }
+    if (stats_out)
+        *stats_out = stats;
+    return stats.ms;
+}
+
+Measurement
+measure(const GpuSpec& gpu, const CsrGraph& graph,
+        const std::string& input_name, Algo algo,
+        const ExperimentConfig& config)
+{
+    Measurement m;
+    m.input = input_name;
+    m.algo = algo;
+    m.gpu = gpu.name;
+
+    const auto props = graph::computeProperties(graph);
+    m.edges = static_cast<double>(props.num_arcs);
+    m.vertices = static_cast<double>(props.num_vertices);
+    m.avg_degree = props.avg_degree;
+
+    std::vector<double> base_ms, free_ms;
+    for (u32 rep = 0; rep < config.reps; ++rep) {
+        algos::RunStats stats;
+        base_ms.push_back(runOnce(gpu, graph, algo, Variant::kBaseline,
+                                  config, config.seed + rep, &stats));
+        m.baseline_iterations = stats.iterations;
+        free_ms.push_back(runOnce(gpu, graph, algo, Variant::kRaceFree,
+                                  config, config.seed + rep, &stats));
+        m.racefree_iterations = stats.iterations;
+    }
+    m.baseline_ms = stats::median(base_ms);
+    m.racefree_ms = stats::median(free_ms);
+    return m;
+}
+
+std::vector<Measurement>
+runUndirectedSuite(const GpuSpec& gpu, const ExperimentConfig& config,
+                   const ProgressFn& progress)
+{
+    std::vector<Measurement> out;
+    for (const auto& entry : graph::undirectedCatalog()) {
+        const CsrGraph unweighted = entry.make(config.graph_divisor);
+        const CsrGraph weighted =
+            graph::withSyntheticWeights(unweighted, 1000, 0xec1);
+        for (Algo algo : undirectedAlgos()) {
+            const CsrGraph& g =
+                algo == Algo::kMst ? weighted : unweighted;
+            Measurement m = measure(gpu, g, entry.name, algo, config);
+            if (progress)
+                progress(m);
+            out.push_back(std::move(m));
+        }
+    }
+    return out;
+}
+
+std::vector<Measurement>
+runSccSuite(const GpuSpec& gpu, const ExperimentConfig& config,
+            const ProgressFn& progress)
+{
+    std::vector<Measurement> out;
+    for (const auto& entry : graph::directedCatalog()) {
+        const CsrGraph g = entry.make(config.graph_divisor);
+        Measurement m = measure(gpu, g, entry.name, Algo::kScc, config);
+        if (progress)
+            progress(m);
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+// --- tables ---------------------------------------------------------------
+
+TextTable
+makeGpuTable()
+{
+    TextTable table({"GPU Name", "Architecture", "Cores", "SMs", "L1 Size",
+                     "L2 Size", "Memory", "Mem. Bandwidth", "NVCC",
+                     "NVCC Flags"});
+    for (const auto& gpu : simt::evaluationGpus()) {
+        table.addRow({gpu.name, gpu.architecture, fmtGrouped(gpu.cores),
+                      std::to_string(gpu.num_sms),
+                      std::to_string(gpu.l1_bytes / 1024) + " kB",
+                      fmtFixed(static_cast<double>(gpu.l2_bytes) /
+                                   (1024.0 * 1024.0),
+                               1) +
+                          " MB",
+                      std::to_string(gpu.memory_bytes >> 30) + " GB",
+                      fmtFixed(gpu.mem_bandwidth_gbps, 0) + " GB/s",
+                      gpu.nvcc_version, gpu.nvcc_flags});
+    }
+    return table;
+}
+
+TextTable
+makeInputTable(bool directed, bool actual, u32 divisor)
+{
+    const auto& catalog =
+        directed ? graph::directedCatalog() : graph::undirectedCatalog();
+    if (!actual) {
+        TextTable table(
+            {"Graph Name", "Edges", "Vertices", "Type", "d-avg", "d-max"});
+        for (const auto& e : catalog)
+            table.addRow({e.name, fmtGrouped(e.paper_edges),
+                          fmtGrouped(e.paper_vertices), e.type,
+                          fmtFixed(e.paper_davg, directed ? 2 : 1),
+                          fmtGrouped(e.paper_dmax)});
+        return table;
+    }
+    TextTable table({"Graph Name", "Edges", "Vertices", "Type", "d-avg",
+                     "d-max", "(scaled stand-in)"});
+    for (const auto& e : catalog) {
+        const auto props = graph::computeProperties(e.make(divisor));
+        table.addRow({e.name, fmtGrouped(props.num_arcs),
+                      fmtGrouped(props.num_vertices), e.type,
+                      fmtFixed(props.avg_degree, 2),
+                      fmtGrouped(props.max_degree),
+                      "1/" + std::to_string(divisor)});
+    }
+    return table;
+}
+
+namespace {
+
+std::vector<double>
+speedupsOf(const std::vector<Measurement>& measurements, Algo algo,
+           const std::string& gpu)
+{
+    std::vector<double> out;
+    for (const auto& m : measurements)
+        if (m.algo == algo && (gpu.empty() || m.gpu == gpu))
+            out.push_back(m.speedup());
+    return out;
+}
+
+const Measurement*
+findMeasurement(const std::vector<Measurement>& measurements,
+                const std::string& input, Algo algo)
+{
+    for (const auto& m : measurements)
+        if (m.input == input && m.algo == algo)
+            return &m;
+    return nullptr;
+}
+
+}  // namespace
+
+TextTable
+makeSpeedupTable(const std::vector<Measurement>& measurements)
+{
+    TextTable table({"Input", "CC", "GC", "MIS", "MST"});
+    std::vector<std::string> inputs;
+    for (const auto& m : measurements)
+        if (std::find(inputs.begin(), inputs.end(), m.input) == inputs.end())
+            inputs.push_back(m.input);
+
+    for (const auto& input : inputs) {
+        std::vector<std::string> row = {input};
+        for (Algo algo : undirectedAlgos()) {
+            const Measurement* m = findMeasurement(measurements, input, algo);
+            row.push_back(m ? fmtFixed(m->speedup(), 2) : "-");
+        }
+        table.addRow(std::move(row));
+    }
+
+    table.addSeparator();
+    const char* kSummary[3] = {"Min Speedup", "Geomean Speedup",
+                               "Max Speedup"};
+    for (int s = 0; s < 3; ++s) {
+        std::vector<std::string> row = {kSummary[s]};
+        for (Algo algo : undirectedAlgos()) {
+            const auto v = speedupsOf(measurements, algo, "");
+            double value = 0.0;
+            if (!v.empty())
+                value = s == 0 ? stats::minimum(v)
+                               : (s == 1 ? stats::geomean(v)
+                                         : stats::maximum(v));
+            row.push_back(fmtFixed(value, 2));
+        }
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+TextTable
+makeSccTable(const std::vector<Measurement>& measurements)
+{
+    std::vector<std::string> gpus;
+    for (const auto& m : measurements)
+        if (std::find(gpus.begin(), gpus.end(), m.gpu) == gpus.end())
+            gpus.push_back(m.gpu);
+
+    std::vector<std::string> header = {"Input"};
+    header.insert(header.end(), gpus.begin(), gpus.end());
+    TextTable table(std::move(header));
+
+    std::vector<std::string> inputs;
+    for (const auto& m : measurements)
+        if (std::find(inputs.begin(), inputs.end(), m.input) == inputs.end())
+            inputs.push_back(m.input);
+
+    for (const auto& input : inputs) {
+        std::vector<std::string> row = {input};
+        for (const auto& gpu : gpus) {
+            double value = 0.0;
+            for (const auto& m : measurements)
+                if (m.input == input && m.gpu == gpu)
+                    value = m.speedup();
+            row.push_back(fmtFixed(value, 2));
+        }
+        table.addRow(std::move(row));
+    }
+
+    table.addSeparator();
+    const char* kSummary[3] = {"Min Speedup", "Geomean Speedup",
+                               "Max Speedup"};
+    for (int s = 0; s < 3; ++s) {
+        std::vector<std::string> row = {kSummary[s]};
+        for (const auto& gpu : gpus) {
+            const auto v = speedupsOf(measurements, Algo::kScc, gpu);
+            double value = 0.0;
+            if (!v.empty())
+                value = s == 0 ? stats::minimum(v)
+                               : (s == 1 ? stats::geomean(v)
+                                         : stats::maximum(v));
+            row.push_back(fmtFixed(value, 2));
+        }
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+TextTable
+makeCorrelationTable(const std::vector<Measurement>& all)
+{
+    std::vector<std::string> gpus;
+    for (const auto& m : all)
+        if (std::find(gpus.begin(), gpus.end(), m.gpu) == gpus.end())
+            gpus.push_back(m.gpu);
+
+    const std::vector<Algo> algos = {Algo::kCc, Algo::kGc, Algo::kMis,
+                                     Algo::kMst, Algo::kScc};
+    TextTable table({"Correlated with", "CC", "GC", "MIS", "MST", "SCC"});
+
+    struct Property
+    {
+        const char* name;
+        double Measurement::* field;
+    };
+    const Property properties[] = {
+        {"Edge Count", &Measurement::edges},
+        {"Vertex Count", &Measurement::vertices},
+        {"Average Degree", &Measurement::avg_degree},
+    };
+
+    for (const auto& gpu : gpus) {
+        table.addSeparator();
+        table.addRow({"[" + gpu + "]", "", "", "", "", ""});
+        for (const auto& prop : properties) {
+            std::vector<std::string> row = {prop.name};
+            for (Algo algo : algos) {
+                std::vector<double> xs, ys;
+                for (const auto& m : all) {
+                    if (m.algo != algo || m.gpu != gpu)
+                        continue;
+                    xs.push_back(m.*(prop.field));
+                    ys.push_back(m.speedup());
+                }
+                row.push_back(xs.size() >= 2
+                                  ? fmtFixed(stats::pearson(xs, ys), 2)
+                                  : "-");
+            }
+            table.addRow(std::move(row));
+        }
+    }
+    return table;
+}
+
+double
+geomeanSpeedup(const std::vector<Measurement>& measurements, Algo algo,
+               const std::string& gpu)
+{
+    const auto v = speedupsOf(measurements, algo, gpu);
+    ECLSIM_ASSERT(!v.empty(), "no measurements for {} on {}",
+                  algoName(algo), gpu);
+    return stats::geomean(v);
+}
+
+TextTable
+makeGeomeanTable(const std::vector<Measurement>& all)
+{
+    std::vector<std::string> gpus;
+    for (const auto& m : all)
+        if (std::find(gpus.begin(), gpus.end(), m.gpu) == gpus.end())
+            gpus.push_back(m.gpu);
+
+    std::vector<std::string> header = {"Algorithm"};
+    header.insert(header.end(), gpus.begin(), gpus.end());
+    TextTable table(std::move(header));
+
+    const std::vector<Algo> algos = {Algo::kCc, Algo::kGc, Algo::kMis,
+                                     Algo::kMst, Algo::kScc};
+    for (Algo algo : algos) {
+        std::vector<std::string> row = {algoName(algo)};
+        bool any = false;
+        for (const auto& gpu : gpus) {
+            const auto v = speedupsOf(all, algo, gpu);
+            if (v.empty()) {
+                row.push_back("-");
+            } else {
+                row.push_back(fmtFixed(stats::geomean(v), 2));
+                any = true;
+            }
+        }
+        if (any)
+            table.addRow(std::move(row));
+    }
+    return table;
+}
+
+}  // namespace eclsim::harness

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Experiment harness: reruns the paper's evaluation.
+ *
+ * The paper's methodology (Section V): run every baseline and race-free
+ * code on every appropriate input nine times, take the median runtime,
+ * and report the speedup baseline_ms / racefree_ms per (input, algorithm,
+ * GPU), plus min/geomean/max summary rows, a geomean bar chart (Fig. 6),
+ * and Pearson correlations between graph properties and speedups
+ * (Table IX). This module reproduces that pipeline on the simulator.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algos/common.hpp"
+#include "core/table.hpp"
+#include "graph/catalog.hpp"
+#include "simt/gpu_spec.hpp"
+
+namespace eclsim::harness {
+
+using algos::Variant;
+using graph::CsrGraph;
+using simt::GpuSpec;
+
+/** The codes with racy baselines (APSP has none; paper Section IV-A). */
+enum class Algo : u8 {
+    kCc,
+    kGc,
+    kMis,
+    kMst,
+    kScc,
+};
+
+/** Printable algorithm name (the tables' column headers). */
+const char* algoName(Algo algo);
+
+/** The four undirected-input algorithms of Tables IV-VII. */
+const std::vector<Algo>& undirectedAlgos();
+
+/** Experiment knobs. */
+struct ExperimentConfig
+{
+    /** Repetitions per configuration; the median is reported. The paper
+     *  uses 9; the bench binaries default lower to stay quick and accept
+     *  --reps=9 for the full protocol. */
+    u32 reps = 3;
+    /** Input scale divisor (see graph::kDefaultScaleDivisor). */
+    u32 graph_divisor = graph::kDefaultScaleDivisor;
+    /** Cache scale divisor (see simt::MemoryOptions::cache_divisor). */
+    u32 cache_divisor = 16;
+    /** Cross-check every run against the sequential reference oracles. */
+    bool verify = false;
+    /** Base seed; rep r of a measurement uses seed base + r. */
+    u64 seed = 12345;
+};
+
+/** One (input, algorithm, GPU) comparison. */
+struct Measurement
+{
+    std::string input;
+    Algo algo = Algo::kCc;
+    std::string gpu;
+    double baseline_ms = 0.0;   ///< median over reps
+    double racefree_ms = 0.0;   ///< median over reps
+    u32 baseline_iterations = 0;
+    u32 racefree_iterations = 0;
+    // input properties, for the Table IX correlations
+    double edges = 0.0;
+    double vertices = 0.0;
+    double avg_degree = 0.0;
+
+    double
+    speedup() const
+    {
+        return racefree_ms > 0.0 ? baseline_ms / racefree_ms : 0.0;
+    }
+};
+
+/** Run one algorithm variant once on a fresh engine; returns simulated
+ *  milliseconds (and validates the result if verify is set). */
+double runOnce(const GpuSpec& gpu, const CsrGraph& graph, Algo algo,
+               Variant variant, const ExperimentConfig& config, u64 seed,
+               algos::RunStats* stats_out = nullptr);
+
+/** Median-of-reps measurement of both variants of one algorithm. */
+Measurement measure(const GpuSpec& gpu, const CsrGraph& graph,
+                    const std::string& input_name, Algo algo,
+                    const ExperimentConfig& config);
+
+/** Optional progress sink ("cc on amazon0601: 0.87"). */
+using ProgressFn = std::function<void(const Measurement&)>;
+
+/** Tables IV-VII: CC/GC/MIS/MST on the 17 undirected inputs of one GPU. */
+std::vector<Measurement> runUndirectedSuite(const GpuSpec& gpu,
+                                            const ExperimentConfig& config,
+                                            const ProgressFn& progress = {});
+
+/** Table VIII: SCC on the 10 directed inputs of one GPU. */
+std::vector<Measurement> runSccSuite(const GpuSpec& gpu,
+                                     const ExperimentConfig& config,
+                                     const ProgressFn& progress = {});
+
+// --- table renderers ------------------------------------------------------
+
+/** Table I: GPU specifications and compilation parameters. */
+TextTable makeGpuTable();
+
+/** Tables II/III: input graphs. When actual is true the stand-ins'
+ *  real (scaled) statistics are shown next to the paper's. */
+TextTable makeInputTable(bool directed, bool actual, u32 divisor);
+
+/** Tables IV-VII: per-input speedups of one GPU with Min/Geomean/Max
+ *  summary rows, columns CC GC MIS MST. */
+TextTable makeSpeedupTable(const std::vector<Measurement>& measurements);
+
+/** Table VIII: SCC speedups, one column per GPU. */
+TextTable makeSccTable(const std::vector<Measurement>& measurements);
+
+/** Table IX: Pearson correlations between edge count / vertex count /
+ *  average degree and the speedups, per GPU per algorithm. */
+TextTable makeCorrelationTable(const std::vector<Measurement>& all);
+
+/** Fig. 6: geometric-mean speedup per algorithm per GPU. */
+TextTable makeGeomeanTable(const std::vector<Measurement>& all);
+
+/** Geomean speedup of one algorithm within one GPU's measurements. */
+double geomeanSpeedup(const std::vector<Measurement>& measurements,
+                      Algo algo, const std::string& gpu);
+
+}  // namespace eclsim::harness

@@ -1,0 +1,50 @@
+#include "harness/paper_reference.hpp"
+
+#include "core/logging.hpp"
+
+namespace eclsim::harness {
+
+const std::vector<PaperSummary>&
+paperSummaries()
+{
+    // Transcribed from the Min/Geomean/Max rows of Tables IV-VIII.
+    static const std::vector<PaperSummary> summaries = {
+        // Table IV: Titan V
+        {"Titan V", Algo::kCc, 0.47, 0.66, 0.99},
+        {"Titan V", Algo::kGc, 0.97, 1.00, 1.02},
+        {"Titan V", Algo::kMis, 0.91, 1.11, 2.05},
+        {"Titan V", Algo::kMst, 0.92, 0.97, 0.99},
+        // Table V: 2070 Super
+        {"2070 Super", Algo::kCc, 0.54, 0.88, 2.09},
+        {"2070 Super", Algo::kGc, 0.87, 0.98, 1.00},
+        {"2070 Super", Algo::kMis, 0.94, 1.05, 1.70},
+        {"2070 Super", Algo::kMst, 0.84, 0.95, 1.00},
+        // Table VI: A100
+        {"A100", Algo::kCc, 0.36, 0.66, 1.43},
+        {"A100", Algo::kGc, 0.93, 0.99, 1.00},
+        {"A100", Algo::kMis, 0.90, 1.08, 1.81},
+        {"A100", Algo::kMst, 0.86, 0.93, 1.02},
+        // Table VII: 4090
+        {"4090", Algo::kCc, 0.31, 0.45, 0.69},
+        {"4090", Algo::kGc, 0.75, 0.96, 1.24},
+        {"4090", Algo::kMis, 0.90, 1.07, 1.70},
+        {"4090", Algo::kMst, 0.90, 0.96, 1.00},
+        // Table VIII: SCC per GPU
+        {"Titan V", Algo::kScc, 0.43, 0.74, 1.05},
+        {"2070 Super", Algo::kScc, 0.67, 0.81, 0.96},
+        {"A100", Algo::kScc, 0.27, 0.50, 0.98},
+        {"4090", Algo::kScc, 0.30, 0.55, 1.07},
+    };
+    return summaries;
+}
+
+const PaperSummary&
+paperSummary(const std::string& gpu, Algo algo)
+{
+    for (const auto& summary : paperSummaries())
+        if (summary.gpu == gpu && summary.algo == algo)
+            return summary;
+    fatal("no paper summary for {} on {}", algoName(algo), gpu);
+}
+
+}  // namespace eclsim::harness

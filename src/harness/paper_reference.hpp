@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The paper's published summary numbers (the Min/Geomean/Max rows of
+ * Tables IV-VIII), kept as reference data so the scorecard bench and the
+ * shape tests can compare this reproduction against the original
+ * measurements. Absolute agreement is not expected — the substrate is a
+ * simulator, not the authors' testbed — but the qualitative shape (who
+ * wins, roughly by what factor, and the old-vs-new GPU trend) should
+ * hold.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace eclsim::harness {
+
+/** One summary row from the paper's Tables IV-VIII. */
+struct PaperSummary
+{
+    std::string gpu;   ///< Table I GPU name
+    Algo algo;
+    double min = 0.0;      ///< Min Speedup row
+    double geomean = 0.0;  ///< Geomean Speedup row
+    double max = 0.0;      ///< Max Speedup row
+};
+
+/** All 20 summary rows (4 GPUs x {CC, GC, MIS, MST, SCC}). */
+const std::vector<PaperSummary>& paperSummaries();
+
+/** Look up the paper's summary for one (gpu, algo); fatal() if absent. */
+const PaperSummary& paperSummary(const std::string& gpu, Algo algo);
+
+}  // namespace eclsim::harness

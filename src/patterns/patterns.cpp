@@ -1,0 +1,381 @@
+#include "patterns/patterns.hpp"
+
+#include "core/logging.hpp"
+#include "simt/ecl_atomics.hpp"
+
+namespace eclsim::patterns {
+
+namespace {
+
+using simt::AccessMode;
+using simt::DevicePtr;
+using simt::Engine;
+using simt::LaunchConfig;
+using simt::Task;
+using simt::ThreadCtx;
+
+constexpr u32 kThreads = 256;
+
+/**
+ * Racy: the classic lost update. Every thread increments a shared
+ * counter with a plain load + plain store; updates overlap and vanish.
+ */
+bool
+lostUpdate(Engine& engine)
+{
+    auto counter = engine.memory().alloc<u32>(1, "pat.counter");
+    engine.launch("lost_update", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      if (t.globalThreadId() >= kThreads)
+                          co_return;
+                      const u32 v = co_await t.load(counter, 0);
+                      co_await t.store(counter, 0, v + 1);
+                  });
+    return engine.memory().read(counter) == kThreads;
+}
+
+/** Race-free twin of lostUpdate: a single atomic RMW per thread. */
+bool
+atomicCounter(Engine& engine)
+{
+    auto counter = engine.memory().alloc<u32>(1, "pat.counter");
+    engine.launch("atomic_counter", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      if (t.globalThreadId() < kThreads)
+                          co_await t.atomicAdd(counter, 0, u32{1});
+                  });
+    return engine.memory().read(counter) == kThreads;
+}
+
+/**
+ * Racy: volatile does not synchronize. Identical to lostUpdate but with
+ * volatile accesses — the compiler can no longer cache the value, yet
+ * the read-modify-write is still not atomic (paper Section II-A).
+ */
+bool
+volatileLostUpdate(Engine& engine)
+{
+    auto counter = engine.memory().alloc<u32>(1, "pat.counter");
+    engine.launch("volatile_lost_update", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      if (t.globalThreadId() >= kThreads)
+                          co_return;
+                      const u32 v = co_await t.load(
+                          counter, 0, AccessMode::kVolatile);
+                      co_await t.store(counter, 0, v + 1,
+                                       AccessMode::kVolatile);
+                  });
+    return engine.memory().read(counter) == kThreads;
+}
+
+/**
+ * Racy: missing __syncthreads. Thread i writes slot i, then reads slot
+ * i+1 of the same block-shared (global) array without a barrier.
+ */
+bool
+missingBarrier(Engine& engine)
+{
+    auto data = engine.memory().alloc<u32>(kThreads, "pat.data");
+    auto sums = engine.memory().alloc<u32>(1, "pat.sums");
+    LaunchConfig cfg;
+    cfg.grid = 1;
+    cfg.block_x = kThreads;
+    engine.launch("missing_barrier", cfg, [&](ThreadCtx& t) -> Task {
+        const u32 i = t.threadInBlock();
+        co_await t.store(data, i, i + 1);
+        // BUG: no co_await t.syncthreads() here.
+        const u32 next = co_await t.load(data, (i + 1) % kThreads);
+        co_await t.atomicAdd(sums, 0, next);
+    });
+    return engine.memory().read(sums) == kThreads * (kThreads + 1) / 2;
+}
+
+/** Race-free twin of missingBarrier: the barrier restores order. */
+bool
+barrierPhases(Engine& engine)
+{
+    auto data = engine.memory().alloc<u32>(kThreads, "pat.data");
+    auto sums = engine.memory().alloc<u32>(1, "pat.sums");
+    LaunchConfig cfg;
+    cfg.grid = 1;
+    cfg.block_x = kThreads;
+    engine.launch("barrier_phases", cfg, [&](ThreadCtx& t) -> Task {
+        const u32 i = t.threadInBlock();
+        co_await t.store(data, i, i + 1);
+        co_await t.syncthreads();
+        const u32 next = co_await t.load(data, (i + 1) % kThreads);
+        co_await t.atomicAdd(sums, 0, next);
+    });
+    return engine.memory().read(sums) == kThreads * (kThreads + 1) / 2;
+}
+
+/**
+ * Racy: torn wide write. One thread stores a 64-bit sentinel with a
+ * plain store while the others read it — the Fig. 1 chimera hazard.
+ */
+bool
+tornWideWrite(Engine& engine)
+{
+    auto value = engine.memory().alloc<u64>(1, "pat.wide");
+    auto bad = engine.memory().alloc<u32>(1, "pat.bad");
+    engine.memory().write(value, ~u64{0});
+    engine.launch("torn_wide_write", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      const u32 i = t.globalThreadId();
+                      if (i >= kThreads)
+                          co_return;
+                      if (i == 0) {
+                          co_await t.store(value, 0, u64{0});
+                      } else {
+                          const u64 v = co_await t.load(value, 0);
+                          if (v != 0 && v != ~u64{0})
+                              co_await t.atomicAdd(bad, 0, u32{1});
+                      }
+                  });
+    return engine.memory().read(bad) == 0;
+}
+
+/** Race-free twin of tornWideWrite: atomic 64-bit accesses never tear. */
+bool
+atomicWideWrite(Engine& engine)
+{
+    auto value = engine.memory().alloc<u64>(1, "pat.wide");
+    auto bad = engine.memory().alloc<u32>(1, "pat.bad");
+    engine.memory().write(value, ~u64{0});
+    engine.launch("atomic_wide_write", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      const u32 i = t.globalThreadId();
+                      if (i >= kThreads)
+                          co_return;
+                      if (i == 0) {
+                          co_await t.store(value, 0, u64{0},
+                                           AccessMode::kAtomic);
+                      } else {
+                          const u64 v = co_await t.load(
+                              value, 0, AccessMode::kAtomic);
+                          if (v != 0 && v != ~u64{0})
+                              co_await t.atomicAdd(bad, 0, u32{1});
+                      }
+                  });
+    return engine.memory().read(bad) == 0;
+}
+
+/**
+ * Racy: neighbor publication, the graph-analytics idiom behind the ECL
+ * baselines. Every thread publishes a value into its neighbor's slot
+ * with a plain store while the neighbor reads its own slot.
+ */
+bool
+neighborPublish(Engine& engine)
+{
+    auto slots = engine.memory().alloc<u32>(kThreads, "pat.slots");
+    engine.launch("neighbor_publish", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      const u32 i = t.globalThreadId();
+                      if (i >= kThreads)
+                          co_return;
+                      co_await t.store(slots, (i + 1) % kThreads, i);
+                      co_await t.load(slots, i);
+                  });
+    return true;  // any outcome is functionally tolerated here
+}
+
+/** Race-free twin of neighborPublish using relaxed atomics (Fig. 2). */
+bool
+neighborPublishAtomic(Engine& engine)
+{
+    auto slots = engine.memory().alloc<u32>(kThreads, "pat.slots");
+    engine.launch("neighbor_publish_atomic", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      const u32 i = t.globalThreadId();
+                      if (i >= kThreads)
+                          co_return;
+                      co_await ecl::atomicWrite(t, slots,
+                                                (i + 1) % kThreads, i);
+                      co_await ecl::atomicRead(t, slots, i);
+                  });
+    return true;
+}
+
+/**
+ * Racy: byte flags sharing a word, written with plain byte stores.
+ * Functionally this is fine on byte-addressable machines (each thread
+ * owns one byte) but the ECL-MIS conversion needs the masked atomics
+ * of Fig. 4 because CUDA has no byte atomics; here the plain version's
+ * writes land on adjacent bytes and do NOT race (byte granularity), so
+ * this pattern is a *precision* check: the detector must stay quiet.
+ */
+bool
+adjacentByteWrites(Engine& engine)
+{
+    auto flags = engine.memory().alloc<u8>(kThreads, "pat.flags");
+    engine.launch("adjacent_byte_writes", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      const u32 i = t.globalThreadId();
+                      if (i < kThreads)
+                          co_await t.store(flags, i, u8{1});
+                  });
+    for (u32 i = 0; i < kThreads; ++i)
+        if (engine.memory().read(flags, i) != 1)
+            return false;
+    return true;
+}
+
+/**
+ * Racy: the naive masked-write emulation. Threads update their byte of
+ * a shared word with a plain read-modify-write of the covering int —
+ * the exact bug the Fig. 4 atomic AND/OR masking avoids.
+ */
+bool
+wordRmwByteFlags(Engine& engine)
+{
+    auto word = engine.memory().alloc<u32>(1, "pat.word");
+    engine.launch("word_rmw_byte_flags", simt::launchFor(4, 4),
+                  [&](ThreadCtx& t) -> Task {
+                      const u32 i = t.globalThreadId();
+                      if (i >= 4)
+                          co_return;
+                      const u32 v = co_await t.load(word, 0);
+                      co_await t.store(word, 0,
+                                       v | (u32{0xff} << (8 * i)));
+                  });
+    return engine.memory().read(word) == 0xffffffffu;
+}
+
+/** Race-free twin of wordRmwByteFlags: Fig. 4's atomic OR masking. */
+bool
+maskedByteFlags(Engine& engine)
+{
+    auto word = engine.memory().alloc<u8>(4, "pat.word");
+    engine.launch("masked_byte_flags", simt::launchFor(4, 4),
+                  [&](ThreadCtx& t) -> Task {
+                      const u32 i = t.globalThreadId();
+                      if (i < 4)
+                          co_await ecl::atomicByteOr(t, word, i, 0xff);
+                  });
+    for (u32 i = 0; i < 4; ++i)
+        if (engine.memory().read(word, i) != 0xff)
+            return false;
+    return true;
+}
+
+/** Race-free: CAS-based unique claim (the ECL-CC hook idiom). */
+bool
+casClaim(Engine& engine)
+{
+    auto slot = engine.memory().alloc<u32>(1, "pat.slot");
+    auto winners = engine.memory().alloc<u32>(1, "pat.winners");
+    engine.launch("cas_claim", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      const u32 i = t.globalThreadId();
+                      if (i >= kThreads)
+                          co_return;
+                      const u32 old =
+                          co_await t.atomicCas(slot, 0, u32{0}, i + 1);
+                      if (old == 0)
+                          co_await t.atomicAdd(winners, 0, u32{1});
+                  });
+    return engine.memory().read(winners) == 1;
+}
+
+/** Race-free: disjoint writes — every thread owns its slot. */
+bool
+disjointWrites(Engine& engine)
+{
+    auto slots = engine.memory().alloc<u32>(kThreads, "pat.slots");
+    engine.launch("disjoint_writes", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      const u32 i = t.globalThreadId();
+                      if (i < kThreads)
+                          co_await t.store(slots, i, i * 7);
+                  });
+    for (u32 i = 0; i < kThreads; ++i)
+        if (engine.memory().read(slots, i) != i * 7)
+            return false;
+    return true;
+}
+
+/** Race-free: producer/consumer split across kernel launches. */
+bool
+kernelBoundary(Engine& engine)
+{
+    auto data = engine.memory().alloc<u32>(kThreads, "pat.data");
+    auto sums = engine.memory().alloc<u64>(1, "pat.sums");
+    engine.launch("producer", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      const u32 i = t.globalThreadId();
+                      if (i < kThreads)
+                          co_await t.store(data, i, i);
+                  });
+    engine.launch("consumer", simt::launchFor(kThreads),
+                  [&](ThreadCtx& t) -> Task {
+                      const u32 i = t.globalThreadId();
+                      if (i < kThreads)
+                          co_await t.atomicAdd(
+                              sums, 0,
+                              static_cast<u64>(
+                                  co_await t.load(data, i)));
+                  });
+    return engine.memory().read(sums) ==
+           u64{kThreads} * (kThreads - 1) / 2;
+}
+
+}  // namespace
+
+const std::vector<Pattern>&
+patternSuite()
+{
+    static const std::vector<Pattern> suite = {
+        {"lost-update",
+         "plain read-modify-write increments lose updates", true,
+         lostUpdate},
+        {"atomic-counter", "atomicAdd makes the counter exact", false,
+         atomicCounter},
+        {"volatile-lost-update",
+         "volatile prevents caching but does not synchronize", true,
+         volatileLostUpdate},
+        {"missing-barrier",
+         "cross-thread read without __syncthreads", true, missingBarrier},
+        {"barrier-phases", "__syncthreads orders the phases", false,
+         barrierPhases},
+        {"torn-wide-write",
+         "plain 64-bit store tears on 32-bit-native targets", true,
+         tornWideWrite},
+        {"atomic-wide-write", "atomic 64-bit accesses never tear", false,
+         atomicWideWrite},
+        {"neighbor-publish",
+         "plain stores into neighbors' slots (the ECL baseline idiom)",
+         true, neighborPublish},
+        {"neighbor-publish-atomic",
+         "relaxed atomic neighbor publication (Fig. 2)", false,
+         neighborPublishAtomic},
+        {"adjacent-byte-writes",
+         "each thread owns one byte: no race (detector precision check)",
+         false, adjacentByteWrites},
+        {"word-rmw-byte-flags",
+         "plain read-modify-write of a shared word's bytes", true,
+         wordRmwByteFlags},
+        {"masked-byte-flags",
+         "Fig. 4 atomic OR masking of individual bytes", false,
+         maskedByteFlags},
+        {"cas-claim", "compare-and-swap unique claim (ECL-CC hook)",
+         false, casClaim},
+        {"disjoint-writes", "each thread writes only its own slot",
+         false, disjointWrites},
+        {"kernel-boundary",
+         "producer and consumer in separate launches", false,
+         kernelBoundary},
+    };
+    return suite;
+}
+
+const Pattern&
+findPattern(const std::string& name)
+{
+    for (const Pattern& pattern : patternSuite())
+        if (pattern.name == name)
+            return pattern;
+    fatal("unknown pattern '{}'", name);
+}
+
+}  // namespace eclsim::patterns

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A microsuite of labeled parallel code patterns, in the spirit of the
+ * Indigo/Indigo3 and DataRaceBench suites the paper surveys in Section
+ * III: small kernels that either contain a specific, named data race or
+ * are a correctly synchronized version of the same idea.
+ *
+ * The suite serves two purposes:
+ *  1. it validates the dynamic race detector's precision and recall
+ *     (every racy pattern must be flagged, every clean one must not),
+ *     the way DataRaceBench evaluates race-detection tools; and
+ *  2. it documents, as runnable code, each class of race the ECL
+ *     baselines contain and the idiom that removes it.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simt/engine.hpp"
+
+namespace eclsim::patterns {
+
+/** One labeled pattern. */
+struct Pattern
+{
+    std::string name;
+    std::string description;
+    /** Ground truth: does the pattern contain a data race? */
+    bool racy = false;
+    /**
+     * Execute the pattern on the given engine and return true if the
+     * functional result was correct (clean patterns must always compute
+     * the right answer; racy ones may or may not).
+     */
+    std::function<bool(simt::Engine&)> run;
+};
+
+/** The full labeled suite (racy and race-free patterns interleaved). */
+const std::vector<Pattern>& patternSuite();
+
+/** Look up a pattern by name; fatal() if unknown. */
+const Pattern& findPattern(const std::string& name);
+
+}  // namespace eclsim::patterns

@@ -1,0 +1,313 @@
+#include "refalgos/refalgos.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/logging.hpp"
+
+namespace eclsim::refalgos {
+
+std::vector<VertexId>
+connectedComponents(const CsrGraph& graph)
+{
+    const VertexId n = graph.numVertices();
+    constexpr VertexId kUnset = ~VertexId{0};
+    std::vector<VertexId> labels(n, kUnset);
+    std::deque<VertexId> queue;
+    for (VertexId root = 0; root < n; ++root) {
+        if (labels[root] != kUnset)
+            continue;
+        labels[root] = root;
+        queue.push_back(root);
+        while (!queue.empty()) {
+            const VertexId v = queue.front();
+            queue.pop_front();
+            for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+                const VertexId t = graph.arcTarget(e);
+                if (labels[t] == kUnset) {
+                    labels[t] = root;
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    return labels;
+}
+
+size_t
+countDistinct(const std::vector<VertexId>& labels)
+{
+    std::unordered_set<VertexId> seen(labels.begin(), labels.end());
+    return seen.size();
+}
+
+bool
+samePartition(const std::vector<VertexId>& a, const std::vector<VertexId>& b)
+{
+    if (a.size() != b.size())
+        return false;
+    std::unordered_map<VertexId, VertexId> a_to_b, b_to_a;
+    for (size_t i = 0; i < a.size(); ++i) {
+        auto [it_ab, new_ab] = a_to_b.try_emplace(a[i], b[i]);
+        if (!new_ab && it_ab->second != b[i])
+            return false;
+        auto [it_ba, new_ba] = b_to_a.try_emplace(b[i], a[i]);
+        if (!new_ba && it_ba->second != a[i])
+            return false;
+    }
+    return true;
+}
+
+bool
+isValidColoring(const CsrGraph& graph, const std::vector<u32>& colors)
+{
+    if (colors.size() != graph.numVertices())
+        return false;
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e)
+            if (graph.arcTarget(e) != v &&
+                colors[graph.arcTarget(e)] == colors[v])
+                return false;
+    return true;
+}
+
+size_t
+countColors(const std::vector<u32>& colors)
+{
+    std::unordered_set<u32> seen(colors.begin(), colors.end());
+    return seen.size();
+}
+
+size_t
+greedyColorCount(const CsrGraph& graph)
+{
+    const VertexId n = graph.numVertices();
+    constexpr u32 kUncolored = ~u32{0};
+    std::vector<u32> colors(n, kUncolored);
+    std::vector<bool> used;
+    size_t max_color = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        used.assign(graph.degree(v) + 1, false);
+        for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+            const u32 c = colors[graph.arcTarget(e)];
+            if (c != kUncolored && c < used.size())
+                used[c] = true;
+        }
+        u32 c = 0;
+        while (used[c])
+            ++c;
+        colors[v] = c;
+        max_color = std::max<size_t>(max_color, c + 1);
+    }
+    return max_color;
+}
+
+bool
+isIndependentSet(const CsrGraph& graph, const std::vector<bool>& in_set)
+{
+    if (in_set.size() != graph.numVertices())
+        return false;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        if (!in_set[v])
+            continue;
+        for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+            const VertexId t = graph.arcTarget(e);
+            if (t != v && in_set[t])
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+isMaximalIndependentSet(const CsrGraph& graph,
+                        const std::vector<bool>& in_set)
+{
+    if (!isIndependentSet(graph, in_set))
+        return false;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        if (in_set[v])
+            continue;
+        bool has_member_neighbor = false;
+        for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+            const VertexId t = graph.arcTarget(e);
+            if (t != v && in_set[t]) {
+                has_member_neighbor = true;
+                break;
+            }
+        }
+        if (!has_member_neighbor)
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** Union-find with path halving, for Kruskal. */
+class DisjointSets
+{
+  public:
+    explicit DisjointSets(VertexId n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    VertexId
+    find(VertexId v)
+    {
+        while (parent_[v] != v) {
+            parent_[v] = parent_[parent_[v]];
+            v = parent_[v];
+        }
+        return v;
+    }
+
+    bool
+    unite(VertexId a, VertexId b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        if (a > b)
+            std::swap(a, b);
+        parent_[b] = a;
+        return true;
+    }
+
+  private:
+    std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+u64
+minimumSpanningForestWeight(const CsrGraph& graph)
+{
+    ECLSIM_ASSERT(graph.weighted(), "MST requires a weighted graph");
+    ECLSIM_ASSERT(!graph.directed(), "MST requires an undirected graph");
+    struct WeightedEdge
+    {
+        i32 weight;
+        VertexId src, dst;
+    };
+    std::vector<WeightedEdge> edges;
+    edges.reserve(graph.numArcs() / 2);
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e)
+            if (v < graph.arcTarget(e))
+                edges.push_back({graph.arcWeight(e), v, graph.arcTarget(e)});
+    std::sort(edges.begin(), edges.end(),
+              [](const WeightedEdge& a, const WeightedEdge& b) {
+                  if (a.weight != b.weight)
+                      return a.weight < b.weight;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.dst < b.dst;
+              });
+    DisjointSets sets(graph.numVertices());
+    u64 total = 0;
+    for (const auto& e : edges)
+        if (sets.unite(e.src, e.dst))
+            total += static_cast<u64>(e.weight);
+    return total;
+}
+
+std::vector<VertexId>
+stronglyConnectedComponents(const CsrGraph& graph)
+{
+    const VertexId n = graph.numVertices();
+    constexpr u32 kUnvisited = ~u32{0};
+    std::vector<u32> index(n, kUnvisited), lowlink(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<VertexId> stack;
+    std::vector<VertexId> labels(n, 0);
+    u32 next_index = 0;
+
+    // Iterative Tarjan: frame holds (vertex, next arc to explore).
+    struct Frame
+    {
+        VertexId v;
+        EdgeId next_arc;
+    };
+    std::vector<Frame> frames;
+
+    for (VertexId root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        frames.push_back({root, graph.rowBegin(root)});
+        index[root] = lowlink[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+
+        while (!frames.empty()) {
+            Frame& frame = frames.back();
+            const VertexId v = frame.v;
+            if (frame.next_arc < graph.rowEnd(v)) {
+                const VertexId t = graph.arcTarget(frame.next_arc++);
+                if (index[t] == kUnvisited) {
+                    index[t] = lowlink[t] = next_index++;
+                    stack.push_back(t);
+                    on_stack[t] = true;
+                    frames.push_back({t, graph.rowBegin(t)});
+                } else if (on_stack[t]) {
+                    lowlink[v] = std::min(lowlink[v], index[t]);
+                }
+                continue;
+            }
+            if (lowlink[v] == index[v]) {
+                // v is an SCC root: pop the component, label by min ID.
+                size_t first = stack.size();
+                while (stack[--first] != v) {}
+                VertexId min_id = v;
+                for (size_t i = first; i < stack.size(); ++i)
+                    min_id = std::min(min_id, stack[i]);
+                for (size_t i = first; i < stack.size(); ++i) {
+                    labels[stack[i]] = min_id;
+                    on_stack[stack[i]] = false;
+                }
+                stack.resize(first);
+            }
+            frames.pop_back();
+            if (!frames.empty()) {
+                Frame& parent = frames.back();
+                lowlink[parent.v] = std::min(lowlink[parent.v], lowlink[v]);
+            }
+        }
+    }
+    return labels;
+}
+
+std::vector<i64>
+allPairsShortestPaths(const CsrGraph& graph)
+{
+    ECLSIM_ASSERT(graph.weighted(), "APSP requires a weighted graph");
+    const size_t n = graph.numVertices();
+    std::vector<i64> dist(n * n, kApspInfinity);
+    for (size_t v = 0; v < n; ++v)
+        dist[v * n + v] = 0;
+    for (VertexId v = 0; v < n; ++v)
+        for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+            const VertexId t = graph.arcTarget(e);
+            dist[static_cast<size_t>(v) * n + t] = std::min<i64>(
+                dist[static_cast<size_t>(v) * n + t], graph.arcWeight(e));
+        }
+    for (size_t k = 0; k < n; ++k)
+        for (size_t i = 0; i < n; ++i) {
+            const i64 dik = dist[i * n + k];
+            if (dik >= kApspInfinity)
+                continue;
+            for (size_t j = 0; j < n; ++j) {
+                const i64 candidate = dik + dist[k * n + j];
+                if (candidate < dist[i * n + j])
+                    dist[i * n + j] = candidate;
+            }
+        }
+    return dist;
+}
+
+}  // namespace eclsim::refalgos

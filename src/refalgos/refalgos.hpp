@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sequential reference ("oracle") implementations used to validate the
+ * simulated GPU codes. The paper validates its race-free codes against
+ * the baselines; we additionally validate every variant against these
+ * textbook algorithms:
+ *
+ *  - connected components: BFS label propagation
+ *  - graph coloring: validity check + greedy color-count bound
+ *  - maximal independent set: independence + maximality checks
+ *  - minimum spanning tree/forest: Kruskal total weight
+ *  - strongly connected components: iterative Tarjan
+ *  - all-pairs shortest paths: plain Floyd-Warshall
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace eclsim::refalgos {
+
+using graph::CsrGraph;
+
+/**
+ * Connected-component labels by BFS: label[v] is the smallest vertex ID in
+ * v's component (the same normal form ECL-CC produces after flattening).
+ */
+std::vector<VertexId> connectedComponents(const CsrGraph& graph);
+
+/** Number of distinct values in a label array. */
+size_t countDistinct(const std::vector<VertexId>& labels);
+
+/**
+ * True iff the two label arrays induce the same partition of the vertices
+ * (labels may differ by renaming).
+ */
+bool samePartition(const std::vector<VertexId>& a,
+                   const std::vector<VertexId>& b);
+
+/** True iff no two adjacent vertices share a color. */
+bool isValidColoring(const CsrGraph& graph,
+                     const std::vector<u32>& colors);
+
+/** Number of distinct colors used. */
+size_t countColors(const std::vector<u32>& colors);
+
+/** Colors used by a sequential greedy first-fit pass (an upper bound used
+ *  to sanity-check the simulated GC's color quality). */
+size_t greedyColorCount(const CsrGraph& graph);
+
+/** True iff in_set is an independent set: no edge joins two members. */
+bool isIndependentSet(const CsrGraph& graph,
+                      const std::vector<bool>& in_set);
+
+/** True iff in_set is maximal: every non-member has a member neighbor. */
+bool isMaximalIndependentSet(const CsrGraph& graph,
+                             const std::vector<bool>& in_set);
+
+/** Total weight of a minimum spanning forest (Kruskal). The graph must be
+ *  undirected and weighted. */
+u64 minimumSpanningForestWeight(const CsrGraph& graph);
+
+/**
+ * Strongly connected components via iterative Tarjan: label[v] is the
+ * smallest vertex ID in v's SCC.
+ */
+std::vector<VertexId> stronglyConnectedComponents(const CsrGraph& graph);
+
+/** Distance value representing "unreachable" in APSP matrices. */
+constexpr i64 kApspInfinity = (i64{1} << 60);
+
+/**
+ * All-pairs shortest path matrix (row-major n*n) via Floyd-Warshall.
+ * Unreachable pairs hold kApspInfinity; the diagonal holds 0.
+ */
+std::vector<i64> allPairsShortestPaths(const CsrGraph& graph);
+
+}  // namespace eclsim::refalgos

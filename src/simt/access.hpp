@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Classification of simulated device memory accesses.
+ *
+ * The paper's entire study is about the difference between three ways a
+ * CUDA kernel can touch shared data:
+ *
+ *  - plain (non-volatile) accesses: cacheable in the L1 and subject to
+ *    compiler value caching — fast but racy;
+ *  - volatile accesses: always reach memory (bypass the L1 on NVIDIA
+ *    hardware) but still non-atomic and therefore still racy;
+ *  - relaxed atomic accesses (libcu++): race-free, resolved at the L2,
+ *    with an architecture-dependent atomic-unit cost.
+ *
+ * AccessMode mirrors this three-way split; every kernel memory operation
+ * in eclsim carries one.
+ */
+#pragma once
+
+#include "core/types.hpp"
+
+namespace eclsim::simt {
+
+/** How a load/store is qualified in the source program. */
+enum class AccessMode : u8 {
+    kPlain,     ///< ordinary non-volatile access (racy, L1-cacheable)
+    kVolatile,  ///< volatile-qualified access (racy, bypasses the L1)
+    kAtomic,    ///< cuda::atomic relaxed load/store (race-free, at the L2)
+};
+
+/** Kind of memory operation. */
+enum class MemOpKind : u8 {
+    kLoad,
+    kStore,
+    kRmw,  ///< atomic read-modify-write (always atomic, always live)
+};
+
+/**
+ * Memory-ordering constraint of an atomic operation (libcu++'s
+ * cuda::memory_order). The paper's converted codes use kRelaxed
+ * throughout — "the weakest version that is sufficient for correctness
+ * should be used to maximize performance" (Section II-A) — and warns
+ * that the default (seq_cst) "can lead to poor performance".
+ */
+enum class MemoryOrder : u8 {
+    kRelaxed,
+    kAcquire,
+    kRelease,
+    kSeqCst,
+};
+
+/**
+ * Scope of an atomic operation (libcu++'s cuda::thread_scope): how far
+ * the atomicity and ordering must be visible. Narrower scopes can
+ * resolve closer to the core (block scope in the SM, device scope at
+ * the L2, system scope with host visibility).
+ */
+enum class Scope : u8 {
+    kBlock,
+    kDevice,
+    kSystem,
+};
+
+/** Read-modify-write operator. */
+enum class RmwOp : u8 {
+    kAdd,
+    kMin,  ///< unsigned comparison
+    kMax,  ///< unsigned comparison
+    kAnd,
+    kOr,
+    kExch,
+    kCas,
+};
+
+/** One device memory request as issued by a kernel thread. */
+struct MemRequest
+{
+    u64 addr = 0;                       ///< byte address in the arena
+    u8 size = 4;                        ///< 1, 2, 4, or 8 bytes
+    MemOpKind kind = MemOpKind::kLoad;
+    AccessMode mode = AccessMode::kPlain;
+    RmwOp rmw = RmwOp::kAdd;
+    MemoryOrder order = MemoryOrder::kRelaxed;  ///< atomics only
+    Scope scope = Scope::kDevice;               ///< atomics only
+    u64 value = 0;    ///< store value / RMW operand (zero-extended)
+    u64 compare = 0;  ///< CAS expected value
+    /**
+     * When set, non-atomic 8-byte accesses execute as two 4-byte machine
+     * transfers — the word-tearing hazard of the paper's Fig. 1. The
+     * interleaved engine sets this to model a 32-bit-native target (where
+     * such code breaks); the fast engine models the actual evaluation
+     * GPUs, which have native 64-bit transfers.
+     */
+    bool split_wide = false;
+
+    /** Number of machine-level pieces the access decomposes into.
+     *  Atomics and RMWs never tear regardless of split_wide. */
+    u32
+    pieces() const
+    {
+        const bool indivisible =
+            kind == MemOpKind::kRmw || mode == AccessMode::kAtomic;
+        return (split_wide && !indivisible && size == 8) ? 2 : 1;
+    }
+};
+
+/** True if this request participates in data races (i.e. is not atomic). */
+inline bool
+isRacy(const MemRequest& req)
+{
+    return req.kind != MemOpKind::kRmw && req.mode != AccessMode::kAtomic;
+}
+
+}  // namespace eclsim::simt

@@ -1,0 +1,88 @@
+#include "simt/cache.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace eclsim::simt {
+
+CacheStats&
+CacheStats::operator+=(const CacheStats& other)
+{
+    load_hits += other.load_hits;
+    load_misses += other.load_misses;
+    store_hits += other.store_hits;
+    store_misses += other.store_misses;
+    return *this;
+}
+
+CacheModel::CacheModel(u64 capacity_bytes, u32 line_bytes, u32 ways)
+    : line_bytes_(line_bytes), ways_(ways)
+{
+    ECLSIM_ASSERT(line_bytes_ > 0 && (line_bytes_ & (line_bytes_ - 1)) == 0,
+                  "line size {} must be a power of two", line_bytes_);
+    ECLSIM_ASSERT(ways_ > 0, "cache needs at least one way");
+    const u64 lines = std::max<u64>(capacity_bytes / line_bytes_, ways_);
+    num_sets_ = static_cast<u32>(std::max<u64>(lines / ways_, 1));
+    // Round sets down to a power of two for cheap indexing.
+    while (num_sets_ & (num_sets_ - 1))
+        num_sets_ &= num_sets_ - 1;
+    lines_.resize(static_cast<size_t>(num_sets_) * ways_);
+}
+
+bool
+CacheModel::access(u64 addr, bool is_store)
+{
+    const u64 line_addr = addr / line_bytes_;
+    const u32 set = static_cast<u32>(line_addr & (num_sets_ - 1));
+    const u64 tag = line_addr >> 1;  // includes set bits; uniqueness is all
+                                     // that matters for hit detection
+    Line* base = &lines_[static_cast<size_t>(set) * ways_];
+    ++tick_;
+
+    for (u32 w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == line_addr) {
+            base[w].lru = tick_;
+            if (is_store)
+                ++stats_.store_hits;
+            else
+                ++stats_.load_hits;
+            return true;
+        }
+    }
+    (void)tag;
+    // Miss: replace the LRU way (write-allocate for stores too).
+    Line* victim = base;
+    for (u32 w = 1; w < ways_; ++w)
+        if (!base[w].valid || base[w].lru < victim->lru ||
+            (victim->valid && !base[w].valid))
+            victim = &base[w];
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->lru = tick_;
+    if (is_store)
+        ++stats_.store_misses;
+    else
+        ++stats_.load_misses;
+    return false;
+}
+
+bool
+CacheModel::contains(u64 addr) const
+{
+    const u64 line_addr = addr / line_bytes_;
+    const u32 set = static_cast<u32>(line_addr & (num_sets_ - 1));
+    const Line* base = &lines_[static_cast<size_t>(set) * ways_];
+    for (u32 w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == line_addr)
+            return true;
+    return false;
+}
+
+void
+CacheModel::clear()
+{
+    std::fill(lines_.begin(), lines_.end(), Line{});
+}
+
+}  // namespace eclsim::simt

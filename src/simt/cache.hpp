@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Set-associative LRU cache model.
+ *
+ * Used for the per-SM L1 caches and the device-wide L2. The paper's core
+ * performance explanation is a cache-path effect: "the baseline [CC] code
+ * has a much higher L1 hit rate for both loads and stores, which explains
+ * the performance difference" (Section VI-A). CacheModel exposes separate
+ * load/store hit counters so the profile bench can reproduce that
+ * comparison.
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eclsim::simt {
+
+/** Hit/miss counters of one cache. */
+struct CacheStats
+{
+    u64 load_hits = 0;
+    u64 load_misses = 0;
+    u64 store_hits = 0;
+    u64 store_misses = 0;
+
+    u64 hits() const { return load_hits + store_hits; }
+    u64 misses() const { return load_misses + store_misses; }
+    double
+    hitRate() const
+    {
+        const u64 total = hits() + misses();
+        return total == 0 ? 0.0 : static_cast<double>(hits()) /
+                                      static_cast<double>(total);
+    }
+    double
+    loadHitRate() const
+    {
+        const u64 total = load_hits + load_misses;
+        return total == 0 ? 0.0 : static_cast<double>(load_hits) /
+                                      static_cast<double>(total);
+    }
+
+    CacheStats& operator+=(const CacheStats& other);
+};
+
+/** A set-associative cache with LRU replacement and write-allocate. */
+class CacheModel
+{
+  public:
+    /**
+     * @param capacity_bytes total capacity (rounded down to full sets)
+     * @param line_bytes cache-line size (power of two)
+     * @param ways associativity
+     */
+    CacheModel(u64 capacity_bytes, u32 line_bytes, u32 ways);
+
+    /** Look up addr; allocates the line on a miss. Returns true on hit. */
+    bool access(u64 addr, bool is_store);
+
+    /** Probe without counting or allocating. */
+    bool contains(u64 addr) const;
+
+    /** Invalidate all lines (between launches if desired). */
+    void clear();
+
+    const CacheStats& stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+    u32 lineBytes() const { return line_bytes_; }
+    u32 numSets() const { return num_sets_; }
+    u32 ways() const { return ways_; }
+
+  private:
+    struct Line
+    {
+        u64 tag = ~u64{0};
+        u64 lru = 0;  ///< larger = more recently used
+        bool valid = false;
+    };
+
+    u32 line_bytes_;
+    u32 ways_;
+    u32 num_sets_;
+    u64 tick_ = 0;
+    std::vector<Line> lines_;  ///< num_sets_ * ways_, set-major
+    CacheStats stats_;
+};
+
+}  // namespace eclsim::simt

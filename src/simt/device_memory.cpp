@@ -1,0 +1,135 @@
+#include "simt/device_memory.hpp"
+
+namespace eclsim::simt {
+
+DeviceMemory::DeviceMemory(u64 capacity_bytes) : capacity_(capacity_bytes) {}
+
+u64
+DeviceMemory::allocBytes(u64 bytes, std::string name, Visibility visibility)
+{
+    ECLSIM_ASSERT(bytes > 0, "zero-size allocation '{}'", name);
+    constexpr u64 kAlign = 128;
+    const u64 offset = (arena_.size() + kAlign - 1) / kAlign * kAlign;
+    const u64 end = offset + bytes;
+    if (end > capacity_)
+        fatal("device memory exhausted: allocation '{}' of {} bytes "
+              "exceeds capacity {}",
+              name, bytes, capacity_);
+    arena_.resize(end, 0);
+    if (visibility == Visibility::kSweepSnapshot) {
+        has_snapshot_allocs_ = true;
+        if (snapshot_.size() < end)
+            snapshot_.resize(end, 0);
+        if (writers_.size() < end)
+            writers_.resize(end, kNoWriter);
+    }
+
+    Allocation alloc;
+    alloc.name = std::move(name);
+    alloc.offset = offset;
+    alloc.bytes = bytes;
+    alloc.visibility = visibility;
+    allocations_.push_back(std::move(alloc));
+
+    const u64 last_page = (end - 1) / kPageBytes;
+    if (page_to_allocation_.size() <= last_page)
+        page_to_allocation_.resize(last_page + 1, kNoAllocation);
+    // A page may straddle two allocations; the later allocation wins for
+    // its own pages, and allocationAt() double-checks the byte range.
+    for (u64 page = offset / kPageBytes; page <= last_page; ++page)
+        page_to_allocation_[page] = static_cast<u32>(allocations_.size() - 1);
+    return offset;
+}
+
+const Allocation&
+DeviceMemory::allocation(size_t index) const
+{
+    ECLSIM_ASSERT(index < allocations_.size(), "allocation index {}", index);
+    return allocations_[index];
+}
+
+u32
+DeviceMemory::allocationIndexAt(u64 addr) const
+{
+    const u64 page = addr / kPageBytes;
+    ECLSIM_ASSERT(page < page_to_allocation_.size(),
+                  "address {} beyond arena", addr);
+    u32 index = page_to_allocation_[page];
+    ECLSIM_ASSERT(index != kNoAllocation, "address {} unmapped", addr);
+    // Walk back if addr belongs to the previous allocation on a shared page.
+    while (index > 0 && allocations_[index].offset > addr)
+        --index;
+    const Allocation& alloc = allocations_[index];
+    ECLSIM_ASSERT(addr >= alloc.offset && addr < alloc.offset + alloc.bytes,
+                  "address {} outside every allocation", addr);
+    return index;
+}
+
+const Allocation&
+DeviceMemory::allocationAt(u64 addr) const
+{
+    return allocations_[allocationIndexAt(addr)];
+}
+
+void
+DeviceMemory::checkRange(u64 addr, u64 bytes) const
+{
+    ECLSIM_ASSERT(addr + bytes <= arena_.size(),
+                  "device access [{}, {}) beyond arena size {}", addr,
+                  addr + bytes, arena_.size());
+}
+
+u64
+DeviceMemory::loadLive(u64 addr, u8 size) const
+{
+    checkRange(addr, size);
+    u64 value = 0;
+    std::memcpy(&value, arena_.data() + addr, size);
+    return value;
+}
+
+void
+DeviceMemory::storeLive(u64 addr, u8 size, u64 value)
+{
+    checkRange(addr, size);
+    std::memcpy(arena_.data() + addr, &value, size);
+}
+
+u64
+DeviceMemory::loadSnapshotAware(u64 addr, u8 size, u32 reader_thread) const
+{
+    checkRange(addr, size);
+    u64 value = 0;
+    for (u8 i = 0; i < size; ++i) {
+        const u64 a = addr + i;
+        const u8 byte =
+            writers_[a] == reader_thread ? arena_[a] : snapshot_[a];
+        value |= static_cast<u64>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+DeviceMemory::noteWriter(u64 addr, u8 size, u32 writer_thread)
+{
+    checkRange(addr, size);
+    for (u8 i = 0; i < size; ++i)
+        writers_[addr + i] = writer_thread;
+}
+
+void
+DeviceMemory::snapshotSweepAllocations()
+{
+    if (!has_snapshot_allocs_)
+        return;
+    for (const Allocation& alloc : allocations_) {
+        if (alloc.visibility != Visibility::kSweepSnapshot)
+            continue;
+        std::memcpy(snapshot_.data() + alloc.offset,
+                    arena_.data() + alloc.offset, alloc.bytes);
+        std::fill_n(writers_.begin() + static_cast<i64>(alloc.offset),
+                    alloc.bytes, kNoWriter);
+    }
+}
+
+}  // namespace eclsim::simt

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Simulated device (global) memory.
+ *
+ * DeviceMemory is a byte-addressable arena. Kernels address it through
+ * typed DevicePtr<T> handles; the host reads and writes it directly for
+ * setup and result collection (analogous to cudaMemcpy).
+ *
+ * Each allocation carries a Visibility class:
+ *
+ *  - kLive: plain reads observe the latest stored value (hardware-coherent
+ *    global memory).
+ *  - kSweepSnapshot: plain (non-volatile, non-atomic) reads observe the
+ *    value the location had when the current kernel launch began, unless
+ *    the reading thread itself wrote it since. This models the compiler
+ *    value-caching the paper blames for delayed update visibility in the
+ *    racy MIS baseline ("the compiler may 'optimize' some of these
+ *    accesses, thus delaying when updates become visible to other
+ *    threads", Section VI-A). Volatile and atomic reads always see live
+ *    values, which is precisely why converting the code to atomics speeds
+ *    up value propagation.
+ */
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/logging.hpp"
+#include "core/types.hpp"
+
+namespace eclsim::simt {
+
+/** Visibility class of an allocation (see file comment). */
+enum class Visibility : u8 {
+    kLive,
+    kSweepSnapshot,
+};
+
+/** Typed handle to device memory (a byte offset into the arena). */
+template <typename T>
+class DevicePtr
+{
+  public:
+    DevicePtr() = default;
+    explicit DevicePtr(u64 addr) : addr_(addr) {}
+
+    /** Byte address of element index. */
+    u64 rawAt(u64 index) const { return addr_ + index * sizeof(T); }
+    /** Byte address of element 0. */
+    u64 raw() const { return addr_; }
+    bool null() const { return addr_ == kNullAddr; }
+
+    /** Pointer advanced by count elements. */
+    DevicePtr
+    operator+(u64 count) const
+    {
+        return DevicePtr(addr_ + count * sizeof(T));
+    }
+
+    /** Reinterpret as a different element type (the paper's Fig. 3 casts
+     *  a char array to an int array this way). */
+    template <typename U>
+    DevicePtr<U>
+    cast() const
+    {
+        return DevicePtr<U>(addr_);
+    }
+
+    static constexpr u64 kNullAddr = ~u64{0};
+
+  private:
+    u64 addr_ = kNullAddr;
+};
+
+/** Metadata of one device allocation. */
+struct Allocation
+{
+    std::string name;
+    u64 offset = 0;
+    u64 bytes = 0;
+    Visibility visibility = Visibility::kLive;
+};
+
+/** The simulated global-memory arena. */
+class DeviceMemory
+{
+  public:
+    /** @param capacity_bytes maximum arena size (grows up to this). */
+    explicit DeviceMemory(u64 capacity_bytes = u64{1} << 31);
+
+    /** Allocate count elements of T, 128-byte aligned, zero-initialized. */
+    template <typename T>
+    DevicePtr<T>
+    alloc(u64 count, std::string name,
+          Visibility visibility = Visibility::kLive)
+    {
+        const u64 offset =
+            allocBytes(count * sizeof(T), std::move(name), visibility);
+        return DevicePtr<T>(offset);
+    }
+
+    /** Number of allocations made so far. */
+    size_t numAllocations() const { return allocations_.size(); }
+    const Allocation& allocation(size_t index) const;
+    /** Allocation containing the given byte address; panics if unmapped. */
+    const Allocation& allocationAt(u64 addr) const;
+    /** Index of the allocation containing addr. */
+    u32 allocationIndexAt(u64 addr) const;
+
+    u64 size() const { return arena_.size(); }
+    bool hasSnapshotAllocs() const { return has_snapshot_allocs_; }
+
+    // --- host-side (untimed) access -------------------------------------
+
+    template <typename T>
+    T
+    read(DevicePtr<T> ptr, u64 index = 0) const
+    {
+        T out;
+        checkRange(ptr.rawAt(index), sizeof(T));
+        std::memcpy(&out, arena_.data() + ptr.rawAt(index), sizeof(T));
+        return out;
+    }
+
+    template <typename T>
+    void
+    write(DevicePtr<T> ptr, const T& value)
+    {
+        checkRange(ptr.raw(), sizeof(T));
+        std::memcpy(arena_.data() + ptr.raw(), &value, sizeof(T));
+    }
+
+    template <typename T>
+    void
+    writeAt(DevicePtr<T> ptr, u64 index, const T& value)
+    {
+        checkRange(ptr.rawAt(index), sizeof(T));
+        std::memcpy(arena_.data() + ptr.rawAt(index), &value, sizeof(T));
+    }
+
+    /** Copy a host vector into device memory (cudaMemcpy H2D analogue). */
+    template <typename T>
+    void
+    upload(DevicePtr<T> ptr, const std::vector<T>& values)
+    {
+        checkRange(ptr.raw(), values.size() * sizeof(T));
+        std::memcpy(arena_.data() + ptr.raw(), values.data(),
+                    values.size() * sizeof(T));
+    }
+
+    /** Copy device memory into a host vector (cudaMemcpy D2H analogue). */
+    template <typename T>
+    std::vector<T>
+    download(DevicePtr<T> ptr, u64 count) const
+    {
+        checkRange(ptr.raw(), count * sizeof(T));
+        std::vector<T> out(count);
+        std::memcpy(out.data(), arena_.data() + ptr.raw(),
+                    count * sizeof(T));
+        return out;
+    }
+
+    /** Fill count elements with one value (cudaMemset analogue). */
+    template <typename T>
+    void
+    fill(DevicePtr<T> ptr, u64 count, const T& value)
+    {
+        for (u64 i = 0; i < count; ++i)
+            writeAt(ptr, i, value);
+    }
+
+    // --- device-side functional access (used by the memory subsystem) ---
+
+    /** Little-endian load of size bytes from the live arena. */
+    u64 loadLive(u64 addr, u8 size) const;
+    /** Little-endian store of size bytes into the live arena. */
+    void storeLive(u64 addr, u8 size, u64 value);
+    /**
+     * Visibility-aware load: bytes written by reader_thread since the last
+     * snapshot come from the live arena, all others from the snapshot.
+     * Only meaningful inside a kSweepSnapshot allocation.
+     */
+    u64 loadSnapshotAware(u64 addr, u8 size, u32 reader_thread) const;
+    /** Record reader-visible ownership of freshly written bytes. */
+    void noteWriter(u64 addr, u8 size, u32 writer_thread);
+
+    /**
+     * Begin-of-launch bookkeeping: copy every kSweepSnapshot allocation's
+     * live bytes into the snapshot and forget per-thread write ownership.
+     */
+    void snapshotSweepAllocations();
+
+  private:
+    u64 allocBytes(u64 bytes, std::string name, Visibility visibility);
+    void checkRange(u64 addr, u64 bytes) const;
+
+    static constexpr u64 kPageBytes = 4096;
+    static constexpr u32 kNoAllocation = ~u32{0};
+    static constexpr u32 kNoWriter = ~u32{0};
+
+    u64 capacity_;
+    std::vector<u8> arena_;
+    std::vector<u8> snapshot_;
+    std::vector<u32> writers_;  ///< per-byte writer thread, snapshot allocs
+    std::vector<Allocation> allocations_;
+    std::vector<u32> page_to_allocation_;
+    bool has_snapshot_allocs_ = false;
+};
+
+}  // namespace eclsim::simt

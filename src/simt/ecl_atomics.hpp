@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The paper's race-elimination device library (Figures 2-5), expressed
+ * over the simulator's ThreadCtx API.
+ *
+ * Fig. 2: atomicRead / atomicWrite — relaxed atomic load/store wrappers
+ *   (libcu++ cuda::atomic with cuda::memory_order_relaxed).
+ * Fig. 3: atomically reading a char by casting the array to int,
+ *   atomically loading the covering word, and shifting/masking.
+ * Fig. 4: atomically writing a char with atomic bitwise AND/OR masks.
+ * Fig. 5: readFirst/readSecond/writeFirst/writeSecond — accessing the two
+ *   int halves of an int2 pair stored as a long long. Word tearing
+ *   between the halves is acceptable (each half is independently
+ *   meaningful); tearing within a half is not, hence the 32-bit atomics.
+ *
+ * All functions return awaitables; kernels use them as
+ *   `stat nv = ecl::extractByte(co_await ecl::atomicReadByteWord(...))`.
+ */
+#pragma once
+
+#include "simt/engine.hpp"
+
+namespace eclsim::ecl {
+
+using simt::AccessMode;
+using simt::DevicePtr;
+using simt::ThreadCtx;
+
+/** Fig. 2: relaxed atomic load. */
+template <typename T>
+auto
+atomicRead(ThreadCtx& t, DevicePtr<T> ptr, u64 index = 0)
+{
+    return t.load(ptr, index, AccessMode::kAtomic);
+}
+
+/** Fig. 2: relaxed atomic store. */
+template <typename T>
+auto
+atomicWrite(ThreadCtx& t, DevicePtr<T> ptr, u64 index, T value)
+{
+    return t.store(ptr, index, value, AccessMode::kAtomic);
+}
+
+// --- Fig. 3: typecasting and masking for byte-size loads -----------------
+
+/**
+ * Atomically load the 32-bit word covering byte element index of a byte
+ * array (the `atomicRead(&nstat4[v / 4])` of Fig. 3b). The allocation is
+ * 128-byte aligned, so the cast to int is always safe.
+ */
+inline auto
+atomicReadByteWord(ThreadCtx& t, DevicePtr<u8> base, u64 index)
+{
+    return t.load(base.template cast<u32>(), index / 4,
+                  AccessMode::kAtomic);
+}
+
+/** Extract byte element index from its covering word (Fig. 3b line 3). */
+constexpr u8
+extractByte(u32 word, u64 index)
+{
+    return static_cast<u8>((word >> ((index % 4) * 8)) & 0xffu);
+}
+
+// --- Fig. 4: typecasting and masking for byte-size stores ----------------
+
+/**
+ * Atomically clear bits of byte element index: the covering word is
+ * AND-ed with a mask that keeps every other byte intact and keeps only
+ * `keep` bits of the target byte (Fig. 4b uses keep = 0x00 to write 0).
+ */
+inline auto
+atomicByteAnd(ThreadCtx& t, DevicePtr<u8> base, u64 index, u8 keep)
+{
+    const u32 shift = static_cast<u32>((index % 4) * 8);
+    const u32 mask = ~(0xffu << shift) | (static_cast<u32>(keep) << shift);
+    return t.atomicAnd(base.template cast<u32>(), index / 4, mask);
+}
+
+/** Atomically set bits of byte element index via atomic OR. */
+inline auto
+atomicByteOr(ThreadCtx& t, DevicePtr<u8> base, u64 index, u8 bits)
+{
+    const u32 shift = static_cast<u32>((index % 4) * 8);
+    return t.atomicOr(base.template cast<u32>(), index / 4,
+                      static_cast<u32>(bits) << shift);
+}
+
+// --- Fig. 5: int pairs stored in long long --------------------------------
+
+/** Atomically read the first int of pair element index. */
+inline auto
+readFirst(ThreadCtx& t, DevicePtr<u64> pairs, u64 index)
+{
+    return t.load(pairs.template cast<u32>(), 2 * index,
+                  AccessMode::kAtomic);
+}
+
+/** Atomically read the second int of pair element index. */
+inline auto
+readSecond(ThreadCtx& t, DevicePtr<u64> pairs, u64 index)
+{
+    return t.load(pairs.template cast<u32>(), 2 * index + 1,
+                  AccessMode::kAtomic);
+}
+
+/** Atomically write the first int of pair element index. */
+inline auto
+writeFirst(ThreadCtx& t, DevicePtr<u64> pairs, u64 index, u32 first)
+{
+    return t.store(pairs.template cast<u32>(), 2 * index, first,
+                   AccessMode::kAtomic);
+}
+
+/** Atomically write the second int of pair element index. */
+inline auto
+writeSecond(ThreadCtx& t, DevicePtr<u64> pairs, u64 index, u32 second)
+{
+    return t.store(pairs.template cast<u32>(), 2 * index + 1, second,
+                   AccessMode::kAtomic);
+}
+
+// --- plain (racy) counterparts used by the baselines ----------------------
+
+/** Non-atomic read of one int half of a pair (the racy baseline form). */
+inline auto
+plainReadFirst(ThreadCtx& t, DevicePtr<u64> pairs, u64 index,
+               AccessMode mode = AccessMode::kPlain)
+{
+    return t.load(pairs.template cast<u32>(), 2 * index, mode);
+}
+
+/** Non-atomic read of the second int half of a pair. */
+inline auto
+plainReadSecond(ThreadCtx& t, DevicePtr<u64> pairs, u64 index,
+                AccessMode mode = AccessMode::kPlain)
+{
+    return t.load(pairs.template cast<u32>(), 2 * index + 1, mode);
+}
+
+/** Non-atomic write of the first int half of a pair. */
+inline auto
+plainWriteFirst(ThreadCtx& t, DevicePtr<u64> pairs, u64 index, u32 first,
+                AccessMode mode = AccessMode::kPlain)
+{
+    return t.store(pairs.template cast<u32>(), 2 * index, first, mode);
+}
+
+/** Non-atomic write of the second int half of a pair. */
+inline auto
+plainWriteSecond(ThreadCtx& t, DevicePtr<u64> pairs, u64 index, u32 second,
+                 AccessMode mode = AccessMode::kPlain)
+{
+    return t.store(pairs.template cast<u32>(), 2 * index + 1, second, mode);
+}
+
+}  // namespace eclsim::ecl

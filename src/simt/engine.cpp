@@ -1,0 +1,378 @@
+#include "simt/engine.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+
+namespace eclsim::simt {
+
+LaunchConfig
+launchFor(u64 work, u32 block)
+{
+    LaunchConfig config;
+    config.block_x = block;
+    config.block_y = 1;
+    config.grid = static_cast<u32>(
+        std::max<u64>(1, (work + block - 1) / block));
+    return config;
+}
+
+Engine::Engine(GpuSpec spec, DeviceMemory& memory, EngineOptions options)
+    : spec_(std::move(spec)), memory_(memory), options_(options)
+{
+    ECLSIM_ASSERT(spec_.num_sms >= 1, "GPU needs at least one SM");
+    if (options_.detect_races)
+        detector_ = std::make_unique<RaceDetector>(memory_);
+    mem_subsystem_ = std::make_unique<MemorySubsystem>(
+        spec_, memory_, options_.memory, detector_.get());
+    sm_cycles_.assign(spec_.num_sms, 0);
+}
+
+Engine::~Engine() = default;
+
+std::vector<u32>
+Engine::blockOrder(u32 grid) const
+{
+    std::vector<u32> order(grid);
+    for (u32 b = 0; b < grid; ++b)
+        order[b] = b;
+    if (options_.shuffle_blocks && grid > 1) {
+        SplitMix64 rng(options_.seed ^ hash64(launch_counter_));
+        for (u32 i = grid - 1; i > 0; --i)
+            std::swap(order[i], order[rng.nextBelow(i + 1)]);
+    }
+    return order;
+}
+
+void
+Engine::applyAtomicOverrides(MemRequest& req) const
+{
+    const bool is_atomic =
+        req.kind == MemOpKind::kRmw || req.mode == AccessMode::kAtomic;
+    if (!is_atomic)
+        return;
+    if (options_.override_atomic_order)
+        req.order = options_.forced_atomic_order;
+    if (options_.override_atomic_scope)
+        req.scope = options_.forced_atomic_scope;
+}
+
+u64
+Engine::performImmediate(ThreadCtx& ctx, const MemRequest& req_in)
+{
+    MemRequest req = req_in;
+    applyAtomicOverrides(req);
+    const auto result = mem_subsystem_->performPieces(
+        ctx.info_, ctx.sm_, req, 0, req.pieces());
+    // Latency is overlapped with other resident warps; the issue slots
+    // are not. Both terms matter: the ratio between an L1 hit and an L2
+    // atomic as *observed throughput* is much smaller than the raw
+    // latency ratio on a well-occupied GPU.
+    const u64 hidden = static_cast<u64>(
+        static_cast<double>(result.latency) / spec_.latency_hiding);
+    sm_cycles_[ctx.sm_] +=
+        static_cast<u64>(spec_.issue_cycles) * req.pieces() + hidden;
+    return result.value_bits;
+}
+
+void
+Engine::submitAccess(ThreadCtx& ctx, const MemRequest& req_in)
+{
+    // Interleaved mode: execute the first piece now; the remaining piece
+    // (if any) executes when the thread wakes, so other threads can
+    // observe — or destroy — the half-done access in between. This engine
+    // models the hypothetical 32-bit-native target of the paper's Fig. 1,
+    // so wide non-atomic accesses are split.
+    MemRequest req = req_in;
+    req.split_wide = true;
+    applyAtomicOverrides(req);
+    const auto result =
+        mem_subsystem_->performPieces(ctx.info_, ctx.sm_, req, 0, 1);
+    ctx.pending_req_ = req;
+    ctx.pending_bits_ = result.value_bits;
+    ctx.pending_pieces_done_ = 1;
+    ctx.has_pending_ = true;
+    ctx.ready_cycle_ = now_ + spec_.issue_cycles + result.latency +
+                       ctx.deferred_work_;
+    ctx.deferred_work_ = 0;
+}
+
+void
+Engine::arriveBarrier(ThreadCtx& ctx)
+{
+    ctx.at_barrier_ = true;
+    ++barrier_count_[ctx.info_.block];
+}
+
+void
+Engine::chargeWork(ThreadCtx& ctx, u32 cycles)
+{
+    if (fastMode())
+        sm_cycles_[ctx.sm_] += cycles;
+    else
+        ctx.deferred_work_ += cycles;
+}
+
+void
+ThreadCtx::work(u32 cycles)
+{
+    engine_->chargeWork(*this, cycles);
+}
+
+bool
+MemAwaiterBase::await_ready()
+{
+    if (ctx_->engine_->fastMode()) {
+        result_bits_ = ctx_->engine_->performImmediate(*ctx_, req_);
+        immediate_ = true;
+        return true;
+    }
+    return false;
+}
+
+void
+MemAwaiterBase::await_suspend(std::coroutine_handle<>)
+{
+    ctx_->engine_->submitAccess(*ctx_, req_);
+}
+
+u64
+MemAwaiterBase::await_resume()
+{
+    return immediate_ ? result_bits_ : ctx_->pending_bits_;
+}
+
+bool
+BarrierAwaiter::await_ready()
+{
+    // A one-thread block synchronizes trivially.
+    return ctx_->block_x_ * ctx_->block_y_ == 1;
+}
+
+void
+BarrierAwaiter::await_suspend(std::coroutine_handle<>)
+{
+    ctx_->engine_->arriveBarrier(*ctx_);
+}
+
+LaunchStats
+Engine::launch(const std::string& name, const LaunchConfig& config,
+               const std::function<Task(ThreadCtx&)>& kernel)
+{
+    ECLSIM_ASSERT(config.grid >= 1 && config.blockSize() >= 1,
+                  "empty launch '{}'", name);
+    mem_subsystem_->beginLaunch();
+    std::fill(sm_cycles_.begin(), sm_cycles_.end(), 0);
+    barrier_count_.assign(config.grid, 0);
+    block_alive_.assign(config.grid, config.blockSize());
+    now_ = 0;
+
+    LaunchStats stats;
+    stats.kernel = name;
+    if (fastMode())
+        runFast(config, kernel, stats);
+    else
+        runInterleaved(config, kernel, stats);
+
+    ++launch_counter_;
+    stats.mem = mem_subsystem_->launchCounters();
+
+    u64 cycles = 0;
+    if (fastMode()) {
+        for (u64 c : sm_cycles_)
+            cycles = std::max(cycles, c);
+    } else {
+        cycles = now_;
+    }
+    cycles = std::max(
+        cycles, static_cast<u64>(mem_subsystem_->dramBoundCycles()));
+    stats.cycles = cycles;
+    stats.ms = static_cast<double>(cycles) / (spec_.clock_ghz * 1e6);
+    elapsed_ms_ += stats.ms;
+    return stats;
+}
+
+void
+Engine::runFast(const LaunchConfig& config,
+                const std::function<Task(ThreadCtx&)>& kernel,
+                LaunchStats& stats)
+{
+    (void)stats;
+    const auto order = blockOrder(config.grid);
+    const u32 block_size = config.blockSize();
+    std::vector<u8> shared(std::max<u32>(config.shared_bytes, 1));
+
+    std::vector<ThreadCtx> threads(block_size);
+    for (u32 pos = 0; pos < config.grid; ++pos) {
+        const u32 block = order[pos];
+        const u32 sm = pos % spec_.num_sms;
+
+        for (u32 t = 0; t < block_size; ++t) {
+            ThreadCtx& ctx = threads[t];
+            ctx = ThreadCtx();
+            ctx.engine_ = this;
+            ctx.info_.launch = launch_counter_;
+            ctx.info_.thread = block * block_size + t;
+            ctx.info_.block = block;
+            ctx.info_.epoch = 0;
+            ctx.sm_ = sm;
+            ctx.thread_in_block_ = t;
+            ctx.block_x_ = config.block_x;
+            ctx.block_y_ = config.block_y;
+            ctx.grid_ = config.grid;
+            ctx.shared_base_ = shared.data();
+            ctx.task_ = kernel(ctx);
+        }
+
+        // Run the block's threads; only barriers suspend in fast mode.
+        u32 alive = block_size;
+        while (alive > 0) {
+            bool progressed = false;
+            for (u32 t = 0; t < block_size; ++t) {
+                ThreadCtx& ctx = threads[t];
+                if (ctx.finished_ || ctx.at_barrier_)
+                    continue;
+                progressed = true;
+                ctx.task_.resume();
+                if (ctx.task_.done()) {
+                    ctx.finished_ = true;
+                    --alive;
+                    --block_alive_[block];
+                }
+            }
+            if (alive == 0)
+                break;
+            if (barrier_count_[block] == alive) {
+                // Release the barrier: everyone alive has arrived.
+                barrier_count_[block] = 0;
+                sm_cycles_[sm] += kBarrierCycles;
+                for (u32 t = 0; t < block_size; ++t) {
+                    ThreadCtx& ctx = threads[t];
+                    if (ctx.at_barrier_) {
+                        ctx.at_barrier_ = false;
+                        ++ctx.info_.epoch;
+                    }
+                }
+            } else if (!progressed) {
+                panic("__syncthreads deadlock in block {} ({} alive, {} "
+                      "arrived)",
+                      block, alive, barrier_count_[block]);
+            }
+        }
+    }
+}
+
+void
+Engine::runInterleaved(const LaunchConfig& config,
+                       const std::function<Task(ThreadCtx&)>& kernel,
+                       LaunchStats& stats)
+{
+    (void)stats;
+    const u64 total = config.totalThreads();
+    ECLSIM_ASSERT(total <= options_.max_interleaved_threads,
+                  "interleaved launch of {} threads exceeds the cap {}",
+                  total, options_.max_interleaved_threads);
+    const auto order = blockOrder(config.grid);
+    const u32 block_size = config.blockSize();
+
+    std::vector<std::vector<u8>> shared(
+        config.grid,
+        std::vector<u8>(std::max<u32>(config.shared_bytes, 1)));
+    std::vector<ThreadCtx> threads(total);
+    std::vector<u64> block_start(config.grid, 0);
+
+    // (ready_cycle, sequence, thread index): min-heap ordered by time with
+    // a deterministic tiebreak.
+    using QueueEntry = std::tuple<u64, u64, u64>;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        queue;
+    u64 seq = 0;
+
+    u64 idx = 0;
+    for (u32 pos = 0; pos < config.grid; ++pos) {
+        const u32 block = order[pos];
+        const u32 sm = pos % spec_.num_sms;
+        block_start[block] = idx;
+        for (u32 t = 0; t < block_size; ++t, ++idx) {
+            ThreadCtx& ctx = threads[idx];
+            ctx.engine_ = this;
+            ctx.info_.launch = launch_counter_;
+            ctx.info_.thread = block * block_size + t;
+            ctx.info_.block = block;
+            ctx.sm_ = sm;
+            ctx.thread_in_block_ = t;
+            ctx.block_x_ = config.block_x;
+            ctx.block_y_ = config.block_y;
+            ctx.grid_ = config.grid;
+            ctx.shared_base_ = shared[block].data();
+            ctx.task_ = kernel(ctx);
+            // Small per-thread start jitter: real warp schedulers do not
+            // start every thread in lockstep, and the jitter lets races
+            // and word tearing realize different interleavings per seed.
+            queue.emplace(hash64(options_.seed ^ (idx * 0x9e3779b9ULL)) %
+                              64,
+                          seq++, idx);
+        }
+    }
+
+    u64 remaining = total;
+    auto releaseBarrierIfReady = [&](u32 block) {
+        if (block_alive_[block] == 0 ||
+            barrier_count_[block] != block_alive_[block])
+            return;
+        barrier_count_[block] = 0;
+        const u64 base = block_start[block];
+        for (u32 t = 0; t < block_size; ++t) {
+            ThreadCtx& ctx = threads[base + t];
+            if (ctx.at_barrier_) {
+                ctx.at_barrier_ = false;
+                ++ctx.info_.epoch;
+                queue.emplace(now_ + kBarrierCycles, seq++, base + t);
+            }
+        }
+    };
+
+    while (!queue.empty()) {
+        const auto [ready, order_seq, ti] = queue.top();
+        queue.pop();
+        (void)order_seq;
+        now_ = std::max(now_, ready);
+        ThreadCtx& ctx = threads[ti];
+
+        // Complete the second piece of a torn access at wake time.
+        if (ctx.has_pending_ &&
+            ctx.pending_pieces_done_ < ctx.pending_req_.pieces()) {
+            const auto result = mem_subsystem_->performPieces(
+                ctx.info_, ctx.sm_, ctx.pending_req_,
+                ctx.pending_pieces_done_, ctx.pending_req_.pieces());
+            ctx.pending_bits_ |= result.value_bits;
+            ctx.pending_pieces_done_ = ctx.pending_req_.pieces();
+        }
+        ctx.has_pending_ = false;
+
+        ctx.task_.resume();
+
+        if (ctx.task_.done()) {
+            ctx.finished_ = true;
+            --block_alive_[ctx.info_.block];
+            --remaining;
+            releaseBarrierIfReady(ctx.info_.block);
+        } else if (ctx.at_barrier_) {
+            releaseBarrierIfReady(ctx.info_.block);
+        } else {
+            // Suspended on a memory access; wake at its completion time.
+            queue.emplace(ctx.ready_cycle_, seq++, ti);
+        }
+    }
+
+    if (remaining != 0)
+        panic("interleaved launch finished with {} threads blocked "
+              "(likely a __syncthreads deadlock)",
+              remaining);
+}
+
+}  // namespace eclsim::simt

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * The SIMT execution engine.
+ *
+ * Engine runs kernels — C++20 coroutines of signature
+ * `Task kernel(ThreadCtx&)` — over a simulated GPU described by a
+ * GpuSpec. Two execution modes share all kernel code:
+ *
+ *  - kFast: threads run to completion (suspending only at __syncthreads),
+ *    with every memory access routed through the cache/timing model and
+ *    charged to the owning SM. Blocks are scheduled in a per-launch
+ *    pseudo-random order, approximating the unordered block scheduling of
+ *    a real GPU. This mode drives the paper's speedup tables.
+ *
+ *  - kInterleaved: all threads coexist and a cycle-driven scheduler
+ *    interleaves them at memory-access granularity. Plain and volatile
+ *    64-bit accesses execute as two 32-bit pieces with simulated time
+ *    between them, so word tearing (paper Fig. 1) and data races are
+ *    genuinely observable. This mode drives the race-detection tests.
+ *
+ * Kernel time is reported as max-over-SMs of accumulated cycles (fast
+ * mode) or the final scheduler cycle (interleaved mode), lower-bounded by
+ * the DRAM bandwidth term, then converted to milliseconds with the
+ * spec's clock.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/types.hpp"
+#include "simt/access.hpp"
+#include "simt/device_memory.hpp"
+#include "simt/gpu_spec.hpp"
+#include "simt/memory_subsystem.hpp"
+#include "simt/race_detector.hpp"
+#include "simt/task.hpp"
+
+namespace eclsim::simt {
+
+/** Execution mode (see file comment). */
+enum class ExecMode : u8 {
+    kFast,
+    kInterleaved,
+};
+
+/** Engine configuration. */
+struct EngineOptions
+{
+    ExecMode mode = ExecMode::kFast;
+    /** Attach a dynamic race detector to every access. */
+    bool detect_races = false;
+    /** Schedule blocks in a per-launch pseudo-random order. */
+    bool shuffle_blocks = true;
+    /** Seed for the block-order shuffle (vary across measurement reps). */
+    u64 seed = 1;
+    MemoryOptions memory;
+    /** Safety cap on simultaneously resident threads (interleaved mode). */
+    u32 max_interleaved_threads = 1u << 22;
+    /**
+     * Ablation overrides: force every atomic operation's memory order /
+     * scope, regardless of what the kernel requested. Used to reproduce
+     * the claim that the libcu++ defaults (seq_cst, device scope) "can
+     * lead to poor performance" versus the relaxed ordering the paper's
+     * race-free codes use.
+     */
+    bool override_atomic_order = false;
+    MemoryOrder forced_atomic_order = MemoryOrder::kSeqCst;
+    bool override_atomic_scope = false;
+    Scope forced_atomic_scope = Scope::kDevice;
+};
+
+/** Shape of one kernel launch. */
+struct LaunchConfig
+{
+    u32 grid = 1;      ///< number of blocks (1-D)
+    u32 block_x = 256; ///< threads per block, x dimension
+    u32 block_y = 1;   ///< threads per block, y dimension
+    u32 shared_bytes = 0;
+
+    u32 blockSize() const { return block_x * block_y; }
+    u64
+    totalThreads() const
+    {
+        return static_cast<u64>(grid) * blockSize();
+    }
+};
+
+/** Convenience: 1-D launch covering at least work items. */
+LaunchConfig launchFor(u64 work, u32 block = 256);
+
+/** Result of one kernel launch. */
+struct LaunchStats
+{
+    std::string kernel;
+    u64 cycles = 0;
+    double ms = 0.0;
+    MemoryCounters mem;
+};
+
+namespace detail {
+
+template <typename T>
+constexpr u64
+toBits(T value)
+{
+    static_assert(std::is_integral_v<T> && sizeof(T) <= 8);
+    using U = std::make_unsigned_t<T>;
+    return static_cast<u64>(static_cast<U>(value));
+}
+
+template <typename T>
+constexpr T
+fromBits(u64 bits)
+{
+    static_assert(std::is_integral_v<T> && sizeof(T) <= 8);
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(bits));
+}
+
+}  // namespace detail
+
+class Engine;
+
+/**
+ * Per-thread execution context: the "device API" kernels program
+ * against. A ThreadCtx is created by the engine for every simulated
+ * thread and stays valid for the thread's whole lifetime.
+ */
+class ThreadCtx
+{
+  public:
+    // --- identification (CUDA built-in variable analogues) --------------
+    u32 globalThreadId() const { return info_.thread; }
+    u32 blockId() const { return info_.block; }
+    u32 threadInBlock() const { return thread_in_block_; }
+    u32 threadX() const { return thread_in_block_ % block_x_; }
+    u32 threadY() const { return thread_in_block_ / block_x_; }
+    u32 blockDimX() const { return block_x_; }
+    u32 blockDimY() const { return block_y_; }
+    u32 gridDim() const { return grid_; }
+    /** Total threads in the launch (gridDim * blockDim). */
+    u32 gridSize() const { return grid_ * block_x_ * block_y_; }
+
+    // --- memory operations ----------------------------------------------
+
+    /** Awaitable load; co_await yields the value of type T. Order and
+     *  scope only apply to mode == kAtomic. */
+    template <typename T>
+    auto load(DevicePtr<T> ptr, u64 index = 0,
+              AccessMode mode = AccessMode::kPlain,
+              MemoryOrder order = MemoryOrder::kRelaxed,
+              Scope scope = Scope::kDevice);
+
+    /** Awaitable store. */
+    template <typename T>
+    auto store(DevicePtr<T> ptr, u64 index, T value,
+               AccessMode mode = AccessMode::kPlain,
+               MemoryOrder order = MemoryOrder::kRelaxed,
+               Scope scope = Scope::kDevice);
+
+    template <typename T>
+    auto atomicAdd(DevicePtr<T> ptr, u64 index, T operand,
+                   MemoryOrder order = MemoryOrder::kRelaxed,
+                   Scope scope = Scope::kDevice);
+    template <typename T>
+    auto atomicMin(DevicePtr<T> ptr, u64 index, T operand,
+                   MemoryOrder order = MemoryOrder::kRelaxed,
+                   Scope scope = Scope::kDevice);
+    template <typename T>
+    auto atomicMax(DevicePtr<T> ptr, u64 index, T operand,
+                   MemoryOrder order = MemoryOrder::kRelaxed,
+                   Scope scope = Scope::kDevice);
+    template <typename T>
+    auto atomicAnd(DevicePtr<T> ptr, u64 index, T operand,
+                   MemoryOrder order = MemoryOrder::kRelaxed,
+                   Scope scope = Scope::kDevice);
+    template <typename T>
+    auto atomicOr(DevicePtr<T> ptr, u64 index, T operand,
+                  MemoryOrder order = MemoryOrder::kRelaxed,
+                  Scope scope = Scope::kDevice);
+    template <typename T>
+    auto atomicExch(DevicePtr<T> ptr, u64 index, T desired,
+                    MemoryOrder order = MemoryOrder::kRelaxed,
+                    Scope scope = Scope::kDevice);
+    /** Compare-and-swap; returns the old value. */
+    template <typename T>
+    auto atomicCas(DevicePtr<T> ptr, u64 index, T expected, T desired,
+                   MemoryOrder order = MemoryOrder::kRelaxed,
+                   Scope scope = Scope::kDevice);
+
+    /** Block-wide barrier (__syncthreads analogue). */
+    auto syncthreads();
+
+    /** Charge pure-compute cycles to this thread's SM. */
+    void work(u32 cycles);
+
+    /**
+     * Carve count elements of T from the block's shared memory. Threads
+     * of a block making identical sharedArray() call sequences receive
+     * identical (shared) storage, like CUDA __shared__ declarations.
+     * Shared-memory accesses are untimed; charge work() where relevant.
+     */
+    template <typename T>
+    T*
+    sharedArray(u32 count)
+    {
+        const u32 align = alignof(T);
+        shared_cursor_ = (shared_cursor_ + align - 1) / align * align;
+        T* out = reinterpret_cast<T*>(shared_base_ + shared_cursor_);
+        shared_cursor_ += count * sizeof(T);
+        return out;
+    }
+
+  private:
+    friend class Engine;
+    template <typename T>
+    friend class LoadAwaiter;
+    friend class MemAwaiterBase;
+    friend class BarrierAwaiter;
+
+    Engine* engine_ = nullptr;
+    Task task_;
+    ThreadInfo info_;
+    u32 sm_ = 0;
+    u32 thread_in_block_ = 0;
+    u32 block_x_ = 1, block_y_ = 1, grid_ = 1;
+    u8* shared_base_ = nullptr;
+    u32 shared_cursor_ = 0;
+
+    // interleaved-mode scheduling state
+    MemRequest pending_req_;
+    u32 pending_pieces_done_ = 0;
+    u64 pending_bits_ = 0;
+    bool has_pending_ = false;
+    u64 ready_cycle_ = 0;
+    u64 deferred_work_ = 0;
+    bool at_barrier_ = false;
+    bool finished_ = false;
+};
+
+/** Untyped awaitable shared by all memory operations. */
+class MemAwaiterBase
+{
+  public:
+    MemAwaiterBase(ThreadCtx* ctx, const MemRequest& req)
+        : ctx_(ctx), req_(req)
+    {}
+
+    bool await_ready();
+    void await_suspend(std::coroutine_handle<> handle);
+    u64 await_resume();
+
+  protected:
+    ThreadCtx* ctx_;
+    MemRequest req_;
+    u64 result_bits_ = 0;
+    bool immediate_ = false;
+};
+
+/** Typed load awaitable. */
+template <typename T>
+class LoadAwaiter : public MemAwaiterBase
+{
+  public:
+    using MemAwaiterBase::MemAwaiterBase;
+    T
+    await_resume()
+    {
+        return detail::fromBits<T>(MemAwaiterBase::await_resume());
+    }
+};
+
+/** Barrier awaitable. */
+class BarrierAwaiter
+{
+  public:
+    explicit BarrierAwaiter(ThreadCtx* ctx) : ctx_(ctx) {}
+    bool await_ready();
+    void await_suspend(std::coroutine_handle<> handle);
+    void await_resume() {}
+
+  private:
+    ThreadCtx* ctx_;
+};
+
+/** The SIMT execution engine (see file comment). */
+class Engine
+{
+  public:
+    Engine(GpuSpec spec, DeviceMemory& memory, EngineOptions options = {});
+    ~Engine();
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /** Synchronously execute a kernel over the given launch shape. */
+    LaunchStats
+    launch(const std::string& name, const LaunchConfig& config,
+           const std::function<Task(ThreadCtx&)>& kernel);
+
+    const GpuSpec& spec() const { return spec_; }
+    DeviceMemory& memory() { return memory_; }
+    MemorySubsystem& memorySubsystem() { return *mem_subsystem_; }
+    RaceDetector* raceDetector() { return detector_.get(); }
+    const EngineOptions& options() const { return options_; }
+
+    /** Simulated milliseconds accumulated over all launches. */
+    double elapsedMs() const { return elapsed_ms_; }
+    void resetElapsed() { elapsed_ms_ = 0.0; }
+    u32 launchCount() const { return launch_counter_; }
+
+    /** Reseed the block-order shuffle (between measurement reps). */
+    void setSeed(u64 seed) { options_.seed = seed; }
+
+  private:
+    friend class MemAwaiterBase;
+    friend class BarrierAwaiter;
+    friend class ThreadCtx;
+
+    bool fastMode() const { return options_.mode == ExecMode::kFast; }
+
+    /** Apply the EngineOptions order/scope ablation overrides. */
+    void applyAtomicOverrides(MemRequest& req) const;
+    /** Fast-mode inline access: execute, charge the SM, return bits. */
+    u64 performImmediate(ThreadCtx& ctx, const MemRequest& req);
+    /** Interleaved-mode access issue (first piece now, rest at wake). */
+    void submitAccess(ThreadCtx& ctx, const MemRequest& req);
+    /** Barrier arrival (both modes). */
+    void arriveBarrier(ThreadCtx& ctx);
+    void chargeWork(ThreadCtx& ctx, u32 cycles);
+
+    std::vector<u32> blockOrder(u32 grid) const;
+    u64 finishLaunch(u64 cycles, const std::string& name,
+                     LaunchStats& stats);
+
+    void runFast(const LaunchConfig& config,
+                 const std::function<Task(ThreadCtx&)>& kernel,
+                 LaunchStats& stats);
+    void runInterleaved(const LaunchConfig& config,
+                        const std::function<Task(ThreadCtx&)>& kernel,
+                        LaunchStats& stats);
+
+    GpuSpec spec_;
+    DeviceMemory& memory_;
+    EngineOptions options_;
+    std::unique_ptr<RaceDetector> detector_;
+    std::unique_ptr<MemorySubsystem> mem_subsystem_;
+
+    std::vector<u64> sm_cycles_;     ///< fast mode per-SM accumulators
+    std::vector<u32> barrier_count_; ///< per-block arrived counters
+    std::vector<u32> block_alive_;   ///< per-block live thread counters
+    u64 now_ = 0;                    ///< interleaved global cycle
+    double elapsed_ms_ = 0.0;
+    u32 launch_counter_ = 0;
+
+    static constexpr u32 kIssueCycles = 2;
+    static constexpr u32 kBarrierCycles = 20;
+};
+
+// --- inline ThreadCtx method definitions (need Engine) -------------------
+
+template <typename T>
+auto
+ThreadCtx::load(DevicePtr<T> ptr, u64 index, AccessMode mode,
+                MemoryOrder order, Scope scope)
+{
+    MemRequest req;
+    req.addr = ptr.rawAt(index);
+    req.size = sizeof(T);
+    req.kind = MemOpKind::kLoad;
+    req.mode = mode;
+    req.order = order;
+    req.scope = scope;
+    return LoadAwaiter<T>(this, req);
+}
+
+template <typename T>
+auto
+ThreadCtx::store(DevicePtr<T> ptr, u64 index, T value, AccessMode mode,
+                 MemoryOrder order, Scope scope)
+{
+    MemRequest req;
+    req.addr = ptr.rawAt(index);
+    req.size = sizeof(T);
+    req.kind = MemOpKind::kStore;
+    req.mode = mode;
+    req.order = order;
+    req.scope = scope;
+    req.value = detail::toBits(value);
+    return MemAwaiterBase(this, req);
+}
+
+namespace detail {
+
+template <typename T>
+MemRequest
+rmwRequest(DevicePtr<T> ptr, u64 index, RmwOp op, T operand,
+           MemoryOrder order, Scope scope, T compare = T{})
+{
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8,
+                  "CUDA RMW atomics support 32- and 64-bit types only");
+    MemRequest req;
+    req.addr = ptr.rawAt(index);
+    req.size = sizeof(T);
+    req.kind = MemOpKind::kRmw;
+    req.mode = AccessMode::kAtomic;
+    req.rmw = op;
+    req.order = order;
+    req.scope = scope;
+    req.value = toBits(operand);
+    req.compare = toBits(compare);
+    return req;
+}
+
+}  // namespace detail
+
+template <typename T>
+auto
+ThreadCtx::atomicAdd(DevicePtr<T> ptr, u64 index, T operand,
+                     MemoryOrder order, Scope scope)
+{
+    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kAdd,
+                                                   operand, order, scope));
+}
+
+template <typename T>
+auto
+ThreadCtx::atomicMin(DevicePtr<T> ptr, u64 index, T operand,
+                     MemoryOrder order, Scope scope)
+{
+    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kMin,
+                                                   operand, order, scope));
+}
+
+template <typename T>
+auto
+ThreadCtx::atomicMax(DevicePtr<T> ptr, u64 index, T operand,
+                     MemoryOrder order, Scope scope)
+{
+    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kMax,
+                                                   operand, order, scope));
+}
+
+template <typename T>
+auto
+ThreadCtx::atomicAnd(DevicePtr<T> ptr, u64 index, T operand,
+                     MemoryOrder order, Scope scope)
+{
+    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kAnd,
+                                                   operand, order, scope));
+}
+
+template <typename T>
+auto
+ThreadCtx::atomicOr(DevicePtr<T> ptr, u64 index, T operand,
+                    MemoryOrder order, Scope scope)
+{
+    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kOr,
+                                                   operand, order, scope));
+}
+
+template <typename T>
+auto
+ThreadCtx::atomicExch(DevicePtr<T> ptr, u64 index, T desired,
+                      MemoryOrder order, Scope scope)
+{
+    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kExch,
+                                                   desired, order, scope));
+}
+
+template <typename T>
+auto
+ThreadCtx::atomicCas(DevicePtr<T> ptr, u64 index, T expected, T desired,
+                     MemoryOrder order, Scope scope)
+{
+    return LoadAwaiter<T>(
+        this, detail::rmwRequest(ptr, index, RmwOp::kCas, desired, order,
+                                 scope, expected));
+}
+
+inline auto
+ThreadCtx::syncthreads()
+{
+    return BarrierAwaiter(this);
+}
+
+}  // namespace eclsim::simt

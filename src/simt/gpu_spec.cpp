@@ -1,0 +1,139 @@
+#include "simt/gpu_spec.hpp"
+
+#include "core/logging.hpp"
+
+namespace eclsim::simt {
+
+namespace {
+
+constexpr u64 kKiB = 1024;
+constexpr u64 kMiB = 1024 * kKiB;
+constexpr u64 kGiB = 1024 * kMiB;
+
+}  // namespace
+
+GpuSpec
+titanV()
+{
+    GpuSpec spec;
+    spec.name = "Titan V";
+    spec.architecture = "Volta";
+    spec.num_sms = 80;
+    spec.cores = 5120;
+    spec.l1_bytes = 96 * kKiB;
+    spec.l2_bytes = 4608 * kKiB;  // 4.5 MB
+    spec.memory_bytes = 12 * kGiB;
+    spec.mem_bandwidth_gbps = 652.0;
+    spec.clock_ghz = 1.20;
+    spec.nvcc_version = "10.1";
+    spec.nvcc_flags = "-O3 -arch=sm_70";
+    spec.l1_latency = 36;
+    spec.l2_latency = 210;
+    spec.dram_latency = 470;
+    spec.atomic_extra = 15;
+    spec.rmw_extra = 60;
+    spec.latency_hiding = 10.0;
+    spec.issue_cycles = 12;
+    return spec;
+}
+
+GpuSpec
+rtx2070Super()
+{
+    GpuSpec spec;
+    spec.name = "2070 Super";
+    spec.architecture = "Turing";
+    spec.num_sms = 40;
+    spec.cores = 2560;
+    spec.l1_bytes = 96 * kKiB;
+    spec.l2_bytes = 4 * kMiB;
+    spec.memory_bytes = 8 * kGiB;
+    spec.mem_bandwidth_gbps = 448.0;
+    spec.clock_ghz = 1.61;
+    spec.nvcc_version = "12.0";
+    spec.nvcc_flags = "-O3 -arch=sm_75";
+    // Turing shows the smallest conversion penalty in the paper; its
+    // atomic unit sits close to the regular L2 path.
+    spec.l1_latency = 42;
+    spec.l2_latency = 130;
+    spec.dram_latency = 460;
+    spec.atomic_extra = 2;
+    spec.rmw_extra = 40;
+    spec.latency_hiding = 9.0;
+    spec.issue_cycles = 18;
+    return spec;
+}
+
+GpuSpec
+a100()
+{
+    GpuSpec spec;
+    spec.name = "A100";
+    spec.architecture = "Ampere";
+    spec.num_sms = 108;
+    spec.cores = 6912;
+    spec.l1_bytes = 192 * kKiB;
+    spec.l2_bytes = 40 * kMiB;
+    spec.memory_bytes = 40 * kGiB;
+    spec.mem_bandwidth_gbps = 1555.0;
+    spec.clock_ghz = 1.41;
+    spec.nvcc_version = "12.0";
+    spec.nvcc_flags = "-O3 -arch=sm_80";
+    // Ampere's regular path is much faster (bigger L1, higher bandwidth),
+    // which makes the fixed atomic-unit cost relatively more expensive.
+    spec.l1_latency = 22;
+    spec.l2_latency = 190;
+    spec.dram_latency = 450;
+    spec.atomic_extra = 18;
+    spec.rmw_extra = 80;
+    spec.latency_hiding = 12.0;
+    spec.issue_cycles = 10;
+    return spec;
+}
+
+GpuSpec
+rtx4090()
+{
+    GpuSpec spec;
+    spec.name = "4090";
+    spec.architecture = "Ada Lovelace";
+    spec.num_sms = 128;
+    spec.cores = 16384;
+    spec.l1_bytes = 128 * kKiB;
+    spec.l2_bytes = 72 * kMiB;
+    spec.memory_bytes = 24 * kGiB;
+    spec.mem_bandwidth_gbps = 1008.0;
+    spec.clock_ghz = 2.23;
+    spec.nvcc_version = "12.0";
+    spec.nvcc_flags = "-O3 -arch=sm_89";
+    // Ada shows the largest slowdown for the converted CC/SCC codes in
+    // the paper (Fig. 6), i.e. the costliest atomics relative to the
+    // regular path.
+    spec.l1_latency = 15;
+    spec.l2_latency = 195;
+    spec.dram_latency = 440;
+    spec.atomic_extra = 15;
+    spec.rmw_extra = 100;
+    spec.latency_hiding = 12.0;
+    spec.issue_cycles = 8;
+    return spec;
+}
+
+const std::vector<GpuSpec>&
+evaluationGpus()
+{
+    static const std::vector<GpuSpec> gpus = {titanV(), rtx2070Super(),
+                                              a100(), rtx4090()};
+    return gpus;
+}
+
+const GpuSpec&
+findGpu(const std::string& name)
+{
+    for (const GpuSpec& spec : evaluationGpus())
+        if (spec.name == name)
+            return spec;
+    fatal("unknown GPU '{}'", name);
+}
+
+}  // namespace eclsim::simt

@@ -1,0 +1,256 @@
+#include "simt/memory_subsystem.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace eclsim::simt {
+
+MemoryCounters&
+MemoryCounters::operator+=(const MemoryCounters& other)
+{
+    loads += other.loads;
+    stores += other.stores;
+    rmws += other.rmws;
+    atomic_accesses += other.atomic_accesses;
+    dram_bytes += other.dram_bytes;
+    l1 += other.l1;
+    l2 += other.l2;
+    return *this;
+}
+
+MemorySubsystem::MemorySubsystem(const GpuSpec& spec, DeviceMemory& memory,
+                                 const MemoryOptions& options,
+                                 RaceDetector* detector)
+    : spec_(spec), memory_(memory), options_(options), detector_(detector),
+      l2_cache_(std::max<u64>(spec.l2_bytes / options.cache_divisor,
+                              4096),
+                options.line_bytes, options.l2_ways)
+{
+    ECLSIM_ASSERT(options_.cache_divisor >= 1, "cache divisor must be >= 1");
+    l1_caches_.reserve(spec_.num_sms);
+    for (u32 sm = 0; sm < spec_.num_sms; ++sm)
+        l1_caches_.emplace_back(
+            std::max<u64>(spec_.l1_bytes / options_.cache_divisor, 1024),
+            options_.line_bytes, options_.l1_ways);
+    // bytes/cycle = (GB/s) / (GHz) = bytes per clock of the core clock.
+    dram_bytes_per_cycle_ = spec_.mem_bandwidth_gbps / spec_.clock_ghz;
+}
+
+void
+MemorySubsystem::beginLaunch()
+{
+    if (options_.model_sweep_visibility)
+        memory_.snapshotSweepAllocations();
+    counters_ = {};
+    for (CacheModel& l1 : l1_caches_)
+        l1.resetStats();
+    l2_cache_.resetStats();
+}
+
+MemoryCounters
+MemorySubsystem::launchCounters() const
+{
+    MemoryCounters out = counters_;
+    for (const CacheModel& l1 : l1_caches_)
+        out.l1 += l1.stats();
+    out.l2 = l2_cache_.stats();
+    return out;
+}
+
+u64
+MemorySubsystem::orderingCost(MemoryOrder order) const
+{
+    switch (order) {
+      case MemoryOrder::kRelaxed:
+        return 0;
+      case MemoryOrder::kAcquire:
+      case MemoryOrder::kRelease:
+        return spec_.fence_cycles / 2;
+      case MemoryOrder::kSeqCst:
+        return spec_.fence_cycles;
+    }
+    return 0;
+}
+
+u64
+MemorySubsystem::routeTiming(u32 sm, u64 addr, const MemRequest& req,
+                             bool is_store)
+{
+    const bool is_atomic =
+        req.kind == MemOpKind::kRmw || req.mode == AccessMode::kAtomic;
+    u64 latency = 0;
+
+    if (req.mode == AccessMode::kPlain && req.kind != MemOpKind::kRmw) {
+        // Regular path: per-SM L1, then L2, then DRAM.
+        if (l1_caches_[sm].access(addr, is_store)) {
+            return spec_.l1_latency;
+        }
+        if (l2_cache_.access(addr, is_store)) {
+            return spec_.l2_latency;
+        }
+        counters_.dram_bytes += options_.dram_sector_bytes;
+        return spec_.dram_latency;
+    }
+
+    // Block-scope atomics can resolve inside the SM (L1) — they need not
+    // be visible to other blocks until a wider-scope operation.
+    if (is_atomic && req.scope == Scope::kBlock &&
+        spec_.block_scope_in_sm) {
+        l1_caches_[sm].access(addr, is_store);
+        latency = spec_.l1_latency + spec_.atomic_extra;
+        if (req.kind == MemOpKind::kRmw)
+            latency += spec_.rmw_extra;
+        latency += orderingCost(req.order);
+        return latency;
+    }
+
+    // Volatile and device/system-scope atomic accesses bypass the L1 and
+    // resolve at the L2 (NVIDIA global atomics execute in the L2 atomic
+    // units).
+    if (l2_cache_.access(addr, is_store)) {
+        latency = spec_.l2_latency;
+    } else {
+        counters_.dram_bytes += options_.dram_sector_bytes;
+        latency = spec_.dram_latency;
+    }
+    if (is_atomic) {
+        latency += spec_.atomic_extra;
+        if (req.kind == MemOpKind::kRmw)
+            latency += spec_.rmw_extra;
+        latency += orderingCost(req.order);
+        if (req.scope == Scope::kSystem)
+            latency += spec_.system_scope_extra;
+    }
+    return latency;
+}
+
+MemorySubsystem::PieceResult
+MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
+                               const MemRequest& req, u32 first, u32 last)
+{
+    ECLSIM_ASSERT(sm < l1_caches_.size(), "SM {} out of range", sm);
+    const u32 total_pieces = req.pieces();
+    ECLSIM_ASSERT(first < last && last <= total_pieces,
+                  "piece range [{}, {}) of {}", first, last, total_pieces);
+    const u8 piece_size =
+        total_pieces == 1 ? req.size : static_cast<u8>(4);
+    const bool is_atomic =
+        req.kind == MemOpKind::kRmw || req.mode == AccessMode::kAtomic;
+
+    PieceResult result;
+    for (u32 piece = first; piece < last; ++piece) {
+        const u64 addr = req.addr + static_cast<u64>(piece) * piece_size;
+
+        // Functional effect.
+        if (req.kind == MemOpKind::kLoad) {
+            u64 bits;
+            // Delayed visibility applies to every non-atomic read of a
+            // kSweepSnapshot allocation — including volatile ones: the
+            // volatile qualifier does not synchronize, which is one of
+            // the paper's central points (it models the compiler's
+            // latitude over racy reads, not the cache path).
+            const bool delayed =
+                req.mode != AccessMode::kAtomic &&
+                options_.model_sweep_visibility &&
+                memory_.hasSnapshotAllocs() &&
+                memory_.allocationAt(addr).visibility ==
+                    Visibility::kSweepSnapshot;
+            if (delayed)
+                bits = memory_.loadSnapshotAware(addr, piece_size,
+                                                 who.thread);
+            else
+                bits = memory_.loadLive(addr, piece_size);
+            result.value_bits |= bits << (8 * piece_size * piece);
+            ++counters_.loads;
+        } else if (req.kind == MemOpKind::kStore) {
+            const u64 bits =
+                (req.value >> (8 * piece_size * piece)) &
+                (piece_size == 8 ? ~u64{0}
+                                 : ((u64{1} << (8 * piece_size)) - 1));
+            memory_.storeLive(addr, piece_size, bits);
+            if (memory_.hasSnapshotAllocs() &&
+                memory_.allocationAt(addr).visibility ==
+                    Visibility::kSweepSnapshot) {
+                memory_.noteWriter(addr, piece_size, who.thread);
+            }
+            ++counters_.stores;
+        } else {
+            // Read-modify-write: indivisible, single piece, always live.
+            const u64 mask = req.size == 8
+                                 ? ~u64{0}
+                                 : ((u64{1} << (8 * req.size)) - 1);
+            const u64 old_bits = memory_.loadLive(addr, req.size);
+            u64 new_bits = old_bits;
+            switch (req.rmw) {
+              case RmwOp::kAdd:
+                new_bits = (old_bits + req.value) & mask;
+                break;
+              case RmwOp::kMin:
+                new_bits = std::min(old_bits, req.value & mask);
+                break;
+              case RmwOp::kMax:
+                new_bits = std::max(old_bits, req.value & mask);
+                break;
+              case RmwOp::kAnd:
+                new_bits = old_bits & req.value;
+                break;
+              case RmwOp::kOr:
+                new_bits = old_bits | req.value;
+                break;
+              case RmwOp::kExch:
+                new_bits = req.value & mask;
+                break;
+              case RmwOp::kCas:
+                if (old_bits == (req.compare & mask))
+                    new_bits = req.value & mask;
+                break;
+            }
+            if (new_bits != old_bits) {
+                memory_.storeLive(addr, req.size, new_bits);
+                if (memory_.hasSnapshotAllocs() &&
+                    memory_.allocationAt(addr).visibility ==
+                        Visibility::kSweepSnapshot) {
+                    // An RMW's result is immediately visible to everyone;
+                    // mark no single owner so plain readers still see the
+                    // snapshot, but the live value is updated.
+                    memory_.noteWriter(addr, req.size, who.thread);
+                }
+            }
+            result.value_bits = old_bits;
+            ++counters_.rmws;
+        }
+
+        // Timing.
+        result.latency += routeTiming(
+            sm, addr, req,
+            req.kind != MemOpKind::kLoad);
+
+        // Race detection.
+        if (detector_) {
+            detector_->onAccess(who, addr,
+                                req.kind == MemOpKind::kRmw ? req.size
+                                                            : piece_size,
+                                req.kind != MemOpKind::kLoad, is_atomic);
+        }
+    }
+    if (is_atomic)
+        counters_.atomic_accesses += last - first;
+    return result;
+}
+
+double
+MemorySubsystem::dramBoundCycles() const
+{
+    return static_cast<double>(counters_.dram_bytes) / dram_bytes_per_cycle_;
+}
+
+void
+MemorySubsystem::clearCaches()
+{
+    for (CacheModel& l1 : l1_caches_)
+        l1.clear();
+    l2_cache_.clear();
+}
+
+}  // namespace eclsim::simt

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Coroutine type for simulated device threads.
+ *
+ * Each GPU thread of a kernel launch is one C++20 coroutine returning
+ * Task. Memory operations and __syncthreads() are awaitables: in the
+ * engine's fast mode they complete inline; in interleaved mode they
+ * suspend the thread so the scheduler can interleave warps at memory-
+ * access granularity (which is what makes data races and word tearing
+ * actually observable in tests).
+ */
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace eclsim::simt {
+
+/** A lazily-started device-thread coroutine. */
+class Task
+{
+  public:
+    struct promise_type
+    {
+        Task
+        get_return_object() noexcept
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+        void
+        unhandled_exception() noexcept
+        {
+            // Device code must not throw; treat it as a simulator bug.
+            std::terminate();
+        }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle handle) : handle_(handle) {}
+    Task(Task&& other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+    Task&
+    operator=(Task&& other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+    ~Task() { destroy(); }
+
+    bool valid() const { return handle_ != nullptr; }
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** Run the thread until its next suspension point (or completion). */
+    void
+    resume()
+    {
+        if (handle_ && !handle_.done())
+            handle_.resume();
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    Handle handle_ = nullptr;
+};
+
+}  // namespace eclsim::simt

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the algorithm test suites.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "algos/common.hpp"
+#include "graph/catalog.hpp"
+#include "graph/generators.hpp"
+#include "simt/engine.hpp"
+
+namespace eclsim::test {
+
+/** Fresh engine with small caches, suitable for unit tests. */
+inline std::unique_ptr<simt::Engine>
+makeEngine(simt::DeviceMemory& memory,
+           simt::ExecMode mode = simt::ExecMode::kFast,
+           bool detect_races = false, u64 seed = 7)
+{
+    simt::EngineOptions options;
+    options.mode = mode;
+    options.detect_races = detect_races;
+    options.seed = seed;
+    return std::make_unique<simt::Engine>(simt::titanV(), memory, options);
+}
+
+/** Small undirected test graphs exercising distinct topologies. */
+inline graph::CsrGraph
+smallUndirected(const std::string& kind)
+{
+    using namespace graph;
+    if (kind == "grid")
+        return makeGrid2d(16, 16);
+    if (kind == "tri")
+        return makeTriangulatedGrid(12, 12);
+    if (kind == "rmat")
+        return makeRmat(9, 2048, RmatParams{}, 42);
+    if (kind == "pref")
+        return makePrefAttach(400, 3, 43);
+    if (kind == "clustered")
+        return makeClustered(300, 10, 1.0, 44);
+    if (kind == "road")
+        return makeRoadNetwork(20, 20, 0.5, 45);
+    if (kind == "random")
+        return makeRandomUniform(500, 1500, 46);
+    return makeGrid2d(8, 8);
+}
+
+/** Small directed test graphs for SCC. */
+inline graph::CsrGraph
+smallDirected(const std::string& kind)
+{
+    using namespace graph;
+    if (kind == "mesh")
+        return makeDirectedMesh(600, 0.6, false, 50);
+    if (kind == "twisted")
+        return makeDirectedMesh(500, 0.3, true, 51);
+    if (kind == "star")
+        return makeDirectedStar(256, 52);
+    if (kind == "powerlaw")
+        return makeDirectedPowerLaw(9, 3000, 0.35, 53);
+    return makeDirectedMesh(100, 0.5, false, 54);
+}
+
+inline const char* const kUndirectedKinds[] = {
+    "grid", "tri", "rmat", "pref", "clustered", "road", "random"};
+inline const char* const kDirectedKinds[] = {"mesh", "twisted", "star",
+                                             "powerlaw"};
+
+}  // namespace eclsim::test

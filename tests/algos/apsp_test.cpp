@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Correctness tests of the simulated ECL-APSP (blocked Floyd-Warshall)
+ * against the plain Floyd-Warshall oracle, plus the paper's claim that
+ * APSP is race free (Section IV-A).
+ */
+#include <gtest/gtest.h>
+
+#include "algo_test_util.hpp"
+#include "algos/apsp.hpp"
+#include "refalgos/refalgos.hpp"
+
+namespace eclsim::algos {
+namespace {
+
+using test::makeEngine;
+
+graph::CsrGraph
+weightedDirected(u32 n, u64 arcs, u64 seed)
+{
+    graph::RmatParams params;
+    params.directed = true;
+    u32 scale = 1;
+    while ((u32{1} << scale) < n)
+        ++scale;
+    auto g = graph::makeRmat(scale, arcs, params, seed);
+    return graph::withSyntheticWeights(g, 20, seed + 1);
+}
+
+void
+expectMatchesOracle(const graph::CsrGraph& graph,
+                    const ApspResult& result)
+{
+    const auto oracle = refalgos::allPairsShortestPaths(graph);
+    const u32 n = graph.numVertices();
+    ASSERT_EQ(result.n, n);
+    for (u32 i = 0; i < n; ++i)
+        for (u32 j = 0; j < n; ++j) {
+            const i64 expect = oracle[static_cast<size_t>(i) * n + j];
+            const i32 got = result.at(i, j);
+            if (expect >= refalgos::kApspInfinity)
+                EXPECT_GE(got, kApspInf) << i << "->" << j;
+            else
+                EXPECT_EQ(got, expect) << i << "->" << j;
+        }
+}
+
+class ApspTest : public ::testing::TestWithParam<simt::ExecMode>
+{
+};
+
+TEST_P(ApspTest, MatchesFloydWarshallOracle)
+{
+    const auto graph = weightedDirected(48, 300, 11);
+    simt::DeviceMemory memory;
+    auto engine = makeEngine(memory, GetParam());
+    const auto result = runApsp(*engine, graph);
+    expectMatchesOracle(graph, result);
+}
+
+TEST_P(ApspTest, TileMultipleDimension)
+{
+    // n an exact multiple of the tile size (no padding path).
+    const auto graph = weightedDirected(kApspTile * 4, 500, 12);
+    simt::DeviceMemory memory;
+    auto engine = makeEngine(memory, GetParam());
+    const auto result = runApsp(*engine, graph);
+    expectMatchesOracle(graph, result);
+}
+
+TEST_P(ApspTest, SingleTileGraph)
+{
+    const auto graph = weightedDirected(kApspTile - 3, 80, 13);
+    simt::DeviceMemory memory;
+    auto engine = makeEngine(memory, GetParam());
+    const auto result = runApsp(*engine, graph);
+    expectMatchesOracle(graph, result);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, ApspTest,
+                         ::testing::Values(simt::ExecMode::kFast,
+                                           simt::ExecMode::kInterleaved),
+                         [](const auto& info) {
+                             return info.param == simt::ExecMode::kFast
+                                        ? "Fast"
+                                        : "Interleaved";
+                         });
+
+TEST(ApspRaces, RegularCodeHasNoDataRaces)
+{
+    // The paper's Section IV-A: APSP is the one regular code, and its
+    // baseline has no data races. Run it under the race detector in
+    // interleaved mode and expect a clean report.
+    const auto graph = weightedDirected(40, 250, 14);
+    simt::DeviceMemory memory;
+    auto engine = makeEngine(memory, simt::ExecMode::kInterleaved,
+                             /*detect_races=*/true);
+    runApsp(*engine, graph);
+    ASSERT_NE(engine->raceDetector(), nullptr);
+    EXPECT_EQ(engine->raceDetector()->totalRaces(), 0u)
+        << engine->raceDetector()->summary();
+}
+
+TEST(ApspEdgeCases, DisconnectedPairsStayInfinite)
+{
+    auto g = graph::buildCsr(6, {{0, 1, 4}, {2, 3, 2}},
+                             {.directed = true, .keep_weights = true});
+    simt::DeviceMemory memory;
+    auto engine = makeEngine(memory);
+    const auto result = runApsp(*engine, g);
+    EXPECT_EQ(result.at(0, 1), 4);
+    EXPECT_GE(result.at(1, 0), kApspInf);
+    EXPECT_GE(result.at(0, 5), kApspInf);
+    EXPECT_EQ(result.at(4, 4), 0);
+}
+
+TEST(ApspEdgeCases, PathGraphDistancesAreCumulative)
+{
+    std::vector<graph::Edge> edges;
+    const u32 n = 20;
+    for (u32 v = 0; v + 1 < n; ++v)
+        edges.push_back({v, v + 1, static_cast<i32>(v + 1)});
+    auto g = graph::buildCsr(n, std::move(edges),
+                             {.directed = true, .keep_weights = true});
+    simt::DeviceMemory memory;
+    auto engine = makeEngine(memory);
+    const auto result = runApsp(*engine, g);
+    i32 sum = 0;
+    for (u32 v = 1; v < n; ++v) {
+        sum += static_cast<i32>(v);
+        EXPECT_EQ(result.at(0, v), sum);
+    }
+}
+
+}  // namespace
+}  // namespace eclsim::algos

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Correctness tests of the simulated ECL-MST against Kruskal.
+ */
+#include <gtest/gtest.h>
+
+#include "algo_test_util.hpp"
+#include "algos/mst.hpp"
+#include "refalgos/refalgos.hpp"
+
+namespace eclsim::algos {
+namespace {
+
+using test::kUndirectedKinds;
+using test::makeEngine;
+using test::smallUndirected;
+
+graph::CsrGraph
+weighted(const std::string& kind, u64 seed = 0xabc)
+{
+    return graph::withSyntheticWeights(smallUndirected(kind), 100, seed);
+}
+
+struct MstCase
+{
+    std::string kind;
+    Variant variant;
+    simt::ExecMode mode;
+};
+
+class MstTest : public ::testing::TestWithParam<MstCase>
+{
+};
+
+TEST_P(MstTest, WeightMatchesKruskal)
+{
+    const auto& param = GetParam();
+    const auto graph = weighted(param.kind);
+    simt::DeviceMemory memory;
+    auto engine = makeEngine(memory, param.mode);
+
+    const auto result = runMst(*engine, graph, param.variant);
+    EXPECT_EQ(result.total_weight,
+              refalgos::minimumSpanningForestWeight(graph))
+        << param.kind << " " << variantName(param.variant);
+}
+
+TEST_P(MstTest, EdgeCountIsVerticesMinusComponents)
+{
+    const auto& param = GetParam();
+    const auto graph = weighted(param.kind);
+    simt::DeviceMemory memory;
+    auto engine = makeEngine(memory, param.mode);
+
+    const auto result = runMst(*engine, graph, param.variant);
+    const auto components = refalgos::countDistinct(
+        refalgos::connectedComponents(graph));
+    EXPECT_EQ(result.num_edges, graph.numVertices() - components);
+}
+
+std::vector<MstCase>
+mstCases()
+{
+    std::vector<MstCase> cases;
+    for (const char* kind : kUndirectedKinds)
+        for (Variant variant : {Variant::kBaseline, Variant::kRaceFree})
+            for (simt::ExecMode mode :
+                 {simt::ExecMode::kFast, simt::ExecMode::kInterleaved})
+                cases.push_back({kind, variant, mode});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, MstTest, ::testing::ValuesIn(mstCases()),
+    [](const auto& info) {
+        return info.param.kind + std::string("_") +
+               (info.param.variant == Variant::kBaseline ? "base" : "free") +
+               (info.param.mode == simt::ExecMode::kFast ? "_fast"
+                                                         : "_ilv");
+    });
+
+TEST(MstEdgeCases, SingleEdge)
+{
+    auto g = graph::buildCsr(2, {{0, 1, 7}}, {.keep_weights = true});
+    simt::DeviceMemory memory;
+    auto engine = makeEngine(memory);
+    const auto result = runMst(*engine, g, Variant::kRaceFree);
+    EXPECT_EQ(result.total_weight, 7u);
+    EXPECT_EQ(result.num_edges, 1u);
+}
+
+TEST(MstEdgeCases, DisconnectedForest)
+{
+    auto g = graph::buildCsr(
+        6, {{0, 1, 3}, {1, 2, 5}, {0, 2, 9}, {3, 4, 2}},
+        {.keep_weights = true});
+    simt::DeviceMemory memory;
+    auto engine = makeEngine(memory);
+    for (Variant v : {Variant::kBaseline, Variant::kRaceFree}) {
+        const auto result = runMst(*engine, g, v);
+        EXPECT_EQ(result.total_weight, 10u) << variantName(v);  // 3+5+2
+        EXPECT_EQ(result.num_edges, 3u);
+    }
+}
+
+TEST(MstEdgeCases, EqualWeightsStillFormTree)
+{
+    // All weights equal: the arc-id tiebreak must avoid cycles.
+    std::vector<graph::Edge> edges;
+    const u32 n = 24;
+    for (u32 a = 0; a < n; ++a)
+        for (u32 b = a + 1; b < n; ++b)
+            edges.push_back({a, b, 5});
+    auto g = graph::buildCsr(n, std::move(edges), {.keep_weights = true});
+    simt::DeviceMemory memory;
+    auto engine = makeEngine(memory);
+    for (Variant v : {Variant::kBaseline, Variant::kRaceFree}) {
+        const auto result = runMst(*engine, g, v);
+        EXPECT_EQ(result.num_edges, n - 1u);
+        EXPECT_EQ(result.total_weight, 5u * (n - 1));
+    }
+}
+
+TEST(MstSeeds, ManyWeightAssignmentsAgreeWithKruskal)
+{
+    // Property sweep: random weight assignments on a fixed topology.
+    const auto base = smallUndirected("random");
+    for (u64 seed = 1; seed <= 8; ++seed) {
+        const auto graph = graph::withSyntheticWeights(base, 50, seed);
+        simt::DeviceMemory memory;
+        auto engine = makeEngine(memory);
+        const auto result = runMst(*engine, graph, Variant::kRaceFree);
+        EXPECT_EQ(result.total_weight,
+                  refalgos::minimumSpanningForestWeight(graph))
+            << "seed " << seed;
+    }
+}
+
+}  // namespace
+}  // namespace eclsim::algos

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests of the statistics helpers the harness relies on: median (the
+ * paper's median-of-9 protocol), geometric mean (the summary rows),
+ * Pearson correlation (Table IX), and median relative deviation (the
+ * 0.6% figure of Section VI).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+
+namespace eclsim::stats {
+namespace {
+
+TEST(Median, OddSample)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({5}), 5.0);
+    EXPECT_DOUBLE_EQ(median({9, 1, 5, 3, 7}), 5.0);
+}
+
+TEST(Median, EvenSampleAveragesMiddle)
+{
+    EXPECT_DOUBLE_EQ(median({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(median({4, 1}), 2.5);
+}
+
+TEST(Median, NineRunsLikeThePaper)
+{
+    // The paper's protocol: nine runs, median reported. An outlier run
+    // must not move the median.
+    std::vector<double> runs = {10.1, 10.0, 10.2, 9.9, 10.0,
+                                10.1, 99.0, 10.0, 10.1};
+    EXPECT_DOUBLE_EQ(median(runs), 10.1);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    // A speedup and its inverse cancel in the geomean.
+    EXPECT_NEAR(geomean({0.5, 2.0}), 1.0, 1e-12);
+}
+
+TEST(Geomean, MatchesLogDefinition)
+{
+    SplitMix64 rng(7);
+    std::vector<double> values;
+    double log_sum = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        const double v = 0.1 + rng.nextDouble() * 3.0;
+        values.push_back(v);
+        log_sum += std::log(v);
+    }
+    EXPECT_NEAR(geomean(values), std::exp(log_sum / 100.0), 1e-12);
+}
+
+TEST(MinMaxMeanStd, Basics)
+{
+    const std::vector<double> v = {2, 8, 4, 6};
+    EXPECT_DOUBLE_EQ(minimum(v), 2.0);
+    EXPECT_DOUBLE_EQ(maximum(v), 8.0);
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_NEAR(stddev(v), std::sqrt((9 + 9 + 1 + 1) / 3.0), 1e-12);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelations)
+{
+    EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceIsZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 4, 6}), 0.0);
+    EXPECT_DOUBLE_EQ(pearson({2, 4, 6}, {5, 5, 5}), 0.0);
+}
+
+TEST(Pearson, ScaleAndShiftInvariant)
+{
+    SplitMix64 rng(13);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back(rng.nextDouble());
+        ys.push_back(rng.nextDouble());
+    }
+    const double base = pearson(xs, ys);
+    std::vector<double> xs2;
+    for (double x : xs)
+        xs2.push_back(3.0 * x + 11.0);
+    EXPECT_NEAR(pearson(xs2, ys), base, 1e-10);
+}
+
+TEST(Pearson, UncorrelatedIsNearZero)
+{
+    SplitMix64 rng(99);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 4000; ++i) {
+        xs.push_back(rng.nextDouble());
+        ys.push_back(rng.nextDouble());
+    }
+    EXPECT_LT(std::abs(pearson(xs, ys)), 0.05);
+}
+
+TEST(MedianRelativeDeviation, TightSampleIsSmall)
+{
+    // "The median relative deviation is only 0.6%" — the statistic on a
+    // tight sample must be small and on a loose one large.
+    EXPECT_LT(medianRelativeDeviation({10.0, 10.05, 9.95, 10.02, 9.98}),
+              0.01);
+    EXPECT_GT(medianRelativeDeviation({10.0, 20.0, 5.0, 15.0, 1.0}), 0.2);
+    EXPECT_DOUBLE_EQ(medianRelativeDeviation({7.0, 7.0, 7.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace eclsim::stats

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests of the small core utilities: strfmt, tables, flags, and the
+ * deterministic RNG.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "core/flags.hpp"
+#include "core/format.hpp"
+#include "core/rng.hpp"
+#include "core/table.hpp"
+
+namespace eclsim {
+namespace {
+
+// --- strfmt ---------------------------------------------------------------
+
+TEST(Format, Placeholders)
+{
+    EXPECT_EQ(strfmt("a {} c {}", "b", 7), "a b c 7");
+    EXPECT_EQ(strfmt("no args"), "no args");
+    EXPECT_EQ(strfmt("{}", 3.5), "3.5");
+}
+
+TEST(Format, EscapedBraces)
+{
+    EXPECT_EQ(strfmt("{{}} {}", 1), "{} 1");
+    EXPECT_EQ(strfmt("{{{}}}", "x"), "{x}");
+}
+
+TEST(Format, SurplusArgumentsAppended)
+{
+    EXPECT_EQ(strfmt("only", 1, 2), "only 1 2");
+}
+
+// --- TextTable -------------------------------------------------------------
+
+TEST(Table, AlignmentAndRendering)
+{
+    TextTable table({"Name", "Value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "23"});
+    const auto text = table.toText();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("23"), std::string::npos);
+    // Right-aligned numeric column: "23" ends at same offset as header.
+    EXPECT_EQ(table.cell(1, 1), "23");
+    EXPECT_EQ(table.rows(), 2u);
+    EXPECT_EQ(table.columns(), 2u);
+}
+
+TEST(Table, MarkdownShape)
+{
+    TextTable table({"A", "B"});
+    table.addRow({"x", "y"});
+    const auto md = table.toMarkdown();
+    EXPECT_NE(md.find("| A | B |"), std::string::npos);
+    EXPECT_NE(md.find("| x | y |"), std::string::npos);
+    EXPECT_NE(md.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping)
+{
+    TextTable table({"A", "B"});
+    table.addRow({"has,comma", "has\"quote"});
+    const auto csv = table.toCsv();
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripFile)
+{
+    TextTable table({"k", "v"});
+    table.addRow({"a", "1"});
+    const std::string path = ::testing::TempDir() + "/eclsim_table.csv";
+    table.writeCsv(path);
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "k,v");
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,1");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtFixed(0.666, 2), "0.67");
+    EXPECT_EQ(fmtFixed(1.0, 2), "1.00");
+    EXPECT_EQ(fmtGrouped(0), "0");
+    EXPECT_EQ(fmtGrouped(999), "999");
+    EXPECT_EQ(fmtGrouped(4190208), "4,190,208");
+    EXPECT_EQ(fmtGrouped(1000), "1,000");
+}
+
+// --- Flags -----------------------------------------------------------------
+
+TEST(Flags, AllForms)
+{
+    const char* argv[] = {"prog",     "--reps=9",   "--divisor=256",
+                          "--verify", "positional", "--ratio=0.5"};
+    Flags flags(6, argv);
+    EXPECT_EQ(flags.getInt("reps", 0), 9);
+    EXPECT_EQ(flags.getInt("divisor", 0), 256);
+    EXPECT_TRUE(flags.getBool("verify", false));
+    EXPECT_DOUBLE_EQ(flags.getDouble("ratio", 0.0), 0.5);
+    EXPECT_EQ(flags.positional().size(), 1u);
+    EXPECT_EQ(flags.positional()[0], "positional");
+    EXPECT_EQ(flags.getString("absent", "dflt"), "dflt");
+    EXPECT_FALSE(flags.has("absent"));
+}
+
+TEST(Flags, BooleanSpellings)
+{
+    const char* argv[] = {"prog", "--a=true", "--b=0", "--c=no", "--d=1"};
+    Flags flags(5, argv);
+    EXPECT_TRUE(flags.getBool("a", false));
+    EXPECT_FALSE(flags.getBool("b", true));
+    EXPECT_FALSE(flags.getBool("c", true));
+    EXPECT_TRUE(flags.getBool("d", false));
+}
+
+// --- RNG --------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed)
+{
+    SplitMix64 a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BoundsRespected)
+{
+    SplitMix64 rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.nextBelow(17), 17u);
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    SplitMix64 rng(2);
+    std::vector<int> buckets(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.nextBelow(10)];
+    for (int count : buckets) {
+        EXPECT_GT(count, n / 10 - n / 50);
+        EXPECT_LT(count, n / 10 + n / 50);
+    }
+}
+
+TEST(Rng, HashesAvalanche)
+{
+    // Flipping one input bit should flip many output bits on average.
+    std::set<u32> seen32;
+    for (u32 i = 0; i < 1000; ++i)
+        seen32.insert(hash32(i));
+    EXPECT_EQ(seen32.size(), 1000u);  // no collisions on a small range
+
+    std::set<u64> seen64;
+    for (u64 i = 0; i < 1000; ++i)
+        seen64.insert(hash64(i));
+    EXPECT_EQ(seen64.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace eclsim

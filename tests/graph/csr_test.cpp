@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests of the CSR graph type, the edge-list builder, reversal, and
+ * synthetic weights.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+
+namespace eclsim::graph {
+namespace {
+
+TEST(BuildCsr, UndirectedMirrorsEdges)
+{
+    auto g = buildCsr(4, {{0, 1}, {1, 2}}, {});
+    EXPECT_FALSE(g.directed());
+    EXPECT_EQ(g.numVertices(), 4u);
+    EXPECT_EQ(g.numArcs(), 4u);  // both directions stored
+    EXPECT_EQ(g.degree(1), 2u);
+    EXPECT_EQ(g.degree(3), 0u);
+    EXPECT_EQ(g.arcTarget(g.rowBegin(0)), 1u);
+}
+
+TEST(BuildCsr, DirectedKeepsArcs)
+{
+    auto g = buildCsr(3, {{0, 1}, {1, 2}, {2, 0}}, {.directed = true});
+    EXPECT_TRUE(g.directed());
+    EXPECT_EQ(g.numArcs(), 3u);
+    EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(BuildCsr, DedupAndSelfLoops)
+{
+    auto g = buildCsr(3, {{0, 1}, {0, 1}, {1, 0}, {2, 2}}, {});
+    EXPECT_EQ(g.numArcs(), 2u);  // one undirected edge, no self loop
+    auto keep = buildCsr(3, {{2, 2}},
+                         {.directed = true, .remove_self_loops = false});
+    EXPECT_EQ(keep.numArcs(), 1u);
+    auto nodedup =
+        buildCsr(3, {{0, 1}, {0, 1}}, {.directed = true, .dedup = false});
+    EXPECT_EQ(nodedup.numArcs(), 2u);
+}
+
+TEST(BuildCsr, AdjacencyIsSorted)
+{
+    auto g = buildCsr(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}},
+                      {.directed = true});
+    for (EdgeId e = g.rowBegin(0) + 1; e < g.rowEnd(0); ++e)
+        EXPECT_LT(g.arcTarget(e - 1), g.arcTarget(e));
+}
+
+TEST(BuildCsr, WeightsCarriedAndMirrored)
+{
+    auto g = buildCsr(3, {{0, 1, 7}, {1, 2, 3}}, {.keep_weights = true});
+    ASSERT_TRUE(g.weighted());
+    // find the 1->0 arc; its weight must equal the 0->1 arc's.
+    for (EdgeId e = g.rowBegin(1); e < g.rowEnd(1); ++e) {
+        if (g.arcTarget(e) == 0) {
+            EXPECT_EQ(g.arcWeight(e), 7);
+        }
+        if (g.arcTarget(e) == 2) {
+            EXPECT_EQ(g.arcWeight(e), 3);
+        }
+    }
+}
+
+TEST(Reversed, FlipsEveryArc)
+{
+    auto g = buildCsr(4, {{0, 1}, {0, 2}, {3, 0}}, {.directed = true});
+    auto r = g.reversed();
+    EXPECT_EQ(r.numArcs(), g.numArcs());
+    EXPECT_EQ(r.degree(1), 1u);
+    EXPECT_EQ(r.arcTarget(r.rowBegin(1)), 0u);
+    EXPECT_EQ(r.degree(0), 1u);  // only 3->0 reversed gives 0->3
+    EXPECT_EQ(r.arcTarget(r.rowBegin(0)), 3u);
+    // Reversing twice restores the original adjacency structure.
+    auto rr = r.reversed();
+    EXPECT_EQ(rr.rowOffsets(), g.rowOffsets());
+    EXPECT_EQ(rr.colIndices(), g.colIndices());
+}
+
+TEST(Reversed, CarriesWeights)
+{
+    auto g = buildCsr(3, {{0, 1, 9}, {1, 2, 4}},
+                      {.directed = true, .keep_weights = true});
+    auto r = g.reversed();
+    ASSERT_TRUE(r.weighted());
+    EXPECT_EQ(r.arcWeight(r.rowBegin(1)), 9);
+    EXPECT_EQ(r.arcWeight(r.rowBegin(2)), 4);
+}
+
+TEST(SyntheticWeights, SymmetricAndInRange)
+{
+    auto g = buildCsr(50, {{0, 1}, {1, 2}, {2, 3}, {10, 20}, {20, 30}},
+                      {});
+    auto w = withSyntheticWeights(g, 10, 77);
+    ASSERT_TRUE(w.weighted());
+    for (VertexId v = 0; v < w.numVertices(); ++v)
+        for (EdgeId e = w.rowBegin(v); e < w.rowEnd(v); ++e) {
+            const i32 weight = w.arcWeight(e);
+            EXPECT_GE(weight, 1);
+            EXPECT_LE(weight, 10);
+            // Mirror arc has the same weight.
+            const VertexId t = w.arcTarget(e);
+            bool found = false;
+            for (EdgeId b = w.rowBegin(t); b < w.rowEnd(t); ++b)
+                if (w.arcTarget(b) == v) {
+                    EXPECT_EQ(w.arcWeight(b), weight);
+                    found = true;
+                }
+            EXPECT_TRUE(found);
+        }
+}
+
+TEST(SyntheticWeights, SeedChangesWeights)
+{
+    auto g = buildCsr(20, {{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}}, {});
+    auto a = withSyntheticWeights(g, 1000000, 1);
+    auto b = withSyntheticWeights(g, 1000000, 2);
+    EXPECT_NE(a.weights(), b.weights());
+    auto c = withSyntheticWeights(g, 1000000, 1);
+    EXPECT_EQ(a.weights(), c.weights());
+}
+
+}  // namespace
+}  // namespace eclsim::graph

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests of the synthetic graph generators: structural invariants,
+ * determinism, and the degree characteristics each family stands in for.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "refalgos/refalgos.hpp"
+
+namespace eclsim::graph {
+namespace {
+
+void
+expectNoSelfLoopsOrDuplicates(const CsrGraph& g)
+{
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        std::set<VertexId> seen;
+        for (EdgeId e = g.rowBegin(v); e < g.rowEnd(v); ++e) {
+            const VertexId t = g.arcTarget(e);
+            EXPECT_NE(t, v) << "self loop at " << v;
+            EXPECT_TRUE(seen.insert(t).second) << "dup arc " << v;
+        }
+    }
+}
+
+void
+expectSymmetric(const CsrGraph& g)
+{
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (EdgeId e = g.rowBegin(v); e < g.rowEnd(v); ++e) {
+            const VertexId t = g.arcTarget(e);
+            bool back = false;
+            for (EdgeId b = g.rowBegin(t); b < g.rowEnd(t); ++b)
+                if (g.arcTarget(b) == v)
+                    back = true;
+            EXPECT_TRUE(back) << "missing mirror " << t << "->" << v;
+        }
+}
+
+TEST(Grid2d, StructureAndDegrees)
+{
+    auto g = makeGrid2d(10, 8);
+    EXPECT_EQ(g.numVertices(), 80u);
+    // interior degree 4, corners 2
+    const auto props = computeProperties(g);
+    EXPECT_EQ(props.max_degree, 4u);
+    EXPECT_EQ(props.min_degree, 2u);
+    EXPECT_NEAR(props.avg_degree, 4.0, 0.6);
+    expectSymmetric(g);
+    expectNoSelfLoopsOrDuplicates(g);
+    // a grid is connected
+    EXPECT_EQ(refalgos::countDistinct(refalgos::connectedComponents(g)),
+              1u);
+}
+
+TEST(TriangulatedGrid, AveragesNearSix)
+{
+    auto g = makeTriangulatedGrid(24, 24);
+    const auto props = computeProperties(g);
+    EXPECT_NEAR(props.avg_degree, 6.0, 0.8);  // the delaunay_n24 family
+    EXPECT_EQ(refalgos::countDistinct(refalgos::connectedComponents(g)),
+              1u);
+}
+
+TEST(RoadNetwork, SparseLikeRoadmaps)
+{
+    auto g = makeRoadNetwork(40, 40, 0.5, 5);
+    const auto props = computeProperties(g);
+    EXPECT_GT(props.avg_degree, 1.5);
+    EXPECT_LT(props.avg_degree, 3.5);  // europe_osm is 2.1
+    EXPECT_LE(props.max_degree, 6u);
+    expectSymmetric(g);
+}
+
+TEST(RandomUniform, EdgeCountApproximate)
+{
+    auto g = makeRandomUniform(2000, 8000, 3);
+    // each undirected edge stored twice; duplicates/self loops removed
+    EXPECT_GT(g.numArcs(), 14000u);
+    EXPECT_LE(g.numArcs(), 16000u);
+    expectSymmetric(g);
+    expectNoSelfLoopsOrDuplicates(g);
+}
+
+TEST(Rmat, PowerLawSkew)
+{
+    auto g = makeRmat(12, 40000, RmatParams{}, 9);
+    EXPECT_EQ(g.numVertices(), 4096u);
+    const auto props = computeProperties(g);
+    // Kronecker graphs have hubs far above the average degree.
+    EXPECT_GT(static_cast<double>(props.max_degree),
+              8.0 * props.avg_degree);
+    expectSymmetric(g);
+}
+
+TEST(Rmat, DirectedVariant)
+{
+    RmatParams params;
+    params.directed = true;
+    auto g = makeRmat(10, 8000, params, 9);
+    EXPECT_TRUE(g.directed());
+}
+
+TEST(Rmat, DeterministicInSeed)
+{
+    auto a = makeRmat(10, 5000, RmatParams{}, 4);
+    auto b = makeRmat(10, 5000, RmatParams{}, 4);
+    auto c = makeRmat(10, 5000, RmatParams{}, 5);
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(PrefAttach, HubsEmerge)
+{
+    auto g = makePrefAttach(3000, 4, 6);
+    const auto props = computeProperties(g);
+    EXPECT_NEAR(props.avg_degree, 8.0, 1.5);  // 2*m arcs per vertex
+    EXPECT_GT(props.max_degree, 40u);         // rich get richer
+    EXPECT_EQ(refalgos::countDistinct(refalgos::connectedComponents(g)),
+              1u);  // attachment keeps it connected
+}
+
+TEST(Clustered, HighAverageDegree)
+{
+    auto g = makeClustered(1000, 25, 1.0, 7);
+    const auto props = computeProperties(g);
+    EXPECT_GT(props.avg_degree, 20.0);  // the coPapersDBLP family (56.4)
+    expectSymmetric(g);
+}
+
+TEST(DirectedMesh, LowDegreeOneBigScc)
+{
+    auto g = makeDirectedMesh(2000, 0.7, false, 8);
+    EXPECT_TRUE(g.directed());
+    const auto props = computeProperties(g);
+    EXPECT_GT(props.avg_degree, 1.5);
+    EXPECT_LT(props.avg_degree, 3.2);  // Table III meshes: 2.0-3.0
+    // the base cycle makes the whole mesh one SCC
+    EXPECT_EQ(refalgos::countDistinct(
+                  refalgos::stronglyConnectedComponents(g)),
+              1u);
+}
+
+TEST(DirectedStar, ExactlyOutDegreeTwo)
+{
+    auto g = makeDirectedStar(512, 9);
+    const auto props = computeProperties(g);
+    EXPECT_EQ(props.max_degree, 2u);   // Table III: d-avg 2.00, d-max 2
+    EXPECT_EQ(props.min_degree, 2u);
+    EXPECT_EQ(refalgos::countDistinct(
+                  refalgos::stronglyConnectedComponents(g)),
+              1u);
+}
+
+TEST(DirectedPowerLaw, GiantButPartialScc)
+{
+    auto g = makeDirectedPowerLaw(11, 16000, 0.35, 10);
+    EXPECT_TRUE(g.directed());
+    const auto labels = refalgos::stronglyConnectedComponents(g);
+    const auto sccs = refalgos::countDistinct(labels);
+    // power-law inputs decompose into many SCCs including a big one
+    EXPECT_GT(sccs, 10u);
+    EXPECT_LT(sccs, g.numVertices());
+}
+
+TEST(KleinBottleTwist, StillOneScc)
+{
+    auto g = makeDirectedMesh(1500, 0.25, true, 11);
+    EXPECT_EQ(refalgos::countDistinct(
+                  refalgos::stronglyConnectedComponents(g)),
+              1u);
+}
+
+}  // namespace
+}  // namespace eclsim::graph

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests of the binary graph IO and the Tables II/III input catalog.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "graph/catalog.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+
+namespace eclsim::graph {
+namespace {
+
+TEST(GraphIo, RoundTripUnweighted)
+{
+    const auto g = makeRmat(9, 2000, RmatParams{}, 1);
+    const std::string path = ::testing::TempDir() + "/io_unweighted.eg";
+    writeGraph(g, path);
+    EXPECT_TRUE(readGraph(path) == g);
+}
+
+TEST(GraphIo, RoundTripWeightedDirected)
+{
+    RmatParams params;
+    params.directed = true;
+    const auto g =
+        withSyntheticWeights(makeRmat(8, 900, params, 2), 50, 3);
+    const std::string path = ::testing::TempDir() + "/io_weighted.eg";
+    writeGraph(g, path);
+    const auto back = readGraph(path);
+    EXPECT_TRUE(back == g);
+    EXPECT_TRUE(back.directed());
+    EXPECT_TRUE(back.weighted());
+}
+
+TEST(GraphIo, RejectsGarbage)
+{
+    const std::string path = ::testing::TempDir() + "/io_garbage.eg";
+    std::ofstream(path) << "this is not a graph";
+    EXPECT_DEATH(readGraph(path), "not an eclsim graph");
+}
+
+TEST(Catalog, SeventeenUndirectedTenDirected)
+{
+    EXPECT_EQ(undirectedCatalog().size(), 17u);  // Table II
+    EXPECT_EQ(directedCatalog().size(), 10u);    // Table III
+}
+
+TEST(Catalog, PaperStatisticsMatchTable2)
+{
+    const auto& e = findCatalogEntry("2d-2e20.sym");
+    EXPECT_EQ(e.paper_edges, 4190208u);
+    EXPECT_EQ(e.paper_vertices, 1048576u);
+    EXPECT_DOUBLE_EQ(e.paper_davg, 4.0);
+    EXPECT_EQ(e.paper_dmax, 4u);
+    EXPECT_EQ(e.type, "grid");
+
+    const auto& k = findCatalogEntry("kron_g500-logn21");
+    EXPECT_EQ(k.paper_edges, 182081864u);
+    EXPECT_EQ(k.paper_dmax, 213904u);
+}
+
+TEST(Catalog, PaperStatisticsMatchTable3)
+{
+    const auto& e = findCatalogEntry("wikipedia");
+    EXPECT_TRUE(e.directed);
+    EXPECT_EQ(e.paper_edges, 39383235u);
+    EXPECT_EQ(e.paper_vertices, 3148440u);
+    const auto& star = findCatalogEntry("star");
+    EXPECT_DOUBLE_EQ(star.paper_davg, 2.0);
+    EXPECT_EQ(star.paper_dmax, 2u);
+}
+
+TEST(Catalog, StandInsMatchDirectionAndRoughDegree)
+{
+    // Every stand-in must have the right directedness and an average
+    // degree within 2.5x of the paper's (the structural families drive
+    // the paper's per-input variation).
+    for (const auto& entry : undirectedCatalog()) {
+        const auto g = entry.make(2048);
+        EXPECT_FALSE(g.directed()) << entry.name;
+        const auto props = computeProperties(g);
+        EXPECT_GT(props.num_vertices, 500u) << entry.name;
+        EXPECT_GT(props.avg_degree, entry.paper_davg / 2.5) << entry.name;
+        EXPECT_LT(props.avg_degree, entry.paper_davg * 2.5) << entry.name;
+    }
+    for (const auto& entry : directedCatalog()) {
+        const auto g = entry.make(2048);
+        EXPECT_TRUE(g.directed()) << entry.name;
+        const auto props = computeProperties(g);
+        EXPECT_GT(props.avg_degree, entry.paper_davg / 2.5) << entry.name;
+        EXPECT_LT(props.avg_degree, entry.paper_davg * 2.5) << entry.name;
+    }
+}
+
+TEST(Catalog, SizeOrderingPreservedByScaling)
+{
+    // Bigger paper inputs must yield bigger stand-ins (until the clamp):
+    // europe_osm (50.9M vertices) > internet (124k vertices).
+    const auto big = makeInput("europe_osm", 512);
+    const auto small = makeInput("internet", 512);
+    EXPECT_GT(big.numVertices(), small.numVertices());
+}
+
+TEST(Catalog, UnknownNameDies)
+{
+    EXPECT_DEATH(findCatalogEntry("no-such-graph"),
+                 "unknown catalog input");
+}
+
+TEST(Properties, CountsIsolatedAndDegrees)
+{
+    auto g = buildCsr(5, {{0, 1}, {1, 2}}, {});
+    const auto props = computeProperties(g);
+    EXPECT_EQ(props.num_vertices, 5u);
+    EXPECT_EQ(props.num_arcs, 4u);
+    EXPECT_EQ(props.max_degree, 2u);
+    EXPECT_EQ(props.min_degree, 0u);
+    EXPECT_EQ(props.isolated_vertices, 2u);
+    EXPECT_DOUBLE_EQ(props.avg_degree, 0.8);
+}
+
+}  // namespace
+}  // namespace eclsim::graph

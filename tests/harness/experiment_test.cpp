@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests of the experiment harness: measurement plumbing, table
+ * rendering, and the headline shape assertions of the paper (run on
+ * heavily scaled inputs so they stay fast).
+ */
+#include <gtest/gtest.h>
+
+#include "graph/catalog.hpp"
+#include "harness/experiment.hpp"
+#include "harness/paper_reference.hpp"
+
+namespace eclsim::harness {
+namespace {
+
+ExperimentConfig
+quickConfig()
+{
+    ExperimentConfig config;
+    config.reps = 1;
+    config.graph_divisor = 4096;  // tiny stand-ins: tests stay fast
+    config.verify = true;         // every run is checked vs the oracles
+    return config;
+}
+
+TEST(Measure, ProducesPositiveTimesAndProperties)
+{
+    const auto graph = graph::makeInput("amazon0601", 4096);
+    const auto m = measure(simt::titanV(), graph, "amazon0601",
+                           Algo::kCc, quickConfig());
+    EXPECT_GT(m.baseline_ms, 0.0);
+    EXPECT_GT(m.racefree_ms, 0.0);
+    EXPECT_GT(m.speedup(), 0.0);
+    EXPECT_EQ(m.input, "amazon0601");
+    EXPECT_EQ(m.gpu, "Titan V");
+    EXPECT_DOUBLE_EQ(m.vertices,
+                     static_cast<double>(graph.numVertices()));
+    EXPECT_DOUBLE_EQ(m.edges, static_cast<double>(graph.numArcs()));
+}
+
+TEST(Measure, DeterministicForFixedSeed)
+{
+    const auto graph = graph::makeInput("internet", 4096);
+    const auto a = measure(simt::a100(), graph, "internet", Algo::kMis,
+                           quickConfig());
+    const auto b = measure(simt::a100(), graph, "internet", Algo::kMis,
+                           quickConfig());
+    EXPECT_DOUBLE_EQ(a.baseline_ms, b.baseline_ms);
+    EXPECT_DOUBLE_EQ(a.racefree_ms, b.racefree_ms);
+}
+
+TEST(Suite, UndirectedCoversSeventeenInputsTimesFourAlgos)
+{
+    const auto ms = runUndirectedSuite(simt::rtx2070Super(), quickConfig());
+    EXPECT_EQ(ms.size(), 17u * 4u);
+}
+
+TEST(Suite, SccCoversTenInputs)
+{
+    const auto ms = runSccSuite(simt::rtx2070Super(), quickConfig());
+    EXPECT_EQ(ms.size(), 10u);
+    for (const auto& m : ms)
+        EXPECT_EQ(m.algo, Algo::kScc);
+}
+
+TEST(Tables, SpeedupTableShape)
+{
+    const auto ms = runUndirectedSuite(simt::titanV(), quickConfig());
+    const auto table = makeSpeedupTable(ms);
+    EXPECT_EQ(table.columns(), 5u);  // Input CC GC MIS MST
+    EXPECT_EQ(table.rows(), 17u + 3u);  // inputs + Min/Geomean/Max
+    EXPECT_EQ(table.cell(17, 0), "Min Speedup");
+    EXPECT_EQ(table.cell(18, 0), "Geomean Speedup");
+    EXPECT_EQ(table.cell(19, 0), "Max Speedup");
+    // Every speedup cell parses as a positive number.
+    for (size_t r = 0; r < table.rows(); ++r)
+        for (size_t c = 1; c < table.columns(); ++c)
+            EXPECT_GT(std::stod(table.cell(r, c)), 0.0);
+}
+
+TEST(Tables, GpuAndInputTablesMatchPaperCounts)
+{
+    EXPECT_EQ(makeGpuTable().rows(), 4u);
+    EXPECT_EQ(makeInputTable(false, false, 512).rows(), 17u);
+    EXPECT_EQ(makeInputTable(true, false, 512).rows(), 10u);
+    EXPECT_EQ(makeInputTable(false, true, 4096).rows(), 17u);
+}
+
+TEST(Tables, CorrelationTableInBounds)
+{
+    auto ms = runUndirectedSuite(simt::titanV(), quickConfig());
+    const auto table = makeCorrelationTable(ms);
+    // One GPU header row + 3 property rows.
+    ASSERT_EQ(table.rows(), 4u);
+    for (size_t c = 1; c <= 4; ++c) {
+        const double r = std::stod(table.cell(1, c));
+        EXPECT_GE(r, -1.0);
+        EXPECT_LE(r, 1.0);
+    }
+}
+
+// --- the paper's headline shapes (Section VI / Fig. 6) -------------------
+
+class ShapeTest : public ::testing::Test
+{
+  protected:
+    static const std::vector<Measurement>&
+    titanVMeasurements()
+    {
+        static const std::vector<Measurement> ms = [] {
+            ExperimentConfig config;
+            config.reps = 1;
+            config.graph_divisor = 1024;
+            return runUndirectedSuite(simt::titanV(), config);
+        }();
+        return ms;
+    }
+};
+
+TEST_F(ShapeTest, RaceFreeCcIsSubstantiallySlower)
+{
+    const double g =
+        geomeanSpeedup(titanVMeasurements(), Algo::kCc, "Titan V");
+    EXPECT_LT(g, 0.90) << "paper: CC geomean 0.45-0.88";
+    EXPECT_GT(g, 0.30);
+}
+
+TEST_F(ShapeTest, RaceFreeGcIsNearlyUnaffected)
+{
+    const double g =
+        geomeanSpeedup(titanVMeasurements(), Algo::kGc, "Titan V");
+    EXPECT_GT(g, 0.92) << "paper: GC geomean 0.96-1.00";
+    EXPECT_LT(g, 1.05);
+}
+
+TEST_F(ShapeTest, RaceFreeMisIsFaster)
+{
+    const double g =
+        geomeanSpeedup(titanVMeasurements(), Algo::kMis, "Titan V");
+    EXPECT_GT(g, 1.0) << "paper: MIS geomean 1.05-1.11 (the headline)";
+}
+
+TEST_F(ShapeTest, RaceFreeMstIsMildlySlower)
+{
+    const double g =
+        geomeanSpeedup(titanVMeasurements(), Algo::kMst, "Titan V");
+    EXPECT_GT(g, 0.90) << "paper: MST geomean 0.93-0.97";
+    EXPECT_LE(g, 1.02);
+}
+
+TEST(ShapeScc, RaceFreeSccIsSubstantiallySlower)
+{
+    ExperimentConfig config;
+    config.reps = 1;
+    config.graph_divisor = 1024;
+    const auto ms = runSccSuite(simt::rtx4090(), config);
+    const double g = geomeanSpeedup(ms, Algo::kScc, "4090");
+    EXPECT_LT(g, 0.90) << "paper: SCC geomean 0.50-0.81";
+    EXPECT_GT(g, 0.30);
+}
+
+TEST(AlgoNames, Complete)
+{
+    EXPECT_STREQ(algoName(Algo::kCc), "CC");
+    EXPECT_STREQ(algoName(Algo::kGc), "GC");
+    EXPECT_STREQ(algoName(Algo::kMis), "MIS");
+    EXPECT_STREQ(algoName(Algo::kMst), "MST");
+    EXPECT_STREQ(algoName(Algo::kScc), "SCC");
+    EXPECT_EQ(undirectedAlgos().size(), 4u);
+}
+
+TEST(PaperReference, TwentySummariesCoverEveryGpuAlgoPair)
+{
+    EXPECT_EQ(paperSummaries().size(), 20u);
+    for (const auto& gpu : simt::evaluationGpus()) {
+        for (Algo algo : {Algo::kCc, Algo::kGc, Algo::kMis, Algo::kMst,
+                          Algo::kScc}) {
+            const auto& s = paperSummary(gpu.name, algo);
+            EXPECT_GT(s.min, 0.0);
+            EXPECT_LE(s.min, s.geomean);
+            EXPECT_LE(s.geomean, s.max);
+        }
+    }
+}
+
+TEST(PaperReference, HeadlineNumbersTranscribedCorrectly)
+{
+    // Spot-check against the paper's abstract and summary text.
+    EXPECT_DOUBLE_EQ(paperSummary("Titan V", Algo::kMis).geomean, 1.11);
+    EXPECT_DOUBLE_EQ(paperSummary("2070 Super", Algo::kMis).geomean,
+                     1.05);
+    EXPECT_DOUBLE_EQ(paperSummary("4090", Algo::kCc).geomean, 0.45);
+    EXPECT_DOUBLE_EQ(paperSummary("A100", Algo::kScc).geomean, 0.50);
+    EXPECT_DOUBLE_EQ(paperSummary("Titan V", Algo::kMis).max, 2.05);
+    EXPECT_DEATH(paperSummary("H100", Algo::kCc), "no paper summary");
+}
+
+}  // namespace
+}  // namespace eclsim::harness

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests of the cache model and the race detector (unit level).
+ */
+#include <gtest/gtest.h>
+
+#include "simt/cache.hpp"
+#include "simt/race_detector.hpp"
+
+namespace eclsim::simt {
+namespace {
+
+// --- CacheModel -------------------------------------------------------------
+
+TEST(Cache, HitAfterMiss)
+{
+    CacheModel cache(4096, 128, 4);
+    EXPECT_FALSE(cache.access(0, false));
+    EXPECT_TRUE(cache.access(0, false));
+    EXPECT_TRUE(cache.access(64, false));  // same 128B line
+    EXPECT_FALSE(cache.access(128, false));
+    EXPECT_EQ(cache.stats().load_hits, 2u);
+    EXPECT_EQ(cache.stats().load_misses, 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2 sets x 2 ways of 128B lines = 512 B.
+    CacheModel cache(512, 128, 2);
+    ASSERT_EQ(cache.numSets(), 2u);
+    // Three lines mapping to set 0: line addrs 0, 2, 4 (even lines).
+    cache.access(0 * 128, false);
+    cache.access(2 * 128, false);
+    cache.access(0 * 128, false);   // touch line 0 -> line 2 becomes LRU
+    cache.access(4 * 128, false);   // evicts line 2
+    EXPECT_TRUE(cache.contains(0 * 128));
+    EXPECT_FALSE(cache.contains(2 * 128));
+    EXPECT_TRUE(cache.contains(4 * 128));
+}
+
+TEST(Cache, StoreCountersSeparate)
+{
+    CacheModel cache(4096, 128, 4);
+    cache.access(0, true);
+    cache.access(0, true);
+    cache.access(0, false);
+    EXPECT_EQ(cache.stats().store_misses, 1u);
+    EXPECT_EQ(cache.stats().store_hits, 1u);
+    EXPECT_EQ(cache.stats().load_hits, 1u);
+    EXPECT_NEAR(cache.stats().hitRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, ClearInvalidates)
+{
+    CacheModel cache(4096, 128, 4);
+    cache.access(0, false);
+    cache.clear();
+    EXPECT_FALSE(cache.contains(0));
+}
+
+TEST(Cache, WorkingSetBeyondCapacityThrashes)
+{
+    CacheModel cache(2048, 128, 2);  // 16 lines
+    // Stream 64 distinct lines twice: second pass must still miss.
+    for (int pass = 0; pass < 2; ++pass)
+        for (u64 line = 0; line < 64; ++line)
+            cache.access(line * 128, false);
+    EXPECT_EQ(cache.stats().load_hits, 0u);
+}
+
+// --- RaceDetector -----------------------------------------------------------
+
+class RaceDetectorTest : public ::testing::Test
+{
+  protected:
+    RaceDetectorTest() : detector_(memory_)
+    {
+        data_ = memory_.alloc<u32>(16, "shared");
+    }
+
+    ThreadInfo
+    thread(u32 id, u32 block = 0, u16 epoch = 0, u32 launch = 1)
+    {
+        return ThreadInfo{launch, id, block, epoch};
+    }
+
+    DeviceMemory memory_;
+    RaceDetector detector_;
+    DevicePtr<u32> data_;
+};
+
+TEST_F(RaceDetectorTest, WriteWriteConflict)
+{
+    detector_.onAccess(thread(1), data_.raw(), 4, true, false);
+    detector_.onAccess(thread(2), data_.raw(), 4, true, false);
+    EXPECT_GT(detector_.totalRaces(), 0u);
+    EXPECT_TRUE(detector_.hasRaceOn("shared"));
+    EXPECT_EQ(detector_.reports()[0].kind, RaceKind::kWriteWrite);
+}
+
+TEST_F(RaceDetectorTest, ReadWriteConflictBothOrders)
+{
+    detector_.onAccess(thread(1), data_.raw(), 4, false, false);
+    detector_.onAccess(thread(2), data_.raw(), 4, true, false);
+    EXPECT_GT(detector_.totalRaces(), 0u);
+
+    detector_.reset();
+    detector_.onAccess(thread(1), data_.raw(), 4, true, false);
+    detector_.onAccess(thread(2), data_.raw(), 4, false, false);
+    EXPECT_GT(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, ReadReadIsFine)
+{
+    detector_.onAccess(thread(1), data_.raw(), 4, false, false);
+    detector_.onAccess(thread(2), data_.raw(), 4, false, false);
+    EXPECT_EQ(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, AtomicPairSynchronizes)
+{
+    detector_.onAccess(thread(1), data_.raw(), 4, true, true);
+    detector_.onAccess(thread(2), data_.raw(), 4, true, true);
+    EXPECT_EQ(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, AtomicNonAtomicStillRaces)
+{
+    // Mixed atomic/plain on the same location is still a data race.
+    detector_.onAccess(thread(1), data_.raw(), 4, true, true);
+    detector_.onAccess(thread(2), data_.raw(), 4, true, false);
+    EXPECT_GT(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, SameThreadIsProgramOrdered)
+{
+    detector_.onAccess(thread(1), data_.raw(), 4, true, false);
+    detector_.onAccess(thread(1), data_.raw(), 4, true, false);
+    EXPECT_EQ(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, BarrierOrdersSameBlock)
+{
+    detector_.onAccess(thread(1, /*block=*/3, /*epoch=*/0), data_.raw(), 4,
+                       true, false);
+    detector_.onAccess(thread(2, /*block=*/3, /*epoch=*/1), data_.raw(), 4,
+                       true, false);
+    EXPECT_EQ(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, BarrierDoesNotOrderAcrossBlocks)
+{
+    detector_.onAccess(thread(1, /*block=*/3, /*epoch=*/0), data_.raw(), 4,
+                       true, false);
+    detector_.onAccess(thread(2, /*block=*/4, /*epoch=*/1), data_.raw(), 4,
+                       true, false);
+    EXPECT_GT(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, KernelBoundaryOrdersEverything)
+{
+    detector_.onAccess(thread(1, 0, 0, /*launch=*/1), data_.raw(), 4, true,
+                       false);
+    detector_.onAccess(thread(2, 0, 0, /*launch=*/2), data_.raw(), 4, true,
+                       false);
+    EXPECT_EQ(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, OverlapIsByteGranular)
+{
+    // Writes to adjacent, non-overlapping bytes do not conflict.
+    detector_.onAccess(thread(1), data_.raw(), 1, true, false);
+    detector_.onAccess(thread(2), data_.raw() + 1, 1, true, false);
+    EXPECT_EQ(detector_.totalRaces(), 0u);
+    // But a 4-byte write overlapping byte 1 does.
+    detector_.onAccess(thread(3), data_.raw(), 4, true, false);
+    EXPECT_GT(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, ReportsAggregatePerAllocation)
+{
+    for (u32 i = 0; i < 100; ++i)
+        detector_.onAccess(thread(i), data_.rawAt(i % 8), 4, true, false);
+    // Many conflicts, but one write-write report line for "shared".
+    size_t ww_reports = 0;
+    for (const auto& r : detector_.reports())
+        if (r.kind == RaceKind::kWriteWrite)
+            ++ww_reports;
+    EXPECT_EQ(ww_reports, 1u);
+    EXPECT_GT(detector_.totalRaces(), 50u);
+    EXPECT_NE(detector_.summary().find("write-write race on 'shared'"),
+              std::string::npos);
+}
+
+TEST_F(RaceDetectorTest, ResetClears)
+{
+    detector_.onAccess(thread(1), data_.raw(), 4, true, false);
+    detector_.onAccess(thread(2), data_.raw(), 4, true, false);
+    detector_.reset();
+    EXPECT_EQ(detector_.totalRaces(), 0u);
+    EXPECT_EQ(detector_.summary(), "no data races detected\n");
+}
+
+}  // namespace
+}  // namespace eclsim::simt

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests of the device memory arena: allocation, host access, the
+ * allocation registry, and the sweep-snapshot visibility machinery.
+ */
+#include <gtest/gtest.h>
+
+#include "simt/device_memory.hpp"
+
+namespace eclsim::simt {
+namespace {
+
+TEST(DeviceMemory, AllocAlignmentAndZeroInit)
+{
+    DeviceMemory memory;
+    auto a = memory.alloc<u8>(3, "a");
+    auto b = memory.alloc<u64>(2, "b");
+    EXPECT_EQ(a.raw() % 128, 0u);
+    EXPECT_EQ(b.raw() % 128, 0u);
+    EXPECT_EQ(memory.read(b), 0u);
+    EXPECT_EQ(memory.read(a), 0u);
+}
+
+TEST(DeviceMemory, HostReadWriteRoundTrip)
+{
+    DeviceMemory memory;
+    auto p = memory.alloc<i32>(10, "data");
+    memory.writeAt(p, 3, -123);
+    EXPECT_EQ(memory.read(p, 3), -123);
+    memory.fill(p, 10, 7);
+    for (u64 i = 0; i < 10; ++i)
+        EXPECT_EQ(memory.read(p, i), 7);
+}
+
+TEST(DeviceMemory, UploadDownload)
+{
+    DeviceMemory memory;
+    auto p = memory.alloc<u32>(5, "v");
+    memory.upload(p, {1, 2, 3, 4, 5});
+    EXPECT_EQ(memory.download(p, 5), (std::vector<u32>{1, 2, 3, 4, 5}));
+}
+
+TEST(DeviceMemory, AllocationRegistryFindsByAddress)
+{
+    DeviceMemory memory;
+    auto a = memory.alloc<u32>(100, "first");
+    auto b = memory.alloc<u32>(100, "second");
+    EXPECT_EQ(memory.allocationAt(a.rawAt(50)).name, "first");
+    EXPECT_EQ(memory.allocationAt(b.rawAt(0)).name, "second");
+    EXPECT_EQ(memory.allocationAt(b.rawAt(99)).name, "second");
+    EXPECT_EQ(memory.numAllocations(), 2u);
+}
+
+TEST(DeviceMemory, CapacityEnforced)
+{
+    DeviceMemory memory(1024);
+    memory.alloc<u8>(512, "ok");
+    EXPECT_DEATH(memory.alloc<u8>(4096, "too-big"),
+                 "device memory exhausted");
+}
+
+TEST(DeviceMemory, LoadStoreLiveLittleEndianSizes)
+{
+    DeviceMemory memory;
+    auto p = memory.alloc<u64>(1, "x");
+    memory.storeLive(p.raw(), 8, 0x1122334455667788ULL);
+    EXPECT_EQ(memory.loadLive(p.raw(), 8), 0x1122334455667788ULL);
+    EXPECT_EQ(memory.loadLive(p.raw(), 4), 0x55667788u);
+    EXPECT_EQ(memory.loadLive(p.raw(), 1), 0x88u);
+    EXPECT_EQ(memory.loadLive(p.raw() + 4, 4), 0x11223344u);
+}
+
+TEST(DeviceMemory, SnapshotVisibility)
+{
+    DeviceMemory memory;
+    auto p = memory.alloc<u32>(4, "stat", Visibility::kSweepSnapshot);
+    memory.writeAt(p, 0, u32{111});
+    memory.snapshotSweepAllocations();
+
+    // Thread 5 overwrites the live value.
+    memory.storeLive(p.raw(), 4, 222);
+    memory.noteWriter(p.raw(), 4, 5);
+
+    // Thread 5 reads its own write; thread 9 still sees the snapshot.
+    EXPECT_EQ(memory.loadSnapshotAware(p.raw(), 4, 5), 222u);
+    EXPECT_EQ(memory.loadSnapshotAware(p.raw(), 4, 9), 111u);
+    // The live value is 222 for atomic readers.
+    EXPECT_EQ(memory.loadLive(p.raw(), 4), 222u);
+
+    // After the next snapshot everyone sees the new value.
+    memory.snapshotSweepAllocations();
+    EXPECT_EQ(memory.loadSnapshotAware(p.raw(), 4, 9), 222u);
+}
+
+TEST(DeviceMemory, SnapshotIsByteGranular)
+{
+    DeviceMemory memory;
+    auto p = memory.alloc<u8>(4, "bytes", Visibility::kSweepSnapshot);
+    memory.upload(p, {10, 20, 30, 40});
+    memory.snapshotSweepAllocations();
+
+    // Thread 1 rewrites byte 2 only.
+    memory.storeLive(p.rawAt(2), 1, 99);
+    memory.noteWriter(p.rawAt(2), 1, 1);
+
+    // A 4-byte read by thread 1 mixes its own byte with the snapshot.
+    EXPECT_EQ(memory.loadSnapshotAware(p.raw(), 4, 1),
+              (u32{40} << 24) | (u32{99} << 16) | (u32{20} << 8) | 10);
+    // Thread 2 sees the pure snapshot.
+    EXPECT_EQ(memory.loadSnapshotAware(p.raw(), 4, 2),
+              (u32{40} << 24) | (u32{30} << 16) | (u32{20} << 8) | 10);
+}
+
+TEST(DevicePtr, ArithmeticAndCast)
+{
+    DevicePtr<u32> p(256);
+    EXPECT_EQ(p.rawAt(3), 256u + 12);
+    EXPECT_EQ((p + 2).raw(), 256u + 8);
+    auto bytes = p.cast<u8>();
+    EXPECT_EQ(bytes.rawAt(5), 261u);
+    EXPECT_TRUE(DevicePtr<u32>().null());
+    EXPECT_FALSE(p.null());
+}
+
+}  // namespace
+}  // namespace eclsim::simt

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests of the GPU presets (they must match the paper's Table I) and of
+ * the relative cost structure the evaluation depends on.
+ */
+#include <gtest/gtest.h>
+
+#include "simt/gpu_spec.hpp"
+
+namespace eclsim::simt {
+namespace {
+
+TEST(GpuSpec, TableOneValues)
+{
+    const auto tv = titanV();
+    EXPECT_EQ(tv.architecture, "Volta");
+    EXPECT_EQ(tv.cores, 5120u);
+    EXPECT_EQ(tv.num_sms, 80u);
+    EXPECT_EQ(tv.l1_bytes, 96u * 1024);
+    EXPECT_EQ(tv.l2_bytes, 4608u * 1024);
+    EXPECT_DOUBLE_EQ(tv.mem_bandwidth_gbps, 652.0);
+    EXPECT_EQ(tv.nvcc_version, "10.1");
+    EXPECT_EQ(tv.nvcc_flags, "-O3 -arch=sm_70");
+
+    const auto t2070 = rtx2070Super();
+    EXPECT_EQ(t2070.architecture, "Turing");
+    EXPECT_EQ(t2070.cores, 2560u);
+    EXPECT_EQ(t2070.num_sms, 40u);
+
+    const auto ta100 = a100();
+    EXPECT_EQ(ta100.architecture, "Ampere");
+    EXPECT_EQ(ta100.cores, 6912u);
+    EXPECT_EQ(ta100.num_sms, 108u);
+    EXPECT_EQ(ta100.l1_bytes, 192u * 1024);
+    EXPECT_EQ(ta100.l2_bytes, 40u * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(ta100.mem_bandwidth_gbps, 1555.0);
+
+    const auto t4090 = rtx4090();
+    EXPECT_EQ(t4090.architecture, "Ada Lovelace");
+    EXPECT_EQ(t4090.cores, 16384u);
+    EXPECT_EQ(t4090.num_sms, 128u);
+    EXPECT_EQ(t4090.l2_bytes, 72u * 1024 * 1024);
+}
+
+TEST(GpuSpec, FourEvaluationGpusInPaperOrder)
+{
+    const auto& gpus = evaluationGpus();
+    ASSERT_EQ(gpus.size(), 4u);
+    EXPECT_EQ(gpus[0].name, "Titan V");
+    EXPECT_EQ(gpus[1].name, "2070 Super");
+    EXPECT_EQ(gpus[2].name, "A100");
+    EXPECT_EQ(gpus[3].name, "4090");
+}
+
+TEST(GpuSpec, FindByName)
+{
+    EXPECT_EQ(findGpu("A100").architecture, "Ampere");
+    EXPECT_DEATH(findGpu("H100"), "unknown GPU");
+}
+
+TEST(GpuSpec, CostStructureInvariants)
+{
+    for (const auto& gpu : evaluationGpus()) {
+        // Latency ordering drives the whole study: L1 < L2 < DRAM.
+        EXPECT_LT(gpu.l1_latency, gpu.l2_latency) << gpu.name;
+        EXPECT_LT(gpu.l2_latency, gpu.dram_latency) << gpu.name;
+        // Atomics are never free and RMWs cost more than atomic loads.
+        EXPECT_GT(gpu.atomic_extra, 0u) << gpu.name;
+        EXPECT_GT(gpu.rmw_extra, 0u) << gpu.name;
+        EXPECT_GE(gpu.latency_hiding, 1.0) << gpu.name;
+        EXPECT_GT(gpu.issue_cycles, 0u) << gpu.name;
+        EXPECT_GT(gpu.clock_ghz, 0.5) << gpu.name;
+    }
+}
+
+TEST(GpuSpec, NewerGpusPenalizeAtomicsRelativelyMore)
+{
+    // The paper's Fig. 6 trend ("more slowdown on newer GPUs") comes
+    // from the atomic path growing relative to the regular L1 path.
+    auto relative_penalty = [](const GpuSpec& g) {
+        const double plain = g.issue_cycles +
+                             static_cast<double>(g.l1_latency) /
+                                 g.latency_hiding;
+        const double atomic = g.issue_cycles +
+                              static_cast<double>(g.l2_latency +
+                                                  g.atomic_extra) /
+                                  g.latency_hiding;
+        return atomic / plain;
+    };
+    // The 2070 Super shows the mildest penalty in the paper's tables;
+    // the A100 and 4090 the harshest.
+    EXPECT_LT(relative_penalty(rtx2070Super()),
+              relative_penalty(titanV()));
+    EXPECT_GT(relative_penalty(a100()), relative_penalty(rtx2070Super()));
+    EXPECT_GT(relative_penalty(rtx4090()),
+              relative_penalty(rtx2070Super()));
+}
+
+}  // namespace
+}  // namespace eclsim::simt

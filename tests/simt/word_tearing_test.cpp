@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Word tearing (paper Fig. 1 and Section II-A) as executable tests: on
+ * the interleaved engine's 32-bit-native target, plain and volatile
+ * 64-bit accesses can tear into observable chimera values; atomic
+ * accesses never do. Also covers the engine-level race detection of the
+ * same scenario.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simt/engine.hpp"
+
+namespace eclsim::simt {
+namespace {
+
+constexpr u64 kAllOnes = ~u64{0};
+constexpr u64 kChimeraHi = 0xffffffff00000000ULL;
+constexpr u64 kChimeraLo = 0x00000000ffffffffULL;
+
+/** Fig. 1: T1 stores 0 over -1; readers poll. Returns observed values. */
+std::set<u64>
+fig1Observed(AccessMode mode, u32 trials)
+{
+    std::set<u64> observed;
+    for (u32 trial = 0; trial < trials; ++trial) {
+        DeviceMemory memory;
+        EngineOptions options;
+        options.mode = ExecMode::kInterleaved;
+        options.seed = trial * 7 + 1;
+        Engine engine(titanV(), memory, options);
+
+        auto val = memory.alloc<u64>(1, "val");
+        auto seen = memory.alloc<u64>(96, "seen");
+        memory.write(val, kAllOnes);
+
+        LaunchConfig cfg;
+        cfg.grid = 1;
+        cfg.block_x = 96;
+        engine.launch("fig1", cfg, [&](ThreadCtx& t) -> Task {
+            const u32 i = t.threadInBlock();
+            if (i == 0) {
+                co_await t.store(val, 0, u64{0}, mode);
+            } else {
+                u64 v = 0;
+                for (u32 poll = 0; poll <= i % 6; ++poll)
+                    v = co_await t.load(val, 0, mode);
+                co_await t.store(seen, i, v);
+            }
+        });
+        for (u32 i = 1; i < 96; ++i)
+            observed.insert(memory.read(seen, i));
+    }
+    return observed;
+}
+
+TEST(WordTearing, PlainAccessesProduceChimeras)
+{
+    const auto observed = fig1Observed(AccessMode::kPlain, 64);
+    EXPECT_TRUE(observed.count(kChimeraHi) || observed.count(kChimeraLo))
+        << "expected at least one torn value across 64 interleavings";
+    // Every observed value is one of the four possible ones.
+    for (u64 v : observed)
+        EXPECT_TRUE(v == 0 || v == kAllOnes || v == kChimeraHi ||
+                    v == kChimeraLo);
+}
+
+TEST(WordTearing, VolatileDoesNotPreventTearing)
+{
+    // Section II-A: "marking a variable as volatile does not prevent
+    // word tearing".
+    const auto observed = fig1Observed(AccessMode::kVolatile, 64);
+    EXPECT_TRUE(observed.count(kChimeraHi) || observed.count(kChimeraLo));
+}
+
+TEST(WordTearing, AtomicAccessesNeverTear)
+{
+    const auto observed = fig1Observed(AccessMode::kAtomic, 64);
+    for (u64 v : observed)
+        EXPECT_TRUE(v == 0 || v == kAllOnes)
+            << "atomic reader saw torn value " << v;
+}
+
+TEST(WordTearing, FastEngineModelsNative64BitGpus)
+{
+    // The evaluation GPUs transfer 64-bit words natively; the fast
+    // engine never tears even for plain accesses.
+    DeviceMemory memory;
+    Engine engine(titanV(), memory);
+    auto val = memory.alloc<u64>(1, "val");
+    auto seen = memory.alloc<u64>(64, "seen");
+    memory.write(val, kAllOnes);
+
+    engine.launch("fig1", launchFor(64, 64), [&](ThreadCtx& t) -> Task {
+        const u32 i = t.globalThreadId();
+        if (i == 0)
+            co_await t.store(val, 0, u64{0});
+        else if (i < 64)
+            co_await t.store(seen, i, co_await t.load(val, 0));
+    });
+    for (u32 i = 1; i < 64; ++i) {
+        const u64 v = memory.read(seen, i);
+        EXPECT_TRUE(v == 0 || v == kAllOnes);
+    }
+}
+
+TEST(WordTearing, TornRmwScenarioFromSection2)
+{
+    // Fig. 1's T3 discussion: an atomicAdd is one indivisible
+    // transaction; combined with a torn plain store the final value can
+    // be nonsensical, but the RMW itself never splits. With atomic
+    // accesses everywhere the result must be exactly 6 (T1's store of 0
+    // first, then +6) or 0 (the add hit the initial -1 first and T1's
+    // store landed last) — never a chimera-derived value.
+    std::set<u64> finals;
+    for (u32 trial = 0; trial < 32; ++trial) {
+        DeviceMemory memory;
+        EngineOptions options;
+        options.mode = ExecMode::kInterleaved;
+        options.seed = trial + 100;
+        Engine engine(titanV(), memory, options);
+        auto val = memory.alloc<u64>(1, "val");
+        memory.write(val, kAllOnes);
+
+        engine.launch("t1t3", launchFor(2, 2), [&](ThreadCtx& t) -> Task {
+            if (t.globalThreadId() == 0)
+                co_await t.store(val, 0, u64{0}, AccessMode::kAtomic);
+            else
+                co_await t.atomicAdd(val, 0, u64{6});
+        });
+        finals.insert(memory.read(val));
+    }
+    for (u64 v : finals)
+        EXPECT_TRUE(v == 6 || v == 0) << v;
+}
+
+TEST(WordTearing, DetectorFlagsTheFig1Race)
+{
+    DeviceMemory memory;
+    EngineOptions options;
+    options.mode = ExecMode::kInterleaved;
+    options.detect_races = true;
+    Engine engine(titanV(), memory, options);
+    auto val = memory.alloc<u64>(1, "val");
+    memory.write(val, kAllOnes);
+
+    engine.launch("fig1", launchFor(8, 8), [&](ThreadCtx& t) -> Task {
+        if (t.globalThreadId() == 0)
+            co_await t.store(val, 0, u64{0});
+        else
+            co_await t.load(val, 0);
+    });
+    EXPECT_TRUE(engine.raceDetector()->hasRaceOn("val"));
+}
+
+}  // namespace
+}  // namespace eclsim::simt
