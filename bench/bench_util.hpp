@@ -3,18 +3,24 @@
  * Shared command-line handling for the table/figure bench binaries.
  *
  * Every bench accepts:
- *   --reps=N      repetitions per configuration (default 3; paper: 9)
- *   --divisor=N   input scale divisor (default 512; smaller = larger
- *                 graphs = slower but closer to the paper's regime)
- *   --csv=PATH    also write the table as CSV
- *   --verify      cross-check every run against the reference oracles
+ *   --reps=N       repetitions per configuration (default 3; paper: 9)
+ *   --divisor=N    input scale divisor (default 512; smaller = larger
+ *                  graphs = slower but closer to the paper's regime)
+ *   --csv=PATH     also write the table as CSV
+ *   --verify       cross-check every run against the reference oracles
+ *   --trace=PATH   record the whole run into a Chrome-trace JSON file
+ *                  (open in chrome://tracing or ui.perfetto.dev)
+ *   --counters=PATH  write the profiling counters as CSV
  */
 #pragma once
 
 #include <iostream>
+#include <memory>
 
 #include "core/flags.hpp"
 #include "harness/experiment.hpp"
+#include "prof/trace.hpp"
+#include "prof/trace_export.hpp"
 
 namespace eclsim::bench {
 
@@ -29,6 +35,35 @@ configFromFlags(const Flags& flags)
     config.verify = flags.getBool("verify", false);
     config.seed = static_cast<u64>(flags.getInt("seed", 12345));
     return config;
+}
+
+/** Create a trace session when --trace or --counters was given. */
+inline std::unique_ptr<prof::TraceSession>
+sessionFromFlags(const Flags& flags)
+{
+    if (flags.getString("trace", "").empty() &&
+        flags.getString("counters", "").empty())
+        return nullptr;
+    return std::make_unique<prof::TraceSession>();
+}
+
+/** Write the --trace / --counters outputs, if requested. */
+inline void
+emitProfile(const Flags& flags, const prof::TraceSession* session)
+{
+    if (session == nullptr)
+        return;
+    const std::string trace = flags.getString("trace", "");
+    if (!trace.empty()) {
+        prof::writeChromeTrace(*session, trace);
+        std::cout << "(trace written to " << trace << ")" << std::endl;
+    }
+    const std::string counters = flags.getString("counters", "");
+    if (!counters.empty()) {
+        prof::writeCountersCsv(session->counters(), counters);
+        std::cout << "(counters written to " << counters << ")"
+                  << std::endl;
+    }
 }
 
 /** Print a rendered table, and write CSV when --csv was given. */
@@ -64,12 +99,15 @@ runSpeedupTableMain(int argc, char** argv, const std::string& gpu_name,
                     const std::string& table_title)
 {
     Flags flags(argc, argv);
-    const auto config = configFromFlags(flags);
+    auto config = configFromFlags(flags);
+    const auto session = sessionFromFlags(flags);
+    config.trace = session.get();
     const auto& gpu = simt::findGpu(gpu_name);
     const auto measurements = harness::runUndirectedSuite(
         gpu, config, flags.getBool("quiet", false) ? harness::ProgressFn{}
                                                    : stderrProgress());
     emitTable(flags, table_title, harness::makeSpeedupTable(measurements));
+    emitProfile(flags, session.get());
     return 0;
 }
 

@@ -17,7 +17,9 @@ main(int argc, char** argv)
 {
     using namespace eclsim;
     Flags flags(argc, argv);
-    const auto config = bench::configFromFlags(flags);
+    auto config = bench::configFromFlags(flags);
+    const auto session = bench::sessionFromFlags(flags);
+    config.trace = session.get();
     const auto progress = flags.getBool("quiet", false)
                               ? harness::ProgressFn{}
                               : bench::stderrProgress();
@@ -34,6 +36,7 @@ main(int argc, char** argv)
                      "FIG. 6: Geometric-mean speedup over the baseline "
                      "across all inputs on all tested GPUs",
                      harness::makeGeomeanTable(all));
+    bench::emitProfile(flags, session.get());
 
     // ASCII rendition of the bar chart.
     const std::vector<harness::Algo> algos = {

@@ -3,13 +3,56 @@
  * Reproduces the profiling claim of Section VI-A: "the baseline [CC]
  * code has a much higher L1 hit rate for both loads and stores, which
  * explains the performance difference." Runs both CC variants on every
- * undirected input and prints the L1 load-hit rates side by side.
+ * undirected input with an eclsim::prof counter session attached and
+ * prints the L1 hit rates side by side, straight from the
+ * sim/mem/l1_hit / sim/mem/l1_miss counters.
  */
 #include <iostream>
 
 #include "algos/cc.hpp"
 #include "bench_util.hpp"
 #include "graph/catalog.hpp"
+
+namespace {
+
+struct CcProfile
+{
+    double ms = 0.0;
+    eclsim::u64 l1_hits = 0;
+    eclsim::u64 l1_misses = 0;
+    eclsim::u64 l2_hits = 0;
+
+    double
+    l1HitRate() const
+    {
+        const eclsim::u64 total = l1_hits + l1_misses;
+        return total > 0 ? static_cast<double>(l1_hits) / total : 0.0;
+    }
+};
+
+CcProfile
+profileCc(const eclsim::simt::GpuSpec& gpu,
+          const eclsim::graph::CsrGraph& graph,
+          eclsim::algos::Variant variant, eclsim::u64 seed)
+{
+    using namespace eclsim;
+    prof::TraceSession session;
+    simt::DeviceMemory memory;
+    simt::EngineOptions options;
+    options.seed = seed;
+    options.trace = &session;
+    simt::Engine engine(gpu, memory, options);
+    const auto r = algos::runCc(engine, graph, variant);
+
+    CcProfile p;
+    p.ms = r.stats.ms;
+    p.l1_hits = session.counters().valueByName("sim/mem/l1_hit");
+    p.l1_misses = session.counters().valueByName("sim/mem/l1_miss");
+    p.l2_hits = session.counters().valueByName("sim/mem/l2_hit");
+    return p;
+}
+
+}  // namespace
 
 int
 main(int argc, char** argv)
@@ -19,40 +62,21 @@ main(int argc, char** argv)
     const auto config = bench::configFromFlags(flags);
     const auto& gpu = simt::findGpu(flags.getString("gpu", "Titan V"));
 
-    TextTable table({"Input", "base L1 load-hit", "free L1 load-hit",
-                     "base L1 hits", "free L1 hits", "speedup"});
+    TextTable table({"Input", "base L1 hit", "free L1 hit", "base L1 hits",
+                     "free L1 hits", "free L2 hits", "speedup"});
     for (const auto& entry : graph::undirectedCatalog()) {
         const auto graph = entry.make(config.graph_divisor);
-
-        algos::RunStats base_stats, free_stats;
-        double base_ms = 0, free_ms = 0;
-        {
-            simt::DeviceMemory memory;
-            simt::EngineOptions options;
-            options.seed = config.seed;
-            simt::Engine engine(gpu, memory, options);
-            auto r = algos::runCc(engine, graph,
-                                  algos::Variant::kBaseline);
-            base_stats = r.stats;
-            base_ms = r.stats.ms;
-        }
-        {
-            simt::DeviceMemory memory;
-            simt::EngineOptions options;
-            options.seed = config.seed;
-            simt::Engine engine(gpu, memory, options);
-            auto r = algos::runCc(engine, graph,
-                                  algos::Variant::kRaceFree);
-            free_stats = r.stats;
-            free_ms = r.stats.ms;
-        }
-        table.addRow(
-            {entry.name,
-             fmtFixed(100.0 * base_stats.mem.l1.loadHitRate(), 1) + "%",
-             fmtFixed(100.0 * free_stats.mem.l1.loadHitRate(), 1) + "%",
-             fmtGrouped(base_stats.mem.l1.hits()),
-             fmtGrouped(free_stats.mem.l1.hits()),
-             fmtFixed(base_ms / free_ms, 2)});
+        const auto base =
+            profileCc(gpu, graph, algos::Variant::kBaseline, config.seed);
+        const auto free =
+            profileCc(gpu, graph, algos::Variant::kRaceFree, config.seed);
+        table.addRow({entry.name,
+                      fmtFixed(100.0 * base.l1HitRate(), 1) + "%",
+                      fmtFixed(100.0 * free.l1HitRate(), 1) + "%",
+                      fmtGrouped(base.l1_hits),
+                      fmtGrouped(free.l1_hits),
+                      fmtGrouped(free.l2_hits),
+                      fmtFixed(base.ms / free.ms, 2)});
     }
     bench::emitTable(flags,
                      "PROFILE: CC L1 behaviour, baseline vs race-free "

@@ -10,7 +10,9 @@ main(int argc, char** argv)
 {
     using namespace eclsim;
     Flags flags(argc, argv);
-    const auto config = bench::configFromFlags(flags);
+    auto config = bench::configFromFlags(flags);
+    const auto session = bench::sessionFromFlags(flags);
+    config.trace = session.get();
     const auto progress = flags.getBool("quiet", false)
                               ? harness::ProgressFn{}
                               : bench::stderrProgress();
@@ -22,5 +24,6 @@ main(int argc, char** argv)
     }
     bench::emitTable(flags, "TABLE VIII: Speedups of race-free SCC",
                      harness::makeSccTable(all));
+    bench::emitProfile(flags, session.get());
     return 0;
 }

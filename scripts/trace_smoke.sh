@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Smoke test of the eclsim::prof trace pipeline: run the profiling
+# example plus one --trace'd bench and check that every emitted
+# Chrome-trace file is syntactically valid JSON with a traceEvents array.
+#
+# Usage: ./scripts/trace_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+check_trace() {
+    python3 - "$1" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no events"
+assert any(e.get("ph") == "B" for e in events), "no span begins"
+assert any(e.get("ph") == "E" for e in events), "no span ends"
+print(f"  ok: {sys.argv[1]} ({len(events)} events)")
+EOF
+}
+
+echo "== profile_run example =="
+(cd "$OUT" && "$OLDPWD/$BUILD/examples/profile_run" --divisor=1024)
+check_trace "$OUT/cc_baseline.trace.json"
+check_trace "$OUT/cc_racefree.trace.json"
+
+echo "== table4_titanv --trace =="
+"$BUILD/bench/table4_titanv" --reps=1 --divisor=1024 --quiet \
+    --trace="$OUT/table4.trace.json" --counters="$OUT/table4.counters.csv"
+check_trace "$OUT/table4.trace.json"
+head -n 3 "$OUT/table4.counters.csv"
+
+echo "trace smoke test passed"

@@ -39,6 +39,7 @@ const char* variantName(Variant variant);
 struct RunStats
 {
     double ms = 0.0;   ///< total simulated kernel time
+    u64 cycles = 0;    ///< total simulated cycles
     u32 launches = 0;
     u32 iterations = 0;  ///< algorithm-level sweeps / rounds
     simt::MemoryCounters mem;
@@ -48,6 +49,7 @@ struct RunStats
     add(const simt::LaunchStats& launch)
     {
         ms += launch.ms;
+        cycles += launch.cycles;
         ++launches;
         mem += launch.mem;
     }

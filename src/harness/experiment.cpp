@@ -10,6 +10,7 @@
 #include "core/logging.hpp"
 #include "core/stats.hpp"
 #include "graph/properties.hpp"
+#include "prof/trace.hpp"
 #include "refalgos/refalgos.hpp"
 
 namespace eclsim::harness {
@@ -51,6 +52,7 @@ engineOptions(const ExperimentConfig& config, u64 seed)
     options.shuffle_blocks = true;
     options.seed = seed;
     options.memory.cache_divisor = config.cache_divisor;
+    options.trace = config.trace;
     return options;
 }
 
@@ -162,14 +164,37 @@ measure(const GpuSpec& gpu, const CsrGraph& graph,
     m.vertices = static_cast<double>(props.num_vertices);
     m.avg_degree = props.avg_degree;
 
+    // One span per (gpu, input, algo, variant) run on the harness track,
+    // stacked along the session's shared simulated-cycle timeline.
+    const auto tracedRun = [&](Variant variant, u32 rep,
+                               algos::RunStats* stats) {
+        prof::TraceSession* trace = config.trace;
+        u64 t0 = 0;
+        prof::TrackId track = 0;
+        if (trace) {
+            track = trace->track("harness");
+            t0 = trace->cursor();
+            trace->beginSpan(track,
+                            std::string(algoName(algo)) + "/" +
+                                input_name + "/" +
+                                algos::variantName(variant),
+                            t0,
+                            {{"gpu", gpu.name},
+                             {"rep", std::to_string(rep)}});
+        }
+        const double ms = runOnce(gpu, graph, algo, variant, config,
+                                  config.seed + rep, stats);
+        if (trace)
+            trace->endSpan(track, std::max(trace->cursor(), t0));
+        return ms;
+    };
+
     std::vector<double> base_ms, free_ms;
     for (u32 rep = 0; rep < config.reps; ++rep) {
         algos::RunStats stats;
-        base_ms.push_back(runOnce(gpu, graph, algo, Variant::kBaseline,
-                                  config, config.seed + rep, &stats));
+        base_ms.push_back(tracedRun(Variant::kBaseline, rep, &stats));
         m.baseline_iterations = stats.iterations;
-        free_ms.push_back(runOnce(gpu, graph, algo, Variant::kRaceFree,
-                                  config, config.seed + rep, &stats));
+        free_ms.push_back(tracedRun(Variant::kRaceFree, rep, &stats));
         m.racefree_iterations = stats.iterations;
     }
     m.baseline_ms = stats::median(base_ms);

@@ -20,6 +20,10 @@
 #include "graph/catalog.hpp"
 #include "simt/gpu_spec.hpp"
 
+namespace eclsim::prof {
+class TraceSession;
+}
+
 namespace eclsim::harness {
 
 using algos::Variant;
@@ -56,6 +60,14 @@ struct ExperimentConfig
     bool verify = false;
     /** Base seed; rep r of a measurement uses seed base + r. */
     u64 seed = 12345;
+    /**
+     * Optional profiling sink (eclsim::prof). When set, every engine
+     * the harness creates records into this session, and each
+     * (gpu, input, algo, variant) measurement is wrapped in a span on
+     * the "harness" track, so a whole table run exports as one
+     * Chrome-trace timeline.
+     */
+    prof::TraceSession* trace = nullptr;
 };
 
 /** One (input, algorithm, GPU) comparison. */

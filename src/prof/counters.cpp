@@ -1,0 +1,61 @@
+#include "prof/counters.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace eclsim::prof {
+
+CounterId
+CounterRegistry::id(const std::string& name)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    const CounterId id = static_cast<CounterId>(values_.size());
+    names_.push_back(name);
+    values_.push_back(0);
+    index_.emplace(name, id);
+    return id;
+}
+
+u64
+CounterRegistry::value(CounterId id) const
+{
+    ECLSIM_ASSERT(id < values_.size(), "counter id {} out of range", id);
+    return values_[id];
+}
+
+u64
+CounterRegistry::valueByName(const std::string& name) const
+{
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0 : values_[it->second];
+}
+
+const std::string&
+CounterRegistry::name(CounterId id) const
+{
+    ECLSIM_ASSERT(id < names_.size(), "counter id {} out of range", id);
+    return names_[id];
+}
+
+void
+CounterRegistry::reset()
+{
+    std::fill(values_.begin(), values_.end(), 0);
+}
+
+std::vector<CounterRegistry::Sample>
+CounterRegistry::snapshot() const
+{
+    std::vector<Sample> out;
+    out.reserve(values_.size());
+    for (CounterId i = 0; i < values_.size(); ++i)
+        out.push_back({names_[i], values_[i]});
+    std::sort(out.begin(), out.end(),
+              [](const Sample& a, const Sample& b) { return a.name < b.name; });
+    return out;
+}
+
+}  // namespace eclsim::prof

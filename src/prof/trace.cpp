@@ -1,0 +1,96 @@
+#include "prof/trace.hpp"
+
+namespace eclsim::prof {
+
+namespace {
+
+/** SM tracks sort after the handful of named tracks. */
+constexpr u32 kSmSortBase = 100;
+
+}  // namespace
+
+TrackId
+TraceSession::track(const std::string& name)
+{
+    const auto it = track_index_.find(name);
+    if (it != track_index_.end())
+        return it->second;
+    const TrackId id = static_cast<TrackId>(tracks_.size());
+    tracks_.push_back({name, id});
+    track_index_.emplace(name, id);
+    return id;
+}
+
+TrackId
+TraceSession::smTrack(u32 sm)
+{
+    const std::string name = "SM " + std::to_string(sm);
+    const auto it = track_index_.find(name);
+    if (it != track_index_.end())
+        return it->second;
+    const TrackId id = static_cast<TrackId>(tracks_.size());
+    tracks_.push_back({name, kSmSortBase + sm});
+    track_index_.emplace(name, id);
+    return id;
+}
+
+void
+TraceSession::beginSpan(TrackId track, std::string name, u64 ts,
+                        EventArgs args)
+{
+    TraceEvent e;
+    e.phase = EventPhase::kBegin;
+    e.track = track;
+    e.ts = ts;
+    e.name = std::move(name);
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSession::endSpan(TrackId track, u64 ts)
+{
+    TraceEvent e;
+    e.phase = EventPhase::kEnd;
+    e.track = track;
+    e.ts = ts;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSession::instant(TrackId track, std::string name, u64 ts,
+                      EventArgs args)
+{
+    TraceEvent e;
+    e.phase = EventPhase::kInstant;
+    e.track = track;
+    e.ts = ts;
+    e.name = std::move(name);
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSession::counterSample(TrackId track, std::string series, u64 ts,
+                            u64 value)
+{
+    TraceEvent e;
+    e.phase = EventPhase::kCounter;
+    e.track = track;
+    e.ts = ts;
+    e.name = std::move(series);
+    e.value = value;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSession::clear()
+{
+    tracks_.clear();
+    track_index_.clear();
+    events_.clear();
+    counters_ = CounterRegistry{};
+    cursor_ = 0;
+}
+
+}  // namespace eclsim::prof

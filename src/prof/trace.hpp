@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Trace event sink for the SIMT simulator.
+ *
+ * A TraceSession records timeline events — spans (kernel launches,
+ * harness cells, per-SM block residency) and instant events (race
+ * reports, visibility-stale reads) — stamped with *simulated* cycles,
+ * plus per-launch counter samples. Events live on named tracks that map
+ * onto Chrome-trace threads: one per SM, one for the kernel launches,
+ * one for the host-side harness phases.
+ *
+ * Because every engine restarts its per-launch clock at zero, the
+ * session also owns the shared timeline cursor: an engine opens each
+ * launch at cursor() and advances it past the launch's end, so launches
+ * from successive engines (e.g. the harness's baseline and race-free
+ * runs) stack end-to-end on one coherent timeline instead of
+ * overlapping at zero. One trace timestamp unit equals one simulated
+ * cycle (exported as "microseconds" for the viewers).
+ *
+ * The session embeds the CounterRegistry so a single
+ * `EngineOptions::trace` pointer turns on both spans and counters;
+ * instrumented code guards every hook with a null test, which is the
+ * whole cost of a disabled run.
+ */
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "prof/counters.hpp"
+
+namespace eclsim::prof {
+
+/** Handle of one timeline track (a Chrome-trace thread). */
+using TrackId = u32;
+
+/** What a recorded event is. */
+enum class EventPhase : u8 {
+    kBegin,    ///< span open  (Chrome "B")
+    kEnd,      ///< span close (Chrome "E")
+    kInstant,  ///< point event (Chrome "i")
+    kCounter,  ///< counter sample (Chrome "C")
+};
+
+/** Optional key/value annotations shown in the trace viewer. */
+using EventArgs = std::vector<std::pair<std::string, std::string>>;
+
+/** One recorded event. */
+struct TraceEvent
+{
+    EventPhase phase = EventPhase::kInstant;
+    TrackId track = 0;
+    u64 ts = 0;        ///< simulated cycles on the session timeline
+    std::string name;  ///< empty for kEnd
+    u64 value = 0;     ///< kCounter sample value
+    EventArgs args;
+};
+
+/** One timeline track. */
+struct Track
+{
+    std::string name;
+    u32 sort_index = 0;  ///< display order in the viewer
+};
+
+/** The event sink (see file comment). */
+class TraceSession
+{
+  public:
+    /** Embedded counter registry (enabled together with tracing). */
+    CounterRegistry& counters() { return counters_; }
+    const CounterRegistry& counters() const { return counters_; }
+
+    /** Track by name, creating it on first use. */
+    TrackId track(const std::string& name);
+    /** The per-SM track "SM <sm>", sorted after the named tracks. */
+    TrackId smTrack(u32 sm);
+
+    void beginSpan(TrackId track, std::string name, u64 ts,
+                   EventArgs args = {});
+    void endSpan(TrackId track, u64 ts);
+    void instant(TrackId track, std::string name, u64 ts,
+                 EventArgs args = {});
+    /** Record one sample of a time-varying counter series. */
+    void counterSample(TrackId track, std::string series, u64 ts,
+                       u64 value);
+
+    /** Shared simulated-cycle timeline position (see file comment). */
+    u64 cursor() const { return cursor_; }
+    /** Move the cursor forward (never backward). */
+    void
+    advanceCursor(u64 ts)
+    {
+        if (ts > cursor_)
+            cursor_ = ts;
+    }
+
+    const std::vector<Track>& tracks() const { return tracks_; }
+    const std::vector<TraceEvent>& events() const { return events_; }
+
+    /** Drop all events and tracks; counters and cursor reset too. */
+    void clear();
+
+  private:
+    std::vector<Track> tracks_;
+    std::unordered_map<std::string, TrackId> track_index_;
+    std::vector<TraceEvent> events_;
+    CounterRegistry counters_;
+    u64 cursor_ = 0;
+};
+
+}  // namespace eclsim::prof

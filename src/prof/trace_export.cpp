@@ -1,0 +1,186 @@
+#include "prof/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/logging.hpp"
+
+namespace eclsim::prof {
+
+namespace {
+
+/** JSON string escaping (quotes, backslashes, control characters). */
+std::string
+jsonEscape(const std::string& in)
+{
+    std::string out;
+    out.reserve(in.size() + 2);
+    for (const char c : in) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+appendCommon(std::string& out, const char* ph, TrackId track, u64 ts)
+{
+    out += "{\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(track);
+    out += ",\"ts\":";
+    out += std::to_string(ts);
+}
+
+void
+appendArgs(std::string& out, const EventArgs& args)
+{
+    out += ",\"args\":{";
+    bool first = true;
+    for (const auto& [key, value] : args) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += jsonEscape(key);
+        out += "\":\"";
+        out += jsonEscape(value);
+        out += '"';
+    }
+    out += '}';
+}
+
+}  // namespace
+
+std::string
+toChromeTraceJson(const TraceSession& session)
+{
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    const auto emit = [&](const std::string& event) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += event;
+    };
+
+    // Metadata: one simulated process, one named thread per track.
+    emit("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"eclsim\"}}");
+    for (TrackId t = 0; t < session.tracks().size(); ++t) {
+        const Track& track = session.tracks()[t];
+        std::string e = "{\"ph\":\"M\",\"pid\":0,\"tid\":" +
+                        std::to_string(t) +
+                        ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+                        jsonEscape(track.name) + "\"}}";
+        emit(e);
+        e = "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(t) +
+            ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
+            std::to_string(track.sort_index) + "}}";
+        emit(e);
+    }
+
+    for (const TraceEvent& event : session.events()) {
+        std::string e;
+        switch (event.phase) {
+          case EventPhase::kBegin:
+            appendCommon(e, "B", event.track, event.ts);
+            e += ",\"name\":\"" + jsonEscape(event.name) + '"';
+            if (!event.args.empty())
+                appendArgs(e, event.args);
+            break;
+          case EventPhase::kEnd:
+            appendCommon(e, "E", event.track, event.ts);
+            break;
+          case EventPhase::kInstant:
+            appendCommon(e, "i", event.track, event.ts);
+            e += ",\"name\":\"" + jsonEscape(event.name) +
+                 "\",\"s\":\"t\"";
+            if (!event.args.empty())
+                appendArgs(e, event.args);
+            break;
+          case EventPhase::kCounter:
+            appendCommon(e, "C", event.track, event.ts);
+            e += ",\"name\":\"" + jsonEscape(event.name) +
+                 "\",\"args\":{\"value\":" + std::to_string(event.value) +
+                 '}';
+            break;
+        }
+        e += '}';
+        emit(e);
+    }
+
+    out += "],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+void
+writeChromeTrace(const TraceSession& session, const std::string& path)
+{
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot open '{}' for writing", path);
+    file << toChromeTraceJson(session);
+    if (!file)
+        fatal("failed writing '{}'", path);
+}
+
+std::string
+countersCsv(const CounterRegistry& registry)
+{
+    std::string out = "counter,value\n";
+    for (const auto& sample : registry.snapshot()) {
+        out += sample.name;
+        out += ',';
+        out += std::to_string(sample.value);
+        out += '\n';
+    }
+    return out;
+}
+
+void
+writeCountersCsv(const CounterRegistry& registry, const std::string& path)
+{
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot open '{}' for writing", path);
+    file << countersCsv(registry);
+    if (!file)
+        fatal("failed writing '{}'", path);
+}
+
+TextTable
+counterTable(const CounterRegistry& registry)
+{
+    TextTable table({"Counter", "Value"});
+    for (const auto& sample : registry.snapshot())
+        table.addRow({sample.name, fmtGrouped(sample.value)});
+    return table;
+}
+
+}  // namespace eclsim::prof

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Exporters for the profiling subsystem.
+ *
+ * Three output shapes cover the common workflows:
+ *
+ *  - Chrome/Perfetto trace_event JSON: open the file in chrome://tracing
+ *    or https://ui.perfetto.dev to see one track per SM, one for the
+ *    kernel launches, and one for the host-side harness phases, with
+ *    race reports and stale-read markers as instant events. Timestamps
+ *    are simulated cycles presented as microseconds (1 us = 1 cycle).
+ *  - Flat counters CSV (name,value) for scripting.
+ *  - A human-readable summary table reusing core/table, with the
+ *    hierarchical counter names grouping related rows.
+ */
+#pragma once
+
+#include <string>
+
+#include "core/table.hpp"
+#include "prof/counters.hpp"
+#include "prof/trace.hpp"
+
+namespace eclsim::prof {
+
+/** Render the session as Chrome trace_event JSON. */
+std::string toChromeTraceJson(const TraceSession& session);
+
+/** Write toChromeTraceJson() to a file; fatal() on IO failure. */
+void writeChromeTrace(const TraceSession& session, const std::string& path);
+
+/** Render the counters as "counter,value" CSV (name-sorted). */
+std::string countersCsv(const CounterRegistry& registry);
+
+/** Write countersCsv() to a file; fatal() on IO failure. */
+void writeCountersCsv(const CounterRegistry& registry,
+                      const std::string& path);
+
+/** Name-sorted counter summary as a renderable table. */
+TextTable counterTable(const CounterRegistry& registry);
+
+}  // namespace eclsim::prof

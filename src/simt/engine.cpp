@@ -6,8 +6,18 @@
 
 #include "core/logging.hpp"
 #include "core/rng.hpp"
+#include "prof/trace.hpp"
 
 namespace eclsim::simt {
+
+LaunchStats&
+LaunchStats::operator+=(const LaunchStats& other)
+{
+    cycles += other.cycles;
+    ms += other.ms;
+    mem += other.mem;
+    return *this;
+}
 
 LaunchConfig
 launchFor(u64 work, u32 block)
@@ -24,10 +34,15 @@ Engine::Engine(GpuSpec spec, DeviceMemory& memory, EngineOptions options)
     : spec_(std::move(spec)), memory_(memory), options_(options)
 {
     ECLSIM_ASSERT(spec_.num_sms >= 1, "GPU needs at least one SM");
+    trace_ = options_.trace;
+    prof::CounterRegistry* counters =
+        trace_ ? &trace_->counters() : nullptr;
     if (options_.detect_races)
-        detector_ = std::make_unique<RaceDetector>(memory_);
+        detector_ = std::make_unique<RaceDetector>(memory_, counters);
     mem_subsystem_ = std::make_unique<MemorySubsystem>(
-        spec_, memory_, options_.memory, detector_.get());
+        spec_, memory_, options_.memory, detector_.get(), counters);
+    if (trace_)
+        kernel_track_ = trace_->track("kernels");
     sm_cycles_.assign(spec_.num_sms, 0);
 }
 
@@ -170,6 +185,10 @@ Engine::launch(const std::string& name, const LaunchConfig& config,
     block_alive_.assign(config.grid, config.blockSize());
     now_ = 0;
 
+    const u64 races_before =
+        detector_ ? detector_->reports().size() : 0;
+    traceLaunchBegin(name, config);
+
     LaunchStats stats;
     stats.kernel = name;
     if (fastMode())
@@ -192,7 +211,65 @@ Engine::launch(const std::string& name, const LaunchConfig& config,
     stats.cycles = cycles;
     stats.ms = static_cast<double>(cycles) / (spec_.clock_ghz * 1e6);
     elapsed_ms_ += stats.ms;
+    traceLaunchEnd(stats, races_before);
     return stats;
+}
+
+void
+Engine::traceLaunchBegin(const std::string& name,
+                         const LaunchConfig& config)
+{
+    if (!trace_)
+        return;
+    trace_base_ = trace_->cursor();
+    trace_->beginSpan(kernel_track_, name, trace_base_,
+                      {{"grid", std::to_string(config.grid)},
+                       {"block", std::to_string(config.blockSize())},
+                       {"mode", fastMode() ? "fast" : "interleaved"}});
+}
+
+void
+Engine::traceLaunchEnd(const LaunchStats& stats, u64 races_before)
+{
+    if (!trace_)
+        return;
+    const u64 t_end = trace_base_ + std::max<u64>(stats.cycles, 1);
+    // Race reports first observed in this launch become instant events.
+    if (detector_) {
+        const auto& reports = detector_->reports();
+        for (size_t i = races_before; i < reports.size(); ++i) {
+            const RaceReport& r = reports[i];
+            trace_->instant(
+                kernel_track_, "race: " + r.allocation, t_end,
+                {{"kind", raceKindName(r.kind)},
+                 {"threads", std::to_string(r.first_thread_a) + " vs " +
+                                 std::to_string(r.first_thread_b)}});
+        }
+    }
+    if (stats.mem.stale_reads > 0) {
+        trace_->instant(
+            kernel_track_, "stale-visibility reads", t_end,
+            {{"count", std::to_string(stats.mem.stale_reads)}});
+    }
+    // Per-launch counter samples: the memory-path story over time.
+    trace_->counterSample(kernel_track_, "l1_hits", t_end,
+                          stats.mem.l1.hits());
+    trace_->counterSample(kernel_track_, "l2_hits", t_end,
+                          stats.mem.l2.hits());
+    trace_->counterSample(kernel_track_, "atomics", t_end,
+                          stats.mem.atomic_accesses);
+    trace_->endSpan(kernel_track_, t_end);
+    trace_->advanceCursor(t_end);
+}
+
+void
+Engine::traceBlockSpan(u32 sm, u32 block, const std::string& name,
+                       u64 sm_begin, u64 sm_end)
+{
+    const auto track = trace_->smTrack(sm);
+    trace_->beginSpan(track, name, trace_base_ + sm_begin,
+                      {{"block", std::to_string(block)}});
+    trace_->endSpan(track, trace_base_ + std::max(sm_end, sm_begin));
 }
 
 void
@@ -200,15 +277,20 @@ Engine::runFast(const LaunchConfig& config,
                 const std::function<Task(ThreadCtx&)>& kernel,
                 LaunchStats& stats)
 {
-    (void)stats;
     const auto order = blockOrder(config.grid);
     const u32 block_size = config.blockSize();
     std::vector<u8> shared(std::max<u32>(config.shared_bytes, 1));
+
+    // Wide launches get one aggregated residency span per SM instead of
+    // one per block, so traces of full-table sweeps stay loadable.
+    const bool trace_blocks =
+        trace_ != nullptr && config.grid <= kMaxTracedBlockSpans;
 
     std::vector<ThreadCtx> threads(block_size);
     for (u32 pos = 0; pos < config.grid; ++pos) {
         const u32 block = order[pos];
         const u32 sm = pos % spec_.num_sms;
+        const u64 sm_begin = sm_cycles_[sm];
 
         for (u32 t = 0; t < block_size; ++t) {
             ThreadCtx& ctx = threads[t];
@@ -262,6 +344,17 @@ Engine::runFast(const LaunchConfig& config,
                       block, alive, barrier_count_[block]);
             }
         }
+
+        if (trace_blocks)
+            traceBlockSpan(sm, block, stats.kernel, sm_begin,
+                           sm_cycles_[sm]);
+    }
+
+    if (trace_ && !trace_blocks) {
+        for (u32 sm = 0; sm < spec_.num_sms; ++sm)
+            if (sm_cycles_[sm] > 0)
+                traceBlockSpan(sm, config.grid, stats.kernel, 0,
+                               sm_cycles_[sm]);
     }
 }
 

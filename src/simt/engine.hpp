@@ -39,6 +39,10 @@
 #include "simt/race_detector.hpp"
 #include "simt/task.hpp"
 
+namespace eclsim::prof {
+class TraceSession;
+}
+
 namespace eclsim::simt {
 
 /** Execution mode (see file comment). */
@@ -71,6 +75,15 @@ struct EngineOptions
     MemoryOrder forced_atomic_order = MemoryOrder::kSeqCst;
     bool override_atomic_scope = false;
     Scope forced_atomic_scope = Scope::kDevice;
+    /**
+     * Optional profiling sink (eclsim::prof). When set, the engine
+     * records kernel-launch spans and per-SM block-residency spans on
+     * the session's timeline, the memory subsystem accumulates per-path
+     * counters (sim/mem/...), and the race detector counts its checks
+     * and conflicts (sim/race/...). Null disables all instrumentation;
+     * the hooks then cost one pointer test per launch.
+     */
+    prof::TraceSession* trace = nullptr;
 };
 
 /** Shape of one kernel launch. */
@@ -99,6 +112,9 @@ struct LaunchStats
     u64 cycles = 0;
     double ms = 0.0;
     MemoryCounters mem;
+
+    /** Accumulate another launch's cycles, time, and traffic. */
+    LaunchStats& operator+=(const LaunchStats& other);
 };
 
 namespace detail {
@@ -337,6 +353,13 @@ class Engine
     u64 finishLaunch(u64 cycles, const std::string& name,
                      LaunchStats& stats);
 
+    /** Trace hooks (no-ops when options_.trace is null). */
+    void traceLaunchBegin(const std::string& name,
+                          const LaunchConfig& config);
+    void traceLaunchEnd(const LaunchStats& stats, u64 races_before);
+    void traceBlockSpan(u32 sm, u32 block, const std::string& name,
+                        u64 sm_begin, u64 sm_end);
+
     void runFast(const LaunchConfig& config,
                  const std::function<Task(ThreadCtx&)>& kernel,
                  LaunchStats& stats);
@@ -357,8 +380,16 @@ class Engine
     double elapsed_ms_ = 0.0;
     u32 launch_counter_ = 0;
 
+    // profiling state (meaningful only when options_.trace is set)
+    prof::TraceSession* trace_ = nullptr;
+    u32 kernel_track_ = 0;   ///< session track for kernel-launch spans
+    u64 trace_base_ = 0;     ///< session timestamp of the current launch
+
     static constexpr u32 kIssueCycles = 2;
     static constexpr u32 kBarrierCycles = 20;
+    /** Launches wider than this get one residency span per SM instead
+     *  of one per block, bounding the trace size. */
+    static constexpr u32 kMaxTracedBlockSpans = 4096;
 };
 
 // --- inline ThreadCtx method definitions (need Engine) -------------------

@@ -13,6 +13,7 @@ MemoryCounters::operator+=(const MemoryCounters& other)
     stores += other.stores;
     rmws += other.rmws;
     atomic_accesses += other.atomic_accesses;
+    stale_reads += other.stale_reads;
     dram_bytes += other.dram_bytes;
     l1 += other.l1;
     l2 += other.l2;
@@ -21,13 +22,29 @@ MemoryCounters::operator+=(const MemoryCounters& other)
 
 MemorySubsystem::MemorySubsystem(const GpuSpec& spec, DeviceMemory& memory,
                                  const MemoryOptions& options,
-                                 RaceDetector* detector)
+                                 RaceDetector* detector,
+                                 prof::CounterRegistry* counters)
     : spec_(spec), memory_(memory), options_(options), detector_(detector),
       l2_cache_(std::max<u64>(spec.l2_bytes / options.cache_divisor,
                               4096),
-                options.line_bytes, options.l2_ways)
+                options.line_bytes, options.l2_ways),
+      prof_(counters)
 {
     ECLSIM_ASSERT(options_.cache_divisor >= 1, "cache divisor must be >= 1");
+    if (prof_) {
+        c_load_ = prof_->id("sim/mem/load");
+        c_store_ = prof_->id("sim/mem/store");
+        c_rmw_ = prof_->id("sim/mem/atomic_rmw");
+        c_atomic_ = prof_->id("sim/mem/atomic_access");
+        c_volatile_ = prof_->id("sim/mem/volatile_access");
+        c_stale_ = prof_->id("sim/mem/stale_read");
+        c_l1_hit_ = prof_->id("sim/mem/l1_hit");
+        c_l1_miss_ = prof_->id("sim/mem/l1_miss");
+        c_l2_hit_ = prof_->id("sim/mem/l2_hit");
+        c_l2_miss_ = prof_->id("sim/mem/l2_miss");
+        c_dram_ = prof_->id("sim/mem/dram_access");
+        c_atomic_block_ = prof_->id("sim/mem/atomic_block_scope");
+    }
     l1_caches_.reserve(spec_.num_sms);
     for (u32 sm = 0; sm < spec_.num_sms; ++sm)
         l1_caches_.emplace_back(
@@ -84,10 +101,20 @@ MemorySubsystem::routeTiming(u32 sm, u64 addr, const MemRequest& req,
     if (req.mode == AccessMode::kPlain && req.kind != MemOpKind::kRmw) {
         // Regular path: per-SM L1, then L2, then DRAM.
         if (l1_caches_[sm].access(addr, is_store)) {
+            if (prof_)
+                prof_->add(c_l1_hit_);
             return spec_.l1_latency;
         }
+        if (prof_)
+            prof_->add(c_l1_miss_);
         if (l2_cache_.access(addr, is_store)) {
+            if (prof_)
+                prof_->add(c_l2_hit_);
             return spec_.l2_latency;
+        }
+        if (prof_) {
+            prof_->add(c_l2_miss_);
+            prof_->add(c_dram_);
         }
         counters_.dram_bytes += options_.dram_sector_bytes;
         return spec_.dram_latency;
@@ -98,6 +125,8 @@ MemorySubsystem::routeTiming(u32 sm, u64 addr, const MemRequest& req,
     if (is_atomic && req.scope == Scope::kBlock &&
         spec_.block_scope_in_sm) {
         l1_caches_[sm].access(addr, is_store);
+        if (prof_)
+            prof_->add(c_atomic_block_);
         latency = spec_.l1_latency + spec_.atomic_extra;
         if (req.kind == MemOpKind::kRmw)
             latency += spec_.rmw_extra;
@@ -109,8 +138,14 @@ MemorySubsystem::routeTiming(u32 sm, u64 addr, const MemRequest& req,
     // resolve at the L2 (NVIDIA global atomics execute in the L2 atomic
     // units).
     if (l2_cache_.access(addr, is_store)) {
+        if (prof_)
+            prof_->add(c_l2_hit_);
         latency = spec_.l2_latency;
     } else {
+        if (prof_) {
+            prof_->add(c_l2_miss_);
+            prof_->add(c_dram_);
+        }
         counters_.dram_bytes += options_.dram_sector_bytes;
         latency = spec_.dram_latency;
     }
@@ -156,13 +191,19 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
                 memory_.hasSnapshotAllocs() &&
                 memory_.allocationAt(addr).visibility ==
                     Visibility::kSweepSnapshot;
-            if (delayed)
+            if (delayed) {
                 bits = memory_.loadSnapshotAware(addr, piece_size,
                                                  who.thread);
-            else
+                ++counters_.stale_reads;
+                if (prof_)
+                    prof_->add(c_stale_);
+            } else {
                 bits = memory_.loadLive(addr, piece_size);
+            }
             result.value_bits |= bits << (8 * piece_size * piece);
             ++counters_.loads;
+            if (prof_)
+                prof_->add(c_load_);
         } else if (req.kind == MemOpKind::kStore) {
             const u64 bits =
                 (req.value >> (8 * piece_size * piece)) &
@@ -175,6 +216,8 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
                 memory_.noteWriter(addr, piece_size, who.thread);
             }
             ++counters_.stores;
+            if (prof_)
+                prof_->add(c_store_);
         } else {
             // Read-modify-write: indivisible, single piece, always live.
             const u64 mask = req.size == 8
@@ -219,6 +262,8 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
             }
             result.value_bits = old_bits;
             ++counters_.rmws;
+            if (prof_)
+                prof_->add(c_rmw_);
         }
 
         // Timing.
@@ -234,8 +279,13 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
                                 req.kind != MemOpKind::kLoad, is_atomic);
         }
     }
-    if (is_atomic)
+    if (is_atomic) {
         counters_.atomic_accesses += last - first;
+        if (prof_)
+            prof_->add(c_atomic_, last - first);
+    } else if (req.mode == AccessMode::kVolatile && prof_) {
+        prof_->add(c_volatile_, last - first);
+    }
     return result;
 }
 

@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "prof/counters.hpp"
 #include "simt/access.hpp"
 #include "simt/cache.hpp"
 #include "simt/device_memory.hpp"
@@ -56,6 +57,7 @@ struct MemoryCounters
     u64 stores = 0;
     u64 rmws = 0;
     u64 atomic_accesses = 0;  ///< atomic loads + stores + RMWs
+    u64 stale_reads = 0;      ///< plain reads served from the sweep snapshot
     u64 dram_bytes = 0;
     CacheStats l1;  ///< summed over all SMs
     CacheStats l2;
@@ -67,8 +69,14 @@ struct MemoryCounters
 class MemorySubsystem
 {
   public:
+    /**
+     * @param counters optional profiling registry; when set, every
+     *        access additionally bumps the hierarchical sim/mem/...
+     *        path counters (see eclsim::prof). Null costs nothing.
+     */
     MemorySubsystem(const GpuSpec& spec, DeviceMemory& memory,
-                    const MemoryOptions& options, RaceDetector* detector);
+                    const MemoryOptions& options, RaceDetector* detector,
+                    prof::CounterRegistry* counters = nullptr);
 
     /** Begin-of-launch bookkeeping (visibility snapshot, counters). */
     void beginLaunch();
@@ -117,6 +125,14 @@ class MemorySubsystem
     CacheModel l2_cache_;
     MemoryCounters counters_;
     double dram_bytes_per_cycle_;
+
+    // profiling counters (ids valid only when prof_ is non-null)
+    prof::CounterRegistry* prof_ = nullptr;
+    prof::CounterId c_load_ = 0, c_store_ = 0, c_rmw_ = 0;
+    prof::CounterId c_atomic_ = 0, c_volatile_ = 0, c_stale_ = 0;
+    prof::CounterId c_l1_hit_ = 0, c_l1_miss_ = 0;
+    prof::CounterId c_l2_hit_ = 0, c_l2_miss_ = 0;
+    prof::CounterId c_dram_ = 0, c_atomic_block_ = 0;
 };
 
 }  // namespace eclsim::simt

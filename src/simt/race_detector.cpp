@@ -16,7 +16,15 @@ raceKindName(RaceKind kind)
     return "unknown";
 }
 
-RaceDetector::RaceDetector(const DeviceMemory& memory) : memory_(memory) {}
+RaceDetector::RaceDetector(const DeviceMemory& memory,
+                           prof::CounterRegistry* counters)
+    : memory_(memory), prof_(counters)
+{
+    if (prof_) {
+        c_checks_ = prof_->id("sim/race/checks");
+        c_conflicts_ = prof_->id("sim/race/conflicts");
+    }
+}
 
 void
 RaceDetector::ensureCapacity(u64 end)
@@ -46,6 +54,8 @@ void
 RaceDetector::report(u64 addr, const ShadowRecord& prev,
                      const ThreadInfo& who, RaceKind kind)
 {
+    if (prof_)
+        prof_->add(c_conflicts_);
     const std::string& name = memory_.allocationAt(addr).name;
     for (RaceReport& r : reports_) {
         if (r.allocation == name && r.kind == kind) {
@@ -68,6 +78,8 @@ RaceDetector::onAccess(const ThreadInfo& who, u64 addr, u8 size,
                        bool is_write, bool is_atomic)
 {
     ensureCapacity(addr + size);
+    if (prof_)
+        prof_->add(c_checks_);
     for (u8 i = 0; i < size; ++i) {
         const u64 a = addr + i;
         const ShadowRecord& w = last_write_[a];

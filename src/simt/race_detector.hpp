@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "prof/counters.hpp"
 #include "simt/access.hpp"
 #include "simt/device_memory.hpp"
 
@@ -63,7 +64,13 @@ struct ThreadInfo
 class RaceDetector
 {
   public:
-    explicit RaceDetector(const DeviceMemory& memory);
+    /**
+     * @param counters optional profiling registry; when set, the
+     *        detector maintains sim/race/checks (accesses examined) and
+     *        sim/race/conflicts (conflicting pairs found).
+     */
+    explicit RaceDetector(const DeviceMemory& memory,
+                          prof::CounterRegistry* counters = nullptr);
 
     /** Record one access piece and check it against the shadow state. */
     void onAccess(const ThreadInfo& who, u64 addr, u8 size, bool is_write,
@@ -105,6 +112,9 @@ class RaceDetector
     std::vector<ShadowRecord> last_write_;
     std::vector<ShadowRecord> last_read_;
     std::vector<RaceReport> reports_;
+
+    prof::CounterRegistry* prof_ = nullptr;
+    prof::CounterId c_checks_ = 0, c_conflicts_ = 0;
 };
 
 /** Human-readable name of a race kind. */

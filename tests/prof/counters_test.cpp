@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests of the CounterRegistry: lazy registration, accumulation, reset,
+ * and the name-sorted snapshot used by the exporters.
+ */
+#include <gtest/gtest.h>
+
+#include "prof/counters.hpp"
+
+namespace eclsim::prof {
+namespace {
+
+TEST(CounterRegistry, RegistersLazilyAndDeduplicates)
+{
+    CounterRegistry reg;
+    EXPECT_EQ(reg.size(), 0u);
+    const CounterId a = reg.id("sim/mem/l1_hit");
+    const CounterId b = reg.id("sim/mem/l2_hit");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(reg.id("sim/mem/l1_hit"), a);  // same name, same id
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.name(a), "sim/mem/l1_hit");
+}
+
+TEST(CounterRegistry, AddAccumulates)
+{
+    CounterRegistry reg;
+    const CounterId a = reg.id("sim/race/checks");
+    EXPECT_EQ(reg.value(a), 0u);
+    reg.add(a);
+    reg.add(a, 41);
+    EXPECT_EQ(reg.value(a), 42u);
+    EXPECT_EQ(reg.valueByName("sim/race/checks"), 42u);
+}
+
+TEST(CounterRegistry, ValueByNameOfUnregisteredIsZero)
+{
+    CounterRegistry reg;
+    EXPECT_EQ(reg.valueByName("never/registered"), 0u);
+    EXPECT_EQ(reg.size(), 0u);  // the query must not register it
+}
+
+TEST(CounterRegistry, ResetKeepsRegistrations)
+{
+    CounterRegistry reg;
+    const CounterId a = reg.id("x");
+    reg.add(a, 7);
+    reg.reset();
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_EQ(reg.value(a), 0u);
+    EXPECT_EQ(reg.id("x"), a);
+}
+
+TEST(CounterRegistry, SnapshotIsNameSorted)
+{
+    CounterRegistry reg;
+    reg.add(reg.id("sim/mem/l2_hit"), 2);
+    reg.add(reg.id("sim/mem/l1_hit"), 1);
+    reg.add(reg.id("host/phase"), 3);
+
+    const auto samples = reg.snapshot();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].name, "host/phase");
+    EXPECT_EQ(samples[0].value, 3u);
+    EXPECT_EQ(samples[1].name, "sim/mem/l1_hit");
+    EXPECT_EQ(samples[1].value, 1u);
+    EXPECT_EQ(samples[2].name, "sim/mem/l2_hit");
+    EXPECT_EQ(samples[2].value, 2u);
+}
+
+}  // namespace
+}  // namespace eclsim::prof

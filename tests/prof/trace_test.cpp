@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests of the TraceSession and the Chrome-trace exporter: track
+ * bookkeeping, the shared timeline cursor, and the golden shape of the
+ * exported JSON (syntactically valid, monotone per-track timestamps,
+ * every begin matched by an end) — both for hand-built sessions and for
+ * a real engine launch.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "prof/trace.hpp"
+#include "prof/trace_export.hpp"
+#include "simt/engine.hpp"
+
+namespace eclsim::prof {
+namespace {
+
+/**
+ * Minimal JSON syntax checker: verifies string escaping and that
+ * braces/brackets balance outside of strings. Not a full parser, but it
+ * catches every way the exporter's string concatenation could go wrong
+ * (unescaped quote, trailing comma is the viewers' problem, unbalanced
+ * nesting).
+ */
+bool
+looksLikeValidJson(const std::string& text)
+{
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (const char c : text) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            else if (static_cast<unsigned char>(c) < 0x20)
+                return false;  // raw control character inside a string
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_string = true;
+            break;
+          case '{':
+          case '[':
+            ++depth;
+            break;
+          case '}':
+          case ']':
+            if (--depth < 0)
+                return false;
+            break;
+          default:
+            break;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+TEST(TraceSession, TracksAreCreatedOnceAndSmTracksNamed)
+{
+    TraceSession session;
+    const TrackId kernels = session.track("kernels");
+    EXPECT_EQ(session.track("kernels"), kernels);
+    const TrackId sm0 = session.smTrack(0);
+    const TrackId sm3 = session.smTrack(3);
+    EXPECT_NE(sm0, sm3);
+    EXPECT_EQ(session.smTrack(3), sm3);
+    EXPECT_EQ(session.tracks()[sm3].name, "SM 3");
+    // SM tracks sort after named tracks so the viewer shows kernels first.
+    EXPECT_GT(session.tracks()[sm0].sort_index,
+              session.tracks()[kernels].sort_index);
+}
+
+TEST(TraceSession, CursorOnlyMovesForward)
+{
+    TraceSession session;
+    EXPECT_EQ(session.cursor(), 0u);
+    session.advanceCursor(100);
+    session.advanceCursor(40);  // backward, ignored
+    EXPECT_EQ(session.cursor(), 100u);
+    session.advanceCursor(250);
+    EXPECT_EQ(session.cursor(), 250u);
+}
+
+TEST(TraceSession, RecordsSpansInstantsAndSamples)
+{
+    TraceSession session;
+    const TrackId t = session.track("kernels");
+    session.beginSpan(t, "init", 0, {{"grid", "4"}});
+    session.instant(t, "race: parent", 5);
+    session.counterSample(t, "l1_hits", 9, 123);
+    session.endSpan(t, 10);
+
+    ASSERT_EQ(session.events().size(), 4u);
+    EXPECT_EQ(session.events()[0].phase, EventPhase::kBegin);
+    EXPECT_EQ(session.events()[0].name, "init");
+    EXPECT_EQ(session.events()[1].phase, EventPhase::kInstant);
+    EXPECT_EQ(session.events()[2].phase, EventPhase::kCounter);
+    EXPECT_EQ(session.events()[2].value, 123u);
+    EXPECT_EQ(session.events()[3].phase, EventPhase::kEnd);
+    EXPECT_EQ(session.events()[3].ts, 10u);
+
+    session.clear();
+    EXPECT_TRUE(session.events().empty());
+    EXPECT_TRUE(session.tracks().empty());
+    EXPECT_EQ(session.cursor(), 0u);
+}
+
+/** Per-track golden-shape check: monotone timestamps, matched B/E. */
+void
+expectWellFormed(const TraceSession& session)
+{
+    std::map<TrackId, u64> last_ts;
+    std::map<TrackId, int> open_spans;
+    for (const TraceEvent& e : session.events()) {
+        auto [it, first] = last_ts.try_emplace(e.track, e.ts);
+        if (!first) {
+            EXPECT_GE(e.ts, it->second)
+                << "timestamps must be monotone within track "
+                << session.tracks()[e.track].name;
+            it->second = e.ts;
+        }
+        if (e.phase == EventPhase::kBegin)
+            ++open_spans[e.track];
+        if (e.phase == EventPhase::kEnd) {
+            --open_spans[e.track];
+            EXPECT_GE(open_spans[e.track], 0)
+                << "end without begin on track "
+                << session.tracks()[e.track].name;
+        }
+    }
+    for (const auto& [track, open] : open_spans)
+        EXPECT_EQ(open, 0) << "unclosed span on track "
+                           << session.tracks()[track].name;
+}
+
+TEST(TraceExport, HandBuiltSessionExportsValidJson)
+{
+    TraceSession session;
+    const TrackId t = session.track("kernels");
+    session.beginSpan(t, "sweep \"quoted\" \\ and\ncontrol", 1,
+                      {{"key", "value\twith\ttabs"}});
+    session.endSpan(t, 7);
+
+    const std::string json = toChromeTraceJson(session);
+    EXPECT_TRUE(looksLikeValidJson(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+    // Metadata names the track.
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("kernels"), std::string::npos);
+    expectWellFormed(session);
+}
+
+TEST(TraceExport, CountersCsvIsSortedNameValue)
+{
+    CounterRegistry reg;
+    reg.add(reg.id("b/two"), 2);
+    reg.add(reg.id("a/one"), 1);
+    EXPECT_EQ(countersCsv(reg), "counter,value\na/one,1\nb/two,2\n");
+    const TextTable table = counterTable(reg);
+    EXPECT_NE(table.toText().find("a/one"), std::string::npos);
+}
+
+TEST(TraceExport, EngineLaunchProducesWellFormedTrace)
+{
+    TraceSession session;
+    simt::DeviceMemory memory;
+    simt::EngineOptions options;
+    options.trace = &session;
+    simt::Engine engine(simt::titanV(), memory, options);
+
+    const u32 n = 4096;
+    auto data = memory.alloc<u32>(n, "data");
+    for (int launch = 0; launch < 2; ++launch) {
+        engine.launch("fill", simt::launchFor(n),
+                      [&](simt::ThreadCtx& t) -> simt::Task {
+                          const u32 v = t.globalThreadId();
+                          if (v < n)
+                              co_await t.store(data, v, v);
+                      });
+    }
+
+    expectWellFormed(session);
+    EXPECT_GT(session.cursor(), 0u);
+    // One kernel span per launch plus per-SM residency spans.
+    int kernel_begins = 0;
+    bool sm_span = false;
+    for (const TraceEvent& e : session.events()) {
+        if (e.phase != EventPhase::kBegin)
+            continue;
+        if (session.tracks()[e.track].name == "kernels")
+            ++kernel_begins;
+        else if (session.tracks()[e.track].name.rfind("SM ", 0) == 0)
+            sm_span = true;
+    }
+    EXPECT_EQ(kernel_begins, 2);
+    EXPECT_TRUE(sm_span);
+    // The memory-path counters saw the stores.
+    EXPECT_GT(session.counters().valueByName("sim/mem/store"), 0u);
+
+    const std::string json = toChromeTraceJson(session);
+    EXPECT_TRUE(looksLikeValidJson(json));
+}
+
+}  // namespace
+}  // namespace eclsim::prof
