@@ -11,6 +11,9 @@
  *   --trace=PATH   record the whole run into a Chrome-trace JSON file
  *                  (open in chrome://tracing or ui.perfetto.dev)
  *   --counters=PATH  write the profiling counters as CSV
+ *   --jobs=N       worker threads for the suite sweeps (default: one
+ *                  per hardware thread; 1 = the exact serial path).
+ *                  Results are bit-identical for every N.
  */
 #pragma once
 
@@ -34,6 +37,7 @@ configFromFlags(const Flags& flags)
         static_cast<u32>(flags.getInt("divisor", 512));
     config.verify = flags.getBool("verify", false);
     config.seed = static_cast<u64>(flags.getInt("seed", 12345));
+    config.jobs = static_cast<u32>(flags.getInt("jobs", 0));
     return config;
 }
 

@@ -1,0 +1,78 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace eclsim::core {
+
+namespace {
+
+/** Worker number of the current thread; -1 on non-pool threads. */
+thread_local int t_worker_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(u32 workers)
+{
+    const u32 n = workers == 0 ? defaultConcurrency() : workers;
+    workers_.reserve(n);
+    for (u32 i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    ready_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+u32
+ThreadPool::defaultConcurrency()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+int
+ThreadPool::currentWorkerIndex()
+{
+    return t_worker_index;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ECLSIM_ASSERT(!stopping_, "submit() on a stopping ThreadPool");
+        queue_.push_back(std::move(fn));
+    }
+    ready_.notify_one();
+}
+
+void
+ThreadPool::workerLoop(u32 index)
+{
+    t_worker_index = static_cast<int>(index);
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stopping and fully drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();  // a throwing task is a packaged_task: it stores the
+                 // exception in its future instead of unwinding here
+    }
+}
+
+}  // namespace eclsim::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fixed-size worker pool for the experiment harness.
+ *
+ * A ThreadPool owns N worker threads draining one FIFO task queue.
+ * submit() returns a std::future so callers collect results (and
+ * exceptions — a task that throws stores the exception in its future,
+ * it never takes down a worker) in whatever order they choose; the
+ * harness awaits futures in cell order, which makes exception
+ * propagation deterministic regardless of completion order.
+ *
+ * Destruction drains the queue: every task submitted before the
+ * destructor ran is executed, then the workers join. submit() after
+ * shutdown has begun is a bug (panic).
+ *
+ * Workers are numbered 0..size()-1; currentWorkerIndex() returns the
+ * calling thread's number (or -1 off-pool) so harness code can tag
+ * per-worker artifacts such as trace tracks.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eclsim::core {
+
+/** Fixed worker-count task pool (see file comment). */
+class ThreadPool
+{
+  public:
+    /** Start `workers` threads; 0 means defaultConcurrency(). */
+    explicit ThreadPool(u32 workers = 0);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    u32 size() const { return static_cast<u32>(workers_.size()); }
+
+    /** std::thread::hardware_concurrency(), floored at 1. */
+    static u32 defaultConcurrency();
+
+    /** 0-based index of the calling pool worker, -1 off-pool. */
+    static int currentWorkerIndex();
+
+    /**
+     * Enqueue a callable; the future delivers its result or rethrows
+     * whatever it threw.
+     */
+    template <typename F>
+    auto
+    submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+  private:
+    void enqueue(std::function<void()> fn);
+    void workerLoop(u32 index);
+
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+}  // namespace eclsim::core

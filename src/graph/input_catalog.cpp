@@ -1,0 +1,69 @@
+#include "graph/input_catalog.hpp"
+
+#include "graph/generators.hpp"
+
+namespace eclsim::graph {
+
+InputCatalog&
+InputCatalog::shared()
+{
+    static InputCatalog instance;
+    return instance;
+}
+
+InputCatalog::Slot*
+InputCatalog::slot(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& entry = slots_[key];
+    if (entry == nullptr)
+        entry = std::make_unique<Slot>();
+    else
+        ++hits_;
+    return entry.get();
+}
+
+const CsrGraph&
+InputCatalog::get(const std::string& name, u32 divisor)
+{
+    Slot* s = slot(name + "@" + std::to_string(divisor));
+    std::call_once(s->once,
+                   [&] { s->graph = findCatalogEntry(name).make(divisor); });
+    return s->graph;
+}
+
+const CsrGraph&
+InputCatalog::getWeighted(const std::string& name, u32 divisor,
+                          i32 max_weight, u64 seed)
+{
+    Slot* s = slot(name + "@" + std::to_string(divisor) + "#w" +
+                   std::to_string(max_weight) + "." + std::to_string(seed));
+    std::call_once(s->once, [&] {
+        s->graph = withSyntheticWeights(get(name, divisor), max_weight, seed);
+    });
+    return s->graph;
+}
+
+size_t
+InputCatalog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
+u64
+InputCatalog::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+void
+InputCatalog::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_.clear();
+    hits_ = 0;
+}
+
+}  // namespace eclsim::graph

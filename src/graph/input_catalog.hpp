@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared read-only cache of generated catalog inputs.
+ *
+ * Regenerating a stand-in graph for every (gpu, algo, variant, rep)
+ * cell dominated the wall-clock of the table sweeps. An InputCatalog
+ * memoizes CatalogEntry::make results keyed by (input name, divisor) —
+ * each graph is generated exactly once per divisor and every later
+ * lookup returns a reference to the same immutable object, shared
+ * across GPUs, algorithms, variants and repetitions.
+ *
+ * The cache is thread-safe: concurrent lookups of *different* keys
+ * generate in parallel, concurrent lookups of the *same* key block all
+ * but one builder (std::call_once per slot), so the parallel suite
+ * runner never builds a graph twice. Returned references stay valid
+ * for the cache's lifetime; clear() invalidates them all and is only
+ * safe while no suite is running.
+ *
+ * shared() is the process-wide instance the experiment harness uses;
+ * tests can construct private instances.
+ */
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "graph/catalog.hpp"
+#include "graph/csr.hpp"
+
+namespace eclsim::graph {
+
+/** Memoizing, thread-safe store of catalog stand-in graphs. */
+class InputCatalog
+{
+  public:
+    InputCatalog() = default;
+    InputCatalog(const InputCatalog&) = delete;
+    InputCatalog& operator=(const InputCatalog&) = delete;
+
+    /** The process-wide cache used by the experiment harness. */
+    static InputCatalog& shared();
+
+    /** The stand-in for a named catalog input, built on first use. */
+    const CsrGraph& get(const std::string& name, u32 divisor);
+
+    /**
+     * The same stand-in with synthetic edge weights (the harness's MST
+     * input), derived from the unweighted graph and cached separately.
+     */
+    const CsrGraph& getWeighted(const std::string& name, u32 divisor,
+                                i32 max_weight = 1000, u64 seed = 0xec1);
+
+    /** Number of distinct graphs built so far. */
+    size_t size() const;
+
+    /** Number of lookups served from an already-built slot. */
+    u64 hits() const;
+
+    /** Drop every cached graph (dangles outstanding references!). */
+    void clear();
+
+  private:
+    struct Slot
+    {
+        std::once_flag once;
+        CsrGraph graph;
+    };
+
+    /** The slot for a key, creating an empty one on first sight. */
+    Slot* slot(const std::string& key);
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::unique_ptr<Slot>> slots_;
+    u64 hits_ = 0;
+};
+
+}  // namespace eclsim::graph

@@ -1,6 +1,8 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <future>
+#include <mutex>
 
 #include "algos/cc.hpp"
 #include "algos/gc.hpp"
@@ -8,7 +10,10 @@
 #include "algos/mst.hpp"
 #include "algos/scc.hpp"
 #include "core/logging.hpp"
+#include "core/rng.hpp"
 #include "core/stats.hpp"
+#include "core/thread_pool.hpp"
+#include "graph/input_catalog.hpp"
 #include "graph/properties.hpp"
 #include "prof/trace.hpp"
 #include "refalgos/refalgos.hpp"
@@ -149,10 +154,27 @@ runOnce(const GpuSpec& gpu, const CsrGraph& graph, Algo algo,
     return stats.ms;
 }
 
+u64
+cellSeed(u64 base_seed, u64 cell_index)
+{
+    // SplitMix64 stream: the cell index picks a position in the stream
+    // seeded by the base seed, then the avalanche finalizer decorrelates
+    // neighbouring cells.
+    return hash64(base_seed + 0x9e3779b97f4a7c15ULL * (cell_index + 1));
+}
+
 Measurement
 measure(const GpuSpec& gpu, const CsrGraph& graph,
         const std::string& input_name, Algo algo,
         const ExperimentConfig& config)
+{
+    return measureSeeded(gpu, graph, input_name, algo, config, config.seed);
+}
+
+Measurement
+measureSeeded(const GpuSpec& gpu, const CsrGraph& graph,
+              const std::string& input_name, Algo algo,
+              const ExperimentConfig& config, u64 seed_base)
 {
     Measurement m;
     m.input = input_name;
@@ -183,7 +205,7 @@ measure(const GpuSpec& gpu, const CsrGraph& graph,
                              {"rep", std::to_string(rep)}});
         }
         const double ms = runOnce(gpu, graph, algo, variant, config,
-                                  config.seed + rep, stats);
+                                  seed_base + rep, stats);
         if (trace)
             trace->endSpan(track, std::max(trace->cursor(), t0));
         return ms;
@@ -202,40 +224,118 @@ measure(const GpuSpec& gpu, const CsrGraph& graph,
     return m;
 }
 
+namespace {
+
+/** One independent (input, algo) unit of a suite sweep. */
+struct Cell
+{
+    const graph::CatalogEntry* entry = nullptr;
+    Algo algo = Algo::kCc;
+};
+
+/** The cell's input graph, built at most once per divisor by the
+ *  shared cache (MST measures the synthetically weighted variant). */
+const CsrGraph&
+cellGraph(const Cell& cell, u32 divisor)
+{
+    auto& cache = graph::InputCatalog::shared();
+    return cell.algo == Algo::kMst
+               ? cache.getWeighted(cell.entry->name, divisor)
+               : cache.get(cell.entry->name, divisor);
+}
+
+/**
+ * Run every cell and return the measurements in cell order.
+ *
+ * jobs == 1 is the serial path: cells in order on the caller's thread,
+ * writing straight into config.trace. jobs > 1 shards cells across a
+ * ThreadPool; each cell derives its seeds from its index (not from the
+ * worker or the schedule) so the result vector is bit-identical to the
+ * serial one, and records into a private TraceSession that is merged
+ * into the shared one — under a mutex, tagged "w<worker>/" — as the
+ * cell completes. Futures are awaited in cell order, so an exception
+ * thrown by any cell (e.g. a failed --verify oracle) surfaces
+ * deterministically.
+ */
+std::vector<Measurement>
+runCells(const GpuSpec& gpu, const std::vector<Cell>& cells,
+         const ExperimentConfig& config, const ProgressFn& progress)
+{
+    const u32 jobs = config.jobs == 0
+                         ? core::ThreadPool::defaultConcurrency()
+                         : config.jobs;
+    std::vector<Measurement> out(cells.size());
+
+    if (jobs <= 1 || cells.size() <= 1) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out[i] = measureSeeded(gpu, cellGraph(cells[i],
+                                                  config.graph_divisor),
+                                   cells[i].entry->name, cells[i].algo,
+                                   config, cellSeed(config.seed, i));
+            if (progress)
+                progress(out[i]);
+        }
+        return out;
+    }
+
+    prof::TraceSession* shared_trace = config.trace;
+    std::mutex sink_mutex;  // serializes trace merges and progress
+    core::ThreadPool pool(
+        static_cast<u32>(std::min<size_t>(jobs, cells.size())));
+    std::vector<std::future<void>> done;
+    done.reserve(cells.size());
+
+    for (size_t i = 0; i < cells.size(); ++i) {
+        done.push_back(pool.submit([&, i] {
+            ExperimentConfig local = config;
+            prof::TraceSession cell_trace;
+            local.trace = shared_trace ? &cell_trace : nullptr;
+            Measurement m = measureSeeded(
+                gpu, cellGraph(cells[i], config.graph_divisor),
+                cells[i].entry->name, cells[i].algo, local,
+                cellSeed(config.seed, i));
+            if (shared_trace || progress) {
+                std::lock_guard<std::mutex> lock(sink_mutex);
+                if (shared_trace) {
+                    const int worker =
+                        core::ThreadPool::currentWorkerIndex();
+                    std::string prefix = "w";
+                    prefix += std::to_string(std::max(worker, 0));
+                    prefix += '/';
+                    shared_trace->merge(cell_trace, prefix);
+                }
+                if (progress)
+                    progress(m);
+            }
+            out[i] = std::move(m);
+        }));
+    }
+    for (auto& future : done)
+        future.get();
+    return out;
+}
+
+}  // namespace
+
 std::vector<Measurement>
 runUndirectedSuite(const GpuSpec& gpu, const ExperimentConfig& config,
                    const ProgressFn& progress)
 {
-    std::vector<Measurement> out;
-    for (const auto& entry : graph::undirectedCatalog()) {
-        const CsrGraph unweighted = entry.make(config.graph_divisor);
-        const CsrGraph weighted =
-            graph::withSyntheticWeights(unweighted, 1000, 0xec1);
-        for (Algo algo : undirectedAlgos()) {
-            const CsrGraph& g =
-                algo == Algo::kMst ? weighted : unweighted;
-            Measurement m = measure(gpu, g, entry.name, algo, config);
-            if (progress)
-                progress(m);
-            out.push_back(std::move(m));
-        }
-    }
-    return out;
+    std::vector<Cell> cells;
+    for (const auto& entry : graph::undirectedCatalog())
+        for (Algo algo : undirectedAlgos())
+            cells.push_back({&entry, algo});
+    return runCells(gpu, cells, config, progress);
 }
 
 std::vector<Measurement>
 runSccSuite(const GpuSpec& gpu, const ExperimentConfig& config,
             const ProgressFn& progress)
 {
-    std::vector<Measurement> out;
-    for (const auto& entry : graph::directedCatalog()) {
-        const CsrGraph g = entry.make(config.graph_divisor);
-        Measurement m = measure(gpu, g, entry.name, Algo::kScc, config);
-        if (progress)
-            progress(m);
-        out.push_back(std::move(m));
-    }
-    return out;
+    std::vector<Cell> cells;
+    for (const auto& entry : graph::directedCatalog())
+        cells.push_back({&entry, Algo::kScc});
+    return runCells(gpu, cells, config, progress);
 }
 
 // --- tables ---------------------------------------------------------------
@@ -296,9 +396,19 @@ speedupsOf(const std::vector<Measurement>& measurements, Algo algo,
            const std::string& gpu)
 {
     std::vector<double> out;
-    for (const auto& m : measurements)
-        if (m.algo == algo && (gpu.empty() || m.gpu == gpu))
-            out.push_back(m.speedup());
+    for (const auto& m : measurements) {
+        if (m.algo != algo || (!gpu.empty() && m.gpu != gpu))
+            continue;
+        // A zero-time cell has no defined speedup; including its 0.0
+        // would poison the geomean (log 0) and the min row. Skip it —
+        // the per-input table cell still shows the 0.00 sentinel.
+        if (m.racefree_ms <= 0.0) {
+            warn("skipping zero-time cell {}/{} on {} in summary stats",
+                 algoName(m.algo), m.input, m.gpu);
+            continue;
+        }
+        out.push_back(m.speedup());
+    }
     return out;
 }
 
@@ -430,7 +540,8 @@ makeCorrelationTable(const std::vector<Measurement>& all)
             for (Algo algo : algos) {
                 std::vector<double> xs, ys;
                 for (const auto& m : all) {
-                    if (m.algo != algo || m.gpu != gpu)
+                    if (m.algo != algo || m.gpu != gpu ||
+                        m.racefree_ms <= 0.0)
                         continue;
                     xs.push_back(m.*(prop.field));
                     ys.push_back(m.speedup());

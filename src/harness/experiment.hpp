@@ -58,8 +58,17 @@ struct ExperimentConfig
     u32 cache_divisor = 16;
     /** Cross-check every run against the sequential reference oracles. */
     bool verify = false;
-    /** Base seed; rep r of a measurement uses seed base + r. */
+    /** Base seed; cell c's rep r runs with seed cellSeed(base, c) + r. */
     u64 seed = 12345;
+    /**
+     * Worker threads for the suite runners. 1 is the exact serial
+     * path (no pool, cells in order); 0 means one worker per hardware
+     * thread. Any value produces bit-identical Measurement vectors:
+     * every (input, algo) cell derives its engine seeds from the base
+     * seed and its stable cell index, independent of which worker runs
+     * it or in what order cells complete.
+     */
+    u32 jobs = 0;
     /**
      * Optional profiling sink (eclsim::prof). When set, every engine
      * the harness creates records into this session, and each
@@ -85,6 +94,12 @@ struct Measurement
     double vertices = 0.0;
     double avg_degree = 0.0;
 
+    /**
+     * baseline_ms / racefree_ms. A cell with racefree_ms == 0 has no
+     * defined speedup and returns 0.0; the summary statistics
+     * (min/geomean/max rows, geomeanSpeedup, correlations) skip such
+     * cells rather than poisoning the geomean with log(0).
+     */
     double
     speedup() const
     {
@@ -92,26 +107,50 @@ struct Measurement
     }
 };
 
+/**
+ * Deterministic per-cell seed: a SplitMix64-style mix of the config's
+ * base seed and the cell's stable index in its suite, so parallel and
+ * serial sweeps give every cell identical engine seeds.
+ */
+u64 cellSeed(u64 base_seed, u64 cell_index);
+
 /** Run one algorithm variant once on a fresh engine; returns simulated
  *  milliseconds (and validates the result if verify is set). */
 double runOnce(const GpuSpec& gpu, const CsrGraph& graph, Algo algo,
                Variant variant, const ExperimentConfig& config, u64 seed,
                algos::RunStats* stats_out = nullptr);
 
-/** Median-of-reps measurement of both variants of one algorithm. */
+/** Median-of-reps measurement of both variants of one algorithm,
+ *  using config.seed directly as the per-rep seed base. */
 Measurement measure(const GpuSpec& gpu, const CsrGraph& graph,
                     const std::string& input_name, Algo algo,
                     const ExperimentConfig& config);
 
-/** Optional progress sink ("cc on amazon0601: 0.87"). */
+/** measure() with an explicit seed base: rep r runs with seed
+ *  seed_base + r (the suites pass cellSeed(config.seed, cell)). */
+Measurement measureSeeded(const GpuSpec& gpu, const CsrGraph& graph,
+                          const std::string& input_name, Algo algo,
+                          const ExperimentConfig& config, u64 seed_base);
+
+/** Optional progress sink ("cc on amazon0601: 0.87"). With jobs > 1 it
+ *  is called under a lock, in completion (not cell) order. */
 using ProgressFn = std::function<void(const Measurement&)>;
 
-/** Tables IV-VII: CC/GC/MIS/MST on the 17 undirected inputs of one GPU. */
+/**
+ * Tables IV-VII: CC/GC/MIS/MST on the 17 undirected inputs of one GPU.
+ *
+ * Cells (input x algo) are independent and run on config.jobs workers;
+ * the returned vector is always in catalog x algo order and is
+ * bit-identical for every jobs value. Input graphs come from the
+ * shared graph::InputCatalog cache: generated once per divisor,
+ * reused across GPUs, algorithms, variants and repetitions.
+ */
 std::vector<Measurement> runUndirectedSuite(const GpuSpec& gpu,
                                             const ExperimentConfig& config,
                                             const ProgressFn& progress = {});
 
-/** Table VIII: SCC on the 10 directed inputs of one GPU. */
+/** Table VIII: SCC on the 10 directed inputs of one GPU (same
+ *  parallel/deterministic contract as runUndirectedSuite). */
 std::vector<Measurement> runSccSuite(const GpuSpec& gpu,
                                      const ExperimentConfig& config,
                                      const ProgressFn& progress = {});

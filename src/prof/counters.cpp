@@ -46,6 +46,13 @@ CounterRegistry::reset()
     std::fill(values_.begin(), values_.end(), 0);
 }
 
+void
+CounterRegistry::merge(const CounterRegistry& other)
+{
+    for (CounterId i = 0; i < other.values_.size(); ++i)
+        values_[id(other.names_[i])] += other.values_[i];
+}
+
 std::vector<CounterRegistry::Sample>
 CounterRegistry::snapshot() const
 {

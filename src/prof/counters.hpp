@@ -55,6 +55,14 @@ class CounterRegistry
     /** Zero every counter (registrations are kept). */
     void reset();
 
+    /**
+     * Add every counter of another registry into this one, registering
+     * missing names. Used to fold per-worker shard registries into the
+     * shared session after a parallel run: serial and sharded totals
+     * agree exactly because addition is per-name.
+     */
+    void merge(const CounterRegistry& other);
+
     /** One exported counter. */
     struct Sample
     {

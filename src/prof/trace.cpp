@@ -84,6 +84,30 @@ TraceSession::counterSample(TrackId track, std::string series, u64 ts,
 }
 
 void
+TraceSession::merge(const TraceSession& other,
+                    const std::string& track_prefix)
+{
+    const u64 base = cursor_;
+    std::vector<TrackId> remap;
+    remap.reserve(other.tracks_.size());
+    for (const Track& t : other.tracks_)
+        remap.push_back(track(track_prefix + t.name));
+
+    u64 max_ts = base;
+    events_.reserve(events_.size() + other.events_.size());
+    for (const TraceEvent& e : other.events_) {
+        TraceEvent copy = e;
+        copy.track = remap[e.track];
+        copy.ts = base + e.ts;
+        if (copy.ts > max_ts)
+            max_ts = copy.ts;
+        events_.push_back(std::move(copy));
+    }
+    advanceCursor(std::max(max_ts, base + other.cursor_));
+    counters_.merge(other.counters_);
+}
+
+void
 TraceSession::clear()
 {
     tracks_.clear();

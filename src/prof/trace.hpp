@@ -101,6 +101,18 @@ class TraceSession
     const std::vector<Track>& tracks() const { return tracks_; }
     const std::vector<TraceEvent>& events() const { return events_; }
 
+    /**
+     * Append another session's events, mapping its track `X` onto
+     * `track_prefix + X` here and shifting its timestamps past this
+     * session's cursor, then fold in its counters (CounterRegistry::
+     * merge). The parallel suite runner records each cell into a
+     * private session and merges them one at a time (caller
+     * serializes), prefixed "w<worker>/", so the combined export keeps
+     * per-track monotone timestamps and matched begin/end pairs.
+     */
+    void merge(const TraceSession& other,
+               const std::string& track_prefix = "");
+
     /** Drop all events and tracks; counters and cursor reset too. */
     void clear();
 

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests of core::ThreadPool: FIFO ordering on a single worker, result
+ * and exception delivery through futures, worker indexing, exact
+ * totals under contention, and drain-on-destruction shutdown.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace eclsim::core {
+namespace {
+
+TEST(ThreadPool, DeliversResultsThroughFutures)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto& f : futures)
+        f.get();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionReachesTheFutureNotTheWorker)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("cell exploded"); });
+    auto good = pool.submit([] { return 7; });
+    EXPECT_THROW(
+        {
+            try {
+                bad.get();
+            } catch (const std::runtime_error& e) {
+                EXPECT_STREQ(e.what(), "cell exploded");
+                throw;
+            }
+        },
+        std::runtime_error);
+    // The worker that ran the throwing task is still alive and serving.
+    EXPECT_EQ(good.get(), 7);
+    EXPECT_EQ(pool.submit([] { return 8; }).get(), 8);
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndInRange)
+{
+    EXPECT_EQ(ThreadPool::currentWorkerIndex(), -1);  // off-pool
+    ThreadPool pool(3);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(
+            pool.submit([] { return ThreadPool::currentWorkerIndex(); }));
+    for (auto& f : futures) {
+        const int index = f.get();
+        EXPECT_GE(index, 0);
+        EXPECT_LT(index, 3);
+    }
+    EXPECT_EQ(ThreadPool::currentWorkerIndex(), -1);
+}
+
+TEST(ThreadPool, ContendedIncrementsSumExactly)
+{
+    constexpr int kTasks = 200;
+    constexpr int kPerTask = 500;
+    std::atomic<int> total{0};
+    std::vector<std::future<void>> futures;
+    ThreadPool pool(8);
+    for (int i = 0; i < kTasks; ++i)
+        futures.push_back(pool.submit([&total] {
+            for (int j = 0; j < kPerTask; ++j)
+                total.fetch_add(1, std::memory_order_relaxed);
+        }));
+    for (auto& f : futures)
+        f.get();
+    EXPECT_EQ(total.load(), kTasks * kPerTask);
+}
+
+TEST(ThreadPool, DestructorDrainsEverySubmittedTask)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+                ran.fetch_add(1);
+            });
+        }
+        // ~ThreadPool runs here with most of the queue still pending.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);
+    ThreadPool pool;  // 0 = defaultConcurrency()
+    EXPECT_EQ(pool.size(), ThreadPool::defaultConcurrency());
+}
+
+}  // namespace
+}  // namespace eclsim::core

@@ -1,13 +1,17 @@
 /**
  * @file
- * Tests of the binary graph IO and the Tables II/III input catalog.
+ * Tests of the binary graph IO, the Tables II/III input catalog, and
+ * the InputCatalog graph cache used by the parallel suite runner.
  */
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "graph/catalog.hpp"
 #include "graph/generators.hpp"
+#include "graph/input_catalog.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 
@@ -109,6 +113,65 @@ TEST(Catalog, UnknownNameDies)
 {
     EXPECT_DEATH(findCatalogEntry("no-such-graph"),
                  "unknown catalog input");
+}
+
+TEST(InputCatalog, RepeatedLookupsReturnTheSameObject)
+{
+    InputCatalog cache;
+    const CsrGraph* first = &cache.get("internet", 4096);
+    EXPECT_EQ(&cache.get("internet", 4096), first);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    // The cached graph is exactly what the generator recipe builds.
+    EXPECT_TRUE(*first == makeInput("internet", 4096));
+}
+
+TEST(InputCatalog, DistinctDivisorsAreDistinctObjects)
+{
+    InputCatalog cache;
+    const CsrGraph* big = &cache.get("internet", 2048);
+    const CsrGraph* small = &cache.get("internet", 4096);
+    EXPECT_NE(big, small);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(InputCatalog, WeightedVariantIsCachedSeparately)
+{
+    InputCatalog cache;
+    const CsrGraph& plain = cache.get("internet", 4096);
+    const CsrGraph& weighted = cache.getWeighted("internet", 4096);
+    EXPECT_NE(&plain, &weighted);
+    EXPECT_FALSE(plain.weighted());
+    EXPECT_TRUE(weighted.weighted());
+    EXPECT_EQ(&cache.getWeighted("internet", 4096), &weighted);
+    EXPECT_EQ(cache.size(), 2u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(InputCatalog, ConcurrentLookupsBuildExactlyOnce)
+{
+    InputCatalog cache;
+    constexpr int kThreads = 8;
+    std::vector<const CsrGraph*> seen(kThreads, nullptr);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back(
+            [&cache, &seen, t] { seen[t] = &cache.get("star", 4096); });
+    for (auto& thread : threads)
+        thread.join();
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[t], seen[0]);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.hits(), static_cast<u64>(kThreads - 1));
+}
+
+TEST(InputCatalog, SharedInstanceIsProcessWide)
+{
+    EXPECT_EQ(&InputCatalog::shared(), &InputCatalog::shared());
 }
 
 TEST(Properties, CountsIsolatedAndDegrees)

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "graph/catalog.hpp"
 #include "harness/experiment.hpp"
 #include "harness/paper_reference.hpp"
@@ -157,6 +159,39 @@ TEST(ShapeScc, RaceFreeSccIsSubstantiallySlower)
     const double g = geomeanSpeedup(ms, Algo::kScc, "4090");
     EXPECT_LT(g, 0.90) << "paper: SCC geomean 0.50-0.81";
     EXPECT_GT(g, 0.30);
+}
+
+TEST(Speedup, ZeroTimeCellsAreSkippedNotGeomeanPoison)
+{
+    // Regression: a cell with racefree_ms == 0 reports speedup() 0.0,
+    // and feeding that 0.0 into the geomean meant log(0) = -inf. The
+    // summaries must skip undefined cells instead.
+    Measurement ok;
+    ok.input = "good";
+    ok.algo = Algo::kCc;
+    ok.gpu = "Titan V";
+    ok.baseline_ms = 4.0;
+    ok.racefree_ms = 2.0;
+
+    Measurement zero = ok;
+    zero.input = "degenerate";
+    zero.racefree_ms = 0.0;
+    EXPECT_DOUBLE_EQ(zero.speedup(), 0.0);
+
+    const std::vector<Measurement> ms = {ok, zero};
+    const double g = geomeanSpeedup(ms, Algo::kCc, "Titan V");
+    EXPECT_TRUE(std::isfinite(g));
+    EXPECT_DOUBLE_EQ(g, 2.0);  // the defined cell alone
+
+    // The summary rows of the rendered table skip the cell too...
+    const auto table = makeSpeedupTable(ms);
+    EXPECT_EQ(table.cell(2, 0), "Min Speedup");
+    EXPECT_EQ(table.cell(2, 1), "2.00");
+    EXPECT_EQ(table.cell(3, 1), "2.00");  // geomean
+    EXPECT_EQ(table.cell(4, 1), "2.00");  // max
+    // ...while the per-input cell still shows the 0.00 sentinel.
+    EXPECT_EQ(table.cell(1, 0), "degenerate");
+    EXPECT_EQ(table.cell(1, 1), "0.00");
 }
 
 TEST(AlgoNames, Complete)

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Determinism-under-parallelism tests of the suite runners: a sweep
+ * sharded over 8 workers must produce Measurement vectors that are
+ * field-for-field identical to the serial path, stable across repeated
+ * parallel runs, with identical profiling counter totals and a merged
+ * trace that still passes the golden-shape checks.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/experiment.hpp"
+#include "prof/trace.hpp"
+#include "prof/trace_export.hpp"
+
+namespace eclsim::harness {
+namespace {
+
+ExperimentConfig
+configWithJobs(u32 jobs)
+{
+    ExperimentConfig config;
+    config.reps = 2;
+    config.graph_divisor = 4096;  // tiny stand-ins: tests stay fast
+    config.jobs = jobs;
+    return config;
+}
+
+void
+expectIdentical(const std::vector<Measurement>& a,
+                const std::vector<Measurement>& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i) + " (" + a[i].input +
+                     ")");
+        EXPECT_EQ(a[i].input, b[i].input);
+        EXPECT_EQ(a[i].algo, b[i].algo);
+        EXPECT_EQ(a[i].gpu, b[i].gpu);
+        EXPECT_EQ(a[i].baseline_ms, b[i].baseline_ms);
+        EXPECT_EQ(a[i].racefree_ms, b[i].racefree_ms);
+        EXPECT_EQ(a[i].baseline_iterations, b[i].baseline_iterations);
+        EXPECT_EQ(a[i].racefree_iterations, b[i].racefree_iterations);
+        EXPECT_EQ(a[i].edges, b[i].edges);
+        EXPECT_EQ(a[i].vertices, b[i].vertices);
+        EXPECT_EQ(a[i].avg_degree, b[i].avg_degree);
+    }
+}
+
+TEST(ParallelDeterminism, UndirectedSuiteMatchesSerialBitForBit)
+{
+    const auto serial =
+        runUndirectedSuite(simt::titanV(), configWithJobs(1));
+    const auto parallel =
+        runUndirectedSuite(simt::titanV(), configWithJobs(8));
+    expectIdentical(serial, parallel);
+}
+
+TEST(ParallelDeterminism, SccSuiteMatchesSerialBitForBit)
+{
+    const auto serial = runSccSuite(simt::a100(), configWithJobs(1));
+    const auto parallel = runSccSuite(simt::a100(), configWithJobs(8));
+    expectIdentical(serial, parallel);
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAreStable)
+{
+    const auto first = runSccSuite(simt::rtx4090(), configWithJobs(8));
+    const auto second = runSccSuite(simt::rtx4090(), configWithJobs(8));
+    expectIdentical(first, second);
+}
+
+TEST(ParallelDeterminism, CellSeedIsStableAndDecorrelated)
+{
+    EXPECT_EQ(cellSeed(12345, 0), cellSeed(12345, 0));
+    EXPECT_NE(cellSeed(12345, 0), cellSeed(12345, 1));
+    EXPECT_NE(cellSeed(12345, 0), cellSeed(54321, 0));
+}
+
+TEST(ParallelDeterminism, CounterTotalsMatchSerialExactly)
+{
+    prof::TraceSession serial_session, parallel_session;
+
+    auto serial_config = configWithJobs(1);
+    serial_config.trace = &serial_session;
+    auto parallel_config = configWithJobs(8);
+    parallel_config.trace = &parallel_session;
+
+    const auto serial = runSccSuite(simt::titanV(), serial_config);
+    const auto parallel = runSccSuite(simt::titanV(), parallel_config);
+    expectIdentical(serial, parallel);
+
+    const auto a = serial_session.counters().snapshot();
+    const auto b = parallel_session.counters().snapshot();
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_GT(a.size(), 0u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].value, b[i].value) << a[i].name;
+    }
+}
+
+TEST(ParallelDeterminism, MergedTraceKeepsGoldenShape)
+{
+    prof::TraceSession session;
+    auto config = configWithJobs(4);
+    config.reps = 1;
+    config.trace = &session;
+    runSccSuite(simt::rtx2070Super(), config);
+
+    EXPECT_GT(session.events().size(), 0u);
+    // Worker-tagged tracks: every track of a parallel run is w<k>/...
+    bool worker_track = false;
+    for (const auto& track : session.tracks())
+        if (track.name.rfind("w", 0) == 0)
+            worker_track = true;
+    EXPECT_TRUE(worker_track);
+
+    // Golden shape: per-track monotone timestamps, matched begin/end.
+    std::map<prof::TrackId, u64> last_ts;
+    std::map<prof::TrackId, int> open_spans;
+    for (const auto& e : session.events()) {
+        auto [it, first] = last_ts.try_emplace(e.track, e.ts);
+        if (!first) {
+            EXPECT_GE(e.ts, it->second)
+                << "timestamps must be monotone within track "
+                << session.tracks()[e.track].name;
+            it->second = e.ts;
+        }
+        if (e.phase == prof::EventPhase::kBegin)
+            ++open_spans[e.track];
+        if (e.phase == prof::EventPhase::kEnd) {
+            --open_spans[e.track];
+            EXPECT_GE(open_spans[e.track], 0);
+        }
+    }
+    for (const auto& [track, open] : open_spans)
+        EXPECT_EQ(open, 0) << "unclosed span on track "
+                           << session.tracks()[track].name;
+
+    // And the export is still syntactically sound.
+    const std::string json = prof::toChromeTraceJson(session);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("w"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eclsim::harness

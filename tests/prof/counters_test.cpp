@@ -1,9 +1,14 @@
 /**
  * @file
  * Tests of the CounterRegistry: lazy registration, accumulation, reset,
- * and the name-sorted snapshot used by the exporters.
+ * the name-sorted snapshot used by the exporters, and the shard-merge
+ * path the parallel suite runner uses (per-worker registries folded
+ * into one must reproduce the serial totals exactly).
  */
 #include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
 
 #include "prof/counters.hpp"
 
@@ -49,6 +54,73 @@ TEST(CounterRegistry, ResetKeepsRegistrations)
     EXPECT_EQ(reg.size(), 1u);
     EXPECT_EQ(reg.value(a), 0u);
     EXPECT_EQ(reg.id("x"), a);
+}
+
+TEST(CounterRegistry, MergeAddsAndRegistersMissingNames)
+{
+    CounterRegistry a;
+    a.add(a.id("shared"), 10);
+    a.add(a.id("only_a"), 1);
+
+    CounterRegistry b;
+    b.add(b.id("only_b"), 5);     // different registration order than a
+    b.add(b.id("shared"), 32);
+    b.id("zero_valued");          // registered but never bumped
+
+    a.merge(b);
+    EXPECT_EQ(a.valueByName("shared"), 42u);
+    EXPECT_EQ(a.valueByName("only_a"), 1u);
+    EXPECT_EQ(a.valueByName("only_b"), 5u);
+    EXPECT_EQ(a.valueByName("zero_valued"), 0u);
+    EXPECT_EQ(a.size(), 4u);  // zero-valued names merge too
+}
+
+TEST(CounterRegistry, ShardedThreadsMergeToExactSerialTotals)
+{
+    constexpr int kThreads = 8;
+    constexpr u64 kIters = 20000;
+
+    // Serial reference: one registry, one thread.
+    CounterRegistry serial;
+    for (int t = 0; t < kThreads; ++t) {
+        const CounterId hit = serial.id("sim/mem/l1_hit");
+        const CounterId rmw = serial.id("sim/mem/atomic_rmw");
+        for (u64 i = 0; i < kIters; ++i) {
+            serial.add(hit);
+            if (i % 3 == 0)
+                serial.add(rmw, 2);
+        }
+    }
+
+    // Sharded: one private registry per thread, merged on join.
+    std::vector<CounterRegistry> shards(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&shards, t] {
+            CounterRegistry& reg = shards[t];
+            const CounterId hit = reg.id("sim/mem/l1_hit");
+            const CounterId rmw = reg.id("sim/mem/atomic_rmw");
+            for (u64 i = 0; i < kIters; ++i) {
+                reg.add(hit);
+                if (i % 3 == 0)
+                    reg.add(rmw, 2);
+            }
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+
+    CounterRegistry merged;
+    for (const CounterRegistry& shard : shards)
+        merged.merge(shard);
+
+    const auto expect = serial.snapshot();
+    const auto got = merged.snapshot();
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(got[i].name, expect[i].name);
+        EXPECT_EQ(got[i].value, expect[i].value) << expect[i].name;
+    }
 }
 
 TEST(CounterRegistry, SnapshotIsNameSorted)
