@@ -14,12 +14,17 @@
  *   --jobs=N       worker threads for the suite sweeps (default: one
  *                  per hardware thread; 1 = the exact serial path).
  *                  Results are bit-identical for every N.
+ *   --chaos-policy=NAME     run every engine under an eclsim::chaos
+ *                  perturbation policy (stale-window, store-delay,
+ *                  sched-bias, sm-stall, dup-store, drop-atomic)
+ *   --chaos-intensity=X     perturbation strength in [0,1] (default 0.5)
  */
 #pragma once
 
 #include <iostream>
 #include <memory>
 
+#include "chaos/policy.hpp"
 #include "core/flags.hpp"
 #include "harness/experiment.hpp"
 #include "prof/trace.hpp"
@@ -38,6 +43,20 @@ configFromFlags(const Flags& flags)
     config.verify = flags.getBool("verify", false);
     config.seed = static_cast<u64>(flags.getInt("seed", 12345));
     config.jobs = static_cast<u32>(flags.getInt("jobs", 0));
+    // --chaos-policy runs the whole sweep under a perturbation policy:
+    // how do the speedup tables shift when the schedule is adversarial?
+    const std::string chaos_policy =
+        flags.getString("chaos-policy", "");
+    if (!chaos_policy.empty() && chaos_policy != "none") {
+        chaos::PolicyConfig policy;
+        policy.kind = chaos::parsePolicy(chaos_policy);
+        policy.intensity = flags.getDouble("chaos-intensity", 0.5);
+        config.perturb_factory = [policy](u64 seed) {
+            chaos::PolicyConfig cell = policy;
+            cell.seed = seed;
+            return chaos::makePolicy(cell);
+        };
+    }
     return config;
 }
 

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Benignity campaign driver (eclsim::chaos).
+ *
+ * Sweeps (policy x algorithm x input x seed) cells, each a full
+ * simulator run under one adversarial perturbation policy, each checked
+ * against the refalgos oracles, and prints the per-cell table plus the
+ * per-(policy, algorithm) survival/convergence summary. Exit status is
+ * nonzero iff any oracle rejected an output — zero on the benign
+ * policies is the paper's benign-race claim, measured.
+ *
+ * Flags (besides the standard --seed/--jobs/--csv/--trace/--counters):
+ *   --policy=LIST        comma-separated policies, or "all" (default):
+ *                        the control plus every benign policy. The
+ *                        harmful drop-atomic policy must be named
+ *                        explicitly.
+ *   --intensity=X        perturbation strength in [0, 1] (default 0.5)
+ *   --campaign-seeds=N   perturbation seeds per cell (default 2)
+ *   --variant=NAME       baseline (default) or racefree
+ *   --algos=LIST         comma-separated subset of cc,gc,mis,mst,scc
+ *   --inputs=LIST        undirected inputs (default internet,star,
+ *                        2d-2e20.sym)
+ *   --directed-inputs=LIST  SCC inputs (default wikipedia)
+ *   --gpu=NAME           GPU model (default "Titan V")
+ *   --divisor=N          input scale divisor (default 4096: tiny — a
+ *                        campaign runs hundreds of full algorithm runs)
+ */
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chaos/campaign.hpp"
+#include "core/logging.hpp"
+
+namespace {
+
+using namespace eclsim;
+
+std::vector<std::string>
+splitList(const std::string& list)
+{
+    std::vector<std::string> out;
+    size_t begin = 0;
+    while (begin <= list.size()) {
+        const size_t comma = list.find(',', begin);
+        const std::string token =
+            list.substr(begin, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - begin);
+        if (!token.empty())
+            out.push_back(token);
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return out;
+}
+
+harness::Algo
+parseAlgo(const std::string& name)
+{
+    if (name == "cc")
+        return harness::Algo::kCc;
+    if (name == "gc")
+        return harness::Algo::kGc;
+    if (name == "mis")
+        return harness::Algo::kMis;
+    if (name == "mst")
+        return harness::Algo::kMst;
+    if (name == "scc")
+        return harness::Algo::kScc;
+    fatal("unknown algorithm '{}' (expected cc, gc, mis, mst, or scc)",
+          name);
+    return harness::Algo::kCc;  // unreachable
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Flags flags(argc, argv);
+
+    chaos::CampaignConfig config;
+    config.policies =
+        chaos::parsePolicyList(flags.getString("policy", "all"));
+    config.intensity = flags.getDouble("intensity", 0.5);
+    config.seeds_per_cell =
+        static_cast<u32>(flags.getInt("campaign-seeds", 2));
+    config.graph_divisor =
+        static_cast<u32>(flags.getInt("divisor", 4096));
+    config.seed = static_cast<u64>(flags.getInt("seed", 12345));
+    config.jobs = static_cast<u32>(flags.getInt("jobs", 0));
+    config.gpu = flags.getString("gpu", "Titan V");
+
+    const std::string variant = flags.getString("variant", "baseline");
+    if (variant == "baseline")
+        config.variant = algos::Variant::kBaseline;
+    else if (variant == "racefree")
+        config.variant = algos::Variant::kRaceFree;
+    else
+        fatal("unknown variant '{}' (expected baseline or racefree)",
+              variant);
+
+    const std::string algo_list = flags.getString("algos", "");
+    if (!algo_list.empty()) {
+        config.algos.clear();
+        for (const std::string& name : splitList(algo_list))
+            config.algos.push_back(parseAlgo(name));
+    }
+    const std::string inputs = flags.getString("inputs", "");
+    if (!inputs.empty())
+        config.undirected_inputs = splitList(inputs);
+    const std::string directed = flags.getString("directed-inputs", "");
+    if (!directed.empty())
+        config.directed_inputs = splitList(directed);
+
+    const auto session = bench::sessionFromFlags(flags);
+    config.trace = session.get();
+
+    const bool quiet = flags.getBool("quiet", false);
+    chaos::CampaignProgressFn progress;
+    if (!quiet) {
+        progress = [](const chaos::CellOutcome& o) {
+            std::cerr << "  " << chaos::policyName(o.cell.policy) << " "
+                      << harness::algoName(o.cell.algo) << " "
+                      << o.cell.input << "#" << o.cell.rep << ": "
+                      << (o.valid ? "ok" : "ORACLE VIOLATION") << "\n";
+        };
+    }
+
+    const auto outcomes = chaos::runCampaign(config, progress);
+    const u64 violations = chaos::countViolations(outcomes);
+
+    bench::emitTable(flags, "Benignity campaign (per cell)",
+                     chaos::makeCampaignTable(outcomes));
+    std::cout << "Survival / convergence summary\n\n"
+              << chaos::makeCampaignSummary(outcomes).toText()
+              << std::endl;
+    std::cout << "cells: " << outcomes.size()
+              << "  oracle violations: " << violations << std::endl;
+
+    bench::emitProfile(flags, session.get());
+    return violations == 0 ? 0 : 1;
+}

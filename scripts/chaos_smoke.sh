@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Smoke test of the eclsim::chaos benignity campaigns:
+#
+#  1. the full benign-policy campaign must report zero oracle violations
+#     on every algorithm (the paper's benign-race claim, measured),
+#  2. the same seed must reproduce a byte-identical campaign CSV at any
+#     --jobs value (the PR-2 determinism contract extended to chaos),
+#  3. the harmful drop-atomic policy must be caught by the MST oracle
+#     and fail the run (the oracles have teeth).
+#
+# Usage: ./scripts/chaos_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+CAMPAIGN="$BUILD/bench/chaos_campaign"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+echo "== benign campaign (--policy=all) =="
+"$CAMPAIGN" --policy=all --divisor=8192 --campaign-seeds=1 --seed=7 \
+    --jobs=1 --quiet --csv="$OUT/serial.csv" > "$OUT/serial.txt"
+grep -q "oracle violations: 0" "$OUT/serial.txt" || {
+    echo "FAIL: benign campaign reported violations"
+    tail -n 5 "$OUT/serial.txt"
+    exit 1
+}
+
+echo "== determinism across --jobs =="
+"$CAMPAIGN" --policy=all --divisor=8192 --campaign-seeds=1 --seed=7 \
+    --jobs=4 --quiet --csv="$OUT/parallel.csv" > /dev/null
+cmp "$OUT/serial.csv" "$OUT/parallel.csv" || {
+    echo "FAIL: campaign CSV differs between --jobs=1 and --jobs=4"
+    exit 1
+}
+
+echo "== harmful drop-atomic must be caught =="
+if "$CAMPAIGN" --policy=drop-atomic --algos=mst --inputs=internet \
+    --divisor=8192 --campaign-seeds=2 --intensity=1.0 --seed=7 \
+    --jobs=1 --quiet > "$OUT/harmful.txt"; then
+    echo "FAIL: drop-atomic campaign exited 0 (oracle missed it)"
+    exit 1
+fi
+grep -q "Kruskal" "$OUT/harmful.txt" || {
+    echo "FAIL: no MST weight mismatch in the harmful report"
+    exit 1
+}
+
+echo "chaos smoke test passed"

@@ -1,0 +1,287 @@
+#include "chaos/campaign.hpp"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <mutex>
+
+#include "algos/cc.hpp"
+#include "algos/gc.hpp"
+#include "algos/mis.hpp"
+#include "algos/mst.hpp"
+#include "algos/scc.hpp"
+#include "chaos/oracle.hpp"
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "graph/input_catalog.hpp"
+#include "prof/trace.hpp"
+#include "simt/engine.hpp"
+
+namespace eclsim::chaos {
+
+std::vector<CampaignCell>
+campaignCells(const CampaignConfig& config)
+{
+    std::vector<CampaignCell> cells;
+    for (PolicyKind policy : config.policies) {
+        for (harness::Algo algo : config.algos) {
+            const auto& inputs = algo == harness::Algo::kScc
+                                     ? config.directed_inputs
+                                     : config.undirected_inputs;
+            for (const std::string& input : inputs)
+                for (u32 rep = 0; rep < config.seeds_per_cell; ++rep)
+                    cells.push_back({policy, algo, input, rep});
+        }
+    }
+    return cells;
+}
+
+CellOutcome
+runCampaignCell(const CampaignConfig& config, const CampaignCell& cell,
+                u64 seed, prof::TraceSession* trace)
+{
+    CellOutcome out;
+    out.cell = cell;
+
+    auto& cache = graph::InputCatalog::shared();
+    const CsrGraph& graph =
+        cell.algo == harness::Algo::kMst
+            ? cache.getWeighted(cell.input, config.graph_divisor)
+            : cache.get(cell.input, config.graph_divisor);
+
+    // Engine and policy draw from decorrelated streams of the cell seed
+    // so changing the policy's consumption pattern never perturbs the
+    // block-shuffle sequence and vice versa.
+    PolicyConfig policy_config;
+    policy_config.kind = cell.policy;
+    policy_config.intensity = config.intensity;
+    policy_config.seed = hash64(seed ^ 0x7068616f73ULL);  // "chaos"
+    const auto hooks = makePolicy(policy_config);
+
+    simt::EngineOptions options;
+    options.mode = simt::ExecMode::kFast;
+    options.shuffle_blocks = true;
+    options.seed = seed;
+    options.memory.cache_divisor = config.cache_divisor;
+    options.trace = trace;
+    options.perturb = hooks.get();
+
+    u64 t0 = 0;
+    prof::TrackId track = 0;
+    if (trace) {
+        track = trace->track("chaos");
+        t0 = trace->cursor();
+        trace->beginSpan(track,
+                         std::string(policyName(cell.policy)) + "/" +
+                             harness::algoName(cell.algo) + "/" +
+                             cell.input,
+                         t0,
+                         {{"rep", std::to_string(cell.rep)},
+                          {"variant", algos::variantName(config.variant)},
+                          {"intensity", std::to_string(config.intensity)}});
+    }
+
+    simt::DeviceMemory memory;
+    simt::Engine engine(simt::findGpu(config.gpu), memory, options);
+
+    Verdict verdict;
+    algos::RunStats stats;
+    switch (cell.algo) {
+      case harness::Algo::kCc: {
+        const auto r = algos::runCc(engine, graph, config.variant);
+        verdict = checkCc(graph, r.labels);
+        stats = r.stats;
+        break;
+      }
+      case harness::Algo::kGc: {
+        const auto r = algos::runGc(engine, graph, config.variant);
+        verdict = checkGc(graph, r.colors);
+        stats = r.stats;
+        break;
+      }
+      case harness::Algo::kMis: {
+        const auto r = algos::runMis(engine, graph, config.variant);
+        verdict = checkMis(graph, r.in_set);
+        stats = r.stats;
+        break;
+      }
+      case harness::Algo::kMst: {
+        const auto r = algos::runMst(engine, graph, config.variant);
+        verdict = checkMst(graph, r.total_weight);
+        stats = r.stats;
+        break;
+      }
+      case harness::Algo::kScc: {
+        const auto r = algos::runScc(engine, graph, config.variant);
+        verdict = checkScc(graph, r.labels);
+        stats = r.stats;
+        break;
+      }
+    }
+
+    out.valid = verdict.valid;
+    out.detail = std::move(verdict.detail);
+    out.iterations = stats.iterations;
+    out.ms = stats.ms;
+    out.stale_reads = stats.mem.stale_reads;
+    out.delayed_stores = stats.mem.delayed_stores;
+    out.dup_stores = stats.mem.dup_stores;
+    out.dropped_atomics = stats.mem.dropped_atomics;
+    out.snapshot_skips = stats.mem.snapshot_skips;
+
+    if (trace) {
+        const u64 t_end = std::max(trace->cursor(), t0);
+        if (!out.valid)
+            trace->instant(track, "oracle-violation", t_end,
+                           {{"detail", out.detail}});
+        trace->endSpan(track, t_end);
+    }
+    return out;
+}
+
+std::vector<CellOutcome>
+runCampaign(const CampaignConfig& config,
+            const CampaignProgressFn& progress)
+{
+    const auto cells = campaignCells(config);
+    std::vector<CellOutcome> out(cells.size());
+    const u32 jobs = config.jobs == 0
+                         ? core::ThreadPool::defaultConcurrency()
+                         : config.jobs;
+
+    if (jobs <= 1 || cells.size() <= 1) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out[i] = runCampaignCell(config, cells[i],
+                                     harness::cellSeed(config.seed, i),
+                                     config.trace);
+            if (progress)
+                progress(out[i]);
+        }
+        return out;
+    }
+
+    // Same sharding contract as the harness suites: per-cell seeds from
+    // the stable cell index, private per-cell trace sessions merged into
+    // the shared one under a lock with a worker prefix, futures awaited
+    // in cell order so failures surface deterministically.
+    prof::TraceSession* shared_trace = config.trace;
+    std::mutex sink_mutex;
+    core::ThreadPool pool(
+        static_cast<u32>(std::min<size_t>(jobs, cells.size())));
+    std::vector<std::future<void>> done;
+    done.reserve(cells.size());
+
+    for (size_t i = 0; i < cells.size(); ++i) {
+        done.push_back(pool.submit([&, i] {
+            prof::TraceSession cell_trace;
+            CellOutcome outcome = runCampaignCell(
+                config, cells[i], harness::cellSeed(config.seed, i),
+                shared_trace ? &cell_trace : nullptr);
+            if (shared_trace || progress) {
+                std::lock_guard<std::mutex> lock(sink_mutex);
+                if (shared_trace) {
+                    const int worker =
+                        core::ThreadPool::currentWorkerIndex();
+                    std::string prefix = "w";
+                    prefix += std::to_string(std::max(worker, 0));
+                    prefix += '/';
+                    shared_trace->merge(cell_trace, prefix);
+                }
+                if (progress)
+                    progress(outcome);
+            }
+            out[i] = std::move(outcome);
+        }));
+    }
+    for (auto& future : done)
+        future.get();
+    return out;
+}
+
+u64
+countViolations(const std::vector<CellOutcome>& outcomes)
+{
+    u64 count = 0;
+    for (const CellOutcome& o : outcomes)
+        count += o.valid ? 0 : 1;
+    return count;
+}
+
+TextTable
+makeCampaignTable(const std::vector<CellOutcome>& outcomes)
+{
+    TextTable table({"Policy", "Algo", "Input", "Rep", "Valid", "Iters",
+                     "ms", "StaleReads", "DelayedStores", "DupStores",
+                     "DroppedAtomics", "SnapshotSkips", "Detail"});
+    for (const CellOutcome& o : outcomes) {
+        table.addRow({policyName(o.cell.policy),
+                      harness::algoName(o.cell.algo), o.cell.input,
+                      std::to_string(o.cell.rep),
+                      o.valid ? "yes" : "NO",
+                      std::to_string(o.iterations), fmtFixed(o.ms, 4),
+                      std::to_string(o.stale_reads),
+                      std::to_string(o.delayed_stores),
+                      std::to_string(o.dup_stores),
+                      std::to_string(o.dropped_atomics),
+                      std::to_string(o.snapshot_skips), o.detail});
+    }
+    return table;
+}
+
+TextTable
+makeCampaignSummary(const std::vector<CellOutcome>& outcomes)
+{
+    struct Group
+    {
+        u64 runs = 0;
+        u64 violations = 0;
+        u64 iterations = 0;
+        u64 events = 0;
+    };
+    // Keyed by (policy, algo); std::map keeps the row order stable.
+    std::map<std::pair<u8, u8>, Group> groups;
+    // Mean control iterations per algorithm (policy "none" cells).
+    std::map<u8, std::pair<u64, u64>> control;  // algo -> (sum, count)
+
+    for (const CellOutcome& o : outcomes) {
+        Group& g = groups[{static_cast<u8>(o.cell.policy),
+                           static_cast<u8>(o.cell.algo)}];
+        ++g.runs;
+        g.violations += o.valid ? 0 : 1;
+        g.iterations += o.iterations;
+        g.events += o.stale_reads + o.delayed_stores + o.dup_stores +
+                    o.dropped_atomics + o.snapshot_skips;
+        if (o.cell.policy == PolicyKind::kNone) {
+            auto& c = control[static_cast<u8>(o.cell.algo)];
+            c.first += o.iterations;
+            c.second += 1;
+        }
+    }
+
+    TextTable table({"Policy", "Algo", "Runs", "Violations", "Events",
+                     "MeanIters", "Iters/none"});
+    for (const auto& [key, g] : groups) {
+        const auto policy = static_cast<PolicyKind>(key.first);
+        const auto algo = static_cast<harness::Algo>(key.second);
+        const double mean_iters =
+            static_cast<double>(g.iterations) /
+            static_cast<double>(g.runs);
+        std::string ratio = "-";
+        const auto c = control.find(key.second);
+        if (c != control.end() && c->second.first > 0) {
+            const double control_mean =
+                static_cast<double>(c->second.first) /
+                static_cast<double>(c->second.second);
+            ratio = fmtFixed(mean_iters / control_mean, 2);
+        }
+        table.addRow({policyName(policy), harness::algoName(algo),
+                      std::to_string(g.runs),
+                      std::to_string(g.violations),
+                      std::to_string(g.events), fmtFixed(mean_iters, 1),
+                      ratio});
+    }
+    return table;
+}
+
+}  // namespace eclsim::chaos

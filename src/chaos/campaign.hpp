@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Benignity campaign runner: (policy x algorithm x input x seed) cells,
+ * each an independent simulator run under one perturbation policy, each
+ * checked by a refalgos validity oracle.
+ *
+ * The campaign turns the paper's benign-race claim into a measured
+ * property: every benign policy must produce zero oracle violations on
+ * every algorithm, while convergence-iteration accounting quantifies the
+ * cost (the paper's MIS mechanism — staleness does not break MIS, it
+ * just makes it converge later). The harmful drop-atomic policy must
+ * produce violations, proving the oracles have teeth.
+ *
+ * Cells fan out over core::ThreadPool with the same determinism contract
+ * as the harness suites (PR 2): cell c derives its engine and policy
+ * seeds from cellSeed(base, c), so the outcome vector — and the CSV
+ * rendered from it — is bit-identical for every --jobs value.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algos/common.hpp"
+#include "chaos/policy.hpp"
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+
+namespace eclsim::prof {
+class TraceSession;
+}
+
+namespace eclsim::chaos {
+
+/** Campaign parameters. */
+struct CampaignConfig
+{
+    /** GPU model to simulate (simt::findGpu name). */
+    std::string gpu = "Titan V";
+    /** Policies to sweep; default: control + every benign policy. */
+    std::vector<PolicyKind> policies = parsePolicyList("all");
+    /** Algorithms to stress; default: all five racy-baseline codes. */
+    std::vector<harness::Algo> algos = {
+        harness::Algo::kCc, harness::Algo::kGc, harness::Algo::kMis,
+        harness::Algo::kMst, harness::Algo::kScc};
+    /** Inputs for the undirected algorithms (CC/GC/MIS/MST). */
+    std::vector<std::string> undirected_inputs = {"internet", "rmat16.sym",
+                                                  "2d-2e20.sym"};
+    /** Inputs for SCC. */
+    std::vector<std::string> directed_inputs = {"wikipedia"};
+    /** Independent perturbation seeds per (policy, algo, input) cell. */
+    u32 seeds_per_cell = 2;
+    /** Perturbation strength in [0, 1] (PolicyConfig::intensity). */
+    double intensity = 0.5;
+    /** Which side of the paper's comparison to stress. The baselines
+     *  carry the racy accesses, so they are the default subject. */
+    algos::Variant variant = algos::Variant::kBaseline;
+    u32 graph_divisor = 4096;
+    u32 cache_divisor = 16;
+    /** Base seed; cell c uses cellSeed(seed, c) (PR-2 contract). */
+    u64 seed = 12345;
+    /** Worker threads; 0 = hardware concurrency, 1 = exact serial path.
+     *  Outcomes are bit-identical for every value. */
+    u32 jobs = 0;
+    /** Optional profiling sink: one span per cell on the "chaos" track,
+     *  an instant event per oracle violation, sim/perturb counters. */
+    prof::TraceSession* trace = nullptr;
+};
+
+/** Identity of one campaign cell. */
+struct CampaignCell
+{
+    PolicyKind policy = PolicyKind::kNone;
+    harness::Algo algo = harness::Algo::kCc;
+    std::string input;
+    u32 rep = 0;  ///< seed index within the (policy, algo, input) group
+};
+
+/** Result of one cell. */
+struct CellOutcome
+{
+    CampaignCell cell;
+    bool valid = true;
+    std::string detail;     ///< oracle reason when invalid
+    u32 iterations = 0;     ///< algorithm-level sweeps / rounds
+    double ms = 0.0;        ///< simulated kernel time
+    // perturbation events observed by the memory subsystem
+    u64 stale_reads = 0;
+    u64 delayed_stores = 0;
+    u64 dup_stores = 0;
+    u64 dropped_atomics = 0;
+    u64 snapshot_skips = 0;
+};
+
+/** The cell list a config expands to, in stable (policy, algo, input,
+ *  rep) order — the order outcomes are reported in. */
+std::vector<CampaignCell> campaignCells(const CampaignConfig& config);
+
+/** Run a single cell with an explicit seed (exposed for tests). */
+CellOutcome runCampaignCell(const CampaignConfig& config,
+                            const CampaignCell& cell, u64 seed,
+                            prof::TraceSession* trace);
+
+/** Progress sink; with jobs > 1 it is called under a lock, in
+ *  completion (not cell) order. */
+using CampaignProgressFn = std::function<void(const CellOutcome&)>;
+
+/**
+ * Run every cell of the campaign. The returned vector is in
+ * campaignCells() order and bit-identical for every config.jobs value.
+ */
+std::vector<CellOutcome> runCampaign(
+    const CampaignConfig& config,
+    const CampaignProgressFn& progress = {});
+
+/** Number of cells whose oracle rejected the output. */
+u64 countViolations(const std::vector<CellOutcome>& outcomes);
+
+/** Per-cell report table (the campaign CSV: one row per cell, stable
+ *  order, deterministic contents). */
+TextTable makeCampaignTable(const std::vector<CellOutcome>& outcomes);
+
+/**
+ * Per-(policy, algorithm) survival/convergence summary: runs, oracle
+ * violations, total perturbation events, and the mean convergence-
+ * iteration inflation relative to the policy "none" control cells
+ * ("iters/none" — how much harder the perturbation made the algorithm
+ * work; "-" when the control is not part of the campaign).
+ */
+TextTable makeCampaignSummary(const std::vector<CellOutcome>& outcomes);
+
+}  // namespace eclsim::chaos

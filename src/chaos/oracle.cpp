@@ -1,0 +1,128 @@
+#include "chaos/oracle.hpp"
+
+#include <string>
+
+#include "refalgos/refalgos.hpp"
+
+namespace eclsim::chaos {
+
+namespace {
+
+Verdict
+invalid(std::string detail)
+{
+    Verdict v;
+    v.valid = false;
+    v.detail = std::move(detail);
+    return v;
+}
+
+}  // namespace
+
+Verdict
+checkCc(const CsrGraph& graph, const std::vector<VertexId>& labels)
+{
+    if (labels.size() != graph.numVertices())
+        return invalid("CC label count " + std::to_string(labels.size()) +
+                       " != vertex count " +
+                       std::to_string(graph.numVertices()));
+    const auto reference = refalgos::connectedComponents(graph);
+    if (!refalgos::samePartition(labels, reference))
+        return invalid(
+            "CC labels split the vertices into " +
+            std::to_string(refalgos::countDistinct(labels)) +
+            " components; BFS finds " +
+            std::to_string(refalgos::countDistinct(reference)));
+    return {};
+}
+
+Verdict
+checkGc(const CsrGraph& graph, const std::vector<u32>& colors)
+{
+    if (colors.size() != graph.numVertices())
+        return invalid("GC color count " + std::to_string(colors.size()) +
+                       " != vertex count " +
+                       std::to_string(graph.numVertices()));
+    if (!refalgos::isValidColoring(graph, colors))
+        return invalid("GC coloring is improper (two adjacent vertices "
+                       "share a color)");
+    return {};
+}
+
+Verdict
+checkMis(const CsrGraph& graph, const std::vector<bool>& in_set)
+{
+    if (in_set.size() != graph.numVertices())
+        return invalid("MIS flag count " + std::to_string(in_set.size()) +
+                       " != vertex count " +
+                       std::to_string(graph.numVertices()));
+    if (!refalgos::isIndependentSet(graph, in_set))
+        return invalid("MIS set is not independent (an edge joins two "
+                       "members)");
+    if (!refalgos::isMaximalIndependentSet(graph, in_set))
+        return invalid("MIS set is not maximal (a non-member has no "
+                       "member neighbor)");
+    return {};
+}
+
+Verdict
+checkMst(const CsrGraph& graph, u64 total_weight)
+{
+    const u64 reference = refalgos::minimumSpanningForestWeight(graph);
+    if (total_weight != reference)
+        return invalid("MST forest weight " +
+                       std::to_string(total_weight) +
+                       " != Kruskal weight " + std::to_string(reference));
+    return {};
+}
+
+Verdict
+checkScc(const CsrGraph& graph, const std::vector<VertexId>& labels)
+{
+    if (labels.size() != graph.numVertices())
+        return invalid("SCC label count " +
+                       std::to_string(labels.size()) +
+                       " != vertex count " +
+                       std::to_string(graph.numVertices()));
+    const auto reference = refalgos::stronglyConnectedComponents(graph);
+    if (!refalgos::samePartition(labels, reference))
+        return invalid(
+            "SCC labels split the vertices into " +
+            std::to_string(refalgos::countDistinct(labels)) +
+            " components; Tarjan finds " +
+            std::to_string(refalgos::countDistinct(reference)));
+    return {};
+}
+
+Verdict
+checkApsp(const CsrGraph& graph, const algos::ApspResult& result)
+{
+    const u32 n = graph.numVertices();
+    if (result.n != n || result.dist.size() != static_cast<size_t>(n) * n)
+        return invalid("APSP matrix shape mismatch (n=" +
+                       std::to_string(result.n) + ")");
+    const auto reference = refalgos::allPairsShortestPaths(graph);
+    for (u32 i = 0; i < n; ++i) {
+        for (u32 j = 0; j < n; ++j) {
+            const size_t idx = static_cast<size_t>(i) * n + j;
+            const bool sim_inf = result.dist[idx] >= algos::kApspInf;
+            const bool ref_inf =
+                reference[idx] >= refalgos::kApspInfinity;
+            if (sim_inf != ref_inf ||
+                (!sim_inf &&
+                 static_cast<i64>(result.dist[idx]) != reference[idx])) {
+                return invalid(
+                    "APSP dist[" + std::to_string(i) + "][" +
+                    std::to_string(j) + "] = " +
+                    (sim_inf ? std::string("inf")
+                             : std::to_string(result.dist[idx])) +
+                    " != " +
+                    (ref_inf ? std::string("inf")
+                             : std::to_string(reference[idx])));
+            }
+        }
+    }
+    return {};
+}
+
+}  // namespace eclsim::chaos

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Validity oracles for benignity campaigns.
+ *
+ * The harness's --verify path asserts (panics) on a wrong result, which
+ * is right for regression tests but useless for a campaign that *wants*
+ * to observe violations and keep going. These wrappers run the same
+ * refalgos reference checks but return a Verdict: valid, or invalid with
+ * a human-readable reason that names what broke (the campaign report's
+ * "detail" column).
+ *
+ * The checks match the paper's per-algorithm correctness criteria:
+ * CC/SCC label partitions against BFS/Tarjan, GC proper coloring, MIS
+ * independence AND maximality, MST forest weight against Kruskal, and
+ * APSP distances against Floyd-Warshall.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algos/apsp.hpp"
+#include "graph/csr.hpp"
+
+namespace eclsim::chaos {
+
+using graph::CsrGraph;
+
+/** Outcome of one oracle check. */
+struct Verdict
+{
+    bool valid = true;
+    std::string detail;  ///< empty when valid; reason otherwise
+};
+
+/** CC: labels must induce the same partition as BFS components. */
+Verdict checkCc(const CsrGraph& graph,
+                const std::vector<VertexId>& labels);
+
+/** GC: no edge may join two same-colored vertices. */
+Verdict checkGc(const CsrGraph& graph, const std::vector<u32>& colors);
+
+/** MIS: the set must be independent AND maximal. */
+Verdict checkMis(const CsrGraph& graph, const std::vector<bool>& in_set);
+
+/** MST: the forest weight must equal Kruskal's. */
+Verdict checkMst(const CsrGraph& graph, u64 total_weight);
+
+/** SCC: labels must induce the same partition as Tarjan's. */
+Verdict checkScc(const CsrGraph& graph,
+                 const std::vector<VertexId>& labels);
+
+/** APSP: every distance must match Floyd-Warshall (the simulated code's
+ *  kApspInf sentinel is mapped onto refalgos::kApspInfinity). */
+Verdict checkApsp(const CsrGraph& graph, const algos::ApspResult& result);
+
+}  // namespace eclsim::chaos

@@ -1,0 +1,327 @@
+#include "chaos/policy.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+
+namespace eclsim::chaos {
+
+const char*
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::kNone:
+        return "none";
+      case PolicyKind::kStaleWindow:
+        return "stale-window";
+      case PolicyKind::kStoreDelay:
+        return "store-delay";
+      case PolicyKind::kSchedBias:
+        return "sched-bias";
+      case PolicyKind::kSmStall:
+        return "sm-stall";
+      case PolicyKind::kDupStore:
+        return "dup-store";
+      case PolicyKind::kDropAtomic:
+        return "drop-atomic";
+    }
+    return "?";
+}
+
+PolicyKind
+parsePolicy(const std::string& name)
+{
+    for (PolicyKind kind :
+         {PolicyKind::kNone, PolicyKind::kStaleWindow,
+          PolicyKind::kStoreDelay, PolicyKind::kSchedBias,
+          PolicyKind::kSmStall, PolicyKind::kDupStore,
+          PolicyKind::kDropAtomic}) {
+        if (name == policyName(kind))
+            return kind;
+    }
+    fatal("unknown chaos policy '{}' (try one of: none, stale-window, "
+          "store-delay, sched-bias, sm-stall, dup-store, drop-atomic, "
+          "or 'all')",
+          name);
+    return PolicyKind::kNone;  // unreachable
+}
+
+std::vector<PolicyKind>
+parsePolicyList(const std::string& list)
+{
+    if (list == "all") {
+        return {PolicyKind::kNone,      PolicyKind::kStaleWindow,
+                PolicyKind::kStoreDelay, PolicyKind::kSchedBias,
+                PolicyKind::kSmStall,    PolicyKind::kDupStore};
+    }
+    std::vector<PolicyKind> out;
+    size_t begin = 0;
+    while (begin <= list.size()) {
+        const size_t comma = list.find(',', begin);
+        const std::string token =
+            list.substr(begin, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - begin);
+        if (!token.empty())
+            out.push_back(parsePolicy(token));
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    if (out.empty())
+        fatal("empty chaos policy list '{}'", list);
+    return out;
+}
+
+bool
+policyIsHarmful(PolicyKind kind)
+{
+    return kind == PolicyKind::kDropAtomic;
+}
+
+namespace {
+
+/** Clamp intensity into [0, 1] once, at construction. */
+double
+clampIntensity(double intensity)
+{
+    return std::clamp(intensity, 0.0, 1.0);
+}
+
+/**
+ * Skip sweep-snapshot refreshes with probability 0.9 * intensity per
+ * launch. The skip probability stays below 1 so every iterative host
+ * loop still terminates with probability 1 (a refresh eventually
+ * happens, after a geometrically distributed number of launches) — but
+ * readers routinely see state several launches old, far staler than any
+ * compiler could make it.
+ */
+class StaleWindowPolicy : public simt::PerturbationHooks
+{
+  public:
+    StaleWindowPolicy(double intensity, u64 seed)
+        : skip_p_(0.9 * clampIntensity(intensity)), rng_(seed)
+    {}
+
+    bool
+    refreshSnapshot(u32 launch) override
+    {
+        (void)launch;
+        return !rng_.nextBool(skip_p_);
+    }
+
+  private:
+    double skip_p_;
+    SplitMix64 rng_;
+};
+
+/**
+ * Buffer racy stores for a randomized number of subsequent accesses
+ * before they become visible (then flushed at launch end regardless).
+ */
+class StoreDelayPolicy : public simt::PerturbationHooks
+{
+  public:
+    StoreDelayPolicy(double intensity, u64 seed)
+        : delay_p_(clampIntensity(intensity)),
+          window_(1 + static_cast<u64>(4096 * clampIntensity(intensity))),
+          rng_(seed)
+    {}
+
+    u32
+    delayStoreAccesses(const simt::ThreadInfo& who,
+                       const simt::MemRequest& req) override
+    {
+        (void)who;
+        (void)req;
+        if (!rng_.nextBool(delay_p_))
+            return 0;
+        return 1 + static_cast<u32>(rng_.nextBelow(window_));
+    }
+
+  private:
+    double delay_p_;
+    u64 window_;
+    SplitMix64 rng_;
+};
+
+/** Redeliver racy plain stores after a randomized delay. */
+class DupStorePolicy : public simt::PerturbationHooks
+{
+  public:
+    DupStorePolicy(double intensity, u64 seed)
+        : dup_p_(0.5 * clampIntensity(intensity)),
+          window_(1 + static_cast<u64>(2048 * clampIntensity(intensity))),
+          rng_(seed)
+    {}
+
+    u32
+    duplicateStoreAfter(const simt::ThreadInfo& who,
+                        const simt::MemRequest& req) override
+    {
+        (void)who;
+        (void)req;
+        if (!rng_.nextBool(dup_p_))
+            return 0;
+        return 1 + static_cast<u32>(rng_.nextBelow(window_));
+    }
+
+  private:
+    double dup_p_;
+    u64 window_;
+    SplitMix64 rng_;
+};
+
+/**
+ * Adversarial block scheduling: each launch picks one of four schedule
+ * rewrites. Real GPUs promise no block order at all, so every rewrite is
+ * a legal schedule the round-robin default would never produce.
+ */
+class SchedBiasPolicy : public simt::PerturbationHooks
+{
+  public:
+    SchedBiasPolicy(double intensity, u64 seed)
+        : apply_p_(clampIntensity(intensity) > 0.0
+                       ? 0.5 + 0.5 * clampIntensity(intensity)
+                       : 0.0),
+          rng_(seed)
+    {}
+
+    void
+    reorderBlocks(std::vector<u32>& order, u32 launch) override
+    {
+        (void)launch;
+        if (!rng_.nextBool(apply_p_))
+            return;
+        const u32 n = static_cast<u32>(order.size());
+        switch (rng_.nextBelow(4)) {
+          case 0:  // reverse: last submitted block runs first
+            std::reverse(order.begin(), order.end());
+            break;
+          case 1: {  // rotate by a random amount
+            const u32 k = 1 + static_cast<u32>(rng_.nextBelow(n));
+            std::rotate(order.begin(), order.begin() + (k % n),
+                        order.end());
+            break;
+          }
+          case 2: {  // interleave front and back halves
+            std::vector<u32> mixed;
+            mixed.reserve(n);
+            for (u32 i = 0, j = n; i < j;) {
+                mixed.push_back(order[i++]);
+                if (i < j)
+                    mixed.push_back(order[--j]);
+            }
+            order = std::move(mixed);
+            break;
+          }
+          default:  // independent reshuffle from the policy's own stream
+            for (u32 i = n - 1; i > 0; --i)
+                std::swap(order[i], order[rng_.nextBelow(i + 1)]);
+            break;
+        }
+    }
+
+  private:
+    double apply_p_;
+    SplitMix64 rng_;
+};
+
+/** Transient SM stalls plus occasional per-access latency spikes. */
+class SmStallPolicy : public simt::PerturbationHooks
+{
+  public:
+    SmStallPolicy(double intensity, u64 seed)
+        : stall_p_(0.25 * clampIntensity(intensity)),
+          stall_max_(1 +
+                     static_cast<u64>(20000 * clampIntensity(intensity))),
+          spike_p_(0.01 * clampIntensity(intensity)), rng_(seed)
+    {}
+
+    u64
+    smStallCycles(u32 sm, u32 block) override
+    {
+        (void)sm;
+        (void)block;
+        if (!rng_.nextBool(stall_p_))
+            return 0;
+        return rng_.nextBelow(stall_max_);
+    }
+
+    u64
+    extraAccessLatency(const simt::ThreadInfo& who,
+                       const simt::MemRequest& req) override
+    {
+        (void)who;
+        (void)req;
+        if (!rng_.nextBool(spike_p_))
+            return 0;
+        return rng_.nextBelow(500);
+    }
+
+  private:
+    double stall_p_;
+    u64 stall_max_;
+    double spike_p_;
+    SplitMix64 rng_;
+};
+
+/**
+ * HARMFUL: drop atomic updates with probability 0.5 * intensity. The
+ * drop probability stays at or below 0.5 so retried operations (e.g. a
+ * Boruvka round re-offering the same best edge) still succeed
+ * eventually — campaigns terminate, but outputs break.
+ */
+class DropAtomicPolicy : public simt::PerturbationHooks
+{
+  public:
+    DropAtomicPolicy(double intensity, u64 seed)
+        : drop_p_(0.5 * clampIntensity(intensity)), rng_(seed)
+    {}
+
+    bool
+    dropAtomicUpdate(const simt::ThreadInfo& who,
+                     const simt::MemRequest& req) override
+    {
+        (void)who;
+        (void)req;
+        return rng_.nextBool(drop_p_);
+    }
+
+  private:
+    double drop_p_;
+    SplitMix64 rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<simt::PerturbationHooks>
+makePolicy(const PolicyConfig& config)
+{
+    switch (config.kind) {
+      case PolicyKind::kNone:
+        return nullptr;
+      case PolicyKind::kStaleWindow:
+        return std::make_unique<StaleWindowPolicy>(config.intensity,
+                                                   config.seed);
+      case PolicyKind::kStoreDelay:
+        return std::make_unique<StoreDelayPolicy>(config.intensity,
+                                                  config.seed);
+      case PolicyKind::kSchedBias:
+        return std::make_unique<SchedBiasPolicy>(config.intensity,
+                                                 config.seed);
+      case PolicyKind::kSmStall:
+        return std::make_unique<SmStallPolicy>(config.intensity,
+                                               config.seed);
+      case PolicyKind::kDupStore:
+        return std::make_unique<DupStorePolicy>(config.intensity,
+                                                config.seed);
+      case PolicyKind::kDropAtomic:
+        return std::make_unique<DropAtomicPolicy>(config.intensity,
+                                                  config.seed);
+    }
+    return nullptr;
+}
+
+}  // namespace eclsim::chaos

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Seeded, deterministic perturbation policies for benignity campaigns.
+ *
+ * Each policy is a simt::PerturbationHooks implementation that amplifies
+ * one source of nondeterminism the paper's benign-race argument must
+ * survive:
+ *
+ *  - kStaleWindow    skip sweep-snapshot refreshes between launches, so
+ *                    racy readers see values that are many launches old
+ *                    (a stronger adversary than any real compiler, which
+ *                    at worst caches within one kernel).
+ *  - kStoreDelay     hold racy non-atomic stores in a write buffer for a
+ *                    randomized number of accesses before other threads
+ *                    can see them (hardware store-buffer latitude).
+ *  - kDupStore       redeliver racy plain stores later, clobbering
+ *                    intervening writes (compiler re-materialization).
+ *  - kSchedBias      rewrite the block schedule adversarially (reverse,
+ *                    rotate, interleave, reshuffle per launch).
+ *  - kSmStall        transient SM stalls and access-latency spikes.
+ *  - kDropAtomic     HARMFUL: silently discard atomic updates. Excluded
+ *                    from "--policy=all"; exists to prove the oracles
+ *                    catch genuinely broken executions.
+ *
+ * Every policy draws all decisions from its own SplitMix64 stream, so a
+ * (policy, seed, intensity) triple replays bit-identically. A policy
+ * instance must not be shared across concurrently running engines.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "simt/perturb.hpp"
+
+namespace eclsim::chaos {
+
+/** The perturbation policies (see file comment). */
+enum class PolicyKind : u8 {
+    kNone,         ///< control cell: no hooks installed
+    kStaleWindow,
+    kStoreDelay,
+    kSchedBias,
+    kSmStall,
+    kDupStore,
+    kDropAtomic,   ///< harmful — not part of "all"
+};
+
+/** Printable policy name ("stale-window", ...). */
+const char* policyName(PolicyKind kind);
+
+/** Parse one policy name; fatal() on an unknown name. */
+PolicyKind parsePolicy(const std::string& name);
+
+/**
+ * Parse a comma-separated policy list. "all" expands to the control plus
+ * every benign policy (kDropAtomic must be requested by name — it is
+ * supposed to break things).
+ */
+std::vector<PolicyKind> parsePolicyList(const std::string& list);
+
+/** True for policies that are expected to corrupt outputs. */
+bool policyIsHarmful(PolicyKind kind);
+
+/** Policy instantiation parameters. */
+struct PolicyConfig
+{
+    PolicyKind kind = PolicyKind::kNone;
+    /** Perturbation strength in [0, 1]: scales probabilities, delay
+     *  windows, and stall magnitudes. 0 makes every policy a no-op. */
+    double intensity = 0.5;
+    /** RNG seed; same (kind, intensity, seed) replays bit-identically. */
+    u64 seed = 1;
+};
+
+/**
+ * Build the hooks object for a policy. Returns null for kNone — install
+ * nothing, the zero-cost control path.
+ */
+std::unique_ptr<simt::PerturbationHooks> makePolicy(
+    const PolicyConfig& config);
+
+}  // namespace eclsim::chaos

@@ -1,5 +1,7 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 
@@ -12,6 +14,7 @@ namespace {
 constexpr char kMagic[8] = {'E', 'C', 'L', 'S', 'I', 'M', 'G', '1'};
 constexpr u32 kFlagDirected = 1u << 0;
 constexpr u32 kFlagWeighted = 1u << 1;
+constexpr u32 kKnownFlags = kFlagDirected | kFlagWeighted;
 
 template <typename T>
 void
@@ -30,24 +33,31 @@ writeVec(std::ofstream& out, const std::vector<T>& values)
 
 template <typename T>
 T
-readRaw(std::ifstream& in, const std::string& path)
+readRaw(std::ifstream& in, const std::string& path, const char* field)
 {
     T value{};
     in.read(reinterpret_cast<char*>(&value), sizeof(T));
     if (!in)
-        fatal("truncated graph file '{}'", path);
+        fatal("truncated graph file '{}': while reading {}", path, field);
     return value;
 }
 
 template <typename T>
 std::vector<T>
-readVec(std::ifstream& in, size_t count, const std::string& path)
+readVec(std::ifstream& in, size_t count, const std::string& path,
+        const char* field)
 {
     std::vector<T> values(count);
     in.read(reinterpret_cast<char*>(values.data()),
             static_cast<std::streamsize>(count * sizeof(T)));
     if (!in)
-        fatal("truncated graph file '{}'", path);
+        fatal("truncated graph file '{}': while reading {} ({} of {} "
+              "entries present)",
+              path, field,
+              static_cast<size_t>(std::max<std::streamsize>(in.gcount(),
+                                                            0)) /
+                  sizeof(T),
+              count);
     return values;
 }
 
@@ -56,9 +66,11 @@ readVec(std::ifstream& in, size_t count, const std::string& path)
 void
 writeGraph(const CsrGraph& graph, const std::string& path)
 {
+    errno = 0;
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        fatal("cannot open '{}' for writing", path);
+        fatal("cannot open '{}' for writing: {}", path,
+              std::strerror(errno));
     out.write(kMagic, sizeof(kMagic));
     u32 flags = 0;
     if (graph.directed())
@@ -73,27 +85,53 @@ writeGraph(const CsrGraph& graph, const std::string& path)
     if (graph.weighted())
         writeVec(out, graph.weights());
     if (!out)
-        fatal("failed writing '{}'", path);
+        fatal("failed writing '{}': {}", path, std::strerror(errno));
 }
 
 CsrGraph
 readGraph(const std::string& path)
 {
+    errno = 0;
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot open '{}' for reading", path);
+        fatal("cannot open '{}' for reading: {}", path,
+              std::strerror(errno));
     char magic[8];
     in.read(magic, sizeof(magic));
     if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        fatal("'{}' is not an eclsim graph file", path);
-    const auto flags = readRaw<u32>(in, path);
-    const auto n = readRaw<VertexId>(in, path);
-    const auto m = readRaw<EdgeId>(in, path);
-    auto offsets = readVec<EdgeId>(in, static_cast<size_t>(n) + 1, path);
-    auto targets = readVec<VertexId>(in, m, path);
+        fatal("'{}' is not an eclsim graph file (bad magic)", path);
+    const auto flags = readRaw<u32>(in, path, "flags");
+    if (flags & ~kKnownFlags)
+        fatal("graph file '{}' has unknown flag bits {} in the flags "
+              "field (file from a newer format revision?)",
+              path, flags & ~kKnownFlags);
+    const auto n = readRaw<VertexId>(in, path, "num_vertices");
+    const auto m = readRaw<EdgeId>(in, path, "num_arcs");
+    auto offsets =
+        readVec<EdgeId>(in, static_cast<size_t>(n) + 1, path,
+                        "row_offsets");
+    if (offsets.front() != 0)
+        fatal("graph file '{}' is corrupt: row_offsets[0] is {}, "
+              "expected 0",
+              path, offsets.front());
+    for (size_t v = 0; v + 1 < offsets.size(); ++v)
+        if (offsets[v] > offsets[v + 1])
+            fatal("graph file '{}' is corrupt: row_offsets[{}] = {} "
+                  "decreases to row_offsets[{}] = {}",
+                  path, v, offsets[v], v + 1, offsets[v + 1]);
+    if (offsets.back() != m)
+        fatal("graph file '{}' is corrupt: row_offsets[{}] = {} "
+              "disagrees with num_arcs = {}",
+              path, n, offsets.back(), m);
+    auto targets = readVec<VertexId>(in, m, path, "col_indices");
+    for (size_t e = 0; e < targets.size(); ++e)
+        if (targets[e] >= n)
+            fatal("graph file '{}' is corrupt: col_indices[{}] = {} is "
+                  "out of range for {} vertices",
+                  path, e, targets[e], n);
     std::vector<i32> weights;
     if (flags & kFlagWeighted)
-        weights = readVec<i32>(in, m, path);
+        weights = readVec<i32>(in, m, path, "weights");
     return CsrGraph(std::move(offsets), std::move(targets),
                     std::move(weights), (flags & kFlagDirected) != 0);
 }

@@ -58,6 +58,7 @@ engineOptions(const ExperimentConfig& config, u64 seed)
     options.seed = seed;
     options.memory.cache_divisor = config.cache_divisor;
     options.trace = config.trace;
+    options.perturb = config.perturb;
     return options;
 }
 
@@ -174,8 +175,18 @@ measure(const GpuSpec& gpu, const CsrGraph& graph,
 Measurement
 measureSeeded(const GpuSpec& gpu, const CsrGraph& graph,
               const std::string& input_name, Algo algo,
-              const ExperimentConfig& config, u64 seed_base)
+              const ExperimentConfig& original_config, u64 seed_base)
 {
+    // A perturbation factory builds one private hooks object per cell,
+    // seeded by the cell's seed base: deterministic for every jobs
+    // value, and never shared between pool workers.
+    ExperimentConfig config = original_config;
+    std::unique_ptr<simt::PerturbationHooks> cell_hooks;
+    if (config.perturb_factory) {
+        cell_hooks = config.perturb_factory(seed_base);
+        config.perturb = cell_hooks.get();
+    }
+
     Measurement m;
     m.input = input_name;
     m.algo = algo;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,10 @@
 
 namespace eclsim::prof {
 class TraceSession;
+}
+
+namespace eclsim::simt {
+class PerturbationHooks;
 }
 
 namespace eclsim::harness {
@@ -77,6 +82,23 @@ struct ExperimentConfig
      * Chrome-trace timeline.
      */
     prof::TraceSession* trace = nullptr;
+    /**
+     * Optional perturbation hooks (eclsim::chaos) installed into every
+     * engine the harness creates — lets any standard sweep run under an
+     * adversarial schedule/staleness policy. Single-threaded use only
+     * (the hooks carry an RNG); parallel sweeps must use
+     * perturb_factory instead.
+     */
+    simt::PerturbationHooks* perturb = nullptr;
+    /**
+     * Per-cell hooks factory for parallel sweeps: called once per cell
+     * with the cell's seed base, the result installed for that cell's
+     * engines only. Keeps --jobs determinism (the policy RNG derives
+     * from the cell seed, not the schedule) and thread safety (no hooks
+     * object is shared between workers). Takes precedence over perturb.
+     */
+    std::function<std::unique_ptr<simt::PerturbationHooks>(u64)>
+        perturb_factory;
 };
 
 /** One (input, algorithm, GPU) comparison. */

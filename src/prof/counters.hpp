@@ -9,6 +9,11 @@
  * when profiling is off, so a disabled run pays only a pointer test —
  * the registry itself is never consulted.
  *
+ * Established namespaces: "sim/mem" (cache and access-path events),
+ * "sim/race" (detector activity), "sim/vis" (sweep-visibility
+ * staleness), and "sim/perturb" (eclsim::chaos fault-injection events:
+ * store_delayed, store_duplicated, atomic_dropped, snapshot_skip).
+ *
  * Counters are registered lazily (id() on first use) and summed for the
  * whole lifetime of the registry; snapshot() returns a name-sorted copy
  * for export (CSV, summary table, Chrome counter tracks).

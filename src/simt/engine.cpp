@@ -40,7 +40,8 @@ Engine::Engine(GpuSpec spec, DeviceMemory& memory, EngineOptions options)
     if (options_.detect_races)
         detector_ = std::make_unique<RaceDetector>(memory_, counters);
     mem_subsystem_ = std::make_unique<MemorySubsystem>(
-        spec_, memory_, options_.memory, detector_.get(), counters);
+        spec_, memory_, options_.memory, detector_.get(), counters,
+        options_.perturb);
     if (trace_)
         kernel_track_ = trace_->track("kernels");
     sm_cycles_.assign(spec_.num_sms, 0);
@@ -59,6 +60,10 @@ Engine::blockOrder(u32 grid) const
         for (u32 i = grid - 1; i > 0; --i)
             std::swap(order[i], order[rng.nextBelow(i + 1)]);
     }
+    // Adversarial scheduling: the hooks may rewrite the (shuffled)
+    // schedule — real GPUs guarantee no block order whatsoever.
+    if (options_.perturb && grid > 1)
+        options_.perturb->reorderBlocks(order, launch_counter_);
     return order;
 }
 
@@ -196,6 +201,9 @@ Engine::launch(const std::string& name, const LaunchConfig& config,
     else
         runInterleaved(config, kernel, stats);
 
+    // Kernel boundaries synchronize: flush any perturbation-buffered
+    // stores before the host (or the next launch's snapshot) looks.
+    mem_subsystem_->endLaunch();
     ++launch_counter_;
     stats.mem = mem_subsystem_->launchCounters();
 
@@ -290,6 +298,8 @@ Engine::runFast(const LaunchConfig& config,
     for (u32 pos = 0; pos < config.grid; ++pos) {
         const u32 block = order[pos];
         const u32 sm = pos % spec_.num_sms;
+        if (options_.perturb)
+            sm_cycles_[sm] += options_.perturb->smStallCycles(sm, block);
         const u64 sm_begin = sm_cycles_[sm];
 
         for (u32 t = 0; t < block_size; ++t) {
@@ -406,9 +416,10 @@ Engine::runInterleaved(const LaunchConfig& config,
             // Small per-thread start jitter: real warp schedulers do not
             // start every thread in lockstep, and the jitter lets races
             // and word tearing realize different interleavings per seed.
-            queue.emplace(hash64(options_.seed ^ (idx * 0x9e3779b9ULL)) %
-                              64,
-                          seq++, idx);
+            u64 start = hash64(options_.seed ^ (idx * 0x9e3779b9ULL)) % 64;
+            if (options_.perturb)
+                start += options_.perturb->smStallCycles(sm, block);
+            queue.emplace(start, seq++, idx);
         }
     }
 

@@ -84,6 +84,14 @@ struct EngineOptions
      * the hooks then cost one pointer test per launch.
      */
     prof::TraceSession* trace = nullptr;
+    /**
+     * Optional perturbation hooks (eclsim::chaos): adversarial block
+     * schedules, amplified staleness, store-visibility delays, transient
+     * stalls, and harmful fault injection. The hooks object must outlive
+     * the engine and must not be shared with another concurrently
+     * running engine (it carries its own RNG). Null is free.
+     */
+    PerturbationHooks* perturb = nullptr;
 };
 
 /** Shape of one kernel launch. */

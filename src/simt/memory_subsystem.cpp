@@ -15,6 +15,10 @@ MemoryCounters::operator+=(const MemoryCounters& other)
     atomic_accesses += other.atomic_accesses;
     stale_reads += other.stale_reads;
     dram_bytes += other.dram_bytes;
+    delayed_stores += other.delayed_stores;
+    dup_stores += other.dup_stores;
+    dropped_atomics += other.dropped_atomics;
+    snapshot_skips += other.snapshot_skips;
     l1 += other.l1;
     l2 += other.l2;
     return *this;
@@ -23,12 +27,13 @@ MemoryCounters::operator+=(const MemoryCounters& other)
 MemorySubsystem::MemorySubsystem(const GpuSpec& spec, DeviceMemory& memory,
                                  const MemoryOptions& options,
                                  RaceDetector* detector,
-                                 prof::CounterRegistry* counters)
+                                 prof::CounterRegistry* counters,
+                                 PerturbationHooks* perturb)
     : spec_(spec), memory_(memory), options_(options), detector_(detector),
       l2_cache_(std::max<u64>(spec.l2_bytes / options.cache_divisor,
                               4096),
                 options.line_bytes, options.l2_ways),
-      prof_(counters)
+      perturb_(perturb), prof_(counters)
 {
     ECLSIM_ASSERT(options_.cache_divisor >= 1, "cache divisor must be >= 1");
     if (prof_) {
@@ -44,6 +49,12 @@ MemorySubsystem::MemorySubsystem(const GpuSpec& spec, DeviceMemory& memory,
         c_l2_miss_ = prof_->id("sim/mem/l2_miss");
         c_dram_ = prof_->id("sim/mem/dram_access");
         c_atomic_block_ = prof_->id("sim/mem/atomic_block_scope");
+        if (perturb_) {
+            c_delayed_ = prof_->id("sim/perturb/store_delayed");
+            c_dup_ = prof_->id("sim/perturb/store_duplicated");
+            c_dropped_ = prof_->id("sim/perturb/atomic_dropped");
+            c_skip_ = prof_->id("sim/perturb/snapshot_skip");
+        }
     }
     l1_caches_.reserve(spec_.num_sms);
     for (u32 sm = 0; sm < spec_.num_sms; ++sm)
@@ -57,12 +68,115 @@ MemorySubsystem::MemorySubsystem(const GpuSpec& spec, DeviceMemory& memory,
 void
 MemorySubsystem::beginLaunch()
 {
-    if (options_.model_sweep_visibility)
+    // The launch-0 snapshot is unconditional: the kernel must observe the
+    // host's uploads. Later refreshes may be skipped by the hooks, which
+    // keeps kSweepSnapshot readers on a stale snapshot across launches —
+    // an amplified version of the compiler value caching the paper's MIS
+    // discussion hinges on.
+    const bool skip_refresh = perturb_ && launch_index_ > 0 &&
+                              !perturb_->refreshSnapshot(launch_index_);
+    if (options_.model_sweep_visibility && !skip_refresh)
         memory_.snapshotSweepAllocations();
+    ++launch_index_;
     counters_ = {};
+    if (skip_refresh && memory_.hasSnapshotAllocs()) {
+        ++counters_.snapshot_skips;
+        if (prof_)
+            prof_->add(c_skip_);
+    }
     for (CacheModel& l1 : l1_caches_)
         l1.resetStats();
     l2_cache_.resetStats();
+}
+
+void
+MemorySubsystem::endLaunch()
+{
+    for (const PendingStore& entry : pending_)
+        releasePending(entry);
+    pending_.clear();
+}
+
+void
+MemorySubsystem::releasePending(const PendingStore& entry)
+{
+    memory_.storeLive(entry.addr, entry.size, entry.bits);
+    if (memory_.hasSnapshotAllocs() &&
+        memory_.allocationAt(entry.addr).visibility ==
+            Visibility::kSweepSnapshot) {
+        memory_.noteWriter(entry.addr, entry.size, entry.thread);
+    }
+}
+
+void
+MemorySubsystem::drainPending()
+{
+    if (pending_.empty())
+        return;
+    size_t kept = 0;
+    for (PendingStore& entry : pending_) {
+        if (entry.release_at <= access_clock_)
+            releasePending(entry);
+        else
+            pending_[kept++] = entry;
+    }
+    pending_.resize(kept);
+}
+
+void
+MemorySubsystem::cancelOverlapping(u32 thread, u64 addr, u8 size)
+{
+    if (pending_.empty())
+        return;
+    size_t kept = 0;
+    for (PendingStore& entry : pending_) {
+        const bool overlaps = entry.thread == thread &&
+                              entry.addr < addr + size &&
+                              addr < entry.addr + entry.size;
+        if (!overlaps)
+            pending_[kept++] = entry;
+    }
+    pending_.resize(kept);
+}
+
+void
+MemorySubsystem::flushOverlappingOwn(u32 thread, u64 addr, u8 size)
+{
+    if (pending_.empty())
+        return;
+    size_t kept = 0;
+    for (PendingStore& entry : pending_) {
+        const bool overlaps = entry.thread == thread &&
+                              entry.addr < addr + size &&
+                              addr < entry.addr + entry.size;
+        if (overlaps)
+            releasePending(entry);
+        else
+            pending_[kept++] = entry;
+    }
+    pending_.resize(kept);
+}
+
+u64
+MemorySubsystem::overlayPending(u32 thread, u64 addr, u8 size,
+                                u64 bits) const
+{
+    // Program order: a thread always observes its own buffered stores.
+    // Entries are scanned oldest-first so a newer buffered store to the
+    // same byte wins.
+    for (const PendingStore& entry : pending_) {
+        if (entry.thread != thread)
+            continue;
+        for (u8 i = 0; i < entry.size; ++i) {
+            const u64 a = entry.addr + i;
+            if (a < addr || a >= addr + size)
+                continue;
+            const u64 shift = 8 * (a - addr);
+            bits = (bits & ~(u64{0xff} << shift)) |
+                   (((entry.bits >> (8 * i)) & 0xff) << shift);
+        }
+    }
+    return bits;
 }
 
 MemoryCounters
@@ -177,6 +291,22 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
     for (u32 piece = first; piece < last; ++piece) {
         const u64 addr = req.addr + static_cast<u64>(piece) * piece_size;
 
+        if (perturb_) {
+            // The write buffer drains on the engine's global access
+            // clock: every access is an opportunity for buffered racy
+            // stores (and duplicate redeliveries) to become visible.
+            ++access_clock_;
+            drainPending();
+            // Atomics synchronize with the issuing thread's own prior
+            // stores (program order); racy loads overlay them instead,
+            // keeping the value hidden from other threads.
+            if (is_atomic)
+                flushOverlappingOwn(who.thread, addr,
+                                    req.kind == MemOpKind::kRmw
+                                        ? req.size
+                                        : piece_size);
+        }
+
         // Functional effect.
         if (req.kind == MemOpKind::kLoad) {
             u64 bits;
@@ -200,6 +330,9 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
             } else {
                 bits = memory_.loadLive(addr, piece_size);
             }
+            if (perturb_ && !pending_.empty() &&
+                req.mode != AccessMode::kAtomic)
+                bits = overlayPending(who.thread, addr, piece_size, bits);
             result.value_bits |= bits << (8 * piece_size * piece);
             ++counters_.loads;
             if (prof_)
@@ -209,11 +342,48 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
                 (req.value >> (8 * piece_size * piece)) &
                 (piece_size == 8 ? ~u64{0}
                                  : ((u64{1} << (8 * piece_size)) - 1));
-            memory_.storeLive(addr, piece_size, bits);
-            if (memory_.hasSnapshotAllocs() &&
-                memory_.allocationAt(addr).visibility ==
-                    Visibility::kSweepSnapshot) {
-                memory_.noteWriter(addr, piece_size, who.thread);
+            bool performed = false;
+            if (perturb_ && req.mode != AccessMode::kAtomic) {
+                // A newer store to the same bytes supersedes any of the
+                // thread's still-buffered ones (collapsed stores).
+                cancelOverlapping(who.thread, addr, piece_size);
+                const u32 delay =
+                    pending_.size() < kMaxPendingStores
+                        ? perturb_->delayStoreAccesses(who, req)
+                        : 0;
+                if (delay > 0) {
+                    pending_.push_back({who.thread, addr, piece_size,
+                                        bits, access_clock_ + delay});
+                    ++counters_.delayed_stores;
+                    if (prof_)
+                        prof_->add(c_delayed_);
+                    performed = true;  // buffered; visible later
+                }
+            } else if (perturb_ && perturb_->dropAtomicUpdate(who, req)) {
+                ++counters_.dropped_atomics;
+                if (prof_)
+                    prof_->add(c_dropped_);
+                performed = true;  // harmful: the store vanishes
+            }
+            if (!performed) {
+                memory_.storeLive(addr, piece_size, bits);
+                if (memory_.hasSnapshotAllocs() &&
+                    memory_.allocationAt(addr).visibility ==
+                        Visibility::kSweepSnapshot) {
+                    memory_.noteWriter(addr, piece_size, who.thread);
+                }
+                if (perturb_ && req.mode == AccessMode::kPlain &&
+                    pending_.size() < kMaxPendingStores) {
+                    const u32 dup =
+                        perturb_->duplicateStoreAfter(who, req);
+                    if (dup > 0) {
+                        pending_.push_back({who.thread, addr, piece_size,
+                                            bits, access_clock_ + dup});
+                        ++counters_.dup_stores;
+                        if (prof_)
+                            prof_->add(c_dup_);
+                    }
+                }
             }
             ++counters_.stores;
             if (prof_)
@@ -249,7 +419,15 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
                     new_bits = req.value & mask;
                 break;
             }
-            if (new_bits != old_bits) {
+            if (new_bits != old_bits &&
+                perturb_ && perturb_->dropAtomicUpdate(who, req)) {
+                // Harmful injection: the update is lost, but the issuing
+                // thread saw old_bits — for a CAS whose compare matched,
+                // it now wrongly believes the swap took effect.
+                ++counters_.dropped_atomics;
+                if (prof_)
+                    prof_->add(c_dropped_);
+            } else if (new_bits != old_bits) {
                 memory_.storeLive(addr, req.size, new_bits);
                 if (memory_.hasSnapshotAllocs() &&
                     memory_.allocationAt(addr).visibility ==
@@ -286,6 +464,8 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
     } else if (req.mode == AccessMode::kVolatile && prof_) {
         prof_->add(c_volatile_, last - first);
     }
+    if (perturb_)
+        result.latency += perturb_->extraAccessLatency(who, req);
     return result;
 }
 

@@ -26,6 +26,7 @@
 #include "simt/cache.hpp"
 #include "simt/device_memory.hpp"
 #include "simt/gpu_spec.hpp"
+#include "simt/perturb.hpp"
 #include "simt/race_detector.hpp"
 
 namespace eclsim::simt {
@@ -59,6 +60,11 @@ struct MemoryCounters
     u64 atomic_accesses = 0;  ///< atomic loads + stores + RMWs
     u64 stale_reads = 0;      ///< plain reads served from the sweep snapshot
     u64 dram_bytes = 0;
+    // perturbation events (all zero unless PerturbationHooks is installed)
+    u64 delayed_stores = 0;   ///< racy stores held in the write buffer
+    u64 dup_stores = 0;       ///< racy plain stores redelivered later
+    u64 dropped_atomics = 0;  ///< atomic updates discarded (harmful)
+    u64 snapshot_skips = 0;   ///< launch-begin snapshot refreshes skipped
     CacheStats l1;  ///< summed over all SMs
     CacheStats l2;
 
@@ -73,13 +79,26 @@ class MemorySubsystem
      * @param counters optional profiling registry; when set, every
      *        access additionally bumps the hierarchical sim/mem/...
      *        path counters (see eclsim::prof). Null costs nothing.
+     * @param perturb optional perturbation hooks (eclsim::chaos); when
+     *        set, racy stores may be buffered/duplicated, snapshot
+     *        refreshes skipped, and atomic updates dropped per the
+     *        hooks' decisions. Null costs one pointer test per access.
      */
     MemorySubsystem(const GpuSpec& spec, DeviceMemory& memory,
                     const MemoryOptions& options, RaceDetector* detector,
-                    prof::CounterRegistry* counters = nullptr);
+                    prof::CounterRegistry* counters = nullptr,
+                    PerturbationHooks* perturb = nullptr);
 
     /** Begin-of-launch bookkeeping (visibility snapshot, counters). */
     void beginLaunch();
+
+    /**
+     * End-of-launch bookkeeping: flush every buffered store so the host
+     * and the next launch observe final values (kernel boundaries
+     * synchronize, even for racy code — cudaDeviceSynchronize orders the
+     * kernel's writes before subsequent host reads).
+     */
+    void endLaunch();
 
     /** Result of executing one or more pieces of a request. */
     struct PieceResult
@@ -117,6 +136,29 @@ class MemorySubsystem
     u64 orderingCost(MemoryOrder order) const;
     u64 routeTiming(u32 sm, u64 addr, const MemRequest& req, bool is_store);
 
+    /** One racy store held in the simulated write buffer. */
+    struct PendingStore
+    {
+        u32 thread = 0;      ///< issuing thread (program-order overlay)
+        u64 addr = 0;
+        u8 size = 0;
+        u64 bits = 0;
+        u64 release_at = 0;  ///< access_clock_ at which it becomes visible
+    };
+
+    /** Make one buffered store globally visible. */
+    void releasePending(const PendingStore& entry);
+    /** Release every buffered store whose time has come. */
+    void drainPending();
+    /** Cancel same-thread buffered stores overlapping [addr, addr+size)
+     *  (a later store to the same bytes supersedes them). */
+    void cancelOverlapping(u32 thread, u64 addr, u8 size);
+    /** Flush (make visible) same-thread buffered stores overlapping the
+     *  range — atomics observe the thread's own prior stores. */
+    void flushOverlappingOwn(u32 thread, u64 addr, u8 size);
+    /** Patch the thread's own buffered bytes into a loaded value. */
+    u64 overlayPending(u32 thread, u64 addr, u8 size, u64 bits) const;
+
     const GpuSpec& spec_;
     DeviceMemory& memory_;
     MemoryOptions options_;
@@ -126,6 +168,13 @@ class MemorySubsystem
     MemoryCounters counters_;
     double dram_bytes_per_cycle_;
 
+    // perturbation state (inert when perturb_ is null)
+    PerturbationHooks* perturb_ = nullptr;
+    std::vector<PendingStore> pending_;
+    u64 access_clock_ = 0;  ///< memory accesses since engine creation
+    u32 launch_index_ = 0;  ///< launches since engine creation
+    static constexpr size_t kMaxPendingStores = 4096;
+
     // profiling counters (ids valid only when prof_ is non-null)
     prof::CounterRegistry* prof_ = nullptr;
     prof::CounterId c_load_ = 0, c_store_ = 0, c_rmw_ = 0;
@@ -133,6 +182,8 @@ class MemorySubsystem
     prof::CounterId c_l1_hit_ = 0, c_l1_miss_ = 0;
     prof::CounterId c_l2_hit_ = 0, c_l2_miss_ = 0;
     prof::CounterId c_dram_ = 0, c_atomic_block_ = 0;
+    prof::CounterId c_delayed_ = 0, c_dup_ = 0, c_dropped_ = 0,
+                    c_skip_ = 0;
 };
 
 }  // namespace eclsim::simt

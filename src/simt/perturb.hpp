@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Perturbation hook interface for adversarial schedule / fault-injection
+ * experiments (eclsim::chaos).
+ *
+ * The paper's benign-race claim is a universal statement: the outputs of
+ * the racy baselines stay valid under *every* interleaving, staleness
+ * window, and store-visibility delay the hardware and compiler may
+ * produce. The simulator's default scheduler only explores a narrow
+ * slice of that space, so Engine and MemorySubsystem accept an optional
+ * PerturbationHooks object whose callbacks widen it:
+ *
+ *  - refreshSnapshot() can keep a sweep-visibility snapshot stale across
+ *    kernel launches (an amplified version of the compiler value caching
+ *    that Visibility::kSweepSnapshot models),
+ *  - delayStoreAccesses() holds racy non-atomic stores in a write buffer
+ *    so other threads keep reading the old value for a while,
+ *  - duplicateStoreAfter() redelivers a racy plain store later — the
+ *    compiler latitude of re-materializing a non-atomic store,
+ *  - dropAtomicUpdate() discards an atomic update: this one is
+ *    deliberately *harmful* (atomics are the synchronization the
+ *    race-free codes rely on) and exists so tests can prove the chaos
+ *    oracles catch genuinely broken executions,
+ *  - reorderBlocks() / smStallCycles() / extraAccessLatency() bias the
+ *    block schedule and inject transient stalls.
+ *
+ * All defaults are no-ops; a null hooks pointer costs one pointer test
+ * per launch and none per access. Implementations live in src/chaos and
+ * must not be shared across concurrently running engines (the campaign
+ * runner builds one per cell).
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "simt/access.hpp"
+#include "simt/race_detector.hpp"
+
+namespace eclsim::simt {
+
+/** Perturbation decision callbacks (see file comment). */
+class PerturbationHooks
+{
+  public:
+    virtual ~PerturbationHooks() = default;
+
+    /**
+     * Called at the start of launch number @p launch (0-based, counted
+     * per engine). Return false to *skip* refreshing the sweep-visibility
+     * snapshot, so kSweepSnapshot readers keep seeing values from an
+     * earlier launch. The launch-0 snapshot is always taken regardless
+     * (host uploads must be visible to the first kernel); the hook is
+     * not consulted for it.
+     */
+    virtual bool
+    refreshSnapshot(u32 launch)
+    {
+        (void)launch;
+        return true;
+    }
+
+    /**
+     * Consulted for every racy (non-atomic) store. Return N > 0 to hold
+     * the store in a write buffer for the next N memory accesses of the
+     * engine before it becomes visible to other threads. The storing
+     * thread always observes its own buffered value (program order), and
+     * every buffered store is flushed at the end of the launch (kernel
+     * boundaries synchronize).
+     */
+    virtual u32
+    delayStoreAccesses(const ThreadInfo& who, const MemRequest& req)
+    {
+        (void)who;
+        (void)req;
+        return 0;
+    }
+
+    /**
+     * Consulted for racy *plain* stores that were performed immediately.
+     * Return N > 0 to deliver the same store again after N further
+     * accesses — clobbering whatever was written in between, the way a
+     * compiler may legally re-issue a non-atomic store.
+     */
+    virtual u32
+    duplicateStoreAfter(const ThreadInfo& who, const MemRequest& req)
+    {
+        (void)who;
+        (void)req;
+        return 0;
+    }
+
+    /**
+     * HARMFUL. Return true to silently discard an atomic update (RMW or
+     * atomic store). The issuing thread still observes the pre-update
+     * value, as if the operation happened and was immediately lost. No
+     * real machine does this; it exists to prove the validity oracles
+     * reject broken executions.
+     */
+    virtual bool
+    dropAtomicUpdate(const ThreadInfo& who, const MemRequest& req)
+    {
+        (void)who;
+        (void)req;
+        return false;
+    }
+
+    /** Extra latency cycles charged to this access (transient stall). */
+    virtual u64
+    extraAccessLatency(const ThreadInfo& who, const MemRequest& req)
+    {
+        (void)who;
+        (void)req;
+        return 0;
+    }
+
+    /**
+     * Rewrite the launch's block schedule in place (called after the
+     * engine's own shuffle). order holds a permutation of [0, grid).
+     */
+    virtual void
+    reorderBlocks(std::vector<u32>& order, u32 launch)
+    {
+        (void)order;
+        (void)launch;
+    }
+
+    /** Stall cycles injected before a block starts executing on an SM. */
+    virtual u64
+    smStallCycles(u32 sm, u32 block)
+    {
+        (void)sm;
+        (void)block;
+        return 0;
+    }
+};
+
+}  // namespace eclsim::simt

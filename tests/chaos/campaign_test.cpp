@@ -1,0 +1,175 @@
+/**
+ * @file
+ * End-to-end benignity campaigns: every benign policy must leave every
+ * algorithm's output oracle-valid (the paper's claim), a harmful
+ * perturbation must be caught (the oracles have teeth), and a fixed
+ * seed must reproduce the campaign bit-identically at any job count
+ * (the PR-2 determinism contract extended to chaos).
+ */
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.hpp"
+
+#include "chaos/oracle.hpp"
+#include "prof/trace.hpp"
+
+namespace eclsim::chaos {
+namespace {
+
+/** A campaign small enough for a unit test: tiny graphs, one input per
+ *  class, one seed per cell. */
+CampaignConfig
+tinyConfig()
+{
+    CampaignConfig config;
+    config.undirected_inputs = {"internet"};
+    config.directed_inputs = {"wikipedia"};
+    config.seeds_per_cell = 1;
+    config.graph_divisor = 8192;
+    config.jobs = 1;
+    return config;
+}
+
+TEST(ChaosCampaignTest, CellsEnumerateInStableOrder)
+{
+    auto config = tinyConfig();
+    config.seeds_per_cell = 2;
+    const auto cells = campaignCells(config);
+    // 6 policies x (4 undirected algos x 1 input + SCC x 1 input) x 2.
+    EXPECT_EQ(cells.size(), 6u * 5u * 2u);
+    EXPECT_EQ(cells.front().policy, PolicyKind::kNone);
+    EXPECT_EQ(cells.front().algo, harness::Algo::kCc);
+    EXPECT_EQ(cells.front().rep, 0u);
+    EXPECT_EQ(cells[1].rep, 1u);
+}
+
+TEST(ChaosCampaignTest, BenignPoliciesKeepEveryAlgorithmValid)
+{
+    auto config = tinyConfig();
+    config.intensity = 0.7;
+    const auto outcomes = runCampaign(config);
+    EXPECT_EQ(outcomes.size(), campaignCells(config).size());
+    for (const CellOutcome& o : outcomes)
+        EXPECT_TRUE(o.valid)
+            << policyName(o.cell.policy) << " broke "
+            << harness::algoName(o.cell.algo) << " on " << o.cell.input
+            << ": " << o.detail;
+    EXPECT_EQ(countViolations(outcomes), 0u);
+
+    // The perturbations must actually have fired — a campaign that
+    // never perturbs proves nothing.
+    u64 events = 0;
+    for (const CellOutcome& o : outcomes)
+        events += o.stale_reads + o.delayed_stores + o.dup_stores +
+                  o.snapshot_skips;
+    EXPECT_GT(events, 0u);
+}
+
+TEST(ChaosCampaignTest, HarmfulDropAtomicIsCaughtByOracle)
+{
+    // Acceptance criterion: a deliberately harmful perturbation —
+    // dropping non-racy atomic updates — must be caught. MST is the
+    // target: its Boruvka rounds elect component-minimum edges through
+    // atomicMin/CAS, so losing updates yields a wrong forest weight
+    // while the host-side again-loop still terminates (updates are
+    // retried every round and only half are dropped).
+    CampaignConfig config = tinyConfig();
+    config.policies = {PolicyKind::kDropAtomic};
+    config.algos = {harness::Algo::kMst};
+    config.undirected_inputs = {"internet"};
+    config.seeds_per_cell = 3;
+    config.intensity = 1.0;
+
+    const auto outcomes = runCampaign(config);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_GE(countViolations(outcomes), 1u);
+    bool saw_weight_detail = false;
+    u64 dropped = 0;
+    for (const CellOutcome& o : outcomes) {
+        dropped += o.dropped_atomics;
+        if (!o.valid)
+            saw_weight_detail |=
+                o.detail.find("weight") != std::string::npos;
+    }
+    EXPECT_GT(dropped, 0u);
+    EXPECT_TRUE(saw_weight_detail);
+}
+
+TEST(ChaosCampaignTest, FixedSeedReproducesByteIdenticalCsvAtAnyJobs)
+{
+    CampaignConfig config = tinyConfig();
+    config.policies = parsePolicyList("none,store-delay,sched-bias");
+    config.algos = {harness::Algo::kCc, harness::Algo::kMis};
+    config.seeds_per_cell = 2;
+    config.seed = 777;
+
+    config.jobs = 1;
+    const auto serial = runCampaign(config);
+    config.jobs = 4;
+    const auto parallel = runCampaign(config);
+
+    EXPECT_EQ(makeCampaignTable(serial).toCsv(),
+              makeCampaignTable(parallel).toCsv());
+}
+
+TEST(ChaosCampaignTest, CellReplaysBitIdentically)
+{
+    const auto config = tinyConfig();
+    const CampaignCell cell{PolicyKind::kStoreDelay, harness::Algo::kMis,
+                            "internet", 0};
+    const auto a = runCampaignCell(config, cell, 4242, nullptr);
+    const auto b = runCampaignCell(config, cell, 4242, nullptr);
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.ms, b.ms);
+    EXPECT_EQ(a.delayed_stores, b.delayed_stores);
+    EXPECT_EQ(a.stale_reads, b.stale_reads);
+}
+
+TEST(ChaosCampaignTest, StaleWindowDoesNotSpeedUpConvergence)
+{
+    // The paper's MIS mechanism: staleness cannot corrupt the output,
+    // it can only delay convergence. Compare iterations against the
+    // unperturbed control of the same seed.
+    const auto config = tinyConfig();
+    const CampaignCell control{PolicyKind::kNone, harness::Algo::kMis,
+                               "internet", 0};
+    const CampaignCell stale{PolicyKind::kStaleWindow,
+                             harness::Algo::kMis, "internet", 0};
+    const auto base = runCampaignCell(config, control, 1234, nullptr);
+    const auto perturbed = runCampaignCell(config, stale, 1234, nullptr);
+    ASSERT_TRUE(base.valid) << base.detail;
+    ASSERT_TRUE(perturbed.valid) << perturbed.detail;
+    EXPECT_GT(perturbed.snapshot_skips, 0u);
+    EXPECT_GE(perturbed.iterations, base.iterations);
+}
+
+TEST(ChaosCampaignTest, SummaryGroupsByPolicyAndAlgo)
+{
+    CampaignConfig config = tinyConfig();
+    config.policies = parsePolicyList("none,sm-stall");
+    config.algos = {harness::Algo::kCc};
+    config.seeds_per_cell = 2;
+    const auto outcomes = runCampaign(config);
+    const auto summary = makeCampaignSummary(outcomes);
+    const std::string text = summary.toText();
+    EXPECT_NE(text.find("sm-stall"), std::string::npos);
+    EXPECT_NE(text.find("CC"), std::string::npos);
+    // The control group's inflation ratio against itself is 1.00.
+    EXPECT_NE(text.find("1.00"), std::string::npos);
+}
+
+TEST(ChaosCampaignTest, TraceRecordsOneSpanPerCell)
+{
+    prof::TraceSession session;
+    CampaignConfig config = tinyConfig();
+    config.policies = {PolicyKind::kStoreDelay};
+    config.algos = {harness::Algo::kCc};
+    config.trace = &session;
+    const auto outcomes = runCampaign(config);
+    EXPECT_EQ(outcomes.size(), 1u);
+    EXPECT_GT(session.events().size(), 0u);
+}
+
+}  // namespace
+}  // namespace eclsim::chaos

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The validity oracles must accept correct solutions and reject
+ * corrupted ones with a reason that names what broke. A campaign is
+ * only as trustworthy as its oracles: every rejection path is
+ * exercised here with a hand-built invalid solution.
+ */
+#include <gtest/gtest.h>
+
+#include "chaos/oracle.hpp"
+
+#include "graph/csr.hpp"
+
+namespace eclsim::chaos {
+namespace {
+
+using graph::BuildOptions;
+using graph::buildCsr;
+using graph::Edge;
+
+/** Undirected path 0-1-2-3. */
+CsrGraph
+path4()
+{
+    return buildCsr(4, {{0, 1}, {1, 2}, {2, 3}}, BuildOptions{});
+}
+
+// --- CC -------------------------------------------------------------------
+
+TEST(ChaosOracleTest, CcAcceptsCorrectPartition)
+{
+    // Two components: 0-1 and 2-3. Labels only need to induce the same
+    // partition, not use any particular representative.
+    const auto graph = buildCsr(4, {{0, 1}, {2, 3}}, BuildOptions{});
+    EXPECT_TRUE(checkCc(graph, {7, 7, 9, 9}).valid);
+}
+
+TEST(ChaosOracleTest, CcRejectsSplitComponent)
+{
+    const auto graph = path4();
+    const auto verdict = checkCc(graph, {0, 0, 1, 1});
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("components"), std::string::npos)
+        << verdict.detail;
+}
+
+TEST(ChaosOracleTest, CcRejectsWrongLabelCount)
+{
+    EXPECT_FALSE(checkCc(path4(), {0, 0, 0}).valid);
+}
+
+// --- GC -------------------------------------------------------------------
+
+TEST(ChaosOracleTest, GcAcceptsProperColoring)
+{
+    EXPECT_TRUE(checkGc(path4(), {0, 1, 0, 1}).valid);
+}
+
+TEST(ChaosOracleTest, GcRejectsImproperColoring)
+{
+    const auto verdict = checkGc(path4(), {0, 0, 1, 0});
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("improper"), std::string::npos)
+        << verdict.detail;
+}
+
+// --- MIS ------------------------------------------------------------------
+
+TEST(ChaosOracleTest, MisAcceptsMaximalIndependentSet)
+{
+    EXPECT_TRUE(checkMis(path4(), {true, false, true, false}).valid);
+}
+
+TEST(ChaosOracleTest, MisRejectsDependentSet)
+{
+    // 0 and 1 are adjacent: not independent.
+    const auto verdict = checkMis(path4(), {true, true, false, true});
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("independent"), std::string::npos)
+        << verdict.detail;
+}
+
+TEST(ChaosOracleTest, MisRejectsNonMaximalSet)
+{
+    // The empty set is trivially independent but never maximal on a
+    // graph with vertices.
+    const auto verdict =
+        checkMis(path4(), {false, false, false, false});
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("maximal"), std::string::npos)
+        << verdict.detail;
+}
+
+// --- MST ------------------------------------------------------------------
+
+TEST(ChaosOracleTest, MstAcceptsKruskalWeight)
+{
+    // Triangle with weights 1, 2, 3: the MST takes 1 + 2 = 3.
+    BuildOptions options;
+    options.keep_weights = true;
+    const auto graph =
+        buildCsr(3, {{0, 1, 1}, {1, 2, 2}, {0, 2, 3}}, options);
+    EXPECT_TRUE(checkMst(graph, 3).valid);
+}
+
+TEST(ChaosOracleTest, MstRejectsWrongForestWeight)
+{
+    BuildOptions options;
+    options.keep_weights = true;
+    const auto graph =
+        buildCsr(3, {{0, 1, 1}, {1, 2, 2}, {0, 2, 3}}, options);
+    const auto verdict = checkMst(graph, 4);
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("Kruskal"), std::string::npos)
+        << verdict.detail;
+}
+
+// --- SCC ------------------------------------------------------------------
+
+TEST(ChaosOracleTest, SccAcceptsCorrectPartition)
+{
+    // Directed 3-cycle plus an isolated vertex: two SCCs.
+    BuildOptions options;
+    options.directed = true;
+    const auto graph =
+        buildCsr(4, {{0, 1}, {1, 2}, {2, 0}}, options);
+    EXPECT_TRUE(checkScc(graph, {5, 5, 5, 9}).valid);
+}
+
+TEST(ChaosOracleTest, SccRejectsSplitCycle)
+{
+    BuildOptions options;
+    options.directed = true;
+    const auto graph =
+        buildCsr(3, {{0, 1}, {1, 2}, {2, 0}}, options);
+    const auto verdict = checkScc(graph, {0, 1, 2});
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("Tarjan"), std::string::npos)
+        << verdict.detail;
+}
+
+// --- APSP -----------------------------------------------------------------
+
+/** Weighted undirected path 0-(2)-1-(3)-2. */
+CsrGraph
+weightedPath3()
+{
+    BuildOptions options;
+    options.keep_weights = true;
+    return buildCsr(3, {{0, 1, 2}, {1, 2, 3}}, options);
+}
+
+algos::ApspResult
+correctPath3Distances()
+{
+    algos::ApspResult result;
+    result.n = 3;
+    result.dist = {0, 2, 5,
+                   2, 0, 3,
+                   5, 3, 0};
+    return result;
+}
+
+TEST(ChaosOracleTest, ApspAcceptsCorrectMatrix)
+{
+    EXPECT_TRUE(
+        checkApsp(weightedPath3(), correctPath3Distances()).valid);
+}
+
+TEST(ChaosOracleTest, ApspRejectsWrongEntry)
+{
+    auto result = correctPath3Distances();
+    result.dist[0 * 3 + 2] = 4;  // claims 0->2 costs 4, truth is 5
+    const auto verdict = checkApsp(weightedPath3(), result);
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("[0][2]"), std::string::npos)
+        << verdict.detail;
+}
+
+TEST(ChaosOracleTest, ApspRejectsFiniteWhereUnreachable)
+{
+    // Edge 0-1 plus an isolated vertex 2: distances to 2 are infinite.
+    BuildOptions options;
+    options.keep_weights = true;
+    const auto graph = buildCsr(3, {{0, 1, 2}}, options);
+    const i32 inf = algos::kApspInf;
+    algos::ApspResult result;
+    result.n = 3;
+    result.dist = {0, 2, 7,
+                   2, 0, inf,
+                   7, inf, 0};  // claims 0-2 reachable; it is not
+    EXPECT_FALSE(checkApsp(graph, result).valid);
+
+    result.dist = {0, 2, inf,
+                   2, 0, inf,
+                   inf, inf, 0};
+    EXPECT_TRUE(checkApsp(graph, result).valid);
+}
+
+TEST(ChaosOracleTest, ApspRejectsShapeMismatch)
+{
+    algos::ApspResult result;
+    result.n = 2;
+    result.dist = {0, 1, 1, 0};
+    const auto verdict = checkApsp(weightedPath3(), result);
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("shape"), std::string::npos)
+        << verdict.detail;
+}
+
+}  // namespace
+}  // namespace eclsim::chaos

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Mechanics of the perturbation hooks (simt::PerturbationHooks) and the
+ * seeded chaos policies built on them: delayed-store visibility and
+ * program order, duplicate delivery, atomic dropping, snapshot
+ * staleness, adversarial block order, stall injection, and
+ * bit-reproducible replay.
+ */
+#include <gtest/gtest.h>
+
+#include "chaos/policy.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/rng.hpp"
+#include "simt/engine.hpp"
+
+namespace eclsim::chaos {
+namespace {
+
+using simt::AccessMode;
+using simt::DeviceMemory;
+using simt::Engine;
+using simt::EngineOptions;
+using simt::LaunchConfig;
+using simt::launchFor;
+using simt::MemRequest;
+using simt::Task;
+using simt::ThreadCtx;
+using simt::ThreadInfo;
+using simt::titanV;
+using simt::Visibility;
+
+// --- policy parsing -------------------------------------------------------
+
+TEST(ChaosPolicyTest, NamesRoundTrip)
+{
+    for (PolicyKind kind :
+         {PolicyKind::kNone, PolicyKind::kStaleWindow,
+          PolicyKind::kStoreDelay, PolicyKind::kSchedBias,
+          PolicyKind::kSmStall, PolicyKind::kDupStore,
+          PolicyKind::kDropAtomic})
+        EXPECT_EQ(parsePolicy(policyName(kind)), kind);
+}
+
+TEST(ChaosPolicyTest, AllExpandsToControlPlusBenign)
+{
+    const auto all = parsePolicyList("all");
+    EXPECT_EQ(all.size(), 6u);
+    EXPECT_EQ(all.front(), PolicyKind::kNone);
+    for (PolicyKind kind : all)
+        EXPECT_FALSE(policyIsHarmful(kind)) << policyName(kind);
+}
+
+TEST(ChaosPolicyTest, CommaListParses)
+{
+    const auto list = parsePolicyList("store-delay,drop-atomic");
+    ASSERT_EQ(list.size(), 2u);
+    EXPECT_EQ(list[0], PolicyKind::kStoreDelay);
+    EXPECT_EQ(list[1], PolicyKind::kDropAtomic);
+    EXPECT_TRUE(policyIsHarmful(PolicyKind::kDropAtomic));
+}
+
+TEST(ChaosPolicyTest, NonePolicyInstallsNothing)
+{
+    EXPECT_EQ(makePolicy({PolicyKind::kNone, 1.0, 1}), nullptr);
+    EXPECT_NE(makePolicy({PolicyKind::kStoreDelay, 1.0, 1}), nullptr);
+}
+
+// --- hook mechanics -------------------------------------------------------
+
+/** Delays every racy store landing in [lo, hi) by a fixed window. */
+struct DelayRangeHooks : simt::PerturbationHooks
+{
+    u64 lo = 0, hi = 0;
+    u32 delay = 0;
+
+    u32
+    delayStoreAccesses(const ThreadInfo&, const MemRequest& req) override
+    {
+        return req.addr >= lo && req.addr < hi ? delay : 0;
+    }
+};
+
+TEST(PerturbationHooksTest, DelayedStoreKeepsProgramOrderButHidesFromOthers)
+{
+    DeviceMemory memory;
+    auto data = memory.alloc<u32>(1, "data");
+    auto seen = memory.alloc<u32>(2, "seen");
+    memory.write(data, 7u);
+
+    DelayRangeHooks hooks;
+    hooks.lo = data.raw();
+    hooks.hi = data.raw() + sizeof(u32);
+    hooks.delay = 1000;  // far beyond the launch's access count
+
+    EngineOptions options;
+    options.perturb = &hooks;
+    Engine engine(titanV(), memory, options);
+
+    LaunchConfig cfg;
+    cfg.grid = 1;
+    cfg.block_x = 2;
+    const auto stats =
+        engine.launch("delay", cfg, [&](ThreadCtx& t) -> Task {
+            if (t.threadInBlock() == 0)
+                co_await t.store(data, 0, 42u);
+            co_await t.syncthreads();
+            // The writer must see its own buffered store (program
+            // order); the other thread must still see the old value.
+            const u32 v = co_await t.load(data, 0);
+            co_await t.store(seen, t.threadInBlock(), v);
+        });
+
+    const auto host = memory.download(seen, 2);
+    EXPECT_EQ(host[0], 42u) << "writer lost its own store";
+    EXPECT_EQ(host[1], 7u) << "delayed store leaked early";
+    EXPECT_EQ(stats.mem.delayed_stores, 1u);
+    // Kernel boundaries synchronize: the host sees the final value.
+    EXPECT_EQ(memory.read(data), 42u);
+}
+
+/** Redelivers every racy plain store to [lo, hi) after a fixed window. */
+struct DupRangeHooks : simt::PerturbationHooks
+{
+    u64 lo = 0, hi = 0;
+    u32 window = 0;
+
+    u32
+    duplicateStoreAfter(const ThreadInfo&, const MemRequest& req) override
+    {
+        return req.addr >= lo && req.addr < hi ? window : 0;
+    }
+};
+
+TEST(PerturbationHooksTest, DuplicateDeliveryClobbersInterveningAtomic)
+{
+    DeviceMemory memory;
+    auto data = memory.alloc<u32>(1, "data");
+    auto scratch = memory.alloc<u32>(2, "scratch");
+
+    DupRangeHooks hooks;
+    hooks.lo = data.raw();
+    hooks.hi = data.raw() + sizeof(u32);
+    hooks.window = 20;
+
+    EngineOptions options;
+    options.perturb = &hooks;
+    Engine engine(titanV(), memory, options);
+
+    LaunchConfig cfg;
+    cfg.grid = 1;
+    cfg.block_x = 2;
+    const auto stats =
+        engine.launch("dup", cfg, [&](ThreadCtx& t) -> Task {
+            if (t.threadInBlock() == 0)
+                co_await t.store(data, 0, 5u);  // dup scheduled
+            co_await t.syncthreads();
+            if (t.threadInBlock() == 1) {
+                const u32 old =
+                    co_await t.atomicCas(data, 0, 5u, 9u);
+                co_await t.store(scratch, 0, old);
+            }
+            co_await t.syncthreads();
+            // Walk the access clock past the redelivery window.
+            for (u32 r = 0; r < 40; ++r)
+                co_await t.load(scratch, t.threadInBlock());
+        });
+
+    // The CAS saw 5 and installed 9 — then the compiler's re-issued
+    // plain store overwrote it. That is exactly why racy plain stores
+    // cannot synchronize.
+    EXPECT_EQ(memory.read(scratch), 5u) << "CAS should have seen 5";
+    EXPECT_EQ(memory.read(data), 5u)
+        << "duplicate delivery should clobber the atomic's 9";
+    EXPECT_EQ(stats.mem.dup_stores, 1u);
+}
+
+/** Drops every atomic update. */
+struct DropAllAtomics : simt::PerturbationHooks
+{
+    bool
+    dropAtomicUpdate(const ThreadInfo&, const MemRequest&) override
+    {
+        return true;
+    }
+};
+
+TEST(PerturbationHooksTest, DroppedAtomicUpdatesNeverLand)
+{
+    DeviceMemory memory;
+    auto counter = memory.alloc<u32>(1, "counter");
+    DropAllAtomics hooks;
+    EngineOptions options;
+    options.perturb = &hooks;
+    Engine engine(titanV(), memory, options);
+
+    const u32 n = 256;
+    const auto stats =
+        engine.launch("drop", launchFor(n, 64), [&](ThreadCtx& t) -> Task {
+            if (t.globalThreadId() < n)
+                co_await t.atomicAdd(counter, 0, u32{1});
+        });
+    EXPECT_EQ(memory.read(counter), 0u);
+    EXPECT_EQ(stats.mem.dropped_atomics, n);
+}
+
+/** Never refreshes the sweep snapshot after launch 0. */
+struct FreezeSnapshot : simt::PerturbationHooks
+{
+    bool
+    refreshSnapshot(u32) override
+    {
+        return false;
+    }
+};
+
+TEST(PerturbationHooksTest, SkippedSnapshotRefreshKeepsStaleValues)
+{
+    for (const bool freeze : {false, true}) {
+        DeviceMemory memory;
+        auto snap =
+            memory.alloc<u32>(1, "snap", Visibility::kSweepSnapshot);
+        auto out = memory.alloc<u32>(1, "out");
+        memory.write(snap, 7u);
+
+        FreezeSnapshot hooks;
+        EngineOptions options;
+        if (freeze)
+            options.perturb = &hooks;
+        Engine engine(titanV(), memory, options);
+
+        LaunchConfig cfg;
+        cfg.grid = 1;
+        cfg.block_x = 2;
+        engine.launch("write", cfg, [&](ThreadCtx& t) -> Task {
+            if (t.threadInBlock() == 1)
+                co_await t.store(snap, 0, 42u);
+        });
+        const auto stats =
+            engine.launch("read", cfg, [&](ThreadCtx& t) -> Task {
+                if (t.threadInBlock() == 0) {
+                    const u32 v = co_await t.load(snap, 0);
+                    co_await t.store(out, 0, v);
+                }
+            });
+
+        if (freeze) {
+            // Launch 2 still reads launch 1's begin-of-launch snapshot:
+            // the amplified stale window.
+            EXPECT_EQ(memory.read(out), 7u);
+            EXPECT_EQ(stats.mem.snapshot_skips, 1u);
+        } else {
+            EXPECT_EQ(memory.read(out), 42u);
+            EXPECT_EQ(stats.mem.snapshot_skips, 0u);
+        }
+    }
+}
+
+/** Reverses the block schedule. */
+struct ReverseBlocks : simt::PerturbationHooks
+{
+    void
+    reorderBlocks(std::vector<u32>& order, u32) override
+    {
+        std::reverse(order.begin(), order.end());
+    }
+};
+
+TEST(PerturbationHooksTest, ReorderedBlocksRunInHookOrder)
+{
+    DeviceMemory memory;
+    auto ticket = memory.alloc<u32>(1, "ticket");
+    auto out = memory.alloc<u32>(8, "out");
+
+    ReverseBlocks hooks;
+    EngineOptions options;
+    options.shuffle_blocks = false;  // isolate the hook's effect
+    options.perturb = &hooks;
+    Engine engine(titanV(), memory, options);
+
+    LaunchConfig cfg;
+    cfg.grid = 8;
+    cfg.block_x = 1;
+    engine.launch("tickets", cfg, [&](ThreadCtx& t) -> Task {
+        const u32 my = co_await t.atomicAdd(ticket, 0, u32{1});
+        co_await t.store(out, t.blockId(), my);
+    });
+
+    // Fast mode runs blocks sequentially in schedule order, so block 7
+    // must draw ticket 0, block 6 ticket 1, ...
+    const auto host = memory.download(out, 8);
+    for (u32 b = 0; b < 8; ++b)
+        EXPECT_EQ(host[b], 7 - b) << "block " << b;
+}
+
+/** Constant SM stall per block plus constant per-access latency. */
+struct StallHooks : simt::PerturbationHooks
+{
+    u64 stall = 0;
+    u64 latency = 0;
+
+    u64
+    smStallCycles(u32, u32) override
+    {
+        return stall;
+    }
+    u64
+    extraAccessLatency(const ThreadInfo&, const MemRequest&) override
+    {
+        return latency;
+    }
+};
+
+TEST(PerturbationHooksTest, StallsAndLatencySpikesSlowTheLaunch)
+{
+    auto run = [](simt::PerturbationHooks* hooks) {
+        DeviceMemory memory;
+        auto data = memory.alloc<u32>(256, "data");
+        EngineOptions options;
+        options.perturb = hooks;
+        Engine engine(titanV(), memory, options);
+        return engine
+            .launch("touch", launchFor(256, 64),
+                    [&](ThreadCtx& t) -> Task {
+                        co_await t.store(data, t.globalThreadId() % 256,
+                                         1u);
+                    })
+            .cycles;
+    };
+
+    StallHooks hooks;
+    hooks.stall = 50000;
+    hooks.latency = 100;
+    const u64 control = run(nullptr);
+    const u64 perturbed = run(&hooks);
+    EXPECT_GT(perturbed, control + 50000);
+}
+
+// --- seeded policies ------------------------------------------------------
+
+TEST(ChaosPolicyTest, StoreDelayPolicyReplaysBitIdentically)
+{
+    auto run = [](u64 policy_seed) {
+        PolicyConfig config;
+        config.kind = PolicyKind::kStoreDelay;
+        config.intensity = 0.8;
+        config.seed = policy_seed;
+        const auto hooks = makePolicy(config);
+
+        DeviceMemory memory;
+        const u32 n = 512;
+        auto data = memory.alloc<u32>(n, "data");
+        EngineOptions options;
+        options.seed = 33;
+        options.perturb = hooks.get();
+        Engine engine(titanV(), memory, options);
+        const auto stats = engine.launch(
+            "fill", launchFor(n, 64), [&](ThreadCtx& t) -> Task {
+                const u32 v = t.globalThreadId();
+                if (v < n) {
+                    co_await t.store(data, v, hash32(v));
+                    co_await t.load(data, (v + 1) % n);
+                }
+            });
+        return std::pair(stats.mem.delayed_stores, stats.cycles);
+    };
+
+    const auto a = run(99);
+    const auto b = run(99);
+    EXPECT_GT(a.first, 0u) << "policy never fired at intensity 0.8";
+    EXPECT_EQ(a, b) << "same (kind, intensity, seed) must replay";
+}
+
+TEST(ChaosPolicyTest, BenignPoliciesPreserveSingleWriterResults)
+{
+    // One writer per slot: any benign perturbation (delays, duplicates,
+    // schedule bias, stalls) must still leave the written values intact
+    // after the end-of-launch flush.
+    for (PolicyKind kind :
+         {PolicyKind::kStaleWindow, PolicyKind::kStoreDelay,
+          PolicyKind::kSchedBias, PolicyKind::kSmStall,
+          PolicyKind::kDupStore}) {
+        PolicyConfig config;
+        config.kind = kind;
+        config.intensity = 1.0;
+        config.seed = 5;
+        const auto hooks = makePolicy(config);
+
+        DeviceMemory memory;
+        const u32 n = 1024;
+        auto data = memory.alloc<u32>(n, "data");
+        EngineOptions options;
+        options.perturb = hooks.get();
+        Engine engine(titanV(), memory, options);
+        engine.launch("fill", launchFor(n, 128),
+                      [&](ThreadCtx& t) -> Task {
+                          const u32 v = t.globalThreadId();
+                          if (v < n)
+                              co_await t.store(data, v, v ^ 0x5a5au);
+                      });
+        const auto host = memory.download(data, n);
+        for (u32 v = 0; v < n; ++v)
+            ASSERT_EQ(host[v], v ^ 0x5a5au)
+                << policyName(kind) << " corrupted slot " << v;
+    }
+}
+
+}  // namespace
+}  // namespace eclsim::chaos

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <iterator>
 #include <thread>
 #include <vector>
 
@@ -45,6 +46,104 @@ TEST(GraphIo, RejectsGarbage)
     const std::string path = ::testing::TempDir() + "/io_garbage.eg";
     std::ofstream(path) << "this is not a graph";
     EXPECT_DEATH(readGraph(path), "not an eclsim graph");
+}
+
+// --- negative paths: every fatal() must name the path and what broke ------
+
+namespace {
+
+/** A small valid graph file to corrupt: n=4, m=4, offsets [0,1,3,4,4].
+ *  Layout: magic[8], flags u32 @8, n u32 @12, m u64 @16,
+ *  row_offsets (EdgeId) @24, col_indices (VertexId) @64. */
+std::string
+writeSmallGraphFile(const std::string& name)
+{
+    const std::string path = ::testing::TempDir() + "/" + name;
+    writeGraph(buildCsr(4, {{0, 1}, {1, 2}}, {}), path);
+    return path;
+}
+
+void
+truncateFile(const std::string& path, size_t keep_bytes)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), keep_bytes);
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(bytes.data(),
+               static_cast<std::streamsize>(keep_bytes));
+}
+
+template <typename T>
+void
+patchFile(const std::string& path, std::streamoff offset, T value)
+{
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(offset);
+    f.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+}  // namespace
+
+TEST(GraphIo, MissingFileReportsErrnoText)
+{
+    EXPECT_DEATH(readGraph("/no/such/dir/io_missing.eg"),
+                 "cannot open.*No such file or directory");
+}
+
+TEST(GraphIo, TruncatedOffsetsArrayNamesTheField)
+{
+    const auto path = writeSmallGraphFile("io_trunc_offsets.eg");
+    truncateFile(path, 40);  // header + half the row_offsets array
+    EXPECT_DEATH(readGraph(path),
+                 "truncated graph file.*while reading row_offsets");
+}
+
+TEST(GraphIo, TruncatedHeaderNamesTheField)
+{
+    const auto path = writeSmallGraphFile("io_trunc_header.eg");
+    truncateFile(path, 14);  // magic + flags + half of num_vertices
+    EXPECT_DEATH(readGraph(path),
+                 "truncated graph file.*while reading num_vertices");
+}
+
+TEST(GraphIo, WeightedFlagWithoutWeightsNamesTheField)
+{
+    const auto path = writeSmallGraphFile("io_flag_mismatch.eg");
+    patchFile<u32>(path, 8, 1u << 1);  // claim weighted; no weights follow
+    EXPECT_DEATH(readGraph(path),
+                 "truncated graph file.*while reading weights");
+}
+
+TEST(GraphIo, UnknownFlagBitsRejected)
+{
+    const auto path = writeSmallGraphFile("io_unknown_flags.eg");
+    patchFile<u32>(path, 8, 1u << 2);
+    EXPECT_DEATH(readGraph(path), "unknown flag bits");
+}
+
+TEST(GraphIo, ArcCountDisagreeingWithOffsetsRejected)
+{
+    const auto path = writeSmallGraphFile("io_bad_arc_count.eg");
+    patchFile<u64>(path, 16, u64{5});  // row_offsets still end at 4
+    EXPECT_DEATH(readGraph(path), "disagrees with num_arcs");
+}
+
+TEST(GraphIo, DecreasingOffsetsRejected)
+{
+    const auto path = writeSmallGraphFile("io_bad_offsets.eg");
+    patchFile<u64>(path, 24 + 8, u64{1000});  // row_offsets[1]
+    EXPECT_DEATH(readGraph(path), "row_offsets.*decreases");
+}
+
+TEST(GraphIo, OutOfRangeTargetRejected)
+{
+    const auto path = writeSmallGraphFile("io_bad_target.eg");
+    patchFile<u32>(path, 64, 99u);  // col_indices[0], only 4 vertices
+    EXPECT_DEATH(readGraph(path), "col_indices.*out of range");
 }
 
 TEST(Catalog, SeventeenUndirectedTenDirected)
