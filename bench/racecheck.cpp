@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Race-freedom gate driver (eclsim::racecheck).
+ *
+ * Sweeps every (algorithm x variant x input) cell under the
+ * happens-before detector, prints the classified race-site table plus
+ * the per-algorithm summary, and applies the gate:
+ *
+ *   - any racefree variant (or APSP) reporting a race fails;
+ *   - any baseline algorithm reporting *no* races fails (the detector
+ *     must keep reproducing the paper's Section IV findings);
+ *   - any baseline race classified unknown/harmful fails.
+ *
+ * Exit status is nonzero iff the gate fails — this is the CI check that
+ * the converted codes stay clean and every remaining race keeps a
+ * validated benignity argument.
+ *
+ * Flags (besides the standard --seed/--jobs/--csv/--trace/--counters):
+ *   --algos=LIST         comma-separated subset of cc,gc,mis,mst,scc
+ *   --variants=LIST      baseline,racefree (default both)
+ *   --inputs=LIST        undirected inputs (default rmat22.sym)
+ *   --directed-inputs=LIST  SCC inputs (default wikipedia)
+ *   --no-apsp            skip the APSP cells
+ *   --gpu=NAME           GPU model (default "Titan V")
+ *   --divisor=N          input scale divisor (default 8192: interleaved
+ *                        runs with byte-granular shadow are slow)
+ *   --apsp-vertices=N    size of the generated APSP graph (default 96:
+ *                        the O(n^3) kernels dominate the sweep)
+ */
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/logging.hpp"
+#include "racecheck/runner.hpp"
+
+namespace {
+
+using namespace eclsim;
+
+std::vector<std::string>
+splitList(const std::string& list)
+{
+    std::vector<std::string> out;
+    size_t begin = 0;
+    while (begin <= list.size()) {
+        const size_t comma = list.find(',', begin);
+        const std::string token =
+            list.substr(begin, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - begin);
+        if (!token.empty())
+            out.push_back(token);
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return out;
+}
+
+harness::Algo
+parseAlgo(const std::string& name)
+{
+    if (name == "cc")
+        return harness::Algo::kCc;
+    if (name == "gc")
+        return harness::Algo::kGc;
+    if (name == "mis")
+        return harness::Algo::kMis;
+    if (name == "mst")
+        return harness::Algo::kMst;
+    if (name == "scc")
+        return harness::Algo::kScc;
+    fatal("unknown algorithm '{}' (expected cc, gc, mis, mst, or scc)",
+          name);
+    return harness::Algo::kCc;  // unreachable
+}
+
+algos::Variant
+parseVariant(const std::string& name)
+{
+    if (name == "baseline")
+        return algos::Variant::kBaseline;
+    if (name == "racefree")
+        return algos::Variant::kRaceFree;
+    fatal("unknown variant '{}' (expected baseline or racefree)", name);
+    return algos::Variant::kBaseline;  // unreachable
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Flags flags(argc, argv);
+
+    racecheck::RunnerConfig config;
+    config.gpu = flags.getString("gpu", "Titan V");
+    config.graph_divisor =
+        static_cast<u32>(flags.getInt("divisor", 8192));
+    config.apsp_vertices =
+        static_cast<u32>(flags.getInt("apsp-vertices", 96));
+    config.cache_divisor =
+        static_cast<u32>(flags.getInt("cache-divisor", 16));
+    config.seed = static_cast<u64>(flags.getInt("seed", 12345));
+    config.jobs = static_cast<u32>(flags.getInt("jobs", 0));
+    config.include_apsp = !flags.getBool("no-apsp", false);
+
+    const std::string algo_list = flags.getString("algos", "");
+    if (!algo_list.empty()) {
+        config.algos.clear();
+        for (const std::string& name : splitList(algo_list))
+            config.algos.push_back(parseAlgo(name));
+    }
+    const std::string variant_list = flags.getString("variants", "");
+    if (!variant_list.empty()) {
+        config.variants.clear();
+        for (const std::string& name : splitList(variant_list))
+            config.variants.push_back(parseVariant(name));
+    }
+    const std::string inputs = flags.getString("inputs", "");
+    if (!inputs.empty())
+        config.undirected_inputs = splitList(inputs);
+    const std::string directed = flags.getString("directed-inputs", "");
+    if (!directed.empty())
+        config.directed_inputs = splitList(directed);
+
+    const bool quiet = flags.getBool("quiet", false);
+    racecheck::RacecheckProgressFn progress;
+    if (!quiet) {
+        progress = [](const racecheck::CellResult& r) {
+            std::cerr << "  " << racecheck::cellName(r.cell) << ": "
+                      << r.races.size() << " race site(s), "
+                      << r.total_pairs << " pair(s)"
+                      << (r.output_valid ? "" : "  OUTPUT INVALID")
+                      << "\n";
+        };
+    }
+
+    const auto results = racecheck::runRacecheck(config, progress);
+
+    bench::emitTable(flags, "Classified race sites (per cell)",
+                     racecheck::makeSiteTable(results));
+    std::cout << "Per-algorithm race summary\n\n"
+              << racecheck::makeAlgoSummary(results).toText()
+              << std::endl;
+
+    const auto gate = racecheck::evaluateGate(config, results);
+    if (gate.pass) {
+        std::cout << "race-freedom gate: PASS (" << results.size()
+                  << " cells)" << std::endl;
+        return 0;
+    }
+    std::cout << "race-freedom gate: FAIL\n";
+    for (const std::string& f : gate.failures)
+        std::cout << "  - " << f << "\n";
+    std::cout << std::flush;
+    return 1;
+}

@@ -15,6 +15,7 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build -j "$(nproc)"
 ./scripts/chaos_smoke.sh build
+./scripts/racecheck_smoke.sh build
 
 mkdir -p results output
 for bench in build/bench/table* build/bench/fig6_geomean \

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Smoke test of the eclsim::racecheck race-freedom gate:
+#
+#  1. the full sweep must pass: every racefree variant (and APSP) clean,
+#     every baseline racy on at least one of the arrays the paper names,
+#     every reported race classified benign — the CI gate of the paper's
+#     Section IV validation protocol,
+#  2. every baseline must individually report a nonempty classified site
+#     table (the detector keeps reproducing the paper's findings),
+#  3. the same seed must reproduce a byte-identical site-table CSV at
+#     any --jobs value (the PR-2 determinism contract),
+#  4. a racefree-only sweep must also pass standalone (zero races).
+#
+# Usage: ./scripts/racecheck_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+GATE="$BUILD/bench/racecheck"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+echo "== full race-freedom gate =="
+"$GATE" --seed=7 --jobs=1 --quiet --csv="$OUT/serial.csv" \
+    > "$OUT/serial.txt" || {
+    echo "FAIL: the race-freedom gate failed"
+    tail -n 20 "$OUT/serial.txt"
+    exit 1
+}
+grep -q "race-freedom gate: PASS" "$OUT/serial.txt" || {
+    echo "FAIL: no PASS verdict in the gate output"
+    exit 1
+}
+
+echo "== every baseline reports classified races =="
+for algo in cc gc mis mst scc; do
+    grep -qi "^$algo/baseline" "$OUT/serial.csv" || {
+        echo "FAIL: no classified race sites for the $algo baseline"
+        exit 1
+    }
+done
+if grep -q "UNKNOWN/HARMFUL" "$OUT/serial.csv"; then
+    echo "FAIL: an unexplained race slipped through the classifier"
+    grep "UNKNOWN/HARMFUL" "$OUT/serial.csv"
+    exit 1
+fi
+
+echo "== determinism across --jobs =="
+"$GATE" --seed=7 --jobs=4 --quiet --csv="$OUT/parallel.csv" > /dev/null
+cmp "$OUT/serial.csv" "$OUT/parallel.csv" || {
+    echo "FAIL: site table differs between --jobs=1 and --jobs=4"
+    exit 1
+}
+
+echo "== racefree-only sweep is clean =="
+"$GATE" --variants=racefree --seed=7 --jobs=1 --quiet \
+    --csv="$OUT/racefree.csv" > "$OUT/racefree.txt" || {
+    echo "FAIL: the racefree-only sweep failed"
+    tail -n 20 "$OUT/racefree.txt"
+    exit 1
+}
+# The CSV must contain the header line only: zero classified sites.
+[ "$(wc -l < "$OUT/racefree.csv")" -le 1 ] || {
+    echo "FAIL: racefree variants reported race sites"
+    cat "$OUT/racefree.csv"
+    exit 1
+}
+
+echo "racecheck smoke test passed"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hpp"
+#include "racecheck/sites.hpp"
 
 namespace eclsim::algos {
 
@@ -34,7 +35,8 @@ apspPhase1(ThreadCtx& t, const ApspArrays& a)
     const u32 col = a.k * kB + tx;
 
     tile[ty * kB + tx] =
-        co_await t.load(a.dist, static_cast<u64>(row) * a.np + col);
+        co_await t.at(ECL_SITE("phase1 dist[] tile-load"))
+            .load(a.dist, static_cast<u64>(row) * a.np + col);
     co_await t.syncthreads();
     for (u32 kk = 0; kk < kB; ++kk) {
         const i32 through = tile[ty * kB + kk] + tile[kk * kB + tx];
@@ -43,8 +45,9 @@ apspPhase1(ThreadCtx& t, const ApspArrays& a)
         t.work(4);
         co_await t.syncthreads();
     }
-    co_await t.store(a.dist, static_cast<u64>(row) * a.np + col,
-                     tile[ty * kB + tx]);
+    co_await t.at(ECL_SITE("phase1 dist[] tile-store"))
+        .store(a.dist, static_cast<u64>(row) * a.np + col,
+               tile[ty * kB + tx]);
 }
 
 /** Phase 2: relax the pivot row and pivot column tiles. */
@@ -69,9 +72,11 @@ apspPhase2(ThreadCtx& t, const ApspArrays& a)
     const u32 dcol = a.k * kB + tx;
 
     own[ty * kB + tx] =
-        co_await t.load(a.dist, static_cast<u64>(row) * a.np + col);
+        co_await t.at(ECL_SITE("phase2 dist[] tile-load"))
+            .load(a.dist, static_cast<u64>(row) * a.np + col);
     diag[ty * kB + tx] =
-        co_await t.load(a.dist, static_cast<u64>(drow) * a.np + dcol);
+        co_await t.at(ECL_SITE("phase2 dist[] pivot-load"))
+            .load(a.dist, static_cast<u64>(drow) * a.np + dcol);
     co_await t.syncthreads();
 
     for (u32 kk = 0; kk < kB; ++kk) {
@@ -83,8 +88,9 @@ apspPhase2(ThreadCtx& t, const ApspArrays& a)
         t.work(4);
         co_await t.syncthreads();
     }
-    co_await t.store(a.dist, static_cast<u64>(row) * a.np + col,
-                     own[ty * kB + tx]);
+    co_await t.at(ECL_SITE("phase2 dist[] tile-store"))
+        .store(a.dist, static_cast<u64>(row) * a.np + col,
+               own[ty * kB + tx]);
 }
 
 /** Phase 3: relax every remaining tile against the pivot strips. */
@@ -107,11 +113,14 @@ apspPhase3(ThreadCtx& t, const ApspArrays& a)
     const u32 row = i * kB + ty;
     const u32 col = j * kB + tx;
 
-    strip_col[ty * kB + tx] = co_await t.load(
-        a.dist, static_cast<u64>(row) * a.np + a.k * kB + tx);
-    strip_row[ty * kB + tx] = co_await t.load(
-        a.dist, static_cast<u64>(a.k * kB + ty) * a.np + col);
-    i32 mine = co_await t.load(a.dist, static_cast<u64>(row) * a.np + col);
+    strip_col[ty * kB + tx] =
+        co_await t.at(ECL_SITE("phase3 dist[] strip-load"))
+            .load(a.dist, static_cast<u64>(row) * a.np + a.k * kB + tx);
+    strip_row[ty * kB + tx] =
+        co_await t.at(ECL_SITE("phase3 dist[] strip-load"))
+            .load(a.dist, static_cast<u64>(a.k * kB + ty) * a.np + col);
+    i32 mine = co_await t.at(ECL_SITE("phase3 dist[] tile-load"))
+                   .load(a.dist, static_cast<u64>(row) * a.np + col);
     co_await t.syncthreads();
 
     for (u32 kk = 0; kk < kB; ++kk) {
@@ -121,7 +130,8 @@ apspPhase3(ThreadCtx& t, const ApspArrays& a)
             mine = through;
     }
     t.work(4 * kB);
-    co_await t.store(a.dist, static_cast<u64>(row) * a.np + col, mine);
+    co_await t.at(ECL_SITE("phase3 dist[] tile-store"))
+        .store(a.dist, static_cast<u64>(row) * a.np + col, mine);
 }
 
 }  // namespace

@@ -1,12 +1,14 @@
 #include "algos/cc.hpp"
 
 #include "core/logging.hpp"
+#include "racecheck/sites.hpp"
 #include "simt/ecl_atomics.hpp"
 
 namespace eclsim::algos {
 
 namespace {
 
+using racecheck::Expectation;
 using simt::AccessMode;
 using simt::DevicePtr;
 using simt::Task;
@@ -51,7 +53,8 @@ ccInit(ThreadCtx& t, const CcArrays& a)
             break;
         }
     }
-    co_await t.store(a.parent, v, hook, a.mode);
+    co_await t.at(ECL_SITE("init parent[] hook-store"))
+        .store(a.parent, v, hook, a.mode);
 }
 
 /**
@@ -79,13 +82,23 @@ ccCompute(ThreadCtx& t, const CcArrays& a)
         // representative(v) with path shortening
         u32 x = v;
         {
-            u32 cur = co_await t.load(a.parent, x, a.mode);
+            u32 cur = co_await t
+                          .at(ECL_SITE_AS("compute parent[] jump-load",
+                                          Expectation::kStaleTolerant))
+                          .load(a.parent, x, a.mode);
             if (cur != x) {
                 u32 prev = x;
                 u32 next;
-                while (cur > (next = co_await t.load(a.parent, cur,
-                                                     a.mode))) {
-                    co_await t.store(a.parent, prev, next, a.mode);
+                while (cur >
+                       (next = co_await t
+                                   .at(ECL_SITE_AS(
+                                       "compute parent[] jump-load",
+                                       Expectation::kStaleTolerant))
+                                   .load(a.parent, cur, a.mode))) {
+                    co_await t
+                        .at(ECL_SITE_AS("compute parent[] shorten-store",
+                                        Expectation::kMonotonic))
+                        .store(a.parent, prev, next, a.mode);
                     prev = cur;
                     cur = next;
                 }
@@ -95,13 +108,23 @@ ccCompute(ThreadCtx& t, const CcArrays& a)
         // representative(u)
         u32 y = u;
         {
-            u32 cur = co_await t.load(a.parent, y, a.mode);
+            u32 cur = co_await t
+                          .at(ECL_SITE_AS("compute parent[] jump-load",
+                                          Expectation::kStaleTolerant))
+                          .load(a.parent, y, a.mode);
             if (cur != y) {
                 u32 prev = y;
                 u32 next;
-                while (cur > (next = co_await t.load(a.parent, cur,
-                                                     a.mode))) {
-                    co_await t.store(a.parent, prev, next, a.mode);
+                while (cur >
+                       (next = co_await t
+                                   .at(ECL_SITE_AS(
+                                       "compute parent[] jump-load",
+                                       Expectation::kStaleTolerant))
+                                   .load(a.parent, cur, a.mode))) {
+                    co_await t
+                        .at(ECL_SITE_AS("compute parent[] shorten-store",
+                                        Expectation::kMonotonic))
+                        .store(a.parent, prev, next, a.mode);
                     prev = cur;
                     cur = next;
                 }
@@ -117,7 +140,10 @@ ccCompute(ThreadCtx& t, const CcArrays& a)
                 x = y;
                 y = tmp;
             }
-            const u32 old = co_await t.atomicCas(a.parent, x, x, y);
+            const u32 old = co_await t
+                                .at(ECL_SITE_AS("compute parent[] hook-cas",
+                                                Expectation::kMonotonic))
+                                .atomicCas(a.parent, x, x, y);
             if (old == x)
                 break;  // merged
             x = old;
@@ -144,12 +170,23 @@ ccComputeHeavy(ThreadCtx& t, const CcArrays& a)
     // representative(v) with path shortening
     u32 x = v;
     {
-        u32 cur = co_await t.load(a.parent, x, a.mode);
+        u32 cur = co_await t
+                      .at(ECL_SITE_AS("compute-heavy parent[] jump-load",
+                                      Expectation::kStaleTolerant))
+                      .load(a.parent, x, a.mode);
         if (cur != x) {
             u32 prev = x;
             u32 next;
-            while (cur > (next = co_await t.load(a.parent, cur, a.mode))) {
-                co_await t.store(a.parent, prev, next, a.mode);
+            while (cur >
+                   (next = co_await t
+                               .at(ECL_SITE_AS(
+                                   "compute-heavy parent[] jump-load",
+                                   Expectation::kStaleTolerant))
+                               .load(a.parent, cur, a.mode))) {
+                co_await t
+                    .at(ECL_SITE_AS("compute-heavy parent[] shorten-store",
+                                    Expectation::kMonotonic))
+                    .store(a.parent, prev, next, a.mode);
                 prev = cur;
                 cur = next;
             }
@@ -159,12 +196,23 @@ ccComputeHeavy(ThreadCtx& t, const CcArrays& a)
     // representative(u)
     u32 y = u;
     {
-        u32 cur = co_await t.load(a.parent, y, a.mode);
+        u32 cur = co_await t
+                      .at(ECL_SITE_AS("compute-heavy parent[] jump-load",
+                                      Expectation::kStaleTolerant))
+                      .load(a.parent, y, a.mode);
         if (cur != y) {
             u32 prev = y;
             u32 next;
-            while (cur > (next = co_await t.load(a.parent, cur, a.mode))) {
-                co_await t.store(a.parent, prev, next, a.mode);
+            while (cur >
+                   (next = co_await t
+                               .at(ECL_SITE_AS(
+                                   "compute-heavy parent[] jump-load",
+                                   Expectation::kStaleTolerant))
+                               .load(a.parent, cur, a.mode))) {
+                co_await t
+                    .at(ECL_SITE_AS("compute-heavy parent[] shorten-store",
+                                    Expectation::kMonotonic))
+                    .store(a.parent, prev, next, a.mode);
                 prev = cur;
                 cur = next;
             }
@@ -177,7 +225,10 @@ ccComputeHeavy(ThreadCtx& t, const CcArrays& a)
             x = y;
             y = tmp;
         }
-        const u32 old = co_await t.atomicCas(a.parent, x, x, y);
+        const u32 old = co_await t
+                            .at(ECL_SITE_AS("compute-heavy parent[] hook-cas",
+                                            Expectation::kMonotonic))
+                            .atomicCas(a.parent, x, x, y);
         if (old == x)
             break;
         x = old;
@@ -191,11 +242,20 @@ ccFlatten(ThreadCtx& t, const CcArrays& a)
     const u32 v = t.globalThreadId();
     if (v >= a.g.num_vertices)
         co_return;
-    u32 cur = co_await t.load(a.parent, v, a.mode);
+    u32 cur = co_await t
+                  .at(ECL_SITE_AS("flatten parent[] jump-load",
+                                  Expectation::kStaleTolerant))
+                  .load(a.parent, v, a.mode);
     u32 next;
-    while (cur > (next = co_await t.load(a.parent, cur, a.mode)))
+    while (cur > (next = co_await t
+                             .at(ECL_SITE_AS("flatten parent[] jump-load",
+                                             Expectation::kStaleTolerant))
+                             .load(a.parent, cur, a.mode)))
         cur = next;
-    co_await t.store(a.parent, v, cur, a.mode);
+    co_await t
+        .at(ECL_SITE_AS("flatten parent[] root-store",
+                        Expectation::kMonotonic))
+        .store(a.parent, v, cur, a.mode);
 }
 
 }  // namespace

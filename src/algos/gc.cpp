@@ -4,12 +4,14 @@
 
 #include "core/logging.hpp"
 #include "core/rng.hpp"
+#include "racecheck/sites.hpp"
 #include "simt/ecl_atomics.hpp"
 
 namespace eclsim::algos {
 
 namespace {
 
+using racecheck::Expectation;
 using simt::AccessMode;
 using simt::DevicePtr;
 using simt::Task;
@@ -54,7 +56,10 @@ gcPass(ThreadCtx& t, const GcArrays& a)
         co_return;
     // Reading one's own color races with nobody (only v writes it), but
     // the published code reads the shared array the same way throughout.
-    const u32 cv = co_await t.load(a.color, v, a.mode);
+    const u32 cv = co_await t
+                       .at(ECL_SITE_AS("pass color[] own-load",
+                                       Expectation::kStaleTolerant))
+                       .load(a.color, v, a.mode);
     if (cv != kNoColor)
         co_return;
 
@@ -69,7 +74,10 @@ gcPass(ThreadCtx& t, const GcArrays& a)
         const u32 u = co_await t.load(a.g.col_indices, e);
         if (u == v)
             continue;
-        const u32 cu = co_await t.load(a.color, u, a.mode);
+        const u32 cu = co_await t
+                           .at(ECL_SITE_AS("pass color[] neighbor-load",
+                                           Expectation::kStaleTolerant))
+                           .load(a.color, u, a.mode);
         if (cu != kNoColor) {
             ECLSIM_ASSERT(cu < kMaxColors,
                           "graph needs more than {} colors", kMaxColors);
@@ -79,7 +87,11 @@ gcPass(ThreadCtx& t, const GcArrays& a)
             if (outranks(pu, u, my_prio, v)) {
                 blocked = true;
                 // Shortcut 1 needs this neighbor's lowest possible color.
-                const u32 lb = co_await t.load(a.lowbound, u, a.mode);
+                const u32 lb =
+                    co_await t
+                        .at(ECL_SITE_AS("pass posscol[] bound-load",
+                                        Expectation::kStaleTolerant))
+                        .load(a.lowbound, u, a.mode);
                 min_high_low = std::min(min_high_low, lb);
             }
         }
@@ -97,14 +109,23 @@ gcPass(ThreadCtx& t, const GcArrays& a)
         // Either every higher-priority neighbor is colored (classic
         // Jones-Plassmann) or the candidate provably cannot collide with
         // any of them (ECL-GC shortcut): color now.
-        co_await t.store(a.color, v, candidate, a.mode);
+        co_await t
+            .at(ECL_SITE_AS("pass color[] publish-store",
+                            Expectation::kStaleTolerant))
+            .store(a.color, v, candidate, a.mode);
         co_return;
     }
 
     // Still blocked: publish the tightened lower bound (shortcut 2) and
     // request another pass.
-    co_await t.store(a.lowbound, v, candidate, a.mode);
-    co_await t.store(a.again, 0, u32{1}, a.mode);
+    co_await t
+        .at(ECL_SITE_AS("pass posscol[] bound-store",
+                        Expectation::kMonotonic))
+        .store(a.lowbound, v, candidate, a.mode);
+    co_await t
+        .at(ECL_SITE_AS("pass again-flag store",
+                        Expectation::kIdempotent))
+        .store(a.again, 0, u32{1}, a.mode);
 }
 
 }  // namespace

@@ -4,12 +4,14 @@
 
 #include "core/logging.hpp"
 #include "core/rng.hpp"
+#include "racecheck/sites.hpp"
 #include "simt/ecl_atomics.hpp"
 
 namespace eclsim::algos {
 
 namespace {
 
+using racecheck::Expectation;
 using simt::AccessMode;
 using simt::DevicePtr;
 using simt::Task;
@@ -51,7 +53,10 @@ misPass(ThreadCtx& t, const MisArrays& a)
         const u32 word = co_await ecl::atomicReadByteWord(t, a.stat, v);
         sv = ecl::extractByte(word, v);
     } else {
-        sv = co_await t.load(a.stat, v, AccessMode::kVolatile);
+        sv = co_await t
+                 .at(ECL_SITE_AS("pass nstat[] own-load",
+                                 Expectation::kStaleTolerant))
+                 .load(a.stat, v, AccessMode::kVolatile);
     }
     if (!undecided(sv))
         co_return;
@@ -71,7 +76,10 @@ misPass(ThreadCtx& t, const MisArrays& a)
                 co_await ecl::atomicReadByteWord(t, a.stat, u);
             su = ecl::extractByte(word, u);
         } else {
-            su = co_await t.load(a.stat, u, AccessMode::kVolatile);
+            su = co_await t
+                     .at(ECL_SITE_AS("pass nstat[] neighbor-load",
+                                     Expectation::kStaleTolerant))
+                     .load(a.stat, u, AccessMode::kVolatile);
         }
         if (su == kMisIn) {
             in_neighbor = true;
@@ -86,7 +94,10 @@ misPass(ThreadCtx& t, const MisArrays& a)
         if (atomic)
             co_await ecl::atomicByteAnd(t, a.stat, v, kMisOut);
         else
-            co_await t.store(a.stat, v, kMisOut, AccessMode::kVolatile);
+            co_await t
+                .at(ECL_SITE_AS("pass nstat[] out-store",
+                                Expectation::kIdempotent))
+                .store(a.stat, v, kMisOut, AccessMode::kVolatile);
         co_return;
     }
     if (!best) {
@@ -94,7 +105,10 @@ misPass(ThreadCtx& t, const MisArrays& a)
         if (atomic)
             co_await ecl::atomicWrite(t, a.again, 0, u32{1});
         else
-            co_await t.store(a.again, 0, u32{1}, AccessMode::kVolatile);
+            co_await t
+                .at(ECL_SITE_AS("pass again-flag store",
+                                Expectation::kIdempotent))
+                .store(a.again, 0, u32{1}, AccessMode::kVolatile);
         co_return;
     }
 
@@ -103,7 +117,10 @@ misPass(ThreadCtx& t, const MisArrays& a)
     if (atomic)
         co_await ecl::atomicByteOr(t, a.stat, v, kMisIn);
     else
-        co_await t.store(a.stat, v, kMisIn, AccessMode::kVolatile);
+        co_await t
+            .at(ECL_SITE_AS("pass nstat[] join-store",
+                            Expectation::kIdempotent))
+            .store(a.stat, v, kMisIn, AccessMode::kVolatile);
     for (u32 e = begin; e < end; ++e) {
         const u32 u = co_await t.load(a.g.col_indices, e);
         if (u == v)
@@ -111,7 +128,10 @@ misPass(ThreadCtx& t, const MisArrays& a)
         if (atomic)
             co_await ecl::atomicByteAnd(t, a.stat, u, kMisOut);
         else
-            co_await t.store(a.stat, u, kMisOut, AccessMode::kVolatile);
+            co_await t
+                .at(ECL_SITE_AS("pass nstat[] knockout-store",
+                                Expectation::kIdempotent))
+                .store(a.stat, u, kMisOut, AccessMode::kVolatile);
     }
 }
 

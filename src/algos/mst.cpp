@@ -1,12 +1,14 @@
 #include "algos/mst.hpp"
 
 #include "core/logging.hpp"
+#include "racecheck/sites.hpp"
 #include "simt/ecl_atomics.hpp"
 
 namespace eclsim::algos {
 
 namespace {
 
+using racecheck::Expectation;
 using simt::AccessMode;
 using simt::DevicePtr;
 using simt::Task;
@@ -39,7 +41,8 @@ mstReset(ThreadCtx& t, const MstArrays& a)
     const u32 v = t.globalThreadId();
     if (v >= a.g.num_vertices)
         co_return;
-    co_await t.store(a.best, v, kNoEdge, a.mode);
+    co_await t.at(ECL_SITE("reset best[] clear-store"))
+        .store(a.best, v, kNoEdge, a.mode);
 }
 
 /**
@@ -59,11 +62,20 @@ mstFindMin(ThreadCtx& t, const MstArrays& a)
     // Representative of v (computed once; edges below share it).
     u32 rv = v;
     {
-        u32 p = co_await t.load(a.parent, rv, a.mode);
+        u32 p = co_await t
+                    .at(ECL_SITE_AS("findmin parent[] jump-load",
+                                    Expectation::kStaleTolerant))
+                    .load(a.parent, rv, a.mode);
         while (p != rv) {
-            const u32 gp = co_await t.load(a.parent, p, a.mode);
+            const u32 gp = co_await t
+                               .at(ECL_SITE_AS("findmin parent[] jump-load",
+                                               Expectation::kStaleTolerant))
+                               .load(a.parent, p, a.mode);
             if (gp != p)
-                co_await t.store(a.parent, rv, gp, a.mode);  // compress
+                co_await t
+                    .at(ECL_SITE_AS("findmin parent[] compress-store",
+                                    Expectation::kMonotonic))
+                    .store(a.parent, rv, gp, a.mode);  // compress
             rv = p;
             p = gp;
         }
@@ -75,11 +87,21 @@ mstFindMin(ThreadCtx& t, const MstArrays& a)
             continue;  // handle each undirected edge once
         u32 ru = u;
         {
-            u32 p = co_await t.load(a.parent, ru, a.mode);
+            u32 p = co_await t
+                        .at(ECL_SITE_AS("findmin parent[] jump-load",
+                                        Expectation::kStaleTolerant))
+                        .load(a.parent, ru, a.mode);
             while (p != ru) {
-                const u32 gp = co_await t.load(a.parent, p, a.mode);
+                const u32 gp =
+                    co_await t
+                        .at(ECL_SITE_AS("findmin parent[] jump-load",
+                                        Expectation::kStaleTolerant))
+                        .load(a.parent, p, a.mode);
                 if (gp != p)
-                    co_await t.store(a.parent, ru, gp, a.mode);
+                    co_await t
+                        .at(ECL_SITE_AS("findmin parent[] compress-store",
+                                        Expectation::kMonotonic))
+                        .store(a.parent, ru, gp, a.mode);
                 ru = p;
                 p = gp;
             }
@@ -88,8 +110,10 @@ mstFindMin(ThreadCtx& t, const MstArrays& a)
             continue;  // already in the same component
         const i32 w = co_await t.load(a.g.weights, e);
         const u64 packed = packBest(w, e);
-        co_await t.atomicMin(a.best, rv, packed);
-        co_await t.atomicMin(a.best, ru, packed);
+        co_await t.at(ECL_SITE("findmin best[] offer-min"))
+            .atomicMin(a.best, rv, packed);
+        co_await t.at(ECL_SITE("findmin best[] offer-min"))
+            .atomicMin(a.best, ru, packed);
     }
 }
 
@@ -105,10 +129,18 @@ mstConnect(ThreadCtx& t, const MstArrays& a)
     const u32 v = t.globalThreadId();
     if (v >= a.g.num_vertices)
         co_return;
-    const u32 pv = co_await t.load(a.parent, v, a.mode);
+    const u32 pv = co_await t
+                       .at(ECL_SITE_AS("connect parent[] root-load",
+                                       Expectation::kStaleTolerant))
+                       .load(a.parent, v, a.mode);
     if (pv != v)
         co_return;  // not a component root
-    const u64 packed = co_await t.load(a.best, v, a.mode);
+    // The baseline's 64-bit volatile read: the paper's Fig. 1 tearing
+    // hazard on 32-bit-native targets.
+    const u64 packed = co_await t
+                           .at(ECL_SITE_AS("connect best[] wide-load",
+                                           Expectation::kTearing))
+                           .load(a.best, v, a.mode);
     if (packed == kNoEdge)
         co_return;
     const u32 arc = static_cast<u32>(packed);
@@ -122,15 +154,27 @@ mstConnect(ThreadCtx& t, const MstArrays& a)
     bool merged = false;
     while (true) {
         // climb to current roots
-        u32 px = co_await t.load(a.parent, x, a.mode);
+        u32 px = co_await t
+                     .at(ECL_SITE_AS("connect parent[] climb-load",
+                                     Expectation::kStaleTolerant))
+                     .load(a.parent, x, a.mode);
         while (px != x) {
             x = px;
-            px = co_await t.load(a.parent, x, a.mode);
+            px = co_await t
+                     .at(ECL_SITE_AS("connect parent[] climb-load",
+                                     Expectation::kStaleTolerant))
+                     .load(a.parent, x, a.mode);
         }
-        u32 py = co_await t.load(a.parent, y, a.mode);
+        u32 py = co_await t
+                     .at(ECL_SITE_AS("connect parent[] climb-load",
+                                     Expectation::kStaleTolerant))
+                     .load(a.parent, y, a.mode);
         while (py != y) {
             y = py;
-            py = co_await t.load(a.parent, y, a.mode);
+            py = co_await t
+                     .at(ECL_SITE_AS("connect parent[] climb-load",
+                                     Expectation::kStaleTolerant))
+                     .load(a.parent, y, a.mode);
         }
         if (x == y)
             break;  // another root merged the same pair first
@@ -139,7 +183,10 @@ mstConnect(ThreadCtx& t, const MstArrays& a)
             x = y;
             y = tmp;
         }
-        const u32 old = co_await t.atomicCas(a.parent, x, x, y);
+        const u32 old = co_await t
+                            .at(ECL_SITE_AS("connect parent[] hook-cas",
+                                            Expectation::kMonotonic))
+                            .atomicCas(a.parent, x, x, y);
         if (old == x) {
             merged = true;
             break;
@@ -147,10 +194,14 @@ mstConnect(ThreadCtx& t, const MstArrays& a)
     }
     if (merged) {
         // This root owns the merge: account the edge exactly once.
-        co_await t.store(a.in_mst, arc, u8{1});
+        co_await t.at(ECL_SITE("connect in_mst[] mark-store"))
+            .store(a.in_mst, arc, u8{1});
         co_await t.atomicAdd(a.total, 0,
                              static_cast<u64>(static_cast<u32>(w)));
-        co_await t.store(a.again, 0, u32{1}, a.mode);
+        co_await t
+            .at(ECL_SITE_AS("connect again-flag store",
+                            Expectation::kIdempotent))
+            .store(a.again, 0, u32{1}, a.mode);
     }
 }
 

@@ -1,12 +1,14 @@
 #include "algos/scc.hpp"
 
 #include "core/logging.hpp"
+#include "racecheck/sites.hpp"
 #include "simt/ecl_atomics.hpp"
 
 namespace eclsim::algos {
 
 namespace {
 
+using racecheck::Expectation;
 using simt::AccessMode;
 using simt::DevicePtr;
 using simt::Task;
@@ -38,7 +40,10 @@ sccTrim(ThreadCtx& t, const SccArrays& a)
     const u32 v = t.globalThreadId();
     if (v >= a.g.num_vertices)
         co_return;
-    if (co_await t.load(a.label, v) != kUnassigned)
+    if (co_await t
+            .at(ECL_SITE_AS("trim label[] own-load",
+                            Expectation::kStaleTolerant))
+            .load(a.label, v) != kUnassigned)
         co_return;
 
     bool active_succ = false;
@@ -48,7 +53,10 @@ sccTrim(ThreadCtx& t, const SccArrays& a)
         for (u32 e = begin; e < end && !active_succ; ++e) {
             const u32 u = co_await t.load(a.g.col_indices, e);
             if (u != v &&
-                (co_await t.load(a.label, u)) == kUnassigned)
+                (co_await t
+                     .at(ECL_SITE_AS("trim label[] succ-load",
+                                     Expectation::kStaleTolerant))
+                     .load(a.label, u)) == kUnassigned)
                 active_succ = true;
         }
     }
@@ -59,16 +67,25 @@ sccTrim(ThreadCtx& t, const SccArrays& a)
         for (u32 e = begin; e < end && !active_pred; ++e) {
             const u32 u = co_await t.load(a.rev.col_indices, e);
             if (u != v &&
-                (co_await t.load(a.label, u)) == kUnassigned)
+                (co_await t
+                     .at(ECL_SITE_AS("trim label[] pred-load",
+                                     Expectation::kStaleTolerant))
+                     .load(a.label, u)) == kUnassigned)
                 active_pred = true;
         }
     }
     if (!active_succ || !active_pred) {
-        co_await t.store(a.label, v, v);  // trivial SCC
+        co_await t
+            .at(ECL_SITE_AS("trim label[] retire-store",
+                            Expectation::kMonotonic))
+            .store(a.label, v, v);  // trivial SCC
         if (a.variant == Variant::kRaceFree)
             co_await ecl::atomicWrite(t, a.repeat, 0, u32{1});
         else
-            co_await t.store(a.repeat, 0, u32{1});
+            co_await t
+                .at(ECL_SITE_AS("trim repeat-flag store",
+                                Expectation::kIdempotent))
+                .store(a.repeat, 0, u32{1});
     }
 }
 
@@ -86,8 +103,10 @@ sccInit(ThreadCtx& t, const SccArrays& a)
         co_await ecl::writeFirst(t, a.pair, v, v);
         co_await ecl::writeSecond(t, a.pair, v, v);
     } else {
-        co_await ecl::plainWriteFirst(t, a.pair, v, v);
-        co_await ecl::plainWriteSecond(t, a.pair, v, v);
+        co_await ecl::plainWriteFirst(
+            t.at(ECL_SITE("init pair[] seed-store")), a.pair, v, v);
+        co_await ecl::plainWriteSecond(
+            t.at(ECL_SITE("init pair[] seed-store")), a.pair, v, v);
     }
 }
 
@@ -102,7 +121,10 @@ sccPropagate(ThreadCtx& t, const SccArrays& a)
     const u32 v = t.globalThreadId();
     if (v >= a.g.num_vertices)
         co_return;
-    const u32 lab = co_await t.load(a.label, v);
+    const u32 lab = co_await t
+                        .at(ECL_SITE_AS("propagate label[] load",
+                                        Expectation::kStaleTolerant))
+                        .load(a.label, v);
     if (lab != kUnassigned)
         co_return;
     const bool atomic = a.variant == Variant::kRaceFree;
@@ -110,52 +132,82 @@ sccPropagate(ThreadCtx& t, const SccArrays& a)
     const u32 begin = co_await t.load(a.g.row_offsets, v);
     const u32 end = co_await t.load(a.g.row_offsets, v + 1);
 
-    u32 my_in = atomic ? co_await ecl::readFirst(t, a.pair, v)
-                       : co_await ecl::plainReadFirst(t, a.pair, v);
-    u32 my_out = atomic ? co_await ecl::readSecond(t, a.pair, v)
-                        : co_await ecl::plainReadSecond(t, a.pair, v);
+    u32 my_in =
+        atomic ? co_await ecl::readFirst(t, a.pair, v)
+               : co_await ecl::plainReadFirst(
+                     t.at(ECL_SITE_AS("propagate pair[] in-load",
+                                      Expectation::kStaleTolerant)),
+                     a.pair, v);
+    u32 my_out =
+        atomic ? co_await ecl::readSecond(t, a.pair, v)
+               : co_await ecl::plainReadSecond(
+                     t.at(ECL_SITE_AS("propagate pair[] out-load",
+                                      Expectation::kStaleTolerant)),
+                     a.pair, v);
     bool changed = false;
 
     for (u32 e = begin; e < end; ++e) {
         const u32 u = co_await t.load(a.g.col_indices, e);
         if (u == v)
             continue;
-        const u32 lab_u = co_await t.load(a.label, u);
+        const u32 lab_u = co_await t
+                              .at(ECL_SITE_AS("propagate label[] load",
+                                              Expectation::kStaleTolerant))
+                              .load(a.label, u);
         if (lab_u != kUnassigned)
             continue;  // retired SCCs do not carry paths
 
         // Push: the maximum ID reaching v also reaches u (arc v->u).
-        const u32 u_in = atomic
-                             ? co_await ecl::readFirst(t, a.pair, u)
-                             : co_await ecl::plainReadFirst(t, a.pair, u);
+        const u32 u_in =
+            atomic ? co_await ecl::readFirst(t, a.pair, u)
+                   : co_await ecl::plainReadFirst(
+                         t.at(ECL_SITE_AS("propagate pair[] in-load",
+                                          Expectation::kStaleTolerant)),
+                         a.pair, u);
         if (my_in > u_in) {
             if (atomic)
                 co_await ecl::writeFirst(t, a.pair, u, my_in);
             else
-                co_await ecl::plainWriteFirst(t, a.pair, u, my_in);
+                co_await ecl::plainWriteFirst(
+                    t.at(ECL_SITE_AS("propagate pair[] push-store",
+                                     Expectation::kMonotonic)),
+                    a.pair, u, my_in);
             changed = true;
         }
         // Pull: anything reachable from u is reachable from v.
-        const u32 u_out = atomic
-                              ? co_await ecl::readSecond(t, a.pair, u)
-                              : co_await ecl::plainReadSecond(t, a.pair, u);
+        const u32 u_out =
+            atomic ? co_await ecl::readSecond(t, a.pair, u)
+                   : co_await ecl::plainReadSecond(
+                         t.at(ECL_SITE_AS("propagate pair[] out-load",
+                                          Expectation::kStaleTolerant)),
+                         a.pair, u);
         if (u_out > my_out) {
             my_out = u_out;
             changed = true;
         }
     }
-    if (my_out > (atomic ? co_await ecl::readSecond(t, a.pair, v)
-                         : co_await ecl::plainReadSecond(t, a.pair, v))) {
+    if (my_out >
+        (atomic ? co_await ecl::readSecond(t, a.pair, v)
+                : co_await ecl::plainReadSecond(
+                      t.at(ECL_SITE_AS("propagate pair[] out-load",
+                                       Expectation::kStaleTolerant)),
+                      a.pair, v))) {
         if (atomic)
             co_await ecl::writeSecond(t, a.pair, v, my_out);
         else
-            co_await ecl::plainWriteSecond(t, a.pair, v, my_out);
+            co_await ecl::plainWriteSecond(
+                t.at(ECL_SITE_AS("propagate pair[] pull-store",
+                                 Expectation::kMonotonic)),
+                a.pair, v, my_out);
     }
     if (changed) {
         if (atomic)
             co_await ecl::atomicWrite(t, a.repeat, 0, u32{1});
         else
-            co_await t.store(a.repeat, 0, u32{1});
+            co_await t
+                .at(ECL_SITE_AS("propagate repeat-flag store",
+                                Expectation::kIdempotent))
+                .store(a.repeat, 0, u32{1});
     }
 }
 
@@ -170,22 +222,38 @@ sccClassify(ThreadCtx& t, const SccArrays& a)
     const u32 v = t.globalThreadId();
     if (v >= a.g.num_vertices)
         co_return;
-    const u32 lab = co_await t.load(a.label, v);
+    const u32 lab = co_await t
+                        .at(ECL_SITE_AS("classify label[] own-load",
+                                        Expectation::kStaleTolerant))
+                        .load(a.label, v);
     if (lab != kUnassigned)
         co_return;
     const bool atomic = a.variant == Variant::kRaceFree;
-    const u32 my_in = atomic ? co_await ecl::readFirst(t, a.pair, v)
-                             : co_await ecl::plainReadFirst(t, a.pair, v);
-    const u32 my_out = atomic
-                           ? co_await ecl::readSecond(t, a.pair, v)
-                           : co_await ecl::plainReadSecond(t, a.pair, v);
+    const u32 my_in =
+        atomic ? co_await ecl::readFirst(t, a.pair, v)
+               : co_await ecl::plainReadFirst(
+                     t.at(ECL_SITE_AS("classify pair[] in-load",
+                                      Expectation::kStaleTolerant)),
+                     a.pair, v);
+    const u32 my_out =
+        atomic ? co_await ecl::readSecond(t, a.pair, v)
+               : co_await ecl::plainReadSecond(
+                     t.at(ECL_SITE_AS("classify pair[] out-load",
+                                      Expectation::kStaleTolerant)),
+                     a.pair, v);
     if (my_in == my_out) {
-        co_await t.store(a.label, v, my_in);
+        co_await t
+            .at(ECL_SITE_AS("classify label[] assign-store",
+                            Expectation::kMonotonic))
+            .store(a.label, v, my_in);
     } else {
         if (atomic)
             co_await ecl::atomicWrite(t, a.repeat, 0, u32{1});
         else
-            co_await t.store(a.repeat, 0, u32{1});
+            co_await t
+                .at(ECL_SITE_AS("classify repeat-flag store",
+                                Expectation::kIdempotent))
+                .store(a.repeat, 0, u32{1});
     }
 }
 

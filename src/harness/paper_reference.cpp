@@ -47,4 +47,51 @@ paperSummary(const std::string& gpu, Algo algo)
     fatal("no paper summary for {} on {}", algoName(algo), gpu);
 }
 
+const std::vector<PaperRaceSite>&
+paperRaceSites()
+{
+    // Section IV: the arrays Compute Sanitizer / iGuard flag in each
+    // baseline, with the paper's argument for why the race is benign on
+    // the evaluated (64-bit-native) GPUs.
+    static const std::vector<PaperRaceSite> sites = {
+        {Algo::kCc, "cc.parent", "nstat[] / parent[]",
+         "monotonic pointer jumping; stale parents re-converge"},
+        {Algo::kGc, "gc.posscol", "posscol[] lower bounds",
+         "monotonically tightened; stale reads delay convergence"},
+        {Algo::kGc, "gc.color", "color[]",
+         "write-once publication; stale readers retry next sweep"},
+        {Algo::kGc, "gc.again", "again flag",
+         "idempotent same-value write"},
+        {Algo::kMis, "mis.node_stat", "nstat[]",
+         "priority order makes conflicting decisions impossible; "
+         "stale reads only delay the sweep"},
+        {Algo::kMis, "mis.again", "again flag",
+         "idempotent same-value write"},
+        {Algo::kMst, "mst.parent", "parent[]",
+         "monotonic pointer jumping; stale parents re-converge"},
+        {Algo::kMst, "mst.best", "minimum-edge words",
+         "word-tearing hazard on 32-bit targets (Fig. 1); benign on "
+         "the evaluated GPUs"},
+        {Algo::kMst, "mst.again", "again flag",
+         "idempotent same-value write"},
+        {Algo::kScc, "scc.pair", "in/out reachability words",
+         "monotonic max propagation; lost updates re-applied"},
+        {Algo::kScc, "scc.label", "label[]",
+         "write-once publication; stale readers retry"},
+        {Algo::kScc, "scc.repeat", "repeat flag",
+         "idempotent same-value write"},
+    };
+    return sites;
+}
+
+std::vector<PaperRaceSite>
+paperRaceSitesFor(Algo algo)
+{
+    std::vector<PaperRaceSite> out;
+    for (const PaperRaceSite& site : paperRaceSites())
+        if (site.algo == algo)
+            out.push_back(site);
+    return out;
+}
+
 }  // namespace eclsim::harness

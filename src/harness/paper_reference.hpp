@@ -33,4 +33,27 @@ const std::vector<PaperSummary>& paperSummaries();
 /** Look up the paper's summary for one (gpu, algo); fatal() if absent. */
 const PaperSummary& paperSummary(const std::string& gpu, Algo algo);
 
+/**
+ * One racy shared array of a baseline code as the paper reports it
+ * (Section IV race validation: Compute Sanitizer / iGuard on the
+ * baselines, plus the Fig. 1 word-tearing discussion). Used by the
+ * racecheck gate — every baseline must reproduce at least one of its
+ * paper-reported race arrays — and by the EXPERIMENTS.md comparison
+ * table. APSP is absent by design: the paper found its baseline race
+ * free (Section IV-A).
+ */
+struct PaperRaceSite
+{
+    Algo algo;
+    std::string allocation;  ///< our arena name for the array
+    std::string array;       ///< the paper's name for it
+    std::string category;    ///< the paper's benignity argument
+};
+
+/** Every baseline race array the paper reports. */
+const std::vector<PaperRaceSite>& paperRaceSites();
+
+/** The paper's race arrays for one algorithm's baseline. */
+std::vector<PaperRaceSite> paperRaceSitesFor(Algo algo);
+
 }  // namespace eclsim::harness

@@ -1,0 +1,183 @@
+#include "racecheck/classify.hpp"
+
+namespace eclsim::racecheck {
+
+const char*
+raceClassName(RaceClass cls)
+{
+    switch (cls) {
+      case RaceClass::kIdempotentWrite:
+        return "idempotent-write";
+      case RaceClass::kMonotonicUpdate:
+        return "monotonic-update";
+      case RaceClass::kStaleReadTolerant:
+        return "stale-read-tolerant";
+      case RaceClass::kWordTearing:
+        return "word-tearing";
+      case RaceClass::kUnknownHarmful:
+        return "UNKNOWN/HARMFUL";
+    }
+    return "?";
+}
+
+bool
+classIsBenign(RaceClass cls)
+{
+    return cls != RaceClass::kUnknownHarmful;
+}
+
+namespace {
+
+/** Severity order used to combine the two sides of a pair. */
+int
+severity(RaceClass cls)
+{
+    switch (cls) {
+      case RaceClass::kIdempotentWrite:
+        return 0;
+      case RaceClass::kMonotonicUpdate:
+        return 1;
+      case RaceClass::kStaleReadTolerant:
+        return 2;
+      case RaceClass::kWordTearing:
+        return 3;
+      case RaceClass::kUnknownHarmful:
+        return 4;
+    }
+    return 4;
+}
+
+struct SideClass
+{
+    bool neutral = false;  ///< no claim to make (e.g. undeclared read)
+    RaceClass cls = RaceClass::kUnknownHarmful;
+    std::string reason;
+};
+
+SideClass
+classifySide(SiteId site, const AccessSig& sig, const Detector& detector)
+{
+    SideClass out;
+
+    // The word-tearing hazard is a property of the access shape alone:
+    // a non-atomic 64-bit transfer can be observed half-done on a
+    // 32-bit-native target (paper Fig. 1), whatever the values are.
+    if (!sigIsAtomic(sig) && sig.size == 8) {
+        out.cls = RaceClass::kWordTearing;
+        out.reason = "non-atomic 64-bit access may tear";
+        return out;
+    }
+
+    const Expectation expect = SiteRegistry::instance().expectation(site);
+    const bool is_write = sig.kind != simt::MemOpKind::kLoad;
+
+    if (!is_write) {
+        // A read makes no claim about the written values; only an
+        // explicit staleness declaration gives it a category of its own.
+        if (expect == Expectation::kStaleTolerant) {
+            out.cls = RaceClass::kStaleReadTolerant;
+            out.reason = "read declared stale-tolerant";
+        } else {
+            out.neutral = true;
+        }
+        return out;
+    }
+
+    const WriteTrace* trace = detector.writeTrace(site);
+    switch (expect) {
+      case Expectation::kIdempotent:
+        if (trace && trace->singleValued()) {
+            out.cls = RaceClass::kIdempotentWrite;
+            out.reason = "all writes stored one value";
+        } else {
+            out.cls = RaceClass::kUnknownHarmful;
+            out.reason = "declared idempotent but wrote distinct values";
+        }
+        return out;
+      case Expectation::kMonotonic:
+        if (trace && trace->dominantlyMonotonic()) {
+            out.cls = RaceClass::kMonotonicUpdate;
+            out.reason = trace->strictlyMonotonic()
+                             ? "one-directional write trace"
+                             : "monotonic with lost-update tail";
+        } else {
+            out.cls = RaceClass::kUnknownHarmful;
+            out.reason = "declared monotonic but trace moves both ways";
+        }
+        return out;
+      case Expectation::kStaleTolerant:
+        out.cls = RaceClass::kStaleReadTolerant;
+        out.reason = "write declared stale-tolerant";
+        return out;
+      case Expectation::kTearing:
+        // Declared a tearing hazard but the access shape cannot tear —
+        // a stale annotation; refuse to bless it.
+        out.cls = RaceClass::kUnknownHarmful;
+        out.reason = "declared tearing but access cannot tear";
+        return out;
+      case Expectation::kNone:
+        break;
+    }
+
+    // Undeclared write: infer from evidence alone.
+    if (sig.kind == simt::MemOpKind::kRmw &&
+        (sig.rmw == simt::RmwOp::kMin || sig.rmw == simt::RmwOp::kMax ||
+         sig.rmw == simt::RmwOp::kAnd || sig.rmw == simt::RmwOp::kOr)) {
+        out.cls = RaceClass::kMonotonicUpdate;
+        out.reason = "inherently monotonic RMW";
+        return out;
+    }
+    if (trace && trace->singleValued()) {
+        out.cls = RaceClass::kIdempotentWrite;
+        out.reason = "single-valued write trace";
+        return out;
+    }
+    if (trace && trace->strictlyMonotonic()) {
+        out.cls = RaceClass::kMonotonicUpdate;
+        out.reason = "one-directional write trace";
+        return out;
+    }
+    out.cls = RaceClass::kUnknownHarmful;
+    out.reason = "undeclared racing write with mixed-direction trace";
+    return out;
+}
+
+}  // namespace
+
+ClassifiedReport
+classifyReport(const RaceReport& report, const Detector& detector)
+{
+    ClassifiedReport out;
+    out.report = report;
+
+    const SideClass a = classifySide(report.site_a, report.sig_a, detector);
+    const SideClass b = classifySide(report.site_b, report.sig_b, detector);
+
+    if (a.neutral && b.neutral) {
+        out.cls = RaceClass::kUnknownHarmful;
+        out.reason = "neither racing site is attributed or justified";
+        return out;
+    }
+    const SideClass* worse = nullptr;
+    if (a.neutral)
+        worse = &b;
+    else if (b.neutral)
+        worse = &a;
+    else
+        worse = severity(b.cls) > severity(a.cls) ? &b : &a;
+    out.cls = worse->cls;
+    out.reason = worse->reason;
+    return out;
+}
+
+std::vector<ClassifiedReport>
+classifyAll(const Detector& detector)
+{
+    std::vector<ClassifiedReport> out;
+    out.reserve(detector.reports().size());
+    for (const RaceReport& report : detector.reports())
+        out.push_back(classifyReport(report, detector));
+    return out;
+}
+
+}  // namespace eclsim::racecheck

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Benign-race taxonomy classifier.
+ *
+ * The paper does not merely count the baselines' races — it argues each
+ * one is benign for a specific reason (Section IV): concurrent writers
+ * store the same value, updates move monotonically toward the fixpoint,
+ * stale reads only delay convergence, or — the one genuinely unsafe
+ * category — a 64-bit access can tear on 32-bit-native hardware
+ * (Fig. 1). classifyReport() reproduces that triage mechanically:
+ *
+ *  - each side of a racing site pair is judged from its static access
+ *    signature (AccessMode/MemOpKind/RmwOp/width), its dynamically
+ *    recorded write value trace, and the Expectation the site declares;
+ *  - declarations are validated, not trusted: a site declared
+ *    idempotent that wrote two distinct values, or declared monotonic
+ *    whose trace moves both directions beyond the lost-update
+ *    tolerance, is demoted to kUnknownHarmful;
+ *  - undeclared write sites are inferred from evidence alone
+ *    (single-valued trace -> idempotent; min/max/and/or RMW or a
+ *    strictly one-directional trace -> monotonic; anything else is
+ *    unknown/harmful — unexplained races fail the gate);
+ *  - the pair class is the more severe of the sides, with R/W pairs
+ *    whose write side is benign landing in kStaleReadTolerant (the
+ *    reader's tolerance of staleness is exactly the claim being made).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "racecheck/detector.hpp"
+
+namespace eclsim::racecheck {
+
+/** The paper's benign-race categories, plus the failing bucket. */
+enum class RaceClass : u8 {
+    kIdempotentWrite,    ///< all racing writers store one value
+    kMonotonicUpdate,    ///< value moves one way; losers re-converge
+    kStaleReadTolerant,  ///< stale reads only delay convergence
+    kWordTearing,        ///< non-atomic 64-bit access may tear (Fig. 1)
+    kUnknownHarmful,     ///< unexplained or invalidated — fails the gate
+};
+
+/** Printable class name. */
+const char* raceClassName(RaceClass cls);
+
+/** True for every class except kUnknownHarmful. A word-tearing hazard
+ *  is "benign" only in the paper's conditional sense: correct on the
+ *  evaluated 64-bit-native GPUs, broken on a 32-bit target — it is
+ *  reported, expected, and does not fail the baseline gate. */
+bool classIsBenign(RaceClass cls);
+
+/** One classified race report. */
+struct ClassifiedReport
+{
+    RaceReport report;
+    RaceClass cls = RaceClass::kUnknownHarmful;
+    std::string reason;  ///< one-phrase justification / demotion cause
+};
+
+/** Classify one report against the detector's value traces. */
+ClassifiedReport classifyReport(const RaceReport& report,
+                                const Detector& detector);
+
+/** Classify every report of a detector, in reports() order. */
+std::vector<ClassifiedReport> classifyAll(const Detector& detector);
+
+}  // namespace eclsim::racecheck

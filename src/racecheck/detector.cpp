@@ -1,0 +1,430 @@
+#include "racecheck/detector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eclsim::racecheck {
+
+const char*
+raceKindName(RaceKind kind)
+{
+    switch (kind) {
+      case RaceKind::kReadWrite:
+        return "read-write";
+      case RaceKind::kWriteWrite:
+        return "write-write";
+    }
+    return "unknown";
+}
+
+bool
+sigIsAtomic(const AccessSig& sig)
+{
+    return sig.kind == simt::MemOpKind::kRmw ||
+           sig.mode == simt::AccessMode::kAtomic;
+}
+
+std::string
+accessSigName(const AccessSig& sig)
+{
+    std::string out;
+    switch (sig.mode) {
+      case simt::AccessMode::kPlain:
+        out = "plain";
+        break;
+      case simt::AccessMode::kVolatile:
+        out = "volatile";
+        break;
+      case simt::AccessMode::kAtomic:
+        out = "atomic";
+        break;
+    }
+    switch (sig.kind) {
+      case simt::MemOpKind::kLoad:
+        out += "-load";
+        break;
+      case simt::MemOpKind::kStore:
+        out += "-store";
+        break;
+      case simt::MemOpKind::kRmw:
+        out = "atomic-rmw(";
+        switch (sig.rmw) {
+          case simt::RmwOp::kAdd:
+            out += "add";
+            break;
+          case simt::RmwOp::kMin:
+            out += "min";
+            break;
+          case simt::RmwOp::kMax:
+            out += "max";
+            break;
+          case simt::RmwOp::kAnd:
+            out += "and";
+            break;
+          case simt::RmwOp::kOr:
+            out += "or";
+            break;
+          case simt::RmwOp::kExch:
+            out += "exch";
+            break;
+          case simt::RmwOp::kCas:
+            out += "cas";
+            break;
+        }
+        out += ")";
+        break;
+    }
+    if (sig.size == 8)
+        out += "64";
+    else if (sig.size == 2)
+        out += "16";
+    else if (sig.size == 1)
+        out += "8";
+    if (sigIsAtomic(sig) && sig.scope == simt::Scope::kBlock)
+        out += "@block";
+    if (sigIsAtomic(sig) && sig.scope == simt::Scope::kSystem)
+        out += "@system";
+    if (sig.torn)
+        out += "/torn";
+    return out;
+}
+
+AccessSig
+makeSig(const simt::MemRequest& req)
+{
+    AccessSig sig;
+    sig.kind = req.kind;
+    sig.mode = req.mode;
+    sig.rmw = req.rmw;
+    sig.scope = req.scope;
+    sig.size = req.size;
+    sig.torn = req.pieces() > 1;
+    return sig;
+}
+
+std::string
+RaceReport::describe() const
+{
+    const SiteRegistry& reg = SiteRegistry::instance();
+    std::ostringstream out;
+    out << raceKindName(kind) << " race on '" << allocation
+        << "': " << reg.describe(site_a) << " " << accessSigName(sig_a)
+        << " vs " << reg.describe(site_b) << " " << accessSigName(sig_b)
+        << ", " << (kind == RaceKind::kWriteWrite ? "W/W" : "R/W") << ", "
+        << count << " pair(s), first at address " << first_address
+        << " threads " << first_thread_a << "/" << first_thread_b;
+    return out.str();
+}
+
+Detector::Detector(AllocResolver resolver, prof::CounterRegistry* counters)
+    : resolver_(std::move(resolver)), prof_(counters)
+{
+    if (prof_) {
+        c_checks_ = prof_->id("sim/race/checks");
+        c_conflicts_ = prof_->id("sim/race/conflicts");
+        c_barriers_ = prof_->id("sim/race/barriers");
+        c_releases_ = prof_->id("sim/race/releases");
+        c_acquires_ = prof_->id("sim/race/acquires");
+        c_evictions_ = prof_->id("sim/race/readset_evictions");
+    }
+}
+
+Detector::ThreadState&
+Detector::threadState(u32 thread, u32 launch)
+{
+    ThreadState& state = threads_[thread];
+    if (state.launch != launch) {
+        state.launch = launch;
+        state.clock = 1;
+        state.vc.clear();
+    }
+    return state;
+}
+
+void
+Detector::ensureCapacity(u64 end)
+{
+    if (shadow_.size() < end)
+        shadow_.resize(end);
+}
+
+bool
+Detector::orderedBefore(const Access& prev, const ThreadInfo& who,
+                        const ThreadState& state) const
+{
+    if (prev.launch != who.launch)
+        return true;  // kernel boundaries order everything
+    if (prev.thread == who.thread)
+        return true;  // program order
+    if (prev.block == who.block && prev.epoch != who.epoch)
+        return true;  // separated by a __syncthreads barrier
+    // Synchronization chains (barriers joined via onBarrier, atomic
+    // release/acquire): ordered iff this thread's clock has absorbed the
+    // previous access's epoch.
+    return state.vc.covers(prev.thread, prev.clock);
+}
+
+bool
+Detector::atomicPairExcused(const Access& prev, const ThreadInfo& who,
+                            const AccessSig& sig) const
+{
+    if (!sigIsAtomic(prev.sig) || !sigIsAtomic(sig))
+        return false;
+    // Atomicity makes the pair conflict-free wherever both operations
+    // actually reach the same arbitration point: always within a block,
+    // and at the L2 when both are at least device scope. A block-scope
+    // atomic seen from a different block is just a racy access — the
+    // scope-aware rule the old detector lacked.
+    if (prev.block == who.block)
+        return true;
+    return prev.sig.scope != simt::Scope::kBlock &&
+           sig.scope != simt::Scope::kBlock;
+}
+
+void
+Detector::checkPair(u64 addr, const Access& prev, const ThreadInfo& who,
+                    const ThreadState& state, SiteId site,
+                    const AccessSig& sig, RaceKind kind)
+{
+    if (!prev.valid() || prev.launch != who.launch)
+        return;
+    if (prev.thread == who.thread)
+        return;
+    if (atomicPairExcused(prev, who, sig))
+        return;
+    if (orderedBefore(prev, who, state))
+        return;
+    report(addr, prev, who, site, sig, kind);
+}
+
+void
+Detector::report(u64 addr, const Access& prev, const ThreadInfo& who,
+                 SiteId site, const AccessSig& sig, RaceKind kind)
+{
+    if (prof_)
+        prof_->add(c_conflicts_);
+
+    // Normalize the pair: R/W reports put the write side in slot a;
+    // W/W reports order by site id so the aggregation key is stable
+    // under either observation order.
+    SiteId site_a = prev.site, site_b = site;
+    AccessSig sig_a = prev.sig, sig_b = sig;
+    u32 thread_a = prev.thread, thread_b = who.thread;
+    bool swap = false;
+    if (kind == RaceKind::kReadWrite)
+        swap = prev.sig.kind == simt::MemOpKind::kLoad;
+    else
+        swap = site_b < site_a;
+    if (swap) {
+        std::swap(site_a, site_b);
+        std::swap(sig_a, sig_b);
+        std::swap(thread_a, thread_b);
+    }
+
+    const ResolvedAlloc alloc = resolver_(addr);
+    const auto key = std::make_tuple(alloc.index, site_a, site_b,
+                                     static_cast<u8>(kind));
+    const auto it = report_index_.find(key);
+    if (it != report_index_.end()) {
+        ++reports_[it->second].count;
+        return;
+    }
+    RaceReport r;
+    r.alloc_index = alloc.index;
+    r.allocation = alloc.name;
+    r.kind = kind;
+    r.site_a = site_a;
+    r.site_b = site_b;
+    r.sig_a = sig_a;
+    r.sig_b = sig_b;
+    r.count = 1;
+    r.first_address = addr;
+    r.first_thread_a = thread_a;
+    r.first_thread_b = thread_b;
+    report_index_.emplace(key, reports_.size());
+    reports_.push_back(std::move(r));
+}
+
+void
+Detector::onAccess(const ThreadInfo& who, const simt::MemRequest& req,
+                   u64 addr, u8 size, u64 value_bits, u64 old_bits)
+{
+    if (prof_)
+        prof_->add(c_checks_);
+    ensureCapacity(addr + size);
+
+    const bool is_atomic = req.kind == simt::MemOpKind::kRmw ||
+                           req.mode == simt::AccessMode::kAtomic;
+    const bool is_write = req.kind != simt::MemOpKind::kLoad;
+    ThreadState& state = threadState(who.thread, who.launch);
+
+    // Acquire edge: an atomic load / RMW with acquire (or seq_cst)
+    // ordering joins the location's release clock into this thread.
+    if (is_atomic && req.kind != simt::MemOpKind::kStore &&
+        (req.order == simt::MemoryOrder::kAcquire ||
+         req.order == simt::MemoryOrder::kSeqCst)) {
+        const auto it = sync_.find(req.addr);
+        if (it != sync_.end() && it->second.launch == who.launch) {
+            state.vc.join(it->second.vc);
+            if (prof_)
+                prof_->add(c_acquires_);
+        }
+    }
+
+    const AccessSig sig = makeSig(req);
+    const RaceKind vs_write_kind =
+        is_write ? RaceKind::kWriteWrite : RaceKind::kReadWrite;
+
+    Access rec;
+    rec.launch = who.launch;
+    rec.thread = who.thread;
+    rec.block = who.block;
+    rec.epoch = who.epoch;
+    rec.clock = state.clock;
+    rec.site = req.site;
+    rec.sig = sig;
+
+    for (u8 i = 0; i < size; ++i) {
+        const u64 a = addr + i;
+        ByteShadow& sh = shadow_[a];
+        checkPair(a, sh.write, who, state, req.site, sig, vs_write_kind);
+        if (is_write) {
+            for (const Access& r : sh.reads)
+                checkPair(a, r, who, state, req.site, sig,
+                          RaceKind::kReadWrite);
+            sh.write = rec;
+        } else {
+            // Exact per-thread read entry: a newer read by the same
+            // thread (or a stale one from an earlier launch) is
+            // subsumed. The set is capped; overflow evicts the entry
+            // with the oldest clock and is counted, never silent.
+            bool placed = false;
+            for (Access& r : sh.reads) {
+                if (r.thread == who.thread || r.launch != who.launch) {
+                    r = rec;
+                    placed = true;
+                    break;
+                }
+            }
+            if (!placed) {
+                if (sh.reads.size() >= kMaxReadSet) {
+                    size_t victim = 0;
+                    for (size_t j = 1; j < sh.reads.size(); ++j)
+                        if (sh.reads[j].clock < sh.reads[victim].clock)
+                            victim = j;
+                    sh.reads[victim] = rec;
+                    ++readset_evictions_;
+                    if (prof_)
+                        prof_->add(c_evictions_);
+                } else {
+                    sh.reads.push_back(rec);
+                }
+            }
+        }
+    }
+
+    if (is_write)
+        write_traces_[req.site].record(value_bits, old_bits);
+
+    // Release edge: an atomic store / RMW with release (or seq_cst)
+    // ordering publishes this thread's clock at the location and opens
+    // a new epoch.
+    if (is_atomic && req.kind != simt::MemOpKind::kLoad &&
+        (req.order == simt::MemoryOrder::kRelease ||
+         req.order == simt::MemoryOrder::kSeqCst)) {
+        SyncVar& sv = sync_[req.addr];
+        if (sv.launch != who.launch) {
+            sv.launch = who.launch;
+            sv.vc.clear();
+        }
+        state.vc.raise(who.thread, state.clock);
+        sv.vc.join(state.vc);
+        ++state.clock;
+        if (prof_)
+            prof_->add(c_releases_);
+    }
+}
+
+void
+Detector::onBarrier(u32 launch, u32 block, const u32* threads,
+                    size_t count)
+{
+    (void)block;
+    if (count == 0)
+        return;
+    if (prof_)
+        prof_->add(c_barriers_);
+    // Join every participant's clock: all pre-barrier accesses of all
+    // participants happen before all post-barrier accesses, and the
+    // merged clock carries earlier synchronization transitively.
+    VectorClock merged;
+    for (size_t i = 0; i < count; ++i) {
+        ThreadState& state = threadState(threads[i], launch);
+        state.vc.raise(threads[i], state.clock);
+        merged.join(state.vc);
+    }
+    for (size_t i = 0; i < count; ++i) {
+        ThreadState& state = threadState(threads[i], launch);
+        state.vc.join(merged);
+        ++state.clock;
+    }
+}
+
+u64
+Detector::totalRaces() const
+{
+    u64 total = 0;
+    for (const RaceReport& r : reports_)
+        total += r.count;
+    return total;
+}
+
+bool
+Detector::hasRaceOn(const std::string& allocation) const
+{
+    for (const RaceReport& r : reports_)
+        if (r.allocation == allocation)
+            return true;
+    return false;
+}
+
+std::string
+Detector::summary() const
+{
+    if (reports_.empty())
+        return "no data races detected\n";
+    // Sort the rendered lines so the summary does not depend on site
+    // interning order or on which interleaving surfaced a pair first.
+    std::vector<std::string> lines;
+    lines.reserve(reports_.size());
+    for (const RaceReport& r : reports_)
+        lines.push_back(r.describe());
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const std::string& line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+void
+Detector::reset()
+{
+    shadow_.assign(shadow_.size(), ByteShadow{});
+    threads_.clear();
+    sync_.clear();
+    write_traces_.clear();
+    reports_.clear();
+    report_index_.clear();
+    readset_evictions_ = 0;
+}
+
+const WriteTrace*
+Detector::writeTrace(SiteId site) const
+{
+    const auto it = write_traces_.find(site);
+    return it == write_traces_.end() ? nullptr : &it->second;
+}
+
+}  // namespace eclsim::racecheck

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * FastTrack-style epoch/vector-clock happens-before race detector.
+ *
+ * This replaces the simulator's original last-read/last-write shadow
+ * checker with a real happens-before engine in the style of FastTrack
+ * ("FastTrack: Efficient and Precise Dynamic Race Detection") adapted
+ * to the SIMT execution model, the direction of the GPU detectors in
+ * PAPERS.md (iGuard, "Towards an Accurate GPU Data Race Detector"):
+ *
+ *  - every simulated thread carries a logical clock and a sparse vector
+ *    clock; an access is recorded as the epoch (thread, clock) plus the
+ *    block/__syncthreads-epoch coordinates of the SIMT model;
+ *  - happens-before edges come from program order, kernel launch
+ *    boundaries (everything in launch L precedes launch L+1), block
+ *    barriers (onBarrier joins the participants' clocks, giving exact
+ *    transitivity through __syncthreads), and atomic release/acquire
+ *    chains (per-address synchronization clocks; relaxed atomics
+ *    provide atomicity but no ordering edge, exactly as in C++/CUDA);
+ *  - atomic/atomic pairs are excused only when their scopes actually
+ *    reach each other: same block, or both at least device scope.
+ *    Block-scope atomics from different blocks do NOT synchronize and
+ *    are reported — the scope-aware rule the old detector lacked;
+ *  - conflicts are attributed to source sites (racecheck/sites.hpp) and
+ *    aggregated per (allocation, site pair, kind), so a report reads
+ *    like sanitizer output: "cc.cpp:compute parent[] jump-load
+ *    plain-load vs cc.cpp:compute parent[] shorten-store plain-store,
+ *    R/W, 1.2M pair(s)";
+ *  - every write additionally feeds a per-site value trace (same-value,
+ *    increasing, decreasing, single-valued counts) consumed by the
+ *    benign-race classifier (racecheck/classify.hpp).
+ *
+ * The shadow state is byte-granular, so overlapping partial-width
+ * accesses (1/2/4/8-byte mixes) and the independently executed pieces
+ * of a torn 64-bit access are checked correctly. Per-byte read sets
+ * keep one exact entry per reading thread, capped at kMaxReadSet
+ * distinct threads with oldest-clock eviction (counted, never silent).
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "prof/counters.hpp"
+#include "racecheck/sites.hpp"
+#include "racecheck/vector_clock.hpp"
+#include "simt/access.hpp"
+
+namespace eclsim::racecheck {
+
+/** Identity of the thread performing an access. */
+struct ThreadInfo
+{
+    u32 launch = 0;  ///< kernel launch sequence number
+    u32 thread = 0;  ///< global thread id within the launch
+    u32 block = 0;   ///< block id within the launch
+    /** __syncthreads epoch within the block. 32 bits: the old u16 field
+     *  wrapped after 65536 barriers and aliased epochs on long kernels,
+     *  corrupting the barrier ordering rule. */
+    u32 epoch = 0;
+};
+
+/** Kind of conflict. */
+enum class RaceKind : u8 {
+    kReadWrite,
+    kWriteWrite,
+};
+
+/** Human-readable name of a race kind. */
+const char* raceKindName(RaceKind kind);
+
+/** Static signature of how a site touches memory. */
+struct AccessSig
+{
+    simt::MemOpKind kind = simt::MemOpKind::kLoad;
+    simt::AccessMode mode = simt::AccessMode::kPlain;
+    simt::RmwOp rmw = simt::RmwOp::kAdd;  ///< meaningful for kRmw only
+    simt::Scope scope = simt::Scope::kDevice;  ///< atomics only
+    u8 size = 4;       ///< full request width in bytes
+    bool torn = false; ///< executed as two independent 32-bit pieces
+};
+
+/** True if the signature describes an atomic access. */
+bool sigIsAtomic(const AccessSig& sig);
+
+/** Compact rendering: "plain-load", "volatile-store64/torn",
+ *  "atomic-rmw(min)", "atomic-store@block", ... */
+std::string accessSigName(const AccessSig& sig);
+
+/** Signature of a memory request as the detector records it. */
+AccessSig makeSig(const simt::MemRequest& req);
+
+/** Dynamic value trace of one write site (classifier evidence). */
+struct WriteTrace
+{
+    u64 samples = 0;     ///< writes observed
+    u64 same_value = 0;  ///< wrote the value already in memory
+    u64 increases = 0;   ///< wrote a larger value (unsigned)
+    u64 decreases = 0;   ///< wrote a smaller value (unsigned)
+    u64 first_value = 0;
+    bool has_first = false;
+    bool multi_valued = false;  ///< wrote at least two distinct values
+
+    void
+    record(u64 value, u64 old_value)
+    {
+        ++samples;
+        if (value == old_value)
+            ++same_value;
+        else if (value > old_value)
+            ++increases;
+        else
+            ++decreases;
+        if (!has_first) {
+            first_value = value;
+            has_first = true;
+        } else if (value != first_value) {
+            multi_valued = true;
+        }
+    }
+
+    /** Every observed write stored one and the same value. */
+    bool singleValued() const { return has_first && !multi_valued; }
+    /** Values only ever moved in one direction (ties allowed). */
+    bool
+    strictlyMonotonic() const
+    {
+        return samples > 0 && (increases == 0 || decreases == 0);
+    }
+    /**
+     * Values moved in one dominant direction; a small tail of
+     * counter-direction writes (at most 1/8 of all samples) is the
+     * lost-update signature of benign racy convergence loops — a stale
+     * writer re-publishing an older representative that a later sweep
+     * re-fixes.
+     */
+    bool
+    dominantlyMonotonic() const
+    {
+        const u64 counter = increases < decreases ? increases : decreases;
+        return samples > 0 && counter * 8 <= samples;
+    }
+};
+
+/** Aggregated race report for one (allocation, site pair, kind). */
+struct RaceReport
+{
+    u32 alloc_index = 0;     ///< DeviceMemory allocation index
+    std::string allocation;  ///< allocation name
+    RaceKind kind = RaceKind::kReadWrite;
+    /** The two racing sites. For R/W pairs, site_a is the write side;
+     *  for W/W pairs the lower site id. kUnknownSite if the access was
+     *  not instrumented. */
+    SiteId site_a = kUnknownSite;
+    SiteId site_b = kUnknownSite;
+    AccessSig sig_a;
+    AccessSig sig_b;
+    u64 count = 0;           ///< number of conflicting access pairs seen
+    u64 first_address = 0;   ///< arena address of the first conflict
+    u32 first_thread_a = 0;  ///< earlier access's global thread id
+    u32 first_thread_b = 0;  ///< later access's global thread id
+
+    /** Sanitizer-style one-line rendering (without the trailing \n). */
+    std::string describe() const;
+};
+
+/** The happens-before race detector (see file comment). */
+class Detector
+{
+  public:
+    /** Allocation identity of an address, resolved lazily on the cold
+     *  report path. */
+    struct ResolvedAlloc
+    {
+        u32 index = 0;
+        std::string name;
+    };
+    using AllocResolver = std::function<ResolvedAlloc(u64 addr)>;
+
+    /**
+     * @param resolver maps an arena address to its allocation; called
+     *        only when a conflict is reported (cold path).
+     * @param counters optional profiling registry; when set, the
+     *        detector maintains sim/race/checks, sim/race/conflicts,
+     *        sim/race/barriers, sim/race/releases, sim/race/acquires,
+     *        and sim/race/readset_evictions.
+     */
+    explicit Detector(AllocResolver resolver,
+                      prof::CounterRegistry* counters = nullptr);
+
+    /**
+     * Record one executed piece of a memory request and check it
+     * against the shadow state.
+     *
+     * @param addr,size the byte range this piece actually touched (for
+     *        a torn 64-bit access, each 4-byte half separately)
+     * @param value_bits the stored / RMW-result value (loads: the bits
+     *        read); used for the write value traces
+     * @param old_bits the value the location held before the access
+     */
+    void onAccess(const ThreadInfo& who, const simt::MemRequest& req,
+                  u64 addr, u8 size, u64 value_bits, u64 old_bits);
+
+    /**
+     * A __syncthreads barrier released in the given block: join the
+     * participants' vector clocks (every pre-barrier access of every
+     * participant happens before every post-barrier access of every
+     * participant, transitively).
+     */
+    void onBarrier(u32 launch, u32 block, const u32* threads,
+                   size_t count);
+
+    /** All aggregated reports so far, in first-observation order. */
+    const std::vector<RaceReport>& reports() const { return reports_; }
+
+    /** Total conflicting pairs across all reports. */
+    u64 totalRaces() const;
+
+    /** True if any race was recorded on the named allocation. */
+    bool hasRaceOn(const std::string& allocation) const;
+
+    /** Render the reports as human-readable lines (name-sorted, so the
+     *  output is independent of interning / interleaving order). */
+    std::string summary() const;
+
+    /** Forget all shadow state, clocks, traces, and reports. */
+    void reset();
+
+    /** Value trace of a write site; null if the site never wrote. */
+    const WriteTrace* writeTrace(SiteId site) const;
+
+    /** Read-set evictions so far (capped-shadow precision loss). */
+    u64 readSetEvictions() const { return readset_evictions_; }
+
+  private:
+    static constexpr u32 kNoLaunch = ~u32{0};
+    /** Max distinct reading threads tracked per byte. */
+    static constexpr size_t kMaxReadSet = 16;
+
+    /** One recorded shadow access. */
+    struct Access
+    {
+        u32 launch = kNoLaunch;
+        u32 thread = 0;
+        u32 block = 0;
+        u32 epoch = 0;
+        u32 clock = 0;  ///< issuing thread's logical clock at the access
+        SiteId site = kUnknownSite;
+        AccessSig sig;
+
+        bool valid() const { return launch != kNoLaunch; }
+    };
+
+    struct ByteShadow
+    {
+        Access write;
+        std::vector<Access> reads;  ///< one entry per thread, capped
+    };
+
+    /** Per-thread happens-before state, lazily reset per launch. */
+    struct ThreadState
+    {
+        u32 launch = kNoLaunch;
+        u32 clock = 1;
+        VectorClock vc;
+    };
+
+    /** Per-address atomic synchronization clock. */
+    struct SyncVar
+    {
+        u32 launch = kNoLaunch;
+        VectorClock vc;
+    };
+
+    ThreadState& threadState(u32 thread, u32 launch);
+    void ensureCapacity(u64 end);
+
+    /** True if prev happens before the current access. */
+    bool orderedBefore(const Access& prev, const ThreadInfo& who,
+                       const ThreadState& state) const;
+    /** Scope-aware atomic/atomic excuse (see file comment). */
+    bool atomicPairExcused(const Access& prev, const ThreadInfo& who,
+                           const AccessSig& sig) const;
+    void checkPair(u64 addr, const Access& prev, const ThreadInfo& who,
+                   const ThreadState& state, SiteId site,
+                   const AccessSig& sig, RaceKind kind);
+    void report(u64 addr, const Access& prev, const ThreadInfo& who,
+                SiteId site, const AccessSig& sig, RaceKind kind);
+
+    AllocResolver resolver_;
+    std::vector<ByteShadow> shadow_;
+    std::unordered_map<u32, ThreadState> threads_;
+    std::unordered_map<u64, SyncVar> sync_;
+    std::unordered_map<SiteId, WriteTrace> write_traces_;
+
+    std::vector<RaceReport> reports_;
+    /** (alloc, site_a, site_b, kind) -> index into reports_. */
+    std::map<std::tuple<u32, SiteId, SiteId, u8>, size_t> report_index_;
+
+    u64 readset_evictions_ = 0;
+    prof::CounterRegistry* prof_ = nullptr;
+    prof::CounterId c_checks_ = 0, c_conflicts_ = 0, c_barriers_ = 0;
+    prof::CounterId c_releases_ = 0, c_acquires_ = 0, c_evictions_ = 0;
+};
+
+}  // namespace eclsim::racecheck

@@ -1,0 +1,352 @@
+#include "racecheck/runner.hpp"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "algos/apsp.hpp"
+#include "algos/cc.hpp"
+#include "algos/gc.hpp"
+#include "algos/mis.hpp"
+#include "algos/mst.hpp"
+#include "algos/scc.hpp"
+#include "chaos/oracle.hpp"
+#include "core/logging.hpp"
+#include "core/thread_pool.hpp"
+#include "graph/generators.hpp"
+#include "graph/input_catalog.hpp"
+#include "harness/paper_reference.hpp"
+#include "prof/trace.hpp"
+#include "simt/engine.hpp"
+
+namespace eclsim::racecheck {
+
+std::string
+cellName(const RacecheckCell& cell)
+{
+    if (cell.apsp)
+        return "apsp/" + cell.input;
+    return std::string(harness::algoName(cell.algo)) + "/" +
+           algos::variantName(cell.variant) + "/" + cell.input;
+}
+
+std::vector<RacecheckCell>
+racecheckCells(const RunnerConfig& config)
+{
+    std::vector<RacecheckCell> cells;
+    for (harness::Algo algo : config.algos) {
+        const auto& inputs = algo == harness::Algo::kScc
+                                 ? config.directed_inputs
+                                 : config.undirected_inputs;
+        for (algos::Variant variant : config.variants)
+            for (const std::string& input : inputs) {
+                RacecheckCell cell;
+                cell.algo = algo;
+                cell.variant = variant;
+                cell.input = input;
+                cells.push_back(cell);
+            }
+    }
+    if (config.include_apsp) {
+        // One cell on a directly generated graph: the catalog clamps
+        // every input to >= 1024 vertices, far beyond what the O(n^3)
+        // kernels can cover under the interleaved detector.
+        RacecheckCell cell;
+        cell.apsp = true;
+        cell.input =
+            "uniform-" + std::to_string(config.apsp_vertices);
+        cells.push_back(cell);
+    }
+    return cells;
+}
+
+CellResult
+runRacecheckCell(const RunnerConfig& config, const RacecheckCell& cell,
+                 u64 seed)
+{
+    CellResult out;
+    out.cell = cell;
+
+    graph::CsrGraph apsp_graph;
+    if (cell.apsp) {
+        // Directly generated (see racecheckCells); the weight seed is
+        // fixed so the cell identity does not depend on config.seed.
+        apsp_graph = graph::withSyntheticWeights(
+            graph::makeRandomUniform(config.apsp_vertices,
+                                     4ull * config.apsp_vertices, 0xa9),
+            50, 0xa9);
+    }
+    auto& cache = graph::InputCatalog::shared();
+    const bool weighted = cell.algo == harness::Algo::kMst;
+    const graph::CsrGraph& graph =
+        cell.apsp
+            ? apsp_graph
+            : (weighted
+                   ? cache.getWeighted(cell.input, config.graph_divisor)
+                   : cache.get(cell.input, config.graph_divisor));
+
+    // The detector needs genuine interleavings of conflicting threads,
+    // so every cell runs the interleaved engine — the same protocol as
+    // the race-validation tests.
+    prof::TraceSession trace;
+    simt::EngineOptions options;
+    options.mode = simt::ExecMode::kInterleaved;
+    options.detect_races = true;
+    options.shuffle_blocks = true;
+    options.seed = seed;
+    options.memory.cache_divisor = config.cache_divisor;
+    options.trace = &trace;
+
+    simt::DeviceMemory memory;
+    simt::Engine engine(simt::findGpu(config.gpu), memory, options);
+
+    chaos::Verdict verdict;
+    if (cell.apsp) {
+        const auto r = algos::runApsp(engine, graph);
+        verdict = chaos::checkApsp(graph, r);
+    } else {
+        switch (cell.algo) {
+          case harness::Algo::kCc: {
+            const auto r = algos::runCc(engine, graph, cell.variant);
+            verdict = chaos::checkCc(graph, r.labels);
+            break;
+          }
+          case harness::Algo::kGc: {
+            const auto r = algos::runGc(engine, graph, cell.variant);
+            verdict = chaos::checkGc(graph, r.colors);
+            break;
+          }
+          case harness::Algo::kMis: {
+            const auto r = algos::runMis(engine, graph, cell.variant);
+            verdict = chaos::checkMis(graph, r.in_set);
+            break;
+          }
+          case harness::Algo::kMst: {
+            const auto r = algos::runMst(engine, graph, cell.variant);
+            verdict = chaos::checkMst(graph, r.total_weight);
+            break;
+          }
+          case harness::Algo::kScc: {
+            const auto r = algos::runScc(engine, graph, cell.variant);
+            verdict = chaos::checkScc(graph, r.labels);
+            break;
+          }
+        }
+    }
+    out.output_valid = verdict.valid;
+    out.detail = std::move(verdict.detail);
+
+    const Detector& detector = *engine.raceDetector();
+    out.total_pairs = detector.totalRaces();
+    out.checks = trace.counters().valueByName("sim/race/checks");
+    out.races = classifyAll(detector);
+    // Sort by the rendered description: site ids depend on interning
+    // order, which with --jobs > 1 depends on the thread schedule, but
+    // the description strings do not.
+    std::sort(out.races.begin(), out.races.end(),
+              [](const ClassifiedReport& a, const ClassifiedReport& b) {
+                  return a.report.describe() < b.report.describe();
+              });
+    return out;
+}
+
+std::vector<CellResult>
+runRacecheck(const RunnerConfig& config,
+             const RacecheckProgressFn& progress)
+{
+    const auto cells = racecheckCells(config);
+    std::vector<CellResult> out(cells.size());
+    const u32 jobs = config.jobs == 0
+                         ? core::ThreadPool::defaultConcurrency()
+                         : config.jobs;
+
+    if (jobs <= 1 || cells.size() <= 1) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out[i] = runRacecheckCell(config, cells[i],
+                                      harness::cellSeed(config.seed, i));
+            if (progress)
+                progress(out[i]);
+        }
+        return out;
+    }
+
+    // PR-2 sharding contract: per-cell seeds from the stable cell index,
+    // results placed by index, so every --jobs value renders identically.
+    std::mutex sink_mutex;
+    core::ThreadPool pool(
+        static_cast<u32>(std::min<size_t>(jobs, cells.size())));
+    std::vector<std::future<void>> done;
+    done.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        done.push_back(pool.submit([&, i] {
+            CellResult result = runRacecheckCell(
+                config, cells[i], harness::cellSeed(config.seed, i));
+            if (progress) {
+                std::lock_guard<std::mutex> lock(sink_mutex);
+                progress(result);
+            }
+            out[i] = std::move(result);
+        }));
+    }
+    for (auto& future : done)
+        future.get();
+    return out;
+}
+
+GateResult
+evaluateGate(const RunnerConfig& config,
+             const std::vector<CellResult>& results)
+{
+    GateResult gate;
+    auto fail = [&gate](std::string why) {
+        gate.pass = false;
+        gate.failures.push_back(std::move(why));
+    };
+
+    // Per-cell rules: outputs must validate everywhere; converted codes
+    // (and APSP, race free by construction) must be clean.
+    for (const CellResult& r : results) {
+        const std::string name = cellName(r.cell);
+        if (!r.output_valid)
+            fail(name + ": invalid output (" + r.detail + ")");
+        const bool must_be_clean =
+            r.cell.apsp || r.cell.variant == algos::Variant::kRaceFree;
+        if (must_be_clean && !r.races.empty()) {
+            fail(name + ": " + std::to_string(r.races.size()) +
+                 " race site pair(s) on race-free code, e.g. " +
+                 r.races.front().report.describe());
+        }
+    }
+
+    // Per-algorithm baseline rules: the detector must keep reproducing
+    // the paper's findings, and every reproduced race must carry a
+    // validated benignity argument.
+    for (harness::Algo algo : config.algos) {
+        u64 pairs = 0;
+        bool ran = false;
+        std::set<std::string> allocations;
+        for (const CellResult& r : results) {
+            if (r.cell.apsp || r.cell.algo != algo ||
+                r.cell.variant != algos::Variant::kBaseline)
+                continue;
+            ran = true;
+            pairs += r.total_pairs;
+            for (const ClassifiedReport& race : r.races) {
+                allocations.insert(race.report.allocation);
+                if (!classIsBenign(race.cls)) {
+                    fail(cellName(r.cell) + ": unexplained race " +
+                         race.report.describe() + " (" + race.reason +
+                         ")");
+                }
+            }
+        }
+        if (!ran)
+            continue;
+        const std::string name = harness::algoName(algo);
+        if (pairs == 0) {
+            fail(name +
+                 " baseline: no races detected; the paper reports racy "
+                 "baselines (Section IV) and the detector must keep "
+                 "reproducing them");
+            continue;
+        }
+        bool reproduced = false;
+        for (const auto& site : harness::paperRaceSitesFor(algo))
+            if (allocations.count(site.allocation))
+                reproduced = true;
+        if (!reproduced) {
+            fail(name +
+                 " baseline: races found, but none on the arrays the "
+                 "paper names (paperRaceSitesFor)");
+        }
+    }
+    return gate;
+}
+
+TextTable
+makeSiteTable(const std::vector<CellResult>& results)
+{
+    TextTable table({"Cell", "Allocation", "Kind", "SiteA", "AccessA",
+                     "SiteB", "AccessB", "Pairs", "Class", "Reason"});
+    auto& sites = SiteRegistry::instance();
+    for (const CellResult& r : results) {
+        for (const ClassifiedReport& race : r.races) {
+            const RaceReport& rep = race.report;
+            table.addRow({cellName(r.cell), rep.allocation,
+                          raceKindName(rep.kind),
+                          sites.describe(rep.site_a),
+                          accessSigName(rep.sig_a),
+                          sites.describe(rep.site_b),
+                          accessSigName(rep.sig_b),
+                          std::to_string(rep.count),
+                          raceClassName(race.cls), race.reason});
+        }
+    }
+    return table;
+}
+
+TextTable
+makeAlgoSummary(const std::vector<CellResult>& results)
+{
+    struct Group
+    {
+        u64 cells = 0;
+        u64 site_pairs = 0;
+        u64 pairs = 0;
+        u64 checks = 0;
+        u64 invalid = 0;
+        std::set<std::string> classes;
+    };
+    // Keyed by (apsp, algo, variant); std::map keeps row order stable.
+    std::map<std::tuple<bool, u8, u8>, Group> groups;
+    for (const CellResult& r : results) {
+        Group& g = groups[{r.cell.apsp, static_cast<u8>(r.cell.algo),
+                           static_cast<u8>(r.cell.variant)}];
+        ++g.cells;
+        g.site_pairs += r.races.size();
+        g.pairs += r.total_pairs;
+        g.checks += r.checks;
+        g.invalid += r.output_valid ? 0 : 1;
+        for (const ClassifiedReport& race : r.races)
+            g.classes.insert(raceClassName(race.cls));
+    }
+
+    TextTable table({"Algo", "Variant", "Cells", "Valid", "RaceSites",
+                     "Pairs", "Checks", "Classes", "PaperArrays"});
+    for (const auto& [key, g] : groups) {
+        const auto& [apsp, algo_raw, variant_raw] = key;
+        const auto algo = static_cast<harness::Algo>(algo_raw);
+        const auto variant = static_cast<algos::Variant>(variant_raw);
+        std::string classes;
+        for (const std::string& cls : g.classes) {
+            if (!classes.empty())
+                classes += ", ";
+            classes += cls;
+        }
+        if (classes.empty())
+            classes = "-";
+        std::string expected = "-";
+        if (!apsp && variant == algos::Variant::kBaseline) {
+            expected.clear();
+            for (const auto& site : harness::paperRaceSitesFor(algo)) {
+                if (!expected.empty())
+                    expected += ", ";
+                expected += site.allocation;
+            }
+        }
+        table.addRow(
+            {apsp ? "apsp" : harness::algoName(algo),
+             apsp ? "racefree-by-construction"
+                  : algos::variantName(variant),
+             std::to_string(g.cells),
+             std::to_string(g.cells - g.invalid) + "/" +
+                 std::to_string(g.cells),
+             std::to_string(g.site_pairs), std::to_string(g.pairs),
+             std::to_string(g.checks), classes, expected});
+    }
+    return table;
+}
+
+}  // namespace eclsim::racecheck

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The race-freedom sweep and CI gate.
+ *
+ * runRacecheck() reproduces the paper's Section IV validation protocol
+ * as an executable check: every (algorithm x variant x input) cell runs
+ * under the interleaved engine with the happens-before detector
+ * attached, the resulting site pairs are classified against the
+ * benign-race taxonomy, and evaluateGate() turns the sweep into a
+ * pass/fail verdict:
+ *
+ *  - a racefree variant (or APSP, race free by construction) reporting
+ *    any race fails the gate — the converted codes must be clean;
+ *  - a baseline algorithm reporting *no* races fails the gate — the
+ *    detector must keep reproducing the paper's findings, including at
+ *    least one of the arrays the paper names (paperRaceSitesFor);
+ *  - a baseline race classified unknown/harmful fails the gate — every
+ *    race we ship must have a validated benignity argument.
+ *
+ * Cells fan out over core::ThreadPool with the PR-2 determinism
+ * contract: cell c seeds from cellSeed(base, c) and results render
+ * identically for every --jobs value.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algos/common.hpp"
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+#include "racecheck/classify.hpp"
+
+namespace eclsim::racecheck {
+
+/** Sweep parameters. */
+struct RunnerConfig
+{
+    /** GPU model to simulate (simt::findGpu name). */
+    std::string gpu = "Titan V";
+    /** Algorithms with baseline/racefree variant pairs. */
+    std::vector<harness::Algo> algos = {
+        harness::Algo::kCc, harness::Algo::kGc, harness::Algo::kMis,
+        harness::Algo::kMst, harness::Algo::kScc};
+    /** Also run APSP (single variant, race free by construction). */
+    bool include_apsp = true;
+    /** Variants to sweep for the five two-variant algorithms. */
+    std::vector<algos::Variant> variants = {algos::Variant::kBaseline,
+                                            algos::Variant::kRaceFree};
+    /** Inputs for the undirected algorithms (CC/GC/MIS/MST, APSP).
+     *  rmat22.sym scales to ~512 vertices at the default divisor —
+     *  comparable to the race-validation test graphs, large enough for
+     *  the baselines' races to manifest under interleaving. */
+    std::vector<std::string> undirected_inputs = {"rmat22.sym"};
+    /** Inputs for SCC. */
+    std::vector<std::string> directed_inputs = {"wikipedia"};
+    /** Interleaved runs are slow; keep inputs small. */
+    u32 graph_divisor = 8192;
+    /** APSP is O(n^3), far too slow even at the catalog's minimum graph
+     *  size (1024 vertices); its single cell runs a directly generated
+     *  uniform random graph of this many vertices instead. */
+    u32 apsp_vertices = 96;
+    u32 cache_divisor = 16;
+    /** Base seed; cell c uses cellSeed(seed, c) (PR-2 contract). */
+    u64 seed = 12345;
+    /** Worker threads; 0 = hardware concurrency, 1 = serial. */
+    u32 jobs = 0;
+};
+
+/** Identity of one sweep cell. */
+struct RacecheckCell
+{
+    bool apsp = false;  ///< APSP cell (algo/variant unused)
+    harness::Algo algo = harness::Algo::kCc;
+    algos::Variant variant = algos::Variant::kBaseline;
+    std::string input;
+};
+
+/** Printable per-cell subject name ("cc/baseline", "apsp"). */
+std::string cellName(const RacecheckCell& cell);
+
+/** Result of one cell. */
+struct CellResult
+{
+    RacecheckCell cell;
+    bool output_valid = true;  ///< refalgos oracle on the final output
+    std::string detail;        ///< oracle reason when invalid
+    u64 total_pairs = 0;       ///< conflicting access pairs
+    u64 checks = 0;            ///< detector accesses examined
+    /** Classified race reports, sorted by rendered description so the
+     *  result is independent of site-interning order. */
+    std::vector<ClassifiedReport> races;
+};
+
+/** The cell list a config expands to, in stable order. */
+std::vector<RacecheckCell> racecheckCells(const RunnerConfig& config);
+
+/** Run a single cell with an explicit engine seed. */
+CellResult runRacecheckCell(const RunnerConfig& config,
+                            const RacecheckCell& cell, u64 seed);
+
+/** Progress sink; with jobs > 1 it is called under a lock, in
+ *  completion (not cell) order. */
+using RacecheckProgressFn = std::function<void(const CellResult&)>;
+
+/** Run every cell; the returned vector is in racecheckCells() order and
+ *  renders identically for every config.jobs value. */
+std::vector<CellResult> runRacecheck(
+    const RunnerConfig& config, const RacecheckProgressFn& progress = {});
+
+/** Gate verdict (see file comment). */
+struct GateResult
+{
+    bool pass = true;
+    std::vector<std::string> failures;
+};
+
+/** Apply the race-freedom gate to a sweep's results. */
+GateResult evaluateGate(const RunnerConfig& config,
+                        const std::vector<CellResult>& results);
+
+/** Per-cell classified race-site table (the sweep's CSV). */
+TextTable makeSiteTable(const std::vector<CellResult>& results);
+
+/** Per-algorithm summary: race sites found, pairs, classes, and the
+ *  paper's Section IV expectation for comparison. */
+TextTable makeAlgoSummary(const std::vector<CellResult>& results);
+
+}  // namespace eclsim::racecheck

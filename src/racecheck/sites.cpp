@@ -1,0 +1,104 @@
+#include "racecheck/sites.hpp"
+
+namespace eclsim::racecheck {
+
+const char*
+expectationName(Expectation expect)
+{
+    switch (expect) {
+      case Expectation::kNone:
+        return "none";
+      case Expectation::kIdempotent:
+        return "idempotent";
+      case Expectation::kMonotonic:
+        return "monotonic";
+      case Expectation::kStaleTolerant:
+        return "stale-tolerant";
+      case Expectation::kTearing:
+        return "tearing";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Basename of a __FILE__ path. */
+std::string
+baseName(const char* path)
+{
+    std::string s(path);
+    const size_t slash = s.find_last_of("/\\");
+    return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+}  // namespace
+
+SiteRegistry&
+SiteRegistry::instance()
+{
+    static SiteRegistry registry;
+    return registry;
+}
+
+SiteId
+SiteRegistry::intern(const char* file, u32 line, const char* label,
+                     Expectation expect)
+{
+    std::string base = baseName(file);
+    std::string key = base;
+    key += ':';
+    key += std::to_string(line);
+    key += ':';
+    key += label;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end())
+        return it->second;
+    Site site;
+    site.id = static_cast<SiteId>(sites_.size() + 1);
+    site.file = std::move(base);
+    site.line = line;
+    site.label = label;
+    site.expect = expect;
+    index_.emplace(std::move(key), site.id);
+    sites_.push_back(std::move(site));
+    return sites_.back().id;
+}
+
+Site
+SiteRegistry::site(SiteId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id == kUnknownSite || id > sites_.size())
+        return Site{};
+    return sites_[id - 1];
+}
+
+Expectation
+SiteRegistry::expectation(SiteId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id == kUnknownSite || id > sites_.size())
+        return Expectation::kNone;
+    return sites_[id - 1].expect;
+}
+
+std::string
+SiteRegistry::describe(SiteId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id == kUnknownSite || id > sites_.size())
+        return "<unattributed>";
+    const Site& site = sites_[id - 1];
+    return site.file + ":" + site.label;
+}
+
+size_t
+SiteRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sites_.size();
+}
+
+}  // namespace eclsim::racecheck

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Access-site attribution for the race analysis.
+ *
+ * Compute Sanitizer and iGuard name the *source location* of each racing
+ * access; that is what makes their reports actionable and what lets the
+ * paper's Section IV table say "the CC baseline races on nstat[] in the
+ * hook/compute kernels". SiteRegistry gives the simulator the same
+ * vocabulary: every instrumented kernel access interns a SiteId — a
+ * (file, line, label) triple — once, and carries that id on each
+ * MemRequest so the detector can attribute conflicts to source sites
+ * instead of raw addresses.
+ *
+ * A site may additionally *declare* which benign-race category the
+ * author believes the access falls into (the paper's Section IV
+ * taxonomy). Declarations are not trusted: the classifier validates
+ * each one against the dynamically observed value traces and demotes
+ * mismatches to unknown/harmful, so an annotation is a checked claim,
+ * not an excuse.
+ *
+ * Interning is mutex-protected (parallel sweep cells share the
+ * registry) and id-stable for the lifetime of the process; ids are
+ * dense and start at 1 (0 = kUnknownSite, an uninstrumented access).
+ */
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eclsim::racecheck {
+
+/** Dense handle of one instrumented source access. 0 = unattributed. */
+using SiteId = u32;
+constexpr SiteId kUnknownSite = 0;
+
+/**
+ * Benign-race category a site declares itself to be (the paper's
+ * Section IV taxonomy). kNone means the author makes no claim and the
+ * classifier must infer a category from the value trace alone.
+ */
+enum class Expectation : u8 {
+    kNone,           ///< undeclared; classify from dynamic evidence only
+    kIdempotent,     ///< all racing writers store the same value
+    kMonotonic,      ///< value moves in one direction; losers re-converge
+    kStaleTolerant,  ///< stale reads only delay convergence
+    kTearing,        ///< known word-tearing hazard (paper Fig. 1)
+};
+
+/** Printable expectation name. */
+const char* expectationName(Expectation expect);
+
+/** One registered access site. */
+struct Site
+{
+    SiteId id = kUnknownSite;
+    std::string file;   ///< basename of the defining source file
+    u32 line = 0;
+    std::string label;  ///< short human description ("compute parent[] jump-load")
+    Expectation expect = Expectation::kNone;
+};
+
+/** Process-wide registry of access sites (see file comment). */
+class SiteRegistry
+{
+  public:
+    /** The shared registry used by ECL_SITE. */
+    static SiteRegistry& instance();
+
+    /**
+     * Intern a site, returning the existing id if the same
+     * (file, line, label) was seen before. A re-intern with a different
+     * expectation keeps the first one (sites are defined once in
+     * source; the macro guarantees one intern call per site anyway).
+     */
+    SiteId intern(const char* file, u32 line, const char* label,
+                  Expectation expect = Expectation::kNone);
+
+    /** Copy of a site's record; a default Site for kUnknownSite. */
+    Site site(SiteId id) const;
+
+    /** Declared expectation of a site (kNone for kUnknownSite). */
+    Expectation expectation(SiteId id) const;
+
+    /**
+     * "file:label" — the sanitizer-style rendering used in reports
+     * ("cc.cpp:compute parent[] jump-load"); "<unattributed>" for
+     * kUnknownSite.
+     */
+    std::string describe(SiteId id) const;
+
+    /** Number of interned sites. */
+    size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<Site> sites_;  ///< sites_[id - 1]
+    std::unordered_map<std::string, SiteId> index_;
+};
+
+}  // namespace eclsim::racecheck
+
+/**
+ * Intern the enclosing source location as an access site, declaring the
+ * benign-race category the author claims for it. Evaluates to a SiteId;
+ * the intern happens once (magic static), so instrumented hot loops pay
+ * only a guarded static read.
+ */
+#define ECL_SITE_AS(label_text, expect_value)                             \
+    ([]() -> ::eclsim::racecheck::SiteId {                                \
+        static const ::eclsim::racecheck::SiteId eclsim_site_id =         \
+            ::eclsim::racecheck::SiteRegistry::instance().intern(         \
+                __FILE__, __LINE__, (label_text), (expect_value));        \
+        return eclsim_site_id;                                            \
+    }())
+
+/** ECL_SITE_AS with no declared category. */
+#define ECL_SITE(label_text)                                              \
+    ECL_SITE_AS(label_text, ::eclsim::racecheck::Expectation::kNone)

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Sparse vector clocks for the happens-before engine.
+ *
+ * A VectorClock maps thread ids to logical clocks. The detector's
+ * clocks are sparse — a thread synchronizes with the handful of threads
+ * it shares barriers or atomic release/acquire chains with, not with
+ * the whole launch — so entries live in a sorted vector and lookups are
+ * a binary search. join() is the FastTrack ⊔ operation: element-wise
+ * max over the union of entries.
+ */
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eclsim::racecheck {
+
+/** Sparse thread-id → clock map (see file comment). */
+class VectorClock
+{
+  public:
+    /** Clock of a thread; 0 (bottom) if the thread has no entry. */
+    u32
+    get(u32 tid) const
+    {
+        const auto it = find(tid);
+        return it != entries_.end() && it->first == tid ? it->second : 0;
+    }
+
+    /** Raise a thread's entry to at least the given clock. */
+    void
+    raise(u32 tid, u32 clock)
+    {
+        const auto it = find(tid);
+        if (it != entries_.end() && it->first == tid)
+            it->second = std::max(it->second, clock);
+        else
+            entries_.insert(it, {tid, clock});
+    }
+
+    /** Element-wise max with another clock (FastTrack join). */
+    void
+    join(const VectorClock& other)
+    {
+        if (other.entries_.empty())
+            return;
+        std::vector<std::pair<u32, u32>> merged;
+        merged.reserve(entries_.size() + other.entries_.size());
+        auto a = entries_.begin();
+        auto b = other.entries_.begin();
+        while (a != entries_.end() && b != other.entries_.end()) {
+            if (a->first < b->first)
+                merged.push_back(*a++);
+            else if (b->first < a->first)
+                merged.push_back(*b++);
+            else {
+                merged.push_back({a->first, std::max(a->second, b->second)});
+                ++a;
+                ++b;
+            }
+        }
+        merged.insert(merged.end(), a, entries_.end());
+        merged.insert(merged.end(), b, other.entries_.end());
+        entries_ = std::move(merged);
+    }
+
+    /** True if this clock dominates (tid, clock): the holder has
+     *  synchronized with that thread at or after that point. */
+    bool
+    covers(u32 tid, u32 clock) const
+    {
+        return get(tid) >= clock;
+    }
+
+    void clear() { entries_.clear(); }
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+  private:
+    std::vector<std::pair<u32, u32>>::iterator
+    find(u32 tid)
+    {
+        return std::lower_bound(
+            entries_.begin(), entries_.end(), tid,
+            [](const std::pair<u32, u32>& e, u32 key) {
+                return e.first < key;
+            });
+    }
+    std::vector<std::pair<u32, u32>>::const_iterator
+    find(u32 tid) const
+    {
+        return std::lower_bound(
+            entries_.begin(), entries_.end(), tid,
+            [](const std::pair<u32, u32>& e, u32 key) {
+                return e.first < key;
+            });
+    }
+
+    std::vector<std::pair<u32, u32>> entries_;  ///< sorted by thread id
+};
+
+}  // namespace eclsim::racecheck

@@ -85,6 +85,13 @@ struct MemRequest
     u64 value = 0;    ///< store value / RMW operand (zero-extended)
     u64 compare = 0;  ///< CAS expected value
     /**
+     * Source access site (racecheck::SiteId) this request was issued
+     * from; 0 = unattributed. Set by ThreadCtx::at(ECL_SITE(...)) so
+     * race reports can name the racing source locations the way
+     * Compute Sanitizer / iGuard do.
+     */
+    u32 site = 0;
+    /**
      * When set, non-atomic 8-byte accesses execute as two 4-byte machine
      * transfers — the word-tearing hazard of the paper's Fig. 1. The
      * interleaved engine sets this to model a 32-bit-native target (where

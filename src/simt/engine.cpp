@@ -341,6 +341,20 @@ Engine::runFast(const LaunchConfig& config,
                 // Release the barrier: everyone alive has arrived.
                 barrier_count_[block] = 0;
                 sm_cycles_[sm] += kBarrierCycles;
+                if (detector_) {
+                    // Happens-before: join the participants' clocks so
+                    // pre-barrier accesses order before post-barrier
+                    // ones, transitively through prior synchronization.
+                    std::vector<u32> participants;
+                    participants.reserve(alive);
+                    for (u32 t = 0; t < block_size; ++t)
+                        if (threads[t].at_barrier_)
+                            participants.push_back(
+                                threads[t].info_.thread);
+                    detector_->onBarrier(launch_counter_, block,
+                                         participants.data(),
+                                         participants.size());
+                }
                 for (u32 t = 0; t < block_size; ++t) {
                     ThreadCtx& ctx = threads[t];
                     if (ctx.at_barrier_) {
@@ -430,6 +444,16 @@ Engine::runInterleaved(const LaunchConfig& config,
             return;
         barrier_count_[block] = 0;
         const u64 base = block_start[block];
+        if (detector_) {
+            std::vector<u32> participants;
+            for (u32 t = 0; t < block_size; ++t)
+                if (threads[base + t].at_barrier_)
+                    participants.push_back(
+                        threads[base + t].info_.thread);
+            detector_->onBarrier(launch_counter_, block,
+                                 participants.data(),
+                                 participants.size());
+        }
         for (u32 t = 0; t < block_size; ++t) {
             ThreadCtx& ctx = threads[base + t];
             if (ctx.at_barrier_) {

@@ -171,6 +171,20 @@ class ThreadCtx
 
     // --- memory operations ----------------------------------------------
 
+    /**
+     * Attribute the next memory operation to a source site:
+     * `co_await t.at(ECL_SITE("compute parent[] jump-load")).load(...)`.
+     * The site id is consumed by the next request built on this context,
+     * so race reports can name the racing source access. Unattributed
+     * operations carry racecheck::kUnknownSite.
+     */
+    ThreadCtx&
+    at(u32 site)
+    {
+        next_site_ = site;
+        return *this;
+    }
+
     /** Awaitable load; co_await yields the value of type T. Order and
      *  scope only apply to mode == kAtomic. */
     template <typename T>
@@ -246,9 +260,19 @@ class ThreadCtx
     friend class MemAwaiterBase;
     friend class BarrierAwaiter;
 
+    /** Consume the pending site attribution (one request). */
+    u32
+    takeSite()
+    {
+        const u32 site = next_site_;
+        next_site_ = 0;
+        return site;
+    }
+
     Engine* engine_ = nullptr;
     Task task_;
     ThreadInfo info_;
+    u32 next_site_ = 0;  ///< site for the next request (see at())
     u32 sm_ = 0;
     u32 thread_in_block_ = 0;
     u32 block_x_ = 1, block_y_ = 1, grid_ = 1;
@@ -414,6 +438,7 @@ ThreadCtx::load(DevicePtr<T> ptr, u64 index, AccessMode mode,
     req.mode = mode;
     req.order = order;
     req.scope = scope;
+    req.site = takeSite();
     return LoadAwaiter<T>(this, req);
 }
 
@@ -430,6 +455,7 @@ ThreadCtx::store(DevicePtr<T> ptr, u64 index, T value, AccessMode mode,
     req.order = order;
     req.scope = scope;
     req.value = detail::toBits(value);
+    req.site = takeSite();
     return MemAwaiterBase(this, req);
 }
 
@@ -462,8 +488,10 @@ auto
 ThreadCtx::atomicAdd(DevicePtr<T> ptr, u64 index, T operand,
                      MemoryOrder order, Scope scope)
 {
-    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kAdd,
-                                                   operand, order, scope));
+    auto req = detail::rmwRequest(ptr, index, RmwOp::kAdd, operand, order,
+                                  scope);
+    req.site = takeSite();
+    return LoadAwaiter<T>(this, req);
 }
 
 template <typename T>
@@ -471,8 +499,10 @@ auto
 ThreadCtx::atomicMin(DevicePtr<T> ptr, u64 index, T operand,
                      MemoryOrder order, Scope scope)
 {
-    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kMin,
-                                                   operand, order, scope));
+    auto req = detail::rmwRequest(ptr, index, RmwOp::kMin, operand, order,
+                                  scope);
+    req.site = takeSite();
+    return LoadAwaiter<T>(this, req);
 }
 
 template <typename T>
@@ -480,8 +510,10 @@ auto
 ThreadCtx::atomicMax(DevicePtr<T> ptr, u64 index, T operand,
                      MemoryOrder order, Scope scope)
 {
-    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kMax,
-                                                   operand, order, scope));
+    auto req = detail::rmwRequest(ptr, index, RmwOp::kMax, operand, order,
+                                  scope);
+    req.site = takeSite();
+    return LoadAwaiter<T>(this, req);
 }
 
 template <typename T>
@@ -489,8 +521,10 @@ auto
 ThreadCtx::atomicAnd(DevicePtr<T> ptr, u64 index, T operand,
                      MemoryOrder order, Scope scope)
 {
-    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kAnd,
-                                                   operand, order, scope));
+    auto req = detail::rmwRequest(ptr, index, RmwOp::kAnd, operand, order,
+                                  scope);
+    req.site = takeSite();
+    return LoadAwaiter<T>(this, req);
 }
 
 template <typename T>
@@ -498,8 +532,10 @@ auto
 ThreadCtx::atomicOr(DevicePtr<T> ptr, u64 index, T operand,
                     MemoryOrder order, Scope scope)
 {
-    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kOr,
-                                                   operand, order, scope));
+    auto req = detail::rmwRequest(ptr, index, RmwOp::kOr, operand, order,
+                                  scope);
+    req.site = takeSite();
+    return LoadAwaiter<T>(this, req);
 }
 
 template <typename T>
@@ -507,8 +543,10 @@ auto
 ThreadCtx::atomicExch(DevicePtr<T> ptr, u64 index, T desired,
                       MemoryOrder order, Scope scope)
 {
-    return LoadAwaiter<T>(this, detail::rmwRequest(ptr, index, RmwOp::kExch,
-                                                   desired, order, scope));
+    auto req = detail::rmwRequest(ptr, index, RmwOp::kExch, desired, order,
+                                  scope);
+    req.site = takeSite();
+    return LoadAwaiter<T>(this, req);
 }
 
 template <typename T>
@@ -516,9 +554,10 @@ auto
 ThreadCtx::atomicCas(DevicePtr<T> ptr, u64 index, T expected, T desired,
                      MemoryOrder order, Scope scope)
 {
-    return LoadAwaiter<T>(
-        this, detail::rmwRequest(ptr, index, RmwOp::kCas, desired, order,
-                                 scope, expected));
+    auto req = detail::rmwRequest(ptr, index, RmwOp::kCas, desired, order,
+                                  scope, expected);
+    req.site = takeSite();
+    return LoadAwaiter<T>(this, req);
 }
 
 inline auto

@@ -307,7 +307,9 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
                                         : piece_size);
         }
 
-        // Functional effect.
+        // Functional effect. det_value/det_old feed the race detector's
+        // per-site write value traces (classifier evidence).
+        u64 det_value = 0, det_old = 0;
         if (req.kind == MemOpKind::kLoad) {
             u64 bits;
             // Delayed visibility applies to every non-atomic read of a
@@ -333,6 +335,7 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
             if (perturb_ && !pending_.empty() &&
                 req.mode != AccessMode::kAtomic)
                 bits = overlayPending(who.thread, addr, piece_size, bits);
+            det_value = det_old = bits;
             result.value_bits |= bits << (8 * piece_size * piece);
             ++counters_.loads;
             if (prof_)
@@ -342,6 +345,9 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
                 (req.value >> (8 * piece_size * piece)) &
                 (piece_size == 8 ? ~u64{0}
                                  : ((u64{1} << (8 * piece_size)) - 1));
+            if (detector_)
+                det_old = memory_.loadLive(addr, piece_size);
+            det_value = bits;
             bool performed = false;
             if (perturb_ && req.mode != AccessMode::kAtomic) {
                 // A newer store to the same bytes supersedes any of the
@@ -438,6 +444,8 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
                     memory_.noteWriter(addr, req.size, who.thread);
                 }
             }
+            det_value = new_bits;
+            det_old = old_bits;
             result.value_bits = old_bits;
             ++counters_.rmws;
             if (prof_)
@@ -449,12 +457,13 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
             sm, addr, req,
             req.kind != MemOpKind::kLoad);
 
-        // Race detection.
+        // Race detection: each executed piece is checked independently,
+        // so the two halves of a torn 64-bit access are separate events.
         if (detector_) {
-            detector_->onAccess(who, addr,
+            detector_->onAccess(who, req, addr,
                                 req.kind == MemOpKind::kRmw ? req.size
                                                             : piece_size,
-                                req.kind != MemOpKind::kLoad, is_atomic);
+                                det_value, det_old);
         }
     }
     if (is_atomic) {

@@ -1,151 +1,16 @@
 #include "simt/race_detector.hpp"
 
-#include <sstream>
-
 namespace eclsim::simt {
-
-const char*
-raceKindName(RaceKind kind)
-{
-    switch (kind) {
-      case RaceKind::kReadWrite:
-        return "read-write";
-      case RaceKind::kWriteWrite:
-        return "write-write";
-    }
-    return "unknown";
-}
 
 RaceDetector::RaceDetector(const DeviceMemory& memory,
                            prof::CounterRegistry* counters)
-    : memory_(memory), prof_(counters)
-{
-    if (prof_) {
-        c_checks_ = prof_->id("sim/race/checks");
-        c_conflicts_ = prof_->id("sim/race/conflicts");
-    }
-}
-
-void
-RaceDetector::ensureCapacity(u64 end)
-{
-    if (last_write_.size() < end) {
-        last_write_.resize(end);
-        last_read_.resize(end);
-    }
-}
-
-bool
-RaceDetector::conflicts(const ShadowRecord& prev, const ThreadInfo& who,
-                        bool both_atomic) const
-{
-    if (!prev.valid || prev.launch != who.launch)
-        return false;  // kernel boundaries order everything
-    if (prev.thread == who.thread)
-        return false;  // program order
-    if (both_atomic)
-        return false;  // atomic/atomic pairs synchronize
-    if (prev.block == who.block && prev.epoch != who.epoch)
-        return false;  // ordered by __syncthreads
-    return true;
-}
-
-void
-RaceDetector::report(u64 addr, const ShadowRecord& prev,
-                     const ThreadInfo& who, RaceKind kind)
-{
-    if (prof_)
-        prof_->add(c_conflicts_);
-    const std::string& name = memory_.allocationAt(addr).name;
-    for (RaceReport& r : reports_) {
-        if (r.allocation == name && r.kind == kind) {
-            ++r.count;
-            return;
-        }
-    }
-    RaceReport r;
-    r.allocation = name;
-    r.kind = kind;
-    r.count = 1;
-    r.first_address = addr;
-    r.first_thread_a = prev.thread;
-    r.first_thread_b = who.thread;
-    reports_.push_back(std::move(r));
-}
-
-void
-RaceDetector::onAccess(const ThreadInfo& who, u64 addr, u8 size,
-                       bool is_write, bool is_atomic)
-{
-    ensureCapacity(addr + size);
-    if (prof_)
-        prof_->add(c_checks_);
-    for (u8 i = 0; i < size; ++i) {
-        const u64 a = addr + i;
-        const ShadowRecord& w = last_write_[a];
-        if (conflicts(w, who, is_atomic && w.atomic)) {
-            report(a, w, who,
-                   is_write ? RaceKind::kWriteWrite : RaceKind::kReadWrite);
-        }
-        if (is_write) {
-            const ShadowRecord& r = last_read_[a];
-            if (conflicts(r, who, is_atomic && r.atomic))
-                report(a, r, who, RaceKind::kReadWrite);
-        }
-
-        ShadowRecord rec;
-        rec.launch = who.launch;
-        rec.thread = who.thread;
-        rec.block = who.block;
-        rec.epoch = who.epoch;
-        rec.atomic = is_atomic;
-        rec.valid = true;
-        if (is_write)
-            last_write_[a] = rec;
-        else
-            last_read_[a] = rec;
-    }
-}
-
-u64
-RaceDetector::totalRaces() const
-{
-    u64 total = 0;
-    for (const RaceReport& r : reports_)
-        total += r.count;
-    return total;
-}
-
-bool
-RaceDetector::hasRaceOn(const std::string& allocation) const
-{
-    for (const RaceReport& r : reports_)
-        if (r.allocation == allocation)
-            return true;
-    return false;
-}
-
-std::string
-RaceDetector::summary() const
-{
-    if (reports_.empty())
-        return "no data races detected\n";
-    std::ostringstream out;
-    for (const RaceReport& r : reports_) {
-        out << raceKindName(r.kind) << " race on '" << r.allocation << "': "
-            << r.count << " conflicting pair(s), first at address "
-            << r.first_address << " between threads " << r.first_thread_a
-            << " and " << r.first_thread_b << "\n";
-    }
-    return out.str();
-}
-
-void
-RaceDetector::reset()
-{
-    last_write_.assign(last_write_.size(), ShadowRecord{});
-    last_read_.assign(last_read_.size(), ShadowRecord{});
-    reports_.clear();
-}
+    : racecheck::Detector(
+          [&memory](u64 addr) {
+              return racecheck::Detector::ResolvedAlloc{
+                  memory.allocationIndexAt(addr),
+                  memory.allocationAt(addr).name};
+          },
+          counters)
+{}
 
 }  // namespace eclsim::simt

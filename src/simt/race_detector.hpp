@@ -1,123 +1,45 @@
 /**
  * @file
- * Dynamic happens-before data-race detector.
+ * Simulator binding of the eclsim::racecheck happens-before detector.
  *
  * The paper identifies the races in the ECL baselines with Compute
  * Sanitizer and iGuard and then validates the converted codes as race
- * free (Section IV). RaceDetector plays that role inside the simulator:
- * it shadows every byte of device memory with the most recent write and
- * read, and reports a race whenever two accesses
- *
- *   - touch overlapping bytes in the same kernel launch,
- *   - come from different threads,
- *   - include at least one write,
- *   - are not both atomic, and
- *   - are not ordered by a block-level barrier (same block, different
- *     __syncthreads epoch).
+ * free (Section IV). RaceDetector plays that role inside the simulator.
+ * The detection engine itself lives in racecheck::Detector — a
+ * FastTrack-style epoch/vector-clock checker with site attribution,
+ * scope-aware atomic rules, and write value traces (see
+ * racecheck/detector.hpp). This class only binds it to a DeviceMemory
+ * arena so conflicting addresses resolve to allocation names.
  *
  * Volatile accesses are deliberately treated as racy: the volatile
  * qualifier prevents compiler caching but does not synchronize, which is
  * one of the paper's central points (Section II-A).
- *
- * Reports are aggregated per (allocation, race kind) so a kernel with
- * millions of conflicting accesses produces a readable summary, the way
- * the authors triage sanitizer output.
  */
 #pragma once
 
-#include <string>
-#include <vector>
-
-#include "prof/counters.hpp"
-#include "simt/access.hpp"
+#include "racecheck/detector.hpp"
 #include "simt/device_memory.hpp"
 
 namespace eclsim::simt {
 
-/** Kind of conflict. */
-enum class RaceKind : u8 {
-    kReadWrite,
-    kWriteWrite,
-};
+// The detector's vocabulary is shared with the racecheck library; the
+// engine and the memory subsystem use these names unqualified.
+using racecheck::RaceKind;
+using racecheck::RaceReport;
+using racecheck::ThreadInfo;
+using racecheck::raceKindName;
 
-/** Aggregated race report for one allocation. */
-struct RaceReport
-{
-    std::string allocation;
-    RaceKind kind = RaceKind::kReadWrite;
-    u64 count = 0;           ///< number of conflicting access pairs seen
-    u64 first_address = 0;   ///< arena address of the first conflict
-    u32 first_thread_a = 0;  ///< earlier access's global thread id
-    u32 first_thread_b = 0;  ///< later access's global thread id
-};
-
-/** Identity of the thread performing an access. */
-struct ThreadInfo
-{
-    u32 launch = 0;  ///< kernel launch sequence number
-    u32 thread = 0;  ///< global thread id within the launch
-    u32 block = 0;   ///< block id within the launch
-    u16 epoch = 0;   ///< __syncthreads epoch within the block
-};
-
-/** Byte-granular happens-before race detector. */
-class RaceDetector
+/** The simulator's race detector (see file comment). */
+class RaceDetector : public racecheck::Detector
 {
   public:
     /**
-     * @param counters optional profiling registry; when set, the
-     *        detector maintains sim/race/checks (accesses examined) and
-     *        sim/race/conflicts (conflicting pairs found).
+     * @param memory arena whose allocations name the race reports; must
+     *        outlive the detector.
+     * @param counters optional profiling registry (sim/race/...).
      */
     explicit RaceDetector(const DeviceMemory& memory,
                           prof::CounterRegistry* counters = nullptr);
-
-    /** Record one access piece and check it against the shadow state. */
-    void onAccess(const ThreadInfo& who, u64 addr, u8 size, bool is_write,
-                  bool is_atomic);
-
-    /** All aggregated reports so far. */
-    const std::vector<RaceReport>& reports() const { return reports_; }
-
-    /** Total conflicting pairs across all reports. */
-    u64 totalRaces() const;
-
-    /** True if any race was recorded on the named allocation. */
-    bool hasRaceOn(const std::string& allocation) const;
-
-    /** Render the reports as human-readable lines. */
-    std::string summary() const;
-
-    /** Forget all shadow state and reports. */
-    void reset();
-
-  private:
-    struct ShadowRecord
-    {
-        u32 launch = ~u32{0};
-        u32 thread = 0;
-        u32 block = 0;
-        u16 epoch = 0;
-        bool atomic = false;
-        bool valid = false;
-    };
-
-    bool conflicts(const ShadowRecord& prev, const ThreadInfo& who,
-                   bool prev_or_now_atomic_pair_ok) const;
-    void report(u64 addr, const ShadowRecord& prev, const ThreadInfo& who,
-                RaceKind kind);
-    void ensureCapacity(u64 end);
-
-    const DeviceMemory& memory_;
-    std::vector<ShadowRecord> last_write_;
-    std::vector<ShadowRecord> last_read_;
-    std::vector<RaceReport> reports_;
-
-    prof::CounterRegistry* prof_ = nullptr;
-    prof::CounterId c_checks_ = 0, c_conflicts_ = 0;
 };
-
-/** Human-readable name of a race kind. */
-const char* raceKindName(RaceKind kind);
 
 }  // namespace eclsim::simt

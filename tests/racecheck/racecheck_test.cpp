@@ -1,0 +1,679 @@
+/**
+ * @file
+ * Unit tests for the eclsim::racecheck subsystem: site registry,
+ * vector clocks, the happens-before detector's edge cases (partial
+ * overlaps, cross-launch accesses, atomic scopes, release/acquire
+ * chains, torn 64-bit pieces, read-set eviction), and the benign-race
+ * classifier's validate-don't-trust rules.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "racecheck/classify.hpp"
+#include "racecheck/detector.hpp"
+#include "racecheck/runner.hpp"
+#include "racecheck/sites.hpp"
+#include "racecheck/vector_clock.hpp"
+
+namespace eclsim::racecheck {
+namespace {
+
+using simt::AccessMode;
+using simt::MemOpKind;
+using simt::MemoryOrder;
+using simt::MemRequest;
+using simt::RmwOp;
+using simt::Scope;
+
+// ---------------------------------------------------------------- sites
+
+TEST(SiteRegistry, InternIsIdempotentPerLocation)
+{
+    auto& reg = SiteRegistry::instance();
+    const SiteId a = reg.intern("file.cpp", 10, "label one");
+    const SiteId b = reg.intern("file.cpp", 10, "label one");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, kUnknownSite);
+    const SiteId c = reg.intern("file.cpp", 11, "label one");
+    EXPECT_NE(a, c);
+}
+
+TEST(SiteRegistry, DescribeUsesBasenameAndLabel)
+{
+    auto& reg = SiteRegistry::instance();
+    const SiteId id =
+        reg.intern("/deep/path/to/kernel.cpp", 42, "hook parent[] store");
+    EXPECT_EQ(reg.describe(id), "kernel.cpp:hook parent[] store");
+    EXPECT_EQ(reg.describe(kUnknownSite), "<unattributed>");
+}
+
+TEST(SiteRegistry, FirstExpectationWins)
+{
+    auto& reg = SiteRegistry::instance();
+    const SiteId id = reg.intern("expect.cpp", 7, "first wins",
+                                 Expectation::kMonotonic);
+    reg.intern("expect.cpp", 7, "first wins", Expectation::kIdempotent);
+    EXPECT_EQ(reg.expectation(id), Expectation::kMonotonic);
+    EXPECT_EQ(reg.expectation(kUnknownSite), Expectation::kNone);
+}
+
+TEST(SiteRegistry, MacroInternsOncePerLocation)
+{
+    // The same source location yields the same id on every execution;
+    // distinct lines are distinct sites even with equal labels.
+    const auto same_site = [] { return ECL_SITE("macro site"); };
+    const SiteId a = same_site();
+    const SiteId b = same_site();
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, ECL_SITE("macro site"));
+    const SiteId c =
+        ECL_SITE_AS("macro declared", Expectation::kStaleTolerant);
+    EXPECT_EQ(SiteRegistry::instance().expectation(c),
+              Expectation::kStaleTolerant);
+}
+
+// --------------------------------------------------------- vector clock
+
+TEST(VectorClockTest, BottomIsZero)
+{
+    VectorClock vc;
+    EXPECT_EQ(vc.get(3), 0u);
+    EXPECT_TRUE(vc.empty());
+    EXPECT_FALSE(vc.covers(3, 1));
+    EXPECT_TRUE(vc.covers(3, 0));
+}
+
+TEST(VectorClockTest, RaiseNeverLowers)
+{
+    VectorClock vc;
+    vc.raise(5, 7);
+    EXPECT_EQ(vc.get(5), 7u);
+    vc.raise(5, 3);
+    EXPECT_EQ(vc.get(5), 7u);
+    vc.raise(5, 9);
+    EXPECT_EQ(vc.get(5), 9u);
+}
+
+TEST(VectorClockTest, JoinIsElementwiseMax)
+{
+    VectorClock a, b;
+    a.raise(1, 4);
+    a.raise(3, 2);
+    b.raise(2, 5);
+    b.raise(3, 7);
+    a.join(b);
+    EXPECT_EQ(a.get(1), 4u);
+    EXPECT_EQ(a.get(2), 5u);
+    EXPECT_EQ(a.get(3), 7u);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_TRUE(a.covers(3, 7));
+    EXPECT_FALSE(a.covers(3, 8));
+}
+
+// ------------------------------------------------------------- detector
+
+/** Detector harness: one synthetic allocation, direct onAccess calls. */
+class DetectorTest : public ::testing::Test
+{
+  protected:
+    DetectorTest()
+        : det_([](u64) {
+              return Detector::ResolvedAlloc{0, "shadow"};
+          })
+    {
+    }
+
+    static ThreadInfo
+    thread(u32 tid, u32 block = 0, u32 epoch = 0, u32 launch = 0)
+    {
+        ThreadInfo info;
+        info.launch = launch;
+        info.thread = tid;
+        info.block = block;
+        info.epoch = epoch;
+        return info;
+    }
+
+    /** Issue one plain/volatile/atomic access. */
+    void
+    access(const ThreadInfo& who, u64 addr, u8 size, bool is_write,
+           bool is_atomic, Scope scope = Scope::kDevice,
+           MemoryOrder order = MemoryOrder::kRelaxed, SiteId site = 0,
+           u64 value = 1, u64 old_value = 0)
+    {
+        MemRequest req;
+        req.addr = addr;
+        req.size = size;
+        req.site = site;
+        req.order = order;
+        if (is_atomic) {
+            req.kind = is_write ? MemOpKind::kRmw : MemOpKind::kLoad;
+            if (!is_write)
+                req.mode = AccessMode::kAtomic;
+            req.rmw = RmwOp::kAdd;
+            req.scope = scope;
+        } else {
+            req.kind = is_write ? MemOpKind::kStore : MemOpKind::kLoad;
+        }
+        det_.onAccess(who, req, addr, size, value, old_value);
+    }
+
+    Detector det_;
+};
+
+TEST_F(DetectorTest, PartialOverlapWidthMixes)
+{
+    // T1 stores 4 bytes at [4, 8); later accesses race only where the
+    // byte ranges actually intersect (the shadow is byte-granular, so
+    // the pair count is per conflicting byte).
+    access(thread(1), 4, 4, /*write=*/true, /*atomic=*/false);
+    access(thread(2), 0, 4, false, false);  // [0,4): disjoint
+    EXPECT_EQ(det_.totalRaces(), 0u);
+    access(thread(3), 8, 2, false, false);  // [8,10): disjoint
+    EXPECT_EQ(det_.totalRaces(), 0u);
+    access(thread(4), 6, 1, false, false);  // [6,7): one shared byte
+    EXPECT_EQ(det_.totalRaces(), 1u);
+    access(thread(5), 6, 2, false, false);  // [6,8): two shared bytes
+    EXPECT_EQ(det_.totalRaces(), 3u);
+    access(thread(6), 0, 8, false, false);  // [0,8): four shared bytes
+    EXPECT_EQ(det_.totalRaces(), 7u);
+}
+
+TEST_F(DetectorTest, WideReadConflictsAggregateIntoOneReport)
+{
+    // An 8-byte read crossing two racing 4-byte stores: every shared
+    // byte is a conflicting pair, but both pairs carry the same
+    // (allocation, site pair, kind) key and collapse into one report.
+    access(thread(1), 0, 4, true, false);
+    access(thread(2), 4, 4, true, false);
+    access(thread(3), 0, 8, false, false);
+    EXPECT_EQ(det_.totalRaces(), 8u);
+    EXPECT_EQ(det_.reports().size(), 1u);
+}
+
+TEST_F(DetectorTest, CrossLaunchAccessesNeverConflict)
+{
+    access(thread(1, 0, 0, /*launch=*/0), 0, 4, true, false);
+    access(thread(2, 1, 0, /*launch=*/1), 0, 4, true, false);
+    access(thread(3, 2, 0, /*launch=*/2), 0, 4, false, false);
+    EXPECT_EQ(det_.totalRaces(), 0u);
+}
+
+TEST_F(DetectorTest, VolatileVsAtomicStillRaces)
+{
+    // volatile is not atomic: a volatile store against an atomic RMW on
+    // the same word is a reportable race (only atomic/atomic pairs are
+    // excused).
+    MemRequest vol;
+    vol.addr = 0;
+    vol.size = 4;
+    vol.kind = MemOpKind::kStore;
+    vol.mode = AccessMode::kVolatile;
+    det_.onAccess(thread(1), vol, 0, 4, 1, 0);
+    access(thread(2), 0, 4, true, /*atomic=*/true);
+    EXPECT_EQ(det_.totalRaces(), 4u);  // one pair per shared byte
+    ASSERT_EQ(det_.reports().size(), 1u);
+    EXPECT_EQ(det_.reports()[0].kind, RaceKind::kWriteWrite);
+}
+
+TEST_F(DetectorTest, TornPiecesAreCheckedIndependently)
+{
+    // A split 64-bit store executes as two 4-byte pieces. A conflicting
+    // store that touches only the second half must still be caught, and
+    // the signature must carry the /torn marker.
+    MemRequest wide;
+    wide.addr = 0;
+    wide.size = 8;
+    wide.kind = MemOpKind::kStore;
+    wide.mode = AccessMode::kVolatile;
+    wide.split_wide = true;
+    ASSERT_EQ(wide.pieces(), 2u);
+    det_.onAccess(thread(1), wide, 0, 4, 0x1111, 0);  // low half
+    det_.onAccess(thread(1), wide, 4, 4, 0x2222, 0);  // high half
+
+    access(thread(2), 4, 4, true, false);  // hits the high piece only
+    EXPECT_EQ(det_.totalRaces(), 4u);  // the four bytes of that piece
+    ASSERT_EQ(det_.reports().size(), 1u);
+    const RaceReport& r = det_.reports()[0];
+    const bool torn_side = r.sig_a.torn || r.sig_b.torn;
+    EXPECT_TRUE(torn_side);
+    EXPECT_NE(accessSigName(wide.split_wide ? makeSig(wide) : AccessSig{})
+                  .find("/torn"),
+              std::string::npos);
+}
+
+TEST_F(DetectorTest, AtomicsNeverTearEvenWhenSplitRequested)
+{
+    MemRequest wide;
+    wide.addr = 0;
+    wide.size = 8;
+    wide.kind = MemOpKind::kRmw;
+    wide.rmw = RmwOp::kMin;
+    wide.split_wide = true;
+    EXPECT_EQ(wide.pieces(), 1u);
+    EXPECT_FALSE(makeSig(wide).torn);
+}
+
+TEST_F(DetectorTest, ReleaseAcquireChainOrdersPayload)
+{
+    // T1: plain store to the payload, then release-RMW on the flag.
+    // T2: acquire-RMW on the flag, then plain load of the payload.
+    // The chain orders the pair — no race.
+    access(thread(1), 0, 4, true, false);
+    access(thread(1), 64, 4, true, true, Scope::kDevice,
+           MemoryOrder::kRelease);
+    access(thread(2), 64, 4, true, true, Scope::kDevice,
+           MemoryOrder::kAcquire);
+    access(thread(2), 0, 4, false, false);
+    EXPECT_EQ(det_.totalRaces(), 0u) << det_.summary();
+}
+
+TEST_F(DetectorTest, RelaxedAtomicsGiveNoOrderingEdge)
+{
+    // Same shape with relaxed ordering: the flag accesses are atomic
+    // (no race on the flag) but carry no edge, so the payload races.
+    access(thread(1), 0, 4, true, false);
+    access(thread(1), 64, 4, true, true);  // relaxed RMW
+    access(thread(2), 64, 4, true, true);  // relaxed RMW
+    access(thread(2), 0, 4, false, false);
+    EXPECT_EQ(det_.totalRaces(), 4u);  // the payload's four bytes
+    ASSERT_EQ(det_.reports().size(), 1u);
+    EXPECT_EQ(det_.reports()[0].first_address, 0u);
+}
+
+TEST_F(DetectorTest, BarrierJoinIsTransitive)
+{
+    // T1 writes A, barrier {T1, T2}, T2 writes B, barrier {T2, T3},
+    // T3 may now touch both A and B: the join carries T1's clock
+    // through T2 transitively.
+    access(thread(1, 0, 0), 0, 4, true, false);
+    const u32 b1[] = {1, 2};
+    det_.onBarrier(0, 0, b1, 2);
+    access(thread(2, 0, 1), 8, 4, true, false);
+    const u32 b2[] = {2, 3};
+    det_.onBarrier(0, 0, b2, 2);
+    access(thread(3, 0, 2), 0, 4, true, false);
+    access(thread(3, 0, 2), 8, 4, true, false);
+    EXPECT_EQ(det_.totalRaces(), 0u) << det_.summary();
+}
+
+TEST_F(DetectorTest, ReadSetEvictionIsCountedNotSilent)
+{
+    // More distinct concurrent readers than kMaxReadSet: evictions are
+    // counted, and a later conflicting write still reports against the
+    // retained readers.
+    for (u32 tid = 1; tid <= 20; ++tid)
+        access(thread(tid, tid), 0, 1, false, false);
+    EXPECT_GT(det_.readSetEvictions(), 0u);
+    access(thread(100, 100), 0, 1, true, false);
+    EXPECT_GT(det_.totalRaces(), 0u);
+    EXPECT_EQ(det_.reports()[0].kind, RaceKind::kReadWrite);
+}
+
+TEST_F(DetectorTest, WriteTraceFeedsPerSiteEvidence)
+{
+    const SiteId site = SiteRegistry::instance().intern(
+        "trace.cpp", 1, "trace write-site");
+    access(thread(1), 0, 4, true, false, Scope::kDevice,
+           MemoryOrder::kRelaxed, site, /*value=*/5, /*old=*/3);
+    access(thread(2), 0, 4, true, false, Scope::kDevice,
+           MemoryOrder::kRelaxed, site, /*value=*/7, /*old=*/5);
+    const WriteTrace* trace = det_.writeTrace(site);
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(trace->samples, 2u);
+    EXPECT_EQ(trace->increases, 2u);
+    EXPECT_TRUE(trace->strictlyMonotonic());
+    EXPECT_TRUE(trace->multi_valued);
+}
+
+// ----------------------------------------------------------- classifier
+
+/** Classifier harness: drives racing pairs through a detector and
+ *  classifies the resulting reports. */
+class ClassifyTest : public DetectorTest
+{
+  protected:
+    /** Two racing 4-byte stores from the given site with a scripted
+     *  value sequence; returns the classified report. */
+    ClassifiedReport
+    racingWrites(SiteId site, const std::vector<std::pair<u64, u64>>&
+                                  value_old_pairs)
+    {
+        u32 tid = 1;
+        for (const auto& [value, old_value] : value_old_pairs) {
+            access(thread(tid, tid), 0, 4, true, false, Scope::kDevice,
+                   MemoryOrder::kRelaxed, site, value, old_value);
+            ++tid;
+        }
+        const auto classified = classifyAll(det_);
+        EXPECT_FALSE(classified.empty());
+        return classified.empty() ? ClassifiedReport{}
+                                  : classified.front();
+    }
+};
+
+TEST_F(ClassifyTest, DeclaredIdempotentSingleValuedPasses)
+{
+    const SiteId site = SiteRegistry::instance().intern(
+        "cls.cpp", 1, "idempotent ok", Expectation::kIdempotent);
+    const auto r = racingWrites(site, {{1, 0}, {1, 1}, {1, 1}});
+    EXPECT_EQ(r.cls, RaceClass::kIdempotentWrite);
+    EXPECT_TRUE(classIsBenign(r.cls));
+}
+
+TEST_F(ClassifyTest, DeclaredIdempotentMultiValuedIsDemoted)
+{
+    // The declaration is a checked claim: two distinct written values
+    // invalidate it and the pair fails the gate.
+    const SiteId site = SiteRegistry::instance().intern(
+        "cls.cpp", 2, "idempotent lie", Expectation::kIdempotent);
+    const auto r = racingWrites(site, {{1, 0}, {2, 1}});
+    EXPECT_EQ(r.cls, RaceClass::kUnknownHarmful);
+    EXPECT_FALSE(classIsBenign(r.cls));
+    EXPECT_NE(r.reason.find("declared idempotent"), std::string::npos);
+}
+
+TEST_F(ClassifyTest, DeclaredMonotonicOneDirectionalPasses)
+{
+    const SiteId site = SiteRegistry::instance().intern(
+        "cls.cpp", 3, "monotonic ok", Expectation::kMonotonic);
+    const auto r = racingWrites(site, {{2, 5}, {1, 4}, {0, 2}});
+    EXPECT_EQ(r.cls, RaceClass::kMonotonicUpdate);
+}
+
+TEST_F(ClassifyTest, DeclaredMonotonicBothWaysIsDemoted)
+{
+    // Half the writes move the other way — far beyond the lost-update
+    // tolerance (counter-direction <= 1/8 of samples).
+    const SiteId site = SiteRegistry::instance().intern(
+        "cls.cpp", 4, "monotonic lie", Expectation::kMonotonic);
+    const auto r =
+        racingWrites(site, {{5, 0}, {2, 5}, {9, 2}, {1, 9}});
+    EXPECT_EQ(r.cls, RaceClass::kUnknownHarmful);
+    EXPECT_NE(r.reason.find("declared monotonic"), std::string::npos);
+}
+
+TEST_F(ClassifyTest, UndeclaredSingleValuedWriteIsInferredIdempotent)
+{
+    const SiteId site = SiteRegistry::instance().intern(
+        "cls.cpp", 5, "undeclared flag");
+    const auto r = racingWrites(site, {{1, 0}, {1, 1}});
+    EXPECT_EQ(r.cls, RaceClass::kIdempotentWrite);
+    EXPECT_NE(r.reason.find("single-valued"), std::string::npos);
+}
+
+TEST_F(ClassifyTest, UndeclaredMixedWriteIsHarmful)
+{
+    const SiteId site = SiteRegistry::instance().intern(
+        "cls.cpp", 6, "undeclared mixed");
+    const auto r = racingWrites(site, {{5, 0}, {2, 5}, {9, 2}});
+    EXPECT_EQ(r.cls, RaceClass::kUnknownHarmful);
+}
+
+TEST_F(ClassifyTest, MinRmwAgainstVolatileIsInferredMonotonic)
+{
+    // An undeclared atomicMin racing a volatile store: the RMW side is
+    // inherently monotonic; the other side's single value keeps the
+    // pair benign.
+    const SiteId rmw_site = SiteRegistry::instance().intern(
+        "cls.cpp", 7, "offer min");
+    const SiteId store_site = SiteRegistry::instance().intern(
+        "cls.cpp", 8, "clear best", Expectation::kStaleTolerant);
+    MemRequest rmw;
+    rmw.addr = 0;
+    rmw.size = 4;
+    rmw.kind = MemOpKind::kRmw;
+    rmw.rmw = RmwOp::kMin;
+    rmw.site = rmw_site;
+    det_.onAccess(thread(1, 1), rmw, 0, 4, 3, 9);
+    MemRequest vol;
+    vol.addr = 0;
+    vol.size = 4;
+    vol.kind = MemOpKind::kStore;
+    vol.mode = AccessMode::kVolatile;
+    vol.site = store_site;
+    det_.onAccess(thread(2, 2), vol, 0, 4, ~u64{0}, 3);
+    const auto classified = classifyAll(det_);
+    ASSERT_EQ(classified.size(), 1u);
+    // Worse side wins: stale-tolerant (2) outranks monotonic (1).
+    EXPECT_EQ(classified[0].cls, RaceClass::kStaleReadTolerant);
+}
+
+TEST_F(ClassifyTest, StaleTolerantReadAgainstBenignWrite)
+{
+    const SiteId write_site = SiteRegistry::instance().intern(
+        "cls.cpp", 9, "benign write", Expectation::kIdempotent);
+    const SiteId read_site = SiteRegistry::instance().intern(
+        "cls.cpp", 10, "tolerant read", Expectation::kStaleTolerant);
+    access(thread(1, 1), 0, 4, true, false, Scope::kDevice,
+           MemoryOrder::kRelaxed, write_site, 1, 0);
+    access(thread(2, 2), 0, 4, false, false, Scope::kDevice,
+           MemoryOrder::kRelaxed, read_site);
+    const auto classified = classifyAll(det_);
+    ASSERT_EQ(classified.size(), 1u);
+    EXPECT_EQ(classified[0].cls, RaceClass::kStaleReadTolerant);
+}
+
+TEST_F(ClassifyTest, UnattributedMixedWritePairIsHarmful)
+{
+    // Neither side is attributed and the write evidence is mixed:
+    // nothing justifies the pair, so it fails the gate.
+    access(thread(1, 1), 0, 4, true, false, Scope::kDevice,
+           MemoryOrder::kRelaxed, kUnknownSite, /*value=*/9, /*old=*/0);
+    access(thread(2, 2), 0, 4, true, false, Scope::kDevice,
+           MemoryOrder::kRelaxed, kUnknownSite, /*value=*/2, /*old=*/9);
+    access(thread(3, 3), 0, 4, false, false);
+    const auto classified = classifyAll(det_);
+    ASSERT_FALSE(classified.empty());
+    for (const auto& race : classified)
+        EXPECT_EQ(race.cls, RaceClass::kUnknownHarmful);
+}
+
+TEST_F(ClassifyTest, NonAtomicWideAccessIsWordTearing)
+{
+    const SiteId site = SiteRegistry::instance().intern(
+        "cls.cpp", 11, "wide volatile read", Expectation::kTearing);
+    MemRequest wide;
+    wide.addr = 0;
+    wide.size = 8;
+    wide.kind = MemOpKind::kLoad;
+    wide.mode = AccessMode::kVolatile;
+    wide.site = site;
+    det_.onAccess(thread(1, 1), wide, 0, 8, 0, 0);
+    access(thread(2, 2), 0, 4, true, false, Scope::kDevice,
+           MemoryOrder::kRelaxed, kUnknownSite, 1, 0);
+    const auto classified = classifyAll(det_);
+    ASSERT_EQ(classified.size(), 1u);
+    EXPECT_EQ(classified[0].cls, RaceClass::kWordTearing);
+    // The paper's conditional-benign sense: reported but gate-passing.
+    EXPECT_TRUE(classIsBenign(classified[0].cls));
+}
+
+TEST_F(ClassifyTest, TearingDeclarationOnNarrowAccessIsDemoted)
+{
+    // A stale kTearing annotation on an access that cannot tear is
+    // refused rather than blessed.
+    const SiteId site = SiteRegistry::instance().intern(
+        "cls.cpp", 12, "bogus tearing claim", Expectation::kTearing);
+    const auto r = racingWrites(site, {{1, 0}, {1, 1}});
+    EXPECT_EQ(r.cls, RaceClass::kUnknownHarmful);
+    EXPECT_NE(r.reason.find("cannot tear"), std::string::npos);
+}
+
+// ----------------------------------------------------------- gate logic
+
+class GateTest : public ::testing::Test
+{
+  protected:
+    GateTest()
+    {
+        config_.algos = {harness::Algo::kCc};
+        config_.include_apsp = false;
+        config_.undirected_inputs = {"x"};
+    }
+
+    static CellResult
+    cell(algos::Variant variant, u64 pairs,
+         std::vector<ClassifiedReport> races, bool valid = true)
+    {
+        CellResult r;
+        r.cell.algo = harness::Algo::kCc;
+        r.cell.variant = variant;
+        r.cell.input = "x";
+        r.output_valid = valid;
+        r.total_pairs = pairs;
+        r.races = std::move(races);
+        return r;
+    }
+
+    static ClassifiedReport
+    race(RaceClass cls, const std::string& allocation)
+    {
+        ClassifiedReport r;
+        r.report.allocation = allocation;
+        r.report.count = 1;
+        r.cls = cls;
+        r.reason = "test";
+        return r;
+    }
+
+    RunnerConfig config_;
+};
+
+TEST_F(GateTest, BenignBaselineOnPaperArrayPasses)
+{
+    const auto gate = evaluateGate(
+        config_,
+        {cell(algos::Variant::kBaseline, 10,
+              {race(RaceClass::kStaleReadTolerant, "cc.parent")}),
+         cell(algos::Variant::kRaceFree, 0, {})});
+    EXPECT_TRUE(gate.pass) << gate.failures.front();
+}
+
+TEST_F(GateTest, RaceOnRaceFreeVariantFails)
+{
+    const auto gate = evaluateGate(
+        config_,
+        {cell(algos::Variant::kBaseline, 10,
+              {race(RaceClass::kStaleReadTolerant, "cc.parent")}),
+         cell(algos::Variant::kRaceFree, 1,
+              {race(RaceClass::kIdempotentWrite, "cc.parent")})});
+    EXPECT_FALSE(gate.pass);
+}
+
+TEST_F(GateTest, SilentBaselineFails)
+{
+    // The paper reports racy baselines; a detector that stops seeing
+    // them has regressed.
+    const auto gate =
+        evaluateGate(config_, {cell(algos::Variant::kBaseline, 0, {}),
+                               cell(algos::Variant::kRaceFree, 0, {})});
+    EXPECT_FALSE(gate.pass);
+}
+
+TEST_F(GateTest, UnclassifiedBaselineRaceFails)
+{
+    const auto gate = evaluateGate(
+        config_,
+        {cell(algos::Variant::kBaseline, 10,
+              {race(RaceClass::kUnknownHarmful, "cc.parent")}),
+         cell(algos::Variant::kRaceFree, 0, {})});
+    EXPECT_FALSE(gate.pass);
+}
+
+TEST_F(GateTest, RaceOffThePaperArraysFails)
+{
+    const auto gate = evaluateGate(
+        config_,
+        {cell(algos::Variant::kBaseline, 10,
+              {race(RaceClass::kStaleReadTolerant, "something.else")}),
+         cell(algos::Variant::kRaceFree, 0, {})});
+    EXPECT_FALSE(gate.pass);
+}
+
+TEST_F(GateTest, InvalidOutputFails)
+{
+    const auto gate = evaluateGate(
+        config_,
+        {cell(algos::Variant::kBaseline, 10,
+              {race(RaceClass::kStaleReadTolerant, "cc.parent")}),
+         cell(algos::Variant::kRaceFree, 0, {}, /*valid=*/false)});
+    EXPECT_FALSE(gate.pass);
+}
+
+// ----------------------------------------------------------- runner
+
+TEST(Runner, CellListIsStable)
+{
+    RunnerConfig config;
+    config.algos = {harness::Algo::kCc, harness::Algo::kScc};
+    config.undirected_inputs = {"a", "b"};
+    config.directed_inputs = {"d"};
+    config.include_apsp = true;
+    const auto cells = racecheckCells(config);
+    // cc: 2 variants x 2 inputs, scc: 2 variants x 1 input, apsp: 1.
+    ASSERT_EQ(cells.size(), 7u);
+    EXPECT_EQ(cellName(cells[0]), "CC/baseline/a");
+    EXPECT_EQ(cellName(cells[1]), "CC/baseline/b");
+    EXPECT_EQ(cellName(cells[2]), "CC/race-free/a");
+    EXPECT_EQ(cellName(cells[4]), "SCC/baseline/d");
+    EXPECT_TRUE(cells.back().apsp);
+    EXPECT_EQ(cellName(cells.back()),
+              "apsp/uniform-" + std::to_string(config.apsp_vertices));
+}
+
+TEST(Runner, SingleCellFindsClassifiedBaselineRaces)
+{
+    RunnerConfig config;
+    config.graph_divisor = 32768;  // smallest catalog size
+    RacecheckCell cell;
+    cell.algo = harness::Algo::kCc;
+    cell.variant = algos::Variant::kBaseline;
+    cell.input = "rmat22.sym";
+    const auto result = runRacecheckCell(config, cell, 7);
+    EXPECT_TRUE(result.output_valid) << result.detail;
+    EXPECT_GT(result.total_pairs, 0u);
+    ASSERT_FALSE(result.races.empty());
+    for (const auto& race : result.races) {
+        EXPECT_TRUE(classIsBenign(race.cls))
+            << race.report.describe() << " (" << race.reason << ")";
+        EXPECT_EQ(race.report.allocation, "cc.parent");
+    }
+}
+
+TEST(Runner, SingleCellIsDeterministicPerSeed)
+{
+    RunnerConfig config;
+    config.graph_divisor = 32768;
+    RacecheckCell cell;
+    cell.algo = harness::Algo::kMis;
+    cell.variant = algos::Variant::kBaseline;
+    cell.input = "rmat22.sym";
+    const auto a = runRacecheckCell(config, cell, 42);
+    const auto b = runRacecheckCell(config, cell, 42);
+    ASSERT_EQ(a.races.size(), b.races.size());
+    EXPECT_EQ(a.total_pairs, b.total_pairs);
+    EXPECT_EQ(a.checks, b.checks);
+    for (size_t i = 0; i < a.races.size(); ++i)
+        EXPECT_EQ(a.races[i].report.describe(),
+                  b.races[i].report.describe());
+}
+
+TEST(Runner, RaceFreeCellIsClean)
+{
+    RunnerConfig config;
+    config.graph_divisor = 32768;
+    RacecheckCell cell;
+    cell.algo = harness::Algo::kGc;
+    cell.variant = algos::Variant::kRaceFree;
+    cell.input = "rmat22.sym";
+    const auto result = runRacecheckCell(config, cell, 7);
+    EXPECT_TRUE(result.output_valid) << result.detail;
+    EXPECT_EQ(result.total_pairs, 0u);
+    EXPECT_TRUE(result.races.empty());
+}
+
+}  // namespace
+}  // namespace eclsim::racecheck

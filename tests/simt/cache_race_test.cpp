@@ -79,9 +79,28 @@ class RaceDetectorTest : public ::testing::Test
     }
 
     ThreadInfo
-    thread(u32 id, u32 block = 0, u16 epoch = 0, u32 launch = 1)
+    thread(u32 id, u32 block = 0, u32 epoch = 0, u32 launch = 1)
     {
         return ThreadInfo{launch, id, block, epoch};
+    }
+
+    /** Issue one plain/atomic load/store/RMW against the detector. */
+    void
+    access(const ThreadInfo& who, u64 addr, u8 size, bool is_write,
+           bool is_atomic, Scope scope = Scope::kDevice)
+    {
+        MemRequest req;
+        req.addr = addr;
+        req.size = size;
+        if (is_atomic) {
+            req.kind = MemOpKind::kRmw;
+            req.rmw = RmwOp::kAdd;
+            req.scope = scope;
+        } else {
+            req.kind = is_write ? MemOpKind::kStore : MemOpKind::kLoad;
+        }
+        detector_.onAccess(who, req, addr, size, /*value_bits=*/1,
+                           /*old_bits=*/0);
     }
 
     DeviceMemory memory_;
@@ -91,8 +110,8 @@ class RaceDetectorTest : public ::testing::Test
 
 TEST_F(RaceDetectorTest, WriteWriteConflict)
 {
-    detector_.onAccess(thread(1), data_.raw(), 4, true, false);
-    detector_.onAccess(thread(2), data_.raw(), 4, true, false);
+    access(thread(1), data_.raw(), 4, true, false);
+    access(thread(2), data_.raw(), 4, true, false);
     EXPECT_GT(detector_.totalRaces(), 0u);
     EXPECT_TRUE(detector_.hasRaceOn("shared"));
     EXPECT_EQ(detector_.reports()[0].kind, RaceKind::kWriteWrite);
@@ -100,87 +119,138 @@ TEST_F(RaceDetectorTest, WriteWriteConflict)
 
 TEST_F(RaceDetectorTest, ReadWriteConflictBothOrders)
 {
-    detector_.onAccess(thread(1), data_.raw(), 4, false, false);
-    detector_.onAccess(thread(2), data_.raw(), 4, true, false);
+    access(thread(1), data_.raw(), 4, false, false);
+    access(thread(2), data_.raw(), 4, true, false);
     EXPECT_GT(detector_.totalRaces(), 0u);
 
     detector_.reset();
-    detector_.onAccess(thread(1), data_.raw(), 4, true, false);
-    detector_.onAccess(thread(2), data_.raw(), 4, false, false);
+    access(thread(1), data_.raw(), 4, true, false);
+    access(thread(2), data_.raw(), 4, false, false);
     EXPECT_GT(detector_.totalRaces(), 0u);
 }
 
 TEST_F(RaceDetectorTest, ReadReadIsFine)
 {
-    detector_.onAccess(thread(1), data_.raw(), 4, false, false);
-    detector_.onAccess(thread(2), data_.raw(), 4, false, false);
+    access(thread(1), data_.raw(), 4, false, false);
+    access(thread(2), data_.raw(), 4, false, false);
     EXPECT_EQ(detector_.totalRaces(), 0u);
 }
 
 TEST_F(RaceDetectorTest, AtomicPairSynchronizes)
 {
-    detector_.onAccess(thread(1), data_.raw(), 4, true, true);
-    detector_.onAccess(thread(2), data_.raw(), 4, true, true);
+    access(thread(1), data_.raw(), 4, true, true);
+    access(thread(2), data_.raw(), 4, true, true);
     EXPECT_EQ(detector_.totalRaces(), 0u);
 }
 
 TEST_F(RaceDetectorTest, AtomicNonAtomicStillRaces)
 {
     // Mixed atomic/plain on the same location is still a data race.
-    detector_.onAccess(thread(1), data_.raw(), 4, true, true);
-    detector_.onAccess(thread(2), data_.raw(), 4, true, false);
+    access(thread(1), data_.raw(), 4, true, true);
+    access(thread(2), data_.raw(), 4, true, false);
     EXPECT_GT(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, BlockScopeAtomicsSynchronizeWithinBlock)
+{
+    access(thread(1, /*block=*/3), data_.raw(), 4, true, true,
+           Scope::kBlock);
+    access(thread(2, /*block=*/3), data_.raw(), 4, true, true,
+           Scope::kBlock);
+    EXPECT_EQ(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, BlockScopeAtomicsRaceAcrossBlocks)
+{
+    // cuda::thread_scope_block atomicity does not reach other blocks —
+    // the scope-blind excuse the old detector applied. Both sides
+    // being "atomic" must not silence the report.
+    access(thread(1, /*block=*/3), data_.raw(), 4, true, true,
+           Scope::kBlock);
+    access(thread(2, /*block=*/4), data_.raw(), 4, true, true,
+           Scope::kBlock);
+    EXPECT_GT(detector_.totalRaces(), 0u);
+    EXPECT_TRUE(detector_.hasRaceOn("shared"));
+}
+
+TEST_F(RaceDetectorTest, MixedScopeAtomicRacesAcrossBlocks)
+{
+    access(thread(1, /*block=*/3), data_.raw(), 4, true, true,
+           Scope::kBlock);
+    access(thread(2, /*block=*/4), data_.raw(), 4, true, true,
+           Scope::kDevice);
+    EXPECT_GT(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, DeviceScopeAtomicsSynchronizeAcrossBlocks)
+{
+    access(thread(1, /*block=*/3), data_.raw(), 4, true, true,
+           Scope::kDevice);
+    access(thread(2, /*block=*/4), data_.raw(), 4, true, true,
+           Scope::kSystem);
+    EXPECT_EQ(detector_.totalRaces(), 0u);
 }
 
 TEST_F(RaceDetectorTest, SameThreadIsProgramOrdered)
 {
-    detector_.onAccess(thread(1), data_.raw(), 4, true, false);
-    detector_.onAccess(thread(1), data_.raw(), 4, true, false);
+    access(thread(1), data_.raw(), 4, true, false);
+    access(thread(1), data_.raw(), 4, true, false);
     EXPECT_EQ(detector_.totalRaces(), 0u);
 }
 
 TEST_F(RaceDetectorTest, BarrierOrdersSameBlock)
 {
-    detector_.onAccess(thread(1, /*block=*/3, /*epoch=*/0), data_.raw(), 4,
-                       true, false);
-    detector_.onAccess(thread(2, /*block=*/3, /*epoch=*/1), data_.raw(), 4,
-                       true, false);
+    access(thread(1, /*block=*/3, /*epoch=*/0), data_.raw(), 4, true,
+           false);
+    access(thread(2, /*block=*/3, /*epoch=*/1), data_.raw(), 4, true,
+           false);
     EXPECT_EQ(detector_.totalRaces(), 0u);
 }
 
 TEST_F(RaceDetectorTest, BarrierDoesNotOrderAcrossBlocks)
 {
-    detector_.onAccess(thread(1, /*block=*/3, /*epoch=*/0), data_.raw(), 4,
-                       true, false);
-    detector_.onAccess(thread(2, /*block=*/4, /*epoch=*/1), data_.raw(), 4,
-                       true, false);
+    access(thread(1, /*block=*/3, /*epoch=*/0), data_.raw(), 4, true,
+           false);
+    access(thread(2, /*block=*/4, /*epoch=*/1), data_.raw(), 4, true,
+           false);
     EXPECT_GT(detector_.totalRaces(), 0u);
+}
+
+TEST_F(RaceDetectorTest, EpochCounterDoesNotWrapAt65536)
+{
+    // Regression: the epoch field used to be u16, so barrier epoch
+    // 65539 aliased epoch 3 and two barrier-separated accesses of a
+    // long-running kernel looked concurrent again. With the widened
+    // u32 epoch the ordering survives past 2^16 barriers.
+    access(thread(1, /*block=*/3, /*epoch=*/3), data_.raw(), 4, true,
+           false);
+    access(thread(2, /*block=*/3, /*epoch=*/65539), data_.raw(), 4, true,
+           false);
+    EXPECT_EQ(detector_.totalRaces(), 0u);
 }
 
 TEST_F(RaceDetectorTest, KernelBoundaryOrdersEverything)
 {
-    detector_.onAccess(thread(1, 0, 0, /*launch=*/1), data_.raw(), 4, true,
-                       false);
-    detector_.onAccess(thread(2, 0, 0, /*launch=*/2), data_.raw(), 4, true,
-                       false);
+    access(thread(1, 0, 0, /*launch=*/1), data_.raw(), 4, true, false);
+    access(thread(2, 0, 0, /*launch=*/2), data_.raw(), 4, true, false);
     EXPECT_EQ(detector_.totalRaces(), 0u);
 }
 
 TEST_F(RaceDetectorTest, OverlapIsByteGranular)
 {
     // Writes to adjacent, non-overlapping bytes do not conflict.
-    detector_.onAccess(thread(1), data_.raw(), 1, true, false);
-    detector_.onAccess(thread(2), data_.raw() + 1, 1, true, false);
+    access(thread(1), data_.raw(), 1, true, false);
+    access(thread(2), data_.raw() + 1, 1, true, false);
     EXPECT_EQ(detector_.totalRaces(), 0u);
     // But a 4-byte write overlapping byte 1 does.
-    detector_.onAccess(thread(3), data_.raw(), 4, true, false);
+    access(thread(3), data_.raw(), 4, true, false);
     EXPECT_GT(detector_.totalRaces(), 0u);
 }
 
 TEST_F(RaceDetectorTest, ReportsAggregatePerAllocation)
 {
     for (u32 i = 0; i < 100; ++i)
-        detector_.onAccess(thread(i), data_.rawAt(i % 8), 4, true, false);
+        access(thread(i), data_.rawAt(i % 8), 4, true, false);
     // Many conflicts, but one write-write report line for "shared".
     size_t ww_reports = 0;
     for (const auto& r : detector_.reports())
@@ -194,8 +264,8 @@ TEST_F(RaceDetectorTest, ReportsAggregatePerAllocation)
 
 TEST_F(RaceDetectorTest, ResetClears)
 {
-    detector_.onAccess(thread(1), data_.raw(), 4, true, false);
-    detector_.onAccess(thread(2), data_.raw(), 4, true, false);
+    access(thread(1), data_.raw(), 4, true, false);
+    access(thread(2), data_.raw(), 4, true, false);
     detector_.reset();
     EXPECT_EQ(detector_.totalRaces(), 0u);
     EXPECT_EQ(detector_.summary(), "no data races detected\n");
