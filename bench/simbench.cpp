@@ -1,0 +1,374 @@
+/**
+ * @file
+ * simbench — host-side throughput benchmark of the SIMT simulator.
+ *
+ * Every paper table is a sweep of millions of simulated memory accesses
+ * through eclsim::simt, so host-side simulator throughput bounds
+ * everything: sweep latency, chaos campaigns, racecheck runs. simbench
+ * pins a small set of synthetic kernels plus one reference harness cell
+ * and reports simulated accesses/sec, launches/sec, and the wall time
+ * of the pinned sweep, as JSON (BENCH_SIM.json) for the CI perf gate.
+ *
+ * Workloads:
+ *   stream   grid-stride plain loads+stores (the L1 fast path)
+ *   atomics  atomicAdd over a scattered histogram (the L2 atomic path)
+ *   frames   many short-lived threads: one store each, many launches
+ *            (stresses coroutine-frame allocation and per-launch setup)
+ *   sweep    one pinned table4-style harness cell (CC on as-skitter),
+ *            baseline + race-free, best of reps
+ *
+ * Each workload runs --reps times on the hookless fast path AND on the
+ * general (slow) path with all hooks null (EngineOptions::
+ * force_slow_path), so the dispatch overhead itself is visible. The two
+ * paths are bit-identical by contract — simbench asserts the access
+ * counts agree — only wall time may differ.
+ *
+ * JSON layout: "workloads" carries raw counts and both wall times;
+ * "metrics" carries the higher-is-better numbers the CI gate diffs
+ * against the committed baseline (fast path only); "comparison" carries
+ * the slow-path throughputs and fast/slow ratios, for information.
+ *
+ * Flags (beyond the common ones):
+ *   --quick        smaller workloads for CI (the committed baseline is
+ *                  recorded in this mode)
+ *   --json=PATH    output path (default BENCH_SIM.json)
+ *   --reps=N       reps per workload (default 3, best-of)
+ */
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/flags.hpp"
+#include "core/logging.hpp"
+#include "graph/input_catalog.hpp"
+#include "harness/experiment.hpp"
+#include "simt/engine.hpp"
+#include "simt/gpu_spec.hpp"
+
+namespace eclsim {
+namespace {
+
+using simt::DeviceMemory;
+using simt::Engine;
+using simt::EngineOptions;
+using simt::LaunchConfig;
+using simt::Task;
+using simt::ThreadCtx;
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/** One workload's best-of-reps result, fast and slow path. */
+struct WorkloadResult
+{
+    std::string name;
+    u64 accesses = 0;       ///< simulated accesses per rep
+    u64 launches = 0;       ///< kernel launches per rep
+    u64 threads = 0;        ///< simulated threads created per rep
+    double wall_s = 0;      ///< best wall seconds, hookless fast path
+    double wall_s_slow = 0; ///< best wall seconds, forced general path
+
+    double
+    fastOverSlow() const
+    {
+        return wall_s > 0 ? wall_s_slow / wall_s : 0.0;
+    }
+};
+
+/** Run fn() reps times; returns the minimum wall-seconds. */
+template <typename Fn>
+double
+bestOf(u32 reps, Fn&& fn)
+{
+    double best = 1e300;
+    for (u32 r = 0; r < reps; ++r) {
+        const double t0 = nowSeconds();
+        fn();
+        best = std::min(best, nowSeconds() - t0);
+    }
+    return best;
+}
+
+EngineOptions
+benchOptions(bool slow)
+{
+    EngineOptions options;
+    options.seed = 42;
+    options.force_slow_path = slow;
+    return options;
+}
+
+/** Run one engine-level workload body on both paths, asserting the
+ *  simulated access counts are path-independent. */
+template <typename Body>
+void
+bothPaths(u32 reps, WorkloadResult& out, Body&& body)
+{
+    u64 fast_accesses = 0;
+    out.wall_s = bestOf(reps, [&] { fast_accesses = body(false); });
+    out.wall_s_slow = bestOf(reps, [&] { out.accesses = body(true); });
+    ECLSIM_ASSERT(fast_accesses == out.accesses,
+                  "{}: fast path simulated {} accesses, slow path {}",
+                  out.name, fast_accesses, out.accesses);
+}
+
+/** Grid-stride plain loads+stores over a working set that fits the L2:
+ *  the per-access fast path with high L1/L2 hit rates. */
+WorkloadResult
+runStream(u32 reps, bool quick)
+{
+    const u32 n = 1u << 18;  // 1 MiB of u32
+    const u32 grid = quick ? 256 : 1024;
+    const u32 rounds = 16;
+
+    WorkloadResult out{"stream"};
+    bothPaths(reps, out, [&](bool slow) -> u64 {
+        DeviceMemory memory;
+        Engine engine(simt::titanV(), memory, benchOptions(slow));
+        auto src = memory.alloc<u32>(n, "src");
+        auto dst = memory.alloc<u32>(n, "dst");
+        LaunchConfig cfg;
+        cfg.grid = grid;
+        cfg.block_x = 256;
+        const auto stats = engine.launch(
+            "stream", cfg, [&](ThreadCtx& t) -> Task {
+                for (u32 r = 0; r < rounds; ++r) {
+                    for (u32 i = t.globalThreadId(); i < n;
+                         i += t.gridSize()) {
+                        const u32 v = co_await t.load(src, i);
+                        co_await t.store(dst, i, v + r);
+                    }
+                }
+            });
+        ECLSIM_ASSERT(engine.usedFastPath() == !slow,
+                      "stream: wrong access path selected");
+        out.launches = 1;
+        out.threads = cfg.totalThreads();
+        return stats.mem.loads + stats.mem.stores;
+    });
+    return out;
+}
+
+/** Scattered atomicAdds: the L2 atomic-unit path. */
+WorkloadResult
+runAtomics(u32 reps, bool quick)
+{
+    const u32 slots = 1u << 12;
+    const u32 grid = quick ? 128 : 512;
+    const u32 rounds = 32;
+
+    WorkloadResult out{"atomics"};
+    bothPaths(reps, out, [&](bool slow) -> u64 {
+        DeviceMemory memory;
+        Engine engine(simt::titanV(), memory, benchOptions(slow));
+        auto hist = memory.alloc<u32>(slots, "hist");
+        LaunchConfig cfg;
+        cfg.grid = grid;
+        cfg.block_x = 256;
+        const auto stats = engine.launch(
+            "atomics", cfg, [&](ThreadCtx& t) -> Task {
+                u32 h = t.globalThreadId() * 2654435761u;
+                for (u32 r = 0; r < rounds; ++r) {
+                    co_await t.atomicAdd(hist, h & (slots - 1), u32{1});
+                    h = h * 1664525u + 1013904223u;
+                }
+            });
+        out.launches = 1;
+        out.threads = cfg.totalThreads();
+        return stats.mem.rmws;
+    });
+    return out;
+}
+
+/** Many launches of many short-lived threads (one store each): the
+ *  coroutine-frame and per-launch-setup hot path. */
+WorkloadResult
+runFrames(u32 reps, bool quick)
+{
+    const u32 launches = quick ? 16 : 48;
+    const u32 grid = 1024;
+    const u32 block = 256;
+
+    WorkloadResult out{"frames"};
+    bothPaths(reps, out, [&](bool slow) -> u64 {
+        DeviceMemory memory;
+        Engine engine(simt::titanV(), memory, benchOptions(slow));
+        auto data = memory.alloc<u32>(grid * block, "data");
+        LaunchConfig cfg;
+        cfg.grid = grid;
+        cfg.block_x = block;
+        u64 accesses = 0;
+        for (u32 l = 0; l < launches; ++l) {
+            const auto stats = engine.launch(
+                "frames", cfg, [&](ThreadCtx& t) -> Task {
+                    co_await t.store(data, t.globalThreadId(),
+                                     t.blockId());
+                });
+            accesses += stats.mem.stores;
+        }
+        out.launches = launches;
+        out.threads = static_cast<u64>(launches) * cfg.totalThreads();
+        return accesses;
+    });
+    return out;
+}
+
+/** One pinned reference harness cell: CC on as-skitter, both variants,
+ *  fixed divisor/seed — the shape every paper table is made of. */
+WorkloadResult
+runSweep(u32 reps, bool quick)
+{
+    const u32 divisor = quick ? 2048 : 1024;
+    const auto& graph =
+        graph::InputCatalog::shared().get("as-skitter", divisor);
+
+    harness::ExperimentConfig config;
+    config.reps = 2;
+    config.graph_divisor = divisor;
+    config.seed = 12345;
+    config.jobs = 1;
+
+    WorkloadResult out{"sweep"};
+    out.launches = 1;  // one cell
+    const auto cell = [&](bool slow) {
+        config.force_slow_path = slow;
+        const auto m = harness::measureSeeded(
+            simt::titanV(), graph, "as-skitter", harness::Algo::kCc,
+            config, harness::cellSeed(config.seed, 0));
+        ECLSIM_ASSERT(m.baseline_ms > 0 && m.racefree_ms > 0,
+                      "sweep cell measured zero time");
+    };
+    out.wall_s = bestOf(reps, [&] { cell(false); });
+    out.wall_s_slow = bestOf(reps, [&] { cell(true); });
+    return out;
+}
+
+/**
+ * Pre-PR reference throughputs, for the record. Measured with this same
+ * benchmark (--quick --reps=3, best of two interleaved rounds) against
+ * the engine as of commit 63204ae — before the hookless fast path,
+ * frame pooling, and the cache/memcpy specializations — on the machine
+ * that recorded the committed baseline. Informational only: the CI gate
+ * diffs "metrics" against BENCH_SIM.baseline.json, never against these.
+ */
+constexpr struct
+{
+    double stream_maccps = 25.30;   ///< M accesses/s
+    double atomics_maccps = 25.72;  ///< M accesses/s
+    double frames_maccps = 16.91;   ///< M accesses/s
+    double sweep_ms = 5.83;         ///< ms per pinned cell
+} kPrePrReference;
+
+void
+writeJson(const std::string& path, bool quick,
+          const std::vector<WorkloadResult>& results)
+{
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot write {}", path);
+    file.precision(6);
+    file << "{\n  \"schema\": 2,\n  \"quick\": "
+         << (quick ? "true" : "false") << ",\n  \"workloads\": {\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        file << "    \"" << r.name << "\": {\"accesses\": " << r.accesses
+             << ", \"launches\": " << r.launches
+             << ", \"threads\": " << r.threads
+             << ", \"wall_s\": " << r.wall_s
+             << ", \"wall_s_slow\": " << r.wall_s_slow << "}"
+             << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    file << "  },\n  \"metrics\": {\n";
+    // Flat higher-is-better fast-path metrics: these are what the CI
+    // gate diffs against the committed baseline.
+    std::vector<std::pair<std::string, double>> metrics;
+    for (const auto& r : results) {
+        if (r.accesses > 0)
+            metrics.emplace_back(r.name + "_accesses_per_sec",
+                                 static_cast<double>(r.accesses) / r.wall_s);
+        if (r.name == "frames") {
+            metrics.emplace_back("frames_launches_per_sec",
+                                 static_cast<double>(r.launches) / r.wall_s);
+            metrics.emplace_back("frames_threads_per_sec",
+                                 static_cast<double>(r.threads) / r.wall_s);
+        }
+        if (r.name == "sweep")
+            metrics.emplace_back("sweep_cells_per_sec", 1.0 / r.wall_s);
+    }
+    for (size_t i = 0; i < metrics.size(); ++i)
+        file << "    \"" << metrics[i].first << "\": " << metrics[i].second
+             << (i + 1 < metrics.size() ? "," : "") << "\n";
+    // Informational: the forced general path and the fast/slow ratio.
+    // Not gated — the slow path is allowed to get slower if the fast
+    // path does not.
+    file << "  },\n  \"comparison\": {\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        file << "    \"" << r.name << "_slow_accesses_per_sec\": "
+             << (r.accesses > 0 && r.wall_s_slow > 0
+                     ? static_cast<double>(r.accesses) / r.wall_s_slow
+                     : 0.0)
+             << ",\n    \"" << r.name
+             << "_fast_over_slow\": " << r.fastOverSlow()
+             << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    // Pre-PR engine throughputs on the baseline machine (see
+    // kPrePrReference) so the speedup over the unoptimized engine stays
+    // visible next to the current numbers.
+    file << "  },\n  \"pre_pr_reference\": {\n"
+         << "    \"note\": \"engine at commit 63204ae, same machine, "
+            "--quick --reps=3\",\n"
+         << "    \"stream_accesses_per_sec\": "
+         << kPrePrReference.stream_maccps * 1e6 << ",\n"
+         << "    \"atomics_accesses_per_sec\": "
+         << kPrePrReference.atomics_maccps * 1e6 << ",\n"
+         << "    \"frames_accesses_per_sec\": "
+         << kPrePrReference.frames_maccps * 1e6 << ",\n"
+         << "    \"sweep_wall_s\": " << kPrePrReference.sweep_ms / 1e3
+         << "\n";
+    file << "  }\n}\n";
+}
+
+int
+simbenchMain(int argc, char** argv)
+{
+    Flags flags(argc, argv);
+    const bool quick = flags.getBool("quick", false);
+    const u32 reps = static_cast<u32>(flags.getInt("reps", 3));
+    const std::string json = flags.getString("json", "BENCH_SIM.json");
+
+    std::vector<WorkloadResult> results;
+    for (auto* fn : {runStream, runAtomics, runFrames, runSweep}) {
+        results.push_back(fn(reps, quick));
+        const auto& r = results.back();
+        std::cout << r.name << ": ";
+        if (r.accesses > 0)
+            std::cout << static_cast<double>(r.accesses) / r.wall_s / 1e6
+                      << " M accesses/s (fast), "
+                      << static_cast<double>(r.accesses) / r.wall_s_slow /
+                             1e6
+                      << " M accesses/s (slow), ";
+        std::cout << r.wall_s * 1e3 << " ms/rep, fast/slow "
+                  << r.fastOverSlow() << "x (best of " << reps << ")"
+                  << std::endl;
+    }
+    writeJson(json, quick, results);
+    std::cout << "(json written to " << json << ")" << std::endl;
+    return 0;
+}
+
+}  // namespace
+}  // namespace eclsim
+
+int
+main(int argc, char** argv)
+{
+    return eclsim::simbenchMain(argc, argv);
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Perf smoke test: run bench/simbench --quick and diff the emitted
+# BENCH_SIM.json against the committed baseline
+# (bench/BENCH_SIM.baseline.json).
+#
+# Two kinds of check:
+#   counts      simulated accesses / launches / threads per workload are
+#               deterministic and must match the baseline EXACTLY — a
+#               mismatch means the simulator's behavior changed, which
+#               is a hard failure regardless of speed;
+#   throughput  the higher-is-better "metrics" are wall-clock dependent
+#               and are gated softly: warn past SIMBENCH_WARN_PCT (10%)
+#               regression, fail past SIMBENCH_FAIL_PCT (25%).
+#
+# Usage: ./scripts/simbench_smoke.sh [build-dir]
+# Env:   SIMBENCH_WARN_PCT, SIMBENCH_FAIL_PCT, SIMBENCH_BASELINE,
+#        SIMBENCH_JSON (output path, default BENCH_SIM.json in $PWD)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+BASELINE="${SIMBENCH_BASELINE:-bench/BENCH_SIM.baseline.json}"
+JSON="${SIMBENCH_JSON:-BENCH_SIM.json}"
+WARN="${SIMBENCH_WARN_PCT:-10}"
+FAIL="${SIMBENCH_FAIL_PCT:-25}"
+
+echo "== simbench --quick =="
+"$BUILD/bench/simbench" --quick --json="$JSON"
+
+echo "== diff vs $BASELINE (warn >${WARN}%, fail >${FAIL}%) =="
+python3 - "$BASELINE" "$JSON" "$WARN" "$FAIL" <<'EOF'
+import json, sys
+
+baseline_path, current_path, warn_pct, fail_pct = sys.argv[1:5]
+warn_pct, fail_pct = float(warn_pct), float(fail_pct)
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(current_path) as f:
+    cur = json.load(f)
+
+failures = []
+
+# Hard check: the simulated work is deterministic. Counts that drift
+# mean the engine changed behavior, not just speed.
+for name, b in base["workloads"].items():
+    c = cur["workloads"].get(name)
+    if c is None:
+        failures.append(f"workload '{name}' missing from current run")
+        continue
+    for key in ("accesses", "launches", "threads"):
+        if b[key] != c[key]:
+            failures.append(
+                f"{name}.{key}: baseline {b[key]} != current {c[key]} "
+                "(simulated work must be deterministic)")
+
+# Soft gate: wall-clock throughput, relative to the committed baseline.
+worst = 0.0
+for key, b in base["metrics"].items():
+    c = cur["metrics"].get(key)
+    if c is None:
+        failures.append(f"metric '{key}' missing from current run")
+        continue
+    regression = 100.0 * (b - c) / b if b > 0 else 0.0
+    worst = max(worst, regression)
+    status = "ok"
+    if regression > fail_pct:
+        status = "FAIL"
+        failures.append(
+            f"{key}: {c:.3g} vs baseline {b:.3g} "
+            f"({regression:.1f}% regression > {fail_pct}%)")
+    elif regression > warn_pct:
+        status = f"WARN (>{warn_pct}%)"
+    print(f"  {key:32s} {c:12.4g}  base {b:12.4g}  "
+          f"{-regression:+6.1f}%  {status}")
+
+if failures:
+    print("\nperf smoke FAILED:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print(f"\nperf smoke passed (worst regression {worst:.1f}%)")
+EOF

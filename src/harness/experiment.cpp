@@ -59,6 +59,7 @@ engineOptions(const ExperimentConfig& config, u64 seed)
     options.memory.cache_divisor = config.cache_divisor;
     options.trace = config.trace;
     options.perturb = config.perturb;
+    options.force_slow_path = config.force_slow_path;
     return options;
 }
 

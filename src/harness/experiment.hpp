@@ -99,6 +99,13 @@ struct ExperimentConfig
      */
     std::function<std::unique_ptr<simt::PerturbationHooks>(u64)>
         perturb_factory;
+    /**
+     * Force every engine through the general (slow) memory access path
+     * even when no hooks are installed. Results are bit-identical either
+     * way; tests and bench/simbench use this to prove and price the
+     * fast path (see simt::EngineOptions::force_slow_path).
+     */
+    bool force_slow_path = false;
 };
 
 /** One (input, algorithm, GPU) comparison. */

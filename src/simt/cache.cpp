@@ -27,62 +27,18 @@ CacheModel::CacheModel(u64 capacity_bytes, u32 line_bytes, u32 ways)
     // Round sets down to a power of two for cheap indexing.
     while (num_sets_ & (num_sets_ - 1))
         num_sets_ &= num_sets_ - 1;
-    lines_.resize(static_cast<size_t>(num_sets_) * ways_);
-}
-
-bool
-CacheModel::access(u64 addr, bool is_store)
-{
-    const u64 line_addr = addr / line_bytes_;
-    const u32 set = static_cast<u32>(line_addr & (num_sets_ - 1));
-    const u64 tag = line_addr >> 1;  // includes set bits; uniqueness is all
-                                     // that matters for hit detection
-    Line* base = &lines_[static_cast<size_t>(set) * ways_];
-    ++tick_;
-
-    for (u32 w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].tag == line_addr) {
-            base[w].lru = tick_;
-            if (is_store)
-                ++stats_.store_hits;
-            else
-                ++stats_.load_hits;
-            return true;
-        }
-    }
-    (void)tag;
-    // Miss: replace the LRU way (write-allocate for stores too).
-    Line* victim = base;
-    for (u32 w = 1; w < ways_; ++w)
-        if (!base[w].valid || base[w].lru < victim->lru ||
-            (victim->valid && !base[w].valid))
-            victim = &base[w];
-    victim->valid = true;
-    victim->tag = line_addr;
-    victim->lru = tick_;
-    if (is_store)
-        ++stats_.store_misses;
-    else
-        ++stats_.load_misses;
-    return false;
-}
-
-bool
-CacheModel::contains(u64 addr) const
-{
-    const u64 line_addr = addr / line_bytes_;
-    const u32 set = static_cast<u32>(line_addr & (num_sets_ - 1));
-    const Line* base = &lines_[static_cast<size_t>(set) * ways_];
-    for (u32 w = 0; w < ways_; ++w)
-        if (base[w].valid && base[w].tag == line_addr)
-            return true;
-    return false;
+    line_shift_ = 0;
+    while ((u32{1} << line_shift_) < line_bytes_)
+        ++line_shift_;
+    tags_.assign(static_cast<size_t>(num_sets_) * ways_, kInvalidTag);
+    lru_.assign(static_cast<size_t>(num_sets_) * ways_, 0);
 }
 
 void
 CacheModel::clear()
 {
-    std::fill(lines_.begin(), lines_.end(), Line{});
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(lru_.begin(), lru_.end(), u64{0});
 }
 
 }  // namespace eclsim::simt

@@ -56,11 +56,82 @@ class CacheModel
      */
     CacheModel(u64 capacity_bytes, u32 line_bytes, u32 ways);
 
-    /** Look up addr; allocates the line on a miss. Returns true on hit. */
-    bool access(u64 addr, bool is_store);
+    /**
+     * Look up addr; allocates the line on a miss. Returns true on hit.
+     *
+     * Inline and division-free: the set index is (addr >> line_shift) &
+     * (num_sets - 1) with both factors precomputed in the constructor —
+     * the same function as the original addr / line_bytes % num_sets,
+     * so every hit-rate statistic is unchanged. This runs once or twice
+     * per simulated memory access and is the simulator's hottest leaf.
+     */
+    bool
+    access(u64 addr, bool is_store)
+    {
+        const u64 line_addr = addr >> line_shift_;
+        const u32 set = static_cast<u32>(line_addr & (num_sets_ - 1));
+        const size_t base = static_cast<size_t>(set) * ways_;
+        u64* tags = &tags_[base];
+        ++tick_;
+
+        // The default L1 is 4-way; compare its whole (32-byte,
+        // contiguous) tag row without loop-carried control flow.
+        if (ways_ == 4) {
+            const bool h0 = tags[0] == line_addr;
+            const bool h1 = tags[1] == line_addr;
+            const bool h2 = tags[2] == line_addr;
+            const bool h3 = tags[3] == line_addr;
+            if (h0 | h1 | h2 | h3) {
+                const u32 w = h0 ? 0 : (h1 ? 1 : (h2 ? 2 : 3));
+                lru_[base + w] = tick_;
+                if (is_store)
+                    ++stats_.store_hits;
+                else
+                    ++stats_.load_hits;
+                return true;
+            }
+        } else {
+            for (u32 w = 0; w < ways_; ++w) {
+                if (tags[w] == line_addr) {
+                    lru_[base + w] = tick_;
+                    if (is_store)
+                        ++stats_.store_hits;
+                    else
+                        ++stats_.load_hits;
+                    return true;
+                }
+            }
+        }
+        // Miss: replace the LRU way (write-allocate for stores too).
+        // Invalid lines carry lru == 0 while every filled line's lru is
+        // >= 1, so min-lru selection fills empty ways before evicting —
+        // the same tag leaves the set as with an explicit valid flag.
+        const u64* lru = &lru_[base];
+        u32 victim = 0;
+        for (u32 w = 1; w < ways_; ++w)
+            if (lru[w] < lru[victim])
+                victim = w;
+        tags[victim] = line_addr;
+        lru_[base + victim] = tick_;
+        if (is_store)
+            ++stats_.store_misses;
+        else
+            ++stats_.load_misses;
+        return false;
+    }
 
     /** Probe without counting or allocating. */
-    bool contains(u64 addr) const;
+    bool
+    contains(u64 addr) const
+    {
+        const u64 line_addr = addr >> line_shift_;
+        const u32 set = static_cast<u32>(line_addr & (num_sets_ - 1));
+        const u64* tags = &tags_[static_cast<size_t>(set) * ways_];
+        for (u32 w = 0; w < ways_; ++w)
+            if (tags[w] == line_addr)
+                return true;
+        return false;
+    }
 
     /** Invalidate all lines (between launches if desired). */
     void clear();
@@ -73,18 +144,24 @@ class CacheModel
     u32 ways() const { return ways_; }
 
   private:
-    struct Line
-    {
-        u64 tag = ~u64{0};
-        u64 lru = 0;  ///< larger = more recently used
-        bool valid = false;
-    };
+    /**
+     * Structure-of-arrays line storage: a 4-way set's tags are 32
+     * contiguous bytes, so the hit probe touches one host cache line.
+     * Validity is encoded in the tag: kInvalidTag can never equal a
+     * real line address (the arena is far smaller than 2^64 lines). An
+     * invalid line's lru of 0 is below every filled line's (tick_
+     * starts at 1), which preserves the fill-empty-ways-first victim
+     * choice of an explicit valid flag.
+     */
+    static constexpr u64 kInvalidTag = ~u64{0};
 
     u32 line_bytes_;
+    u32 line_shift_ = 0;  ///< log2(line_bytes_); division-free line index
     u32 ways_;
     u32 num_sets_;
     u64 tick_ = 0;
-    std::vector<Line> lines_;  ///< num_sets_ * ways_, set-major
+    std::vector<u64> tags_;  ///< num_sets_ * ways_, set-major
+    std::vector<u64> lru_;   ///< larger = more recent; 0 = never filled
     CacheStats stats_;
 };
 

@@ -48,52 +48,10 @@ DeviceMemory::allocation(size_t index) const
     return allocations_[index];
 }
 
-u32
-DeviceMemory::allocationIndexAt(u64 addr) const
-{
-    const u64 page = addr / kPageBytes;
-    ECLSIM_ASSERT(page < page_to_allocation_.size(),
-                  "address {} beyond arena", addr);
-    u32 index = page_to_allocation_[page];
-    ECLSIM_ASSERT(index != kNoAllocation, "address {} unmapped", addr);
-    // Walk back if addr belongs to the previous allocation on a shared page.
-    while (index > 0 && allocations_[index].offset > addr)
-        --index;
-    const Allocation& alloc = allocations_[index];
-    ECLSIM_ASSERT(addr >= alloc.offset && addr < alloc.offset + alloc.bytes,
-                  "address {} outside every allocation", addr);
-    return index;
-}
 
-const Allocation&
-DeviceMemory::allocationAt(u64 addr) const
-{
-    return allocations_[allocationIndexAt(addr)];
-}
 
-void
-DeviceMemory::checkRange(u64 addr, u64 bytes) const
-{
-    ECLSIM_ASSERT(addr + bytes <= arena_.size(),
-                  "device access [{}, {}) beyond arena size {}", addr,
-                  addr + bytes, arena_.size());
-}
 
-u64
-DeviceMemory::loadLive(u64 addr, u8 size) const
-{
-    checkRange(addr, size);
-    u64 value = 0;
-    std::memcpy(&value, arena_.data() + addr, size);
-    return value;
-}
 
-void
-DeviceMemory::storeLive(u64 addr, u8 size, u64 value)
-{
-    checkRange(addr, size);
-    std::memcpy(arena_.data() + addr, &value, size);
-}
 
 u64
 DeviceMemory::loadSnapshotAware(u64 addr, u8 size, u32 reader_thread) const

@@ -103,10 +103,37 @@ class DeviceMemory
     /** Number of allocations made so far. */
     size_t numAllocations() const { return allocations_.size(); }
     const Allocation& allocation(size_t index) const;
+
+    /**
+     * Index of the allocation containing addr. Inline: this sits on the
+     * per-access fast path (the snapshot-visibility test) — a page-table
+     * lookup plus at most a short walk across a shared page.
+     */
+    u32
+    allocationIndexAt(u64 addr) const
+    {
+        const u64 page = addr / kPageBytes;
+        ECLSIM_ASSERT(page < page_to_allocation_.size(),
+                      "address {} beyond arena", addr);
+        u32 index = page_to_allocation_[page];
+        ECLSIM_ASSERT(index != kNoAllocation, "address {} unmapped", addr);
+        // Walk back if addr belongs to the previous allocation on a
+        // shared page.
+        while (index > 0 && allocations_[index].offset > addr)
+            --index;
+        const Allocation& alloc = allocations_[index];
+        ECLSIM_ASSERT(addr >= alloc.offset &&
+                          addr < alloc.offset + alloc.bytes,
+                      "address {} outside every allocation", addr);
+        return index;
+    }
+
     /** Allocation containing the given byte address; panics if unmapped. */
-    const Allocation& allocationAt(u64 addr) const;
-    /** Index of the allocation containing addr. */
-    u32 allocationIndexAt(u64 addr) const;
+    const Allocation&
+    allocationAt(u64 addr) const
+    {
+        return allocations_[allocationIndexAt(addr)];
+    }
 
     u64 size() const { return arena_.size(); }
     bool hasSnapshotAllocs() const { return has_snapshot_allocs_; }
@@ -172,10 +199,62 @@ class DeviceMemory
 
     // --- device-side functional access (used by the memory subsystem) ---
 
-    /** Little-endian load of size bytes from the live arena. */
-    u64 loadLive(u64 addr, u8 size) const;
+    /** Little-endian load of size bytes from the live arena. Inline:
+     *  the per-access fast path's functional leaf. The switch turns
+     *  each memcpy's length into a compile-time constant — a single
+     *  load instruction — where a runtime length would be an actual
+     *  libc memcpy call on every simulated access. */
+    u64
+    loadLive(u64 addr, u8 size) const
+    {
+        checkRange(addr, size);
+        const u8* src = arena_.data() + addr;
+        switch (size) {
+          case 1:
+            return *src;
+          case 2: {
+            u16 v;
+            std::memcpy(&v, src, 2);
+            return v;
+          }
+          case 8: {
+            u64 v;
+            std::memcpy(&v, src, 8);
+            return v;
+          }
+          default: {
+            u32 v;
+            std::memcpy(&v, src, 4);
+            return v;
+          }
+        }
+    }
+
     /** Little-endian store of size bytes into the live arena. */
-    void storeLive(u64 addr, u8 size, u64 value);
+    void
+    storeLive(u64 addr, u8 size, u64 value)
+    {
+        checkRange(addr, size);
+        u8* dst = arena_.data() + addr;
+        switch (size) {
+          case 1:
+            *dst = static_cast<u8>(value);
+            break;
+          case 2: {
+            const u16 v = static_cast<u16>(value);
+            std::memcpy(dst, &v, 2);
+            break;
+          }
+          case 8:
+            std::memcpy(dst, &value, 8);
+            break;
+          default: {
+            const u32 v = static_cast<u32>(value);
+            std::memcpy(dst, &v, 4);
+            break;
+          }
+        }
+    }
     /**
      * Visibility-aware load: bytes written by reader_thread since the last
      * snapshot come from the live arena, all others from the snapshot.
@@ -193,7 +272,14 @@ class DeviceMemory
 
   private:
     u64 allocBytes(u64 bytes, std::string name, Visibility visibility);
-    void checkRange(u64 addr, u64 bytes) const;
+
+    void
+    checkRange(u64 addr, u64 bytes) const
+    {
+        ECLSIM_ASSERT(addr + bytes <= arena_.size(),
+                      "device access [{}, {}) beyond arena size {}", addr,
+                      addr + bytes, arena_.size());
+    }
 
     static constexpr u64 kPageBytes = 4096;
     static constexpr u32 kNoAllocation = ~u32{0};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <string>
 #include <tuple>
 
 #include "core/logging.hpp"
@@ -44,15 +45,18 @@ Engine::Engine(GpuSpec spec, DeviceMemory& memory, EngineOptions options)
         options_.perturb);
     if (trace_)
         kernel_track_ = trace_->track("kernels");
+    has_atomic_overrides_ =
+        options_.override_atomic_order || options_.override_atomic_scope;
     sm_cycles_.assign(spec_.num_sms, 0);
 }
 
 Engine::~Engine() = default;
 
-std::vector<u32>
-Engine::blockOrder(u32 grid) const
+const std::vector<u32>&
+Engine::blockOrder(u32 grid)
 {
-    std::vector<u32> order(grid);
+    std::vector<u32>& order = block_order_;
+    order.resize(grid);
     for (u32 b = 0; b < grid; ++b)
         order[b] = b;
     if (options_.shuffle_blocks && grid > 1) {
@@ -65,37 +69,6 @@ Engine::blockOrder(u32 grid) const
     if (options_.perturb && grid > 1)
         options_.perturb->reorderBlocks(order, launch_counter_);
     return order;
-}
-
-void
-Engine::applyAtomicOverrides(MemRequest& req) const
-{
-    const bool is_atomic =
-        req.kind == MemOpKind::kRmw || req.mode == AccessMode::kAtomic;
-    if (!is_atomic)
-        return;
-    if (options_.override_atomic_order)
-        req.order = options_.forced_atomic_order;
-    if (options_.override_atomic_scope)
-        req.scope = options_.forced_atomic_scope;
-}
-
-u64
-Engine::performImmediate(ThreadCtx& ctx, const MemRequest& req_in)
-{
-    MemRequest req = req_in;
-    applyAtomicOverrides(req);
-    const auto result = mem_subsystem_->performPieces(
-        ctx.info_, ctx.sm_, req, 0, req.pieces());
-    // Latency is overlapped with other resident warps; the issue slots
-    // are not. Both terms matter: the ratio between an L1 hit and an L2
-    // atomic as *observed throughput* is much smaller than the raw
-    // latency ratio on a well-occupied GPU.
-    const u64 hidden = static_cast<u64>(
-        static_cast<double>(result.latency) / spec_.latency_hiding);
-    sm_cycles_[ctx.sm_] +=
-        static_cast<u64>(spec_.issue_cycles) * req.pieces() + hidden;
-    return result.value_bits;
 }
 
 void
@@ -142,27 +115,10 @@ ThreadCtx::work(u32 cycles)
     engine_->chargeWork(*this, cycles);
 }
 
-bool
-MemAwaiterBase::await_ready()
-{
-    if (ctx_->engine_->fastMode()) {
-        result_bits_ = ctx_->engine_->performImmediate(*ctx_, req_);
-        immediate_ = true;
-        return true;
-    }
-    return false;
-}
-
 void
 MemAwaiterBase::await_suspend(std::coroutine_handle<>)
 {
     ctx_->engine_->submitAccess(*ctx_, req_);
-}
-
-u64
-MemAwaiterBase::await_resume()
-{
-    return immediate_ ? result_bits_ : ctx_->pending_bits_;
 }
 
 bool
@@ -179,7 +135,7 @@ BarrierAwaiter::await_suspend(std::coroutine_handle<>)
 }
 
 LaunchStats
-Engine::launch(const std::string& name, const LaunchConfig& config,
+Engine::launch(std::string_view name, const LaunchConfig& config,
                const std::function<Task(ThreadCtx&)>& kernel)
 {
     ECLSIM_ASSERT(config.grid >= 1 && config.blockSize() >= 1,
@@ -189,6 +145,11 @@ Engine::launch(const std::string& name, const LaunchConfig& config,
     barrier_count_.assign(config.grid, 0);
     block_alive_.assign(config.grid, config.blockSize());
     now_ = 0;
+    use_fast_path_ = fastMode() && mem_subsystem_->hookless() &&
+                     !options_.force_slow_path;
+    // Recycle coroutine frames through this engine's pool for the whole
+    // launch (kernel() instantiations allocate under this scope).
+    FramePool::Scope frame_scope(frame_pool_);
 
     const u64 races_before =
         detector_ ? detector_->reports().size() : 0;
@@ -224,13 +185,13 @@ Engine::launch(const std::string& name, const LaunchConfig& config,
 }
 
 void
-Engine::traceLaunchBegin(const std::string& name,
+Engine::traceLaunchBegin(std::string_view name,
                          const LaunchConfig& config)
 {
     if (!trace_)
         return;
     trace_base_ = trace_->cursor();
-    trace_->beginSpan(kernel_track_, name, trace_base_,
+    trace_->beginSpan(kernel_track_, std::string(name), trace_base_,
                       {{"grid", std::to_string(config.grid)},
                        {"block", std::to_string(config.blockSize())},
                        {"mode", fastMode() ? "fast" : "interleaved"}});
@@ -271,11 +232,11 @@ Engine::traceLaunchEnd(const LaunchStats& stats, u64 races_before)
 }
 
 void
-Engine::traceBlockSpan(u32 sm, u32 block, const std::string& name,
+Engine::traceBlockSpan(u32 sm, u32 block, std::string_view name,
                        u64 sm_begin, u64 sm_end)
 {
     const auto track = trace_->smTrack(sm);
-    trace_->beginSpan(track, name, trace_base_ + sm_begin,
+    trace_->beginSpan(track, std::string(name), trace_base_ + sm_begin,
                       {{"block", std::to_string(block)}});
     trace_->endSpan(track, trace_base_ + std::max(sm_end, sm_begin));
 }
@@ -285,16 +246,34 @@ Engine::runFast(const LaunchConfig& config,
                 const std::function<Task(ThreadCtx&)>& kernel,
                 LaunchStats& stats)
 {
-    const auto order = blockOrder(config.grid);
+    const auto& order = blockOrder(config.grid);
     const u32 block_size = config.blockSize();
-    std::vector<u8> shared(std::max<u32>(config.shared_bytes, 1));
+    // Reused scratch: zero-fill matches the value-initialized vector a
+    // fresh launch used to allocate (kernels may read shared memory
+    // before writing it).
+    std::vector<u8>& shared = shared_scratch_;
+    shared.assign(std::max<u32>(config.shared_bytes, 1), 0);
 
     // Wide launches get one aggregated residency span per SM instead of
     // one per block, so traces of full-table sweeps stay loadable.
     const bool trace_blocks =
         trace_ != nullptr && config.grid <= kMaxTracedBlockSpans;
 
-    std::vector<ThreadCtx> threads(block_size);
+    std::vector<ThreadCtx>& threads = thread_scratch_;
+    threads.resize(block_size);
+    // Launch-invariant fields, written once instead of once per thread
+    // per block (resetForReuse leaves them alone).
+    for (u32 t = 0; t < block_size; ++t) {
+        ThreadCtx& ctx = threads[t];
+        ctx.engine_ = this;
+        ctx.info_.launch = launch_counter_;
+        ctx.thread_in_block_ = t;
+        ctx.block_x_ = config.block_x;
+        ctx.block_y_ = config.block_y;
+        ctx.grid_ = config.grid;
+        ctx.shared_base_ = shared.data();
+        ctx.shared_limit_ = config.shared_bytes;
+    }
     for (u32 pos = 0; pos < config.grid; ++pos) {
         const u32 block = order[pos];
         const u32 sm = pos % spec_.num_sms;
@@ -304,18 +283,11 @@ Engine::runFast(const LaunchConfig& config,
 
         for (u32 t = 0; t < block_size; ++t) {
             ThreadCtx& ctx = threads[t];
-            ctx = ThreadCtx();
-            ctx.engine_ = this;
-            ctx.info_.launch = launch_counter_;
+            ctx.resetForReuse();
             ctx.info_.thread = block * block_size + t;
             ctx.info_.block = block;
             ctx.info_.epoch = 0;
             ctx.sm_ = sm;
-            ctx.thread_in_block_ = t;
-            ctx.block_x_ = config.block_x;
-            ctx.block_y_ = config.block_y;
-            ctx.grid_ = config.grid;
-            ctx.shared_base_ = shared.data();
             ctx.task_ = kernel(ctx);
         }
 
@@ -345,7 +317,9 @@ Engine::runFast(const LaunchConfig& config,
                     // Happens-before: join the participants' clocks so
                     // pre-barrier accesses order before post-barrier
                     // ones, transitively through prior synchronization.
-                    std::vector<u32> participants;
+                    std::vector<u32>& participants =
+                        participants_scratch_;
+                    participants.clear();
                     participants.reserve(alive);
                     for (u32 t = 0; t < block_size; ++t)
                         if (threads[t].at_barrier_)
@@ -380,6 +354,11 @@ Engine::runFast(const LaunchConfig& config,
                 traceBlockSpan(sm, config.grid, stats.kernel, 0,
                                sm_cycles_[sm]);
     }
+
+    // Destroy the contexts (capacity is kept) so every coroutine frame
+    // returns to frame_pool_ before the launch ends: the pool's
+    // outstanding count is zero between launches.
+    threads.clear();
 }
 
 void
@@ -392,7 +371,7 @@ Engine::runInterleaved(const LaunchConfig& config,
     ECLSIM_ASSERT(total <= options_.max_interleaved_threads,
                   "interleaved launch of {} threads exceeds the cap {}",
                   total, options_.max_interleaved_threads);
-    const auto order = blockOrder(config.grid);
+    const auto& order = blockOrder(config.grid);
     const u32 block_size = config.blockSize();
 
     std::vector<std::vector<u8>> shared(
@@ -426,6 +405,7 @@ Engine::runInterleaved(const LaunchConfig& config,
             ctx.block_y_ = config.block_y;
             ctx.grid_ = config.grid;
             ctx.shared_base_ = shared[block].data();
+            ctx.shared_limit_ = config.shared_bytes;
             ctx.task_ = kernel(ctx);
             // Small per-thread start jitter: real warp schedulers do not
             // start every thread in lockstep, and the jitter lets races
@@ -445,7 +425,8 @@ Engine::runInterleaved(const LaunchConfig& config,
         barrier_count_[block] = 0;
         const u64 base = block_start[block];
         if (detector_) {
-            std::vector<u32> participants;
+            std::vector<u32>& participants = participants_scratch_;
+            participants.clear();
             for (u32 t = 0; t < block_size; ++t)
                 if (threads[base + t].at_barrier_)
                     participants.push_back(

@@ -27,13 +27,16 @@
 
 #include <functional>
 #include <memory>
-#include <string>
+#include <new>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
+#include "core/logging.hpp"
 #include "core/types.hpp"
 #include "simt/access.hpp"
 #include "simt/device_memory.hpp"
+#include "simt/frame_pool.hpp"
 #include "simt/gpu_spec.hpp"
 #include "simt/memory_subsystem.hpp"
 #include "simt/race_detector.hpp"
@@ -92,6 +95,14 @@ struct EngineOptions
      * running engine (it carries its own RNG). Null is free.
      */
     PerturbationHooks* perturb = nullptr;
+    /**
+     * Disable the hookless fast access path even when no hooks are
+     * installed, forcing every access through the general
+     * MemorySubsystem::performPieces route. The two paths are
+     * bit-identical by contract; this switch exists so tests and
+     * bench/simbench can prove it (and measure its cost).
+     */
+    bool force_slow_path = false;
 };
 
 /** Shape of one kernel launch. */
@@ -116,7 +127,13 @@ LaunchConfig launchFor(u64 work, u32 block = 256);
 /** Result of one kernel launch. */
 struct LaunchStats
 {
-    std::string kernel;
+    /**
+     * Kernel name, viewing the string passed to Engine::launch. Call
+     * sites pass string literals (or otherwise stable storage), so the
+     * view stays valid for the stats' lifetime without a per-launch
+     * std::string copy.
+     */
+    std::string_view kernel;
     u64 cycles = 0;
     double ms = 0.0;
     MemoryCounters mem;
@@ -248,6 +265,17 @@ class ThreadCtx
     {
         const u32 align = alignof(T);
         shared_cursor_ = (shared_cursor_ + align - 1) / align * align;
+        const u64 end = static_cast<u64>(shared_cursor_) +
+                        static_cast<u64>(count) * sizeof(T);
+        if (end > shared_limit_) {
+            // User error, not a simulator bug: the kernel carved more
+            // shared memory than its LaunchConfig declared — on real CUDA
+            // this is an out-of-bounds __shared__ access.
+            fatal("sharedArray({} x {} bytes) overflows shared memory: "
+                  "block needs {} bytes but the launch declared "
+                  "shared_bytes = {}",
+                  count, sizeof(T), end, shared_limit_);
+        }
         T* out = reinterpret_cast<T*>(shared_base_ + shared_cursor_);
         shared_cursor_ += count * sizeof(T);
         return out;
@@ -269,6 +297,28 @@ class ThreadCtx
         return site;
     }
 
+    /**
+     * Reset the slots the previous occupant of this scratch ThreadCtx
+     * may have dirtied, without the full-struct copy `ctx = ThreadCtx()`
+     * would cost (pending_req_ alone is 56 bytes; runFast re-resets one
+     * ThreadCtx per simulated thread). Identification fields are
+     * excluded — the engine overwrites them right after.
+     */
+    void
+    resetForReuse()
+    {
+        task_ = Task();  // destroys the previous thread's frame
+        next_site_ = 0;
+        shared_cursor_ = 0;
+        pending_pieces_done_ = 0;
+        pending_bits_ = 0;
+        has_pending_ = false;
+        ready_cycle_ = 0;
+        deferred_work_ = 0;
+        at_barrier_ = false;
+        finished_ = false;
+    }
+
     Engine* engine_ = nullptr;
     Task task_;
     ThreadInfo info_;
@@ -278,6 +328,7 @@ class ThreadCtx
     u32 block_x_ = 1, block_y_ = 1, grid_ = 1;
     u8* shared_base_ = nullptr;
     u32 shared_cursor_ = 0;
+    u32 shared_limit_ = 0;  ///< LaunchConfig::shared_bytes of the launch
 
     // interleaved-mode scheduling state
     MemRequest pending_req_;
@@ -294,17 +345,30 @@ class ThreadCtx
 class MemAwaiterBase
 {
   public:
-    MemAwaiterBase(ThreadCtx* ctx, const MemRequest& req)
-        : ctx_(ctx), req_(req)
-    {}
+    /**
+     * Fast mode resolves the access right here in the constructor —
+     * before the co_await machinery even asks await_ready — so the
+     * request never has to be copied into the awaiter (and thus never
+     * spills into the coroutine frame). Only the interleaved engine,
+     * which genuinely suspends, stores the request for await_suspend.
+     */
+    MemAwaiterBase(ThreadCtx* ctx, const MemRequest& req);
 
-    bool await_ready();
+    /** The expect hint moves the suspend machinery out of the hot
+     *  fall-through path; fast mode always resolves immediately. */
+    bool await_ready() { return __builtin_expect(immediate_, 1); }
     void await_suspend(std::coroutine_handle<> handle);
     u64 await_resume();
 
   protected:
+    static_assert(std::is_trivially_copyable_v<MemRequest> &&
+                      std::is_trivially_destructible_v<MemRequest>,
+                  "req_ lives in a union and is placement-constructed");
+
     ThreadCtx* ctx_;
-    MemRequest req_;
+    union {
+        MemRequest req_;  ///< populated only when the access suspends
+    };
     u64 result_bits_ = 0;
     bool immediate_ = false;
 };
@@ -345,9 +409,13 @@ class Engine
     Engine(const Engine&) = delete;
     Engine& operator=(const Engine&) = delete;
 
-    /** Synchronously execute a kernel over the given launch shape. */
+    /**
+     * Synchronously execute a kernel over the given launch shape. The
+     * name must outlive any LaunchStats that references it (call sites
+     * pass string literals).
+     */
     LaunchStats
-    launch(const std::string& name, const LaunchConfig& config,
+    launch(std::string_view name, const LaunchConfig& config,
            const std::function<Task(ThreadCtx&)>& kernel);
 
     const GpuSpec& spec() const { return spec_; }
@@ -364,6 +432,11 @@ class Engine
     /** Reseed the block-order shuffle (between measurement reps). */
     void setSeed(u64 seed) { options_.seed = seed; }
 
+    /** Coroutine-frame pool statistics (tests and bench/simbench). */
+    const FramePool& framePool() const { return frame_pool_; }
+    /** True if the current/last launch took the hookless access path. */
+    bool usedFastPath() const { return use_fast_path_; }
+
   private:
     friend class MemAwaiterBase;
     friend class BarrierAwaiter;
@@ -375,21 +448,41 @@ class Engine
     void applyAtomicOverrides(MemRequest& req) const;
     /** Fast-mode inline access: execute, charge the SM, return bits. */
     u64 performImmediate(ThreadCtx& ctx, const MemRequest& req);
+    /** Route an (override-applied) request to the selected path. */
+    u64 performRouted(ThreadCtx& ctx, const MemRequest& req);
     /** Interleaved-mode access issue (first piece now, rest at wake). */
     void submitAccess(ThreadCtx& ctx, const MemRequest& req);
     /** Barrier arrival (both modes). */
     void arriveBarrier(ThreadCtx& ctx);
     void chargeWork(ThreadCtx& ctx, u32 cycles);
 
-    std::vector<u32> blockOrder(u32 grid) const;
-    u64 finishLaunch(u64 cycles, const std::string& name,
-                     LaunchStats& stats);
+    /**
+     * Latency hidden behind other resident warps. Memoizes
+     * u64(double(latency) / spec_.latency_hiding) per distinct latency —
+     * the exact expression the engine has always charged, computed once
+     * instead of a float divide per access.
+     */
+    u64
+    hiddenCycles(u64 latency)
+    {
+        if (latency >= hidden_memo_.size()) [[unlikely]]
+            hidden_memo_.resize(latency + 1, 0);
+        u64& slot = hidden_memo_[latency];
+        if (slot == 0)
+            slot = static_cast<u64>(static_cast<double>(latency) /
+                                    spec_.latency_hiding) +
+                   1;  // +1 sentinel: 0 means "not computed yet"
+        return slot - 1;
+    }
+
+    /** Shuffled block schedule, built into reused per-launch scratch. */
+    const std::vector<u32>& blockOrder(u32 grid);
 
     /** Trace hooks (no-ops when options_.trace is null). */
-    void traceLaunchBegin(const std::string& name,
+    void traceLaunchBegin(std::string_view name,
                           const LaunchConfig& config);
     void traceLaunchEnd(const LaunchStats& stats, u64 races_before);
-    void traceBlockSpan(u32 sm, u32 block, const std::string& name,
+    void traceBlockSpan(u32 sm, u32 block, std::string_view name,
                         u64 sm_begin, u64 sm_end);
 
     void runFast(const LaunchConfig& config,
@@ -405,12 +498,35 @@ class Engine
     std::unique_ptr<RaceDetector> detector_;
     std::unique_ptr<MemorySubsystem> mem_subsystem_;
 
+    /**
+     * Coroutine-frame pool for this engine's launches. Declared before
+     * every Task-holding member (thread_scratch_) so it is destroyed
+     * after them: a frame must never outlive the pool that owns it.
+     */
+    FramePool frame_pool_;
+
     std::vector<u64> sm_cycles_;     ///< fast mode per-SM accumulators
     std::vector<u32> barrier_count_; ///< per-block arrived counters
     std::vector<u32> block_alive_;   ///< per-block live thread counters
     u64 now_ = 0;                    ///< interleaved global cycle
     double elapsed_ms_ = 0.0;
     u32 launch_counter_ = 0;
+    /** Selected once per launch: hookless memory subsystem, fast mode,
+     *  and not overridden by EngineOptions::force_slow_path. */
+    bool use_fast_path_ = false;
+    /** Any atomic-order/scope override configured (cached; see
+     *  performImmediate). */
+    bool has_atomic_overrides_ = false;
+
+    // Per-launch scratch, reused across launches so a sweep's steady
+    // state performs no per-launch allocation. thread_scratch_ is
+    // cleared at the end of every fast launch, returning all coroutine
+    // frames to frame_pool_.
+    std::vector<u32> block_order_;          ///< blockOrder() result
+    std::vector<u8> shared_scratch_;        ///< fast-mode shared memory
+    std::vector<ThreadCtx> thread_scratch_; ///< fast-mode block contexts
+    std::vector<u32> participants_scratch_; ///< barrier participant ids
+    std::vector<u64> hidden_memo_;          ///< hiddenCycles() cache
 
     // profiling state (meaningful only when options_.trace is set)
     prof::TraceSession* trace_ = nullptr;
@@ -564,6 +680,84 @@ inline auto
 ThreadCtx::syncthreads()
 {
     return BarrierAwaiter(this);
+}
+
+// --- inline hot path --------------------------------------------------
+//
+// Fast-mode accesses resolve synchronously inside await_ready; the chain
+// await_ready -> performImmediate -> MemorySubsystem::performFast ->
+// DeviceMemory::{load,store}Live runs once per simulated access, so every
+// hop lives in a header and flattens into one call-free sequence.
+
+inline void
+Engine::applyAtomicOverrides(MemRequest& req) const
+{
+    const bool is_atomic =
+        req.kind == MemOpKind::kRmw || req.mode == AccessMode::kAtomic;
+    if (!is_atomic)
+        return;
+    if (options_.override_atomic_order)
+        req.order = options_.forced_atomic_order;
+    if (options_.override_atomic_scope)
+        req.scope = options_.forced_atomic_scope;
+}
+
+inline u64
+Engine::performImmediate(ThreadCtx& ctx, const MemRequest& req_in)
+{
+    // Atomic-order/scope overrides are an ablation feature; when none
+    // are configured (the common case, cached per engine) the request
+    // flows through untouched — no 56-byte copy per access. With
+    // overrides the mutated copy takes the identical route, so results
+    // cannot differ between the two entries.
+    if (has_atomic_overrides_) [[unlikely]] {
+        MemRequest req = req_in;
+        applyAtomicOverrides(req);
+        return performRouted(ctx, req);
+    }
+    return performRouted(ctx, req_in);
+}
+
+inline u64
+Engine::performRouted(ThreadCtx& ctx, const MemRequest& req)
+{
+    // Latency is overlapped with other resident warps; the issue slots
+    // are not. Both terms matter: the ratio between an L1 hit and an L2
+    // atomic as *observed throughput* is much smaller than the raw
+    // latency ratio on a well-occupied GPU.
+    if (use_fast_path_) {
+        // Hookless fast path (selected once per launch): fast mode
+        // never splits accesses, so every request is single-piece.
+        const auto result =
+            mem_subsystem_->performFast(ctx.info_, ctx.sm_, req);
+        sm_cycles_[ctx.sm_] += static_cast<u64>(spec_.issue_cycles) +
+                               hiddenCycles(result.latency);
+        return result.value_bits;
+    }
+    const auto result = mem_subsystem_->performPieces(
+        ctx.info_, ctx.sm_, req, 0, req.pieces());
+    sm_cycles_[ctx.sm_] +=
+        static_cast<u64>(spec_.issue_cycles) * req.pieces() +
+        hiddenCycles(result.latency);
+    return result.value_bits;
+}
+
+inline MemAwaiterBase::MemAwaiterBase(ThreadCtx* ctx, const MemRequest& req)
+    : ctx_(ctx)
+{
+    if (ctx->engine_->fastMode()) {
+        result_bits_ = ctx->engine_->performImmediate(*ctx, req);
+        immediate_ = true;
+    } else {
+        new (&req_) MemRequest(req);
+    }
+}
+
+inline u64
+MemAwaiterBase::await_resume()
+{
+    return __builtin_expect(immediate_, 1) ? result_bits_
+                                           : ctx_->pending_bits_;
 }
 
 }  // namespace eclsim::simt

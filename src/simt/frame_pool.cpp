@@ -1,0 +1,124 @@
+#include "simt/frame_pool.hpp"
+
+#include <cstdlib>
+
+#include "core/logging.hpp"
+
+namespace eclsim::simt {
+
+namespace {
+thread_local FramePool* t_current_pool = nullptr;
+}  // namespace
+
+FramePool::Scope::Scope(FramePool& pool) : prev_(t_current_pool)
+{
+    t_current_pool = &pool;
+}
+
+FramePool::Scope::~Scope()
+{
+    t_current_pool = prev_;
+}
+
+FramePool::~FramePool()
+{
+    if (outstanding_ != 0) {
+        // Live frames hold headers pointing at this pool; freeing them
+        // later would be use-after-free. Engine's member order makes this
+        // unreachable — flag the misuse instead of corrupting the heap.
+        warn("FramePool destroyed with {} frames outstanding (leaked)",
+             outstanding_);
+    }
+    for (void*& head : free_lists_) {
+        while (head != nullptr) {
+            void* next = *static_cast<void**>(head);
+            std::free(head);
+            head = next;
+        }
+    }
+}
+
+u64
+FramePool::freeFrames() const
+{
+    u64 count = 0;
+    for (const void* head : free_lists_)
+        for (const void* p = head; p != nullptr;
+             p = *static_cast<void* const*>(p))
+            ++count;
+    return count;
+}
+
+void*
+FramePool::allocate(std::size_t bytes)
+{
+    const std::size_t bucket =
+        bytes == 0 ? 0 : (bytes - 1) / kGranularity;
+    if (bucket >= kBuckets) {
+        // Oversized frame: bypass the free lists but keep the header so
+        // deallocateFrame stays uniform.
+        Header* header = static_cast<Header*>(
+            std::malloc(kHeaderBytes + bytes));
+        ECLSIM_ASSERT(header != nullptr, "frame allocation of {} bytes",
+                      bytes);
+        header->pool = nullptr;
+        header->bucket = 0;
+        return reinterpret_cast<char*>(header) + kHeaderBytes;
+    }
+
+    void* block = free_lists_[bucket];
+    if (block != nullptr) {
+        free_lists_[bucket] = *static_cast<void**>(block);
+        ++reuses_;
+    } else {
+        block = std::malloc(kHeaderBytes + (bucket + 1) * kGranularity);
+        ECLSIM_ASSERT(block != nullptr, "frame allocation of {} bytes",
+                      bytes);
+        ++system_allocs_;
+    }
+    Header* header = static_cast<Header*>(block);
+    header->pool = this;
+    header->bucket = bucket;
+    ++outstanding_;
+    return reinterpret_cast<char*>(block) + kHeaderBytes;
+}
+
+void
+FramePool::release(Header* header) noexcept
+{
+    // The dead frame's header space becomes the free-list link; read the
+    // bucket out before the next-pointer overwrites the header.
+    const u64 bucket = header->bucket;
+    void* block = header;
+    *static_cast<void**>(block) = free_lists_[bucket];
+    free_lists_[bucket] = block;
+    --outstanding_;
+}
+
+void*
+FramePool::allocateFrame(std::size_t bytes)
+{
+    if (t_current_pool != nullptr)
+        return t_current_pool->allocate(bytes);
+    Header* header =
+        static_cast<Header*>(std::malloc(kHeaderBytes + bytes));
+    ECLSIM_ASSERT(header != nullptr, "frame allocation of {} bytes", bytes);
+    header->pool = nullptr;
+    header->bucket = 0;
+    return reinterpret_cast<char*>(header) + kHeaderBytes;
+}
+
+void
+FramePool::deallocateFrame(void* frame) noexcept
+{
+    if (frame == nullptr)
+        return;
+    Header* header = reinterpret_cast<Header*>(
+        static_cast<char*>(frame) - kHeaderBytes);
+    if (header->pool != nullptr)
+        header->pool->release(header);
+    else
+        std::free(header);
+}
+
+}  // namespace eclsim::simt

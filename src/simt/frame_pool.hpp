@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Size-bucketed recycling allocator for coroutine frames.
+ *
+ * Every simulated GPU thread is one C++20 coroutine, so a single fast-mode
+ * launch of 10k blocks x 256 threads allocates 2.56M coroutine frames.
+ * Without pooling each frame is a malloc/free pair — the dominant
+ * per-thread cost for the short kernels the paper's algorithms are made
+ * of. A FramePool keeps freed frames on per-size-class free lists and
+ * hands them back on the next launch, so steady-state sweeps allocate
+ * from the system only during the first block of the first launch.
+ *
+ * Wiring: Task::promise_type routes its operator new/delete through
+ * FramePool::allocateFrame/deallocateFrame. Allocation consults a
+ * thread-local "current pool" that Engine::launch installs via
+ * FramePool::Scope for the duration of a launch; frames created outside
+ * any scope fall back to plain malloc. Every frame carries a 16-byte
+ * header naming its owning pool, so deallocation always returns the
+ * frame to wherever it came from — even if the scope has already ended
+ * or a different pool is current.
+ *
+ * A pool must outlive every frame it allocated (Engine guarantees this
+ * by declaring the pool before any Task-holding member and clearing its
+ * thread scratch at the end of each launch). Pools are not thread-safe;
+ * each Engine owns one and engines are single-threaded.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "core/types.hpp"
+
+namespace eclsim::simt {
+
+/** Recycling size-bucketed frame allocator (see file comment). */
+class FramePool
+{
+  public:
+    FramePool() = default;
+    ~FramePool();
+
+    FramePool(const FramePool&) = delete;
+    FramePool& operator=(const FramePool&) = delete;
+
+    /** Allocate a frame of the given size through the thread's current
+     *  pool, or from the system when no pool is in scope. */
+    static void* allocateFrame(std::size_t bytes);
+
+    /** Return a frame to the pool that allocated it (or the system). */
+    static void deallocateFrame(void* frame) noexcept;
+
+    /** Installs a pool as the calling thread's current pool, restoring
+     *  the previous one on destruction. */
+    class Scope
+    {
+      public:
+        explicit Scope(FramePool& pool);
+        ~Scope();
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+      private:
+        FramePool* prev_;
+    };
+
+    // --- statistics (for tests and the perf bench) -----------------------
+
+    /** Frames served by a fresh system allocation. */
+    u64 systemAllocs() const { return system_allocs_; }
+    /** Frames served from a free list (recycled). */
+    u64 reuses() const { return reuses_; }
+    /** Pool-owned frames currently live (allocated, not yet returned). */
+    u64 outstanding() const { return outstanding_; }
+    /** Frames parked on the free lists, ready for reuse. */
+    u64 freeFrames() const;
+
+  private:
+    /** Per-frame header preceding the frame bytes. 16 bytes keeps the
+     *  frame on the default operator-new alignment malloc provides. */
+    struct Header
+    {
+        FramePool* pool;  ///< owning pool; null = plain malloc
+        u64 bucket;       ///< free-list index (pool-owned frames only)
+    };
+    static_assert(sizeof(Header) == 16);
+    static constexpr std::size_t kHeaderBytes = 16;
+
+    /** Free-list granularity: frames round up to 64-byte size classes. */
+    static constexpr std::size_t kGranularity = 64;
+    /** Size classes; frames over kBuckets * kGranularity bypass the pool. */
+    static constexpr std::size_t kBuckets = 64;
+
+    void* allocate(std::size_t bytes);
+    void release(Header* header) noexcept;
+
+    void* free_lists_[kBuckets] = {};  ///< intrusive singly-linked lists
+    u64 system_allocs_ = 0;
+    u64 reuses_ = 0;
+    u64 outstanding_ = 0;
+};
+
+}  // namespace eclsim::simt

@@ -87,6 +87,8 @@ MemorySubsystem::beginLaunch()
     for (CacheModel& l1 : l1_caches_)
         l1.resetStats();
     l2_cache_.resetStats();
+    sweep_check_live_ =
+        options_.model_sweep_visibility && memory_.hasSnapshotAllocs();
 }
 
 void
@@ -189,89 +191,16 @@ MemorySubsystem::launchCounters() const
     return out;
 }
 
-u64
-MemorySubsystem::orderingCost(MemoryOrder order) const
-{
-    switch (order) {
-      case MemoryOrder::kRelaxed:
-        return 0;
-      case MemoryOrder::kAcquire:
-      case MemoryOrder::kRelease:
-        return spec_.fence_cycles / 2;
-      case MemoryOrder::kSeqCst:
-        return spec_.fence_cycles;
-    }
-    return 0;
-}
+
 
 u64
 MemorySubsystem::routeTiming(u32 sm, u64 addr, const MemRequest& req,
                              bool is_store)
 {
-    const bool is_atomic =
-        req.kind == MemOpKind::kRmw || req.mode == AccessMode::kAtomic;
-    u64 latency = 0;
-
-    if (req.mode == AccessMode::kPlain && req.kind != MemOpKind::kRmw) {
-        // Regular path: per-SM L1, then L2, then DRAM.
-        if (l1_caches_[sm].access(addr, is_store)) {
-            if (prof_)
-                prof_->add(c_l1_hit_);
-            return spec_.l1_latency;
-        }
-        if (prof_)
-            prof_->add(c_l1_miss_);
-        if (l2_cache_.access(addr, is_store)) {
-            if (prof_)
-                prof_->add(c_l2_hit_);
-            return spec_.l2_latency;
-        }
-        if (prof_) {
-            prof_->add(c_l2_miss_);
-            prof_->add(c_dram_);
-        }
-        counters_.dram_bytes += options_.dram_sector_bytes;
-        return spec_.dram_latency;
-    }
-
-    // Block-scope atomics can resolve inside the SM (L1) — they need not
-    // be visible to other blocks until a wider-scope operation.
-    if (is_atomic && req.scope == Scope::kBlock &&
-        spec_.block_scope_in_sm) {
-        l1_caches_[sm].access(addr, is_store);
-        if (prof_)
-            prof_->add(c_atomic_block_);
-        latency = spec_.l1_latency + spec_.atomic_extra;
-        if (req.kind == MemOpKind::kRmw)
-            latency += spec_.rmw_extra;
-        latency += orderingCost(req.order);
-        return latency;
-    }
-
-    // Volatile and device/system-scope atomic accesses bypass the L1 and
-    // resolve at the L2 (NVIDIA global atomics execute in the L2 atomic
-    // units).
-    if (l2_cache_.access(addr, is_store)) {
-        if (prof_)
-            prof_->add(c_l2_hit_);
-        latency = spec_.l2_latency;
-    } else {
-        if (prof_) {
-            prof_->add(c_l2_miss_);
-            prof_->add(c_dram_);
-        }
-        counters_.dram_bytes += options_.dram_sector_bytes;
-        latency = spec_.dram_latency;
-    }
-    if (is_atomic) {
-        latency += spec_.atomic_extra;
-        if (req.kind == MemOpKind::kRmw)
-            latency += spec_.rmw_extra;
-        latency += orderingCost(req.order);
-        if (req.scope == Scope::kSystem)
-            latency += spec_.system_scope_extra;
-    }
-    return latency;
+    // prof_ may still be null here; the general path tolerates either.
+    if (prof_)
+        return routeTimingImpl<true>(sm, addr, req, is_store);
+    return routeTimingImpl<false>(sm, addr, req, is_store);
 }
 
 MemorySubsystem::PieceResult
@@ -477,6 +406,7 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
         result.latency += perturb_->extraAccessLatency(who, req);
     return result;
 }
+
 
 double
 MemorySubsystem::dramBoundCycles() const

@@ -19,6 +19,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "prof/counters.hpp"
@@ -116,6 +117,31 @@ class MemorySubsystem
     PieceResult performPieces(const ThreadInfo& who, u32 sm,
                               const MemRequest& req, u32 first, u32 last);
 
+    /**
+     * True when no profiling, perturbation, or race-detection hook is
+     * installed, i.e. every access would take only the plain
+     * functional + timing route. The engine selects the hookless fast
+     * path (performFast) once per launch from this.
+     */
+    bool
+    hookless() const
+    {
+        return prof_ == nullptr && perturb_ == nullptr &&
+               detector_ == nullptr;
+    }
+
+    /**
+     * Hookless single-piece equivalent of performPieces(who, sm, req, 0, 1).
+     * Callable only when hookless() holds and req.pieces() == 1 (the fast
+     * engine never splits accesses). Produces bit-identical values,
+     * latencies, counters, and cache statistics to the general path —
+     * it is the same code minus the hook branches — so simulated results
+     * (and the paper tables derived from them) do not depend on which
+     * path ran.
+     */
+    PieceResult performFast(const ThreadInfo& who, u32 sm,
+                            const MemRequest& req);
+
     /** Counters accumulated since the last beginLaunch(), including the
      *  cache hit/miss statistics gathered in the same window. */
     MemoryCounters launchCounters() const;
@@ -133,7 +159,28 @@ class MemorySubsystem
     RaceDetector* raceDetector() { return detector_; }
 
   private:
-    u64 orderingCost(MemoryOrder order) const;
+    u64
+    orderingCost(MemoryOrder order) const
+    {
+        switch (order) {
+          case MemoryOrder::kRelaxed:
+            return 0;
+          case MemoryOrder::kAcquire:
+          case MemoryOrder::kRelease:
+            return spec_.fence_cycles / 2;
+          case MemoryOrder::kSeqCst:
+            return spec_.fence_cycles;
+        }
+        return 0;
+    }
+
+    /** Shared timing route; kProf=false compiles out the profiling
+     *  counter bumps for the hookless fast path. One definition serves
+     *  both paths so their timing can never drift apart. Defined inline
+     *  (below) so the fast path fully inlines into the engine. */
+    template <bool kProf>
+    u64 routeTimingImpl(u32 sm, u64 addr, const MemRequest& req,
+                        bool is_store);
     u64 routeTiming(u32 sm, u64 addr, const MemRequest& req, bool is_store);
 
     /** One racy store held in the simulated write buffer. */
@@ -173,6 +220,13 @@ class MemorySubsystem
     std::vector<PendingStore> pending_;
     u64 access_clock_ = 0;  ///< memory accesses since engine creation
     u32 launch_index_ = 0;  ///< launches since engine creation
+    /**
+     * model_sweep_visibility && hasSnapshotAllocs(), refreshed by
+     * beginLaunch(). Allocations only happen on the host between
+     * launches, so the conjunction is launch-invariant; caching it
+     * saves two object loads per fast-path read.
+     */
+    bool sweep_check_live_ = false;
     static constexpr size_t kMaxPendingStores = 4096;
 
     // profiling counters (ids valid only when prof_ is non-null)
@@ -185,5 +239,173 @@ class MemorySubsystem
     prof::CounterId c_delayed_ = 0, c_dup_ = 0, c_dropped_ = 0,
                     c_skip_ = 0;
 };
+
+// --- inline hot path ------------------------------------------------------
+// routeTimingImpl and performFast are defined here (not in the .cpp) so
+// the whole hookless access — functional effect, cache lookup, latency —
+// inlines into Engine::performImmediate and from there into the kernel
+// coroutine body. This is worth ~2x simulated-access throughput; see
+// DESIGN.md §12 and bench/simbench.
+
+template <bool kProf>
+u64
+MemorySubsystem::routeTimingImpl(u32 sm, u64 addr, const MemRequest& req,
+                                 bool is_store)
+{
+    const bool is_atomic =
+        req.kind == MemOpKind::kRmw || req.mode == AccessMode::kAtomic;
+    u64 latency = 0;
+
+    if (req.mode == AccessMode::kPlain && req.kind != MemOpKind::kRmw) {
+        // Regular path: per-SM L1, then L2, then DRAM.
+        if (l1_caches_[sm].access(addr, is_store)) {
+            if constexpr (kProf)
+                prof_->add(c_l1_hit_);
+            return spec_.l1_latency;
+        }
+        if constexpr (kProf)
+            prof_->add(c_l1_miss_);
+        if (l2_cache_.access(addr, is_store)) {
+            if constexpr (kProf)
+                prof_->add(c_l2_hit_);
+            return spec_.l2_latency;
+        }
+        if constexpr (kProf) {
+            prof_->add(c_l2_miss_);
+            prof_->add(c_dram_);
+        }
+        counters_.dram_bytes += options_.dram_sector_bytes;
+        return spec_.dram_latency;
+    }
+
+    // Block-scope atomics can resolve inside the SM (L1) — they need not
+    // be visible to other blocks until a wider-scope operation.
+    if (is_atomic && req.scope == Scope::kBlock &&
+        spec_.block_scope_in_sm) {
+        l1_caches_[sm].access(addr, is_store);
+        if constexpr (kProf)
+            prof_->add(c_atomic_block_);
+        latency = spec_.l1_latency + spec_.atomic_extra;
+        if (req.kind == MemOpKind::kRmw)
+            latency += spec_.rmw_extra;
+        latency += orderingCost(req.order);
+        return latency;
+    }
+
+    // Volatile and device/system-scope atomic accesses bypass the L1 and
+    // resolve at the L2 (NVIDIA global atomics execute in the L2 atomic
+    // units).
+    if (l2_cache_.access(addr, is_store)) {
+        if constexpr (kProf)
+            prof_->add(c_l2_hit_);
+        latency = spec_.l2_latency;
+    } else {
+        if constexpr (kProf) {
+            prof_->add(c_l2_miss_);
+            prof_->add(c_dram_);
+        }
+        counters_.dram_bytes += options_.dram_sector_bytes;
+        latency = spec_.dram_latency;
+    }
+    if (is_atomic) {
+        latency += spec_.atomic_extra;
+        if (req.kind == MemOpKind::kRmw)
+            latency += spec_.rmw_extra;
+        latency += orderingCost(req.order);
+        if (req.scope == Scope::kSystem)
+            latency += spec_.system_scope_extra;
+    }
+    return latency;
+}
+
+inline MemorySubsystem::PieceResult
+MemorySubsystem::performFast(const ThreadInfo& who, u32 sm,
+                             const MemRequest& req)
+{
+    // Single-piece hookless specialization of performPieces: same
+    // functional effects, same counters, same timing — minus the
+    // perturbation / profiling / race-detection branches, which
+    // hookless() guarantees would all be dead. Any change here must be
+    // mirrored in performPieces (the determinism regression test holds
+    // the two paths bit-identical).
+    ECLSIM_ASSERT(sm < l1_caches_.size(), "SM {} out of range", sm);
+
+    PieceResult result;
+    const u64 addr = req.addr;
+
+    if (req.kind == MemOpKind::kLoad) {
+        u64 bits;
+        const bool delayed =
+            req.mode != AccessMode::kAtomic && sweep_check_live_ &&
+            memory_.allocationAt(addr).visibility ==
+                Visibility::kSweepSnapshot;
+        if (delayed) {
+            bits = memory_.loadSnapshotAware(addr, req.size, who.thread);
+            ++counters_.stale_reads;
+        } else {
+            bits = memory_.loadLive(addr, req.size);
+        }
+        result.value_bits = bits;
+        ++counters_.loads;
+    } else if (req.kind == MemOpKind::kStore) {
+        const u64 bits =
+            req.value &
+            (req.size == 8 ? ~u64{0} : ((u64{1} << (8 * req.size)) - 1));
+        memory_.storeLive(addr, req.size, bits);
+        if (memory_.hasSnapshotAllocs() &&
+            memory_.allocationAt(addr).visibility ==
+                Visibility::kSweepSnapshot) [[unlikely]] {
+            memory_.noteWriter(addr, req.size, who.thread);
+        }
+        ++counters_.stores;
+    } else {
+        // Read-modify-write: indivisible, always live.
+        const u64 mask =
+            req.size == 8 ? ~u64{0} : ((u64{1} << (8 * req.size)) - 1);
+        const u64 old_bits = memory_.loadLive(addr, req.size);
+        u64 new_bits = old_bits;
+        switch (req.rmw) {
+          case RmwOp::kAdd:
+            new_bits = (old_bits + req.value) & mask;
+            break;
+          case RmwOp::kMin:
+            new_bits = std::min(old_bits, req.value & mask);
+            break;
+          case RmwOp::kMax:
+            new_bits = std::max(old_bits, req.value & mask);
+            break;
+          case RmwOp::kAnd:
+            new_bits = old_bits & req.value;
+            break;
+          case RmwOp::kOr:
+            new_bits = old_bits | req.value;
+            break;
+          case RmwOp::kExch:
+            new_bits = req.value & mask;
+            break;
+          case RmwOp::kCas:
+            if (old_bits == (req.compare & mask))
+                new_bits = req.value & mask;
+            break;
+        }
+        if (new_bits != old_bits) {
+            memory_.storeLive(addr, req.size, new_bits);
+            if (memory_.hasSnapshotAllocs() &&
+                memory_.allocationAt(addr).visibility ==
+                    Visibility::kSweepSnapshot) {
+                memory_.noteWriter(addr, req.size, who.thread);
+            }
+        }
+        result.value_bits = old_bits;
+        ++counters_.rmws;
+    }
+
+    result.latency = routeTimingImpl<false>(
+        sm, addr, req, req.kind != MemOpKind::kLoad);
+
+    if (req.kind == MemOpKind::kRmw || req.mode == AccessMode::kAtomic)
+        ++counters_.atomic_accesses;
+    return result;
+}
 
 }  // namespace eclsim::simt

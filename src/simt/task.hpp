@@ -12,8 +12,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "simt/frame_pool.hpp"
 
 namespace eclsim::simt {
 
@@ -23,6 +26,30 @@ class Task
   public:
     struct promise_type
     {
+        /**
+         * Coroutine frames go through the engine's FramePool: inside a
+         * launch (FramePool::Scope installed) freed frames are recycled
+         * across blocks and launches instead of hitting malloc/free once
+         * per simulated thread; outside any scope this degrades to plain
+         * malloc. Deallocation reads the frame's own header, so it is
+         * always returned to wherever it came from.
+         */
+        static void*
+        operator new(std::size_t size)
+        {
+            return FramePool::allocateFrame(size);
+        }
+        static void
+        operator delete(void* frame) noexcept
+        {
+            FramePool::deallocateFrame(frame);
+        }
+        static void
+        operator delete(void* frame, std::size_t) noexcept
+        {
+            FramePool::deallocateFrame(frame);
+        }
+
         Task
         get_return_object() noexcept
         {

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * End-to-end determinism regression for the hookless fast access path:
+ * a table4_titanv-style harness cell measured with the fast path and
+ * with EngineOptions::force_slow_path must produce byte-identical
+ * Measurements — enabling or disabling the optimization can change
+ * wall-clock time but never a simulated result, so every paper table
+ * is path-independent.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "graph/input_catalog.hpp"
+#include "harness/experiment.hpp"
+#include "simt/gpu_spec.hpp"
+
+namespace eclsim::harness {
+namespace {
+
+ExperimentConfig
+cellConfig(bool force_slow)
+{
+    ExperimentConfig config;
+    config.reps = 2;
+    config.graph_divisor = 4096;
+    config.seed = 12345;
+    config.jobs = 1;
+    config.force_slow_path = force_slow;
+    return config;
+}
+
+/** Bit-exact double comparison: the contract is byte identity, not
+ *  epsilon closeness. */
+::testing::AssertionResult
+sameBits(double a, double b)
+{
+    if (std::memcmp(&a, &b, sizeof(double)) == 0)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " vs " << b << " differ in bits";
+}
+
+void
+expectIdentical(const Measurement& fast, const Measurement& slow)
+{
+    EXPECT_EQ(fast.input, slow.input);
+    EXPECT_EQ(fast.gpu, slow.gpu);
+    EXPECT_TRUE(sameBits(fast.baseline_ms, slow.baseline_ms));
+    EXPECT_TRUE(sameBits(fast.racefree_ms, slow.racefree_ms));
+    EXPECT_EQ(fast.baseline_iterations, slow.baseline_iterations);
+    EXPECT_EQ(fast.racefree_iterations, slow.racefree_iterations);
+    EXPECT_TRUE(sameBits(fast.edges, slow.edges));
+    EXPECT_TRUE(sameBits(fast.vertices, slow.vertices));
+    EXPECT_TRUE(sameBits(fast.avg_degree, slow.avg_degree));
+}
+
+class FastPathCellTest : public ::testing::TestWithParam<Algo>
+{
+};
+
+TEST_P(FastPathCellTest, MeasurementIsPathIndependent)
+{
+    auto& catalog = graph::InputCatalog::shared();
+    const auto& graph =
+        GetParam() == Algo::kMst
+            ? catalog.getWeighted("as-skitter", 4096)
+            : catalog.get("as-skitter", 4096);
+
+    const auto fast = measureSeeded(simt::titanV(), graph, "as-skitter",
+                                    GetParam(), cellConfig(false),
+                                    cellSeed(12345, 0));
+    const auto slow = measureSeeded(simt::titanV(), graph, "as-skitter",
+                                    GetParam(), cellConfig(true),
+                                    cellSeed(12345, 0));
+    expectIdentical(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, FastPathCellTest,
+                         ::testing::Values(Algo::kCc, Algo::kMis,
+                                           Algo::kMst),
+                         [](const auto& info) {
+                             switch (info.param) {
+                               case Algo::kCc: return "cc";
+                               case Algo::kMis: return "mis";
+                               case Algo::kMst: return "mst";
+                               default: return "other";
+                             }
+                         });
+
+TEST(FastPathCellTest, RepeatedFastRunsAreDeterministic)
+{
+    // Guards the scratch-reuse changes: recycled blockOrder / shared /
+    // thread buffers must not leak state from one launch into the next.
+    const auto& graph =
+        graph::InputCatalog::shared().get("as-skitter", 4096);
+    const auto first = measureSeeded(simt::titanV(), graph, "as-skitter",
+                                     Algo::kGc, cellConfig(false),
+                                     cellSeed(12345, 0));
+    const auto second = measureSeeded(simt::titanV(), graph, "as-skitter",
+                                      Algo::kGc, cellConfig(false),
+                                      cellSeed(12345, 0));
+    expectIdentical(first, second);
+}
+
+}  // namespace
+}  // namespace eclsim::harness

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests of the hookless fast access path: selection logic (fast mode,
+ * no hooks, not forced off) and the bit-identity contract — the fast
+ * and general paths must produce identical simulated memory contents,
+ * cycle counts, memory counters, and cache statistics, including for
+ * sweep-snapshot allocations.
+ */
+#include <gtest/gtest.h>
+
+#include "simt/engine.hpp"
+
+namespace eclsim::simt {
+namespace {
+
+void
+expectSameCacheStats(const CacheStats& a, const CacheStats& b,
+                     const char* which)
+{
+    EXPECT_EQ(a.load_hits, b.load_hits) << which;
+    EXPECT_EQ(a.load_misses, b.load_misses) << which;
+    EXPECT_EQ(a.store_hits, b.store_hits) << which;
+    EXPECT_EQ(a.store_misses, b.store_misses) << which;
+}
+
+void
+expectSameCounters(const MemoryCounters& a, const MemoryCounters& b)
+{
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.rmws, b.rmws);
+    EXPECT_EQ(a.atomic_accesses, b.atomic_accesses);
+    EXPECT_EQ(a.stale_reads, b.stale_reads);
+    EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+    expectSameCacheStats(a.l1, b.l1, "l1");
+    expectSameCacheStats(a.l2, b.l2, "l2");
+}
+
+/** Runs a mixed-operation kernel (plain loads/stores, shared memory,
+ *  barriers, global and CAS atomics, stale snapshot reads) and returns
+ *  the launch stats plus the final memory image. */
+LaunchStats
+runMixedKernel(bool force_slow, std::vector<u32>* image_out,
+               bool* used_fast_out = nullptr)
+{
+    EngineOptions options;
+    options.seed = 7;
+    options.force_slow_path = force_slow;
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, options);
+
+    const u32 n = 1 << 12;
+    auto data = memory.alloc<u32>(n, "data");
+    auto snap = memory.alloc<u32>(n, "snap", Visibility::kSweepSnapshot);
+    auto hist = memory.alloc<u32>(64, "hist");
+    auto best = memory.alloc<u32>(1, "best");
+    memory.fill(best, 1, ~u32{0});
+
+    LaunchConfig cfg;
+    cfg.grid = 16;
+    cfg.block_x = 128;
+    cfg.shared_bytes = 128 * sizeof(u32);
+
+    const auto stats = engine.launch("mixed", cfg, [&](ThreadCtx& t) -> Task {
+        u32* tile = t.sharedArray<u32>(128);
+        tile[t.threadInBlock()] = t.globalThreadId();
+        co_await t.syncthreads();
+        const u32 neighbor = tile[(t.threadInBlock() + 1) % 128];
+        for (u32 i = t.globalThreadId(); i < n; i += t.gridSize()) {
+            const u32 stale = co_await t.load(snap, i);
+            co_await t.store(data, i, stale + neighbor);
+            const u32 back = co_await t.load(data, i);
+            co_await t.atomicAdd(hist, back % 64, u32{1});
+            co_await t.atomicMin(best, 0, back);
+            co_await t.atomicCas(snap, i, stale, back);
+        }
+    });
+
+    if (used_fast_out != nullptr)
+        *used_fast_out = engine.usedFastPath();
+    if (image_out != nullptr) {
+        *image_out = memory.download(data, n);
+        const auto snap_img = memory.download(snap, n);
+        const auto hist_img = memory.download(hist, 64);
+        image_out->insert(image_out->end(), snap_img.begin(),
+                          snap_img.end());
+        image_out->insert(image_out->end(), hist_img.begin(),
+                          hist_img.end());
+        image_out->push_back(memory.read(best));
+    }
+    return stats;
+}
+
+TEST(FastPathTest, FastAndSlowPathsAreBitIdentical)
+{
+    std::vector<u32> fast_image, slow_image;
+    bool used_fast = false, used_slow_fast = true;
+    const auto fast = runMixedKernel(false, &fast_image, &used_fast);
+    const auto slow = runMixedKernel(true, &slow_image, &used_slow_fast);
+
+    EXPECT_TRUE(used_fast) << "hookless fast-mode launch must select "
+                              "the fast path";
+    EXPECT_FALSE(used_slow_fast)
+        << "force_slow_path must route through the general path";
+
+    EXPECT_EQ(fast_image, slow_image)
+        << "simulated memory diverged between the two paths";
+    EXPECT_EQ(fast.cycles, slow.cycles);
+    EXPECT_EQ(fast.ms, slow.ms);  // derived from cycles; exact
+    expectSameCounters(fast.mem, slow.mem);
+}
+
+TEST(FastPathTest, InstalledHooksDisableTheFastPath)
+{
+    // Race detection is a hook: the engine must take the general path.
+    EngineOptions options;
+    options.detect_races = true;
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, options);
+    auto out = memory.alloc<u32>(64, "out");
+    engine.launch("hooked", launchFor(64, 64), [&](ThreadCtx& t) -> Task {
+        co_await t.store(out, t.globalThreadId(), 1u);
+    });
+    EXPECT_FALSE(engine.usedFastPath());
+}
+
+TEST(FastPathTest, InterleavedModeNeverUsesTheFastPath)
+{
+    EngineOptions options;
+    options.mode = ExecMode::kInterleaved;
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, options);
+    auto out = memory.alloc<u32>(64, "out");
+    engine.launch("interleaved", launchFor(64, 64),
+                  [&](ThreadCtx& t) -> Task {
+                      co_await t.store(out, t.globalThreadId(), 1u);
+                  });
+    EXPECT_FALSE(engine.usedFastPath());
+}
+
+}  // namespace
+}  // namespace eclsim::simt

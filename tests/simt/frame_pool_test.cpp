@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests of the coroutine-frame pool: direct allocator mechanics
+ * (bucketing, reuse, oversized bypass, out-of-scope fallback) and the
+ * engine-level recycling contract — steady-state launches allocate no
+ * new frames, and every frame is back in the pool between launches, in
+ * both execution modes and on early kernel exit.
+ */
+#include <gtest/gtest.h>
+
+#include "simt/frame_pool.hpp"
+
+#include "simt/engine.hpp"
+
+namespace eclsim::simt {
+namespace {
+
+TEST(FramePoolTest, RecyclesSameSizeClass)
+{
+    FramePool pool;
+    FramePool::Scope scope(pool);
+
+    void* first = FramePool::allocateFrame(100);
+    EXPECT_EQ(pool.systemAllocs(), 1u);
+    EXPECT_EQ(pool.outstanding(), 1u);
+    FramePool::deallocateFrame(first);
+    EXPECT_EQ(pool.outstanding(), 0u);
+    EXPECT_EQ(pool.freeFrames(), 1u);
+
+    // 100 and 128 bytes share the 64..128 size class: the freed frame
+    // is handed back instead of a fresh allocation.
+    void* second = FramePool::allocateFrame(128);
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(pool.systemAllocs(), 1u);
+    EXPECT_EQ(pool.reuses(), 1u);
+    FramePool::deallocateFrame(second);
+}
+
+TEST(FramePoolTest, DistinctSizeClassesGetDistinctFrames)
+{
+    FramePool pool;
+    FramePool::Scope scope(pool);
+
+    void* small = FramePool::allocateFrame(64);
+    void* large = FramePool::allocateFrame(600);
+    EXPECT_EQ(pool.systemAllocs(), 2u);
+    FramePool::deallocateFrame(small);
+    FramePool::deallocateFrame(large);
+    EXPECT_EQ(pool.freeFrames(), 2u);
+
+    // A 600-byte request must not be served from the 64-byte class.
+    void* again = FramePool::allocateFrame(600);
+    EXPECT_EQ(again, large);
+    EXPECT_EQ(pool.reuses(), 1u);
+    FramePool::deallocateFrame(again);
+}
+
+TEST(FramePoolTest, OversizedFramesBypassThePool)
+{
+    FramePool pool;
+    FramePool::Scope scope(pool);
+
+    // Over 64 classes x 64 bytes: straight malloc/free, not pooled.
+    void* huge = FramePool::allocateFrame(1u << 20);
+    EXPECT_EQ(pool.systemAllocs(), 0u);
+    EXPECT_EQ(pool.outstanding(), 0u);
+    FramePool::deallocateFrame(huge);
+    EXPECT_EQ(pool.freeFrames(), 0u);
+}
+
+TEST(FramePoolTest, AllocationOutsideAnyScopeFallsBackToMalloc)
+{
+    void* frame = FramePool::allocateFrame(256);
+    ASSERT_NE(frame, nullptr);
+    // Writable and freeable without any pool in scope.
+    static_cast<char*>(frame)[255] = 1;
+    FramePool::deallocateFrame(frame);
+    FramePool::deallocateFrame(nullptr);  // must be a no-op
+}
+
+TEST(FramePoolTest, FrameFreedAfterScopeEndsReturnsToItsOwner)
+{
+    FramePool pool;
+    void* frame = nullptr;
+    {
+        FramePool::Scope scope(pool);
+        frame = FramePool::allocateFrame(96);
+    }
+    // The scope is gone (and no pool is current), but the frame header
+    // still names its owner: it must land on the owner's free list.
+    FramePool::deallocateFrame(frame);
+    EXPECT_EQ(pool.outstanding(), 0u);
+    EXPECT_EQ(pool.freeFrames(), 1u);
+}
+
+TEST(FramePoolTest, ScopesNest)
+{
+    FramePool outer;
+    FramePool inner;
+    FramePool::Scope outer_scope(outer);
+    void* a = FramePool::allocateFrame(64);
+    {
+        FramePool::Scope inner_scope(inner);
+        void* b = FramePool::allocateFrame(64);
+        EXPECT_EQ(inner.outstanding(), 1u);
+        FramePool::deallocateFrame(b);
+    }
+    // Back to the outer pool after the inner scope unwinds.
+    void* c = FramePool::allocateFrame(64);
+    EXPECT_EQ(outer.outstanding(), 2u);
+    FramePool::deallocateFrame(a);
+    FramePool::deallocateFrame(c);
+    EXPECT_EQ(outer.outstanding(), 0u);
+}
+
+// --- engine-level recycling ----------------------------------------------
+
+TEST(FramePoolEngineTest, SteadyStateLaunchesAllocateNoNewFrames)
+{
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, EngineOptions{});
+    const u32 n = 4096;
+    auto out = memory.alloc<u32>(n, "out");
+
+    const auto kernel = [&](ThreadCtx& t) -> Task {
+        if (t.globalThreadId() < n)
+            co_await t.store(out, t.globalThreadId(), t.blockId());
+    };
+
+    engine.launch("warmup", launchFor(n, 128), kernel);
+    const u64 after_first = engine.framePool().systemAllocs();
+    EXPECT_GT(after_first, 0u);
+    EXPECT_EQ(engine.framePool().outstanding(), 0u)
+        << "frames must all be back in the pool between launches";
+
+    for (int i = 0; i < 3; ++i)
+        engine.launch("steady", launchFor(n, 128), kernel);
+
+    // Same shape, same frame size: every later launch is served
+    // entirely from the free lists.
+    EXPECT_EQ(engine.framePool().systemAllocs(), after_first);
+    EXPECT_GE(engine.framePool().reuses(), 3u * after_first);
+    EXPECT_EQ(engine.framePool().outstanding(), 0u);
+}
+
+TEST(FramePoolEngineTest, InterleavedModeReturnsFramesOnEarlyExit)
+{
+    EngineOptions options;
+    options.mode = ExecMode::kInterleaved;
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, options);
+    auto counter = memory.alloc<u32>(1, "counter");
+
+    LaunchConfig cfg;
+    cfg.grid = 4;
+    cfg.block_x = 64;
+    engine.launch("early-exit", cfg, [&](ThreadCtx& t) -> Task {
+        // Three quarters of the threads exit before their first access.
+        if (t.globalThreadId() % 4 != 0)
+            co_return;
+        co_await t.atomicAdd(counter, 0, u32{1});
+    });
+
+    EXPECT_EQ(memory.read(counter), cfg.totalThreads() / 4);
+    EXPECT_EQ(engine.framePool().outstanding(), 0u)
+        << "early-exiting interleaved frames must return to the pool";
+    EXPECT_GT(engine.framePool().systemAllocs(), 0u);
+
+    // And a second interleaved launch recycles them.
+    const u64 allocs = engine.framePool().systemAllocs();
+    engine.launch("again", cfg, [&](ThreadCtx& t) -> Task {
+        if (t.globalThreadId() % 4 != 0)
+            co_return;
+        co_await t.atomicAdd(counter, 0, u32{1});
+    });
+    EXPECT_EQ(engine.framePool().systemAllocs(), allocs);
+    EXPECT_EQ(engine.framePool().outstanding(), 0u);
+}
+
+TEST(FramePoolEngineTest, EnginesDoNotShareFrames)
+{
+    DeviceMemory mem_a;
+    DeviceMemory mem_b;
+    Engine a(titanV(), mem_a, EngineOptions{});
+    Engine b(titanV(), mem_b, EngineOptions{});
+    auto out_a = mem_a.alloc<u32>(64, "a");
+    auto out_b = mem_b.alloc<u32>(64, "b");
+
+    a.launch("a", launchFor(64, 64), [&](ThreadCtx& t) -> Task {
+        co_await t.store(out_a, t.globalThreadId(), 1u);
+    });
+    b.launch("b", launchFor(64, 64), [&](ThreadCtx& t) -> Task {
+        co_await t.store(out_b, t.globalThreadId(), 1u);
+    });
+
+    EXPECT_GT(a.framePool().systemAllocs(), 0u);
+    EXPECT_GT(b.framePool().systemAllocs(), 0u);
+    EXPECT_EQ(a.framePool().outstanding(), 0u);
+    EXPECT_EQ(b.framePool().outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace eclsim::simt

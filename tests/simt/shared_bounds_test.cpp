@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests of the ThreadCtx::sharedArray bounds check: a kernel that
+ * carves more shared memory than its LaunchConfig declared must die
+ * with a diagnostic instead of silently corrupting the heap, and an
+ * exact-fit carve (including alignment padding) must keep working.
+ */
+#include <gtest/gtest.h>
+
+#include "simt/engine.hpp"
+
+namespace eclsim::simt {
+namespace {
+
+TEST(SharedBoundsTest, ExactFitCarveSucceeds)
+{
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, EngineOptions{});
+    auto out = memory.alloc<u32>(64, "out");
+
+    LaunchConfig cfg;
+    cfg.grid = 1;
+    cfg.block_x = 64;
+    cfg.shared_bytes = 64 * sizeof(u32) + 8;  // tile + aligned u64 pair
+
+    engine.launch("fit", cfg, [&](ThreadCtx& t) -> Task {
+        u32* tile = t.sharedArray<u32>(64);
+        u64* wide = t.sharedArray<u64>(1);  // aligns to 8, still fits
+        tile[t.threadInBlock()] = t.threadInBlock();
+        if (t.threadInBlock() == 0)
+            *wide = 42;
+        co_await t.syncthreads();
+        co_await t.store(out, t.threadInBlock(),
+                         tile[t.threadInBlock()] +
+                             static_cast<u32>(*wide));
+    });
+
+    const auto host = memory.download(out, 64);
+    for (u32 i = 0; i < 64; ++i)
+        EXPECT_EQ(host[i], i + 42);
+}
+
+TEST(SharedBoundsTest, OverflowingCarveDies)
+{
+    auto overflow = [] {
+        DeviceMemory memory;
+        Engine engine(titanV(), memory, EngineOptions{});
+        LaunchConfig cfg;
+        cfg.grid = 1;
+        cfg.block_x = 32;
+        cfg.shared_bytes = 16;
+        engine.launch("overflow", cfg, [&](ThreadCtx& t) -> Task {
+            // 32 bytes against a 16-byte declaration.
+            u32* tile = t.sharedArray<u32>(8);
+            tile[0] = t.threadInBlock();
+            co_return;
+        });
+    };
+    EXPECT_DEATH(overflow(), "overflows shared memory");
+}
+
+TEST(SharedBoundsTest, AlignmentPaddingCountsAgainstTheLimit)
+{
+    // One u8 pushes the cursor to 1; the u64 carve aligns to 8 and
+    // needs bytes [8, 16) — a 12-byte declaration must die even though
+    // 1 + 8 <= 12.
+    auto overflow = [] {
+        DeviceMemory memory;
+        Engine engine(titanV(), memory, EngineOptions{});
+        LaunchConfig cfg;
+        cfg.grid = 1;
+        cfg.block_x = 1;
+        cfg.shared_bytes = 12;
+        engine.launch("align", cfg, [&](ThreadCtx& t) -> Task {
+            t.sharedArray<u8>(1);
+            u64* wide = t.sharedArray<u64>(1);
+            *wide = t.threadInBlock();
+            co_return;
+        });
+    };
+    EXPECT_DEATH(overflow(), "overflows shared memory");
+}
+
+}  // namespace
+}  // namespace eclsim::simt
