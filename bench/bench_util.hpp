@@ -21,8 +21,16 @@
  */
 #pragma once
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <iostream>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "chaos/policy.hpp"
 #include "core/flags.hpp"
@@ -31,6 +39,50 @@
 #include "prof/trace_export.hpp"
 
 namespace eclsim::bench {
+
+/** Exit status for an interrupted run (128 + SIGINT). */
+inline constexpr int kInterruptExit = 130;
+
+namespace detail {
+/** Signal-fire count; handlers may only touch lock-free atomics. */
+inline std::atomic<int> g_interrupts{0};
+
+inline void
+onInterrupt(int)
+{
+    // A second ^C means "now": bail without any flushing.
+    if (g_interrupts.fetch_add(1) >= 1)
+        ::_exit(kInterruptExit);
+}
+}  // namespace detail
+
+/**
+ * Install the SIGINT/SIGTERM latch. The first signal sets a flag the
+ * binary polls to flush partial CSV/trace output before exiting; a
+ * second signal hard-exits immediately. Long-running binaries (the
+ * table sweeps, the serve daemon) call this at startup.
+ */
+inline void
+installInterruptHandler()
+{
+    std::signal(SIGINT, detail::onInterrupt);
+    std::signal(SIGTERM, detail::onInterrupt);
+}
+
+/** True once SIGINT/SIGTERM has been received. */
+inline bool
+interruptRequested()
+{
+    return detail::g_interrupts.load() > 0;
+}
+
+/** Block until the first SIGINT/SIGTERM (the daemon's idle loop). */
+inline void
+waitForInterrupt()
+{
+    while (!interruptRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
 
 /** Parse the standard bench flags. */
 inline harness::ExperimentConfig
@@ -113,6 +165,47 @@ stderrProgress()
     };
 }
 
+/** Completed cells, shared between a sweep and its interrupt flush. */
+struct PartialSink
+{
+    std::mutex mutex;
+    std::vector<harness::Measurement> done;
+};
+
+/**
+ * Wrap a progress callback so the first SIGINT/SIGTERM flushes a table
+ * of the cells completed so far (plus any --trace/--counters output)
+ * and exits with status 130, instead of dropping everything measured.
+ * Rendering is delegated so each binary keeps its own table layout.
+ */
+inline harness::ProgressFn
+flushOnInterrupt(
+    std::shared_ptr<PartialSink> sink, const Flags& flags,
+    const std::string& title,
+    std::function<TextTable(const std::vector<harness::Measurement>&)>
+        render,
+    const prof::TraceSession* session, harness::ProgressFn inner)
+{
+    return [sink, &flags, title, render = std::move(render), session,
+            inner = std::move(inner)](const harness::Measurement& m) {
+        if (inner)
+            inner(m);
+        std::lock_guard<std::mutex> lock(sink->mutex);
+        sink->done.push_back(m);
+        if (!interruptRequested())
+            return;
+        std::cerr << "interrupted: flushing " << sink->done.size()
+                  << " completed cells\n";
+        emitTable(flags, title + " (partial: interrupted)",
+                  render(sink->done));
+        emitProfile(flags, session);
+        std::cout.flush();
+        std::cerr.flush();
+        // Worker threads are still mid-sweep; skip teardown entirely.
+        ::_exit(kInterruptExit);
+    };
+}
+
 /**
  * One of the per-GPU speedup tables (Tables IV-VII): run the undirected
  * suite on the named GPU and print it in the paper's layout.
@@ -121,14 +214,21 @@ inline int
 runSpeedupTableMain(int argc, char** argv, const std::string& gpu_name,
                     const std::string& table_title)
 {
+    installInterruptHandler();
     Flags flags(argc, argv);
     auto config = configFromFlags(flags);
     const auto session = sessionFromFlags(flags);
     config.trace = session.get();
     const auto& gpu = simt::findGpu(gpu_name);
-    const auto measurements = harness::runUndirectedSuite(
-        gpu, config, flags.getBool("quiet", false) ? harness::ProgressFn{}
-                                                   : stderrProgress());
+
+    const auto sink = std::make_shared<PartialSink>();
+    const auto progress = flushOnInterrupt(
+        sink, flags, table_title, harness::makeSpeedupTable, session.get(),
+        flags.getBool("quiet", false) ? harness::ProgressFn{}
+                                      : stderrProgress());
+
+    const auto measurements =
+        harness::runUndirectedSuite(gpu, config, progress);
     emitTable(flags, table_title, harness::makeSpeedupTable(measurements));
     emitProfile(flags, session.get());
     return 0;

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The eclsim simulation daemon.
+ *
+ * Serves line-delimited-JSON simulation requests over TCP (127.0.0.1
+ * only) until SIGINT/SIGTERM, then drains gracefully: in-flight cells
+ * complete and are delivered, idle connections are closed, and the
+ * profiling outputs are flushed.
+ *
+ * Flags:
+ *   --port=N           listen port (default 7077; 0 = ephemeral)
+ *   --jobs=N           worker threads = max concurrent cells
+ *                      (default: one per hardware thread)
+ *   --queue=N          admission bound on pending cells (default 64);
+ *                      past it requests fail fast with "overloaded"
+ *   --cache-entries=N  result-cache LRU bound (default 4096)
+ *   --catalog-mb=N     input-catalog residency cap (default 256 MiB)
+ *   --counters=PATH    write serve/catalog counters as CSV on exit
+ *   --trace=PATH       write the request spans as a Chrome trace
+ *   --quiet            suppress the shutdown stats line
+ */
+#include "bench_util.hpp"
+#include "serve/server.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace eclsim;
+    bench::installInterruptHandler();
+    Flags flags(argc, argv);
+
+    serve::ServeOptions options;
+    options.jobs = static_cast<u32>(flags.getInt("jobs", 0));
+    options.queue_limit =
+        static_cast<size_t>(flags.getInt("queue", 64));
+    options.cache_entries =
+        static_cast<size_t>(flags.getInt("cache-entries", 4096));
+    options.catalog_capacity_bytes =
+        static_cast<u64>(flags.getInt("catalog-mb", 256)) << 20;
+
+    serve::Service service(options);
+    serve::Server server(service,
+                         static_cast<u16>(flags.getInt("port", 7077)));
+    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+
+    bench::waitForInterrupt();
+    std::cerr << "draining..." << std::endl;
+    server.drain();
+
+    service.publishGaugeCounters();
+    const std::string counters = flags.getString("counters", "");
+    if (!counters.empty()) {
+        prof::writeCountersCsv(service.session().counters(), counters);
+        std::cout << "(counters written to " << counters << ")"
+                  << std::endl;
+    }
+    const std::string trace = flags.getString("trace", "");
+    if (!trace.empty()) {
+        prof::writeChromeTrace(service.session(), trace);
+        std::cout << "(trace written to " << trace << ")" << std::endl;
+    }
+
+    if (!flags.getBool("quiet", false)) {
+        const serve::ServiceStats stats = service.stats();
+        std::cout << "served " << stats.requests << " requests ("
+                  << stats.executed << " executed, " << stats.cache_hits
+                  << " cache hits, " << stats.coalesced << " coalesced, "
+                  << stats.rejected << " overloaded, " << stats.malformed
+                  << " malformed); p50 "
+                  << fmtFixed(stats.p50_us / 1000.0, 2) << " ms, p99 "
+                  << fmtFixed(stats.p99_us / 1000.0, 2) << " ms"
+                  << std::endl;
+    }
+    return 0;
+}

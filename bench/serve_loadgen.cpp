@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Load generator and determinism gate for the serve layer.
+ *
+ * Replays a Zipf-skewed mix of simulation requests over N concurrent
+ * TCP connections against an in-process daemon, then reports
+ * throughput, client-observed latency percentiles, and the cache-hit
+ * rate into BENCH_SERVE.json.
+ *
+ * With --check (the default) every response is also compared
+ * byte-for-byte against a fresh single-threaded daemon serving the
+ * same requests serially — the paper-level claim that removing the
+ * schedule from the seeds makes concurrency invisible in the results.
+ *
+ * Flags:
+ *   --requests=N     total requests to replay (default 2000)
+ *   --connections=N  concurrent client connections (default 8)
+ *   --distinct=N     distinct request population size (default 64)
+ *   --zipf=S         skew exponent; weight(rank) = 1/rank^S (default 1)
+ *   --divisor=N      input scale divisor for the population (1024)
+ *   --reps=N         reps per cell (default 2)
+ *   --seed=N         base seed for the population (default 12345)
+ *   --jobs=N         daemon workers (default: hardware threads)
+ *   --queue=N        daemon admission bound (default 256)
+ *   --json=PATH      metrics output (default BENCH_SERVE.json)
+ *   --check / --no-check   run the serial byte-identity gate
+ */
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/logging.hpp"
+#include "core/stats.hpp"
+#include "serve/server.hpp"
+
+namespace eclsim {
+namespace {
+
+/** Blocking line-oriented client connection. */
+class Client
+{
+  public:
+    explicit Client(u16 port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            fatal("socket(): {}", std::strerror(errno));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) != 0)
+            fatal("connect(127.0.0.1:{}): {}", port, std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+
+    ~Client() { ::close(fd_); }
+
+    std::string
+    roundTrip(const std::string& line)
+    {
+        const std::string framed = line + "\n";
+        size_t sent = 0;
+        while (sent < framed.size()) {
+            const ssize_t n =
+                ::write(fd_, framed.data() + sent, framed.size() - sent);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0)
+                fatal("write(): {}", std::strerror(errno));
+            sent += static_cast<size_t>(n);
+        }
+        for (;;) {
+            const size_t newline = buffer_.find('\n');
+            if (newline != std::string::npos) {
+                std::string out = buffer_.substr(0, newline);
+                buffer_.erase(0, newline + 1);
+                return out;
+            }
+            char chunk[8192];
+            const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                fatal("daemon closed the connection mid-replay");
+            buffer_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+/** The distinct request population: mixed graphs/algos/gpus/seeds. */
+std::vector<serve::Request>
+buildPopulation(size_t distinct, u32 divisor, u32 reps, u64 base_seed)
+{
+    const std::vector<std::pair<std::string, harness::Algo>> cells = {
+        {"rmat16.sym", harness::Algo::kCc},
+        {"internet", harness::Algo::kGc},
+        {"amazon0601", harness::Algo::kMis},
+        {"citationCiteseer", harness::Algo::kMst},
+        {"star", harness::Algo::kScc},
+        {"web-Google", harness::Algo::kScc},
+        {"internet", harness::Algo::kCc},
+        {"rmat16.sym", harness::Algo::kMis},
+    };
+    const std::vector<std::string> gpus = {"Titan V", "A100"};
+    std::vector<serve::Request> population;
+    for (size_t i = 0; i < distinct; ++i) {
+        serve::Request request;
+        const auto& [graph, algo] = cells[i % cells.size()];
+        request.graph = graph;
+        request.algo = algo;
+        request.gpu = gpus[(i / cells.size()) % gpus.size()];
+        request.seed = base_seed + i / (cells.size() * gpus.size());
+        request.reps = reps;
+        request.divisor = divisor;
+        request.id = "pop-" + std::to_string(i);
+        population.push_back(request);
+    }
+    return population;
+}
+
+/** One wire line per population entry (ids rotate per replay below). */
+std::string
+wireLine(const serve::Request& request, const std::string& id)
+{
+    return std::string("{\"id\":") + serve::quoteJson(id) +
+           ",\"graph\":" + serve::quoteJson(request.graph) +
+           ",\"algo\":\"" + harness::algoName(request.algo) +
+           "\",\"gpu\":" + serve::quoteJson(request.gpu) +
+           ",\"seed\":" + std::to_string(request.seed) +
+           ",\"reps\":" + std::to_string(request.reps) +
+           ",\"divisor\":" + std::to_string(request.divisor) + "}";
+}
+
+/**
+ * Deterministic Zipf-ranked replay schedule: request t draws from the
+ * population with weight 1/rank^s via an inverse-CDF lookup over a
+ * SplitMix64 stream, so every run replays the identical sequence.
+ */
+std::vector<size_t>
+zipfSchedule(size_t requests, size_t distinct, double s, u64 seed)
+{
+    std::vector<double> cdf(distinct);
+    double total = 0.0;
+    for (size_t rank = 0; rank < distinct; ++rank) {
+        total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+        cdf[rank] = total;
+    }
+    std::vector<size_t> schedule(requests);
+    u64 state = seed;
+    for (size_t t = 0; t < requests; ++t) {
+        // SplitMix64 step.
+        state += 0x9e3779b97f4a7c15ull;
+        u64 z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        const double u =
+            static_cast<double>(z >> 11) / 9007199254740992.0 * total;
+        schedule[t] = static_cast<size_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+        if (schedule[t] >= distinct)
+            schedule[t] = distinct - 1;
+    }
+    return schedule;
+}
+
+}  // namespace
+}  // namespace eclsim
+
+int
+main(int argc, char** argv)
+{
+    using namespace eclsim;
+    bench::installInterruptHandler();
+    Flags flags(argc, argv);
+
+    const size_t requests =
+        static_cast<size_t>(flags.getInt("requests", 2000));
+    const size_t connections =
+        static_cast<size_t>(flags.getInt("connections", 8));
+    const size_t distinct =
+        static_cast<size_t>(flags.getInt("distinct", 64));
+    const double zipf = flags.getDouble("zipf", 1.0);
+    const u32 divisor = static_cast<u32>(flags.getInt("divisor", 1024));
+    const u32 reps = static_cast<u32>(flags.getInt("reps", 2));
+    const u64 seed = static_cast<u64>(flags.getInt("seed", 12345));
+    const bool check = flags.getBool("check", true);
+    const std::string json_path =
+        flags.getString("json", "BENCH_SERVE.json");
+
+    serve::ServeOptions options;
+    options.jobs = static_cast<u32>(flags.getInt("jobs", 0));
+    options.queue_limit = static_cast<size_t>(flags.getInt("queue", 256));
+    serve::Service service(options);
+    serve::Server server(service, 0);
+
+    const auto population = buildPopulation(distinct, divisor, reps, seed);
+    const auto schedule = zipfSchedule(requests, distinct, zipf, seed);
+
+    // Replay: connection c serves schedule entries c, c+N, c+2N, ...
+    std::vector<std::vector<double>> latencies(connections);
+    // Every response fragment observed for each population index.
+    std::vector<std::map<size_t, std::string>> observed(connections);
+    std::atomic<size_t> errors{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        std::vector<std::thread> clients;
+        for (size_t c = 0; c < connections; ++c) {
+            clients.emplace_back([&, c] {
+                Client client(server.port());
+                for (size_t t = c; t < schedule.size(); t += connections) {
+                    const size_t index = schedule[t];
+                    const std::string line = wireLine(
+                        population[index],
+                        "c" + std::to_string(c) + "-" + std::to_string(t));
+                    const auto start = std::chrono::steady_clock::now();
+                    const std::string response = client.roundTrip(line);
+                    const auto stop = std::chrono::steady_clock::now();
+                    latencies[c].push_back(
+                        std::chrono::duration<double, std::micro>(stop -
+                                                                  start)
+                            .count());
+                    const std::string fragment =
+                        serve::extractResultFragment(response);
+                    if (fragment.empty()) {
+                        ++errors;
+                        std::cerr << "non-ok response: " << response
+                                  << "\n";
+                        continue;
+                    }
+                    auto [it, inserted] =
+                        observed[c].emplace(index, fragment);
+                    if (it->second != fragment)
+                        ++errors;  // same connection saw two renderings
+                }
+            });
+        }
+        for (auto& client : clients)
+            client.join();
+    }
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    server.drain();
+    const serve::ServiceStats stats = service.stats();
+
+    std::vector<double> all_latencies;
+    for (const auto& per_connection : latencies)
+        all_latencies.insert(all_latencies.end(), per_connection.begin(),
+                             per_connection.end());
+    const double p50 = stats::percentile(all_latencies, 50.0);
+    const double p99 = stats::percentile(all_latencies, 99.0);
+    const double hit_rate = stats.hitRate();
+
+    std::cout << "replayed " << requests << " requests over "
+              << connections << " connections in " << fmtFixed(wall_s, 2)
+              << " s (" << fmtFixed(requests / wall_s, 0) << " req/s)\n"
+              << "  latency p50 " << fmtFixed(p50 / 1000.0, 2)
+              << " ms, p99 " << fmtFixed(p99 / 1000.0, 2) << " ms\n"
+              << "  cache: " << stats.cache_hits << " hits, "
+              << stats.coalesced << " coalesced, " << stats.executed
+              << " executed (hit rate "
+              << fmtFixed(100.0 * hit_rate, 1) << "%)\n";
+
+    // Determinism gate: a fresh single-threaded daemon must render the
+    // exact bytes the concurrent replay observed, for every distinct
+    // request that was served.
+    size_t mismatches = 0;
+    size_t compared = 0;
+    if (check) {
+        serve::Service serial(serve::ServeOptions{.jobs = 1});
+        serve::ServiceHandle handle(serial);
+        std::map<size_t, std::string> reference;
+        for (const auto& per_connection : observed)
+            for (const auto& [index, fragment] : per_connection) {
+                if (!reference.count(index))
+                    reference[index] = serve::extractResultFragment(
+                        handle.call(population[index]).encode());
+                ++compared;
+                if (fragment != reference[index]) {
+                    ++mismatches;
+                    std::cerr << "determinism mismatch for "
+                              << population[index].graph << "/"
+                              << harness::algoName(population[index].algo)
+                              << "\n";
+                }
+            }
+        std::cout << "  determinism: " << compared
+                  << " responses compared against a serial daemon, "
+                  << mismatches << " mismatches\n";
+    }
+
+    std::ofstream json(json_path);
+    json << "{\n"
+         << "  \"requests\": " << requests << ",\n"
+         << "  \"connections\": " << connections << ",\n"
+         << "  \"distinct\": " << distinct << ",\n"
+         << "  \"zipf\": " << serve::jsonNumber(zipf) << ",\n"
+         << "  \"wall_s\": " << serve::jsonNumber(wall_s) << ",\n"
+         << "  \"throughput_rps\": "
+         << serve::jsonNumber(requests / wall_s) << ",\n"
+         << "  \"latency_p50_us\": " << serve::jsonNumber(p50) << ",\n"
+         << "  \"latency_p99_us\": " << serve::jsonNumber(p99) << ",\n"
+         << "  \"cache_hits\": " << stats.cache_hits << ",\n"
+         << "  \"coalesced\": " << stats.coalesced << ",\n"
+         << "  \"executed\": " << stats.executed << ",\n"
+         << "  \"rejected\": " << stats.rejected << ",\n"
+         << "  \"hit_rate\": " << serve::jsonNumber(hit_rate) << ",\n"
+         << "  \"queue_peak\": " << stats.queue_peak << ",\n"
+         << "  \"determinism_compared\": " << compared << ",\n"
+         << "  \"determinism_mismatches\": " << mismatches << ",\n"
+         << "  \"errors\": " << errors.load() << "\n"
+         << "}\n";
+    json.close();
+    std::cout << "(metrics written to " << json_path << ")" << std::endl;
+
+    if (errors.load() > 0 || mismatches > 0) {
+        std::cerr << "FAILED: " << errors.load() << " errors, "
+                  << mismatches << " determinism mismatches\n";
+        return 1;
+    }
+    if (check && hit_rate < 0.30) {
+        std::cerr << "FAILED: hit rate "
+                  << fmtFixed(100.0 * hit_rate, 1)
+                  << "% below the 30% gate\n";
+        return 1;
+    }
+    return 0;
+}

@@ -226,8 +226,9 @@ WorkloadResult
 runSweep(u32 reps, bool quick)
 {
     const u32 divisor = quick ? 2048 : 1024;
-    const auto& graph =
+    const auto graph_ptr =
         graph::InputCatalog::shared().get("as-skitter", divisor);
+    const auto& graph = *graph_ptr;
 
     harness::ExperimentConfig config;
     config.reps = 2;

@@ -9,13 +9,17 @@ int
 main(int argc, char** argv)
 {
     using namespace eclsim;
+    bench::installInterruptHandler();
     Flags flags(argc, argv);
     auto config = bench::configFromFlags(flags);
     const auto session = bench::sessionFromFlags(flags);
     config.trace = session.get();
-    const auto progress = flags.getBool("quiet", false)
-                              ? harness::ProgressFn{}
-                              : bench::stderrProgress();
+    const auto sink = std::make_shared<bench::PartialSink>();
+    const auto progress = bench::flushOnInterrupt(
+        sink, flags, "TABLE VIII: Speedups of race-free SCC",
+        harness::makeSccTable, session.get(),
+        flags.getBool("quiet", false) ? harness::ProgressFn{}
+                                      : bench::stderrProgress());
 
     std::vector<harness::Measurement> all;
     for (const auto& gpu : simt::evaluationGpus()) {

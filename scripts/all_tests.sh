@@ -17,6 +17,7 @@ ctest --test-dir build -j "$(nproc)"
 ./scripts/chaos_smoke.sh build
 ./scripts/racecheck_smoke.sh build
 ./scripts/simbench_smoke.sh build
+./scripts/serve_smoke.sh build
 
 mkdir -p results output
 for bench in build/bench/table* build/bench/fig6_geomean \

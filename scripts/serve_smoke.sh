@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Serve smoke test, two stages:
+#
+#   1. serve_loadgen --check: replay a Zipf-skewed request mix over
+#      concurrent TCP connections against an in-process daemon and
+#      gate on (a) zero protocol errors, (b) every response byte-
+#      identical to a fresh single-threaded daemon, (c) >= 30%
+#      cache-hit rate. Metrics land in BENCH_SERVE.json.
+#
+#   2. eclsim_served end-to-end: start the daemon, drive it with a
+#      python3 line-JSON client (repeat requests must hit the cache
+#      with byte-identical results; malformed lines must get error
+#      responses, not kill the connection), then SIGINT it and assert
+#      a clean drain: exit status 0 and flushed counters that record
+#      the cache hit.
+#
+# Usage: ./scripts/serve_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+JSON="${SERVE_JSON:-BENCH_SERVE.json}"
+COUNTERS="$(mktemp /tmp/serve_counters.XXXXXX.csv)"
+DAEMON_LOG="$(mktemp /tmp/serve_daemon.XXXXXX.log)"
+trap 'rm -f "$COUNTERS" "$DAEMON_LOG"' EXIT
+
+echo "== serve_loadgen (determinism + hit-rate gate) =="
+"$BUILD/bench/serve_loadgen" --requests=500 --connections=8 \
+    --distinct=32 --divisor=2048 --reps=1 --json="$JSON" --check
+
+echo "== eclsim_served end-to-end =="
+"$BUILD/bench/eclsim_served" --port=0 --jobs=2 \
+    --counters="$COUNTERS" --quiet >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the "listening on 127.0.0.1:<port>" banner.
+PORT=""
+for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$DAEMON_LOG" | head -n1)"
+    [ -n "$PORT" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "daemon died at startup:"; cat "$DAEMON_LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$PORT" ] || { echo "daemon never printed its port"; exit 1; }
+echo "daemon up on port $PORT (pid $DAEMON_PID)"
+
+python3 - "$PORT" <<'EOF'
+import json, socket, sys
+
+port = int(sys.argv[1])
+sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+reader = sock.makefile("r")
+
+def rpc(line):
+    sock.sendall((line + "\n").encode())
+    return reader.readline().strip()
+
+request = ('{"graph":"rmat16.sym","algo":"cc","reps":1,'
+           '"divisor":2048,"seed":7}')
+
+pong = json.loads(rpc('{"op":"ping"}'))
+assert pong.get("result", {}).get("pong") is True, pong
+
+first = rpc(request)
+second = rpc(request)
+fj, sj = json.loads(first), json.loads(second)
+assert fj["status"] == "ok" and sj["status"] == "ok", (first, second)
+assert fj["cache"] == "miss" and sj["cache"] == "hit", (first, second)
+assert fj["result"] == sj["result"], "cache hit changed the result"
+frag = lambda line: line[line.find('"result":'):line.rfind("}")]
+assert frag(first) == frag(second), "cache hit changed the result bytes"
+
+bad = json.loads(rpc("this is not json"))
+assert bad["status"] == "error" and bad["error"], bad
+# The connection survived the malformed line.
+again = json.loads(rpc(request))
+assert again["status"] == "ok" and again["cache"] == "hit", again
+
+stats = json.loads(rpc('{"op":"stats"}'))["result"]
+assert stats["executed"] == 1 and stats["cache_hits"] == 2, stats
+print("client checks passed:", stats)
+sock.close()
+EOF
+
+kill -INT "$DAEMON_PID"
+DAEMON_STATUS=0
+wait "$DAEMON_PID" || DAEMON_STATUS=$?
+if [ "$DAEMON_STATUS" -ne 0 ]; then
+    echo "daemon exited with status $DAEMON_STATUS:"; cat "$DAEMON_LOG"
+    exit 1
+fi
+
+grep -q "^serve/cache_hit,2$" "$COUNTERS" || {
+    echo "flushed counters missing serve/cache_hit=2:"; cat "$COUNTERS"
+    exit 1; }
+grep -q "^serve/executed,1$" "$COUNTERS" || {
+    echo "flushed counters missing serve/executed=1:"; cat "$COUNTERS"
+    exit 1; }
+
+echo "serve smoke passed (daemon drained cleanly, counters flushed)"

@@ -45,10 +45,11 @@ runCampaignCell(const CampaignConfig& config, const CampaignCell& cell,
     out.cell = cell;
 
     auto& cache = graph::InputCatalog::shared();
-    const CsrGraph& graph =
+    const graph::GraphPtr cached =
         cell.algo == harness::Algo::kMst
             ? cache.getWeighted(cell.input, config.graph_divisor)
             : cache.get(cell.input, config.graph_divisor);
+    const CsrGraph& graph = *cached;
 
     // Engine and policy draw from decorrelated streams of the cell seed
     // so changing the policy's consumption pattern never perturbs the

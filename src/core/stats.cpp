@@ -21,6 +21,22 @@ median(std::vector<double> values)
 }
 
 double
+percentile(std::vector<double> values, double p)
+{
+    ECLSIM_ASSERT(!values.empty(), "percentile of empty sample");
+    ECLSIM_ASSERT(p >= 0.0 && p <= 100.0, "percentile {} out of [0,100]",
+                  p);
+    std::sort(values.begin(), values.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+double
 mean(const std::vector<double>& values)
 {
     if (values.empty())

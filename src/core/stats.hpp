@@ -14,6 +14,13 @@ namespace eclsim::stats {
 /** Median of a sample (averages the two middle elements for even sizes). */
 double median(std::vector<double> values);
 
+/**
+ * p-th percentile (0 <= p <= 100) with linear interpolation between the
+ * closest ranks of a sorted copy, so percentile(v, 50) == median(v).
+ * Used by the serve layer's latency reporting (p50/p99).
+ */
+double percentile(std::vector<double> values, double p);
+
 /** Arithmetic mean. Returns 0 for an empty sample. */
 double mean(const std::vector<double>& values);
 

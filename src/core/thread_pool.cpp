@@ -44,6 +44,20 @@ ThreadPool::currentWorkerIndex()
     return t_worker_index;
 }
 
+size_t
+ThreadPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+size_t
+ThreadPool::active() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+}
+
 void
 ThreadPool::enqueue(std::function<void()> fn)
 {
@@ -53,6 +67,20 @@ ThreadPool::enqueue(std::function<void()> fn)
         queue_.push_back(std::move(fn));
     }
     ready_.notify_one();
+}
+
+bool
+ThreadPool::enqueueBounded(std::function<void()> fn, size_t max_pending)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ECLSIM_ASSERT(!stopping_, "trySubmit() on a stopping ThreadPool");
+        if (queue_.size() >= max_pending)
+            return false;
+        queue_.push_back(std::move(fn));
+    }
+    ready_.notify_one();
+    return true;
 }
 
 void
@@ -69,9 +97,14 @@ ThreadPool::workerLoop(u32 index)
                 return;  // stopping and fully drained
             task = std::move(queue_.front());
             queue_.pop_front();
+            ++active_;
         }
         task();  // a throwing task is a packaged_task: it stores the
                  // exception in its future instead of unwinding here
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+        }
     }
 }
 

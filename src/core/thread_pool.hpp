@@ -20,11 +20,13 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -55,6 +57,12 @@ class ThreadPool
     /** 0-based index of the calling pool worker, -1 off-pool. */
     static int currentWorkerIndex();
 
+    /** Tasks enqueued but not yet picked up by a worker. */
+    size_t pending() const;
+
+    /** Tasks currently executing on a worker. */
+    size_t active() const;
+
     /**
      * Enqueue a callable; the future delivers its result or rethrows
      * whatever it threw.
@@ -71,14 +79,38 @@ class ThreadPool
         return future;
     }
 
+    /**
+     * Bounded-queue submit for admission control: enqueue the callable
+     * only if fewer than `max_pending` tasks are currently waiting in
+     * the queue (running tasks do not count). Returns the future on
+     * success, std::nullopt when the bound would be exceeded — the
+     * callable is then never invoked and the caller fails fast instead
+     * of piling unbounded work onto the pool.
+     */
+    template <typename F>
+    auto
+    trySubmit(size_t max_pending, F&& fn)
+        -> std::optional<std::future<std::invoke_result_t<std::decay_t<F>>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        if (!enqueueBounded([task] { (*task)(); }, max_pending))
+            return std::nullopt;
+        return future;
+    }
+
   private:
     void enqueue(std::function<void()> fn);
+    bool enqueueBounded(std::function<void()> fn, size_t max_pending);
     void workerLoop(u32 index);
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable ready_;
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
+    size_t active_ = 0;
     bool stopping_ = false;
 };
 

@@ -1,8 +1,21 @@
 #include "graph/input_catalog.hpp"
 
+#include <limits>
+#include <utility>
+
 #include "graph/generators.hpp"
+#include "prof/counters.hpp"
 
 namespace eclsim::graph {
+
+u64
+graphBytes(const CsrGraph& graph)
+{
+    return sizeof(CsrGraph) +
+           graph.rowOffsets().capacity() * sizeof(EdgeId) +
+           graph.colIndices().capacity() * sizeof(VertexId) +
+           graph.weights().capacity() * sizeof(i32);
+}
 
 InputCatalog&
 InputCatalog::shared()
@@ -11,44 +24,126 @@ InputCatalog::shared()
     return instance;
 }
 
-InputCatalog::Slot*
-InputCatalog::slot(const std::string& key)
+template <typename BuildFn>
+GraphPtr
+InputCatalog::lookup(const std::string& key, BuildFn&& build)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto& entry = slots_[key];
-    if (entry == nullptr)
-        entry = std::make_unique<Slot>();
-    else
-        ++hits_;
-    return entry.get();
+    std::shared_ptr<Slot> slot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto& entry = slots_[key];
+        if (entry == nullptr) {
+            entry = std::make_shared<Slot>();
+            ++misses_;
+        } else {
+            ++hits_;
+        }
+        entry->last_use = ++tick_;
+        slot = entry;
+    }
+
+    // The build runs outside the lock so distinct keys generate in
+    // parallel; call_once serializes same-key racers onto one builder.
+    std::call_once(slot->once, [&] {
+        slot->graph = std::make_shared<const CsrGraph>(build());
+    });
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!slot->resident) {
+            // First accounting of this slot. It may have been evicted
+            // (or clear()ed) between build and here — only account it
+            // if it is still the slot the map knows for this key.
+            auto it = slots_.find(key);
+            if (it != slots_.end() && it->second == slot) {
+                slot->bytes = graphBytes(*slot->graph);
+                slot->resident = true;
+                bytes_ += slot->bytes;
+                evictOverCapacity(slot.get());
+            }
+        }
+    }
+    return slot->graph;
 }
 
-const CsrGraph&
+void
+InputCatalog::evictOverCapacity(const Slot* keep)
+{
+    if (capacity_ == 0)
+        return;
+    while (bytes_ > capacity_) {
+        auto victim = slots_.end();
+        u64 oldest = std::numeric_limits<u64>::max();
+        for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+            Slot* s = it->second.get();
+            if (!s->resident || s == keep)
+                continue;
+            if (s->last_use < oldest) {
+                oldest = s->last_use;
+                victim = it;
+            }
+        }
+        if (victim == slots_.end())
+            break;  // nothing evictable (keep alone may exceed the cap)
+        bytes_ -= victim->second->bytes;
+        victim->second->resident = false;
+        ++evictions_;
+        slots_.erase(victim);
+    }
+}
+
+GraphPtr
 InputCatalog::get(const std::string& name, u32 divisor)
 {
-    Slot* s = slot(name + "@" + std::to_string(divisor));
-    std::call_once(s->once,
-                   [&] { s->graph = findCatalogEntry(name).make(divisor); });
-    return s->graph;
+    return lookup(name + "@" + std::to_string(divisor),
+                  [&] { return findCatalogEntry(name).make(divisor); });
 }
 
-const CsrGraph&
+GraphPtr
 InputCatalog::getWeighted(const std::string& name, u32 divisor,
                           i32 max_weight, u64 seed)
 {
-    Slot* s = slot(name + "@" + std::to_string(divisor) + "#w" +
-                   std::to_string(max_weight) + "." + std::to_string(seed));
-    std::call_once(s->once, [&] {
-        s->graph = withSyntheticWeights(get(name, divisor), max_weight, seed);
+    const std::string key = name + "@" + std::to_string(divisor) + "#w" +
+                            std::to_string(max_weight) + "." +
+                            std::to_string(seed);
+    return lookup(key, [&] {
+        // Holds the unweighted parent alive for the duration of the
+        // derivation even if it is evicted concurrently.
+        GraphPtr plain = get(name, divisor);
+        return withSyntheticWeights(*plain, max_weight, seed);
     });
-    return s->graph;
+}
+
+void
+InputCatalog::setCapacityBytes(u64 bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = bytes;
+    evictOverCapacity(nullptr);
+}
+
+u64
+InputCatalog::capacityBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+u64
+InputCatalog::sizeBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
 }
 
 size_t
 InputCatalog::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return slots_.size();
+    size_t resident = 0;
+    for (const auto& [key, slot] : slots_)
+        resident += slot->resident ? 1 : 0;
+    return resident;
 }
 
 u64
@@ -58,12 +153,45 @@ InputCatalog::hits() const
     return hits_;
 }
 
+u64
+InputCatalog::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+u64
+InputCatalog::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+void
+InputCatalog::publishCounters(prof::CounterRegistry& registry) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t resident = 0;
+    for (const auto& [key, slot] : slots_)
+        resident += slot->resident ? 1 : 0;
+    registry.add(registry.id("sim/catalog/hits"), hits_);
+    registry.add(registry.id("sim/catalog/misses"), misses_);
+    registry.add(registry.id("sim/catalog/evictions"), evictions_);
+    registry.add(registry.id("sim/catalog/resident_graphs"), resident);
+    registry.add(registry.id("sim/catalog/resident_bytes"), bytes_);
+}
+
 void
 InputCatalog::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, slot] : slots_)
+        slot->resident = false;
     slots_.clear();
+    bytes_ = 0;
     hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
 }
 
 }  // namespace eclsim::graph

@@ -1,23 +1,34 @@
 /**
  * @file
- * Shared read-only cache of generated catalog inputs.
+ * Shared, bounded, read-only cache of generated catalog inputs.
  *
  * Regenerating a stand-in graph for every (gpu, algo, variant, rep)
  * cell dominated the wall-clock of the table sweeps. An InputCatalog
  * memoizes CatalogEntry::make results keyed by (input name, divisor) —
  * each graph is generated exactly once per divisor and every later
- * lookup returns a reference to the same immutable object, shared
- * across GPUs, algorithms, variants and repetitions.
+ * lookup returns a shared_ptr to the same immutable object, shared
+ * across GPUs, algorithms, variants, repetitions, and (in the serve
+ * daemon) client connections.
  *
  * The cache is thread-safe: concurrent lookups of *different* keys
  * generate in parallel, concurrent lookups of the *same* key block all
  * but one builder (std::call_once per slot), so the parallel suite
- * runner never builds a graph twice. Returned references stay valid
- * for the cache's lifetime; clear() invalidates them all and is only
- * safe while no suite is running.
+ * runner never builds a graph twice.
+ *
+ * Residency is bounded: setCapacityBytes() caps the total byte size of
+ * cached graphs; when an insert pushes the cache past the cap, the
+ * least-recently-used resident entries are evicted (a long-lived daemon
+ * must not accumulate every graph it ever served). Because lookups
+ * return shared_ptr, eviction never invalidates an outstanding user —
+ * the graph is freed when its last holder drops it. The default
+ * capacity is 0 = unbounded, preserving the batch-sweep behavior.
+ *
+ * Accounting (hits / misses / evictions / resident bytes) is kept
+ * internally and can be published as sim/catalog counters into a
+ * prof::CounterRegistry at export time via publishCounters().
  *
  * shared() is the process-wide instance the experiment harness uses;
- * tests can construct private instances.
+ * tests and the serve daemon construct private instances.
  */
 #pragma once
 
@@ -29,9 +40,19 @@
 #include "graph/catalog.hpp"
 #include "graph/csr.hpp"
 
+namespace eclsim::prof {
+class CounterRegistry;
+}
+
 namespace eclsim::graph {
 
-/** Memoizing, thread-safe store of catalog stand-in graphs. */
+/** Shared ownership of one immutable cached graph. */
+using GraphPtr = std::shared_ptr<const CsrGraph>;
+
+/** Approximate heap footprint of a CSR graph, for cache accounting. */
+u64 graphBytes(const CsrGraph& graph);
+
+/** Memoizing, thread-safe, capacity-bounded graph store (file comment). */
 class InputCatalog
 {
   public:
@@ -43,37 +64,73 @@ class InputCatalog
     static InputCatalog& shared();
 
     /** The stand-in for a named catalog input, built on first use. */
-    const CsrGraph& get(const std::string& name, u32 divisor);
+    GraphPtr get(const std::string& name, u32 divisor);
 
     /**
      * The same stand-in with synthetic edge weights (the harness's MST
      * input), derived from the unweighted graph and cached separately.
      */
-    const CsrGraph& getWeighted(const std::string& name, u32 divisor,
-                                i32 max_weight = 1000, u64 seed = 0xec1);
+    GraphPtr getWeighted(const std::string& name, u32 divisor,
+                         i32 max_weight = 1000, u64 seed = 0xec1);
 
-    /** Number of distinct graphs built so far. */
+    /**
+     * Cap the resident byte total; 0 (the default) is unbounded.
+     * Lowering the cap below the current residency evicts immediately.
+     */
+    void setCapacityBytes(u64 bytes);
+    u64 capacityBytes() const;
+
+    /** Total byte size of the currently resident graphs. */
+    u64 sizeBytes() const;
+
+    /** Number of resident graphs. */
     size_t size() const;
 
-    /** Number of lookups served from an already-built slot. */
+    /** Lookups that found an existing (or in-flight) slot. */
     u64 hits() const;
 
-    /** Drop every cached graph (dangles outstanding references!). */
+    /** Lookups that had to build (first sight of a key). */
+    u64 misses() const;
+
+    /** Resident entries dropped by the capacity cap. */
+    u64 evictions() const;
+
+    /**
+     * Add the current totals as "sim/catalog/{hits,misses,evictions,
+     * resident_graphs,resident_bytes}" counters. Call once per export
+     * (counters accumulate; repeated publishing double-counts).
+     */
+    void publishCounters(prof::CounterRegistry& registry) const;
+
+    /** Drop every resident graph (outstanding GraphPtrs stay valid). */
     void clear();
 
   private:
     struct Slot
     {
         std::once_flag once;
-        CsrGraph graph;
+        GraphPtr graph;
+        u64 bytes = 0;
+        u64 last_use = 0;    ///< LRU stamp (monotone lookup tick)
+        bool resident = false;  ///< accounted in bytes_ / evictable
     };
 
-    /** The slot for a key, creating an empty one on first sight. */
-    Slot* slot(const std::string& key);
+    /** Lookup/build one key; build() runs at most once per key. */
+    template <typename BuildFn>
+    GraphPtr lookup(const std::string& key, BuildFn&& build);
+
+    /** Drop LRU resident entries until bytes_ fits capacity_ (the slot
+     *  `keep` is never evicted). Caller holds mutex_. */
+    void evictOverCapacity(const Slot* keep);
 
     mutable std::mutex mutex_;
-    std::unordered_map<std::string, std::unique_ptr<Slot>> slots_;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+    u64 capacity_ = 0;
+    u64 bytes_ = 0;
+    u64 tick_ = 0;
     u64 hits_ = 0;
+    u64 misses_ = 0;
+    u64 evictions_ = 0;
 };
 
 }  // namespace eclsim::graph

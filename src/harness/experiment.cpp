@@ -246,8 +246,9 @@ struct Cell
 };
 
 /** The cell's input graph, built at most once per divisor by the
- *  shared cache (MST measures the synthetically weighted variant). */
-const CsrGraph&
+ *  shared cache (MST measures the synthetically weighted variant). The
+ *  returned shared_ptr pins the graph across any concurrent eviction. */
+graph::GraphPtr
 cellGraph(const Cell& cell, u32 divisor)
 {
     auto& cache = graph::InputCatalog::shared();
@@ -280,8 +281,9 @@ runCells(const GpuSpec& gpu, const std::vector<Cell>& cells,
 
     if (jobs <= 1 || cells.size() <= 1) {
         for (size_t i = 0; i < cells.size(); ++i) {
-            out[i] = measureSeeded(gpu, cellGraph(cells[i],
-                                                  config.graph_divisor),
+            const auto cell_graph =
+                cellGraph(cells[i], config.graph_divisor);
+            out[i] = measureSeeded(gpu, *cell_graph,
                                    cells[i].entry->name, cells[i].algo,
                                    config, cellSeed(config.seed, i));
             if (progress)
@@ -302,8 +304,10 @@ runCells(const GpuSpec& gpu, const std::vector<Cell>& cells,
             ExperimentConfig local = config;
             prof::TraceSession cell_trace;
             local.trace = shared_trace ? &cell_trace : nullptr;
+            const auto cell_graph =
+                cellGraph(cells[i], config.graph_divisor);
             Measurement m = measureSeeded(
-                gpu, cellGraph(cells[i], config.graph_divisor),
+                gpu, *cell_graph,
                 cells[i].entry->name, cells[i].algo, local,
                 cellSeed(config.seed, i));
             if (shared_trace || progress) {

@@ -80,12 +80,12 @@ runRacecheckCell(const RunnerConfig& config, const RacecheckCell& cell,
     }
     auto& cache = graph::InputCatalog::shared();
     const bool weighted = cell.algo == harness::Algo::kMst;
-    const graph::CsrGraph& graph =
-        cell.apsp
-            ? apsp_graph
-            : (weighted
-                   ? cache.getWeighted(cell.input, config.graph_divisor)
-                   : cache.get(cell.input, config.graph_divisor));
+    graph::GraphPtr cached;  // pins the cache slot for the cell
+    if (!cell.apsp)
+        cached = weighted
+                     ? cache.getWeighted(cell.input, config.graph_divisor)
+                     : cache.get(cell.input, config.graph_divisor);
+    const graph::CsrGraph& graph = cell.apsp ? apsp_graph : *cached;
 
     // The detector needs genuine interleavings of conflicting threads,
     // so every cell runs the interleaved engine — the same protocol as

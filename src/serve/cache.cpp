@@ -1,0 +1,77 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/logging.hpp"
+
+namespace eclsim::serve {
+
+ResultCache::ResultCache(size_t max_entries)
+    : max_entries_(std::max<size_t>(1, max_entries))
+{
+}
+
+std::optional<std::string>
+ResultCache::get(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.result;
+}
+
+void
+ResultCache::put(const std::string& key, std::string result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        it->second.result = std::move(result);
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return;
+    }
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{std::move(result), lru_.begin()});
+    while (entries_.size() > max_entries_) {
+        const std::string& victim = lru_.back();
+        entries_.erase(victim);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+u64
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+u64
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+u64
+ResultCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+}  // namespace eclsim::serve

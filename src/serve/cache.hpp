@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Thread-safe LRU cache of rendered result fragments.
+ *
+ * The serve layer's memoization exploits the per-cell seeding property
+ * (PR 2): a request fully determines its Measurement, so the rendered
+ * result bytes can be stored and replayed verbatim — a cache hit is
+ * byte-identical to a recomputation by construction.
+ *
+ * Entries are keyed by RequestKey::canonical and bounded by a
+ * configurable entry count; insertion past the bound evicts the least
+ * recently used entry (a get refreshes recency). Hit/miss/eviction
+ * totals feed the serve prof counters.
+ *
+ * Single-flight coalescing of concurrent misses lives in the Service
+ * (it interacts with admission control); this class is a plain bounded
+ * map.
+ */
+#pragma once
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/types.hpp"
+
+namespace eclsim::serve {
+
+/** Bounded thread-safe string->string LRU map (see file comment). */
+class ResultCache
+{
+  public:
+    /** Cache holding at most `max_entries` results (>= 1). */
+    explicit ResultCache(size_t max_entries);
+
+    /** The cached result for a key, refreshing its recency. */
+    std::optional<std::string> get(const std::string& key);
+
+    /** Insert (or overwrite) a result, evicting LRU entries past the
+     *  bound. */
+    void put(const std::string& key, std::string result);
+
+    size_t size() const;
+    size_t maxEntries() const { return max_entries_; }
+    u64 hits() const;
+    u64 misses() const;
+    u64 evictions() const;
+
+  private:
+    struct Entry
+    {
+        std::string result;
+        std::list<std::string>::iterator lru_it;  ///< position in lru_
+    };
+
+    mutable std::mutex mutex_;
+    size_t max_entries_;
+    /** Most-recently-used at the front; values are map keys. */
+    std::list<std::string> lru_;
+    std::unordered_map<std::string, Entry> entries_;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+    u64 evictions_ = 0;
+};
+
+}  // namespace eclsim::serve

@@ -1,0 +1,238 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eclsim::serve {
+
+std::string
+JsonObject::getString(const std::string& key,
+                      const std::string& fallback) const
+{
+    auto it = strings.find(key);
+    return it == strings.end() ? fallback : it->second;
+}
+
+double
+JsonObject::getNumber(const std::string& key, double fallback) const
+{
+    auto it = numbers.find(key);
+    return it == numbers.end() ? fallback : it->second;
+}
+
+namespace {
+
+/** Cursor over the input line with fail-with-reason helpers. */
+struct Parser
+{
+    std::string_view text;
+    size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string& why)
+    {
+        if (error.empty())
+            error = why + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipSpace();
+        if (pos >= text.size() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos < text.size() ? text[pos] : '\0';
+    }
+
+    bool
+    parseString(std::string* out)
+    {
+        if (!eat('"'))
+            return fail("expected '\"'");
+        out->clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("dangling escape");
+            const char e = text[pos++];
+            switch (e) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'n': out->push_back('\n'); break;
+              case 't': out->push_back('\t'); break;
+              case 'r': out->push_back('\r'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              default:
+                // \uXXXX and anything else: not needed by the protocol.
+                return fail("unsupported escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(double* out)
+    {
+        skipSpace();
+        const size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        bool digits = false;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                ((text[pos] == '-' || text[pos] == '+') && pos > start &&
+                 (text[pos - 1] == 'e' || text[pos - 1] == 'E')))) {
+            digits |= std::isdigit(static_cast<unsigned char>(text[pos]));
+            ++pos;
+        }
+        if (!digits)
+            return fail("expected a number");
+        const std::string token(text.substr(start, pos - start));
+        char* end = nullptr;
+        *out = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number");
+        return true;
+    }
+
+    bool
+    parseLiteral(std::string_view word)
+    {
+        skipSpace();
+        if (text.substr(pos, word.size()) != word)
+            return fail("unknown literal");
+        pos += word.size();
+        return true;
+    }
+};
+
+}  // namespace
+
+std::optional<JsonObject>
+parseFlatObject(std::string_view line, std::string* error)
+{
+    Parser p{line, 0, {}};
+    JsonObject out;
+    const auto failed = [&](const std::string& why) {
+        p.fail(why);
+        if (error)
+            *error = p.error;
+        return std::nullopt;
+    };
+
+    if (!p.eat('{'))
+        return failed("expected '{'");
+    if (!p.eat('}')) {
+        for (;;) {
+            std::string key;
+            if (!p.parseString(&key))
+                return failed("bad key");
+            if (out.has(key))
+                return failed("duplicate key '" + key + "'");
+            if (!p.eat(':'))
+                return failed("expected ':'");
+            const char c = p.peek();
+            if (c == '"') {
+                std::string value;
+                if (!p.parseString(&value))
+                    return failed("bad string value");
+                out.strings[key] = std::move(value);
+            } else if (c == 't') {
+                if (!p.parseLiteral("true"))
+                    return failed("bad literal");
+                out.bools[key] = true;
+            } else if (c == 'f') {
+                if (!p.parseLiteral("false"))
+                    return failed("bad literal");
+                out.bools[key] = false;
+            } else if (c == 'n') {
+                if (!p.parseLiteral("null"))
+                    return failed("bad literal");
+                // null fields are treated as absent
+            } else if (c == '{' || c == '[') {
+                return failed("nested values are not allowed");
+            } else {
+                double value = 0.0;
+                if (!p.parseNumber(&value))
+                    return failed("bad value");
+                out.numbers[key] = value;
+            }
+            if (p.eat(','))
+                continue;
+            if (p.eat('}'))
+                break;
+            return failed("expected ',' or '}'");
+        }
+    }
+    p.skipSpace();
+    if (p.pos != line.size())
+        return failed("trailing garbage");
+    if (error)
+        error->clear();
+    return out;
+}
+
+std::string
+quoteJson(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+}  // namespace eclsim::serve

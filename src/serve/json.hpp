@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal flat-JSON codec for the serve wire protocol.
+ *
+ * The protocol is line-delimited JSON: one request object per line, one
+ * response object per line. Objects are deliberately FLAT — every value
+ * is a string, a number, or a boolean; nested objects and arrays are
+ * rejected as malformed on input (responses embed their nested "result"
+ * object as a pre-rendered raw fragment instead of a tree). This keeps
+ * the parser small, auditable, and byte-deterministic, which matters
+ * because response byte-identity is part of the service's contract.
+ *
+ * The writer side is a handful of helpers (quoteJson, jsonNumber) used
+ * by the canonical encoders in request.cpp; they format identically for
+ * identical values on every run, so memoized and recomputed responses
+ * compare equal byte-for-byte.
+ */
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/types.hpp"
+
+namespace eclsim::serve {
+
+/** One parsed flat JSON object (field -> typed value). */
+struct JsonObject
+{
+    std::map<std::string, std::string> strings;
+    std::map<std::string, double> numbers;
+    std::map<std::string, bool> bools;
+
+    bool
+    has(const std::string& key) const
+    {
+        return strings.count(key) || numbers.count(key) ||
+               bools.count(key);
+    }
+
+    /** String field, or fallback when absent. */
+    std::string getString(const std::string& key,
+                          const std::string& fallback) const;
+
+    /** Numeric field, or fallback when absent. */
+    double getNumber(const std::string& key, double fallback) const;
+};
+
+/**
+ * Parse one line as a flat JSON object. Returns std::nullopt on any
+ * syntax error, non-flat value, duplicate key, or trailing garbage,
+ * with a human-readable reason in *error.
+ */
+std::optional<JsonObject> parseFlatObject(std::string_view line,
+                                          std::string* error);
+
+/** Quote and escape a string for JSON output. */
+std::string quoteJson(std::string_view s);
+
+/** Shortest-faithful decimal rendering of a double ("%.17g"). */
+std::string jsonNumber(double value);
+
+}  // namespace eclsim::serve

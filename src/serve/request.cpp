@@ -1,0 +1,310 @@
+#include "serve/request.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "graph/catalog.hpp"
+#include "simt/gpu_spec.hpp"
+
+namespace eclsim::serve {
+
+namespace {
+
+/** Lowercase with spaces, dashes and underscores removed — the alias
+ *  form under which GPU and algorithm names are matched. */
+std::string
+squash(const std::string& s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == ' ' || c == '-' || c == '_')
+            continue;
+        out.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+std::optional<harness::Algo>
+parseAlgo(const std::string& name)
+{
+    const std::string n = squash(name);
+    if (n == "cc")
+        return harness::Algo::kCc;
+    if (n == "gc")
+        return harness::Algo::kGc;
+    if (n == "mis")
+        return harness::Algo::kMis;
+    if (n == "mst")
+        return harness::Algo::kMst;
+    if (n == "scc")
+        return harness::Algo::kScc;
+    return std::nullopt;
+}
+
+/** Canonical GpuSpec name for any alias spelling; nullopt if unknown. */
+std::optional<std::string>
+canonicalGpu(const std::string& name)
+{
+    const std::string n = squash(name);
+    for (const auto& spec : simt::evaluationGpus())
+        if (squash(spec.name) == n)
+            return spec.name;
+    return std::nullopt;
+}
+
+/** The catalog entry for a graph name, or nullptr if unknown. */
+const graph::CatalogEntry*
+findInput(const std::string& name)
+{
+    for (const auto& entry : graph::undirectedCatalog())
+        if (entry.name == name)
+            return &entry;
+    for (const auto& entry : graph::directedCatalog())
+        if (entry.name == name)
+            return &entry;
+    return nullptr;
+}
+
+/** Read a non-negative integral number field with range checking. */
+bool
+readUint(const JsonObject& object, const std::string& key, u64 max_value,
+         u64* out, std::string* error)
+{
+    auto it = object.numbers.find(key);
+    if (it == object.numbers.end())
+        return true;  // absent: keep the default
+    const double v = it->second;
+    if (!(v >= 0) || v != std::floor(v) ||
+        v > static_cast<double>(max_value)) {
+        *error = "field '" + key + "' must be an integer in [0, " +
+                 std::to_string(max_value) + "]";
+        return false;
+    }
+    *out = static_cast<u64>(v);
+    return true;
+}
+
+/** FNV-1a 64-bit digest of the canonical string. */
+u64
+fnv1a64(const std::string& s)
+{
+    u64 h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+hex16(u64 v)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+}  // namespace
+
+RequestKey
+requestKey(const Request& request)
+{
+    // Field order is fixed and independent of the wire order; the id
+    // and op are deliberately NOT part of the identity.
+    RequestKey key;
+    key.canonical = "algo=" + std::string(harness::algoName(request.algo)) +
+                    "|cache=" + std::to_string(request.cache_divisor) +
+                    "|divisor=" + std::to_string(request.divisor) +
+                    "|gpu=" + request.gpu + "|graph=" + request.graph +
+                    "|reps=" + std::to_string(request.reps) +
+                    "|seed=" + std::to_string(request.seed);
+    key.digest = fnv1a64(key.canonical);
+    return key;
+}
+
+std::optional<Request>
+parseRequest(const std::string& line, std::string* error)
+{
+    const auto object = parseFlatObject(line, error);
+    if (!object)
+        return std::nullopt;
+
+    static const char* kKnown[] = {"id",   "op",   "graph",   "algo",
+                                   "gpu",  "seed", "reps",    "divisor",
+                                   "cache_divisor"};
+    const auto known = [&](const std::string& key) {
+        return std::find_if(std::begin(kKnown), std::end(kKnown),
+                            [&](const char* k) { return key == k; }) !=
+               std::end(kKnown);
+    };
+    for (const auto& [key, value] : object->strings)
+        if (!known(key)) {
+            *error = "unknown field '" + key + "'";
+            return std::nullopt;
+        }
+    for (const auto& [key, value] : object->numbers)
+        if (!known(key)) {
+            *error = "unknown field '" + key + "'";
+            return std::nullopt;
+        }
+    if (!object->bools.empty()) {
+        *error = "unknown boolean field '" +
+                 object->bools.begin()->first + "'";
+        return std::nullopt;
+    }
+
+    Request request;
+    request.id = object->getString("id", "");
+    request.op = object->getString("op", "simulate");
+    if (request.op == "ping" || request.op == "stats")
+        return request;  // control ops carry no simulation coordinates
+    if (request.op != "simulate") {
+        *error = "unknown op '" + request.op + "'";
+        return std::nullopt;
+    }
+
+    request.graph = object->getString("graph", "");
+    if (request.graph.empty()) {
+        *error = "missing required field 'graph'";
+        return std::nullopt;
+    }
+    const auto algo = parseAlgo(object->getString("algo", ""));
+    if (!algo) {
+        *error = "missing or unknown 'algo' (cc, gc, mis, mst, scc)";
+        return std::nullopt;
+    }
+    request.algo = *algo;
+
+    const auto gpu = canonicalGpu(object->getString("gpu", kDefaultGpu));
+    if (!gpu) {
+        *error = "unknown 'gpu' (see table 1 for the evaluation GPUs)";
+        return std::nullopt;
+    }
+    request.gpu = *gpu;
+
+    u64 seed = kDefaultSeed, reps = kDefaultReps;
+    u64 divisor = kDefaultDivisor, cache_divisor = kDefaultCacheDivisor;
+    // Seeds ride in a JSON number: exact up to 2^53, plenty of streams.
+    if (!readUint(*object, "seed", 1ULL << 53, &seed, error) ||
+        !readUint(*object, "reps", 64, &reps, error) ||
+        !readUint(*object, "divisor", 1u << 20, &divisor, error) ||
+        !readUint(*object, "cache_divisor", 4096, &cache_divisor, error))
+        return std::nullopt;
+    if (reps == 0 || divisor == 0 || cache_divisor == 0) {
+        *error = "'reps', 'divisor' and 'cache_divisor' must be >= 1";
+        return std::nullopt;
+    }
+    request.seed = seed;
+    request.reps = static_cast<u32>(reps);
+    request.divisor = static_cast<u32>(divisor);
+    request.cache_divisor = static_cast<u32>(cache_divisor);
+
+    const graph::CatalogEntry* input = findInput(request.graph);
+    if (input == nullptr) {
+        *error = "unknown graph '" + request.graph + "'";
+        return std::nullopt;
+    }
+    const bool needs_directed = request.algo == harness::Algo::kScc;
+    if (input->directed != needs_directed) {
+        *error = needs_directed
+                     ? "scc needs a directed input (table 3)"
+                     : std::string(harness::algoName(request.algo)) +
+                           " needs an undirected input (table 2)";
+        return std::nullopt;
+    }
+    return request;
+}
+
+const char*
+responseStatusName(ResponseStatus status)
+{
+    switch (status) {
+      case ResponseStatus::kOk:
+        return "ok";
+      case ResponseStatus::kMalformed:
+        return "malformed";
+      case ResponseStatus::kOverloaded:
+        return "overloaded";
+      case ResponseStatus::kDraining:
+        return "draining";
+    }
+    return "?";
+}
+
+std::string
+Response::encode() const
+{
+    std::string out = "{\"id\":" + quoteJson(id) + ",\"status\":";
+    if (status == ResponseStatus::kOk) {
+        out += "\"ok\"";
+        if (!key.empty())
+            out += ",\"key\":" + quoteJson(key);
+        if (!cache.empty())
+            out += ",\"cache\":" + quoteJson(cache);
+        if (!result_json.empty())
+            out += ",\"result\":" + result_json;
+    } else {
+        out += "\"error\"";
+        out += ",\"error\":" + quoteJson(responseStatusName(status));
+        if (!error.empty())
+            out += ",\"detail\":" + quoteJson(error);
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+encodeResult(const Request& request, const harness::Measurement& m)
+{
+    const RequestKey key = requestKey(request);
+    // Fixed field order; doubles rendered by jsonNumber — the bytes of
+    // this fragment are the determinism unit of the whole service.
+    std::string out = "{";
+    out += "\"graph\":" + quoteJson(request.graph);
+    out += ",\"algo\":" +
+           quoteJson(harness::algoName(request.algo));
+    out += ",\"gpu\":" + quoteJson(request.gpu);
+    out += ",\"seed\":" + std::to_string(request.seed);
+    out += ",\"reps\":" + std::to_string(request.reps);
+    out += ",\"divisor\":" + std::to_string(request.divisor);
+    out += ",\"cache_divisor\":" + std::to_string(request.cache_divisor);
+    out += ",\"key\":" + quoteJson(hex16(key.digest));
+    out += ",\"vertices\":" + jsonNumber(m.vertices);
+    out += ",\"edges\":" + jsonNumber(m.edges);
+    out += ",\"avg_degree\":" + jsonNumber(m.avg_degree);
+    out += ",\"baseline_ms\":" + jsonNumber(m.baseline_ms);
+    out += ",\"racefree_ms\":" + jsonNumber(m.racefree_ms);
+    out += ",\"baseline_iterations\":" +
+           std::to_string(m.baseline_iterations);
+    out += ",\"racefree_iterations\":" +
+           std::to_string(m.racefree_iterations);
+    out += ",\"speedup\":" + jsonNumber(m.speedup());
+    out += "}";
+    return out;
+}
+
+std::string
+extractResultFragment(const std::string& response_line)
+{
+    const std::string marker = "\"result\":";
+    const size_t at = response_line.find(marker);
+    if (at == std::string::npos)
+        return "";
+    const size_t open = at + marker.size();
+    if (open >= response_line.size() || response_line[open] != '{')
+        return "";
+    // The fragment is flat (no nested objects, no braces in strings
+    // for our field set), so the first '}' closes it.
+    const size_t close = response_line.find('}', open);
+    if (close == std::string::npos)
+        return "";
+    return response_line.substr(open, close - open + 1);
+}
+
+}  // namespace eclsim::serve

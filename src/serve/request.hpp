@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Serve-protocol requests, canonical request keys, and responses.
+ *
+ * A request names one simulation cell: (graph, algo, gpu, seed, reps,
+ * divisor, cache_divisor) — exactly the coordinates of a harness
+ * measurement. Parsing NORMALIZES the request: defaults are filled in,
+ * algorithm and GPU names are canonicalized (case/spacing-insensitive
+ * aliases map onto one spelling), and the algorithm/graph pairing is
+ * validated against the catalog (SCC needs a directed input, everything
+ * else an undirected one).
+ *
+ * RequestKey is a stable digest of the normalized request. Two request
+ * lines that differ only in field order, formatting, default omission,
+ * or name spelling produce the SAME key — that is what makes the result
+ * cache's memoization sound. The canonical() string is the cache map
+ * key (collision-free by construction); hash() is a 64-bit convenience
+ * digest used for logging and the wire "key" field.
+ *
+ * Responses carry the volatile envelope (client id, cache disposition)
+ * separate from the deterministic "result" fragment: the result bytes
+ * of a request are identical whether computed, memoized, or recomputed
+ * by a different daemon — the loadgen's determinism gate compares them
+ * byte-for-byte.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/types.hpp"
+#include "harness/experiment.hpp"
+#include "serve/json.hpp"
+
+namespace eclsim::serve {
+
+/** Request defaults (also the protocol's documented defaults). */
+inline constexpr u32 kDefaultReps = 3;
+inline constexpr u32 kDefaultDivisor = 512;
+inline constexpr u32 kDefaultCacheDivisor = 16;
+inline constexpr u64 kDefaultSeed = 12345;
+inline constexpr const char* kDefaultGpu = "Titan V";
+
+/** One normalized simulation request. */
+struct Request
+{
+    std::string id;          ///< client-chosen echo tag (not keyed)
+    std::string op = "simulate";  ///< "simulate" | "ping" | "stats"
+    std::string graph;       ///< catalog input name
+    harness::Algo algo = harness::Algo::kCc;
+    std::string gpu = kDefaultGpu;  ///< canonical GpuSpec name
+    u64 seed = kDefaultSeed;
+    u32 reps = kDefaultReps;
+    u32 divisor = kDefaultDivisor;
+    u32 cache_divisor = kDefaultCacheDivisor;
+};
+
+/** Stable identity of a normalized request (see file comment). */
+struct RequestKey
+{
+    std::string canonical;  ///< collision-free cache key
+    u64 digest = 0;         ///< 64-bit display/wire digest
+
+    friend bool
+    operator==(const RequestKey& a, const RequestKey& b)
+    {
+        return a.canonical == b.canonical;
+    }
+};
+
+/** The key of a normalized request. */
+RequestKey requestKey(const Request& request);
+
+/**
+ * Parse + normalize one wire line. Returns std::nullopt with a reason
+ * in *error for malformed JSON, unknown fields values, out-of-range
+ * numbers, unknown graph/algo/gpu, or an algo/graph direction mismatch.
+ */
+std::optional<Request> parseRequest(const std::string& line,
+                                    std::string* error);
+
+/** How a request was disposed of. */
+enum class ResponseStatus : u8 {
+    kOk,
+    kMalformed,   ///< unparseable or invalid request
+    kOverloaded,  ///< admission control rejected it
+    kDraining,    ///< daemon is shutting down
+};
+
+/** Wire name of a response status ("ok", "malformed", ...). */
+const char* responseStatusName(ResponseStatus status);
+
+/** One response (envelope + deterministic result fragment). */
+struct Response
+{
+    std::string id;
+    ResponseStatus status = ResponseStatus::kOk;
+    std::string error;        ///< reason, for non-ok statuses
+    std::string key;          ///< hex digest of the request key
+    std::string cache;        ///< "hit" | "miss" | "coalesced"
+    std::string result_json;  ///< canonical "result" object fragment
+
+    /** Render the single-line wire form. */
+    std::string encode() const;
+};
+
+/** The canonical deterministic result fragment of one measurement. */
+std::string encodeResult(const Request& request,
+                         const harness::Measurement& m);
+
+/**
+ * Extract the raw "result":{...} fragment from an encoded response
+ * line; empty when absent. The loadgen uses this to byte-compare
+ * responses across daemons without parsing nested JSON.
+ */
+std::string extractResultFragment(const std::string& response_line);
+
+}  // namespace eclsim::serve

@@ -1,0 +1,180 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/logging.hpp"
+
+namespace eclsim::serve {
+
+namespace {
+
+/** write() the whole buffer, retrying short writes and EINTR. */
+bool
+writeAll(int fd, const char* data, size_t size)
+{
+    size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n = ::write(fd, data + sent, size - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+Server::Server(Service& service, u16 port) : service_(&service)
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        fatal("socket(): {}", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+        fatal("bind(127.0.0.1:{}): {}", port, std::strerror(errno));
+    if (::listen(listen_fd_, 64) != 0)
+        fatal("listen(): {}", std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) != 0)
+        fatal("getsockname(): {}", std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+Server::~Server()
+{
+    drain();
+}
+
+size_t
+Server::connections() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t live = 0;
+    for (const auto& connection : connections_)
+        live += connection->done ? 0 : 1;
+    return live;
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // listener closed: we are draining
+        }
+        if (stopping_.load()) {
+            ::close(fd);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto connection = std::make_unique<Connection>();
+        Connection* raw = connection.get();
+        raw->fd = fd;
+        raw->thread = std::thread([this, raw] { connectionLoop(raw->fd); });
+        // Mark-done happens inside connectionLoop via the raw pointer;
+        // the vector owns the Connection until drain() joins it.
+        connections_.push_back(std::move(connection));
+    }
+}
+
+void
+Server::connectionLoop(int fd)
+{
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;  // EOF or error (including drain's half-close)
+        buffer.append(chunk, static_cast<size_t>(n));
+
+        size_t start = 0;
+        for (;;) {
+            const size_t newline = buffer.find('\n', start);
+            if (newline == std::string::npos)
+                break;
+            std::string line = buffer.substr(start, newline - start);
+            start = newline + 1;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            const std::string response = service_->callLine(line) + "\n";
+            if (!writeAll(fd, response.data(), response.size())) {
+                start = buffer.size();
+                break;
+            }
+        }
+        buffer.erase(0, start);
+    }
+    ::close(fd);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& connection : connections_)
+        if (connection->fd == fd)
+            connection->done = true;
+}
+
+void
+Server::drain()
+{
+    if (stopping_.exchange(true)) {
+        // A racing or repeated drain: the first caller does the work;
+        // just make sure it finished before returning.
+        if (accept_thread_.joinable())
+            accept_thread_.join();
+        return;
+    }
+
+    // Closing the listener pops acceptLoop out of accept().
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+
+    // Half-close every connection: reads return 0, so each loop exits
+    // after the request it is serving now (writes still flow).
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& connection : connections_)
+            if (!connection->done)
+                ::shutdown(connection->fd, SHUT_RD);
+    }
+    for (const auto& connection : connections_)
+        if (connection->thread.joinable())
+            connection->thread.join();
+
+    // With every connection gone, finish the service's in-flight work.
+    service_->drain();
+}
+
+}  // namespace eclsim::serve

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Line-delimited-JSON-over-TCP front end for serve::Service.
+ *
+ * The wire protocol is one JSON object per '\n'-terminated line, one
+ * response line per request line, in order, per connection. Framing is
+ * the only thing this layer adds — request handling is Service::
+ * callLine, so a TCP client and an in-process ServiceHandle observe
+ * exactly the same bytes.
+ *
+ * Threading: one accept thread plus one thread per live connection
+ * (cell execution itself is bounded by the service's pool, so
+ * connection threads mostly block on I/O or on a future). drain() is
+ * the graceful-shutdown path used by the daemon's SIGINT/SIGTERM
+ * handler: stop accepting, let every connection finish the request it
+ * is serving (half-closing the read side so idle connections fall out
+ * of their read loop), join the threads, then drain the service.
+ *
+ * Listens on 127.0.0.1 only — the daemon is a local experiment
+ * service, not an internet-facing one.
+ */
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/types.hpp"
+#include "serve/service.hpp"
+
+namespace eclsim::serve {
+
+/** TCP front end (see file comment). */
+class Server
+{
+  public:
+    /**
+     * Bind 127.0.0.1:port (0 = ephemeral) and start accepting.
+     * fatal()s on bind failure (the port is the user's choice).
+     */
+    Server(Service& service, u16 port);
+
+    /** Drains on destruction if still running. */
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /** The bound port (useful with port 0). */
+    u16 port() const { return port_; }
+
+    /**
+     * Graceful shutdown: stop accepting, complete the request every
+     * connection is currently serving, join all threads, then drain
+     * the service. Idempotent.
+     */
+    void drain();
+
+    /** Number of currently live client connections. */
+    size_t connections() const;
+
+  private:
+    void acceptLoop();
+    void connectionLoop(int fd);
+
+    Service* service_;
+    int listen_fd_ = -1;
+    u16 port_ = 0;
+    std::thread accept_thread_;
+    std::atomic<bool> stopping_{false};
+
+    mutable std::mutex mutex_;
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+        bool done = false;
+    };
+    std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace eclsim::serve

@@ -1,0 +1,357 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/stats.hpp"
+#include "simt/gpu_spec.hpp"
+
+namespace eclsim::serve {
+
+namespace {
+
+std::string
+hexDigest(u64 v)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+}  // namespace
+
+double
+ServiceStats::hitRate() const
+{
+    const u64 disposed = cache_hits + coalesced + executed;
+    return disposed == 0
+               ? 0.0
+               : static_cast<double>(cache_hits + coalesced) /
+                     static_cast<double>(disposed);
+}
+
+Service::Service(const ServeOptions& options)
+    : options_(options),
+      cache_(options.cache_entries),
+      pool_(std::make_unique<core::ThreadPool>(options.jobs)),
+      start_(std::chrono::steady_clock::now())
+{
+    catalog_.setCapacityBytes(options.catalog_capacity_bytes);
+}
+
+Service::~Service()
+{
+    drain();
+}
+
+u64
+Service::wallMicros() const
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+}
+
+void
+Service::bump(const char* counter, u64 delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& counters = session_.counters();
+    counters.add(counters.id(counter), delta);
+}
+
+void
+Service::recordLatency(double micros)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    latencies_us_.push_back(micros);
+}
+
+std::string
+Service::callLine(const std::string& line)
+{
+    std::string error;
+    const auto request = parseRequest(line, &error);
+    if (!request) {
+        bump("serve/requests");
+        bump("serve/malformed");
+        Response response;
+        response.status = ResponseStatus::kMalformed;
+        response.error = error;
+        return response.encode();
+    }
+    return call(*request).encode();
+}
+
+Response
+Service::call(const Request& request)
+{
+    bump("serve/requests");
+
+    if (request.op == "ping") {
+        bump("serve/ok");
+        Response response;
+        response.id = request.id;
+        response.result_json = "{\"pong\":true}";
+        return response;
+    }
+    if (request.op == "stats") {
+        bump("serve/ok");
+        const ServiceStats s = stats();
+        Response response;
+        response.id = request.id;
+        response.result_json =
+            "{\"requests\":" + std::to_string(s.requests) +
+            ",\"ok\":" + std::to_string(s.ok) +
+            ",\"cache_hits\":" + std::to_string(s.cache_hits) +
+            ",\"coalesced\":" + std::to_string(s.coalesced) +
+            ",\"executed\":" + std::to_string(s.executed) +
+            ",\"rejected\":" + std::to_string(s.rejected) +
+            ",\"queue_peak\":" + std::to_string(s.queue_peak) +
+            ",\"p50_us\":" + jsonNumber(s.p50_us) +
+            ",\"p99_us\":" + jsonNumber(s.p99_us) + "}";
+        return response;
+    }
+
+    const u64 t0 = wallMicros();
+    Response response = simulate(request);
+    if (response.status == ResponseStatus::kOk) {
+        bump("serve/ok");
+        recordLatency(static_cast<double>(wallMicros() - t0));
+    }
+    return response;
+}
+
+Response
+Service::okResponse(const Request& request, const RequestKey& key,
+                    const char* disposition, std::string result)
+{
+    Response response;
+    response.id = request.id;
+    response.key = hexDigest(key.digest);
+    response.cache = disposition;
+    response.result_json = std::move(result);
+    return response;
+}
+
+Response
+Service::simulate(const Request& request)
+{
+    const RequestKey key = requestKey(request);
+
+    std::shared_ptr<Flight> flight;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // 1. Memoization. (cache_ has its own leaf lock; taking it
+        //    under mutex_ keeps the probe atomic with the flight map.)
+        if (auto cached = cache_.get(key.canonical)) {
+            auto& counters = session_.counters();
+            counters.add(counters.id("serve/cache_hit"));
+            Response response;
+            response.id = request.id;
+            response.key = hexDigest(key.digest);
+            response.cache = "hit";
+            response.result_json = std::move(*cached);
+            return response;
+        }
+        if (draining_) {
+            auto& counters = session_.counters();
+            counters.add(counters.id("serve/drain_rejected"));
+            Response response;
+            response.id = request.id;
+            response.status = ResponseStatus::kDraining;
+            response.error = "service is draining";
+            return response;
+        }
+        // 2. Single-flight: join a concurrent identical request...
+        auto it = inflight_.find(key.canonical);
+        if (it != inflight_.end()) {
+            flight = it->second;
+        } else {
+            // ...or own the computation. Registering the flight before
+            // releasing the lock guarantees drain() waits for us.
+            flight = std::make_shared<Flight>();
+            flight->future = flight->promise.get_future().share();
+            inflight_[key.canonical] = flight;
+            owner = true;
+        }
+    }
+
+    if (!owner) {
+        const auto result = flight->future.get();
+        if (result == nullptr) {
+            // The owner was rejected by admission control; the cell was
+            // never queued, so this coalesced request is overloaded too.
+            bump("serve/rejected");
+            Response response;
+            response.id = request.id;
+            response.status = ResponseStatus::kOverloaded;
+            response.error = "pending queue is full";
+            return response;
+        }
+        bump("serve/coalesced");
+        return okResponse(request, key, "coalesced", *result);
+    }
+
+    // 3. Admission control: bounded enqueue, fail fast when full.
+    auto future = pool_->trySubmit(
+        options_.queue_limit, [this, request] { return executeCell(request); });
+    if (!future) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inflight_.erase(key.canonical);
+            auto& counters = session_.counters();
+            counters.add(counters.id("serve/rejected"));
+        }
+        drained_.notify_all();
+        flight->promise.set_value(nullptr);
+        Response response;
+        response.id = request.id;
+        response.status = ResponseStatus::kOverloaded;
+        response.error = "pending queue is full";
+        return response;
+    }
+    {
+        // Queue-depth observability: peak gauge + a counter series the
+        // trace viewer renders as a depth-over-time graph.
+        std::lock_guard<std::mutex> lock(mutex_);
+        const u64 depth = pool_->pending();
+        queue_peak_ = std::max(queue_peak_, depth);
+        session_.counterSample(session_.track("serve"), "serve/queue_depth",
+                               wallMicros(), depth);
+    }
+
+    // 4. Execute, memoize, publish to coalescers.
+    std::string result = future->get();
+    cache_.put(key.canonical, result);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inflight_.erase(key.canonical);
+        auto& counters = session_.counters();
+        counters.add(counters.id("serve/executed"));
+    }
+    drained_.notify_all();
+    flight->promise.set_value(
+        std::make_shared<const std::string>(result));
+    return okResponse(request, key, "miss", std::move(result));
+}
+
+std::string
+Service::executeCell(const Request& request)
+{
+    const u64 t0 = wallMicros();
+
+    // The shared catalog pins the graph for the duration of the cell;
+    // eviction by concurrent requests never invalidates it.
+    const graph::GraphPtr graph =
+        request.algo == harness::Algo::kMst
+            ? catalog_.getWeighted(request.graph, request.divisor)
+            : catalog_.get(request.graph, request.divisor);
+
+    harness::ExperimentConfig config;
+    config.reps = request.reps;
+    config.graph_divisor = request.divisor;
+    config.cache_divisor = request.cache_divisor;
+    config.seed = request.seed;
+    config.jobs = 1;  // the request IS the cell; sharding is per-request
+
+    // The seed base comes from the request alone — never from the
+    // worker, the schedule, or arrival order — so concurrent execution
+    // is byte-identical to a serial replay.
+    const harness::Measurement m = harness::measureSeeded(
+        simt::findGpu(request.gpu), *graph, request.graph, request.algo,
+        config, request.seed);
+    std::string result = encodeResult(request, m);
+
+    {
+        // One span per executed cell on the worker's serve track.
+        std::lock_guard<std::mutex> lock(mutex_);
+        const int worker = core::ThreadPool::currentWorkerIndex();
+        const prof::TrackId track = session_.track(
+            "serve/w" + std::to_string(std::max(worker, 0)));
+        const u64 t1 = wallMicros();
+        session_.beginSpan(track,
+                           std::string(harness::algoName(request.algo)) +
+                               "/" + request.graph,
+                           t0,
+                           {{"gpu", request.gpu},
+                            {"seed", std::to_string(request.seed)},
+                            {"key", hexDigest(requestKey(request).digest)}});
+        session_.endSpan(track, std::max(t1, t0));
+    }
+    return result;
+}
+
+void
+Service::drain()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        draining_ = true;
+        drained_.wait(lock, [this] { return inflight_.empty(); });
+        if (pool_ == nullptr)
+            return;  // a racing drain already stopped the pool
+    }
+    // In-flight work is delivered; stopping the pool joins the workers.
+    // (No new submissions can arrive: draining_ refuses them.)
+    std::unique_ptr<core::ThreadPool> pool;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pool = std::move(pool_);
+    }
+    pool.reset();
+}
+
+bool
+Service::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+ServiceStats
+Service::stats() const
+{
+    ServiceStats out;
+    std::vector<double> latencies;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto& counters = session_.counters();
+        out.requests = counters.valueByName("serve/requests");
+        out.ok = counters.valueByName("serve/ok");
+        out.cache_hits = counters.valueByName("serve/cache_hit");
+        out.coalesced = counters.valueByName("serve/coalesced");
+        out.executed = counters.valueByName("serve/executed");
+        out.rejected = counters.valueByName("serve/rejected");
+        out.drain_rejected = counters.valueByName("serve/drain_rejected");
+        out.malformed = counters.valueByName("serve/malformed");
+        out.queue_peak = queue_peak_;
+        latencies = latencies_us_;
+    }
+    if (!latencies.empty()) {
+        out.p50_us = stats::percentile(latencies, 50.0);
+        out.p99_us = stats::percentile(latencies, 99.0);
+        out.max_us = stats::maximum(latencies);
+    }
+    return out;
+}
+
+void
+Service::publishGaugeCounters()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& counters = session_.counters();
+    counters.add(counters.id("serve/queue_peak"), queue_peak_);
+    counters.add(counters.id("serve/result_cache_size"), cache_.size());
+    counters.add(counters.id("serve/result_cache_evictions"),
+                 cache_.evictions());
+    catalog_.publishCounters(counters);
+}
+
+}  // namespace eclsim::serve

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The long-lived simulation service.
+ *
+ * A Service turns the one-shot experiment harness into a daemon-grade
+ * request processor: clients submit normalized Requests (in-process
+ * through a ServiceHandle, or over TCP through serve::Server) and get
+ * back deterministic, memoizable responses.
+ *
+ * Pipeline per request:
+ *   1. Memoization — the canonical RequestKey probes the bounded
+ *      ResultCache; a hit replays the stored result bytes verbatim.
+ *   2. Single-flight coalescing — concurrent misses on the same key
+ *      share one execution: the first caller computes, the rest wait on
+ *      its shared_future and reply "coalesced".
+ *   3. Admission control — the computing caller submits the cell to the
+ *      ThreadPool with ThreadPool::trySubmit bounded by queue_limit;
+ *      when the pending queue is full the request is REJECTED with an
+ *      "overloaded" error instead of queueing unboundedly. Max in-flight
+ *      executions = pool workers (jobs).
+ *   4. Execution — one harness cell (measureSeeded) with the request's
+ *      own seed as the deterministic seed base. Because the seed derives
+ *      from the request and never from the schedule, a response computed
+ *      under 8-way concurrency is byte-identical to the same request
+ *      served by a fresh single-threaded daemon.
+ *
+ * Input graphs come from a service-owned graph::InputCatalog (shared
+ * across all clients, capacity-capped so the daemon cannot accumulate
+ * every graph it ever served). Profiling: every executed cell records a
+ * span on a per-worker "serve/w<i>" track plus serve counters and a
+ * queue-depth counter series in the embedded TraceSession.
+ *
+ * drain() is the graceful-shutdown path: new work is refused with a
+ * "draining" error, in-flight executions complete and are delivered to
+ * their waiting clients, then the pool is torn down. The destructor
+ * drains implicitly.
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "graph/input_catalog.hpp"
+#include "prof/trace.hpp"
+#include "serve/cache.hpp"
+#include "serve/request.hpp"
+
+namespace eclsim::serve {
+
+/** Service configuration. */
+struct ServeOptions
+{
+    /** Pool workers = max concurrently executing cells.
+     *  0 = one per hardware thread. */
+    u32 jobs = 0;
+    /** Admission bound: pending (queued, not yet running) executions
+     *  past this are rejected with "overloaded". */
+    size_t queue_limit = 64;
+    /** Result-cache LRU bound (entries). */
+    size_t cache_entries = 4096;
+    /** Input-catalog residency cap in bytes; 0 = unbounded. */
+    u64 catalog_capacity_bytes = 256ull << 20;
+};
+
+/** Point-in-time service statistics. */
+struct ServiceStats
+{
+    u64 requests = 0;    ///< every call, including malformed lines
+    u64 ok = 0;
+    u64 cache_hits = 0;  ///< replayed from the result cache
+    u64 coalesced = 0;   ///< waited on a concurrent identical request
+    u64 executed = 0;    ///< actually simulated
+    u64 rejected = 0;    ///< overloaded (admission control)
+    u64 drain_rejected = 0;  ///< refused because draining
+    u64 malformed = 0;
+    u64 queue_peak = 0;  ///< max pending executions observed
+    /** Completed-ok request latencies (microseconds). */
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+
+    /** cache_hits + coalesced over all disposed simulate requests. */
+    double hitRate() const;
+};
+
+/** The long-lived simulation service (see file comment). */
+class Service
+{
+  public:
+    explicit Service(const ServeOptions& options = {});
+
+    /** Drains (completes in-flight work) before tearing down. */
+    ~Service();
+
+    Service(const Service&) = delete;
+    Service& operator=(const Service&) = delete;
+
+    /** Serve one normalized request (blocks until disposed). */
+    Response call(const Request& request);
+
+    /** Serve one wire line: parse, normalize, dispatch, encode. */
+    std::string callLine(const std::string& line);
+
+    /**
+     * Graceful shutdown: refuse new work ("draining"), complete and
+     * deliver all in-flight executions, then stop the pool. Idempotent;
+     * the service stays queryable (every later request is refused).
+     */
+    void drain();
+
+    bool draining() const;
+
+    ServiceStats stats() const;
+
+    /** Embedded profiling sink (serve counters, per-worker spans). */
+    prof::TraceSession& session() { return session_; }
+
+    /**
+     * Fold the gauge-style totals (queue peak, result-cache and input-
+     * catalog accounting) into the session counters. Call once, at
+     * export time — counters accumulate.
+     */
+    void publishGaugeCounters();
+
+    graph::InputCatalog& catalog() { return catalog_; }
+    const ResultCache& cache() const { return cache_; }
+
+  private:
+    /** A single-flight slot: the owner fulfills, coalescers wait.
+     *  A null payload means the owner was rejected by admission. */
+    struct Flight
+    {
+        std::promise<std::shared_ptr<const std::string>> promise;
+        std::shared_future<std::shared_ptr<const std::string>> future;
+    };
+
+    Response simulate(const Request& request);
+    std::string executeCell(const Request& request);
+    Response okResponse(const Request& request, const RequestKey& key,
+                        const char* disposition, std::string result);
+    void bump(const char* counter, u64 delta = 1);
+    void recordLatency(double micros);
+    u64 wallMicros() const;
+
+    const ServeOptions options_;
+    graph::InputCatalog catalog_;
+    ResultCache cache_;
+    prof::TraceSession session_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable drained_;
+    std::unique_ptr<core::ThreadPool> pool_;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
+    std::vector<double> latencies_us_;
+    u64 queue_peak_ = 0;
+    bool draining_ = false;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Lightweight client face of an in-process Service (no sockets). */
+class ServiceHandle
+{
+  public:
+    explicit ServiceHandle(Service& service) : service_(&service) {}
+
+    /** Typed call. */
+    Response call(const Request& request) { return service_->call(request); }
+
+    /** Wire-line call (exactly what a TCP client observes, minus
+     *  framing). */
+    std::string
+    call(const std::string& line)
+    {
+        return service_->callLine(line);
+    }
+
+  private:
+    Service* service_;
+};
+
+}  // namespace eclsim::serve

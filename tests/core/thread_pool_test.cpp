@@ -112,6 +112,70 @@ TEST(ThreadPool, DestructorDrainsEverySubmittedTask)
     EXPECT_EQ(ran.load(), 50);
 }
 
+TEST(ThreadPool, PendingAndActiveTrackQueueDepth)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.pending(), 0u);
+    EXPECT_EQ(pool.active(), 0u);
+
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    std::promise<void> started;
+    auto blocker = pool.submit([&] {
+        started.set_value();
+        gate.wait();
+    });
+    started.get_future().wait();  // the worker is now busy
+    EXPECT_EQ(pool.active(), 1u);
+    EXPECT_EQ(pool.pending(), 0u);
+
+    auto queued = pool.submit([] {});
+    EXPECT_EQ(pool.pending(), 1u);  // stuck behind the blocker
+
+    release.set_value();
+    blocker.get();
+    queued.get();
+    EXPECT_EQ(pool.pending(), 0u);
+    EXPECT_EQ(pool.active(), 0u);
+}
+
+TEST(ThreadPool, TrySubmitFailsFastPastTheBound)
+{
+    ThreadPool pool(1);
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    std::promise<void> started;
+    auto blocker = pool.submit([&] {
+        started.set_value();
+        gate.wait();
+    });
+    started.get_future().wait();
+
+    // Bound 2: two pending tasks are admitted, the third is rejected
+    // without ever being enqueued.
+    auto first = pool.trySubmit(2, [] { return 1; });
+    auto second = pool.trySubmit(2, [] { return 2; });
+    std::atomic<bool> third_ran{false};
+    auto third = pool.trySubmit(2, [&] {
+        third_ran = true;
+        return 3;
+    });
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_FALSE(third.has_value());
+
+    release.set_value();
+    blocker.get();
+    EXPECT_EQ(first->get(), 1);
+    EXPECT_EQ(second->get(), 2);
+    EXPECT_FALSE(third_ran.load());
+
+    // With the queue drained, trySubmit admits again.
+    auto fourth = pool.trySubmit(2, [] { return 4; });
+    ASSERT_TRUE(fourth.has_value());
+    EXPECT_EQ(fourth->get(), 4);
+}
+
 TEST(ThreadPool, DefaultConcurrencyIsAtLeastOne)
 {
     EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);

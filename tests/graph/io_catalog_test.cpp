@@ -15,6 +15,7 @@
 #include "graph/input_catalog.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
+#include "prof/counters.hpp"
 
 namespace eclsim::graph {
 namespace {
@@ -217,10 +218,11 @@ TEST(Catalog, UnknownNameDies)
 TEST(InputCatalog, RepeatedLookupsReturnTheSameObject)
 {
     InputCatalog cache;
-    const CsrGraph* first = &cache.get("internet", 4096);
-    EXPECT_EQ(&cache.get("internet", 4096), first);
+    const GraphPtr first = cache.get("internet", 4096);
+    EXPECT_EQ(cache.get("internet", 4096).get(), first.get());
     EXPECT_EQ(cache.size(), 1u);
     EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
     // The cached graph is exactly what the generator recipe builds.
     EXPECT_TRUE(*first == makeInput("internet", 4096));
 }
@@ -228,9 +230,9 @@ TEST(InputCatalog, RepeatedLookupsReturnTheSameObject)
 TEST(InputCatalog, DistinctDivisorsAreDistinctObjects)
 {
     InputCatalog cache;
-    const CsrGraph* big = &cache.get("internet", 2048);
-    const CsrGraph* small = &cache.get("internet", 4096);
-    EXPECT_NE(big, small);
+    const GraphPtr big = cache.get("internet", 2048);
+    const GraphPtr small = cache.get("internet", 4096);
+    EXPECT_NE(big.get(), small.get());
     EXPECT_EQ(cache.size(), 2u);
     EXPECT_EQ(cache.hits(), 0u);
 }
@@ -238,39 +240,111 @@ TEST(InputCatalog, DistinctDivisorsAreDistinctObjects)
 TEST(InputCatalog, WeightedVariantIsCachedSeparately)
 {
     InputCatalog cache;
-    const CsrGraph& plain = cache.get("internet", 4096);
-    const CsrGraph& weighted = cache.getWeighted("internet", 4096);
-    EXPECT_NE(&plain, &weighted);
-    EXPECT_FALSE(plain.weighted());
-    EXPECT_TRUE(weighted.weighted());
-    EXPECT_EQ(&cache.getWeighted("internet", 4096), &weighted);
+    const GraphPtr plain = cache.get("internet", 4096);
+    const GraphPtr weighted = cache.getWeighted("internet", 4096);
+    EXPECT_NE(plain.get(), weighted.get());
+    EXPECT_FALSE(plain->weighted());
+    EXPECT_TRUE(weighted->weighted());
+    EXPECT_EQ(cache.getWeighted("internet", 4096).get(), weighted.get());
     EXPECT_EQ(cache.size(), 2u);
 
     cache.clear();
     EXPECT_EQ(cache.size(), 0u);
     EXPECT_EQ(cache.hits(), 0u);
+    // Outstanding pointers survive a clear.
+    EXPECT_GT(plain->numVertices(), 0u);
 }
 
 TEST(InputCatalog, ConcurrentLookupsBuildExactlyOnce)
 {
     InputCatalog cache;
     constexpr int kThreads = 8;
-    std::vector<const CsrGraph*> seen(kThreads, nullptr);
+    std::vector<GraphPtr> seen(kThreads);
     std::vector<std::thread> threads;
     for (int t = 0; t < kThreads; ++t)
         threads.emplace_back(
-            [&cache, &seen, t] { seen[t] = &cache.get("star", 4096); });
+            [&cache, &seen, t] { seen[t] = cache.get("star", 4096); });
     for (auto& thread : threads)
         thread.join();
     for (int t = 1; t < kThreads; ++t)
-        EXPECT_EQ(seen[t], seen[0]);
+        EXPECT_EQ(seen[t].get(), seen[0].get());
     EXPECT_EQ(cache.size(), 1u);
     EXPECT_EQ(cache.hits(), static_cast<u64>(kThreads - 1));
+    EXPECT_EQ(cache.misses(), 1u);
 }
 
 TEST(InputCatalog, SharedInstanceIsProcessWide)
 {
     EXPECT_EQ(&InputCatalog::shared(), &InputCatalog::shared());
+}
+
+TEST(InputCatalog, AccountsResidentBytes)
+{
+    InputCatalog cache;
+    EXPECT_EQ(cache.sizeBytes(), 0u);
+    const GraphPtr g = cache.get("internet", 4096);
+    EXPECT_EQ(cache.sizeBytes(), graphBytes(*g));
+    const GraphPtr h = cache.get("star", 4096);
+    EXPECT_EQ(cache.sizeBytes(), graphBytes(*g) + graphBytes(*h));
+    cache.clear();
+    EXPECT_EQ(cache.sizeBytes(), 0u);
+}
+
+TEST(InputCatalog, CapacityCapEvictsLeastRecentlyUsed)
+{
+    InputCatalog cache;
+    const GraphPtr a = cache.get("internet", 4096);   // oldest
+    const GraphPtr b = cache.get("star", 4096);
+    cache.get("internet", 4096);                      // touch a: b is LRU
+
+    // A cap that fits only one of the two evicts the LRU entry (b).
+    cache.setCapacityBytes(graphBytes(*a) + graphBytes(*b) - 1);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.sizeBytes(), graphBytes(*a));
+
+    // The evicted graph is still alive through the outstanding pointer,
+    // and the survivor is still served from cache.
+    EXPECT_GT(b->numVertices(), 0u);
+    EXPECT_EQ(cache.get("internet", 4096).get(), a.get());
+
+    // Re-requesting the evicted key rebuilds (a fresh object).
+    const GraphPtr b2 = cache.get("star", 4096);
+    EXPECT_NE(b2.get(), b.get());
+    EXPECT_TRUE(*b2 == *b);
+    // ...and that insert pushed the older entry out in turn.
+    EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(InputCatalog, EvictionNeverDropsTheEntryBeingInserted)
+{
+    InputCatalog cache;
+    cache.setCapacityBytes(1);  // smaller than any graph
+    const GraphPtr g = cache.get("internet", 4096);
+    EXPECT_GT(g->numVertices(), 0u);
+    // The just-built entry stays resident even though it exceeds the
+    // cap on its own (there is nothing else to evict).
+    EXPECT_EQ(cache.size(), 1u);
+    // The next insert evicts it (now LRU) but never the new one.
+    const GraphPtr h = cache.get("star", 4096);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.sizeBytes(), graphBytes(*h));
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(InputCatalog, PublishesCatalogCounters)
+{
+    InputCatalog cache;
+    cache.get("internet", 4096);
+    cache.get("internet", 4096);
+    prof::CounterRegistry registry;
+    cache.publishCounters(registry);
+    EXPECT_EQ(registry.valueByName("sim/catalog/hits"), 1u);
+    EXPECT_EQ(registry.valueByName("sim/catalog/misses"), 1u);
+    EXPECT_EQ(registry.valueByName("sim/catalog/evictions"), 0u);
+    EXPECT_EQ(registry.valueByName("sim/catalog/resident_graphs"), 1u);
+    EXPECT_EQ(registry.valueByName("sim/catalog/resident_bytes"),
+              cache.sizeBytes());
 }
 
 TEST(Properties, CountsIsolatedAndDegrees)

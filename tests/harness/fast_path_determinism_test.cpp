@@ -62,15 +62,15 @@ class FastPathCellTest : public ::testing::TestWithParam<Algo>
 TEST_P(FastPathCellTest, MeasurementIsPathIndependent)
 {
     auto& catalog = graph::InputCatalog::shared();
-    const auto& graph =
+    const auto graph =
         GetParam() == Algo::kMst
             ? catalog.getWeighted("as-skitter", 4096)
             : catalog.get("as-skitter", 4096);
 
-    const auto fast = measureSeeded(simt::titanV(), graph, "as-skitter",
+    const auto fast = measureSeeded(simt::titanV(), *graph, "as-skitter",
                                     GetParam(), cellConfig(false),
                                     cellSeed(12345, 0));
-    const auto slow = measureSeeded(simt::titanV(), graph, "as-skitter",
+    const auto slow = measureSeeded(simt::titanV(), *graph, "as-skitter",
                                     GetParam(), cellConfig(true),
                                     cellSeed(12345, 0));
     expectIdentical(fast, slow);
@@ -92,12 +92,12 @@ TEST(FastPathCellTest, RepeatedFastRunsAreDeterministic)
 {
     // Guards the scratch-reuse changes: recycled blockOrder / shared /
     // thread buffers must not leak state from one launch into the next.
-    const auto& graph =
+    const auto graph =
         graph::InputCatalog::shared().get("as-skitter", 4096);
-    const auto first = measureSeeded(simt::titanV(), graph, "as-skitter",
+    const auto first = measureSeeded(simt::titanV(), *graph, "as-skitter",
                                      Algo::kGc, cellConfig(false),
                                      cellSeed(12345, 0));
-    const auto second = measureSeeded(simt::titanV(), graph, "as-skitter",
+    const auto second = measureSeeded(simt::titanV(), *graph, "as-skitter",
                                       Algo::kGc, cellConfig(false),
                                       cellSeed(12345, 0));
     expectIdentical(first, second);

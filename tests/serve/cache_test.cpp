@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+
+namespace eclsim::serve {
+namespace {
+
+TEST(ServeResultCache, HitReplaysTheExactStoredBytes)
+{
+    ResultCache cache(8);
+    const std::string bytes = R"("result":{"speedup":1.2500000000000004})";
+    cache.put("k1", bytes);
+    const auto hit = cache.get("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, bytes);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_FALSE(cache.get("absent").has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ServeResultCache, InsertionPastTheBoundEvictsLeastRecentlyUsed)
+{
+    ResultCache cache(3);
+    cache.put("a", "ra");
+    cache.put("b", "rb");
+    cache.put("c", "rc");
+    // Touch "a" so "b" becomes the LRU victim.
+    ASSERT_TRUE(cache.get("a").has_value());
+    cache.put("d", "rd");
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.get("b").has_value());
+    EXPECT_TRUE(cache.get("a").has_value());
+    EXPECT_TRUE(cache.get("c").has_value());
+    EXPECT_TRUE(cache.get("d").has_value());
+}
+
+TEST(ServeResultCache, OverwriteRefreshesInsteadOfGrowing)
+{
+    ResultCache cache(2);
+    cache.put("a", "old");
+    cache.put("b", "rb");
+    cache.put("a", "new");  // refresh, not insert: "b" stays resident
+    cache.put("c", "rc");   // evicts "b" (LRU), not "a"
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_FALSE(cache.get("b").has_value());
+    ASSERT_TRUE(cache.get("a").has_value());
+    EXPECT_EQ(*cache.get("a"), "new");
+}
+
+TEST(ServeResultCache, BoundOfZeroIsClampedToOne)
+{
+    ResultCache cache(0);
+    EXPECT_EQ(cache.maxEntries(), 1u);
+    cache.put("a", "ra");
+    cache.put("b", "rb");
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_TRUE(cache.get("b").has_value());
+}
+
+TEST(ServeResultCache, ConcurrentMixedTrafficStaysBounded)
+{
+    ResultCache cache(16);
+    constexpr int kThreads = 8;
+    constexpr int kOps = 500;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            for (int i = 0; i < kOps; ++i) {
+                const std::string key =
+                    "k" + std::to_string((t * 7 + i) % 40);
+                if (i % 3 == 0) {
+                    cache.put(key, "r" + key);
+                } else if (auto hit = cache.get(key)) {
+                    EXPECT_EQ(*hit, "r" + key);
+                }
+            }
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+    EXPECT_LE(cache.size(), 16u);
+    // Each thread issues a get for every i with i % 3 != 0.
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              static_cast<u64>(kThreads) * (kOps - (kOps + 2) / 3));
+}
+
+}  // namespace
+}  // namespace eclsim::serve

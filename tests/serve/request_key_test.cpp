@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "serve/request.hpp"
+
+namespace eclsim::serve {
+namespace {
+
+Request
+parsedOrDie(const std::string& line)
+{
+    std::string error;
+    const auto request = parseRequest(line, &error);
+    EXPECT_TRUE(request.has_value()) << line << " -> " << error;
+    return request.value_or(Request{});
+}
+
+std::string
+parseError(const std::string& line)
+{
+    std::string error;
+    const auto request = parseRequest(line, &error);
+    EXPECT_FALSE(request.has_value()) << "accepted: " << line;
+    return error;
+}
+
+TEST(ServeRequestKey, FieldOrderDoesNotChangeTheKey)
+{
+    const auto a = parsedOrDie(
+        R"({"graph":"rmat16.sym","algo":"cc","seed":7,"reps":2})");
+    const auto b = parsedOrDie(
+        R"({"reps":2,"seed":7,"algo":"cc","graph":"rmat16.sym"})");
+    EXPECT_EQ(requestKey(a), requestKey(b));
+    EXPECT_EQ(requestKey(a).digest, requestKey(b).digest);
+}
+
+TEST(ServeRequestKey, OmittedDefaultsEqualExplicitDefaults)
+{
+    const auto implicit =
+        parsedOrDie(R"({"graph":"rmat16.sym","algo":"cc"})");
+    const auto explicit_defaults = parsedOrDie(
+        R"({"graph":"rmat16.sym","algo":"cc","gpu":"Titan V",)"
+        R"("seed":12345,"reps":3,"divisor":512,"cache_divisor":16})");
+    EXPECT_EQ(requestKey(implicit), requestKey(explicit_defaults));
+}
+
+TEST(ServeRequestKey, NameAliasesCanonicalize)
+{
+    const auto a = parsedOrDie(
+        R"({"graph":"rmat16.sym","algo":"CC","gpu":"titan v"})");
+    const auto b = parsedOrDie(
+        R"({"graph":"rmat16.sym","algo":"cc","gpu":"TitanV"})");
+    const auto c = parsedOrDie(
+        R"({"graph":"rmat16.sym","algo":"cc","gpu":"Titan V"})");
+    EXPECT_EQ(requestKey(a), requestKey(b));
+    EXPECT_EQ(requestKey(b), requestKey(c));
+    EXPECT_EQ(a.gpu, "Titan V");
+}
+
+TEST(ServeRequestKey, ClientIdIsNotPartOfTheKey)
+{
+    const auto a = parsedOrDie(
+        R"({"id":"alpha","graph":"rmat16.sym","algo":"mis"})");
+    const auto b = parsedOrDie(
+        R"({"id":"beta","graph":"rmat16.sym","algo":"mis"})");
+    EXPECT_EQ(requestKey(a), requestKey(b));
+    EXPECT_EQ(a.id, "alpha");
+}
+
+TEST(ServeRequestKey, EverySimulationFieldIsKeyed)
+{
+    const Request base = parsedOrDie(
+        R"({"graph":"rmat16.sym","algo":"cc"})");
+    Request r = base;
+    r.seed = base.seed + 1;
+    EXPECT_NE(requestKey(base), requestKey(r));
+    r = base;
+    r.reps = base.reps + 1;
+    EXPECT_NE(requestKey(base), requestKey(r));
+    r = base;
+    r.divisor = base.divisor * 2;
+    EXPECT_NE(requestKey(base), requestKey(r));
+    r = base;
+    r.cache_divisor = base.cache_divisor * 2;
+    EXPECT_NE(requestKey(base), requestKey(r));
+    r = base;
+    r.algo = harness::Algo::kGc;
+    EXPECT_NE(requestKey(base), requestKey(r));
+    r = base;
+    r.graph = "internet";
+    EXPECT_NE(requestKey(base), requestKey(r));
+    r = base;
+    r.gpu = "A100";
+    EXPECT_NE(requestKey(base), requestKey(r));
+}
+
+TEST(ServeRequestKey, MalformedLinesAreRejectedWithAReason)
+{
+    EXPECT_FALSE(parseError("not json at all").empty());
+    EXPECT_FALSE(parseError(R"({"graph":"rmat16.sym")").empty());
+    // Nested values are not part of the flat protocol.
+    EXPECT_FALSE(
+        parseError(R"({"graph":"rmat16.sym","algo":{"x":1}})").empty());
+    EXPECT_FALSE(
+        parseError(R"({"graph":"rmat16.sym","algo":["cc"]})").empty());
+    // Required fields.
+    EXPECT_FALSE(parseError(R"({"algo":"cc"})").empty());
+    EXPECT_FALSE(parseError(R"({"graph":"rmat16.sym"})").empty());
+    // Unknown names and fields.
+    EXPECT_FALSE(parseError(R"({"graph":"nope","algo":"cc"})").empty());
+    EXPECT_FALSE(
+        parseError(R"({"graph":"rmat16.sym","algo":"bogus"})").empty());
+    EXPECT_FALSE(parseError(
+                     R"({"graph":"rmat16.sym","algo":"cc","gpu":"Cray-1"})")
+                     .empty());
+    EXPECT_FALSE(
+        parseError(R"({"graph":"rmat16.sym","algo":"cc","frobnicate":1})")
+            .empty());
+    // Out-of-range numbers.
+    EXPECT_FALSE(
+        parseError(R"({"graph":"rmat16.sym","algo":"cc","reps":0})").empty());
+    EXPECT_FALSE(
+        parseError(R"({"graph":"rmat16.sym","algo":"cc","reps":65})")
+            .empty());
+    EXPECT_FALSE(
+        parseError(R"({"graph":"rmat16.sym","algo":"cc","reps":2.5})")
+            .empty());
+    EXPECT_FALSE(
+        parseError(R"({"graph":"rmat16.sym","algo":"cc","divisor":0})")
+            .empty());
+}
+
+TEST(ServeRequestKey, AlgoGraphDirectionPairingIsValidated)
+{
+    // SCC needs a directed input; rmat16.sym is undirected.
+    EXPECT_FALSE(
+        parseError(R"({"graph":"rmat16.sym","algo":"scc"})").empty());
+    // And the undirected algorithms reject directed inputs.
+    EXPECT_FALSE(parseError(R"({"graph":"star","algo":"cc"})").empty());
+    // The valid pairings parse.
+    parsedOrDie(R"({"graph":"star","algo":"scc"})");
+    parsedOrDie(R"({"graph":"rmat16.sym","algo":"mst"})");
+}
+
+TEST(ServeRequestKey, ResultFragmentRoundTripsThroughTheEnvelope)
+{
+    Response response;
+    response.id = "req-1";
+    response.key = "00c0ffee00c0ffee";
+    response.cache = "miss";
+    response.result_json = R"({"graph":"rmat16.sym","speedup":1.25})";
+    const std::string line = response.encode();
+    EXPECT_EQ(extractResultFragment(line),
+              R"({"graph":"rmat16.sym","speedup":1.25})");
+    // Error responses have no result fragment.
+    Response error;
+    error.status = ResponseStatus::kOverloaded;
+    error.error = "pending queue is full";
+    EXPECT_TRUE(extractResultFragment(error.encode()).empty());
+}
+
+}  // namespace
+}  // namespace eclsim::serve

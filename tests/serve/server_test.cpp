@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace eclsim::serve {
+namespace {
+
+/** Minimal blocking line-oriented test client. */
+class TestClient
+{
+  public:
+    explicit TestClient(u16 port) { connect(port); }
+
+    ~TestClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    void
+    sendLine(const std::string& line)
+    {
+        const std::string framed = line + "\n";
+        ASSERT_EQ(::write(fd_, framed.data(), framed.size()),
+                  static_cast<ssize_t>(framed.size()));
+    }
+
+    /** Next '\n'-terminated line; empty string on EOF. */
+    std::string
+    recvLine()
+    {
+        for (;;) {
+            const size_t newline = buffer_.find('\n');
+            if (newline != std::string::npos) {
+                std::string line = buffer_.substr(0, newline);
+                buffer_.erase(0, newline + 1);
+                return line;
+            }
+            char chunk[4096];
+            const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+            if (n <= 0)
+                return {};
+            buffer_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+    std::string
+    roundTrip(const std::string& line)
+    {
+        sendLine(line);
+        return recvLine();
+    }
+
+  private:
+    void
+    connect(u16 port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd_, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        ASSERT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)),
+                  0)
+            << std::strerror(errno);
+    }
+
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+constexpr const char* kRequest =
+    R"({"graph":"rmat16.sym","algo":"cc","reps":1,"divisor":64})";
+
+TEST(ServeServer, TcpClientsSeeTheSameBytesAsInProcessCalls)
+{
+    Service service(ServeOptions{.jobs = 2});
+    Server server(service, 0);
+    ASSERT_GT(server.port(), 0);
+
+    TestClient client(server.port());
+    const std::string pong = client.roundTrip(R"({"op":"ping"})");
+    EXPECT_NE(pong.find("\"pong\":true"), std::string::npos) << pong;
+
+    const std::string first = client.roundTrip(kRequest);
+    EXPECT_NE(first.find("\"cache\":\"miss\""), std::string::npos) << first;
+    const std::string second = client.roundTrip(kRequest);
+    EXPECT_NE(second.find("\"cache\":\"hit\""), std::string::npos) << second;
+    EXPECT_EQ(extractResultFragment(first), extractResultFragment(second));
+    ASSERT_FALSE(extractResultFragment(first).empty());
+
+    // An in-process handle on a fresh service sees identical result
+    // bytes — the TCP layer adds framing, nothing else.
+    Service fresh(ServeOptions{.jobs = 1});
+    ServiceHandle handle(fresh);
+    EXPECT_EQ(extractResultFragment(handle.call(std::string(kRequest))),
+              extractResultFragment(first));
+}
+
+TEST(ServeServer, MalformedLinesDoNotKillTheConnection)
+{
+    Service service(ServeOptions{.jobs = 1});
+    Server server(service, 0);
+    TestClient client(server.port());
+
+    const std::string error = client.roundTrip("this is not json");
+    EXPECT_NE(error.find("\"status\":\"error\""), std::string::npos);
+    // The connection survives; a valid request still works.
+    const std::string ok = client.roundTrip(kRequest);
+    EXPECT_NE(ok.find("\"status\":\"ok\""), std::string::npos) << ok;
+}
+
+TEST(ServeServer, ConcurrentTcpClientsAllGetIdenticalResults)
+{
+    Service service(ServeOptions{.jobs = 4, .queue_limit = 256});
+    Server server(service, 0);
+
+    constexpr int kClients = 8;
+    std::vector<std::string> fragments(kClients);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            TestClient client(server.port());
+            fragments[c] = extractResultFragment(client.roundTrip(kRequest));
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+    for (int c = 0; c < kClients; ++c) {
+        EXPECT_FALSE(fragments[c].empty());
+        EXPECT_EQ(fragments[c], fragments[0]);
+    }
+}
+
+TEST(ServeServer, DrainDisconnectsIdleClientsAndStopsAccepting)
+{
+    Service service(ServeOptions{.jobs = 1});
+    Server server(service, 0);
+    const u16 port = server.port();
+
+    TestClient idle(port);
+    ASSERT_FALSE(idle.roundTrip(R"({"op":"ping"})").empty());
+
+    server.drain();
+    // The idle connection's read side was closed: EOF, not a hang.
+    EXPECT_TRUE(idle.recvLine().empty());
+    EXPECT_EQ(server.connections(), 0u);
+    EXPECT_TRUE(service.draining());
+
+    // New connections are no longer served.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0) {
+        // A racing connect may be accepted by the OS backlog and then
+        // closed by the server; it must never be answered.
+        const std::string framed = std::string(R"({"op":"ping"})") + "\n";
+        (void)!::write(fd, framed.data(), framed.size());
+        char chunk[64];
+        EXPECT_LE(::read(fd, chunk, sizeof(chunk)), 0);
+    }
+    ::close(fd);
+
+    // Draining again is a no-op.
+    server.drain();
+}
+
+}  // namespace
+}  // namespace eclsim::serve

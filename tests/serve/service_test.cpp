@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace eclsim::serve {
+namespace {
+
+/** Small, fast request population mixing graphs, algos, and seeds. */
+std::vector<Request>
+mixedRequests()
+{
+    std::vector<Request> requests;
+    const std::vector<std::pair<std::string, harness::Algo>> cells = {
+        {"rmat16.sym", harness::Algo::kCc},
+        {"rmat16.sym", harness::Algo::kMis},
+        {"internet", harness::Algo::kGc},
+        {"internet", harness::Algo::kMst},
+        {"star", harness::Algo::kScc},
+    };
+    for (u64 seed : {1ull, 2ull}) {
+        for (const auto& [graph, algo] : cells) {
+            Request request;
+            request.graph = graph;
+            request.algo = algo;
+            request.seed = seed;
+            request.reps = 1;
+            request.divisor = 64;
+            requests.push_back(request);
+        }
+    }
+    return requests;
+}
+
+TEST(ServeService, CacheHitReplaysByteIdenticalResult)
+{
+    Service service(ServeOptions{.jobs = 2});
+    ServiceHandle handle(service);
+
+    Request request = mixedRequests().front();
+    const Response first = handle.call(request);
+    ASSERT_EQ(first.status, ResponseStatus::kOk);
+    EXPECT_EQ(first.cache, "miss");
+    ASSERT_FALSE(first.result_json.empty());
+
+    const Response second = handle.call(request);
+    ASSERT_EQ(second.status, ResponseStatus::kOk);
+    EXPECT_EQ(second.cache, "hit");
+    EXPECT_EQ(second.result_json, first.result_json);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.executed, 1u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(ServeService, EightConcurrentClientsMatchSerialReplayByteForByte)
+{
+    const std::vector<Request> population = mixedRequests();
+
+    // Concurrent pass: 8 client threads replaying the population in
+    // different orders against one multi-worker service.
+    std::map<std::string, std::string> concurrent_results;
+    std::mutex results_mutex;
+    {
+        Service service(ServeOptions{.jobs = 4, .queue_limit = 256});
+        constexpr int kClients = 8;
+        std::vector<std::thread> clients;
+        for (int c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                ServiceHandle handle(service);
+                for (size_t i = 0; i < population.size(); ++i) {
+                    const Request& request =
+                        population[(i + c) % population.size()];
+                    const Response response = handle.call(request);
+                    ASSERT_EQ(response.status, ResponseStatus::kOk);
+                    std::lock_guard<std::mutex> lock(results_mutex);
+                    auto [it, inserted] = concurrent_results.emplace(
+                        requestKey(request).canonical,
+                        response.result_json);
+                    // Every client must observe the same bytes.
+                    EXPECT_EQ(it->second, response.result_json);
+                }
+            });
+        }
+        for (auto& client : clients)
+            client.join();
+        const ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.executed + stats.cache_hits + stats.coalesced,
+                  static_cast<u64>(kClients) * population.size());
+        EXPECT_EQ(stats.rejected, 0u);
+    }
+
+    // Serial pass: a fresh single-worker daemon must produce the exact
+    // same result bytes for every request.
+    Service serial(ServeOptions{.jobs = 1});
+    ServiceHandle handle(serial);
+    for (const Request& request : population) {
+        const Response response = handle.call(request);
+        ASSERT_EQ(response.status, ResponseStatus::kOk);
+        EXPECT_EQ(response.result_json,
+                  concurrent_results.at(requestKey(request).canonical))
+            << "schedule-dependent result for " << request.graph;
+    }
+}
+
+TEST(ServeService, OverloadIsRejectedNotQueuedForever)
+{
+    // queue_limit 0 makes admission control reject every execution,
+    // which must come back as an explicit "overloaded" error promptly.
+    Service service(ServeOptions{.jobs = 1, .queue_limit = 0});
+    ServiceHandle handle(service);
+    const Response response = handle.call(mixedRequests().front());
+    EXPECT_EQ(response.status, ResponseStatus::kOverloaded);
+    EXPECT_FALSE(response.error.empty());
+    EXPECT_EQ(service.stats().rejected, 1u);
+
+    // An overloaded request is not cached; the service stays usable
+    // for later wire traffic (e.g. ping).
+    const std::string pong = handle.call(std::string(R"({"op":"ping"})"));
+    EXPECT_NE(pong.find("\"pong\":true"), std::string::npos);
+}
+
+TEST(ServeService, SaturatedServiceDisposesEveryRequest)
+{
+    // A tiny queue under 16 concurrent distinct requests: some execute,
+    // some are rejected, but every call returns and the counters add up.
+    Service service(ServeOptions{.jobs = 1, .queue_limit = 1});
+    std::vector<Request> population = mixedRequests();
+    std::vector<std::thread> clients;
+    std::atomic<u64> ok{0};
+    std::atomic<u64> overloaded{0};
+    for (size_t i = 0; i < 16; ++i) {
+        clients.emplace_back([&, i] {
+            Request request = population[i % population.size()];
+            request.seed = 1000 + i;  // all distinct: no memoization
+            const Response response = service.call(request);
+            if (response.status == ResponseStatus::kOk)
+                ++ok;
+            else if (response.status == ResponseStatus::kOverloaded)
+                ++overloaded;
+            else
+                ADD_FAILURE() << "unexpected status "
+                              << responseStatusName(response.status);
+        });
+    }
+    for (auto& client : clients)
+        client.join();
+    EXPECT_EQ(ok.load() + overloaded.load(), 16u);
+    EXPECT_GE(ok.load(), 1u);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.executed + stats.coalesced, ok.load());
+    EXPECT_EQ(stats.rejected, overloaded.load());
+}
+
+TEST(ServeService, MalformedWireLinesGetErrorResponses)
+{
+    Service service(ServeOptions{.jobs = 1});
+    ServiceHandle handle(service);
+    const std::vector<std::string> bad = {
+        "",
+        "garbage",
+        R"({"graph":"rmat16.sym"})",
+        R"({"graph":"rmat16.sym","algo":"scc"})",
+        R"({"graph":"rmat16.sym","algo":"cc","reps":-1})",
+    };
+    for (const std::string& line : bad) {
+        const std::string response = handle.call(line);
+        EXPECT_NE(response.find("\"status\":\"error\""), std::string::npos)
+            << line << " -> " << response;
+        EXPECT_NE(response.find("\"error\":"), std::string::npos);
+    }
+    EXPECT_EQ(service.stats().malformed, bad.size());
+}
+
+TEST(ServeService, GracefulDrainCompletesInFlightWork)
+{
+    Service service(ServeOptions{.jobs = 2});
+    const std::vector<Request> population = mixedRequests();
+
+    std::vector<std::thread> clients;
+    std::vector<Response> responses(4);
+    for (size_t i = 0; i < responses.size(); ++i) {
+        clients.emplace_back([&service, &population, &responses, i] {
+            responses[i] = service.call(population[i]);
+        });
+    }
+    // Drain while the clients are (likely) in flight: whatever was
+    // admitted must complete and be delivered; the rest is refused
+    // with an explicit "draining" status — nothing hangs or crashes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    service.drain();
+    for (auto& client : clients)
+        client.join();
+    for (const Response& response : responses) {
+        EXPECT_TRUE(response.status == ResponseStatus::kOk ||
+                    response.status == ResponseStatus::kDraining)
+            << responseStatusName(response.status);
+        if (response.status == ResponseStatus::kOk) {
+            EXPECT_FALSE(response.result_json.empty());
+        }
+    }
+
+    // After the drain every new request is refused...
+    EXPECT_TRUE(service.draining());
+    const Response late = service.call(population.back());
+    EXPECT_EQ(late.status, ResponseStatus::kDraining);
+    // ...and draining again is a harmless no-op.
+    service.drain();
+}
+
+TEST(ServeService, PingAndStatsOpsAnswerInline)
+{
+    Service service(ServeOptions{.jobs = 1});
+    ServiceHandle handle(service);
+    const std::string pong = handle.call(std::string(R"({"op":"ping"})"));
+    EXPECT_NE(pong.find("\"pong\":true"), std::string::npos);
+
+    Request request = mixedRequests().front();
+    ASSERT_EQ(handle.call(request).status, ResponseStatus::kOk);
+    const std::string stats =
+        handle.call(std::string(R"({"op":"stats"})"));
+    EXPECT_NE(stats.find("\"executed\":1"), std::string::npos) << stats;
+}
+
+TEST(ServeService, PublishedGaugeCountersCoverCacheAndCatalog)
+{
+    Service service(ServeOptions{.jobs = 1});
+    Request request = mixedRequests().front();
+    ASSERT_EQ(service.call(request).status, ResponseStatus::kOk);
+    ASSERT_EQ(service.call(request).status, ResponseStatus::kOk);
+    service.publishGaugeCounters();
+    const auto& counters = service.session().counters();
+    EXPECT_EQ(counters.valueByName("serve/result_cache_size"), 1u);
+    EXPECT_EQ(counters.valueByName("sim/catalog/resident_graphs"), 1u);
+    EXPECT_GE(counters.valueByName("sim/catalog/resident_bytes"), 1u);
+}
+
+}  // namespace
+}  // namespace eclsim::serve
