@@ -17,10 +17,12 @@
  *   --intensity=X        perturbation strength in [0, 1] (default 0.5)
  *   --campaign-seeds=N   perturbation seeds per cell (default 2)
  *   --variant=NAME       baseline (default) or racefree
- *   --algos=LIST         comma-separated subset of cc,gc,mis,mst,scc
+ *   --algos=LIST         comma-separated subset of cc,gc,mis,mst,scc,
+ *                        pr,bfs,wcc (PR sits outside the default: its
+ *                        race is harmful-tolerated, not benign)
  *   --inputs=LIST        undirected inputs (default internet,star,
  *                        2d-2e20.sym)
- *   --directed-inputs=LIST  SCC inputs (default wikipedia)
+ *   --directed-inputs=LIST  SCC/PR/BFS inputs (default wikipedia)
  *   --gpu=NAME           GPU model (default "Titan V")
  *   --divisor=N          input scale divisor (default 4096: tiny — a
  *                        campaign runs hundreds of full algorithm runs)
@@ -70,7 +72,14 @@ parseAlgo(const std::string& name)
         return harness::Algo::kMst;
     if (name == "scc")
         return harness::Algo::kScc;
-    fatal("unknown algorithm '{}' (expected cc, gc, mis, mst, or scc)",
+    if (name == "pr")
+        return harness::Algo::kPr;
+    if (name == "bfs")
+        return harness::Algo::kBfs;
+    if (name == "wcc")
+        return harness::Algo::kWcc;
+    fatal("unknown algorithm '{}' (expected cc, gc, mis, mst, scc, pr, "
+          "bfs, or wcc)",
           name);
     return harness::Algo::kCc;  // unreachable
 }

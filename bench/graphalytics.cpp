@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Graphalytics extension sweep: PageRank and BFS on the 10 directed
+ * inputs, WCC on the 17 undirected inputs, reporting the racy-baseline
+ * vs race-free speedups in the same style as Tables IV-VIII. A separate
+ * binary so the byte-gated paper tables stay untouched.
+ *
+ * Accepts the standard bench flags (see bench_util.hpp) plus
+ * --gpu=NAME (default "Titan V").
+ */
+#include "bench_util.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace eclsim;
+    const std::string title =
+        "GRAPHALYTICS: Speedups of race-free PR/BFS/WCC";
+
+    bench::installInterruptHandler();
+    Flags flags(argc, argv);
+    auto config = bench::configFromFlags(flags);
+    const auto session = bench::sessionFromFlags(flags);
+    config.trace = session.get();
+    const auto& gpu =
+        simt::findGpu(flags.getString("gpu", "Titan V"));
+
+    const auto sink = std::make_shared<bench::PartialSink>();
+    const auto progress = bench::flushOnInterrupt(
+        sink, flags, title, harness::makeGraphalyticsTable, session.get(),
+        flags.getBool("quiet", false) ? harness::ProgressFn{}
+                                      : bench::stderrProgress());
+
+    const auto measurements =
+        harness::runGraphalyticsSuite(gpu, config, progress);
+    bench::emitTable(flags, title,
+                     harness::makeGraphalyticsTable(measurements));
+    bench::emitProfile(flags, session.get());
+    return 0;
+}

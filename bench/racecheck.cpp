@@ -16,10 +16,11 @@
  * validated benignity argument.
  *
  * Flags (besides the standard --seed/--jobs/--csv/--trace/--counters):
- *   --algos=LIST         comma-separated subset of cc,gc,mis,mst,scc
+ *   --algos=LIST         comma-separated subset of
+ *                        cc,gc,mis,mst,scc,pr,bfs,wcc
  *   --variants=LIST      baseline,racefree (default both)
  *   --inputs=LIST        undirected inputs (default rmat22.sym)
- *   --directed-inputs=LIST  SCC inputs (default wikipedia)
+ *   --directed-inputs=LIST  SCC/PR/BFS inputs (default wikipedia)
  *   --no-apsp            skip the APSP cells
  *   --gpu=NAME           GPU model (default "Titan V")
  *   --divisor=N          input scale divisor (default 8192: interleaved
@@ -72,7 +73,14 @@ parseAlgo(const std::string& name)
         return harness::Algo::kMst;
     if (name == "scc")
         return harness::Algo::kScc;
-    fatal("unknown algorithm '{}' (expected cc, gc, mis, mst, or scc)",
+    if (name == "pr")
+        return harness::Algo::kPr;
+    if (name == "bfs")
+        return harness::Algo::kBfs;
+    if (name == "wcc")
+        return harness::Algo::kWcc;
+    fatal("unknown algorithm '{}' (expected cc, gc, mis, mst, scc, pr, "
+          "bfs, or wcc)",
           name);
     return harness::Algo::kCc;  // unreachable
 }

@@ -6,7 +6,9 @@
 #  2. the same seed must reproduce a byte-identical campaign CSV at any
 #     --jobs value (the PR-2 determinism contract extended to chaos),
 #  3. the harmful drop-atomic policy must be caught by the MST oracle
-#     and fail the run (the oracles have teeth).
+#     and fail the run (the oracles have teeth),
+#  4. the same policy must push PageRank's racy accumulation past its
+#     epsilon-L1 bound (the Graphalytics epsilon gate has teeth too).
 #
 # Usage: ./scripts/chaos_smoke.sh [build-dir]
 set -euo pipefail
@@ -43,6 +45,18 @@ if "$CAMPAIGN" --policy=drop-atomic --algos=mst --inputs=internet \
 fi
 grep -q "Kruskal" "$OUT/harmful.txt" || {
     echo "FAIL: no MST weight mismatch in the harmful report"
+    exit 1
+}
+
+echo "== drop-atomic must break PageRank's epsilon bound =="
+if "$CAMPAIGN" --policy=drop-atomic --algos=pr --divisor=8192 \
+    --campaign-seeds=2 --intensity=1.0 --seed=7 \
+    --jobs=1 --quiet > "$OUT/pr.txt"; then
+    echo "FAIL: drop-atomic PR campaign exited 0 (epsilon gate missed it)"
+    exit 1
+fi
+grep -q "bound" "$OUT/pr.txt" || {
+    echo "FAIL: no L1-bound violation in the PR report"
     exit 1
 }
 

@@ -33,12 +33,19 @@ grep -q "race-freedom gate: PASS" "$OUT/serial.txt" || {
 }
 
 echo "== every baseline reports classified races =="
-for algo in cc gc mis mst scc; do
+for algo in cc gc mis mst scc pr bfs wcc; do
     grep -qi "^$algo/baseline" "$OUT/serial.csv" || {
         echo "FAIL: no classified race sites for the $algo baseline"
         exit 1
     }
 done
+# PR's float accumulation is the one harmful-tolerated race: it must be
+# classified as such (not benign, not unknown) and the gate must still
+# pass because its epsilon-L1 oracle held above.
+grep -qi "^pr/baseline.*harmful-tolerated" "$OUT/serial.csv" || {
+    echo "FAIL: PR baseline lost its harmful-tolerated classification"
+    exit 1
+}
 if grep -q "UNKNOWN/HARMFUL" "$OUT/serial.csv"; then
     echo "FAIL: an unexplained race slipped through the classifier"
     grep "UNKNOWN/HARMFUL" "$OUT/serial.csv"

@@ -1,0 +1,138 @@
+#include "algos/bfs.hpp"
+
+#include "core/logging.hpp"
+#include "racecheck/sites.hpp"
+#include "simt/ecl_atomics.hpp"
+
+namespace eclsim::algos {
+
+namespace {
+
+using racecheck::Expectation;
+using simt::AccessMode;
+using simt::DevicePtr;
+using simt::Task;
+using simt::ThreadCtx;
+
+struct BfsArrays
+{
+    DeviceGraph g;
+    DevicePtr<u32> dist;   ///< level per vertex; kBfsUnvisited = unreached
+    DevicePtr<u32> again;  ///< host loop flag: frontier grew this sweep
+    u32 source = 0;
+    u32 level = 0;  ///< the frontier level this sweep expands
+    Variant variant;
+};
+
+/** Init: source at level 0, everyone else unvisited. Owner-only. */
+Task
+bfsInit(ThreadCtx& t, const BfsArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    co_await t.at(ECL_SITE("init dist[] owner-store"))
+        .store(a.dist, v, v == a.source ? 0 : kBfsUnvisited);
+}
+
+/**
+ * Expand one frontier level. The dist[] writes only ever drop the value
+ * from the unvisited sentinel to the (sweep-wide single) next level, so
+ * the racy duplicate writes are monotonic per address and idempotent per
+ * sweep; a stale unvisited read merely causes another same-value write.
+ */
+Task
+bfsPass(ThreadCtx& t, const BfsArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const bool atomic = a.variant == Variant::kRaceFree;
+
+    u32 dv;
+    if (atomic) {
+        dv = co_await ecl::atomicRead(t, a.dist, v);
+    } else {
+        dv = co_await t
+                 .at(ECL_SITE_AS("pass dist[] own-load",
+                                 Expectation::kStaleTolerant))
+                 .load(a.dist, v);
+    }
+    if (dv != a.level)
+        co_return;
+
+    const u32 begin = co_await t.load(a.g.row_offsets, v);
+    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    const u32 next = a.level + 1;
+    bool discovered = false;
+    for (u32 e = begin; e < end; ++e) {
+        const u32 u = co_await t.load(a.g.col_indices, e);
+        if (atomic) {
+            const u32 old = co_await t
+                                .at(ECL_SITE("pass dist[] claim-cas"))
+                                .atomicCas(a.dist, u, kBfsUnvisited, next);
+            discovered |= old == kBfsUnvisited;
+        } else {
+            const u32 du =
+                co_await t
+                    .at(ECL_SITE_AS("pass dist[] neighbor-load",
+                                    Expectation::kStaleTolerant))
+                    .load(a.dist, u);
+            if (du == kBfsUnvisited) {
+                co_await t
+                    .at(ECL_SITE_AS("pass dist[] frontier-store",
+                                    Expectation::kMonotonic))
+                    .store(a.dist, u, next);
+                discovered = true;
+            }
+        }
+    }
+    if (discovered) {
+        if (atomic)
+            co_await ecl::atomicWrite(t, a.again, 0, u32{1});
+        else
+            co_await t
+                .at(ECL_SITE_AS("pass again-flag store",
+                                Expectation::kIdempotent))
+                .store(a.again, 0, u32{1}, AccessMode::kVolatile);
+    }
+}
+
+}  // namespace
+
+BfsResult
+runBfs(simt::Engine& engine, const CsrGraph& graph, Variant variant,
+       VertexId source)
+{
+    simt::DeviceMemory& memory = engine.memory();
+    BfsArrays a;
+    a.g = uploadGraph(memory, graph);
+    const u32 n = a.g.num_vertices;
+
+    BfsResult result;
+    if (n == 0)
+        return result;
+    ECLSIM_ASSERT(source < n, "BFS source {} out of range", source);
+    a.dist = memory.alloc<u32>(n, "bfs.dist");
+    a.again = memory.alloc<u32>(1, "bfs.again");
+    a.source = source;
+    a.variant = variant;
+
+    const auto cfg = simt::launchFor(n, kBlockSize);
+    result.stats.add(engine.launch(
+        "bfs.init", cfg, [&a](ThreadCtx& t) { return bfsInit(t, a); }));
+    for (u32 level = 0; level < kMaxHostIterations; ++level) {
+        a.level = level;
+        memory.write(a.again, u32{0});
+        result.stats.add(engine.launch(
+            "bfs.pass", cfg, [&a](ThreadCtx& t) { return bfsPass(t, a); }));
+        ++result.stats.iterations;
+        if (memory.read(a.again) == 0)
+            break;
+    }
+
+    result.levels = memory.download(a.dist, n);
+    return result;
+}
+
+}  // namespace eclsim::algos

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Level-synchronous breadth-first search (the direction-optimizing BFS
+ * family's top-down baseline, as in Gunrock and the Graphalytics
+ * reference).
+ *
+ * Each sweep expands the current frontier: every vertex on level L
+ * writes L+1 into each still-unvisited out-neighbor. The baseline does
+ * this with a plain check-then-store, so concurrent discoverers of the
+ * same vertex all write — a benign duplicate-frontier race (every writer
+ * in a sweep stores the same level, and the per-address value only ever
+ * drops from the unvisited sentinel). The race-free variant claims each
+ * vertex with atomicCAS(unvisited -> L+1), so exactly one discoverer
+ * wins. Both variants produce the exact oracle levels.
+ */
+#pragma once
+
+#include <vector>
+
+#include "algos/common.hpp"
+
+namespace eclsim::algos {
+
+/** dist[] sentinel for a vertex not yet reached. */
+constexpr u32 kBfsUnvisited = ~u32{0};
+
+/** Result of a BFS run. */
+struct BfsResult
+{
+    std::vector<u32> levels;  ///< hop count from source; kBfsUnvisited
+    RunStats stats;           ///< iterations = number of BFS levels swept
+};
+
+/** Run BFS from vertex `source` (must be < numVertices unless empty). */
+BfsResult runBfs(simt::Engine& engine, const CsrGraph& graph,
+                 Variant variant, VertexId source = 0);
+
+}  // namespace eclsim::algos

@@ -16,6 +16,36 @@ variantName(Variant variant)
     return "unknown";
 }
 
+const char*
+algoName(Algo algo)
+{
+    switch (algo) {
+      case Algo::kCc:
+        return "CC";
+      case Algo::kGc:
+        return "GC";
+      case Algo::kMis:
+        return "MIS";
+      case Algo::kMst:
+        return "MST";
+      case Algo::kScc:
+        return "SCC";
+      case Algo::kPr:
+        return "PR";
+      case Algo::kBfs:
+        return "BFS";
+      case Algo::kWcc:
+        return "WCC";
+    }
+    return "?";
+}
+
+bool
+algoNeedsDirected(Algo algo)
+{
+    return algo == Algo::kScc || algo == Algo::kPr || algo == Algo::kBfs;
+}
+
 DeviceGraph
 uploadGraph(simt::DeviceMemory& memory, const CsrGraph& graph,
             bool with_weights, bool with_sources)

@@ -35,6 +35,32 @@ enum class Variant : u8 {
 /** Printable variant name. */
 const char* variantName(Variant variant);
 
+/**
+ * The codes with racy baselines (APSP has none; paper Section IV-A).
+ * The first five are the paper's ECL codes; PR/BFS/WCC extend the study
+ * to the Graphalytics suite. Lives here — below the harness, the chaos
+ * campaign, and the racecheck runner — so every layer shares one
+ * algorithm vocabulary (re-exported as harness::Algo).
+ */
+enum class Algo : u8 {
+    kCc,
+    kGc,
+    kMis,
+    kMst,
+    kScc,
+    kPr,
+    kBfs,
+    kWcc,
+};
+
+/** Printable algorithm name (the tables' column headers). */
+const char* algoName(Algo algo);
+
+/** True for the algorithms that run on the directed catalog inputs
+ *  (SCC by the paper's Table III; PageRank and BFS by Graphalytics
+ *  convention). WCC runs on the undirected inputs. */
+bool algoNeedsDirected(Algo algo);
+
 /** Aggregated statistics of one algorithm run (all launches summed). */
 struct RunStats
 {

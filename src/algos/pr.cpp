@@ -1,0 +1,147 @@
+#include "algos/pr.hpp"
+
+#include "core/logging.hpp"
+#include "racecheck/sites.hpp"
+#include "simt/ecl_atomics.hpp"
+
+namespace eclsim::algos {
+
+namespace {
+
+using racecheck::Expectation;
+using simt::AccessMode;
+using simt::DevicePtr;
+using simt::Task;
+using simt::ThreadCtx;
+
+struct PrArrays
+{
+    DeviceGraph g;
+    DevicePtr<float> rank;      ///< current rank, owner-written
+    DevicePtr<float> pushed;    ///< per-sweep accumulator, the racy array
+    DevicePtr<float> dangling;  ///< one cell: pooled dangling rank
+    Variant variant;
+};
+
+/** Init: every vertex starts at 1/n. Owner-only stores; no races. */
+Task
+prInit(ThreadCtx& t, const PrArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const float uniform = 1.0f / static_cast<float>(a.g.num_vertices);
+    co_await t.at(ECL_SITE("init rank[] uniform-store"))
+        .store(a.rank, v, uniform);
+}
+
+/** Zero the sweep accumulator and the dangling pool (owner-only). */
+Task
+prZero(ThreadCtx& t, const PrArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    co_await t.at(ECL_SITE("zero pushed[] owner-store"))
+        .store(a.pushed, v, 0.0f);
+    if (v == 0)
+        co_await t.at(ECL_SITE("zero dangling owner-store"))
+            .store(a.dangling, 0, 0.0f);
+}
+
+/**
+ * Push: scatter rank[v]/outdeg(v) onto every out-neighbor. The baseline
+ * accumulates with a plain read-add-write — the harmful-tolerated race:
+ * two concurrent pushes to the same target can lose one contribution
+ * outright. The race-free code uses atomicAdd(float*). Dangling rank is
+ * pooled atomically in both variants (the published baselines do the
+ * same; a single shared scalar would otherwise lose nearly everything).
+ */
+Task
+prPush(ThreadCtx& t, const PrArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const u32 begin = co_await t.load(a.g.row_offsets, v);
+    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    const float rv = co_await t.at(ECL_SITE("push rank[] own-load"))
+                         .load(a.rank, v);
+    if (begin == end) {
+        co_await t.at(ECL_SITE("push dangling atomic-add"))
+            .atomicAdd(a.dangling, 0, rv);
+        co_return;
+    }
+    const float contribution = rv / static_cast<float>(end - begin);
+    for (u32 e = begin; e < end; ++e) {
+        const u32 u = co_await t.load(a.g.col_indices, e);
+        if (a.variant == Variant::kBaseline) {
+            const float old =
+                co_await t
+                    .at(ECL_SITE_AS("push pushed[] accumulate-load",
+                                    Expectation::kBoundedError))
+                    .load(a.pushed, u);
+            co_await t
+                .at(ECL_SITE_AS("push pushed[] accumulate-store",
+                                Expectation::kBoundedError))
+                .store(a.pushed, u, old + contribution);
+        } else {
+            co_await t.at(ECL_SITE("push pushed[] atomic-add"))
+                .atomicAdd(a.pushed, u, contribution);
+        }
+    }
+}
+
+/** Apply the damped update owner-only; no races (pushes are done). */
+Task
+prApply(ThreadCtx& t, const PrArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const float n = static_cast<float>(a.g.num_vertices);
+    const float pushed = co_await t.at(ECL_SITE("apply pushed[] own-load"))
+                             .load(a.pushed, v);
+    const float pool = co_await t.at(ECL_SITE("apply dangling load"))
+                           .load(a.dangling, 0);
+    const float next =
+        (1.0f - kPrDamping) / n + kPrDamping * (pushed + pool / n);
+    co_await t.at(ECL_SITE("apply rank[] owner-store"))
+        .store(a.rank, v, next);
+}
+
+}  // namespace
+
+PrResult
+runPr(simt::Engine& engine, const CsrGraph& graph, Variant variant)
+{
+    simt::DeviceMemory& memory = engine.memory();
+    PrArrays a;
+    a.g = uploadGraph(memory, graph);
+    const u32 n = a.g.num_vertices;
+    a.rank = memory.alloc<float>(std::max<u32>(n, 1), "pr.rank");
+    a.pushed = memory.alloc<float>(std::max<u32>(n, 1), "pr.pushed");
+    a.dangling = memory.alloc<float>(1, "pr.dangling");
+    a.variant = variant;
+
+    PrResult result;
+    if (n == 0)
+        return result;
+    const auto cfg = simt::launchFor(n, kBlockSize);
+    result.stats.add(engine.launch(
+        "pr.init", cfg, [&a](ThreadCtx& t) { return prInit(t, a); }));
+    for (u32 iter = 0; iter < kPrIterations; ++iter) {
+        result.stats.add(engine.launch(
+            "pr.zero", cfg, [&a](ThreadCtx& t) { return prZero(t, a); }));
+        result.stats.add(engine.launch(
+            "pr.push", cfg, [&a](ThreadCtx& t) { return prPush(t, a); }));
+        result.stats.add(engine.launch(
+            "pr.apply", cfg, [&a](ThreadCtx& t) { return prApply(t, a); }));
+        ++result.stats.iterations;
+    }
+
+    result.ranks = memory.download(a.rank, n);
+    return result;
+}
+
+}  // namespace eclsim::algos

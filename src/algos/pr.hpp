@@ -1,0 +1,49 @@
+/**
+ * @file
+ * PageRank in the push style of the Graphalytics reference codes: every
+ * vertex scatters rank/outdegree along its out-arcs each sweep, dangling
+ * rank is pooled, and the damped update is applied owner-only.
+ *
+ * This is the suite's first *harmful-tolerated* race: the baseline
+ * accumulates contributions into pushed[] with a plain float load/store
+ * pair, so concurrent pushes to a shared target lose updates — genuinely
+ * corrupting rank mass, not merely reordering it. The race-free variant
+ * uses atomicAdd(float*) (RmwOp::kAddF). Correctness is therefore judged
+ * against the sequential double-precision oracle under an L1-norm bound
+ * (kPrL1Epsilon) instead of bit equality, and the racecheck gate accepts
+ * the racy sites only while that bound holds.
+ */
+#pragma once
+
+#include <vector>
+
+#include "algos/common.hpp"
+
+namespace eclsim::algos {
+
+/** Power-iteration sweeps; fixed, matching the oracle. */
+constexpr u32 kPrIterations = 10;
+
+/** Damping factor (the Graphalytics / original-paper constant). */
+constexpr float kPrDamping = 0.85f;
+
+/**
+ * Accepted L1 distance between a simulated rank vector and the oracle's.
+ * Sized to admit float rounding and the baseline's lost updates on the
+ * scaled stand-in inputs, while rejecting grossly corrupted results
+ * (e.g. the chaos drop-atomic policy discarding whole contributions).
+ */
+constexpr double kPrL1Epsilon = 0.05;
+
+/** Result of a PageRank run. */
+struct PrResult
+{
+    std::vector<float> ranks;  ///< one rank per vertex, sums to ~1
+    RunStats stats;
+};
+
+/** Run PageRank; meaningful on directed inputs (works on any graph). */
+PrResult runPr(simt::Engine& engine, const CsrGraph& graph,
+               Variant variant);
+
+}  // namespace eclsim::algos

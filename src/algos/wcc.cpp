@@ -1,0 +1,130 @@
+#include "algos/wcc.hpp"
+
+#include "core/logging.hpp"
+#include "racecheck/sites.hpp"
+#include "simt/ecl_atomics.hpp"
+
+namespace eclsim::algos {
+
+namespace {
+
+using racecheck::Expectation;
+using simt::AccessMode;
+using simt::DevicePtr;
+using simt::Task;
+using simt::ThreadCtx;
+
+struct WccArrays
+{
+    DeviceGraph g;
+    DevicePtr<u32> label;  ///< current component label per vertex
+    DevicePtr<u32> again;  ///< host loop flag: some label moved
+    Variant variant;
+};
+
+/** Init: every vertex is its own component. Owner-only stores. */
+Task
+wccInit(ThreadCtx& t, const WccArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    co_await t.at(ECL_SITE("init label[] owner-store")).store(a.label, v, v);
+}
+
+/**
+ * One propagation sweep: push this vertex's label onto every neighbor
+ * holding a larger one. The baseline's guard-load can go stale and its
+ * store can regress a concurrently-lowered label, but every store is
+ * monotonic from the writer's view and the host loop only stops at a
+ * store-free fixpoint, where labels are constant per component.
+ */
+Task
+wccPass(ThreadCtx& t, const WccArrays& a)
+{
+    const u32 v = t.globalThreadId();
+    if (v >= a.g.num_vertices)
+        co_return;
+    const bool atomic = a.variant == Variant::kRaceFree;
+
+    u32 lv;
+    if (atomic) {
+        lv = co_await ecl::atomicRead(t, a.label, v);
+    } else {
+        lv = co_await t
+                 .at(ECL_SITE_AS("pass label[] own-load",
+                                 Expectation::kStaleTolerant))
+                 .load(a.label, v);
+    }
+
+    const u32 begin = co_await t.load(a.g.row_offsets, v);
+    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    bool moved = false;
+    for (u32 e = begin; e < end; ++e) {
+        const u32 u = co_await t.load(a.g.col_indices, e);
+        if (atomic) {
+            const u32 old = co_await t
+                                .at(ECL_SITE("pass label[] min-rmw"))
+                                .atomicMin(a.label, u, lv);
+            moved |= lv < old;
+        } else {
+            const u32 lu =
+                co_await t
+                    .at(ECL_SITE_AS("pass label[] neighbor-load",
+                                    Expectation::kStaleTolerant))
+                    .load(a.label, u);
+            if (lv < lu) {
+                co_await t
+                    .at(ECL_SITE_AS("pass label[] min-store",
+                                    Expectation::kMonotonic))
+                    .store(a.label, u, lv);
+                moved = true;
+            }
+        }
+    }
+    if (moved) {
+        if (atomic)
+            co_await ecl::atomicWrite(t, a.again, 0, u32{1});
+        else
+            co_await t
+                .at(ECL_SITE_AS("pass again-flag store",
+                                Expectation::kIdempotent))
+                .store(a.again, 0, u32{1}, AccessMode::kVolatile);
+    }
+}
+
+}  // namespace
+
+WccResult
+runWcc(simt::Engine& engine, const CsrGraph& graph, Variant variant)
+{
+    ECLSIM_ASSERT(!graph.directed(), "WCC expects an undirected graph");
+    simt::DeviceMemory& memory = engine.memory();
+    WccArrays a;
+    a.g = uploadGraph(memory, graph);
+    const u32 n = a.g.num_vertices;
+
+    WccResult result;
+    if (n == 0)
+        return result;
+    a.label = memory.alloc<u32>(n, "wcc.label");
+    a.again = memory.alloc<u32>(1, "wcc.again");
+    a.variant = variant;
+
+    const auto cfg = simt::launchFor(n, kBlockSize);
+    result.stats.add(engine.launch(
+        "wcc.init", cfg, [&a](ThreadCtx& t) { return wccInit(t, a); }));
+    for (u32 iter = 0; iter < kMaxHostIterations; ++iter) {
+        memory.write(a.again, u32{0});
+        result.stats.add(engine.launch(
+            "wcc.pass", cfg, [&a](ThreadCtx& t) { return wccPass(t, a); }));
+        ++result.stats.iterations;
+        if (memory.read(a.again) == 0)
+            break;
+    }
+
+    result.labels = memory.download(a.label, n);
+    return result;
+}
+
+}  // namespace eclsim::algos

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Weakly connected components by min-label propagation (the
+ * Graphalytics reference scheme, also powergraph's wcc): labels start
+ * as vertex ids and every sweep each vertex pushes its label onto any
+ * neighbor holding a larger one, until no label moves.
+ *
+ * The baseline pushes with a plain guard-load + store, so two vertices
+ * can concurrently lower the same neighbor's label — a write/write race
+ * whose updates are monotonic (labels only ever decrease toward the
+ * component minimum; a stale-read regression is re-lowered by a later
+ * sweep, and the again-loop only exits at a store-free fixpoint). The
+ * race-free variant claims the same minimum with atomicMin. Unlike CC's
+ * union-find this keeps no parent forest — labels are values — so the
+ * two undirected-components codes stress different racy idioms.
+ */
+#pragma once
+
+#include <vector>
+
+#include "algos/common.hpp"
+
+namespace eclsim::algos {
+
+/** Result of a WCC run. */
+struct WccResult
+{
+    std::vector<VertexId> labels;  ///< component id = min vertex id
+    RunStats stats;
+};
+
+/** Run WCC on an undirected graph. */
+WccResult runWcc(simt::Engine& engine, const CsrGraph& graph,
+                 Variant variant);
+
+}  // namespace eclsim::algos

@@ -5,11 +5,6 @@
 #include <map>
 #include <mutex>
 
-#include "algos/cc.hpp"
-#include "algos/gc.hpp"
-#include "algos/mis.hpp"
-#include "algos/mst.hpp"
-#include "algos/scc.hpp"
 #include "chaos/oracle.hpp"
 #include "core/logging.hpp"
 #include "core/rng.hpp"
@@ -25,8 +20,8 @@ campaignCells(const CampaignConfig& config)
 {
     std::vector<CampaignCell> cells;
     for (PolicyKind policy : config.policies) {
-        for (harness::Algo algo : config.algos) {
-            const auto& inputs = algo == harness::Algo::kScc
+        for (Algo algo : config.algos) {
+            const auto& inputs = algos::algoNeedsDirected(algo)
                                      ? config.directed_inputs
                                      : config.undirected_inputs;
             for (const std::string& input : inputs)
@@ -46,7 +41,7 @@ runCampaignCell(const CampaignConfig& config, const CampaignCell& cell,
 
     auto& cache = graph::InputCatalog::shared();
     const graph::GraphPtr cached =
-        cell.algo == harness::Algo::kMst
+        cell.algo == Algo::kMst
             ? cache.getWeighted(cell.input, config.graph_divisor)
             : cache.get(cell.input, config.graph_divisor);
     const CsrGraph& graph = *cached;
@@ -75,7 +70,7 @@ runCampaignCell(const CampaignConfig& config, const CampaignCell& cell,
         t0 = trace->cursor();
         trace->beginSpan(track,
                          std::string(policyName(cell.policy)) + "/" +
-                             harness::algoName(cell.algo) + "/" +
+                             algos::algoName(cell.algo) + "/" +
                              cell.input,
                          t0,
                          {{"rep", std::to_string(cell.rep)},
@@ -86,50 +81,17 @@ runCampaignCell(const CampaignConfig& config, const CampaignCell& cell,
     simt::DeviceMemory memory;
     simt::Engine engine(simt::findGpu(config.gpu), memory, options);
 
-    Verdict verdict;
-    algos::RunStats stats;
-    switch (cell.algo) {
-      case harness::Algo::kCc: {
-        const auto r = algos::runCc(engine, graph, config.variant);
-        verdict = checkCc(graph, r.labels);
-        stats = r.stats;
-        break;
-      }
-      case harness::Algo::kGc: {
-        const auto r = algos::runGc(engine, graph, config.variant);
-        verdict = checkGc(graph, r.colors);
-        stats = r.stats;
-        break;
-      }
-      case harness::Algo::kMis: {
-        const auto r = algos::runMis(engine, graph, config.variant);
-        verdict = checkMis(graph, r.in_set);
-        stats = r.stats;
-        break;
-      }
-      case harness::Algo::kMst: {
-        const auto r = algos::runMst(engine, graph, config.variant);
-        verdict = checkMst(graph, r.total_weight);
-        stats = r.stats;
-        break;
-      }
-      case harness::Algo::kScc: {
-        const auto r = algos::runScc(engine, graph, config.variant);
-        verdict = checkScc(graph, r.labels);
-        stats = r.stats;
-        break;
-      }
-    }
+    RunOutcome run = runChecked(engine, graph, cell.algo, config.variant);
 
-    out.valid = verdict.valid;
-    out.detail = std::move(verdict.detail);
-    out.iterations = stats.iterations;
-    out.ms = stats.ms;
-    out.stale_reads = stats.mem.stale_reads;
-    out.delayed_stores = stats.mem.delayed_stores;
-    out.dup_stores = stats.mem.dup_stores;
-    out.dropped_atomics = stats.mem.dropped_atomics;
-    out.snapshot_skips = stats.mem.snapshot_skips;
+    out.valid = run.verdict.valid;
+    out.detail = std::move(run.verdict.detail);
+    out.iterations = run.stats.iterations;
+    out.ms = run.stats.ms;
+    out.stale_reads = run.stats.mem.stale_reads;
+    out.delayed_stores = run.stats.mem.delayed_stores;
+    out.dup_stores = run.stats.mem.dup_stores;
+    out.dropped_atomics = run.stats.mem.dropped_atomics;
+    out.snapshot_skips = run.stats.mem.snapshot_skips;
 
     if (trace) {
         const u64 t_end = std::max(trace->cursor(), t0);
@@ -154,7 +116,7 @@ runCampaign(const CampaignConfig& config,
     if (jobs <= 1 || cells.size() <= 1) {
         for (size_t i = 0; i < cells.size(); ++i) {
             out[i] = runCampaignCell(config, cells[i],
-                                     harness::cellSeed(config.seed, i),
+                                     cellSeed(config.seed, i),
                                      config.trace);
             if (progress)
                 progress(out[i]);
@@ -177,7 +139,7 @@ runCampaign(const CampaignConfig& config,
         done.push_back(pool.submit([&, i] {
             prof::TraceSession cell_trace;
             CellOutcome outcome = runCampaignCell(
-                config, cells[i], harness::cellSeed(config.seed, i),
+                config, cells[i], cellSeed(config.seed, i),
                 shared_trace ? &cell_trace : nullptr);
             if (shared_trace || progress) {
                 std::lock_guard<std::mutex> lock(sink_mutex);
@@ -217,7 +179,7 @@ makeCampaignTable(const std::vector<CellOutcome>& outcomes)
                      "DroppedAtomics", "SnapshotSkips", "Detail"});
     for (const CellOutcome& o : outcomes) {
         table.addRow({policyName(o.cell.policy),
-                      harness::algoName(o.cell.algo), o.cell.input,
+                      algos::algoName(o.cell.algo), o.cell.input,
                       std::to_string(o.cell.rep),
                       o.valid ? "yes" : "NO",
                       std::to_string(o.iterations), fmtFixed(o.ms, 4),
@@ -264,7 +226,7 @@ makeCampaignSummary(const std::vector<CellOutcome>& outcomes)
                      "MeanIters", "Iters/none"});
     for (const auto& [key, g] : groups) {
         const auto policy = static_cast<PolicyKind>(key.first);
-        const auto algo = static_cast<harness::Algo>(key.second);
+        const auto algo = static_cast<Algo>(key.second);
         const double mean_iters =
             static_cast<double>(g.iterations) /
             static_cast<double>(g.runs);
@@ -276,7 +238,7 @@ makeCampaignSummary(const std::vector<CellOutcome>& outcomes)
                 static_cast<double>(c->second.second);
             ratio = fmtFixed(mean_iters / control_mean, 2);
         }
-        table.addRow({policyName(policy), harness::algoName(algo),
+        table.addRow({policyName(policy), algos::algoName(algo),
                       std::to_string(g.runs),
                       std::to_string(g.violations),
                       std::to_string(g.events), fmtFixed(mean_iters, 1),

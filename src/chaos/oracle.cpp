@@ -1,8 +1,19 @@
 #include "chaos/oracle.hpp"
 
+#include <cmath>
 #include <string>
 
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/gc.hpp"
+#include "algos/mis.hpp"
+#include "algos/mst.hpp"
+#include "algos/pr.hpp"
+#include "algos/scc.hpp"
+#include "algos/wcc.hpp"
+#include "core/logging.hpp"
 #include "refalgos/refalgos.hpp"
+#include "simt/engine.hpp"
 
 namespace eclsim::chaos {
 
@@ -18,6 +29,34 @@ invalid(std::string detail)
 }
 
 }  // namespace
+
+const char*
+equivalenceName(Equivalence equivalence)
+{
+    switch (equivalence) {
+        case Equivalence::kExact: return "exact";
+        case Equivalence::kPartition: return "partition";
+        case Equivalence::kProperty: return "property";
+        case Equivalence::kEpsilonL1: return "epsilon-l1";
+    }
+    return "?";
+}
+
+Equivalence
+equivalenceFor(algos::Algo algo)
+{
+    switch (algo) {
+        case algos::Algo::kCc:
+        case algos::Algo::kScc:
+        case algos::Algo::kWcc: return Equivalence::kPartition;
+        case algos::Algo::kGc:
+        case algos::Algo::kMis: return Equivalence::kProperty;
+        case algos::Algo::kMst:
+        case algos::Algo::kBfs: return Equivalence::kExact;
+        case algos::Algo::kPr: return Equivalence::kEpsilonL1;
+    }
+    panic("unknown algo {}", static_cast<int>(algo));
+}
 
 Verdict
 checkCc(const CsrGraph& graph, const std::vector<VertexId>& labels)
@@ -123,6 +162,135 @@ checkApsp(const CsrGraph& graph, const algos::ApspResult& result)
         }
     }
     return {};
+}
+
+Verdict
+checkPr(const CsrGraph& graph, const std::vector<float>& ranks)
+{
+    if (ranks.size() != graph.numVertices())
+        return invalid("PR rank count " + std::to_string(ranks.size()) +
+                       " != vertex count " +
+                       std::to_string(graph.numVertices()));
+    const auto reference = refalgos::pageRank(graph, algos::kPrIterations,
+                                              algos::kPrDamping);
+    double l1 = 0.0;
+    for (size_t v = 0; v < ranks.size(); ++v)
+        l1 += std::fabs(static_cast<double>(ranks[v]) - reference[v]);
+    if (!(l1 <= algos::kPrL1Epsilon))
+        return invalid("PR rank vector is L1=" + std::to_string(l1) +
+                       " from the power-iteration oracle (bound " +
+                       std::to_string(algos::kPrL1Epsilon) + ")");
+    return {};
+}
+
+Verdict
+checkBfs(const CsrGraph& graph, const std::vector<u32>& levels,
+         VertexId source)
+{
+    if (levels.size() != graph.numVertices())
+        return invalid("BFS level count " + std::to_string(levels.size()) +
+                       " != vertex count " +
+                       std::to_string(graph.numVertices()));
+    // Both sides use ~0u as the unreached sentinel, so the comparison
+    // is plain element equality.
+    static_assert(algos::kBfsUnvisited == refalgos::kBfsUnreached);
+    const auto reference = refalgos::bfsLevels(graph, source);
+    for (size_t v = 0; v < levels.size(); ++v) {
+        if (levels[v] != reference[v]) {
+            const auto show = [](u32 level) {
+                return level == algos::kBfsUnvisited
+                           ? std::string("unreached")
+                           : std::to_string(level);
+            };
+            return invalid("BFS level[" + std::to_string(v) + "] = " +
+                           show(levels[v]) + " != oracle " +
+                           show(reference[v]));
+        }
+    }
+    return {};
+}
+
+Verdict
+checkWcc(const CsrGraph& graph, const std::vector<VertexId>& labels)
+{
+    if (labels.size() != graph.numVertices())
+        return invalid("WCC label count " + std::to_string(labels.size()) +
+                       " != vertex count " +
+                       std::to_string(graph.numVertices()));
+    const auto reference = refalgos::connectedComponents(graph);
+    if (!refalgos::samePartition(labels, reference))
+        return invalid(
+            "WCC labels split the vertices into " +
+            std::to_string(refalgos::countDistinct(labels)) +
+            " components; BFS finds " +
+            std::to_string(refalgos::countDistinct(reference)));
+    return {};
+}
+
+RunOutcome
+runChecked(simt::Engine& engine, const CsrGraph& graph, algos::Algo algo,
+           algos::Variant variant, bool check_oracle)
+{
+    RunOutcome out;
+    switch (algo) {
+        case algos::Algo::kCc: {
+            auto r = algos::runCc(engine, graph, variant);
+            out.stats = r.stats;
+            if (check_oracle)
+                out.verdict = checkCc(graph, r.labels);
+            break;
+        }
+        case algos::Algo::kGc: {
+            auto r = algos::runGc(engine, graph, variant);
+            out.stats = r.stats;
+            if (check_oracle)
+                out.verdict = checkGc(graph, r.colors);
+            break;
+        }
+        case algos::Algo::kMis: {
+            auto r = algos::runMis(engine, graph, variant);
+            out.stats = r.stats;
+            if (check_oracle)
+                out.verdict = checkMis(graph, r.in_set);
+            break;
+        }
+        case algos::Algo::kMst: {
+            auto r = algos::runMst(engine, graph, variant);
+            out.stats = r.stats;
+            if (check_oracle)
+                out.verdict = checkMst(graph, r.total_weight);
+            break;
+        }
+        case algos::Algo::kScc: {
+            auto r = algos::runScc(engine, graph, variant);
+            out.stats = r.stats;
+            if (check_oracle)
+                out.verdict = checkScc(graph, r.labels);
+            break;
+        }
+        case algos::Algo::kPr: {
+            auto r = algos::runPr(engine, graph, variant);
+            out.stats = r.stats;
+            if (check_oracle)
+                out.verdict = checkPr(graph, r.ranks);
+            break;
+        }
+        case algos::Algo::kBfs: {
+            auto r = algos::runBfs(engine, graph, variant);
+            out.stats = r.stats;
+            if (check_oracle)
+                out.verdict = checkBfs(graph, r.levels);
+            break;
+        }
+        case algos::Algo::kWcc: {
+            auto r = algos::runWcc(engine, graph, variant);
+            out.stats = r.stats;
+            if (check_oracle)
+                out.verdict = checkWcc(graph, r.labels);
+            break;
+        }
+    }
+    return out;
 }
 
 }  // namespace eclsim::chaos

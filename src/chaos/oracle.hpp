@@ -11,8 +11,16 @@
  *
  * The checks match the paper's per-algorithm correctness criteria:
  * CC/SCC label partitions against BFS/Tarjan, GC proper coloring, MIS
- * independence AND maximality, MST forest weight against Kruskal, and
- * APSP distances against Floyd-Warshall.
+ * independence AND maximality, MST forest weight against Kruskal, APSP
+ * distances against Floyd-Warshall, PR rank vectors against the
+ * double-precision power iteration under an L1 bound, BFS levels
+ * exactly, and WCC partitions against BFS components.
+ *
+ * runChecked() is the one shared run-and-compare implementation: the
+ * harness --verify path, the chaos campaign, the racecheck runner, and
+ * the differential test harness all dispatch through it, so "what does
+ * correct mean for algorithm X" is declared exactly once (see
+ * equivalenceFor).
  */
 #pragma once
 
@@ -20,7 +28,12 @@
 #include <vector>
 
 #include "algos/apsp.hpp"
+#include "algos/common.hpp"
 #include "graph/csr.hpp"
+
+namespace eclsim::simt {
+class Engine;
+}
 
 namespace eclsim::chaos {
 
@@ -32,6 +45,24 @@ struct Verdict
     bool valid = true;
     std::string detail;  ///< empty when valid; reason otherwise
 };
+
+/**
+ * The equivalence under which an algorithm's simulated output is
+ * compared to its sequential oracle. Declared per algorithm, consumed
+ * by the differential harness and documented in DESIGN.md §14.
+ */
+enum class Equivalence : u8 {
+    kExact,       ///< bit-identical payload (MST weight, BFS levels, ...)
+    kPartition,   ///< same partition up to label renaming (CC, SCC, WCC)
+    kProperty,    ///< checked properties, not a unique answer (GC, MIS)
+    kEpsilonL1,   ///< within an L1-norm bound of the oracle (PR)
+};
+
+/** Printable equivalence name. */
+const char* equivalenceName(Equivalence equivalence);
+
+/** The declared output equivalence of one algorithm. */
+Equivalence equivalenceFor(algos::Algo algo);
 
 /** CC: labels must induce the same partition as BFS components. */
 Verdict checkCc(const CsrGraph& graph,
@@ -53,5 +84,34 @@ Verdict checkScc(const CsrGraph& graph,
 /** APSP: every distance must match Floyd-Warshall (the simulated code's
  *  kApspInf sentinel is mapped onto refalgos::kApspInfinity). */
 Verdict checkApsp(const CsrGraph& graph, const algos::ApspResult& result);
+
+/** PR: the rank vector must lie within kPrL1Epsilon (L1 norm) of the
+ *  double-precision power-iteration oracle. */
+Verdict checkPr(const CsrGraph& graph, const std::vector<float>& ranks);
+
+/** BFS: levels must match the queue oracle exactly. */
+Verdict checkBfs(const CsrGraph& graph, const std::vector<u32>& levels,
+                 VertexId source = 0);
+
+/** WCC: labels must induce the same partition as BFS components. */
+Verdict checkWcc(const CsrGraph& graph,
+                 const std::vector<VertexId>& labels);
+
+/** Run one algorithm variant and check its output (see file comment). */
+struct RunOutcome
+{
+    algos::RunStats stats;
+    Verdict verdict;  ///< default-valid when check_oracle was false
+};
+
+/**
+ * The shared run-and-compare entry point: run `algo`/`variant` on
+ * `engine` (MST requires a weighted graph, as everywhere) and, when
+ * check_oracle is set, compare the output to the sequential oracle
+ * under the algorithm's declared equivalence.
+ */
+RunOutcome runChecked(simt::Engine& engine, const CsrGraph& graph,
+                      algos::Algo algo, algos::Variant variant,
+                      bool check_oracle = true);
 
 }  // namespace eclsim::chaos

@@ -70,4 +70,17 @@ hash64(u64 x)
     return x ^ (x >> 31);
 }
 
+/**
+ * Deterministic per-cell seed used by every suite runner (harness
+ * sweeps, chaos campaigns, racecheck cells, the differential test
+ * harness): a SplitMix64-style mix of a base seed and the cell's stable
+ * index, so parallel and serial sweeps give every cell identical engine
+ * seeds regardless of worker or completion order.
+ */
+constexpr u64
+cellSeed(u64 base_seed, u64 cell_index)
+{
+    return hash64(base_seed + 0x9e3779b97f4a7c15ULL * (cell_index + 1));
+}
+
 }  // namespace eclsim

@@ -245,7 +245,18 @@ CsrGraph
 makeInput(const std::string& name, u32 divisor)
 {
     ECLSIM_ASSERT(divisor >= 1, "scale divisor must be >= 1");
-    return findCatalogEntry(name).make(divisor);
+    const CatalogEntry& entry = findCatalogEntry(name);
+    CsrGraph graph = entry.make(divisor);
+    // Consumers route inputs by algoNeedsDirected and trust the entry
+    // flag; a recipe building the wrong variant would silently hand a
+    // directed algorithm a mirrored graph (or SCC/PR/BFS an undirected
+    // one), so the contract is enforced on the one shared build path.
+    ECLSIM_ASSERT(graph.directed() == entry.directed,
+                  "catalog stand-in '{}' built a {} graph but the entry "
+                  "declares {}",
+                  name, graph.directed() ? "directed" : "undirected",
+                  entry.directed ? "directed" : "undirected");
+    return graph;
 }
 
 }  // namespace eclsim::graph

@@ -4,7 +4,9 @@
  * stand-in recipes.
  *
  * The paper's experiments run on 17 undirected graphs (CC, GC, MIS, MST)
- * and 10 directed graphs (SCC) downloaded from the ECL graph repository.
+ * and 10 directed graphs (SCC) downloaded from the ECL graph repository;
+ * the Graphalytics extension workloads reuse them (WCC the undirected
+ * set, PR/BFS the directed set — see algos::algoNeedsDirected).
  * Those inputs are not redistributable inside this repository, so every
  * catalog entry carries (a) the original statistics, for reproducing the
  * Table II/III listings, and (b) a generator recipe that builds a scaled
@@ -40,10 +42,10 @@ struct CatalogEntry
     std::function<CsrGraph(u32 divisor)> make;
 };
 
-/** The 17 undirected inputs of Table II (CC, GC, MIS, MST). */
+/** The 17 undirected inputs of Table II (CC, GC, MIS, MST, WCC). */
 const std::vector<CatalogEntry>& undirectedCatalog();
 
-/** The 10 directed inputs of Table III (SCC). */
+/** The 10 directed inputs of Table III (SCC, PR, BFS). */
 const std::vector<CatalogEntry>& directedCatalog();
 
 /** Find an entry by name in either catalog; fatal() if unknown. */

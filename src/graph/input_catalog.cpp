@@ -95,8 +95,10 @@ InputCatalog::evictOverCapacity(const Slot* keep)
 GraphPtr
 InputCatalog::get(const std::string& name, u32 divisor)
 {
+    // makeInput (not entry.make directly): it enforces that the built
+    // graph's directed() flag matches the catalog entry's declaration.
     return lookup(name + "@" + std::to_string(divisor),
-                  [&] { return findCatalogEntry(name).make(divisor); });
+                  [&] { return makeInput(name, divisor); });
 }
 
 GraphPtr

@@ -4,45 +4,30 @@
 #include <future>
 #include <mutex>
 
-#include "algos/cc.hpp"
-#include "algos/gc.hpp"
-#include "algos/mis.hpp"
-#include "algos/mst.hpp"
-#include "algos/scc.hpp"
+#include "chaos/oracle.hpp"
 #include "core/logging.hpp"
-#include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/thread_pool.hpp"
 #include "graph/input_catalog.hpp"
 #include "graph/properties.hpp"
 #include "prof/trace.hpp"
-#include "refalgos/refalgos.hpp"
+#include "simt/engine.hpp"
 
 namespace eclsim::harness {
-
-const char*
-algoName(Algo algo)
-{
-    switch (algo) {
-      case Algo::kCc:
-        return "CC";
-      case Algo::kGc:
-        return "GC";
-      case Algo::kMis:
-        return "MIS";
-      case Algo::kMst:
-        return "MST";
-      case Algo::kScc:
-        return "SCC";
-    }
-    return "?";
-}
 
 const std::vector<Algo>&
 undirectedAlgos()
 {
     static const std::vector<Algo> algos = {Algo::kCc, Algo::kGc,
                                             Algo::kMis, Algo::kMst};
+    return algos;
+}
+
+const std::vector<Algo>&
+graphalyticsAlgos()
+{
+    static const std::vector<Algo> algos = {Algo::kPr, Algo::kBfs,
+                                            Algo::kWcc};
     return algos;
 }
 
@@ -63,46 +48,6 @@ engineOptions(const ExperimentConfig& config, u64 seed)
     return options;
 }
 
-void
-verifyResult(const CsrGraph& graph, Algo algo, const void* result)
-{
-    using namespace refalgos;
-    switch (algo) {
-      case Algo::kCc: {
-        const auto& r = *static_cast<const algos::CcResult*>(result);
-        ECLSIM_ASSERT(samePartition(r.labels, connectedComponents(graph)),
-                      "CC labels disagree with the BFS oracle");
-        break;
-      }
-      case Algo::kGc: {
-        const auto& r = *static_cast<const algos::GcResult*>(result);
-        ECLSIM_ASSERT(isValidColoring(graph, r.colors),
-                      "GC produced an invalid coloring");
-        break;
-      }
-      case Algo::kMis: {
-        const auto& r = *static_cast<const algos::MisResult*>(result);
-        ECLSIM_ASSERT(isMaximalIndependentSet(graph, r.in_set),
-                      "MIS produced a non-maximal or dependent set");
-        break;
-      }
-      case Algo::kMst: {
-        const auto& r = *static_cast<const algos::MstResult*>(result);
-        ECLSIM_ASSERT(r.total_weight ==
-                          minimumSpanningForestWeight(graph),
-                      "MST weight disagrees with Kruskal");
-        break;
-      }
-      case Algo::kScc: {
-        const auto& r = *static_cast<const algos::SccResult*>(result);
-        ECLSIM_ASSERT(samePartition(r.labels,
-                                    stronglyConnectedComponents(graph)),
-                      "SCC labels disagree with Tarjan");
-        break;
-      }
-    }
-}
-
 }  // namespace
 
 double
@@ -113,56 +58,15 @@ runOnce(const GpuSpec& gpu, const CsrGraph& graph, Algo algo,
     simt::DeviceMemory memory;
     simt::Engine engine(gpu, memory, engineOptions(config, seed));
 
-    algos::RunStats stats;
-    switch (algo) {
-      case Algo::kCc: {
-        auto r = algos::runCc(engine, graph, variant);
-        if (config.verify)
-            verifyResult(graph, algo, &r);
-        stats = r.stats;
-        break;
-      }
-      case Algo::kGc: {
-        auto r = algos::runGc(engine, graph, variant);
-        if (config.verify)
-            verifyResult(graph, algo, &r);
-        stats = r.stats;
-        break;
-      }
-      case Algo::kMis: {
-        auto r = algos::runMis(engine, graph, variant);
-        if (config.verify)
-            verifyResult(graph, algo, &r);
-        stats = r.stats;
-        break;
-      }
-      case Algo::kMst: {
-        auto r = algos::runMst(engine, graph, variant);
-        if (config.verify)
-            verifyResult(graph, algo, &r);
-        stats = r.stats;
-        break;
-      }
-      case Algo::kScc: {
-        auto r = algos::runScc(engine, graph, variant);
-        if (config.verify)
-            verifyResult(graph, algo, &r);
-        stats = r.stats;
-        break;
-      }
-    }
+    // The shared run-and-compare switch; --verify keeps its historical
+    // panic-on-wrong-result behavior by asserting on the verdict.
+    const chaos::RunOutcome run =
+        chaos::runChecked(engine, graph, algo, variant, config.verify);
+    ECLSIM_ASSERT(run.verdict.valid, "{} oracle rejected the result: {}",
+                  algoName(algo), run.verdict.detail);
     if (stats_out)
-        *stats_out = stats;
-    return stats.ms;
-}
-
-u64
-cellSeed(u64 base_seed, u64 cell_index)
-{
-    // SplitMix64 stream: the cell index picks a position in the stream
-    // seeded by the base seed, then the avalanche finalizer decorrelates
-    // neighbouring cells.
-    return hash64(base_seed + 0x9e3779b97f4a7c15ULL * (cell_index + 1));
+        *stats_out = run.stats;
+    return run.stats.ms;
 }
 
 Measurement
@@ -354,6 +258,20 @@ runSccSuite(const GpuSpec& gpu, const ExperimentConfig& config,
     return runCells(gpu, cells, config, progress);
 }
 
+std::vector<Measurement>
+runGraphalyticsSuite(const GpuSpec& gpu, const ExperimentConfig& config,
+                     const ProgressFn& progress)
+{
+    std::vector<Cell> cells;
+    for (const auto& entry : graph::directedCatalog()) {
+        cells.push_back({&entry, Algo::kPr});
+        cells.push_back({&entry, Algo::kBfs});
+    }
+    for (const auto& entry : graph::undirectedCatalog())
+        cells.push_back({&entry, Algo::kWcc});
+    return runCells(gpu, cells, config, progress);
+}
+
 // --- tables ---------------------------------------------------------------
 
 TextTable
@@ -464,6 +382,45 @@ makeSpeedupTable(const std::vector<Measurement>& measurements)
     for (int s = 0; s < 3; ++s) {
         std::vector<std::string> row = {kSummary[s]};
         for (Algo algo : undirectedAlgos()) {
+            const auto v = speedupsOf(measurements, algo, "");
+            double value = 0.0;
+            if (!v.empty())
+                value = s == 0 ? stats::minimum(v)
+                               : (s == 1 ? stats::geomean(v)
+                                         : stats::maximum(v));
+            row.push_back(fmtFixed(value, 2));
+        }
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+TextTable
+makeGraphalyticsTable(const std::vector<Measurement>& measurements)
+{
+    TextTable table({"Input", "PR", "BFS", "WCC"});
+    std::vector<std::string> inputs;
+    for (const auto& m : measurements)
+        if (std::find(inputs.begin(), inputs.end(), m.input) == inputs.end())
+            inputs.push_back(m.input);
+
+    // Directed inputs carry PR/BFS cells, undirected ones WCC, so every
+    // row has at least one "-" column.
+    for (const auto& input : inputs) {
+        std::vector<std::string> row = {input};
+        for (Algo algo : graphalyticsAlgos()) {
+            const Measurement* m = findMeasurement(measurements, input, algo);
+            row.push_back(m ? fmtFixed(m->speedup(), 2) : "-");
+        }
+        table.addRow(std::move(row));
+    }
+
+    table.addSeparator();
+    const char* kSummary[3] = {"Min Speedup", "Geomean Speedup",
+                               "Max Speedup"};
+    for (int s = 0; s < 3; ++s) {
+        std::vector<std::string> row = {kSummary[s]};
+        for (Algo algo : graphalyticsAlgos()) {
             const auto v = speedupsOf(measurements, algo, "");
             double value = 0.0;
             if (!v.empty())

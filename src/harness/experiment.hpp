@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "algos/common.hpp"
+#include "core/rng.hpp"
 #include "core/table.hpp"
 #include "graph/catalog.hpp"
 #include "simt/gpu_spec.hpp"
@@ -35,20 +36,18 @@ using algos::Variant;
 using graph::CsrGraph;
 using simt::GpuSpec;
 
-/** The codes with racy baselines (APSP has none; paper Section IV-A). */
-enum class Algo : u8 {
-    kCc,
-    kGc,
-    kMis,
-    kMst,
-    kScc,
-};
-
-/** Printable algorithm name (the tables' column headers). */
-const char* algoName(Algo algo);
+// The algorithm vocabulary lives in algos/common.hpp (it is shared by
+// the chaos campaign and the racecheck runner, which sit below the
+// harness); re-export it under the historical harness:: names.
+using algos::Algo;
+using algos::algoName;
+using algos::algoNeedsDirected;
 
 /** The four undirected-input algorithms of Tables IV-VII. */
 const std::vector<Algo>& undirectedAlgos();
+
+/** The Graphalytics extension workloads: PR, BFS, WCC. */
+const std::vector<Algo>& graphalyticsAlgos();
 
 /** Experiment knobs. */
 struct ExperimentConfig
@@ -136,12 +135,10 @@ struct Measurement
     }
 };
 
-/**
- * Deterministic per-cell seed: a SplitMix64-style mix of the config's
- * base seed and the cell's stable index in its suite, so parallel and
- * serial sweeps give every cell identical engine seeds.
- */
-u64 cellSeed(u64 base_seed, u64 cell_index);
+// Deterministic per-cell seeding now lives in core/rng.hpp (the chaos
+// campaign and differential harness share it); harness::cellSeed remains
+// valid for existing callers.
+using eclsim::cellSeed;
 
 /** Run one algorithm variant once on a fresh engine; returns simulated
  *  milliseconds (and validates the result if verify is set). */
@@ -184,6 +181,16 @@ std::vector<Measurement> runSccSuite(const GpuSpec& gpu,
                                      const ExperimentConfig& config,
                                      const ProgressFn& progress = {});
 
+/**
+ * The Graphalytics extension sweep: PR and BFS on the 10 directed
+ * inputs, WCC on the 17 undirected inputs (same parallel/deterministic
+ * contract as runUndirectedSuite). A separate suite — the paper-table
+ * suites above stay byte-identical to their committed CSVs.
+ */
+std::vector<Measurement> runGraphalyticsSuite(
+    const GpuSpec& gpu, const ExperimentConfig& config,
+    const ProgressFn& progress = {});
+
 // --- table renderers ------------------------------------------------------
 
 /** Table I: GPU specifications and compilation parameters. */
@@ -199,6 +206,11 @@ TextTable makeSpeedupTable(const std::vector<Measurement>& measurements);
 
 /** Table VIII: SCC speedups, one column per GPU. */
 TextTable makeSccTable(const std::vector<Measurement>& measurements);
+
+/** Graphalytics speedups: per-input rows, columns PR BFS WCC ("-"
+ *  where an algorithm does not run on that input's direction). */
+TextTable makeGraphalyticsTable(
+    const std::vector<Measurement>& measurements);
 
 /** Table IX: Pearson correlations between edge count / vertex count /
  *  average degree and the speedups, per GPU per algorithm. */

@@ -80,6 +80,22 @@ paperRaceSites()
          "write-once publication; stale readers retry"},
         {Algo::kScc, "scc.repeat", "repeat flag",
          "idempotent same-value write"},
+        // Graphalytics extension workloads (not in the paper's Section
+        // IV; racy baselines in the same styles the paper studies, so
+        // the gate holds them to the same reproduce-and-explain bar).
+        {Algo::kPr, "pr.pushed", "pushed[] rank accumulators",
+         "plain float read-modify-write loses concurrent contributions; "
+         "harmful but tolerated while the L1 error bound holds"},
+        {Algo::kBfs, "bfs.dist", "dist[] frontier levels",
+         "duplicate frontier claims store the same level; monotonic "
+         "drop from the unvisited sentinel"},
+        {Algo::kBfs, "bfs.again", "again flag",
+         "idempotent same-value write"},
+        {Algo::kWcc, "wcc.label", "label[] component minima",
+         "monotonic min propagation; stale-read regressions re-lowered "
+         "before the fixpoint exit"},
+        {Algo::kWcc, "wcc.again", "again flag",
+         "idempotent same-value write"},
     };
     return sites;
 }

@@ -14,6 +14,8 @@ raceClassName(RaceClass cls)
         return "stale-read-tolerant";
       case RaceClass::kWordTearing:
         return "word-tearing";
+      case RaceClass::kHarmfulTolerated:
+        return "harmful-tolerated";
       case RaceClass::kUnknownHarmful:
         return "UNKNOWN/HARMFUL";
     }
@@ -23,7 +25,11 @@ raceClassName(RaceClass cls)
 bool
 classIsBenign(RaceClass cls)
 {
-    return cls != RaceClass::kUnknownHarmful;
+    // harmful-tolerated is deliberately not benign: it corrupts values
+    // and is only acceptable when the cell's oracle bound holds — that
+    // check belongs to the gate, not to the taxonomy.
+    return cls != RaceClass::kUnknownHarmful &&
+           cls != RaceClass::kHarmfulTolerated;
 }
 
 namespace {
@@ -41,10 +47,12 @@ severity(RaceClass cls)
         return 2;
       case RaceClass::kWordTearing:
         return 3;
-      case RaceClass::kUnknownHarmful:
+      case RaceClass::kHarmfulTolerated:
         return 4;
+      case RaceClass::kUnknownHarmful:
+        return 5;
     }
-    return 4;
+    return 5;
 }
 
 struct SideClass
@@ -73,10 +81,14 @@ classifySide(SiteId site, const AccessSig& sig, const Detector& detector)
 
     if (!is_write) {
         // A read makes no claim about the written values; only an
-        // explicit staleness declaration gives it a category of its own.
+        // explicit staleness or bounded-error declaration gives it a
+        // category of its own.
         if (expect == Expectation::kStaleTolerant) {
             out.cls = RaceClass::kStaleReadTolerant;
             out.reason = "read declared stale-tolerant";
+        } else if (expect == Expectation::kBoundedError) {
+            out.cls = RaceClass::kHarmfulTolerated;
+            out.reason = "read feeds a bounded-error accumulation";
         } else {
             out.neutral = true;
         }
@@ -114,6 +126,14 @@ classifySide(SiteId site, const AccessSig& sig, const Detector& detector)
         // a stale annotation; refuse to bless it.
         out.cls = RaceClass::kUnknownHarmful;
         out.reason = "declared tearing but access cannot tear";
+        return out;
+      case Expectation::kBoundedError:
+        // Lost updates are expected and genuinely corrupt the value;
+        // there is no trace shape to validate. The claim is instead
+        // checked end-to-end: the gate only accepts harmful-tolerated
+        // races from cells whose oracle epsilon bound held.
+        out.cls = RaceClass::kHarmfulTolerated;
+        out.reason = "declared bounded-error accumulation";
         return out;
       case Expectation::kNone:
         break;

@@ -39,6 +39,15 @@ enum class RaceClass : u8 {
     kMonotonicUpdate,    ///< value moves one way; losers re-converge
     kStaleReadTolerant,  ///< stale reads only delay convergence
     kWordTearing,        ///< non-atomic 64-bit access may tear (Fig. 1)
+    /**
+     * Declared bounded-error (Expectation::kBoundedError): the race
+     * corrupts values — lost updates are real, not benign — but the
+     * algorithm tolerates the corruption up to an epsilon bound checked
+     * against the sequential oracle. NOT benign: the gate accepts a
+     * harmful-tolerated race only when the owning cell's output check
+     * passed.
+     */
+    kHarmfulTolerated,
     kUnknownHarmful,     ///< unexplained or invalidated — fails the gate
 };
 

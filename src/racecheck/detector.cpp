@@ -70,6 +70,9 @@ accessSigName(const AccessSig& sig)
           case simt::RmwOp::kCas:
             out += "cas";
             break;
+          case simt::RmwOp::kAddF:
+            out += "addf";
+            break;
         }
         out += ")";
         break;

@@ -16,6 +16,8 @@ expectationName(Expectation expect)
         return "stale-tolerant";
       case Expectation::kTearing:
         return "tearing";
+      case Expectation::kBoundedError:
+        return "bounded-error";
     }
     return "?";
 }

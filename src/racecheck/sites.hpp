@@ -48,6 +48,14 @@ enum class Expectation : u8 {
     kMonotonic,      ///< value moves in one direction; losers re-converge
     kStaleTolerant,  ///< stale reads only delay convergence
     kTearing,        ///< known word-tearing hazard (paper Fig. 1)
+    /**
+     * The race genuinely corrupts values (lost floating-point updates in
+     * PageRank's push accumulation), but the algorithm tolerates a
+     * bounded output error. Classified harmful-tolerated; the gate
+     * accepts it only when the cell's oracle check — an epsilon-norm
+     * comparison, not bit equality — still passes.
+     */
+    kBoundedError,
 };
 
 /** Printable expectation name. */

@@ -310,4 +310,57 @@ allPairsShortestPaths(const CsrGraph& graph)
     return dist;
 }
 
+std::vector<double>
+pageRank(const CsrGraph& graph, u32 iterations, double damping)
+{
+    const VertexId n = graph.numVertices();
+    if (n == 0)
+        return {};
+    const double base = (1.0 - damping) / static_cast<double>(n);
+    std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+    std::vector<double> pushed(n, 0.0);
+    for (u32 iter = 0; iter < iterations; ++iter) {
+        std::fill(pushed.begin(), pushed.end(), 0.0);
+        double dangling = 0.0;
+        for (VertexId v = 0; v < n; ++v) {
+            const EdgeId degree = graph.rowEnd(v) - graph.rowBegin(v);
+            if (degree == 0) {
+                dangling += rank[v];
+                continue;
+            }
+            const double contribution =
+                rank[v] / static_cast<double>(degree);
+            for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e)
+                pushed[graph.arcTarget(e)] += contribution;
+        }
+        const double dangling_share = dangling / static_cast<double>(n);
+        for (VertexId v = 0; v < n; ++v)
+            rank[v] = base + damping * (pushed[v] + dangling_share);
+    }
+    return rank;
+}
+
+std::vector<u32>
+bfsLevels(const CsrGraph& graph, VertexId source)
+{
+    const VertexId n = graph.numVertices();
+    std::vector<u32> level(n, kBfsUnreached);
+    if (source >= n)
+        return level;
+    level[source] = 0;
+    std::deque<VertexId> queue{source};
+    while (!queue.empty()) {
+        const VertexId v = queue.front();
+        queue.pop_front();
+        for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+            const VertexId t = graph.arcTarget(e);
+            if (level[t] == kBfsUnreached) {
+                level[t] = level[v] + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    return level;
+}
+
 }  // namespace eclsim::refalgos

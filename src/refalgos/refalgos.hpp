@@ -11,6 +11,10 @@
  *  - minimum spanning tree/forest: Kruskal total weight
  *  - strongly connected components: iterative Tarjan
  *  - all-pairs shortest paths: plain Floyd-Warshall
+ *  - PageRank: dense power iteration in double precision
+ *  - BFS: queue-based level assignment
+ *  (WCC reuses connectedComponents: on the undirected stand-ins, weak
+ *  connectivity and connectivity coincide.)
  */
 #pragma once
 
@@ -75,5 +79,26 @@ constexpr i64 kApspInfinity = (i64{1} << 60);
  * Unreachable pairs hold kApspInfinity; the diagonal holds 0.
  */
 std::vector<i64> allPairsShortestPaths(const CsrGraph& graph);
+
+/**
+ * PageRank by a fixed number of power-iteration sweeps in double
+ * precision, the reference the simulated float kernels are compared to
+ * under an L1-norm bound. Matches the kernel's scheme exactly: ranks
+ * start at 1/n; each sweep pushes rank[v]/outdeg(v) along every arc,
+ * pools the rank of dangling (outdeg 0) vertices, and applies
+ *   rank[v] = (1-damping)/n + damping*(pushed[v] + dangling/n).
+ */
+std::vector<double> pageRank(const CsrGraph& graph, u32 iterations,
+                             double damping);
+
+/** Level marker in bfsLevels results for unreached vertices. */
+constexpr u32 kBfsUnreached = ~u32{0};
+
+/**
+ * Breadth-first levels from `source`: level[source] = 0, every other
+ * reached vertex holds its hop distance, unreached vertices hold
+ * kBfsUnreached.
+ */
+std::vector<u32> bfsLevels(const CsrGraph& graph, VertexId source);
 
 }  // namespace eclsim::refalgos

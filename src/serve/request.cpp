@@ -40,6 +40,12 @@ parseAlgo(const std::string& name)
         return harness::Algo::kMst;
     if (n == "scc")
         return harness::Algo::kScc;
+    if (n == "pr" || n == "pagerank")
+        return harness::Algo::kPr;
+    if (n == "bfs")
+        return harness::Algo::kBfs;
+    if (n == "wcc")
+        return harness::Algo::kWcc;
     return std::nullopt;
 }
 
@@ -176,7 +182,8 @@ parseRequest(const std::string& line, std::string* error)
     }
     const auto algo = parseAlgo(object->getString("algo", ""));
     if (!algo) {
-        *error = "missing or unknown 'algo' (cc, gc, mis, mst, scc)";
+        *error = "missing or unknown 'algo' (cc, gc, mis, mst, scc, pr, "
+                 "bfs, wcc)";
         return std::nullopt;
     }
     request.algo = *algo;
@@ -210,12 +217,12 @@ parseRequest(const std::string& line, std::string* error)
         *error = "unknown graph '" + request.graph + "'";
         return std::nullopt;
     }
-    const bool needs_directed = request.algo == harness::Algo::kScc;
+    const bool needs_directed =
+        harness::algoNeedsDirected(request.algo);
     if (input->directed != needs_directed) {
-        *error = needs_directed
-                     ? "scc needs a directed input (table 3)"
-                     : std::string(harness::algoName(request.algo)) +
-                           " needs an undirected input (table 2)";
+        *error = std::string(harness::algoName(request.algo)) +
+                 (needs_directed ? " needs a directed input (table 3)"
+                                 : " needs an undirected input (table 2)");
         return std::nullopt;
     }
     return request;

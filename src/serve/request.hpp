@@ -7,8 +7,8 @@
  * measurement. Parsing NORMALIZES the request: defaults are filled in,
  * algorithm and GPU names are canonicalized (case/spacing-insensitive
  * aliases map onto one spelling), and the algorithm/graph pairing is
- * validated against the catalog (SCC needs a directed input, everything
- * else an undirected one).
+ * validated against the catalog (SCC/PR/BFS need a directed input,
+ * everything else an undirected one — harness::algoNeedsDirected).
  *
  * RequestKey is a stable digest of the normalized request. Two request
  * lines that differ only in field order, formatting, default omission,

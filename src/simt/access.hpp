@@ -64,12 +64,13 @@ enum class Scope : u8 {
 /** Read-modify-write operator. */
 enum class RmwOp : u8 {
     kAdd,
-    kMin,  ///< unsigned comparison
-    kMax,  ///< unsigned comparison
+    kMin,   ///< unsigned comparison
+    kMax,   ///< unsigned comparison
     kAnd,
     kOr,
     kExch,
     kCas,
+    kAddF,  ///< IEEE-754 single-precision add (atomicAdd(float*))
 };
 
 /** One device memory request as issued by a kernel thread. */

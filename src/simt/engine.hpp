@@ -25,6 +25,7 @@
  */
 #pragma once
 
+#include <bit>
 #include <functional>
 #include <memory>
 #include <new>
@@ -148,18 +149,30 @@ template <typename T>
 constexpr u64
 toBits(T value)
 {
-    static_assert(std::is_integral_v<T> && sizeof(T) <= 8);
-    using U = std::make_unsigned_t<T>;
-    return static_cast<u64>(static_cast<U>(value));
+    static_assert((std::is_integral_v<T> || std::is_same_v<T, float>) &&
+                  sizeof(T) <= 8);
+    if constexpr (std::is_same_v<T, float>) {
+        // Floats travel through the memory system as their IEEE-754 bit
+        // pattern, zero-extended — exactly a 32-bit register on the GPU.
+        return static_cast<u64>(std::bit_cast<u32>(value));
+    } else {
+        using U = std::make_unsigned_t<T>;
+        return static_cast<u64>(static_cast<U>(value));
+    }
 }
 
 template <typename T>
 constexpr T
 fromBits(u64 bits)
 {
-    static_assert(std::is_integral_v<T> && sizeof(T) <= 8);
-    using U = std::make_unsigned_t<T>;
-    return static_cast<T>(static_cast<U>(bits));
+    static_assert((std::is_integral_v<T> || std::is_same_v<T, float>) &&
+                  sizeof(T) <= 8);
+    if constexpr (std::is_same_v<T, float>) {
+        return std::bit_cast<float>(static_cast<u32>(bits));
+    } else {
+        using U = std::make_unsigned_t<T>;
+        return static_cast<T>(static_cast<U>(bits));
+    }
 }
 
 }  // namespace detail
@@ -604,7 +617,11 @@ auto
 ThreadCtx::atomicAdd(DevicePtr<T> ptr, u64 index, T operand,
                      MemoryOrder order, Scope scope)
 {
-    auto req = detail::rmwRequest(ptr, index, RmwOp::kAdd, operand, order,
+    // Float addition is not a bit-pattern add: route it through its own
+    // RMW operator (CUDA's atomicAdd(float*) analogue).
+    constexpr RmwOp op =
+        std::is_same_v<T, float> ? RmwOp::kAddF : RmwOp::kAdd;
+    auto req = detail::rmwRequest(ptr, index, op, operand, order,
                                   scope);
     req.site = takeSite();
     return LoadAwaiter<T>(this, req);

@@ -353,6 +353,11 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
                 if (old_bits == (req.compare & mask))
                     new_bits = req.value & mask;
                 break;
+              case RmwOp::kAddF:
+                new_bits = static_cast<u64>(std::bit_cast<u32>(
+                    std::bit_cast<float>(static_cast<u32>(old_bits)) +
+                    std::bit_cast<float>(static_cast<u32>(req.value))));
+                break;
             }
             if (new_bits != old_bits &&
                 perturb_ && perturb_->dropAtomicUpdate(who, req)) {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 #include "prof/counters.hpp"
@@ -386,6 +387,11 @@ MemorySubsystem::performFast(const ThreadInfo& who, u32 sm,
           case RmwOp::kCas:
             if (old_bits == (req.compare & mask))
                 new_bits = req.value & mask;
+            break;
+          case RmwOp::kAddF:
+            new_bits = static_cast<u64>(std::bit_cast<u32>(
+                std::bit_cast<float>(static_cast<u32>(old_bits)) +
+                std::bit_cast<float>(static_cast<u32>(req.value))));
             break;
         }
         if (new_bits != old_bits) {

@@ -7,6 +7,7 @@
 
 #include "algo_test_util.hpp"
 #include "algos/cc.hpp"
+#include "differential_harness.hpp"
 #include "refalgos/refalgos.hpp"
 
 namespace eclsim::algos {
@@ -33,13 +34,9 @@ TEST_P(CcTest, MatchesBfsOracle)
     const auto graph = smallUndirected(param.kind);
     simt::DeviceMemory memory;
     auto engine = makeEngine(memory, param.mode);
-
-    const auto result = runCc(*engine, graph, param.variant);
-    const auto oracle = refalgos::connectedComponents(graph);
-    EXPECT_TRUE(refalgos::samePartition(result.labels, oracle))
-        << param.kind << " " << variantName(param.variant);
-    EXPECT_EQ(refalgos::countDistinct(result.labels),
-              refalgos::countDistinct(oracle));
+    // Shared differential harness: partition equality vs the BFS oracle
+    // (the same check the chaos campaign and racecheck gate apply).
+    test::expectOracleValid(*engine, graph, Algo::kCc, param.variant);
 }
 
 std::vector<CcCase>

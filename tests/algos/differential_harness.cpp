@@ -1,0 +1,255 @@
+#include "differential_harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+
+#include "algo_test_util.hpp"
+#include "algos/apsp.hpp"
+#include "core/rng.hpp"
+#include "core/table.hpp"
+#include "core/thread_pool.hpp"
+#include "graph/generators.hpp"
+
+namespace eclsim::test {
+
+namespace {
+
+/** Small weighted directed graphs for APSP; the O(n^3) kernels cap the
+ *  vertex count well below the other suites' topologies. */
+graph::CsrGraph
+apspGraph(const std::string& kind)
+{
+    using namespace graph;
+    if (kind == "sparse") {
+        RmatParams params;
+        params.directed = true;
+        return withSyntheticWeights(makeRmat(6, 200, params, 61), 20, 62);
+    }
+    if (kind == "dense") {
+        RmatParams params;
+        params.directed = true;
+        return withSyntheticWeights(makeRmat(6, 700, params, 63), 20, 64);
+    }
+    // "ring": a directed mesh — every pair reachable.
+    return withSyntheticWeights(makeDirectedMesh(64, 0.4, false, 65), 20,
+                                66);
+}
+
+const char* const kApspKinds[] = {"sparse", "dense", "ring"};
+
+/** The representative topology subset the differential suite sweeps
+ *  (breadth stays in the per-algo suites). */
+const char* const kDiffUndirectedKinds[] = {"grid", "rmat", "pref",
+                                            "road"};
+
+std::string
+modeTag(simt::ExecMode mode)
+{
+    return mode == simt::ExecMode::kFast ? "fast" : "ilv";
+}
+
+}  // namespace
+
+std::string
+diffCellName(const DiffCell& cell)
+{
+    if (cell.apsp)
+        return "apsp/" + cell.kind + "/" + modeTag(cell.mode);
+    return std::string(algos::algoName(cell.algo)) + "/" +
+           algos::variantName(cell.variant) + "/" + cell.kind + "/" +
+           modeTag(cell.mode);
+}
+
+graph::CsrGraph
+diffGraph(const DiffCell& cell)
+{
+    if (cell.apsp)
+        return apspGraph(cell.kind);
+    if (cell.algo == algos::Algo::kMst)
+        return graph::withSyntheticWeights(smallUndirected(cell.kind),
+                                           100, 0xabc);
+    return algos::algoNeedsDirected(cell.algo)
+               ? smallDirected(cell.kind)
+               : smallUndirected(cell.kind);
+}
+
+std::vector<DiffCell>
+diffCells(algos::Algo algo)
+{
+    std::vector<DiffCell> cells;
+    std::vector<std::string> kinds;
+    if (algos::algoNeedsDirected(algo))
+        kinds.assign(std::begin(kDirectedKinds), std::end(kDirectedKinds));
+    else
+        kinds.assign(std::begin(kDiffUndirectedKinds),
+                     std::end(kDiffUndirectedKinds));
+    for (const std::string& kind : kinds)
+        for (algos::Variant variant :
+             {algos::Variant::kBaseline, algos::Variant::kRaceFree})
+            for (simt::ExecMode mode : {simt::ExecMode::kFast,
+                                        simt::ExecMode::kInterleaved}) {
+                // See diffCells doc: PR baseline under the adversarial
+                // interleaver sits outside any useful L1 bound.
+                if (algo == algos::Algo::kPr &&
+                    variant == algos::Variant::kBaseline &&
+                    mode == simt::ExecMode::kInterleaved)
+                    continue;
+                DiffCell cell;
+                cell.algo = algo;
+                cell.variant = variant;
+                cell.kind = kind;
+                cell.mode = mode;
+                cells.push_back(cell);
+            }
+    return cells;
+}
+
+std::vector<DiffCell>
+diffCellsApsp()
+{
+    std::vector<DiffCell> cells;
+    for (const char* kind : kApspKinds)
+        for (simt::ExecMode mode :
+             {simt::ExecMode::kFast, simt::ExecMode::kInterleaved}) {
+            DiffCell cell;
+            cell.apsp = true;
+            cell.kind = kind;
+            cell.mode = mode;
+            cells.push_back(cell);
+        }
+    return cells;
+}
+
+std::vector<DiffCell>
+allDiffCells()
+{
+    std::vector<DiffCell> cells;
+    for (algos::Algo algo :
+         {algos::Algo::kCc, algos::Algo::kGc, algos::Algo::kMis,
+          algos::Algo::kMst, algos::Algo::kScc, algos::Algo::kPr,
+          algos::Algo::kBfs, algos::Algo::kWcc}) {
+        const auto algo_cells = diffCells(algo);
+        cells.insert(cells.end(), algo_cells.begin(), algo_cells.end());
+    }
+    const auto apsp = diffCellsApsp();
+    cells.insert(cells.end(), apsp.begin(), apsp.end());
+    return cells;
+}
+
+DiffResult
+runDiffCell(const DiffCell& cell, u64 seed)
+{
+    DiffResult out;
+    out.cell = cell;
+    const auto graph = diffGraph(cell);
+
+    simt::EngineOptions options;
+    options.mode = cell.mode;
+    options.seed = seed;
+    simt::DeviceMemory memory;
+    simt::Engine engine(simt::titanV(), memory, options);
+
+    if (cell.apsp) {
+        const auto r = algos::runApsp(engine, graph);
+        out.stats = r.stats;
+        out.verdict = chaos::checkApsp(graph, r);
+        return out;
+    }
+    const chaos::RunOutcome run =
+        chaos::runChecked(engine, graph, cell.algo, cell.variant);
+    out.stats = run.stats;
+    out.verdict = run.verdict;
+    return out;
+}
+
+std::vector<DiffResult>
+runDiffCells(const std::vector<DiffCell>& cells, u64 base_seed, u32 jobs,
+             const DiffRunnerFn& runner)
+{
+    const DiffRunnerFn run = runner ? runner : runDiffCell;
+    std::vector<DiffResult> out(cells.size());
+    if (jobs <= 1 || cells.size() <= 1) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            out[i] = run(cells[i], cellSeed(base_seed, i));
+        return out;
+    }
+    core::ThreadPool pool(
+        static_cast<u32>(std::min<size_t>(jobs, cells.size())));
+    std::vector<std::future<void>> done;
+    done.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i)
+        done.push_back(pool.submit(
+            [&, i] { out[i] = run(cells[i], cellSeed(base_seed, i)); }));
+    for (auto& future : done)
+        future.get();
+    return out;
+}
+
+std::string
+measurementCsv(const std::vector<DiffResult>& results)
+{
+    TextTable table({"Cell", "ms", "Cycles", "Launches", "Iterations",
+                     "Loads", "Stores", "Rmws", "Atomics", "DramBytes"});
+    for (const DiffResult& r : results) {
+        char ms[32];
+        std::snprintf(ms, sizeof(ms), "%.6f", r.stats.ms);
+        table.addRow({diffCellName(r.cell), ms,
+                      std::to_string(r.stats.cycles),
+                      std::to_string(r.stats.launches),
+                      std::to_string(r.stats.iterations),
+                      std::to_string(r.stats.mem.loads),
+                      std::to_string(r.stats.mem.stores),
+                      std::to_string(r.stats.mem.rmws),
+                      std::to_string(r.stats.mem.atomic_accesses),
+                      std::to_string(r.stats.mem.dram_bytes)});
+    }
+    return table.toCsv();
+}
+
+DiffSummary
+checkDifferential(const std::vector<DiffCell>& cells, u64 base_seed,
+                  const DiffRunnerFn& runner)
+{
+    DiffSummary summary;
+    const auto serial = runDiffCells(cells, base_seed, 1, runner);
+    for (const DiffResult& r : serial) {
+        if (!r.verdict.valid)
+            summary.failures.push_back(diffCellName(r.cell) + ": " +
+                                       r.verdict.detail);
+    }
+    summary.csv = measurementCsv(serial);
+    const auto parallel = runDiffCells(cells, base_seed, 8, runner);
+    summary.parallel_csv = measurementCsv(parallel);
+    summary.deterministic = summary.csv == summary.parallel_csv;
+    return summary;
+}
+
+void
+expectDifferentialProperty(const std::vector<DiffCell>& cells,
+                           u64 base_seed)
+{
+    const DiffSummary summary = checkDifferential(cells, base_seed);
+    for (const std::string& failure : summary.failures)
+        ADD_FAILURE() << "oracle rejection: " << failure;
+    EXPECT_TRUE(summary.deterministic)
+        << "jobs=1 and jobs=8 measurement CSVs differ:\n--- jobs=1\n"
+        << summary.csv << "--- jobs=8\n"
+        << summary.parallel_csv;
+}
+
+void
+expectOracleValid(simt::Engine& engine, const graph::CsrGraph& graph,
+                  algos::Algo algo, algos::Variant variant)
+{
+    const chaos::RunOutcome run =
+        chaos::runChecked(engine, graph, algo, variant);
+    EXPECT_TRUE(run.verdict.valid)
+        << algos::algoName(algo) << "/" << algos::variantName(variant)
+        << " rejected under "
+        << chaos::equivalenceName(chaos::equivalenceFor(algo)) << ": "
+        << run.verdict.detail;
+}
+
+}  // namespace eclsim::test

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Property-based differential test harness shared by every algorithm
+ * suite (the eight Algo values plus APSP).
+ *
+ * One differential cell is (algorithm, variant, topology kind, engine
+ * mode). The harness runs each cell through chaos::runChecked — the
+ * same run+verdict switch the campaign, the racecheck runner, and the
+ * harness --verify path use — and judges the output under the
+ * algorithm's *declared* equivalence (chaos::equivalenceFor):
+ *
+ *   kExact      bit-exact against the sequential oracle (MST, BFS)
+ *   kPartition  same partition, any representatives (CC, SCC, WCC)
+ *   kProperty   structural validity (GC proper, MIS independent+maximal)
+ *   kEpsilonL1  within an L1 error bound of the oracle (PageRank)
+ *
+ * On top of per-cell validity the harness asserts the repo's PR-2
+ * determinism contract as a differential property: the same cell set
+ * run at jobs=1 and jobs=8 must render byte-identical measurement CSVs
+ * (cell i always seeds from cellSeed(base, i) and lands at index i, so
+ * the thread schedule must not leak into any measurement).
+ *
+ * The checking core (checkDifferential) is assertion-free and takes an
+ * injectable cell runner, so the negative tests can plant wrong labels,
+ * off-by-epsilon rank vectors, and worker-index-dependent measurements
+ * and watch the harness catch them — a harness is only as trustworthy
+ * as its failure detection.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algos/common.hpp"
+#include "chaos/oracle.hpp"
+#include "graph/csr.hpp"
+#include "simt/engine.hpp"
+
+namespace eclsim::test {
+
+/** Identity of one differential cell. */
+struct DiffCell
+{
+    bool apsp = false;  ///< APSP (single variant, race free by construction)
+    algos::Algo algo = algos::Algo::kCc;
+    algos::Variant variant = algos::Variant::kBaseline;
+    std::string kind;  ///< topology kind (see diffGraph)
+    simt::ExecMode mode = simt::ExecMode::kFast;
+};
+
+/** Printable subject: "CC/baseline/grid/fast", "apsp/ring/ilv". */
+std::string diffCellName(const DiffCell& cell);
+
+/** The test graph a cell runs on: smallUndirected / smallDirected by
+ *  algoNeedsDirected (weighted for MST), small weighted directed
+ *  graphs for APSP. */
+graph::CsrGraph diffGraph(const DiffCell& cell);
+
+/**
+ * The cell set for one algorithm: a representative topology subset x
+ * variants x engine modes (topology *breadth* stays in the per-algo
+ * suites; this suite checks the cross-cutting property). PageRank's
+ * baseline is exempt from kInterleaved: the adversarial scheduler
+ * loses nearly every racy float accumulation, far past any useful L1
+ * bound — the bounded-error claim is about the production fast path,
+ * the same reasoning as the racecheck runner's fast-path control run.
+ */
+std::vector<DiffCell> diffCells(algos::Algo algo);
+
+/** APSP cells: topology kinds x engine modes. */
+std::vector<DiffCell> diffCellsApsp();
+
+/** Every algorithm's cells concatenated (8 Algo values + APSP). */
+std::vector<DiffCell> allDiffCells();
+
+/** Result of one cell. */
+struct DiffResult
+{
+    DiffCell cell;
+    chaos::Verdict verdict;  ///< under the declared equivalence
+    algos::RunStats stats;   ///< the measurement the CSV renders
+};
+
+/** Run one cell with an explicit engine seed. */
+DiffResult runDiffCell(const DiffCell& cell, u64 seed);
+
+/** Injectable cell runner (negative tests plant misbehaving ones). */
+using DiffRunnerFn = std::function<DiffResult(const DiffCell&, u64)>;
+
+/** Run cells over `jobs` pool workers. Cell i seeds from
+ *  cellSeed(base_seed, i) and is placed at index i, so the result
+ *  vector is independent of the job count (PR-2 contract). */
+std::vector<DiffResult> runDiffCells(const std::vector<DiffCell>& cells,
+                                     u64 base_seed, u32 jobs,
+                                     const DiffRunnerFn& runner = {});
+
+/** Fixed-format per-cell measurement table (ms, cycles, launches,
+ *  iterations, memory counters) rendered as CSV. */
+std::string measurementCsv(const std::vector<DiffResult>& results);
+
+/** Outcome of one differential check (assertion-free core). */
+struct DiffSummary
+{
+    /** One entry per oracle-rejected cell: "cell: reason". */
+    std::vector<std::string> failures;
+    /** jobs=1 and jobs=8 measurement CSVs byte-identical. */
+    bool deterministic = true;
+    std::string csv;           ///< jobs=1 measurement CSV
+    std::string parallel_csv;  ///< jobs=8 measurement CSV
+
+    bool pass() const { return failures.empty() && deterministic; }
+};
+
+/** Run the cell set at jobs=1 (validity) and jobs=8 (determinism). */
+DiffSummary checkDifferential(const std::vector<DiffCell>& cells,
+                              u64 base_seed,
+                              const DiffRunnerFn& runner = {});
+
+/** checkDifferential + gtest assertions on both properties. */
+void expectDifferentialProperty(const std::vector<DiffCell>& cells,
+                                u64 base_seed = 99);
+
+/** One-shot oracle check for the per-algorithm suites: run the
+ *  algorithm on the given engine and assert the output is valid under
+ *  its declared equivalence (replaces the suites' hand-rolled oracle
+ *  comparisons with the shared chaos::runChecked implementation). */
+void expectOracleValid(simt::Engine& engine, const graph::CsrGraph& graph,
+                       algos::Algo algo, algos::Variant variant);
+
+}  // namespace eclsim::test

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The differential suite: every algorithm (the eight Algo values plus
+ * APSP) swept over (variant x topology x engine mode) cells, each
+ * checked against its sequential oracle under the algorithm's declared
+ * equivalence, with the jobs=1 and jobs=8 measurement CSVs compared
+ * byte for byte (the PR-2 determinism contract as a differential
+ * property).
+ *
+ * The negative half plants defects — a wrong WCC label, an
+ * off-by-epsilon PageRank vector, a worker-index-dependent measurement
+ * — and asserts the harness catches each one: a harness that cannot
+ * fail proves nothing.
+ */
+#include <gtest/gtest.h>
+
+#include "differential_harness.hpp"
+
+#include "algo_test_util.hpp"
+#include "algos/pr.hpp"
+#include "core/thread_pool.hpp"
+#include "refalgos/refalgos.hpp"
+
+namespace eclsim::test {
+namespace {
+
+using algos::Algo;
+
+// --- cell enumeration -----------------------------------------------------
+
+TEST(DifferentialCells, StableNamesAndCounts)
+{
+    // 4 kinds x 2 variants x 2 modes for the undirected codes...
+    EXPECT_EQ(diffCells(Algo::kCc).size(), 16u);
+    EXPECT_EQ(diffCells(Algo::kWcc).size(), 16u);
+    // ...and for the directed ones (4 directed kinds)...
+    EXPECT_EQ(diffCells(Algo::kScc).size(), 16u);
+    EXPECT_EQ(diffCells(Algo::kBfs).size(), 16u);
+    // ...except PageRank, whose baseline skips the interleaved mode
+    // (see diffCells doc).
+    EXPECT_EQ(diffCells(Algo::kPr).size(), 12u);
+    EXPECT_EQ(diffCellsApsp().size(), 6u);
+    // 6 algos x 16 + PR's 12 + APSP's 6.
+    EXPECT_EQ(allDiffCells().size(), 6u * 16u + 16u + 12u + 6u);
+
+    const auto cc = diffCells(Algo::kCc);
+    EXPECT_EQ(diffCellName(cc.front()), "CC/baseline/grid/fast");
+    EXPECT_EQ(diffCellName(diffCellsApsp().front()), "apsp/sparse/fast");
+}
+
+TEST(DifferentialCells, PrBaselineNeverRunsInterleaved)
+{
+    for (const DiffCell& cell : diffCells(Algo::kPr))
+        if (cell.variant == algos::Variant::kBaseline)
+            EXPECT_EQ(cell.mode, simt::ExecMode::kFast)
+                << diffCellName(cell);
+}
+
+// --- the property, per algorithm ------------------------------------------
+
+TEST(Differential, Cc) { expectDifferentialProperty(diffCells(Algo::kCc)); }
+TEST(Differential, Gc) { expectDifferentialProperty(diffCells(Algo::kGc)); }
+TEST(Differential, Mis)
+{
+    expectDifferentialProperty(diffCells(Algo::kMis));
+}
+TEST(Differential, Mst)
+{
+    expectDifferentialProperty(diffCells(Algo::kMst));
+}
+TEST(Differential, Scc)
+{
+    expectDifferentialProperty(diffCells(Algo::kScc));
+}
+TEST(Differential, Pr) { expectDifferentialProperty(diffCells(Algo::kPr)); }
+TEST(Differential, Bfs)
+{
+    expectDifferentialProperty(diffCells(Algo::kBfs));
+}
+TEST(Differential, Wcc)
+{
+    expectDifferentialProperty(diffCells(Algo::kWcc));
+}
+TEST(Differential, Apsp) { expectDifferentialProperty(diffCellsApsp()); }
+
+// --- negative: the harness must catch planted defects ---------------------
+
+/** One cheap cell to plant defects into. */
+DiffCell
+wccCell()
+{
+    DiffCell cell;
+    cell.algo = Algo::kWcc;
+    cell.variant = algos::Variant::kRaceFree;
+    cell.kind = "grid";
+    cell.mode = simt::ExecMode::kFast;
+    return cell;
+}
+
+TEST(DifferentialNegative, PlantedWrongWccLabelIsCaught)
+{
+    // The runner computes a correct component labeling, then moves one
+    // vertex into the wrong component — the partition check must
+    // reject, and checkDifferential must name the cell.
+    const DiffRunnerFn plant = [](const DiffCell& cell, u64 seed) {
+        DiffResult r = runDiffCell(cell, seed);
+        const auto graph = diffGraph(cell);
+        auto labels = refalgos::connectedComponents(graph);
+        labels[0] = labels[0] + 1;  // grid is one component: now split
+        r.verdict = chaos::checkWcc(graph, labels);
+        return r;
+    };
+    const auto summary = checkDifferential({wccCell()}, 5, plant);
+    ASSERT_EQ(summary.failures.size(), 1u);
+    EXPECT_NE(summary.failures[0].find("WCC/race-free/grid/fast"),
+              std::string::npos);
+    EXPECT_FALSE(summary.pass());
+}
+
+TEST(DifferentialNegative, OffByEpsilonPageRankVectorIsCaught)
+{
+    // A rank vector exactly the oracle's except one entry pushed past
+    // the L1 bound must be rejected; a perturbation inside the bound
+    // must be accepted (the bound is a tolerance, not exactness).
+    const auto graph = smallDirected("mesh");
+    auto ranks_d = refalgos::pageRank(graph, algos::kPrIterations,
+                                      algos::kPrDamping);
+    std::vector<float> ranks(ranks_d.begin(), ranks_d.end());
+    EXPECT_TRUE(chaos::checkPr(graph, ranks).valid);
+
+    auto inside = ranks;
+    inside[0] += 0.6f * static_cast<float>(algos::kPrL1Epsilon);
+    EXPECT_TRUE(chaos::checkPr(graph, inside).valid);
+
+    auto outside = ranks;
+    outside[0] += 2.0f * static_cast<float>(algos::kPrL1Epsilon);
+    const auto verdict = chaos::checkPr(graph, outside);
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("L1"), std::string::npos);
+}
+
+TEST(DifferentialNegative, WorkerDependentMeasurementBreaksDeterminism)
+{
+    // A runner whose measurement leaks the pool worker index renders
+    // different CSVs at jobs=1 (caller thread, index -1) and jobs=8
+    // (workers 0..7): the byte-compare must catch the nondeterminism.
+    const DiffRunnerFn leaky = [](const DiffCell& cell, u64 seed) {
+        DiffResult r = runDiffCell(cell, seed);
+        r.stats.ms +=
+            static_cast<double>(core::ThreadPool::currentWorkerIndex()) +
+            2.0;
+        return r;
+    };
+    std::vector<DiffCell> cells;
+    for (int i = 0; i < 4; ++i)
+        cells.push_back(wccCell());
+    const auto summary = checkDifferential(cells, 5, leaky);
+    EXPECT_TRUE(summary.failures.empty());
+    EXPECT_FALSE(summary.deterministic);
+    EXPECT_FALSE(summary.pass());
+    EXPECT_NE(summary.csv, summary.parallel_csv);
+}
+
+}  // namespace
+}  // namespace eclsim::test

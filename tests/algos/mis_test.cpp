@@ -6,6 +6,7 @@
 
 #include "algo_test_util.hpp"
 #include "algos/mis.hpp"
+#include "differential_harness.hpp"
 #include "refalgos/refalgos.hpp"
 
 namespace eclsim::algos {
@@ -32,11 +33,8 @@ TEST_P(MisTest, ProducesMaximalIndependentSet)
     const auto graph = smallUndirected(param.kind);
     simt::DeviceMemory memory;
     auto engine = makeEngine(memory, param.mode);
-
-    const auto result = runMis(*engine, graph, param.variant);
-    EXPECT_TRUE(refalgos::isIndependentSet(graph, result.in_set));
-    EXPECT_TRUE(refalgos::isMaximalIndependentSet(graph, result.in_set));
-    EXPECT_GT(result.set_size, 0u);
+    // Shared differential harness: independence + maximality.
+    test::expectOracleValid(*engine, graph, Algo::kMis, param.variant);
 }
 
 std::vector<MisCase>

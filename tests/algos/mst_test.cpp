@@ -6,6 +6,7 @@
 
 #include "algo_test_util.hpp"
 #include "algos/mst.hpp"
+#include "differential_harness.hpp"
 #include "refalgos/refalgos.hpp"
 
 namespace eclsim::algos {
@@ -38,11 +39,8 @@ TEST_P(MstTest, WeightMatchesKruskal)
     const auto graph = weighted(param.kind);
     simt::DeviceMemory memory;
     auto engine = makeEngine(memory, param.mode);
-
-    const auto result = runMst(*engine, graph, param.variant);
-    EXPECT_EQ(result.total_weight,
-              refalgos::minimumSpanningForestWeight(graph))
-        << param.kind << " " << variantName(param.variant);
+    // Shared differential harness: exact forest weight vs Kruskal.
+    test::expectOracleValid(*engine, graph, Algo::kMst, param.variant);
 }
 
 TEST_P(MstTest, EdgeCountIsVerticesMinusComponents)

@@ -6,6 +6,7 @@
 
 #include "algo_test_util.hpp"
 #include "algos/scc.hpp"
+#include "differential_harness.hpp"
 #include "refalgos/refalgos.hpp"
 
 namespace eclsim::algos {
@@ -32,13 +33,8 @@ TEST_P(SccTest, MatchesTarjan)
     const auto graph = smallDirected(param.kind);
     simt::DeviceMemory memory;
     auto engine = makeEngine(memory, param.mode);
-
-    const auto result = runScc(*engine, graph, param.variant);
-    const auto oracle = refalgos::stronglyConnectedComponents(graph);
-    EXPECT_TRUE(refalgos::samePartition(result.labels, oracle))
-        << param.kind << " " << variantName(param.variant);
-    EXPECT_EQ(refalgos::countDistinct(result.labels),
-              refalgos::countDistinct(oracle));
+    // Shared differential harness: partition equality vs Tarjan.
+    test::expectOracleValid(*engine, graph, Algo::kScc, param.variant);
 }
 
 std::vector<SccCase>

@@ -35,10 +35,11 @@ TEST(ChaosCampaignTest, CellsEnumerateInStableOrder)
     auto config = tinyConfig();
     config.seeds_per_cell = 2;
     const auto cells = campaignCells(config);
-    // 6 policies x (4 undirected algos x 1 input + SCC x 1 input) x 2.
-    EXPECT_EQ(cells.size(), 6u * 5u * 2u);
+    // 6 policies x (5 undirected algos x 1 input + 2 directed algos x
+    // 1 input) x 2 reps (PR sits outside the benign-claim default).
+    EXPECT_EQ(cells.size(), 6u * 7u * 2u);
     EXPECT_EQ(cells.front().policy, PolicyKind::kNone);
-    EXPECT_EQ(cells.front().algo, harness::Algo::kCc);
+    EXPECT_EQ(cells.front().algo, Algo::kCc);
     EXPECT_EQ(cells.front().rep, 0u);
     EXPECT_EQ(cells[1].rep, 1u);
 }
@@ -52,7 +53,7 @@ TEST(ChaosCampaignTest, BenignPoliciesKeepEveryAlgorithmValid)
     for (const CellOutcome& o : outcomes)
         EXPECT_TRUE(o.valid)
             << policyName(o.cell.policy) << " broke "
-            << harness::algoName(o.cell.algo) << " on " << o.cell.input
+            << algos::algoName(o.cell.algo) << " on " << o.cell.input
             << ": " << o.detail;
     EXPECT_EQ(countViolations(outcomes), 0u);
 
@@ -75,7 +76,7 @@ TEST(ChaosCampaignTest, HarmfulDropAtomicIsCaughtByOracle)
     // retried every round and only half are dropped).
     CampaignConfig config = tinyConfig();
     config.policies = {PolicyKind::kDropAtomic};
-    config.algos = {harness::Algo::kMst};
+    config.algos = {Algo::kMst};
     config.undirected_inputs = {"internet"};
     config.seeds_per_cell = 3;
     config.intensity = 1.0;
@@ -95,11 +96,50 @@ TEST(ChaosCampaignTest, HarmfulDropAtomicIsCaughtByOracle)
     EXPECT_TRUE(saw_weight_detail);
 }
 
+TEST(ChaosCampaignTest, PageRankBaselineHoldsItsBoundUnperturbed)
+{
+    // Control for the drop-atomic test below: on the fast path with no
+    // perturbation, baseline PR's racy float accumulation stays inside
+    // the declared L1 bound (PR sits outside the benign-claim default
+    // algo list precisely because its race is tolerated, not benign).
+    CampaignConfig config = tinyConfig();
+    config.policies = {PolicyKind::kNone};
+    config.algos = {Algo::kPr};
+    const auto outcomes = runCampaign(config);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].valid) << outcomes[0].detail;
+    EXPECT_EQ(countViolations(outcomes), 0u);
+}
+
+TEST(ChaosCampaignTest, DropAtomicPushesPageRankPastItsBound)
+{
+    // Satellite acceptance: the epsilon gate has teeth. Dropping
+    // atomic updates at full intensity loses the pooled dangling mass,
+    // pushing the rank vector far past kPrL1Epsilon — every seed must
+    // be flagged, and the detail must name the violated bound.
+    CampaignConfig config = tinyConfig();
+    config.policies = {PolicyKind::kDropAtomic};
+    config.algos = {Algo::kPr};
+    config.seeds_per_cell = 2;
+    config.intensity = 1.0;
+    const auto outcomes = runCampaign(config);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(countViolations(outcomes), 2u);
+    u64 dropped = 0;
+    for (const CellOutcome& o : outcomes) {
+        dropped += o.dropped_atomics;
+        EXPECT_FALSE(o.valid);
+        EXPECT_NE(o.detail.find("bound"), std::string::npos)
+            << o.detail;
+    }
+    EXPECT_GT(dropped, 0u);
+}
+
 TEST(ChaosCampaignTest, FixedSeedReproducesByteIdenticalCsvAtAnyJobs)
 {
     CampaignConfig config = tinyConfig();
     config.policies = parsePolicyList("none,store-delay,sched-bias");
-    config.algos = {harness::Algo::kCc, harness::Algo::kMis};
+    config.algos = {Algo::kCc, Algo::kMis};
     config.seeds_per_cell = 2;
     config.seed = 777;
 
@@ -115,7 +155,7 @@ TEST(ChaosCampaignTest, FixedSeedReproducesByteIdenticalCsvAtAnyJobs)
 TEST(ChaosCampaignTest, CellReplaysBitIdentically)
 {
     const auto config = tinyConfig();
-    const CampaignCell cell{PolicyKind::kStoreDelay, harness::Algo::kMis,
+    const CampaignCell cell{PolicyKind::kStoreDelay, Algo::kMis,
                             "internet", 0};
     const auto a = runCampaignCell(config, cell, 4242, nullptr);
     const auto b = runCampaignCell(config, cell, 4242, nullptr);
@@ -132,10 +172,10 @@ TEST(ChaosCampaignTest, StaleWindowDoesNotSpeedUpConvergence)
     // it can only delay convergence. Compare iterations against the
     // unperturbed control of the same seed.
     const auto config = tinyConfig();
-    const CampaignCell control{PolicyKind::kNone, harness::Algo::kMis,
+    const CampaignCell control{PolicyKind::kNone, Algo::kMis,
                                "internet", 0};
     const CampaignCell stale{PolicyKind::kStaleWindow,
-                             harness::Algo::kMis, "internet", 0};
+                             Algo::kMis, "internet", 0};
     const auto base = runCampaignCell(config, control, 1234, nullptr);
     const auto perturbed = runCampaignCell(config, stale, 1234, nullptr);
     ASSERT_TRUE(base.valid) << base.detail;
@@ -148,7 +188,7 @@ TEST(ChaosCampaignTest, SummaryGroupsByPolicyAndAlgo)
 {
     CampaignConfig config = tinyConfig();
     config.policies = parsePolicyList("none,sm-stall");
-    config.algos = {harness::Algo::kCc};
+    config.algos = {Algo::kCc};
     config.seeds_per_cell = 2;
     const auto outcomes = runCampaign(config);
     const auto summary = makeCampaignSummary(outcomes);
@@ -164,7 +204,7 @@ TEST(ChaosCampaignTest, TraceRecordsOneSpanPerCell)
     prof::TraceSession session;
     CampaignConfig config = tinyConfig();
     config.policies = {PolicyKind::kStoreDelay};
-    config.algos = {harness::Algo::kCc};
+    config.algos = {Algo::kCc};
     config.trace = &session;
     const auto outcomes = runCampaign(config);
     EXPECT_EQ(outcomes.size(), 1u);

@@ -139,6 +139,128 @@ TEST(ChaosOracleTest, SccRejectsSplitCycle)
         << verdict.detail;
 }
 
+// --- PR -------------------------------------------------------------------
+
+/** Directed 4-cycle: every rank is exactly 0.25. */
+CsrGraph
+cycle4()
+{
+    BuildOptions options;
+    options.directed = true;
+    return buildCsr(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, options);
+}
+
+TEST(ChaosOracleTest, PrAcceptsRanksWithinTheBound)
+{
+    const auto graph = cycle4();
+    EXPECT_TRUE(checkPr(graph, {0.25f, 0.25f, 0.25f, 0.25f}).valid);
+    // The equivalence is an L1 bound, not exactness: drift summing
+    // below kPrL1Epsilon is tolerated (the harmful-tolerated contract).
+    EXPECT_TRUE(
+        checkPr(graph, {0.26f, 0.24f, 0.255f, 0.245f}).valid);
+}
+
+TEST(ChaosOracleTest, PrRejectsDriftPastTheBound)
+{
+    const auto verdict =
+        checkPr(cycle4(), {0.30f, 0.20f, 0.28f, 0.22f});
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("L1"), std::string::npos)
+        << verdict.detail;
+    EXPECT_NE(verdict.detail.find("bound"), std::string::npos);
+}
+
+TEST(ChaosOracleTest, PrRejectsShapeMismatch)
+{
+    const auto verdict = checkPr(cycle4(), {0.5f, 0.5f});
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("count"), std::string::npos);
+}
+
+// --- BFS ------------------------------------------------------------------
+
+/** 0 -> {1, 2} -> 3 diamond plus unreachable vertex 4. */
+CsrGraph
+diamond5()
+{
+    BuildOptions options;
+    options.directed = true;
+    return buildCsr(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, options);
+}
+
+TEST(ChaosOracleTest, BfsAcceptsOracleLevels)
+{
+    constexpr u32 kUnreached = ~u32{0};
+    EXPECT_TRUE(
+        checkBfs(diamond5(), {0, 1, 1, 2, kUnreached}).valid);
+}
+
+TEST(ChaosOracleTest, BfsRejectsWrongLevelNamingTheVertex)
+{
+    constexpr u32 kUnreached = ~u32{0};
+    const auto verdict =
+        checkBfs(diamond5(), {0, 1, 1, 3, kUnreached});
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("level[3]"), std::string::npos)
+        << verdict.detail;
+}
+
+TEST(ChaosOracleTest, BfsRejectsFiniteWhereUnreachable)
+{
+    const auto verdict = checkBfs(diamond5(), {0, 1, 1, 2, 7});
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("unreached"), std::string::npos)
+        << verdict.detail;
+}
+
+TEST(ChaosOracleTest, BfsRejectsShapeMismatch)
+{
+    const auto verdict = checkBfs(diamond5(), {0, 1, 1});
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("count"), std::string::npos);
+}
+
+// --- WCC ------------------------------------------------------------------
+
+TEST(ChaosOracleTest, WccAcceptsAnyPartitionEquivalentLabeling)
+{
+    // Two components (0-1, 2-3): representatives are free.
+    const auto graph = buildCsr(4, {{0, 1}, {2, 3}}, BuildOptions{});
+    EXPECT_TRUE(checkWcc(graph, {8, 8, 3, 3}).valid);
+}
+
+TEST(ChaosOracleTest, WccRejectsSplitComponentWithCounts)
+{
+    const auto verdict = checkWcc(path4(), {0, 0, 1, 1});
+    EXPECT_FALSE(verdict.valid);
+    EXPECT_NE(verdict.detail.find("2 components"), std::string::npos)
+        << verdict.detail;
+}
+
+TEST(ChaosOracleTest, WccRejectsMergedComponents)
+{
+    const auto graph = buildCsr(4, {{0, 1}, {2, 3}}, BuildOptions{});
+    const auto verdict = checkWcc(graph, {5, 5, 5, 5});
+    EXPECT_FALSE(verdict.valid);
+}
+
+// --- equivalence metadata -------------------------------------------------
+
+TEST(ChaosOracleTest, EquivalenceForCoversEveryAlgorithm)
+{
+    using algos::Algo;
+    EXPECT_EQ(equivalenceFor(Algo::kCc), Equivalence::kPartition);
+    EXPECT_EQ(equivalenceFor(Algo::kScc), Equivalence::kPartition);
+    EXPECT_EQ(equivalenceFor(Algo::kWcc), Equivalence::kPartition);
+    EXPECT_EQ(equivalenceFor(Algo::kGc), Equivalence::kProperty);
+    EXPECT_EQ(equivalenceFor(Algo::kMis), Equivalence::kProperty);
+    EXPECT_EQ(equivalenceFor(Algo::kMst), Equivalence::kExact);
+    EXPECT_EQ(equivalenceFor(Algo::kBfs), Equivalence::kExact);
+    EXPECT_EQ(equivalenceFor(Algo::kPr), Equivalence::kEpsilonL1);
+    EXPECT_STREQ(equivalenceName(Equivalence::kEpsilonL1),
+                 "epsilon-l1");
+}
+
 // --- APSP -----------------------------------------------------------------
 
 /** Weighted undirected path 0-(2)-1-(3)-2. */

@@ -184,7 +184,9 @@ TEST(Catalog, StandInsMatchDirectionAndRoughDegree)
     // degree within 2.5x of the paper's (the structural families drive
     // the paper's per-input variation).
     for (const auto& entry : undirectedCatalog()) {
-        const auto g = entry.make(2048);
+        // makeInput, not entry.make: the shared build path also asserts
+        // the emitted flag matches the entry's declaration.
+        const auto g = makeInput(entry.name, 2048);
         EXPECT_FALSE(g.directed()) << entry.name;
         const auto props = computeProperties(g);
         EXPECT_GT(props.num_vertices, 500u) << entry.name;
@@ -192,7 +194,7 @@ TEST(Catalog, StandInsMatchDirectionAndRoughDegree)
         EXPECT_LT(props.avg_degree, entry.paper_davg * 2.5) << entry.name;
     }
     for (const auto& entry : directedCatalog()) {
-        const auto g = entry.make(2048);
+        const auto g = makeInput(entry.name, 2048);
         EXPECT_TRUE(g.directed()) << entry.name;
         const auto props = computeProperties(g);
         EXPECT_GT(props.avg_degree, entry.paper_davg / 2.5) << entry.name;
@@ -271,6 +273,49 @@ TEST(InputCatalog, ConcurrentLookupsBuildExactlyOnce)
     EXPECT_EQ(cache.size(), 1u);
     EXPECT_EQ(cache.hits(), static_cast<u64>(kThreads - 1));
     EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(InputCatalog, DirectedLookupsKeepByteAccountingUnchanged)
+{
+    // BFS/PageRank fetch directed inputs through the same cache the
+    // undirected algorithms always used; the accounting identities
+    // existing callers rely on must hold unchanged with both families
+    // resident.
+    InputCatalog cache;
+    const GraphPtr u = cache.get("internet", 4096);
+    const u64 undirected_bytes = cache.sizeBytes();
+    EXPECT_EQ(undirected_bytes, graphBytes(*u));
+
+    const GraphPtr d = cache.get("wikipedia", 4096);
+    EXPECT_TRUE(d->directed());
+    EXPECT_FALSE(u->directed());
+    EXPECT_EQ(cache.sizeBytes(), undirected_bytes + graphBytes(*d));
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    // Re-fetching the undirected caller's graph is a hit on the same
+    // object with the same bytes — the directed entry changed nothing
+    // for it.
+    const GraphPtr again = cache.get("internet", 4096);
+    EXPECT_EQ(again.get(), u.get());
+    EXPECT_EQ(graphBytes(*again), undirected_bytes);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(InputCatalog, WeightedDirectedStandInsKeepTheirFlag)
+{
+    // withSyntheticWeights must carry the directed flag through: a
+    // weighted directed stand-in is still directed.
+    InputCatalog cache;
+    const GraphPtr wd = cache.getWeighted("wikipedia", 8192);
+    EXPECT_TRUE(wd->directed());
+    EXPECT_TRUE(wd->weighted());
+    // Derived from the cached unweighted parent: both are resident and
+    // both are accounted.
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.sizeBytes(),
+              graphBytes(*wd) +
+                  graphBytes(*cache.get("wikipedia", 8192)));
 }
 
 TEST(InputCatalog, SharedInstanceIsProcessWide)

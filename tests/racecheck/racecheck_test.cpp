@@ -603,6 +603,83 @@ TEST_F(GateTest, InvalidOutputFails)
     EXPECT_FALSE(gate.pass);
 }
 
+// -------------------------------------------- epsilon-gated tolerance
+
+/** A PageRank cell carrying its harmful-tolerated float-accumulation
+ *  race; the gate's acceptance must track the bounded-error verdict. */
+static CellResult
+prCell(algos::Variant variant, std::vector<ClassifiedReport> races,
+       bool valid = true, std::string detail = "")
+{
+    CellResult r;
+    r.cell.algo = harness::Algo::kPr;
+    r.cell.variant = variant;
+    r.cell.input = "d";
+    r.output_valid = valid;
+    r.detail = std::move(detail);
+    r.total_pairs = races.empty() ? 0 : 4;
+    r.races = std::move(races);
+    return r;
+}
+
+TEST_F(GateTest, HarmfulToleratedWithinBoundPasses)
+{
+    // PR's lost float accumulations are classified harmful-tolerated:
+    // unlike the benign classes they corrupt the output, but the paper
+    // tolerates them while the L1 bound holds — so must the gate.
+    config_.algos = {harness::Algo::kPr};
+    config_.undirected_inputs = {};
+    config_.directed_inputs = {"d"};
+    const auto gate = evaluateGate(
+        config_,
+        {prCell(algos::Variant::kBaseline,
+                {race(RaceClass::kHarmfulTolerated, "pr.pushed")}),
+         prCell(algos::Variant::kRaceFree, {})});
+    EXPECT_TRUE(gate.pass) << gate.failures.front();
+}
+
+TEST_F(GateTest, HarmfulToleratedPastBoundFailsNamingTheBound)
+{
+    // The same race with the bounded-error oracle exceeded: the gate
+    // must fail and its message must carry the oracle's bound detail so
+    // CI logs show how far the rank vector drifted.
+    config_.algos = {harness::Algo::kPr};
+    config_.undirected_inputs = {};
+    config_.directed_inputs = {"d"};
+    const std::string detail =
+        "PR rank vector is L1=0.41 from the oracle (bound 0.05)";
+    const auto gate = evaluateGate(
+        config_,
+        {prCell(algos::Variant::kBaseline,
+                {race(RaceClass::kHarmfulTolerated, "pr.pushed")},
+                /*valid=*/false, detail),
+         prCell(algos::Variant::kRaceFree, {})});
+    EXPECT_FALSE(gate.pass);
+    bool named = false;
+    for (const std::string& f : gate.failures)
+        named |= f.find("exceeded its error bound") != std::string::npos &&
+                 f.find("bound 0.05") != std::string::npos;
+    EXPECT_TRUE(named) << gate.failures.front();
+}
+
+TEST_F(GateTest, HarmfulToleratedOnRaceFreeVariantStillFails)
+{
+    // The tolerance never extends to the converted code: a
+    // harmful-tolerated pair on race-free PR is a conversion bug.
+    config_.algos = {harness::Algo::kPr};
+    config_.undirected_inputs = {};
+    config_.directed_inputs = {"d"};
+    auto free_cell = prCell(
+        algos::Variant::kRaceFree,
+        {race(RaceClass::kHarmfulTolerated, "pr.pushed")});
+    const auto gate = evaluateGate(
+        config_,
+        {prCell(algos::Variant::kBaseline,
+                {race(RaceClass::kHarmfulTolerated, "pr.pushed")}),
+         free_cell});
+    EXPECT_FALSE(gate.pass);
+}
+
 // ----------------------------------------------------------- runner
 
 TEST(Runner, CellListIsStable)

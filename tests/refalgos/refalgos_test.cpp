@@ -126,5 +126,76 @@ TEST(Apsp, PicksShorterOfParallelRoutes)
     EXPECT_EQ(d[0 * 3 + 2], 2);  // via vertex 1, not the direct arc
 }
 
+TEST(PageRankOracle, DirectedCycleIsExactlyUniform)
+{
+    // On a directed 4-cycle the uniform vector is the fixed point:
+    // every update is 0.15/4 + 0.85 * 0.25 = 0.25, at any iteration
+    // count and damping.
+    auto g = buildCsr(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+                      {.directed = true});
+    const auto ranks = pageRank(g, 10, 0.85f);
+    ASSERT_EQ(ranks.size(), 4u);
+    for (double r : ranks)
+        EXPECT_NEAR(r, 0.25, 1e-12);
+}
+
+TEST(PageRankOracle, StarMatchesClosedForm)
+{
+    // Bidirectional 4-vertex star. The fixed point solves
+    //   c = 0.15/4 + 0.85 * 3l,  l = 0.15/4 + 0.85 * c/3
+    // giving c = 0.133125 / 0.2775, l = (1 - c) / 3. 200 iterations
+    // converge far below the comparison tolerance, which itself allows
+    // for the float damping constant (0.85f != 0.85 by ~1.2e-8).
+    auto g = buildCsr(
+        4, {{0, 1}, {1, 0}, {0, 2}, {2, 0}, {0, 3}, {3, 0}},
+        {.directed = true});
+    const auto ranks = pageRank(g, 200, 0.85f);
+    const double center = 0.133125 / 0.2775;
+    const double leaf = (1.0 - center) / 3.0;
+    EXPECT_NEAR(ranks[0], center, 1e-7);
+    for (int v = 1; v < 4; ++v)
+        EXPECT_NEAR(ranks[v], leaf, 1e-7);
+}
+
+TEST(PageRankOracle, DanglingMassKeepsTheSumAtOne)
+{
+    // Vertices 1 and 2 are sinks; without dangling-rank pooling the
+    // total mass would decay every iteration.
+    auto g = buildCsr(3, {{0, 1}, {0, 2}}, {.directed = true});
+    const auto ranks = pageRank(g, 50, 0.85f);
+    double sum = 0.0;
+    for (double r : ranks)
+        sum += r;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_NEAR(ranks[1], ranks[2], 1e-15);  // symmetric targets
+}
+
+TEST(BfsOracle, DiamondDagHandLevels)
+{
+    // 0 -> {1, 2} -> 3, vertex 4 unreachable: levels 0, 1, 1, 2, and
+    // the unreached sentinel.
+    auto g = buildCsr(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+                      {.directed = true});
+    const auto levels = bfsLevels(g, 0);
+    const std::vector<u32> expect = {0, 1, 1, 2, kBfsUnreached};
+    EXPECT_EQ(levels, expect);
+}
+
+TEST(BfsOracle, SourceIsItsOwnLevelZero)
+{
+    auto g = buildCsr(3, {{0, 1}, {1, 2}}, {.directed = true});
+    const auto levels = bfsLevels(g, 2);
+    EXPECT_EQ(levels[2], 0u);
+    EXPECT_EQ(levels[0], kBfsUnreached);  // no arc back to 0
+    EXPECT_EQ(levels[1], kBfsUnreached);
+}
+
+TEST(ConnectedComponents, MultiComponentCounts)
+{
+    // Triangle + edge + two isolated vertices: four components.
+    auto g = buildCsr(7, {{0, 1}, {1, 2}, {2, 0}, {3, 4}}, {});
+    EXPECT_EQ(countDistinct(connectedComponents(g)), 4u);
+}
+
 }  // namespace
 }  // namespace eclsim::refalgos
