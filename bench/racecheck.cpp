@@ -27,7 +27,12 @@
  *                        runs with byte-granular shadow are slow)
  *   --apsp-vertices=N    size of the generated APSP graph (default 96:
  *                        the O(n^3) kernels dominate the sweep)
+ *   --list-sites         print the interned ECL_SITE registry (sorted,
+ *                        deterministic ids) and exit — no sweep; repair
+ *                        proposals and tests reference sites by these ids
+ *   --json=PATH          also write the sweep as machine-readable JSON
  */
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -103,6 +108,15 @@ main(int argc, char** argv)
 {
     Flags flags(argc, argv);
 
+    if (flags.getBool("list-sites", false)) {
+        // Serial deterministic interning pass, then the sorted registry;
+        // no detection sweep runs.
+        racecheck::populateSiteRegistry();
+        bench::emitTable(flags, "Interned access sites (ECL_SITE)",
+                         racecheck::makeSiteListTable());
+        return 0;
+    }
+
     racecheck::RunnerConfig config;
     config.gpu = flags.getString("gpu", "Titan V");
     config.graph_divisor =
@@ -150,6 +164,14 @@ main(int argc, char** argv)
 
     bench::emitTable(flags, "Classified race sites (per cell)",
                      racecheck::makeSiteTable(results));
+    const std::string json_path = flags.getString("json", "");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path, std::ios::binary);
+        if (!out)
+            fatal("cannot open '{}' for writing", json_path);
+        out << racecheck::renderRacecheckJson(results);
+        std::cout << "(json written to " << json_path << ")" << std::endl;
+    }
     std::cout << "Per-algorithm race summary\n\n"
               << racecheck::makeAlgoSummary(results).toText()
               << std::endl;

@@ -16,6 +16,7 @@ cmake --build build
 ctest --test-dir build -j "$(nproc)"
 ./scripts/chaos_smoke.sh build
 ./scripts/racecheck_smoke.sh build
+./scripts/repair_smoke.sh build
 ./scripts/simbench_smoke.sh build
 ./scripts/serve_smoke.sh build
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Smoke test of the eclsim::repair auto-repair advisor:
+#
+#  1. `repair_advisor --algo=cc` must exit CLEAN: every racing site of
+#     the CC baseline gets a proposed access-mode conversion, each
+#     site's closure re-run is race-silent, and the whole-algorithm
+#     repair validates against the oracle,
+#  2. same for one Graphalytics algorithm (PR — the paper's one
+#     harmful-tolerated race, repaired to an atomic accumulation),
+#  3. the per-site CSV and JSON reports must be byte-identical at
+#     --jobs=1 and --jobs=8 (the PR-2 determinism contract extended to
+#     the repair pipeline),
+#  4. `racecheck --list-sites` must emit the stable sorted site
+#     registry with the expected header.
+#
+# Usage: ./scripts/repair_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+ADVISOR="$BUILD/bench/repair_advisor"
+RACECHECK="$BUILD/bench/racecheck"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+run_advisor() {
+    local algo="$1" jobs="$2" tag="$3"
+    "$ADVISOR" --algo="$algo" --jobs="$jobs" --reps=2 \
+        --exposure-seeds=1 --quiet \
+        --csv="$OUT/$tag.csv" --json="$OUT/$tag.json" \
+        > "$OUT/$tag.txt" || {
+        echo "FAIL: repair advisor not clean for $algo (jobs=$jobs)"
+        tail -n 20 "$OUT/$tag.txt"
+        exit 1
+    }
+    grep -q "repair advisor: CLEAN" "$OUT/$tag.txt" || {
+        echo "FAIL: no CLEAN verdict for $algo (jobs=$jobs)"
+        exit 1
+    }
+}
+
+for algo in cc pr; do
+    echo "== repair advisor: $algo =="
+    run_advisor "$algo" 1 "$algo.serial"
+    run_advisor "$algo" 8 "$algo.parallel"
+
+    echo "== determinism across --jobs: $algo =="
+    cmp "$OUT/$algo.serial.csv" "$OUT/$algo.parallel.csv" || {
+        echo "FAIL: $algo repair CSV differs between --jobs=1 and 8"
+        exit 1
+    }
+    cmp "$OUT/$algo.serial.json" "$OUT/$algo.parallel.json" || {
+        echo "FAIL: $algo repair JSON differs between --jobs=1 and 8"
+        exit 1
+    }
+done
+
+echo "== site registry export =="
+"$RACECHECK" --list-sites --quiet --csv="$OUT/sites.csv" > /dev/null
+head -n 1 "$OUT/sites.csv" | grep -q "Id,File,Line,Label,Expectation" || {
+    echo "FAIL: unexpected --list-sites CSV header"
+    head -n 1 "$OUT/sites.csv"
+    exit 1
+}
+[ "$(wc -l < "$OUT/sites.csv")" -ge 41 ] || {
+    echo "FAIL: site registry export suspiciously small"
+    exit 1
+}
+
+echo "repair smoke test passed"

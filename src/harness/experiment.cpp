@@ -45,6 +45,7 @@ engineOptions(const ExperimentConfig& config, u64 seed)
     options.trace = config.trace;
     options.perturb = config.perturb;
     options.force_slow_path = config.force_slow_path;
+    options.site_overrides = config.site_overrides;
     return options;
 }
 

@@ -28,6 +28,7 @@ class TraceSession;
 
 namespace eclsim::simt {
 class PerturbationHooks;
+class SiteOverrideTable;
 }
 
 namespace eclsim::harness {
@@ -105,6 +106,15 @@ struct ExperimentConfig
      * fast path (see simt::EngineOptions::force_slow_path).
      */
     bool force_slow_path = false;
+    /**
+     * Per-site access-mode override table (eclsim::repair): installed
+     * into every engine the harness creates, so a sweep cell can price a
+     * proposed plain/volatile -> atomic conversion without source edits
+     * (see simt::EngineOptions::site_overrides). The table must outlive
+     * the run and is read-only while it runs — safe to share across
+     * parallel cells.
+     */
+    const simt::SiteOverrideTable* site_overrides = nullptr;
 };
 
 /** One (input, algorithm, GPU) comparison. */

@@ -1,6 +1,7 @@
 #include "racecheck/runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <future>
 #include <map>
 #include <mutex>
@@ -93,6 +94,8 @@ runRacecheckCell(const RunnerConfig& config, const RacecheckCell& cell,
     options.seed = seed;
     options.memory.cache_divisor = config.cache_divisor;
     options.trace = &trace;
+    options.site_overrides = config.site_overrides;
+    options.perturb = config.perturb;
 
     simt::DeviceMemory memory;
     simt::Engine engine(simt::findGpu(config.gpu), memory, options);
@@ -117,6 +120,10 @@ runRacecheckCell(const RunnerConfig& config, const RacecheckCell& cell,
         fast_options.mode = simt::ExecMode::kFast;
         fast_options.detect_races = false;
         fast_options.trace = nullptr;
+        // The tolerance claim is about the unperturbed production mode;
+        // site overrides stay (a repaired run's claim is about the
+        // repaired production mode) but chaos hooks do not.
+        fast_options.perturb = nullptr;
         simt::DeviceMemory fast_memory;
         simt::Engine fast_engine(simt::findGpu(config.gpu), fast_memory,
                                  fast_options);
@@ -184,6 +191,144 @@ runRacecheck(const RunnerConfig& config,
     }
     for (auto& future : done)
         future.get();
+    return out;
+}
+
+void
+populateSiteRegistry()
+{
+    // One serial fast-mode execution of every instrumented kernel:
+    // ECL_SITE interns lazily when kernel code first runs, so with
+    // --jobs > 1 the id assignment depends on the thread schedule. This
+    // fixed program order pins it. Memoized — the registry is
+    // process-global and append-only, so one pass suffices.
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const graph::CsrGraph undirected =
+            graph::makeRandomUniform(64, 256, 0x51);
+        const graph::CsrGraph weighted =
+            graph::withSyntheticWeights(undirected, 50, 0x51);
+        const graph::CsrGraph directed =
+            graph::makeDirectedPowerLaw(6, 256, 0.3, 0x51);
+        const graph::CsrGraph apsp_graph = graph::withSyntheticWeights(
+            graph::makeRandomUniform(24, 96, 0x51), 50, 0x51);
+
+        auto run = [](const graph::CsrGraph& g, harness::Algo algo,
+                      algos::Variant variant) {
+            simt::EngineOptions options;
+            options.mode = simt::ExecMode::kFast;
+            options.detect_races = false;
+            options.seed = 0x51;
+            simt::DeviceMemory memory;
+            simt::Engine engine(simt::titanV(), memory, options);
+            chaos::runChecked(engine, g, algo, variant,
+                              /*check_oracle=*/false);
+        };
+
+        for (harness::Algo algo :
+             {harness::Algo::kCc, harness::Algo::kGc, harness::Algo::kMis,
+              harness::Algo::kMst, harness::Algo::kScc, harness::Algo::kPr,
+              harness::Algo::kBfs, harness::Algo::kWcc}) {
+            const graph::CsrGraph& g =
+                algos::algoNeedsDirected(algo)
+                    ? directed
+                    : (algo == harness::Algo::kMst ? weighted
+                                                   : undirected);
+            for (algos::Variant variant :
+                 {algos::Variant::kBaseline, algos::Variant::kRaceFree})
+                run(g, algo, variant);
+        }
+        {
+            simt::EngineOptions options;
+            options.mode = simt::ExecMode::kFast;
+            options.detect_races = false;
+            options.seed = 0x51;
+            simt::DeviceMemory memory;
+            simt::Engine engine(simt::titanV(), memory, options);
+            algos::runApsp(engine, apsp_graph);
+        }
+    });
+}
+
+namespace {
+
+/** Minimal JSON string quoting (site labels/reasons are plain ASCII). */
+std::string
+jsonQuote(const std::string& text)
+{
+    std::string out = "\"";
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+const char*
+jsonBool(bool value)
+{
+    return value ? "true" : "false";
+}
+
+}  // namespace
+
+std::string
+renderRacecheckJson(const std::vector<CellResult>& results)
+{
+    auto& sites = SiteRegistry::instance();
+    std::string out = "{\"schema\":1,\"cells\":[\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const CellResult& r = results[i];
+        out += "{\"cell\":" + jsonQuote(cellName(r.cell));
+        out += ",\"output_valid\":";
+        out += jsonBool(r.output_valid);
+        out += ",\"used_fast_control\":";
+        out += jsonBool(r.used_fast_control);
+        out += ",\"detail\":" + jsonQuote(r.detail);
+        out += ",\"total_pairs\":" + std::to_string(r.total_pairs);
+        out += ",\"checks\":" + std::to_string(r.checks);
+        out += ",\"races\":[";
+        for (size_t j = 0; j < r.races.size(); ++j) {
+            const ClassifiedReport& race = r.races[j];
+            const RaceReport& rep = race.report;
+            if (j)
+                out += ',';
+            out += "{\"allocation\":" + jsonQuote(rep.allocation);
+            out += ",\"kind\":" + jsonQuote(raceKindName(rep.kind));
+            out += ",\"site_a\":" + jsonQuote(sites.describe(rep.site_a));
+            out += ",\"access_a\":" + jsonQuote(accessSigName(rep.sig_a));
+            out += ",\"site_b\":" + jsonQuote(sites.describe(rep.site_b));
+            out += ",\"access_b\":" + jsonQuote(accessSigName(rep.sig_b));
+            out += ",\"pairs\":" + std::to_string(rep.count);
+            out += ",\"class\":" + jsonQuote(raceClassName(race.cls));
+            out += ",\"reason\":" + jsonQuote(race.reason);
+            out += '}';
+        }
+        out += "]}";
+        out += i + 1 < results.size() ? ",\n" : "\n";
+    }
+    out += "]}\n";
     return out;
 }
 

@@ -68,6 +68,22 @@ struct RunnerConfig
     u64 seed = 12345;
     /** Worker threads; 0 = hardware concurrency, 1 = serial. */
     u32 jobs = 0;
+    /**
+     * Per-site access-mode override table (eclsim::repair): installed
+     * into every engine the sweep creates, so a detection run can be
+     * repeated with proposed plain/volatile -> atomic conversions
+     * applied and verified race-silent. Read-only while the sweep runs;
+     * must outlive it.
+     */
+    const simt::SiteOverrideTable* site_overrides = nullptr;
+    /**
+     * Optional perturbation hooks (eclsim::chaos) installed into the
+     * interleaved detection engines — the repair advisor's schedule
+     * explorer for ranking sites by exposure. The hooks carry an RNG,
+     * so a config with perturb set must run with jobs == 1 (or one
+     * cell); the advisor builds one config per exposure cell instead.
+     */
+    simt::PerturbationHooks* perturb = nullptr;
 };
 
 /** Identity of one sweep cell. */
@@ -137,6 +153,26 @@ struct GateResult
 /** Apply the race-freedom gate to a sweep's results. */
 GateResult evaluateGate(const RunnerConfig& config,
                         const std::vector<CellResult>& results);
+
+/**
+ * Intern every ECL_SITE the instrumented kernels define by running each
+ * algorithm (both variants, plus APSP) once, serially, in fast mode on
+ * tiny throwaway graphs. Site ids depend on interning order, which in a
+ * parallel sweep depends on the thread schedule; calling this first
+ * pins the order — and therefore every id — to one deterministic,
+ * jobs-independent assignment. Used by `bench/racecheck --list-sites`
+ * and the repair advisor (whose reports carry site ids). Idempotent.
+ */
+void populateSiteRegistry();
+
+/**
+ * Machine-readable export of a sweep (the racecheck counterpart of the
+ * CSV site table, with per-cell verdict detail included): deterministic
+ * JSON, byte-identical for every --jobs value, one cell object per
+ * line. Sites are rendered as "file:label" descriptions, not ids, for
+ * the same interning-order reason makeSiteTable does.
+ */
+std::string renderRacecheckJson(const std::vector<CellResult>& results);
 
 /** Per-cell classified race-site table (the sweep's CSV). */
 TextTable makeSiteTable(const std::vector<CellResult>& results);

@@ -1,5 +1,10 @@
 #include "racecheck/sites.hpp"
 
+#include <algorithm>
+#include <tuple>
+
+#include "core/table.hpp"
+
 namespace eclsim::racecheck {
 
 const char*
@@ -101,6 +106,35 @@ SiteRegistry::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return sites_.size();
+}
+
+std::vector<Site>
+SiteRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sites_;
+}
+
+TextTable
+makeSiteListTable(const SiteRegistry& registry)
+{
+    // Sorted by source position, not id: interning order depends on
+    // which kernels have executed, but (file, line, label) is a property
+    // of the source alone, so the exported shape is stable across runs
+    // that interned the same site set in any order.
+    std::vector<Site> sites = registry.snapshot();
+    std::sort(sites.begin(), sites.end(),
+              [](const Site& a, const Site& b) {
+                  return std::tie(a.file, a.line, a.label) <
+                         std::tie(b.file, b.line, b.label);
+              });
+    TextTable table({"Id", "File", "Line", "Label", "Expectation"});
+    table.setAlign(0, TextTable::Align::kRight);
+    for (const Site& site : sites)
+        table.addRow({std::to_string(site.id), site.file,
+                      std::to_string(site.line), site.label,
+                      expectationName(site.expect)});
+    return table;
 }
 
 }  // namespace eclsim::racecheck

@@ -31,6 +31,10 @@
 
 #include "core/types.hpp"
 
+namespace eclsim {
+class TextTable;
+}
+
 namespace eclsim::racecheck {
 
 /** Dense handle of one instrumented source access. 0 = unattributed. */
@@ -103,11 +107,24 @@ class SiteRegistry
     /** Number of interned sites. */
     size_t size() const;
 
+    /** Copy of every interned site, in id order. */
+    std::vector<Site> snapshot() const;
+
   private:
     mutable std::mutex mutex_;
     std::vector<Site> sites_;  ///< sites_[id - 1]
     std::unordered_map<std::string, SiteId> index_;
 };
+
+/**
+ * The interned site registry as a table (columns Id, File, Line, Label,
+ * Expectation), sorted by (file, line, label) so the rendering depends
+ * only on which sites are interned, never on interning order. This is
+ * `bench/racecheck --list-sites`; repair proposals and tests reference
+ * sites by the ids exported here without re-running detection.
+ */
+TextTable makeSiteListTable(
+    const SiteRegistry& registry = SiteRegistry::instance());
 
 }  // namespace eclsim::racecheck
 

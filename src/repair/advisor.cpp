@@ -1,0 +1,457 @@
+#include "repair/advisor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <future>
+#include <map>
+#include <numeric>
+
+#include "chaos/policy.hpp"
+#include "core/logging.hpp"
+#include "core/stats.hpp"
+#include "core/thread_pool.hpp"
+#include "graph/input_catalog.hpp"
+#include "harness/experiment.hpp"
+
+namespace eclsim::repair {
+
+namespace {
+
+/** Does the site appear on either side of any report of the cell? */
+bool
+siteRaced(const racecheck::CellResult& cell, racecheck::SiteId site)
+{
+    for (const racecheck::ClassifiedReport& race : cell.races)
+        if (race.report.site_a == site || race.report.site_b == site)
+            return true;
+    return false;
+}
+
+/** The exposure scan's schedule explorers: the control plus every
+ *  benign chaos policy. kDropAtomic is excluded — it corrupts updates
+ *  rather than exploring schedules. */
+const std::vector<chaos::PolicyKind>&
+exposurePolicies()
+{
+    static const std::vector<chaos::PolicyKind> kinds = {
+        chaos::PolicyKind::kNone,      chaos::PolicyKind::kStaleWindow,
+        chaos::PolicyKind::kStoreDelay, chaos::PolicyKind::kSchedBias,
+        chaos::PolicyKind::kSmStall,   chaos::PolicyKind::kDupStore};
+    return kinds;
+}
+
+/** Run every task on `jobs` workers, serially when jobs == 1. Tasks
+ *  write into preallocated slots, so the schedule cannot matter. */
+void
+runTasks(std::vector<std::function<void()>>& tasks, u32 jobs)
+{
+    const u32 workers = jobs == 0 ? core::ThreadPool::defaultConcurrency()
+                                  : jobs;
+    if (workers <= 1 || tasks.size() <= 1) {
+        for (auto& task : tasks)
+            task();
+        return;
+    }
+    core::ThreadPool pool(
+        static_cast<u32>(std::min<size_t>(workers, tasks.size())));
+    std::vector<std::future<void>> done;
+    done.reserve(tasks.size());
+    for (auto& task : tasks)
+        done.push_back(pool.submit(task));
+    for (auto& future : done)
+        future.get();
+}
+
+std::string
+jsonQuote(const std::string& text)
+{
+    std::string out = "\"";
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/** Shortest-round-trip double rendering (the serve codec's convention);
+ *  simulated times are deterministic, so this is byte-stable. */
+std::string
+jsonNumber(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+const char*
+jsonBool(bool value)
+{
+    return value ? "true" : "false";
+}
+
+}  // namespace
+
+AdvisorResult
+runAdvisor(const AdvisorConfig& config_in)
+{
+    AdvisorResult result;
+    result.config = config_in;
+    result.input = !config_in.input.empty()
+                       ? config_in.input
+                       : (algos::algoNeedsDirected(config_in.algo)
+                              ? std::string("wikipedia")
+                              : std::string("rmat22.sym"));
+    const AdvisorConfig& config = result.config;
+
+    // Pin site-interning order (and thereby every SiteId the report
+    // carries) before any parallel work can intern sites in
+    // schedule-dependent order.
+    racecheck::populateSiteRegistry();
+
+    racecheck::RunnerConfig base;
+    base.gpu = config.gpu;
+    base.graph_divisor = config.detect_divisor;
+    base.cache_divisor = config.cache_divisor;
+    racecheck::RacecheckCell cell;
+    cell.algo = config.algo;
+    cell.variant = algos::Variant::kBaseline;
+    cell.input = result.input;
+
+    // --- 1-2. detect -> propose, iterated to a fixpoint (serial) ----------
+    // Installing fixes changes timing and visibility, which can surface
+    // races on sites the baseline schedule never raced (MIS's out-store
+    // emerges only once the knockout/neighbor sites are atomic). So:
+    // detect, install every proposed fix, re-detect, merge proposals
+    // from newly racing sites, and repeat until the repaired run is
+    // race-silent, no new proposable site appears, or max_rounds.
+    // Round r re-detects with engine seed cellSeed(seed, 0) + r.
+    std::vector<racecheck::CellResult> detect_rounds;
+    detect_rounds.push_back(racecheck::runRacecheckCell(
+        base, cell, cellSeed(config.seed, 0)));
+    result.baseline_reports = detect_rounds[0].races.size();
+    result.baseline_pairs = detect_rounds[0].total_pairs;
+
+    ProposalSet proposals = proposeFixes(detect_rounds);
+    std::map<racecheck::SiteId, u32> first_seen;
+    for (const FixProposal& p : proposals.proposals)
+        first_seen.emplace(p.site, 0u);
+    simt::SiteOverrideTable accumulated = fullTable(proposals);
+    for (u32 round = 1;
+         round < config.max_rounds && !proposals.proposals.empty();
+         ++round) {
+        racecheck::RunnerConfig probe = base;
+        probe.site_overrides = &accumulated;
+        racecheck::CellResult re = racecheck::runRacecheckCell(
+            probe, cell, cellSeed(config.seed, 0) + round);
+        if (re.races.empty())
+            break;  // the accumulated repair is race-silent
+        detect_rounds.push_back(std::move(re));
+        const ProposalSet next = proposeFixes(detect_rounds);
+        bool grew = false;
+        for (const FixProposal& p : next.proposals)
+            grew |= first_seen.emplace(p.site, round).second;
+        proposals = next;
+        accumulated = fullTable(proposals);
+        if (!grew)
+            break;  // still racing, but nothing left to convert
+    }
+    result.fixpoint_rounds = static_cast<u32>(detect_rounds.size());
+    result.unattributed_pairs = proposals.unattributed_pairs;
+    const size_t num_proposals = proposals.proposals.size();
+
+    // --- 3-5. rank / verify / price: one deterministic task list ----------
+    // Seed layout (stable indices, independent of jobs): the detect cell
+    // used index 0; exposure cell k uses 1+k; verify row i uses 1+E+i;
+    // the repair-all cell 1+E+P; pricing task t reps over
+    // cellSeed(seed, 2+E+P+t) + r.
+    const u32 exposure_cells = static_cast<u32>(
+        exposurePolicies().size() * config.exposure_seeds);
+    result.exposure_cells = exposure_cells;
+
+    // Every override table is built before the fan-out and outlives it
+    // (EngineOptions::site_overrides holds raw pointers). The verify
+    // closure of a site is its connected component in the racy-pair
+    // graph across every detection round: converting one side of a
+    // plain/plain pair leaves the pair racing, and under the fixpoint a
+    // site's silence can depend transitively on fixes of sites it never
+    // directly raced with (an emergent site's race only exists with the
+    // earlier rounds' fixes installed).
+    std::map<racecheck::SiteId, size_t> index_of;
+    for (size_t i = 0; i < num_proposals; ++i)
+        index_of.emplace(proposals.proposals[i].site, i);
+    std::vector<size_t> component(num_proposals);
+    std::iota(component.begin(), component.end(), size_t{0});
+    std::function<size_t(size_t)> find = [&](size_t x) {
+        while (component[x] != x)
+            x = component[x] = component[component[x]];
+        return x;
+    };
+    for (const racecheck::CellResult& round : detect_rounds)
+        for (const racecheck::ClassifiedReport& race : round.races) {
+            const auto a = index_of.find(race.report.site_a);
+            const auto b = index_of.find(race.report.site_b);
+            if (a != index_of.end() && b != index_of.end())
+                component[find(a->second)] = find(b->second);
+        }
+
+    std::vector<simt::SiteOverrideTable> solo_tables(num_proposals);
+    std::vector<simt::SiteOverrideTable> closure_tables(num_proposals);
+    for (size_t i = 0; i < num_proposals; ++i) {
+        solo_tables[i].set(proposals.proposals[i].site,
+                           proposals.proposals[i].fix);
+        for (size_t j = 0; j < num_proposals; ++j)
+            if (find(j) == find(i))
+                closure_tables[i].set(proposals.proposals[j].site,
+                                      proposals.proposals[j].fix);
+    }
+    const simt::SiteOverrideTable repair_all = fullTable(proposals);
+
+    std::vector<racecheck::CellResult> exposure_results(exposure_cells);
+    std::vector<racecheck::CellResult> verify_results(num_proposals);
+    racecheck::CellResult repair_all_result;
+
+    // Pricing: fast-mode runs at measure_divisor on the catalog graph.
+    harness::ExperimentConfig price;
+    price.cache_divisor = config.cache_divisor;
+    auto& catalog = graph::InputCatalog::shared();
+    const graph::GraphPtr priced_graph =
+        config.algo == algos::Algo::kMst
+            ? catalog.getWeighted(result.input, config.measure_divisor)
+            : catalog.get(result.input, config.measure_divisor);
+    const simt::GpuSpec& gpu = simt::findGpu(config.gpu);
+
+    const u64 price_base = 2ull + exposure_cells + num_proposals;
+    auto price_median = [&](algos::Variant variant,
+                            const simt::SiteOverrideTable* overrides,
+                            u64 task) {
+        harness::ExperimentConfig cfg = price;
+        cfg.site_overrides = overrides;
+        std::vector<double> ms;
+        ms.reserve(config.reps);
+        for (u32 r = 0; r < config.reps; ++r)
+            ms.push_back(harness::runOnce(
+                gpu, *priced_graph, config.algo, variant, cfg,
+                cellSeed(config.seed, price_base + task) + r));
+        return stats::median(std::move(ms));
+    };
+
+    std::vector<double> solo_ms(num_proposals, 0.0);
+
+    std::vector<std::function<void()>> tasks;
+    for (u32 k = 0; k < exposure_cells; ++k) {
+        tasks.push_back([&, k] {
+            const u64 seed = cellSeed(config.seed, 1 + k);
+            chaos::PolicyConfig policy;
+            policy.kind =
+                exposurePolicies()[k / config.exposure_seeds];
+            policy.intensity = config.exposure_intensity;
+            policy.seed = seed;
+            const auto hooks = chaos::makePolicy(policy);
+            racecheck::RunnerConfig explored = base;
+            explored.perturb = hooks.get();
+            exposure_results[k] =
+                racecheck::runRacecheckCell(explored, cell, seed);
+        });
+    }
+    for (size_t i = 0; i < num_proposals; ++i) {
+        tasks.push_back([&, i] {
+            racecheck::RunnerConfig repaired = base;
+            repaired.site_overrides = &closure_tables[i];
+            verify_results[i] = racecheck::runRacecheckCell(
+                repaired, cell,
+                cellSeed(config.seed, 1 + exposure_cells + i));
+        });
+        tasks.push_back([&, i] {
+            solo_ms[i] = price_median(algos::Variant::kBaseline,
+                                      &solo_tables[i], 1 + i);
+        });
+    }
+    tasks.push_back([&] {
+        racecheck::RunnerConfig repaired = base;
+        repaired.site_overrides = &repair_all;
+        repair_all_result = racecheck::runRacecheckCell(
+            repaired, cell,
+            cellSeed(config.seed, 1 + exposure_cells + num_proposals));
+    });
+    tasks.push_back([&] {
+        result.baseline_ms =
+            price_median(algos::Variant::kBaseline, nullptr, 0);
+    });
+    tasks.push_back([&] {
+        result.repaired_ms = price_median(
+            algos::Variant::kBaseline, &repair_all, 1 + num_proposals);
+    });
+    tasks.push_back([&] {
+        result.racefree_ms = price_median(algos::Variant::kRaceFree,
+                                          nullptr, 2 + num_proposals);
+    });
+    runTasks(tasks, config.jobs);
+
+    // --- assemble ---------------------------------------------------------
+    result.repaired_silent = repair_all_result.races.empty();
+    result.repaired_valid = repair_all_result.output_valid;
+    result.rows.reserve(num_proposals);
+    for (size_t i = 0; i < num_proposals; ++i) {
+        SiteRow row;
+        row.proposal = std::move(proposals.proposals[i]);
+        row.round = first_seen[row.proposal.site];
+        for (const racecheck::CellResult& explored : exposure_results)
+            if (siteRaced(explored, row.proposal.site))
+                ++row.exposed_cells;
+        row.solo_ms = solo_ms[i];
+        row.solo_slowdown = result.baseline_ms > 0.0
+                                ? row.solo_ms / result.baseline_ms
+                                : 0.0;
+        row.verified_silent =
+            !siteRaced(verify_results[i], row.proposal.site);
+        result.rows.push_back(std::move(row));
+    }
+    return result;
+}
+
+bool
+advisorClean(const AdvisorResult& result)
+{
+    if (result.rows.empty() || result.unattributed_pairs != 0)
+        return false;
+    if (!result.repaired_silent || !result.repaired_valid)
+        return false;
+    for (const SiteRow& row : result.rows)
+        if (!row.verified_silent)
+            return false;
+    return true;
+}
+
+TextTable
+makeRepairTable(const AdvisorResult& result)
+{
+    TextTable table({"Site", "Observed", "Class", "Fix", "Round",
+                     "Exposure", "Pairs", "SoloMs", "Slowdown",
+                     "VerifiedSilent"});
+    for (const SiteRow& row : result.rows) {
+        // file:line:label, not describe(): sites sharing a label at
+        // different lines must stay distinguishable in the report.
+        const std::string site_cell = row.proposal.file + ":" +
+                                      std::to_string(row.proposal.line) +
+                                      ":" + row.proposal.label;
+        table.addRow({site_cell, row.proposal.observed,
+                      racecheck::raceClassName(row.proposal.cls),
+                      fixName(row.proposal.fix),
+                      std::to_string(row.round),
+                      std::to_string(row.exposed_cells) + "/" +
+                          std::to_string(result.exposure_cells),
+                      std::to_string(row.proposal.pairs),
+                      fmtFixed(row.solo_ms, 4),
+                      fmtFixed(row.solo_slowdown, 3),
+                      row.verified_silent ? "yes" : "NO"});
+    }
+    return table;
+}
+
+TextTable
+makeRepairSummary(const AdvisorResult& result)
+{
+    TextTable table({"Metric", "Value"});
+    auto add = [&table](const std::string& metric, std::string value) {
+        table.addRow({metric, std::move(value)});
+    };
+    add("algo", algos::algoName(result.config.algo));
+    add("input", result.input);
+    add("gpu", result.config.gpu);
+    add("racing sites proposed", std::to_string(result.rows.size()));
+    add("baseline race reports", std::to_string(result.baseline_reports));
+    add("baseline conflict pairs", std::to_string(result.baseline_pairs));
+    add("fixpoint detection rounds",
+        std::to_string(result.fixpoint_rounds));
+    add("unattributed racy pairs",
+        std::to_string(result.unattributed_pairs));
+    add("baseline ms", fmtFixed(result.baseline_ms, 4));
+    add("repaired ms (all fixes)", fmtFixed(result.repaired_ms, 4));
+    add("racefree ms (hand-written)", fmtFixed(result.racefree_ms, 4));
+    add("repaired slowdown",
+        result.baseline_ms > 0.0
+            ? fmtFixed(result.repaired_ms / result.baseline_ms, 3)
+            : "-");
+    add("racefree slowdown",
+        result.baseline_ms > 0.0
+            ? fmtFixed(result.racefree_ms / result.baseline_ms, 3)
+            : "-");
+    add("repair-all race-silent", result.repaired_silent ? "yes" : "NO");
+    add("repair-all output valid", result.repaired_valid ? "yes" : "NO");
+    add("advisor verdict", advisorClean(result) ? "CLEAN" : "NOT CLEAN");
+    return table;
+}
+
+std::string
+renderRepairJson(const AdvisorResult& result)
+{
+    std::string out = "{\"schema\":1";
+    out += ",\"algo\":" + jsonQuote(algos::algoName(result.config.algo));
+    out += ",\"input\":" + jsonQuote(result.input);
+    out += ",\"gpu\":" + jsonQuote(result.config.gpu);
+    out += ",\"seed\":" + std::to_string(result.config.seed);
+    out += ",\"baseline_reports\":" +
+           std::to_string(result.baseline_reports);
+    out += ",\"baseline_pairs\":" + std::to_string(result.baseline_pairs);
+    out += ",\"unattributed_pairs\":" +
+           std::to_string(result.unattributed_pairs);
+    out += ",\"fixpoint_rounds\":" +
+           std::to_string(result.fixpoint_rounds);
+    out += ",\"exposure_cells\":" + std::to_string(result.exposure_cells);
+    out += ",\"baseline_ms\":" + jsonNumber(result.baseline_ms);
+    out += ",\"repaired_ms\":" + jsonNumber(result.repaired_ms);
+    out += ",\"racefree_ms\":" + jsonNumber(result.racefree_ms);
+    out += ",\"repaired_silent\":";
+    out += jsonBool(result.repaired_silent);
+    out += ",\"repaired_valid\":";
+    out += jsonBool(result.repaired_valid);
+    out += ",\"clean\":";
+    out += jsonBool(advisorClean(result));
+    out += ",\"sites\":[\n";
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+        const SiteRow& row = result.rows[i];
+        const FixProposal& p = row.proposal;
+        out += "{\"site\":" + std::to_string(p.site);
+        out += ",\"desc\":" + jsonQuote(p.site_desc);
+        out += ",\"file\":" + jsonQuote(p.file);
+        out += ",\"line\":" + std::to_string(p.line);
+        out += ",\"label\":" + jsonQuote(p.label);
+        out += ",\"observed\":" + jsonQuote(p.observed);
+        out += ",\"allocations\":" + jsonQuote(p.allocations);
+        out += ",\"class\":" + jsonQuote(racecheck::raceClassName(p.cls));
+        out += ",\"fix\":" + jsonQuote(fixName(p.fix));
+        out += ",\"rationale\":" + jsonQuote(p.rationale);
+        out += ",\"pairs\":" + std::to_string(p.pairs);
+        out += ",\"round\":" + std::to_string(row.round);
+        out += ",\"exposure\":" + std::to_string(row.exposed_cells);
+        out += ",\"solo_ms\":" + jsonNumber(row.solo_ms);
+        out += ",\"solo_slowdown\":" + jsonNumber(row.solo_slowdown);
+        out += ",\"verified_silent\":";
+        out += jsonBool(row.verified_silent);
+        out += '}';
+        out += i + 1 < result.rows.size() ? ",\n" : "\n";
+    }
+    out += "]}\n";
+    return out;
+}
+
+}  // namespace eclsim::repair

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The auto-repair advisor: race report in, measured-fix report out.
+ *
+ * runAdvisor() closes the loop the paper performs by hand for one
+ * algorithm on one input:
+ *
+ *  1. detect  — one interleaved racecheck cell of the baseline variant
+ *     (run serially first, which pins site-interning order and thereby
+ *     every SiteId for the rest of the run);
+ *  2. propose — the minimal conversion per racing site (proposal.hpp),
+ *     iterated to a fixpoint: installing fixes changes timing and
+ *     visibility, which can surface races on sites the baseline
+ *     schedule never raced (MIS's out-store emerges only once the
+ *     knockout/neighbor sites are atomic). The advisor re-detects with
+ *     every accumulated fix applied and merges proposals from newly
+ *     racing sites until the repaired run is race-silent, no new
+ *     proposable site appears, or max_rounds detection rounds ran;
+ *  3. rank    — exposure: across (chaos policy x seed) detection cells,
+ *     in how many schedules does each site's race surface? The chaos
+ *     policies act as the schedule explorer the predictive-race-
+ *     detection literature calls for;
+ *  4. verify  — re-run detection with each proposal's fix closure
+ *     applied through the engine's per-site override table: the site
+ *     must vanish from the race table. The closure is the site's
+ *     connected component in the racy-pair graph across every
+ *     detection round — a site's silence can depend transitively on
+ *     fixes of sites it never directly raced with. A whole-algorithm
+ *     repair-all run must be completely race-silent with a still-valid
+ *     output;
+ *  5. price   — fast-mode median runtimes: baseline, each fix alone,
+ *     all fixes together, and the hand-written racefree variant — the
+ *     per-site decomposition of the paper's Tables IV-IX deltas.
+ *
+ * Everything after step 1 fans out over core::ThreadPool under the PR-2
+ * determinism contract (per-task seeds from stable indices, results
+ * placed by slot), so the report — table, CSV, and JSON — is
+ * byte-identical for every jobs value.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "repair/proposal.hpp"
+
+namespace eclsim::repair {
+
+/** Advisor parameters. */
+struct AdvisorConfig
+{
+    std::string gpu = "Titan V";
+    algos::Algo algo = algos::Algo::kCc;
+    /** Catalog input; empty = the default detection input for the
+     *  algorithm's direction (rmat22.sym / wikipedia). */
+    std::string input;
+    /** Graph scale divisor for the interleaved detection/verify cells
+     *  (racecheck's default: small graphs, adversarial scheduler). */
+    u32 detect_divisor = 8192;
+    /** Graph scale divisor for the fast-mode pricing runs (larger
+     *  graphs: the cost of an atomic conversion needs real traffic). */
+    u32 measure_divisor = 2048;
+    u32 cache_divisor = 16;
+    /** Pricing repetitions; the median is reported. */
+    u32 reps = 3;
+    u64 seed = 12345;
+    /** Worker threads; 0 = hardware concurrency, 1 = serial. */
+    u32 jobs = 0;
+    /** Seeds per chaos policy in the exposure scan. */
+    u32 exposure_seeds = 2;
+    double exposure_intensity = 0.5;
+    /** Fixpoint cap: maximum detection rounds (baseline round
+     *  included) before the advisor gives up merging emergent sites. */
+    u32 max_rounds = 4;
+};
+
+/** One report row: a proposal plus its measurements. */
+struct SiteRow
+{
+    FixProposal proposal;
+    /** Fixpoint round that first proposed the site: 0 = the baseline
+     *  detection; >= 1 = emergent, surfaced only after earlier fixes
+     *  were installed. */
+    u32 round = 0;
+    /** Exposure: detection cells (policy x seed) whose race table
+     *  contains the site. The scan runs on the unrepaired baseline, so
+     *  an emergent site can honestly show 0. */
+    u32 exposed_cells = 0;
+    /** Simulated fast-mode median ms with only this site's fix. */
+    double solo_ms = 0.0;
+    /** solo_ms / baseline_ms — the price of this one conversion. */
+    double solo_slowdown = 0.0;
+    /** The site vanished from the race table when its fix closure —
+     *  its connected component in the racy-pair graph — was applied. */
+    bool verified_silent = false;
+};
+
+/** The advisor's full output. */
+struct AdvisorResult
+{
+    AdvisorConfig config;  ///< as run, with defaults resolved
+    std::string input;     ///< resolved input name
+    std::vector<SiteRow> rows;  ///< proposeFixes() order
+    u64 unattributed_pairs = 0;
+    /** Baseline detection cell: racing site pairs and conflict count. */
+    u64 baseline_reports = 0;
+    u64 baseline_pairs = 0;
+    /** Detection rounds that contributed proposals (1 = the baseline
+     *  round sufficed; see AdvisorConfig::max_rounds). */
+    u32 fixpoint_rounds = 1;
+    u32 exposure_cells = 0;  ///< denominator of SiteRow::exposed_cells
+    /** Fast-mode median simulated ms (measure_divisor). */
+    double baseline_ms = 0.0;
+    double repaired_ms = 0.0;  ///< every proposal applied
+    double racefree_ms = 0.0;  ///< the hand-written converted variant
+    /** The repair-all detection run reported zero races. */
+    bool repaired_silent = false;
+    /** The repair-all run's output still passed the oracle. */
+    bool repaired_valid = false;
+};
+
+/** Run the advisor (see file comment). */
+AdvisorResult runAdvisor(const AdvisorConfig& config);
+
+/**
+ * The acceptance predicate: at least one proposal, every proposal
+ * verified silent, the repair-all run silent with a valid output, and
+ * no unattributed racy pairs. bench/repair_advisor exits nonzero
+ * otherwise.
+ */
+bool advisorClean(const AdvisorResult& result);
+
+/** Per-site report table (Site, Observed, Class, Fix, Round, Exposure,
+ *  Pairs, SoloMs, Slowdown, VerifiedSilent). */
+TextTable makeRepairTable(const AdvisorResult& result);
+
+/** Whole-run summary (baseline/repaired/racefree ms, deltas, gate). */
+TextTable makeRepairSummary(const AdvisorResult& result);
+
+/** Deterministic JSON export (byte-identical for every jobs value). */
+std::string renderRepairJson(const AdvisorResult& result);
+
+}  // namespace eclsim::repair

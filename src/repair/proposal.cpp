@@ -1,0 +1,225 @@
+#include "repair/proposal.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace eclsim::repair {
+
+namespace {
+
+using racecheck::RaceClass;
+using racecheck::SiteId;
+
+/** RaceClass enumeration order is severity order (classify.hpp). */
+RaceClass
+worseOf(RaceClass a, RaceClass b)
+{
+    return static_cast<u8>(a) >= static_cast<u8>(b) ? a : b;
+}
+
+/** The paper's order choice: relaxed wherever a benignity (or bounded
+ *  error) argument exists; seq_cst only when nothing weaker is
+ *  justified. */
+simt::SiteOverride
+fixFor(RaceClass cls)
+{
+    simt::SiteOverride fix;
+    fix.mode = simt::AccessMode::kAtomic;
+    fix.scope = simt::Scope::kDevice;
+    fix.order = cls == RaceClass::kUnknownHarmful
+                    ? simt::MemoryOrder::kSeqCst
+                    : simt::MemoryOrder::kRelaxed;
+    return fix;
+}
+
+std::string
+rationaleFor(RaceClass cls)
+{
+    switch (cls) {
+      case RaceClass::kIdempotentWrite:
+        return "idempotent writers: relaxed atomicity removes the race "
+               "without ordering cost";
+      case RaceClass::kMonotonicUpdate:
+        return "monotonic update: relaxed suffices, losers re-converge";
+      case RaceClass::kStaleReadTolerant:
+        return "stale-tolerant reader: relaxed live read replaces the "
+               "racy one";
+      case RaceClass::kWordTearing:
+        return "tearing hazard: atomic access is indivisible at any "
+               "width";
+      case RaceClass::kHarmfulTolerated:
+        return "bounded-error updates: relaxed atomic stops the lost "
+               "updates";
+      case RaceClass::kUnknownHarmful:
+        return "no benignity argument: seq_cst, the conservative "
+               "default the paper warns costs most";
+    }
+    return "?";
+}
+
+std::string
+joinSorted(const std::set<std::string>& parts)
+{
+    std::string out;
+    for (const std::string& part : parts) {
+        if (!out.empty())
+            out += ", ";
+        out += part;
+    }
+    return out;
+}
+
+/** Accumulator for one site across every report that involves it. */
+struct SiteEvidence
+{
+    RaceClass cls = RaceClass::kIdempotentWrite;
+    std::set<std::string> observed;
+    std::set<std::string> allocations;
+    std::set<SiteId> partners;
+    u64 pairs = 0;
+};
+
+}  // namespace
+
+std::string
+fixName(const simt::SiteOverride& fix)
+{
+    const char* order = "?";
+    switch (fix.order) {
+      case simt::MemoryOrder::kRelaxed:
+        order = "relaxed";
+        break;
+      case simt::MemoryOrder::kAcquire:
+        order = "acquire";
+        break;
+      case simt::MemoryOrder::kRelease:
+        order = "release";
+        break;
+      case simt::MemoryOrder::kSeqCst:
+        order = "seq_cst";
+        break;
+    }
+    const char* scope = "?";
+    switch (fix.scope) {
+      case simt::Scope::kBlock:
+        scope = "block";
+        break;
+      case simt::Scope::kDevice:
+        scope = "device";
+        break;
+      case simt::Scope::kSystem:
+        scope = "system";
+        break;
+    }
+    return std::string("atomic(") + order + ", " + scope + ")";
+}
+
+ProposalSet
+proposeFixes(const std::vector<racecheck::CellResult>& results)
+{
+    ProposalSet set;
+    auto& registry = racecheck::SiteRegistry::instance();
+
+    std::map<SiteId, SiteEvidence> evidence;
+    for (const racecheck::CellResult& cell : results) {
+        for (const racecheck::ClassifiedReport& race : cell.races) {
+            const racecheck::RaceReport& rep = race.report;
+            // Each non-atomic side needs a conversion; an atomic side is
+            // already where the repair would put it.
+            const struct
+            {
+                SiteId site;
+                const racecheck::AccessSig& sig;
+                SiteId other;
+                bool other_racy;
+            } sides[2] = {
+                {rep.site_a, rep.sig_a, rep.site_b,
+                 !racecheck::sigIsAtomic(rep.sig_b)},
+                {rep.site_b, rep.sig_b, rep.site_a,
+                 !racecheck::sigIsAtomic(rep.sig_a)},
+            };
+            for (const auto& side : sides) {
+                if (racecheck::sigIsAtomic(side.sig))
+                    continue;
+                if (side.site == racecheck::kUnknownSite) {
+                    set.unattributed_pairs += rep.count;
+                    continue;
+                }
+                SiteEvidence& e = evidence[side.site];
+                e.cls = worseOf(e.cls, race.cls);
+                e.observed.insert(racecheck::accessSigName(side.sig));
+                e.allocations.insert(rep.allocation);
+                e.pairs += rep.count;
+                if (side.other_racy &&
+                    side.other != racecheck::kUnknownSite &&
+                    side.other != side.site)
+                    e.partners.insert(side.other);
+            }
+        }
+    }
+
+    for (const auto& [site, e] : evidence) {
+        FixProposal proposal;
+        proposal.site = site;
+        proposal.site_desc = registry.describe(site);
+        const racecheck::Site record = registry.site(site);
+        proposal.file = record.file;
+        proposal.line = record.line;
+        proposal.label = record.label;
+        proposal.observed = joinSorted(e.observed);
+        proposal.allocations = joinSorted(e.allocations);
+        proposal.cls = e.cls;
+        proposal.fix = fixFor(e.cls);
+        proposal.rationale = rationaleFor(e.cls);
+        proposal.partners.assign(e.partners.begin(), e.partners.end());
+        proposal.pairs = e.pairs;
+        set.proposals.push_back(std::move(proposal));
+    }
+    // Sorted by source description: like the racecheck tables, the
+    // output shape must not depend on site-interning order (the id is
+    // the tiebreaker only for distinct sites sharing a description).
+    std::sort(set.proposals.begin(), set.proposals.end(),
+              [](const FixProposal& a, const FixProposal& b) {
+                  return std::tie(a.site_desc, a.site) <
+                         std::tie(b.site_desc, b.site);
+              });
+    return set;
+}
+
+simt::SiteOverrideTable
+fullTable(const ProposalSet& set)
+{
+    simt::SiteOverrideTable table;
+    for (const FixProposal& proposal : set.proposals)
+        table.set(proposal.site, proposal.fix);
+    return table;
+}
+
+simt::SiteOverrideTable
+closureTable(const ProposalSet& set, size_t index)
+{
+    ECLSIM_ASSERT(index < set.proposals.size(),
+                  "closureTable: index {} out of range", index);
+    const FixProposal& root = set.proposals[index];
+    simt::SiteOverrideTable table;
+    table.set(root.site, root.fix);
+    for (racecheck::SiteId partner : root.partners) {
+        // The partner is a racy side of some pair, so it has its own
+        // proposal; use it (its class may demand a stronger order).
+        bool found = false;
+        for (const FixProposal& other : set.proposals) {
+            if (other.site == partner) {
+                table.set(other.site, other.fix);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            table.set(partner, root.fix);
+    }
+    return table;
+}
+
+}  // namespace eclsim::repair

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fix proposals: from a classified race table to per-site conversions.
+ *
+ * The paper's repair recipe is uniform (Section II-A): replace the racy
+ * plain or volatile access with a cuda::atomic one, using "the weakest
+ * version that is sufficient for correctness". proposeFixes() applies
+ * that recipe mechanically to racecheck's site-attributed reports: every
+ * non-atomic side of every racing pair gets a plain/volatile -> atomic
+ * conversion (a simt::SiteOverride the engine can apply without source
+ * edits), with the memory order chosen from the classified taxonomy
+ * bucket — relaxed for the benign categories, exactly as the paper's
+ * converted codes use throughout, and seq_cst only for unknown/harmful
+ * races, where no weaker correctness argument exists.
+ *
+ * A single conversion is not self-sufficient: a plain/plain pair with
+ * one side converted still races on the other. Each proposal therefore
+ * records its racy *partners* — the non-atomic sites it was observed
+ * racing against — and verification applies the fix closure
+ * (closureTable), mirroring how the paper converts every access to a
+ * shared array, not just one of them.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "racecheck/runner.hpp"
+#include "simt/site_override.hpp"
+
+namespace eclsim::repair {
+
+/** One proposed per-site conversion. */
+struct FixProposal
+{
+    racecheck::SiteId site = racecheck::kUnknownSite;
+    std::string site_desc;  ///< "file:label" (SiteRegistry::describe)
+    std::string file;
+    u32 line = 0;
+    std::string label;
+    /** Observed access signature(s) at the site, comma-joined when the
+     *  site was seen with more than one (accessSigName). */
+    std::string observed;
+    /** Allocation name(s) the site raced on, comma-joined. */
+    std::string allocations;
+    /** Worst classified taxonomy bucket across every report involving
+     *  the site (RaceClass enumeration order is severity order). */
+    racecheck::RaceClass cls = racecheck::RaceClass::kIdempotentWrite;
+    /** The conversion: always -> atomic; order/scope from cls. */
+    simt::SiteOverride fix;
+    /** One-phrase justification for the chosen order. */
+    std::string rationale;
+    /** Non-atomic sites this site was observed racing against (sorted,
+     *  unique, excluding itself). Their fixes form the closure. */
+    std::vector<racecheck::SiteId> partners;
+    /** Total conflicting access pairs across reports involving the
+     *  site. */
+    u64 pairs = 0;
+};
+
+/** The proposals derived from one detection sweep. */
+struct ProposalSet
+{
+    /** Sorted by (site_desc, site): stable under any interning order. */
+    std::vector<FixProposal> proposals;
+    /** Conflicting pairs whose racy side was not ECL_SITE-instrumented
+     *  (kUnknownSite): nothing to override, so nothing to repair. The
+     *  advisor gate requires this to be zero. */
+    u64 unattributed_pairs = 0;
+};
+
+/** Printable fix ("atomic(relaxed, device)"). */
+std::string fixName(const simt::SiteOverride& fix);
+
+/** Derive per-site proposals from detection results (see file comment). */
+ProposalSet proposeFixes(
+    const std::vector<racecheck::CellResult>& results);
+
+/** Override table applying every proposal (whole-algorithm repair). */
+simt::SiteOverrideTable fullTable(const ProposalSet& set);
+
+/**
+ * Override table applying proposal `index` plus the fixes of its racy
+ * partners — the minimal set whose application can make the site's
+ * races silent (one converted side of a plain/plain pair still races).
+ */
+simt::SiteOverrideTable closureTable(const ProposalSet& set, size_t index);
+
+}  // namespace eclsim::repair

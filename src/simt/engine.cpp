@@ -45,8 +45,10 @@ Engine::Engine(GpuSpec spec, DeviceMemory& memory, EngineOptions options)
         options_.perturb);
     if (trace_)
         kernel_track_ = trace_->track("kernels");
-    has_atomic_overrides_ =
-        options_.override_atomic_order || options_.override_atomic_scope;
+    has_request_overrides_ =
+        options_.override_atomic_order || options_.override_atomic_scope ||
+        (options_.site_overrides != nullptr &&
+         !options_.site_overrides->empty());
     sm_cycles_.assign(spec_.num_sms, 0);
 }
 
@@ -81,6 +83,8 @@ Engine::submitAccess(ThreadCtx& ctx, const MemRequest& req_in)
     // so wide non-atomic accesses are split.
     MemRequest req = req_in;
     req.split_wide = true;
+    if (options_.site_overrides != nullptr)
+        options_.site_overrides->apply(req);
     applyAtomicOverrides(req);
     const auto result =
         mem_subsystem_->performPieces(ctx.info_, ctx.sm_, req, 0, 1);

@@ -41,6 +41,7 @@
 #include "simt/gpu_spec.hpp"
 #include "simt/memory_subsystem.hpp"
 #include "simt/race_detector.hpp"
+#include "simt/site_override.hpp"
 #include "simt/task.hpp"
 
 namespace eclsim::prof {
@@ -79,6 +80,18 @@ struct EngineOptions
     MemoryOrder forced_atomic_order = MemoryOrder::kSeqCst;
     bool override_atomic_scope = false;
     Scope forced_atomic_scope = Scope::kDevice;
+    /**
+     * Per-site access-mode override table (the repair subsystem's
+     * applier, simt/site_override.hpp): requests whose MemRequest::site
+     * appears in the table are strengthened to the table's
+     * mode/order/scope before routing, on both the fast and the general
+     * access path — the source-edit-free equivalent of the paper's
+     * by-hand atomic conversions. Strengthening only: RMWs and
+     * already-atomic accesses are untouched. The table must outlive the
+     * engine and must not be mutated while it runs; null (or an empty
+     * table) keeps the unoverridden hot path free of any cost.
+     */
+    const SiteOverrideTable* site_overrides = nullptr;
     /**
      * Optional profiling sink (eclsim::prof). When set, the engine
      * records kernel-launch spans and per-SM block-residency spans on
@@ -527,9 +540,10 @@ class Engine
     /** Selected once per launch: hookless memory subsystem, fast mode,
      *  and not overridden by EngineOptions::force_slow_path. */
     bool use_fast_path_ = false;
-    /** Any atomic-order/scope override configured (cached; see
+    /** Any request-rewriting override configured — atomic order/scope
+     *  ablations or a nonempty per-site table (cached; see
      *  performImmediate). */
-    bool has_atomic_overrides_ = false;
+    bool has_request_overrides_ = false;
 
     // Per-launch scratch, reused across launches so a sweep's steady
     // state performs no per-launch allocation. thread_scratch_ is
@@ -722,13 +736,18 @@ Engine::applyAtomicOverrides(MemRequest& req) const
 inline u64
 Engine::performImmediate(ThreadCtx& ctx, const MemRequest& req_in)
 {
-    // Atomic-order/scope overrides are an ablation feature; when none
-    // are configured (the common case, cached per engine) the request
-    // flows through untouched — no 56-byte copy per access. With
-    // overrides the mutated copy takes the identical route, so results
-    // cannot differ between the two entries.
-    if (has_atomic_overrides_) [[unlikely]] {
+    // Request overrides — the atomic order/scope ablations and the
+    // per-site repair table — are off in the common case (cached per
+    // engine), and the request then flows through untouched: no 56-byte
+    // copy per access. With overrides the mutated copy takes the
+    // identical route, so results cannot differ between the two
+    // entries. Site overrides run first: a plain access a repair
+    // strengthens to atomic is then subject to the same order/scope
+    // ablations as a source-level atomic would be.
+    if (has_request_overrides_) [[unlikely]] {
         MemRequest req = req_in;
+        if (options_.site_overrides != nullptr)
+            options_.site_overrides->apply(req);
         applyAtomicOverrides(req);
         return performRouted(ctx, req);
     }

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Per-site access-mode override table: the repair subsystem's applier.
+ *
+ * The paper removes each data race by editing the source — turning a
+ * plain or volatile access into a cuda::atomic one — and re-measuring.
+ * eclsim::repair automates that loop, and this table is the mechanism
+ * that applies a proposed conversion *without source edits*: every
+ * instrumented kernel access already carries its racecheck SiteId on the
+ * MemRequest, so the engine can rewrite the request's AccessMode (and,
+ * for the resulting atomic, its memory order and scope) at issue time,
+ * exactly as if the kernel author had changed the qualifier.
+ *
+ * Semantics are strengthening-only, mirroring what a repair is allowed
+ * to do:
+ *
+ *  - plain  -> atomic(order, scope)   (the paper's main conversion)
+ *  - volatile -> atomic(order, scope) (volatile does not synchronize)
+ *  - RMWs and accesses that are already atomic are left untouched — an
+ *    override on an already-atomic site is a no-op, and a repair never
+ *    weakens an access.
+ *
+ * The table extends the EngineOptions::override_atomic_order/scope
+ * ablation precedent: it is consulted on BOTH access paths (the hookless
+ * fast path and the general performPieces route) because the rewrite
+ * happens in Engine::performImmediate / Engine::submitAccess, before
+ * routing. A rewritten request inherits every consequence of being
+ * atomic: it routes to the L2 atomic units (performance cost), it never
+ * tears (MemRequest::pieces() == 1), it reads live values instead of
+ * the sweep snapshot, and the happens-before detector excuses
+ * atomic/atomic pairs — so "the repaired run is race-silent" falls out
+ * of the same machinery that makes the hand-converted codes silent.
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/logging.hpp"
+#include "core/types.hpp"
+#include "simt/access.hpp"
+
+namespace eclsim::simt {
+
+/** One per-site conversion: the mode (and, for atomics, order/scope)
+ *  the site's requests should execute with. */
+struct SiteOverride
+{
+    AccessMode mode = AccessMode::kAtomic;
+    MemoryOrder order = MemoryOrder::kRelaxed;
+    Scope scope = Scope::kDevice;
+};
+
+/**
+ * Dense SiteId -> SiteOverride map (site ids are small and dense; see
+ * racecheck::SiteRegistry). Build it once, hand a pointer to
+ * EngineOptions::site_overrides, and keep it alive for the engine's
+ * lifetime. The table is immutable while engines run.
+ */
+class SiteOverrideTable
+{
+  public:
+    /** Install (or replace) the override for one site. Site 0 is the
+     *  unattributed sentinel and cannot be overridden. */
+    void
+    set(u32 site, const SiteOverride& override_value)
+    {
+        ECLSIM_ASSERT(site != 0,
+                      "cannot override the unattributed site 0");
+        if (site >= present_.size()) {
+            present_.resize(site + 1, 0);
+            slots_.resize(site + 1);
+        }
+        if (!present_[site])
+            ++count_;
+        present_[site] = 1;
+        slots_[site] = override_value;
+    }
+
+    /** The override for a site, or null when none is installed. */
+    const SiteOverride*
+    find(u32 site) const
+    {
+        return site < present_.size() && present_[site] ? &slots_[site]
+                                                        : nullptr;
+    }
+
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
+
+    void
+    clear()
+    {
+        present_.clear();
+        slots_.clear();
+        count_ = 0;
+    }
+
+    /**
+     * Rewrite a request according to the table (strengthening only; see
+     * file comment). Requests from sites without an override, RMWs, and
+     * already-atomic accesses pass through unchanged.
+     */
+    void
+    apply(MemRequest& req) const
+    {
+        const SiteOverride* override_value = find(req.site);
+        if (override_value == nullptr)
+            return;
+        if (req.kind == MemOpKind::kRmw ||
+            req.mode == AccessMode::kAtomic)
+            return;  // already atomic: the conversion is a no-op
+        if (override_value->mode != AccessMode::kAtomic)
+            return;  // only plain/volatile -> atomic conversions exist
+        req.mode = override_value->mode;
+        req.order = override_value->order;
+        req.scope = override_value->scope;
+    }
+
+    /** True if apply() would change this request. */
+    bool
+    wouldChange(const MemRequest& req) const
+    {
+        const SiteOverride* override_value = find(req.site);
+        return override_value != nullptr &&
+               req.kind != MemOpKind::kRmw &&
+               req.mode != AccessMode::kAtomic &&
+               override_value->mode == AccessMode::kAtomic;
+    }
+
+  private:
+    std::vector<SiteOverride> slots_;  ///< indexed by site id
+    std::vector<u8> present_;          ///< 1 where slots_ is installed
+    size_t count_ = 0;
+};
+
+}  // namespace eclsim::simt

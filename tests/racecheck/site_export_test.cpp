@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Golden-shape test of the ECL_SITE registry export
+ * (`bench/racecheck --list-sites`): populateSiteRegistry interns every
+ * instrumented kernel site deterministically, and makeSiteListTable
+ * renders them sorted by source position with stable ids.
+ *
+ * Kept in its own test binary on purpose: the registry is process
+ * global, so this binary's registry holds exactly what the populate
+ * pass interns — no other test's probe sites can leak into the shape
+ * being asserted.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "racecheck/runner.hpp"
+#include "racecheck/sites.hpp"
+
+namespace eclsim::racecheck {
+namespace {
+
+TEST(SiteExportTest, PopulateInternsEveryInstrumentedKernelSite)
+{
+    populateSiteRegistry();
+    // ~60 sites shipped with PR 4 and the Graphalytics codes added
+    // more; a conservative floor catches a silently skipped algorithm
+    // without breaking on incidental site additions.
+    EXPECT_GE(SiteRegistry::instance().size(), 40u);
+
+    std::set<std::string> files;
+    for (const Site& site : SiteRegistry::instance().snapshot())
+        files.insert(site.file);
+    for (const char* expected :
+         {"cc.cpp", "gc.cpp", "mis.cpp", "mst.cpp", "scc.cpp", "pr.cpp",
+          "bfs.cpp", "wcc.cpp"})
+        EXPECT_TRUE(files.count(expected))
+            << "no interned site from " << expected;
+}
+
+TEST(SiteExportTest, TableShapeIsSortedAndComplete)
+{
+    populateSiteRegistry();
+    const TextTable table = makeSiteListTable();
+
+    ASSERT_EQ(table.columns(), 5u);
+    EXPECT_EQ(table.rows(), SiteRegistry::instance().size());
+
+    const std::set<std::string> known_expectations = {
+        "none",     "idempotent",    "monotonic",
+        "stale-tolerant", "tearing", "bounded-error"};
+    std::set<std::string> seen_ids;
+    std::string prev_key;
+    for (size_t row = 0; row < table.rows(); ++row) {
+        // Unique, nonzero, numeric ids.
+        const std::string& id = table.cell(row, 0);
+        EXPECT_TRUE(seen_ids.insert(id).second)
+            << "duplicate id " << id;
+        EXPECT_NE(id, "0");
+        // Sorted by (file, line, label). Zero-pad the line so the
+        // string comparison matches the numeric sort order.
+        std::string line = table.cell(row, 2);
+        line.insert(0, 8 - std::min<size_t>(8, line.size()), '0');
+        const std::string key =
+            table.cell(row, 1) + "\x01" + line + "\x01" +
+            table.cell(row, 3);
+        EXPECT_LE(prev_key, key) << "row " << row << " out of order";
+        prev_key = key;
+        EXPECT_TRUE(known_expectations.count(table.cell(row, 4)))
+            << "unknown expectation '" << table.cell(row, 4) << "'";
+    }
+}
+
+TEST(SiteExportTest, RepeatedExportIsByteIdentical)
+{
+    populateSiteRegistry();
+    const std::string first = makeSiteListTable().toCsv();
+    populateSiteRegistry();  // idempotent
+    const std::string second = makeSiteListTable().toCsv();
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first.find("Id,File,Line,Label,Expectation"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace eclsim::racecheck

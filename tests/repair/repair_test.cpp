@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests of eclsim::repair: proposal derivation from classified race
+ * reports (dedup across reports, worst-class-governs order choice,
+ * partner closure, unattributed accounting), the advisor end to end on
+ * CC (every baseline racing site proposed, verified race-silent, clean
+ * verdict), byte-identical reports across --jobs, and the racecheck
+ * runner's site-override plumbing (identical site tables at any jobs
+ * value with a table installed).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "repair/advisor.hpp"
+#include "repair/proposal.hpp"
+
+namespace eclsim::repair {
+namespace {
+
+using racecheck::AccessSig;
+using racecheck::ClassifiedReport;
+using racecheck::RaceClass;
+using racecheck::RaceKind;
+using racecheck::RaceReport;
+using racecheck::SiteId;
+
+AccessSig
+plainSig(simt::MemOpKind kind)
+{
+    AccessSig sig;
+    sig.kind = kind;
+    sig.mode = simt::AccessMode::kPlain;
+    return sig;
+}
+
+AccessSig
+atomicSig(simt::MemOpKind kind)
+{
+    AccessSig sig;
+    sig.kind = kind;
+    sig.mode = simt::AccessMode::kAtomic;
+    return sig;
+}
+
+ClassifiedReport
+makeReport(const std::string& alloc, RaceKind kind, SiteId a,
+           const AccessSig& sig_a, SiteId b, const AccessSig& sig_b,
+           u64 count, RaceClass cls)
+{
+    ClassifiedReport out;
+    out.report.allocation = alloc;
+    out.report.kind = kind;
+    out.report.site_a = a;
+    out.report.sig_a = sig_a;
+    out.report.site_b = b;
+    out.report.sig_b = sig_b;
+    out.report.count = count;
+    out.cls = cls;
+    out.reason = "test";
+    return out;
+}
+
+struct ProbeSites
+{
+    SiteId writer;
+    SiteId reader;
+    SiteId atomic_partner;
+};
+
+ProbeSites
+probeSites()
+{
+    auto& registry = racecheck::SiteRegistry::instance();
+    return {registry.intern("repair_test.cpp", 10, "probe writer"),
+            registry.intern("repair_test.cpp", 20, "probe reader"),
+            registry.intern("repair_test.cpp", 30, "probe atomic")};
+}
+
+TEST(RepairProposalTest, EachRacySideGetsOneDedupedProposal)
+{
+    const ProbeSites sites = probeSites();
+    racecheck::CellResult cell;
+    // The same W/W pair reported twice (two allocations): one proposal
+    // per site, pairs summed, partners recorded once.
+    cell.races.push_back(makeReport(
+        "alloc_a", RaceKind::kWriteWrite, sites.writer,
+        plainSig(simt::MemOpKind::kStore), sites.reader,
+        plainSig(simt::MemOpKind::kStore), 3, RaceClass::kMonotonicUpdate));
+    cell.races.push_back(makeReport(
+        "alloc_b", RaceKind::kWriteWrite, sites.writer,
+        plainSig(simt::MemOpKind::kStore), sites.reader,
+        plainSig(simt::MemOpKind::kStore), 4, RaceClass::kMonotonicUpdate));
+
+    const ProposalSet set = proposeFixes({cell});
+    ASSERT_EQ(set.proposals.size(), 2u);
+    EXPECT_EQ(set.unattributed_pairs, 0u);
+    for (const FixProposal& p : set.proposals) {
+        EXPECT_EQ(p.pairs, 7u);
+        EXPECT_EQ(p.fix.mode, simt::AccessMode::kAtomic);
+        EXPECT_EQ(p.fix.order, simt::MemoryOrder::kRelaxed);
+        EXPECT_EQ(p.cls, RaceClass::kMonotonicUpdate);
+        ASSERT_EQ(p.partners.size(), 1u);
+        EXPECT_EQ(p.allocations, "alloc_a, alloc_b");
+    }
+    EXPECT_EQ(set.proposals[0].partners[0], set.proposals[1].site);
+    EXPECT_EQ(set.proposals[1].partners[0], set.proposals[0].site);
+}
+
+TEST(RepairProposalTest, WorstClassGovernsAndUnknownHarmfulGetsSeqCst)
+{
+    const ProbeSites sites = probeSites();
+    racecheck::CellResult cell;
+    cell.races.push_back(makeReport(
+        "alloc", RaceKind::kReadWrite, sites.writer,
+        plainSig(simt::MemOpKind::kStore), sites.reader,
+        plainSig(simt::MemOpKind::kLoad), 1,
+        RaceClass::kStaleReadTolerant));
+    cell.races.push_back(makeReport(
+        "alloc", RaceKind::kWriteWrite, sites.writer,
+        plainSig(simt::MemOpKind::kStore), sites.atomic_partner,
+        atomicSig(simt::MemOpKind::kStore), 1,
+        RaceClass::kUnknownHarmful));
+
+    const ProposalSet set = proposeFixes({cell});
+    // The atomic side needs no conversion: two proposals, not three.
+    ASSERT_EQ(set.proposals.size(), 2u);
+    const FixProposal* writer = nullptr;
+    const FixProposal* reader = nullptr;
+    for (const FixProposal& p : set.proposals) {
+        if (p.site == sites.writer)
+            writer = &p;
+        if (p.site == sites.reader)
+            reader = &p;
+        EXPECT_NE(p.site, sites.atomic_partner);
+    }
+    ASSERT_NE(writer, nullptr);
+    ASSERT_NE(reader, nullptr);
+    // Worst class across the writer's two reports is unknown-harmful:
+    // no benignity argument, so the conservative seq_cst order.
+    EXPECT_EQ(writer->cls, RaceClass::kUnknownHarmful);
+    EXPECT_EQ(writer->fix.order, simt::MemoryOrder::kSeqCst);
+    EXPECT_EQ(reader->cls, RaceClass::kStaleReadTolerant);
+    EXPECT_EQ(reader->fix.order, simt::MemoryOrder::kRelaxed);
+    // The atomic partner is not a racy partner (nothing to close over).
+    ASSERT_EQ(writer->partners.size(), 1u);
+    EXPECT_EQ(writer->partners[0], sites.reader);
+}
+
+TEST(RepairProposalTest, UninstrumentedRacySidesAreCountedNotProposed)
+{
+    const ProbeSites sites = probeSites();
+    racecheck::CellResult cell;
+    cell.races.push_back(makeReport(
+        "alloc", RaceKind::kWriteWrite, racecheck::kUnknownSite,
+        plainSig(simt::MemOpKind::kStore), sites.writer,
+        plainSig(simt::MemOpKind::kStore), 5,
+        RaceClass::kIdempotentWrite));
+
+    const ProposalSet set = proposeFixes({cell});
+    EXPECT_EQ(set.unattributed_pairs, 5u);
+    ASSERT_EQ(set.proposals.size(), 1u);
+    EXPECT_EQ(set.proposals[0].site, sites.writer);
+    EXPECT_TRUE(set.proposals[0].partners.empty());
+}
+
+TEST(RepairProposalTest, ClosureAndFullTables)
+{
+    const ProbeSites sites = probeSites();
+    racecheck::CellResult cell;
+    cell.races.push_back(makeReport(
+        "alloc", RaceKind::kReadWrite, sites.writer,
+        plainSig(simt::MemOpKind::kStore), sites.reader,
+        plainSig(simt::MemOpKind::kLoad), 2,
+        RaceClass::kStaleReadTolerant));
+
+    const ProposalSet set = proposeFixes({cell});
+    ASSERT_EQ(set.proposals.size(), 2u);
+
+    const simt::SiteOverrideTable full = fullTable(set);
+    EXPECT_EQ(full.size(), 2u);
+    EXPECT_NE(full.find(sites.writer), nullptr);
+    EXPECT_NE(full.find(sites.reader), nullptr);
+
+    // Each closure contains the root and its racy partner: converting
+    // one side of a plain/plain pair alone would leave it racing.
+    for (size_t i = 0; i < set.proposals.size(); ++i) {
+        const simt::SiteOverrideTable closure = closureTable(set, i);
+        EXPECT_EQ(closure.size(), 2u);
+        EXPECT_NE(closure.find(sites.writer), nullptr);
+        EXPECT_NE(closure.find(sites.reader), nullptr);
+    }
+}
+
+AdvisorConfig
+quickConfig(algos::Algo algo, u32 jobs)
+{
+    AdvisorConfig config;
+    config.algo = algo;
+    config.jobs = jobs;
+    config.reps = 2;
+    config.exposure_seeds = 1;
+    return config;
+}
+
+TEST(RepairAdvisorTest, CcAdvisorRepairsEveryBaselineRacingSite)
+{
+    const AdvisorResult result =
+        runAdvisor(quickConfig(algos::Algo::kCc, 0));
+
+    EXPECT_TRUE(advisorClean(result));
+    EXPECT_FALSE(result.rows.empty());
+    EXPECT_GT(result.baseline_pairs, 0u);
+    EXPECT_EQ(result.unattributed_pairs, 0u);
+    EXPECT_TRUE(result.repaired_silent);
+    EXPECT_TRUE(result.repaired_valid);
+    EXPECT_GT(result.baseline_ms, 0.0);
+    EXPECT_GT(result.repaired_ms, result.baseline_ms)
+        << "converting every racing site to atomics must cost time";
+    for (const SiteRow& row : result.rows) {
+        EXPECT_TRUE(row.verified_silent) << row.proposal.site_desc;
+        EXPECT_GT(row.solo_ms, 0.0);
+        EXPECT_GT(row.solo_slowdown, 0.0);
+        EXPECT_GT(row.exposed_cells, 0u)
+            << "a CC race that no schedule exposes should not exist: "
+            << row.proposal.site_desc;
+        EXPECT_EQ(row.proposal.fix.mode, simt::AccessMode::kAtomic);
+    }
+}
+
+TEST(RepairAdvisorTest, MisEmergentRacesAreRepairedByFixpointRounds)
+{
+    // MIS's out-store never races under the baseline schedule; it
+    // emerges only once the knockout/neighbor sites are atomic. The
+    // single-round advisor cannot repair it — the fixpoint must take
+    // at least one extra detection round and still end CLEAN.
+    const AdvisorResult result =
+        runAdvisor(quickConfig(algos::Algo::kMis, 0));
+
+    EXPECT_TRUE(advisorClean(result));
+    EXPECT_GE(result.fixpoint_rounds, 2u);
+    bool emergent = false;
+    for (const SiteRow& row : result.rows) {
+        EXPECT_TRUE(row.verified_silent) << row.proposal.site_desc;
+        emergent |= row.round >= 1;
+    }
+    EXPECT_TRUE(emergent)
+        << "no proposal was attributed to a later fixpoint round";
+}
+
+TEST(RepairAdvisorTest, ReportIsByteIdenticalAcrossJobs)
+{
+    const AdvisorResult serial =
+        runAdvisor(quickConfig(algos::Algo::kCc, 1));
+    const AdvisorResult parallel =
+        runAdvisor(quickConfig(algos::Algo::kCc, 4));
+
+    EXPECT_EQ(renderRepairJson(serial), renderRepairJson(parallel));
+    EXPECT_EQ(makeRepairTable(serial).toCsv(),
+              makeRepairTable(parallel).toCsv());
+    EXPECT_EQ(makeRepairSummary(serial).toCsv(),
+              makeRepairSummary(parallel).toCsv());
+}
+
+TEST(RepairRunnerOverrideTest, SiteTablesIdenticalAcrossJobsWithOverrides)
+{
+    // Satellite contract: override + racecheck produces identical site
+    // tables at --jobs=1 and --jobs=8. Override every cc.cpp site (the
+    // full repair), leaving wcc racing, so the sweep exercises both a
+    // silenced and a racing cell under the table.
+    racecheck::populateSiteRegistry();
+    simt::SiteOverrideTable table;
+    simt::SiteOverride fix;
+    for (const racecheck::Site& site :
+         racecheck::SiteRegistry::instance().snapshot())
+        if (site.file == "cc.cpp")
+            table.set(site.id, fix);
+    ASSERT_GT(table.size(), 0u);
+
+    racecheck::RunnerConfig config;
+    config.algos = {algos::Algo::kCc, algos::Algo::kWcc};
+    config.variants = {algos::Variant::kBaseline};
+    config.include_apsp = false;
+    config.site_overrides = &table;
+
+    config.jobs = 1;
+    const auto serial = racecheck::runRacecheck(config);
+    config.jobs = 8;
+    const auto parallel = racecheck::runRacecheck(config);
+
+    const std::string serial_csv =
+        racecheck::makeSiteTable(serial).toCsv();
+    EXPECT_EQ(serial_csv, racecheck::makeSiteTable(parallel).toCsv());
+    EXPECT_EQ(racecheck::renderRacecheckJson(serial),
+              racecheck::renderRacecheckJson(parallel));
+
+    // The overridden CC baseline is race-silent; WCC still races.
+    for (const racecheck::CellResult& cell : serial) {
+        if (cell.cell.algo == algos::Algo::kCc)
+            EXPECT_TRUE(cell.races.empty())
+                << "cc baseline still races under its full override";
+        else
+            EXPECT_FALSE(cell.races.empty())
+                << "wcc baseline should still race (no override)";
+    }
+}
+
+}  // namespace
+}  // namespace eclsim::repair

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests of the per-site access-mode override table (the repair
+ * subsystem's applier): strengthening-only rewrite semantics, no-op on
+ * already-atomic sites, fast-path vs forced-slow-path parity with
+ * overrides active, and the end-to-end property the repair loop rests
+ * on — an overridden racing pair goes silent under the happens-before
+ * detector.
+ */
+#include <gtest/gtest.h>
+
+#include "racecheck/sites.hpp"
+#include "simt/engine.hpp"
+#include "simt/site_override.hpp"
+
+namespace eclsim::simt {
+namespace {
+
+SiteOverride
+relaxedAtomic()
+{
+    SiteOverride fix;
+    fix.mode = AccessMode::kAtomic;
+    fix.order = MemoryOrder::kRelaxed;
+    fix.scope = Scope::kDevice;
+    return fix;
+}
+
+TEST(SiteOverrideTableTest, SetFindClear)
+{
+    SiteOverrideTable table;
+    EXPECT_TRUE(table.empty());
+    EXPECT_EQ(table.find(3), nullptr);
+
+    table.set(3, relaxedAtomic());
+    EXPECT_FALSE(table.empty());
+    EXPECT_EQ(table.size(), 1u);
+    ASSERT_NE(table.find(3), nullptr);
+    EXPECT_EQ(table.find(3)->order, MemoryOrder::kRelaxed);
+    EXPECT_EQ(table.find(2), nullptr);
+    EXPECT_EQ(table.find(4), nullptr);
+    EXPECT_EQ(table.find(100000), nullptr);
+
+    SiteOverride seq = relaxedAtomic();
+    seq.order = MemoryOrder::kSeqCst;
+    table.set(3, seq);  // replace, not duplicate
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_EQ(table.find(3)->order, MemoryOrder::kSeqCst);
+
+    table.clear();
+    EXPECT_TRUE(table.empty());
+    EXPECT_EQ(table.find(3), nullptr);
+}
+
+TEST(SiteOverrideTableTest, ApplyStrengthensOnlyNonAtomicAccesses)
+{
+    SiteOverrideTable table;
+    table.set(7, relaxedAtomic());
+
+    MemRequest plain;
+    plain.site = 7;
+    plain.kind = MemOpKind::kStore;
+    plain.mode = AccessMode::kPlain;
+    EXPECT_TRUE(table.wouldChange(plain));
+    table.apply(plain);
+    EXPECT_EQ(plain.mode, AccessMode::kAtomic);
+    EXPECT_EQ(plain.order, MemoryOrder::kRelaxed);
+    EXPECT_EQ(plain.scope, Scope::kDevice);
+
+    MemRequest vol;
+    vol.site = 7;
+    vol.kind = MemOpKind::kLoad;
+    vol.mode = AccessMode::kVolatile;
+    table.apply(vol);
+    EXPECT_EQ(vol.mode, AccessMode::kAtomic);
+
+    // Already atomic: untouched, including its original order/scope.
+    MemRequest atomic_req;
+    atomic_req.site = 7;
+    atomic_req.kind = MemOpKind::kStore;
+    atomic_req.mode = AccessMode::kAtomic;
+    atomic_req.order = MemoryOrder::kSeqCst;
+    atomic_req.scope = Scope::kBlock;
+    EXPECT_FALSE(table.wouldChange(atomic_req));
+    table.apply(atomic_req);
+    EXPECT_EQ(atomic_req.order, MemoryOrder::kSeqCst);
+    EXPECT_EQ(atomic_req.scope, Scope::kBlock);
+
+    // RMWs are atomic by construction: untouched.
+    MemRequest rmw;
+    rmw.site = 7;
+    rmw.kind = MemOpKind::kRmw;
+    rmw.mode = AccessMode::kPlain;  // mode is ignored for RMWs
+    EXPECT_FALSE(table.wouldChange(rmw));
+    table.apply(rmw);
+    EXPECT_EQ(rmw.kind, MemOpKind::kRmw);
+    EXPECT_EQ(rmw.mode, AccessMode::kPlain);
+
+    // Unlisted site: untouched.
+    MemRequest other = plain;
+    other.site = 8;
+    other.mode = AccessMode::kPlain;
+    EXPECT_FALSE(table.wouldChange(other));
+    table.apply(other);
+    EXPECT_EQ(other.mode, AccessMode::kPlain);
+}
+
+/** Run a kernel whose every data access is attributed to `site`, with
+ *  the given qualification, under an optional override table. */
+LaunchStats
+runAttributedKernel(u32 site, AccessMode mode,
+                    const SiteOverrideTable* overrides, bool force_slow,
+                    std::vector<u32>* image_out,
+                    bool* used_fast_out = nullptr)
+{
+    EngineOptions options;
+    options.seed = 11;
+    options.site_overrides = overrides;
+    options.force_slow_path = force_slow;
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, options);
+
+    const u32 n = 1 << 10;
+    auto data = memory.alloc<u32>(n, "data");
+    const auto stats = engine.launch(
+        "attributed", launchFor(n, 128), [&](ThreadCtx& t) -> Task {
+            const u32 i = t.globalThreadId();
+            if (i >= n)
+                co_return;
+            co_await t.at(site).store(data, i, i * 3u, mode);
+            const u32 back = co_await t.at(site).load(data, i, mode);
+            co_await t.at(site).store(data, i, back + 1u, mode);
+        });
+    if (used_fast_out != nullptr)
+        *used_fast_out = engine.usedFastPath();
+    if (image_out != nullptr)
+        *image_out = memory.download(data, n);
+    return stats;
+}
+
+TEST(SiteOverrideEngineTest, OverrideOnAlreadyAtomicSiteIsANoOp)
+{
+    const u32 site = racecheck::SiteRegistry::instance().intern(
+        "site_override_test.cpp", 1, "already-atomic probe");
+    SiteOverrideTable table;
+    table.set(site, relaxedAtomic());
+
+    std::vector<u32> with_image, without_image;
+    const auto with = runAttributedKernel(site, AccessMode::kAtomic,
+                                          &table, false, &with_image);
+    const auto without = runAttributedKernel(site, AccessMode::kAtomic,
+                                             nullptr, false,
+                                             &without_image);
+    EXPECT_EQ(with_image, without_image);
+    EXPECT_EQ(with.cycles, without.cycles);
+    EXPECT_EQ(with.mem.atomic_accesses, without.mem.atomic_accesses);
+    EXPECT_EQ(with.mem.loads, without.mem.loads);
+    EXPECT_EQ(with.mem.stores, without.mem.stores);
+}
+
+TEST(SiteOverrideEngineTest, PlainSiteIsStrengthenedToAtomic)
+{
+    const u32 site = racecheck::SiteRegistry::instance().intern(
+        "site_override_test.cpp", 2, "plain-to-atomic probe");
+    SiteOverrideTable table;
+    table.set(site, relaxedAtomic());
+
+    std::vector<u32> plain_image, fixed_image;
+    const auto plain = runAttributedKernel(site, AccessMode::kPlain,
+                                           nullptr, false, &plain_image);
+    const auto fixed = runAttributedKernel(site, AccessMode::kPlain,
+                                           &table, false, &fixed_image);
+
+    // Single-threaded per element: the functional result is identical...
+    EXPECT_EQ(plain_image, fixed_image);
+    // ...but the accesses now execute as atomics (and are priced so).
+    EXPECT_EQ(plain.mem.atomic_accesses, 0u);
+    EXPECT_EQ(fixed.mem.atomic_accesses,
+              fixed.mem.loads + fixed.mem.stores);
+    EXPECT_GT(fixed.cycles, plain.cycles);
+}
+
+TEST(SiteOverrideEngineTest, FastAndForcedSlowPathsAgreeUnderOverrides)
+{
+    const u32 site = racecheck::SiteRegistry::instance().intern(
+        "site_override_test.cpp", 3, "path-parity probe");
+    SiteOverrideTable table;
+    table.set(site, relaxedAtomic());
+
+    std::vector<u32> fast_image, slow_image;
+    bool used_fast = false, used_slow_fast = true;
+    const auto fast = runAttributedKernel(
+        site, AccessMode::kPlain, &table, false, &fast_image, &used_fast);
+    const auto slow =
+        runAttributedKernel(site, AccessMode::kPlain, &table, true,
+                            &slow_image, &used_slow_fast);
+
+    EXPECT_TRUE(used_fast)
+        << "a site-override table must not disable the fast path";
+    EXPECT_FALSE(used_slow_fast);
+    EXPECT_EQ(fast_image, slow_image);
+    EXPECT_EQ(fast.cycles, slow.cycles);
+    EXPECT_EQ(fast.mem.atomic_accesses, slow.mem.atomic_accesses);
+    EXPECT_EQ(fast.mem.loads, slow.mem.loads);
+    EXPECT_EQ(fast.mem.stores, slow.mem.stores);
+}
+
+/** A genuine cross-block W/W race on one cell, both sides attributed. */
+u64
+racyPairCount(const SiteOverrideTable* overrides, u32 store_site,
+              u32 load_site)
+{
+    EngineOptions options;
+    options.mode = ExecMode::kInterleaved;
+    options.detect_races = true;
+    options.shuffle_blocks = true;
+    options.seed = 21;
+    options.site_overrides = overrides;
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, options);
+
+    auto cell = memory.alloc<u32>(1, "cell");
+    engine.launch("racy", launchFor(64, 32), [&](ThreadCtx& t) -> Task {
+        co_await t.at(store_site).store(cell, 0, t.globalThreadId());
+        (void)co_await t.at(load_site).load(cell, 0);
+    });
+    return engine.raceDetector()->totalRaces();
+}
+
+TEST(SiteOverrideEngineTest, OverriddenRacingPairGoesSilent)
+{
+    auto& registry = racecheck::SiteRegistry::instance();
+    const u32 store_site = registry.intern("site_override_test.cpp", 4,
+                                           "racy-store probe");
+    const u32 load_site = registry.intern("site_override_test.cpp", 5,
+                                          "racy-load probe");
+
+    ASSERT_GT(racyPairCount(nullptr, store_site, load_site), 0u)
+        << "the unrepaired kernel must race";
+
+    // One side converted: the plain side still conflicts with it.
+    SiteOverrideTable store_only;
+    store_only.set(store_site, relaxedAtomic());
+    EXPECT_GT(racyPairCount(&store_only, store_site, load_site), 0u);
+
+    // Both sides converted (the fix closure): atomic/atomic pairs are
+    // excused — the repaired run is race-silent.
+    SiteOverrideTable closure;
+    closure.set(store_site, relaxedAtomic());
+    closure.set(load_site, relaxedAtomic());
+    EXPECT_EQ(racyPairCount(&closure, store_site, load_site), 0u);
+}
+
+}  // namespace
+}  // namespace eclsim::simt
