@@ -28,6 +28,9 @@
  *   --exposure-intensity=X  chaos intensity in [0,1] (default 0.5)
  *   --max-rounds=N          fixpoint cap on detection rounds (default
  *                           4; emergent races can need more than one)
+ *   --seed-static           also propose fixes for statically predicted
+ *                           races no detection round witnessed
+ *                           (eclsim::staticrace may-race seeding)
  *   --seed=N --jobs=N       the usual determinism contract: the report
  *                           is byte-identical for every --jobs value
  *   --csv=PATH --json=PATH  machine-readable report exports
@@ -94,6 +97,7 @@ main(int argc, char** argv)
         flags.getDouble("exposure-intensity", 0.5);
     config.max_rounds =
         static_cast<u32>(flags.getInt("max-rounds", 4));
+    config.seed_static = flags.getBool("seed-static", false);
     config.seed = static_cast<u64>(flags.getInt("seed", 12345));
     config.jobs = static_cast<u32>(flags.getInt("jobs", 0));
 

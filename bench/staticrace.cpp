@@ -1,40 +1,32 @@
 /**
  * @file
- * Race-freedom gate driver (eclsim::racecheck).
+ * Static may-race analyzer driver (eclsim::staticrace).
  *
- * Sweeps every (algorithm x variant x input) cell under the
- * happens-before detector, prints the classified race-site table plus
- * the per-algorithm summary, and applies the gate:
+ * Probes every (algorithm x variant x input) cell once in cheap fast
+ * mode with the summary Recorder attached, runs the pairwise symbolic
+ * may-race analysis, and prints the ranked pair table plus the per-cell
+ * summary. With --gate it additionally runs the full DYNAMIC racecheck
+ * sweep over the same cells and applies the soundness gate: any
+ * dynamically witnessed race missing from the static may-set — or any
+ * non-atomic may-race predicted on a race-free variant (APSP exempt,
+ * DESIGN.md §16) — exits nonzero. This is the CI check that the
+ * analyzer stays a sound over-approximation of the detector.
  *
- *   - any racefree variant (or APSP) reporting a race fails;
- *   - any baseline algorithm reporting *no* races fails (the detector
- *     must keep reproducing the paper's Section IV findings);
- *   - any baseline race classified unknown/harmful fails.
- *
- * Exit status is nonzero iff the gate fails — this is the CI check that
- * the converted codes stay clean and every remaining race keeps a
- * validated benignity argument.
- *
- * Flags (besides the standard --seed/--jobs/--csv/--trace/--counters):
+ * Flags (besides the standard --seed/--jobs/--csv):
  *   --algos=LIST         comma-separated subset of
  *                        cc,gc,mis,mst,scc,pr,bfs,wcc
  *   --variants=LIST      baseline,racefree (default both)
  *   --inputs=LIST        undirected inputs (default rmat22.sym)
- *   --directed-inputs=LIST  SCC/PR/BFS inputs (default wikipedia)
- *   --no-apsp            skip the APSP cells
+ *   --directed-inputs=LIST  SCC inputs (default wikipedia)
+ *   --no-apsp            skip the APSP cell
  *   --gpu=NAME           GPU model (default "Titan V")
- *   --divisor=N          input scale divisor (default 8192: interleaved
- *                        runs with byte-granular shadow are slow)
- *   --apsp-vertices=N    size of the generated APSP graph (default 96:
- *                        the O(n^3) kernels dominate the sweep)
- *   --list-sites         print the interned ECL_SITE registry (sorted,
- *                        deterministic ids) annotated by a one-shot
- *                        observation probe — access kinds, atomic
- *                        order/scope, barrier-phase epoch interval —
- *                        and exit, no sweep; repair proposals and tests
- *                        reference sites by these ids. --csv/--json
- *                        export the same table
- *   --json=PATH          also write the sweep as machine-readable JSON
+ *   --divisor=N          input scale divisor (default 8192, matching
+ *                        the dynamic sweep the gate compares against)
+ *   --apsp-vertices=N    size of the generated APSP graph (default 96)
+ *   --gate               also run the dynamic sweep and apply the
+ *                        soundness gate (exit 1 on any coverage miss)
+ *   --json=PATH          write the analysis (and coverage, with --gate)
+ *                        as machine-readable JSON
  */
 #include <fstream>
 #include <iostream>
@@ -43,7 +35,6 @@
 
 #include "bench_util.hpp"
 #include "core/logging.hpp"
-#include "racecheck/runner.hpp"
 #include "staticrace/runner.hpp"
 
 namespace {
@@ -113,23 +104,6 @@ main(int argc, char** argv)
 {
     Flags flags(argc, argv);
 
-    if (flags.getBool("list-sites", false)) {
-        // Serial deterministic annotation probe (interns the registry
-        // and observes every site once); no detection sweep runs.
-        bench::emitTable(flags, "Interned access sites (ECL_SITE)",
-                         staticrace::makeAnnotatedSiteTable());
-        const std::string json_path = flags.getString("json", "");
-        if (!json_path.empty()) {
-            std::ofstream out(json_path, std::ios::binary);
-            if (!out)
-                fatal("cannot open '{}' for writing", json_path);
-            out << staticrace::renderSiteListJson();
-            std::cout << "(json written to " << json_path << ")"
-                      << std::endl;
-        }
-        return 0;
-    }
-
     racecheck::RunnerConfig config;
     config.gpu = flags.getString("gpu", "Titan V");
     config.graph_divisor =
@@ -162,41 +136,62 @@ main(int argc, char** argv)
         config.directed_inputs = splitList(directed);
 
     const bool quiet = flags.getBool("quiet", false);
-    racecheck::RacecheckProgressFn progress;
+    staticrace::StaticraceProgressFn progress;
     if (!quiet) {
-        progress = [](const racecheck::CellResult& r) {
+        progress = [](const staticrace::StaticCellResult& r) {
             std::cerr << "  " << racecheck::cellName(r.cell) << ": "
-                      << r.races.size() << " race site(s), "
-                      << r.total_pairs << " pair(s)"
-                      << (r.output_valid ? "" : "  OUTPUT INVALID")
-                      << "\n";
+                      << r.sites << " site(s), " << r.pairs.size()
+                      << " may-race pair(s)\n";
         };
     }
 
-    const auto results = racecheck::runRacecheck(config, progress);
+    const auto results = staticrace::runStaticrace(config, progress);
 
-    bench::emitTable(flags, "Classified race sites (per cell)",
-                     racecheck::makeSiteTable(results));
+    bench::emitTable(flags, "Static may-race pairs (per cell)",
+                     staticrace::makePairTable(results));
+    std::cout << "Per-cell summary\n\n"
+              << staticrace::makeStaticSummary(results).toText()
+              << std::endl;
+
+    staticrace::SoundnessResult soundness;
+    bool gated = flags.getBool("gate", false);
+    if (gated) {
+        if (!quiet)
+            std::cerr << "running the dynamic sweep for the soundness "
+                         "gate...\n";
+        racecheck::RacecheckProgressFn dyn_progress;
+        if (!quiet) {
+            dyn_progress = [](const racecheck::CellResult& r) {
+                std::cerr << "  " << racecheck::cellName(r.cell) << ": "
+                          << r.races.size() << " race site(s)\n";
+            };
+        }
+        const auto dynamics = racecheck::runRacecheck(config, dyn_progress);
+        soundness = staticrace::evaluateSoundness(config, results, dynamics);
+        std::cout << "Static vs dynamic coverage\n\n"
+                  << staticrace::makeCoverageTable(soundness).toText()
+                  << std::endl;
+    }
+
     const std::string json_path = flags.getString("json", "");
     if (!json_path.empty()) {
         std::ofstream out(json_path, std::ios::binary);
         if (!out)
             fatal("cannot open '{}' for writing", json_path);
-        out << racecheck::renderRacecheckJson(results);
+        out << staticrace::renderStaticraceJson(
+            results, gated ? &soundness : nullptr);
         std::cout << "(json written to " << json_path << ")" << std::endl;
     }
-    std::cout << "Per-algorithm race summary\n\n"
-              << racecheck::makeAlgoSummary(results).toText()
-              << std::endl;
 
-    const auto gate = racecheck::evaluateGate(config, results);
-    if (gate.pass) {
-        std::cout << "race-freedom gate: PASS (" << results.size()
-                  << " cells)" << std::endl;
+    if (!gated)
+        return 0;
+    if (soundness.pass) {
+        std::cout << "staticrace soundness gate: PASS ("
+                  << results.size() << " cells)" << std::endl;
         return 0;
     }
-    std::cout << "race-freedom gate: FAIL\n";
-    for (const std::string& f : gate.failures)
+    std::cout << "staticrace soundness gate: FAIL\n";
+    for (const std::string& f : soundness.failures)
         std::cout << "  - " << f << "\n";
     std::cout << std::flush;
     return 1;

@@ -17,6 +17,7 @@ ctest --test-dir build -j "$(nproc)"
 ./scripts/chaos_smoke.sh build
 ./scripts/racecheck_smoke.sh build
 ./scripts/repair_smoke.sh build
+./scripts/staticrace_smoke.sh build
 ./scripts/simbench_smoke.sh build
 ./scripts/serve_smoke.sh build
 

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Source lint for ECL_SITE attribution coverage in src/algos.
+
+Every device memory operation in the algorithm kernels must name its
+source site so race reports, repair proposals, and the static may-race
+analyzer (src/staticrace) can attribute address streams:
+
+  co_await t.at(ECL_SITE("compute parent[] jump-load")).load(...)
+  co_await ecl::readFirst(t.at(ECL_SITE("...")), a.pair, v)
+
+The lint statically rejects:
+
+  1. bare ThreadCtx operations  -- `t.load(...)`, `t.store(...)`,
+     `t.atomicAdd(...)`, ... not routed through `.at(ECL_SITE...)`;
+  2. bare helper calls          -- `ecl::helper(t, ...)` where the
+     ThreadCtx argument carries no `.at(ECL_SITE...)` attribution;
+  3. label collisions           -- two ECL_SITE interns on the same
+     (file, line) with different labels (the registry keys sites by
+     (file, line, label); a collision makes reports ambiguous).
+
+Exit status 0 when clean, 1 with a findings listing otherwise.
+Usage: scripts/site_lint.py [--root DIR]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# ThreadCtx operations that issue memory requests. `at`, `syncthreads`,
+# `work`, `sharedArray` etc. are deliberately absent.
+MEM_OPS = (
+    "load",
+    "store",
+    "atomicAdd",
+    "atomicMin",
+    "atomicMax",
+    "atomicAnd",
+    "atomicOr",
+    "atomicExch",
+    "atomicCas",
+)
+
+SITE_MACRO = re.compile(r"ECL_SITE(?:_AS)?\s*\(")
+STRING_LIT = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def strip_comments(text):
+    """Replace comment bodies with spaces, preserving offsets/newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        two = text[i : i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        elif text[i] == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(text[i:j])
+            i = j
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def find_bare_ctx_ops(text, path, findings):
+    """Rule 1: `t.load(` etc. — the attributed form is `.at(...).load(`,
+    whose receiver token is `)`, so matching the ThreadCtx identifier
+    directly before the op only hits unattributed calls."""
+    op_alt = "|".join(MEM_OPS)
+    pattern = re.compile(
+        r"\b([A-Za-z_]\w*)\s*\.\s*(%s)\s*\(" % op_alt
+    )
+    for m in pattern.finditer(text):
+        receiver = m.group(1)
+        # Heuristic scope guard: ThreadCtx parameters in the kernels are
+        # conventionally `t`; anything else (graph wrappers, vectors,
+        # DeviceMemory) is not a device access point.
+        if receiver != "t":
+            continue
+        findings.append(
+            "%s:%d: unattributed ThreadCtx op `t.%s(...)` "
+            "(route through t.at(ECL_SITE(...)))"
+            % (path, line_of(text, m.start()), m.group(2))
+        )
+
+
+def find_bare_helper_calls(text, path, findings):
+    """Rule 2: `ecl::helper(t, ...)` — the first argument must carry the
+    site: `ecl::helper(t.at(ECL_SITE...), ...)`."""
+    pattern = re.compile(r"\becl::(\w+)\s*\(\s*t\s*([,.])")
+    for m in pattern.finditer(text):
+        if m.group(2) == ".":
+            tail = text[m.end() - 1 : m.end() + 24]
+            if re.match(r"\.\s*at\s*\(\s*ECL_SITE", tail):
+                continue
+        findings.append(
+            "%s:%d: unattributed helper call `ecl::%s(t, ...)` "
+            "(pass t.at(ECL_SITE(...)) as the ThreadCtx argument)"
+            % (path, line_of(text, m.start()), m.group(1))
+        )
+
+
+def find_label_collisions(text, path, findings):
+    """Rule 3: one (file, line) — one label."""
+    labels_by_line = {}
+    for m in SITE_MACRO.finditer(text):
+        lit = STRING_LIT.search(text, m.end())
+        if lit is None:
+            findings.append(
+                "%s:%d: ECL_SITE without a string-literal label"
+                % (path, line_of(text, m.start()))
+            )
+            continue
+        line = line_of(text, m.start())
+        label = lit.group(1)
+        prior = labels_by_line.setdefault(line, label)
+        if prior != label:
+            findings.append(
+                "%s:%d: two ECL_SITE labels on one line "
+                "('%s' vs '%s'); the registry keys sites by "
+                "(file, line, label)" % (path, line, prior, label)
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=str(pathlib.Path(__file__).resolve().parent.parent),
+        help="repository root (default: the script's parent repo)",
+    )
+    args = parser.parse_args()
+
+    algo_dir = pathlib.Path(args.root) / "src" / "algos"
+    sources = sorted(algo_dir.glob("*.cpp")) + sorted(
+        algo_dir.glob("*.hpp")
+    )
+    if not sources:
+        print("site_lint: no sources under %s" % algo_dir, file=sys.stderr)
+        return 1
+
+    findings = []
+    for source in sources:
+        text = strip_comments(source.read_text())
+        rel = source.relative_to(args.root)
+        find_bare_ctx_ops(text, rel, findings)
+        find_bare_helper_calls(text, rel, findings)
+        find_label_collisions(text, rel, findings)
+
+    if findings:
+        print("site_lint: %d unattributed access(es):" % len(findings))
+        for f in findings:
+            print("  " + f)
+        return 1
+    print("site_lint: OK (%d files clean)" % len(sources))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Smoke test of the eclsim::staticrace may-race analyzer:
+#
+#  1. `scripts/site_lint.py` must pass: every memory operation in
+#     src/algos carries an ECL_SITE attribution and no two labels
+#     collide on one (file, line) — unattributed accesses would make
+#     the analyzer silently blind,
+#  2. the soundness gate must hold on a representative slice (CC, MIS,
+#     PR x baseline+racefree): every dynamically witnessed race pair
+#     statically covered, race-free variants free of non-atomic
+#     may-pairs,
+#  3. the analysis JSON must be byte-identical at --jobs=1 and
+#     --jobs=8 (the PR-2 determinism contract extended to the static
+#     analyzer).
+#
+# Usage: ./scripts/staticrace_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+STATICRACE="$BUILD/bench/staticrace"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+echo "== site attribution lint =="
+python3 scripts/site_lint.py
+
+echo "== soundness gate: cc,mis,pr =="
+"$STATICRACE" --algos=cc,mis,pr --no-apsp --gate --quiet \
+    --json="$OUT/gate.json" > "$OUT/gate.txt" || {
+    echo "FAIL: staticrace soundness gate"
+    tail -n 30 "$OUT/gate.txt"
+    exit 1
+}
+grep -q "staticrace soundness gate: PASS" "$OUT/gate.txt" || {
+    echo "FAIL: no PASS verdict in gate output"
+    tail -n 10 "$OUT/gate.txt"
+    exit 1
+}
+
+echo "== determinism across --jobs =="
+"$STATICRACE" --algos=cc,mis,pr --no-apsp --quiet --jobs=1 \
+    --json="$OUT/serial.json" > /dev/null
+"$STATICRACE" --algos=cc,mis,pr --no-apsp --quiet --jobs=8 \
+    --json="$OUT/parallel.json" > /dev/null
+cmp "$OUT/serial.json" "$OUT/parallel.json" || {
+    echo "FAIL: staticrace JSON differs between --jobs=1 and 8"
+    exit 1
+}
+
+echo "staticrace smoke test passed"

@@ -51,7 +51,8 @@ bfsPass(ThreadCtx& t, const BfsArrays& a)
 
     u32 dv;
     if (atomic) {
-        dv = co_await ecl::atomicRead(t, a.dist, v);
+        dv = co_await ecl::atomicRead(
+            t.at(ECL_SITE("pass dist[] own-atomic-load")), a.dist, v);
     } else {
         dv = co_await t
                  .at(ECL_SITE_AS("pass dist[] own-load",
@@ -61,12 +62,15 @@ bfsPass(ThreadCtx& t, const BfsArrays& a)
     if (dv != a.level)
         co_return;
 
-    const u32 begin = co_await t.load(a.g.row_offsets, v);
-    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    const u32 begin = co_await t.at(ECL_SITE("pass row_offsets[] load"))
+                          .load(a.g.row_offsets, v);
+    const u32 end = co_await t.at(ECL_SITE("pass row_offsets[] end-load"))
+                        .load(a.g.row_offsets, v + 1);
     const u32 next = a.level + 1;
     bool discovered = false;
     for (u32 e = begin; e < end; ++e) {
-        const u32 u = co_await t.load(a.g.col_indices, e);
+        const u32 u = co_await t.at(ECL_SITE("pass col_indices[] load"))
+                          .load(a.g.col_indices, e);
         if (atomic) {
             const u32 old = co_await t
                                 .at(ECL_SITE("pass dist[] claim-cas"))
@@ -89,7 +93,9 @@ bfsPass(ThreadCtx& t, const BfsArrays& a)
     }
     if (discovered) {
         if (atomic)
-            co_await ecl::atomicWrite(t, a.again, 0, u32{1});
+            co_await ecl::atomicWrite(
+                t.at(ECL_SITE("pass again-flag atomic-store")), a.again, 0,
+                u32{1});
         else
             co_await t
                 .at(ECL_SITE_AS("pass again-flag store",

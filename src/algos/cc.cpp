@@ -43,11 +43,14 @@ ccInit(ThreadCtx& t, const CcArrays& a)
     const u32 v = t.globalThreadId();
     if (v >= a.g.num_vertices)
         co_return;
-    const u32 begin = co_await t.load(a.g.row_offsets, v);
-    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    const u32 begin = co_await t.at(ECL_SITE("init row_offsets[] load"))
+                          .load(a.g.row_offsets, v);
+    const u32 end = co_await t.at(ECL_SITE("init row_offsets[] end-load"))
+                        .load(a.g.row_offsets, v + 1);
     u32 hook = v;
     for (u32 e = begin; e < end; ++e) {
-        const u32 u = co_await t.load(a.g.col_indices, e);
+        const u32 u = co_await t.at(ECL_SITE("init col_indices[] load"))
+                          .load(a.g.col_indices, e);
         if (u < v) {
             hook = u;
             break;
@@ -69,13 +72,16 @@ ccCompute(ThreadCtx& t, const CcArrays& a)
     const u32 v = t.globalThreadId();
     if (v >= a.g.num_vertices)
         co_return;
-    const u32 begin = co_await t.load(a.g.row_offsets, v);
-    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    const u32 begin = co_await t.at(ECL_SITE("compute row_offsets[] load"))
+                          .load(a.g.row_offsets, v);
+    const u32 end = co_await t.at(ECL_SITE("compute row_offsets[] end-load"))
+                        .load(a.g.row_offsets, v + 1);
     if (end - begin >= a.heavy_threshold)
         co_return;  // handled edge-parallel by ccComputeHeavy
 
     for (u32 e = begin; e < end; ++e) {
-        const u32 u = co_await t.load(a.g.col_indices, e);
+        const u32 u = co_await t.at(ECL_SITE("compute col_indices[] load"))
+                          .load(a.g.col_indices, e);
         if (u >= v)
             continue;  // process each undirected edge from one side
 
@@ -163,9 +169,12 @@ ccComputeHeavy(ThreadCtx& t, const CcArrays& a)
     const u32 i = t.globalThreadId();
     if (i >= a.num_heavy_arcs)
         co_return;
-    const u32 e = co_await t.load(a.heavy_arcs, i);
-    const u32 v = co_await t.load(a.g.arc_sources, e);
-    const u32 u = co_await t.load(a.g.col_indices, e);
+    const u32 e = co_await t.at(ECL_SITE("compute-heavy heavy_arcs[] load"))
+                      .load(a.heavy_arcs, i);
+    const u32 v = co_await t.at(ECL_SITE("compute-heavy arc_sources[] load"))
+                      .load(a.g.arc_sources, e);
+    const u32 u = co_await t.at(ECL_SITE("compute-heavy col_indices[] load"))
+                      .load(a.g.col_indices, e);
 
     // representative(v) with path shortening
     u32 x = v;

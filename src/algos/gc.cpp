@@ -63,15 +63,19 @@ gcPass(ThreadCtx& t, const GcArrays& a)
     if (cv != kNoColor)
         co_return;
 
-    const u32 my_prio = co_await t.load(a.prio, v);
-    const u32 begin = co_await t.load(a.g.row_offsets, v);
-    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    const u32 my_prio = co_await t.at(ECL_SITE("pass prio[] own-load"))
+                            .load(a.prio, v);
+    const u32 begin = co_await t.at(ECL_SITE("pass row_offsets[] load"))
+                          .load(a.g.row_offsets, v);
+    const u32 end = co_await t.at(ECL_SITE("pass row_offsets[] end-load"))
+                        .load(a.g.row_offsets, v + 1);
 
     u64 forbidden[kForbWords] = {};
     bool blocked = false;          ///< some higher-priority vtx uncolored
     u32 min_high_low = kNoColor;   ///< min lowbound among those vertices
     for (u32 e = begin; e < end; ++e) {
-        const u32 u = co_await t.load(a.g.col_indices, e);
+        const u32 u = co_await t.at(ECL_SITE("pass col_indices[] load"))
+                          .load(a.g.col_indices, e);
         if (u == v)
             continue;
         const u32 cu = co_await t
@@ -83,7 +87,8 @@ gcPass(ThreadCtx& t, const GcArrays& a)
                           "graph needs more than {} colors", kMaxColors);
             forbidden[cu / 64] |= u64{1} << (cu % 64);
         } else {
-            const u32 pu = co_await t.load(a.prio, u);
+            const u32 pu = co_await t.at(ECL_SITE("pass prio[] neighbor-load"))
+                               .load(a.prio, u);
             if (outranks(pu, u, my_prio, v)) {
                 blocked = true;
                 // Shortcut 1 needs this neighbor's lowest possible color.

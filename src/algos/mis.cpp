@@ -50,7 +50,8 @@ misPass(ThreadCtx& t, const MisArrays& a)
 
     u8 sv;
     if (atomic) {
-        const u32 word = co_await ecl::atomicReadByteWord(t, a.stat, v);
+        const u32 word = co_await ecl::atomicReadByteWord(
+            t.at(ECL_SITE("pass nstat[] own-atomic-load")), a.stat, v);
         sv = ecl::extractByte(word, v);
     } else {
         sv = co_await t
@@ -61,19 +62,23 @@ misPass(ThreadCtx& t, const MisArrays& a)
     if (!undecided(sv))
         co_return;
 
-    const u32 begin = co_await t.load(a.g.row_offsets, v);
-    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    const u32 begin = co_await t.at(ECL_SITE("pass row_offsets[] load"))
+                          .load(a.g.row_offsets, v);
+    const u32 end = co_await t.at(ECL_SITE("pass row_offsets[] end-load"))
+                        .load(a.g.row_offsets, v + 1);
 
     bool in_neighbor = false;
     bool best = true;
     for (u32 e = begin; e < end && best; ++e) {
-        const u32 u = co_await t.load(a.g.col_indices, e);
+        const u32 u = co_await t.at(ECL_SITE("pass col_indices[] load"))
+                          .load(a.g.col_indices, e);
         if (u == v)
             continue;
         u8 su;
         if (atomic) {
-            const u32 word =
-                co_await ecl::atomicReadByteWord(t, a.stat, u);
+            const u32 word = co_await ecl::atomicReadByteWord(
+                t.at(ECL_SITE("pass nstat[] neighbor-atomic-load")), a.stat,
+                u);
             su = ecl::extractByte(word, u);
         } else {
             su = co_await t
@@ -92,7 +97,9 @@ misPass(ThreadCtx& t, const MisArrays& a)
     if (in_neighbor) {
         // A neighbor made it into the set; this vertex is out.
         if (atomic)
-            co_await ecl::atomicByteAnd(t, a.stat, v, kMisOut);
+            co_await ecl::atomicByteAnd(
+                t.at(ECL_SITE("pass nstat[] out-atomic-and")), a.stat, v,
+                kMisOut);
         else
             co_await t
                 .at(ECL_SITE_AS("pass nstat[] out-store",
@@ -103,7 +110,9 @@ misPass(ThreadCtx& t, const MisArrays& a)
     if (!best) {
         // Still undecided; ask the host for another sweep.
         if (atomic)
-            co_await ecl::atomicWrite(t, a.again, 0, u32{1});
+            co_await ecl::atomicWrite(
+                t.at(ECL_SITE("pass again-flag atomic-store")), a.again, 0,
+                u32{1});
         else
             co_await t
                 .at(ECL_SITE_AS("pass again-flag store",
@@ -115,18 +124,23 @@ misPass(ThreadCtx& t, const MisArrays& a)
     // Highest priority in the undecided neighborhood: join the set and
     // knock every undecided neighbor out.
     if (atomic)
-        co_await ecl::atomicByteOr(t, a.stat, v, kMisIn);
+        co_await ecl::atomicByteOr(
+            t.at(ECL_SITE("pass nstat[] join-atomic-or")), a.stat, v,
+            kMisIn);
     else
         co_await t
             .at(ECL_SITE_AS("pass nstat[] join-store",
                             Expectation::kIdempotent))
             .store(a.stat, v, kMisIn, AccessMode::kVolatile);
     for (u32 e = begin; e < end; ++e) {
-        const u32 u = co_await t.load(a.g.col_indices, e);
+        const u32 u = co_await t.at(ECL_SITE("pass col_indices[] knock-load"))
+                          .load(a.g.col_indices, e);
         if (u == v)
             continue;
         if (atomic)
-            co_await ecl::atomicByteAnd(t, a.stat, u, kMisOut);
+            co_await ecl::atomicByteAnd(
+                t.at(ECL_SITE("pass nstat[] knockout-atomic-and")), a.stat,
+                u, kMisOut);
         else
             co_await t
                 .at(ECL_SITE_AS("pass nstat[] knockout-store",

@@ -56,8 +56,10 @@ mstFindMin(ThreadCtx& t, const MstArrays& a)
     const u32 v = t.globalThreadId();
     if (v >= a.g.num_vertices)
         co_return;
-    const u32 begin = co_await t.load(a.g.row_offsets, v);
-    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    const u32 begin = co_await t.at(ECL_SITE("findmin row_offsets[] load"))
+                          .load(a.g.row_offsets, v);
+    const u32 end = co_await t.at(ECL_SITE("findmin row_offsets[] end-load"))
+                        .load(a.g.row_offsets, v + 1);
 
     // Representative of v (computed once; edges below share it).
     u32 rv = v;
@@ -82,7 +84,8 @@ mstFindMin(ThreadCtx& t, const MstArrays& a)
     }
 
     for (u32 e = begin; e < end; ++e) {
-        const u32 u = co_await t.load(a.g.col_indices, e);
+        const u32 u = co_await t.at(ECL_SITE("findmin col_indices[] load"))
+                          .load(a.g.col_indices, e);
         if (u >= v)
             continue;  // handle each undirected edge once
         u32 ru = u;
@@ -108,7 +111,8 @@ mstFindMin(ThreadCtx& t, const MstArrays& a)
         }
         if (rv == ru)
             continue;  // already in the same component
-        const i32 w = co_await t.load(a.g.weights, e);
+        const i32 w = co_await t.at(ECL_SITE("findmin weights[] load"))
+                          .load(a.g.weights, e);
         const u64 packed = packBest(w, e);
         co_await t.at(ECL_SITE("findmin best[] offer-min"))
             .atomicMin(a.best, rv, packed);
@@ -146,8 +150,10 @@ mstConnect(ThreadCtx& t, const MstArrays& a)
     const u32 arc = static_cast<u32>(packed);
     const i32 w = static_cast<i32>(packed >> 32);
 
-    const u32 src = co_await t.load(a.g.arc_sources, arc);
-    const u32 dst = co_await t.load(a.g.col_indices, arc);
+    const u32 src = co_await t.at(ECL_SITE("connect arc_sources[] load"))
+                        .load(a.g.arc_sources, arc);
+    const u32 dst = co_await t.at(ECL_SITE("connect col_indices[] load"))
+                        .load(a.g.col_indices, arc);
 
     // Union the two endpoint components (min-ID wins the root).
     u32 x = src, y = dst;
@@ -194,10 +200,16 @@ mstConnect(ThreadCtx& t, const MstArrays& a)
     }
     if (merged) {
         // This root owns the merge: account the edge exactly once.
-        co_await t.at(ECL_SITE("connect in_mst[] mark-store"))
+        // The mark is a constant written by the unique CAS winner for
+        // this arc; duplicate or torn observation is impossible, so it
+        // is declared idempotent for the static analyzer's benefit.
+        co_await t
+            .at(ECL_SITE_AS("connect in_mst[] mark-store",
+                            Expectation::kIdempotent))
             .store(a.in_mst, arc, u8{1});
-        co_await t.atomicAdd(a.total, 0,
-                             static_cast<u64>(static_cast<u32>(w)));
+        co_await t.at(ECL_SITE("connect total atomic-add"))
+            .atomicAdd(a.total, 0,
+                       static_cast<u64>(static_cast<u32>(w)));
         co_await t
             .at(ECL_SITE_AS("connect again-flag store",
                             Expectation::kIdempotent))

@@ -63,8 +63,10 @@ prPush(ThreadCtx& t, const PrArrays& a)
     const u32 v = t.globalThreadId();
     if (v >= a.g.num_vertices)
         co_return;
-    const u32 begin = co_await t.load(a.g.row_offsets, v);
-    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    const u32 begin = co_await t.at(ECL_SITE("push row_offsets[] load"))
+                          .load(a.g.row_offsets, v);
+    const u32 end = co_await t.at(ECL_SITE("push row_offsets[] end-load"))
+                        .load(a.g.row_offsets, v + 1);
     const float rv = co_await t.at(ECL_SITE("push rank[] own-load"))
                          .load(a.rank, v);
     if (begin == end) {
@@ -74,7 +76,8 @@ prPush(ThreadCtx& t, const PrArrays& a)
     }
     const float contribution = rv / static_cast<float>(end - begin);
     for (u32 e = begin; e < end; ++e) {
-        const u32 u = co_await t.load(a.g.col_indices, e);
+        const u32 u = co_await t.at(ECL_SITE("push col_indices[] load"))
+                          .load(a.g.col_indices, e);
         if (a.variant == Variant::kBaseline) {
             const float old =
                 co_await t

@@ -48,10 +48,13 @@ sccTrim(ThreadCtx& t, const SccArrays& a)
 
     bool active_succ = false;
     {
-        const u32 begin = co_await t.load(a.g.row_offsets, v);
-        const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+        const u32 begin = co_await t.at(ECL_SITE("trim row_offsets[] load"))
+                              .load(a.g.row_offsets, v);
+        const u32 end = co_await t.at(ECL_SITE("trim row_offsets[] end-load"))
+                            .load(a.g.row_offsets, v + 1);
         for (u32 e = begin; e < end && !active_succ; ++e) {
-            const u32 u = co_await t.load(a.g.col_indices, e);
+            const u32 u = co_await t.at(ECL_SITE("trim col_indices[] load"))
+                              .load(a.g.col_indices, e);
             if (u != v &&
                 (co_await t
                      .at(ECL_SITE_AS("trim label[] succ-load",
@@ -62,10 +65,16 @@ sccTrim(ThreadCtx& t, const SccArrays& a)
     }
     bool active_pred = false;
     if (active_succ) {
-        const u32 begin = co_await t.load(a.rev.row_offsets, v);
-        const u32 end = co_await t.load(a.rev.row_offsets, v + 1);
+        const u32 begin =
+            co_await t.at(ECL_SITE("trim rev-row_offsets[] load"))
+                .load(a.rev.row_offsets, v);
+        const u32 end =
+            co_await t.at(ECL_SITE("trim rev-row_offsets[] end-load"))
+                .load(a.rev.row_offsets, v + 1);
         for (u32 e = begin; e < end && !active_pred; ++e) {
-            const u32 u = co_await t.load(a.rev.col_indices, e);
+            const u32 u =
+                co_await t.at(ECL_SITE("trim rev-col_indices[] load"))
+                    .load(a.rev.col_indices, e);
             if (u != v &&
                 (co_await t
                      .at(ECL_SITE_AS("trim label[] pred-load",
@@ -80,7 +89,9 @@ sccTrim(ThreadCtx& t, const SccArrays& a)
                             Expectation::kMonotonic))
             .store(a.label, v, v);  // trivial SCC
         if (a.variant == Variant::kRaceFree)
-            co_await ecl::atomicWrite(t, a.repeat, 0, u32{1});
+            co_await ecl::atomicWrite(
+                t.at(ECL_SITE("trim repeat-flag atomic-store")), a.repeat,
+                0, u32{1});
         else
             co_await t
                 .at(ECL_SITE_AS("trim repeat-flag store",
@@ -96,12 +107,15 @@ sccInit(ThreadCtx& t, const SccArrays& a)
     const u32 v = t.globalThreadId();
     if (v >= a.g.num_vertices)
         co_return;
-    const u32 lab = co_await t.load(a.label, v);
+    const u32 lab = co_await t.at(ECL_SITE("init label[] load"))
+                        .load(a.label, v);
     if (lab != kUnassigned)
         co_return;
     if (a.variant == Variant::kRaceFree) {
-        co_await ecl::writeFirst(t, a.pair, v, v);
-        co_await ecl::writeSecond(t, a.pair, v, v);
+        co_await ecl::writeFirst(
+            t.at(ECL_SITE("init pair[] seed-atomic-store")), a.pair, v, v);
+        co_await ecl::writeSecond(
+            t.at(ECL_SITE("init pair[] seed-atomic-store")), a.pair, v, v);
     } else {
         co_await ecl::plainWriteFirst(
             t.at(ECL_SITE("init pair[] seed-store")), a.pair, v, v);
@@ -129,17 +143,24 @@ sccPropagate(ThreadCtx& t, const SccArrays& a)
         co_return;
     const bool atomic = a.variant == Variant::kRaceFree;
 
-    const u32 begin = co_await t.load(a.g.row_offsets, v);
-    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    const u32 begin = co_await t.at(ECL_SITE("propagate row_offsets[] load"))
+                          .load(a.g.row_offsets, v);
+    const u32 end =
+        co_await t.at(ECL_SITE("propagate row_offsets[] end-load"))
+            .load(a.g.row_offsets, v + 1);
 
     u32 my_in =
-        atomic ? co_await ecl::readFirst(t, a.pair, v)
+        atomic ? co_await ecl::readFirst(
+                     t.at(ECL_SITE("propagate pair[] in-atomic-load")),
+                     a.pair, v)
                : co_await ecl::plainReadFirst(
                      t.at(ECL_SITE_AS("propagate pair[] in-load",
                                       Expectation::kStaleTolerant)),
                      a.pair, v);
     u32 my_out =
-        atomic ? co_await ecl::readSecond(t, a.pair, v)
+        atomic ? co_await ecl::readSecond(
+                     t.at(ECL_SITE("propagate pair[] out-atomic-load")),
+                     a.pair, v)
                : co_await ecl::plainReadSecond(
                      t.at(ECL_SITE_AS("propagate pair[] out-load",
                                       Expectation::kStaleTolerant)),
@@ -147,7 +168,8 @@ sccPropagate(ThreadCtx& t, const SccArrays& a)
     bool changed = false;
 
     for (u32 e = begin; e < end; ++e) {
-        const u32 u = co_await t.load(a.g.col_indices, e);
+        const u32 u = co_await t.at(ECL_SITE("propagate col_indices[] load"))
+                          .load(a.g.col_indices, e);
         if (u == v)
             continue;
         const u32 lab_u = co_await t
@@ -159,14 +181,18 @@ sccPropagate(ThreadCtx& t, const SccArrays& a)
 
         // Push: the maximum ID reaching v also reaches u (arc v->u).
         const u32 u_in =
-            atomic ? co_await ecl::readFirst(t, a.pair, u)
+            atomic ? co_await ecl::readFirst(
+                         t.at(ECL_SITE("propagate pair[] in-atomic-load")),
+                         a.pair, u)
                    : co_await ecl::plainReadFirst(
                          t.at(ECL_SITE_AS("propagate pair[] in-load",
                                           Expectation::kStaleTolerant)),
                          a.pair, u);
         if (my_in > u_in) {
             if (atomic)
-                co_await ecl::writeFirst(t, a.pair, u, my_in);
+                co_await ecl::writeFirst(
+                    t.at(ECL_SITE("propagate pair[] push-atomic-store")),
+                    a.pair, u, my_in);
             else
                 co_await ecl::plainWriteFirst(
                     t.at(ECL_SITE_AS("propagate pair[] push-store",
@@ -176,7 +202,9 @@ sccPropagate(ThreadCtx& t, const SccArrays& a)
         }
         // Pull: anything reachable from u is reachable from v.
         const u32 u_out =
-            atomic ? co_await ecl::readSecond(t, a.pair, u)
+            atomic ? co_await ecl::readSecond(
+                         t.at(ECL_SITE("propagate pair[] out-atomic-load")),
+                         a.pair, u)
                    : co_await ecl::plainReadSecond(
                          t.at(ECL_SITE_AS("propagate pair[] out-load",
                                           Expectation::kStaleTolerant)),
@@ -186,14 +214,23 @@ sccPropagate(ThreadCtx& t, const SccArrays& a)
             changed = true;
         }
     }
-    if (my_out >
-        (atomic ? co_await ecl::readSecond(t, a.pair, v)
-                : co_await ecl::plainReadSecond(
-                      t.at(ECL_SITE_AS("propagate pair[] out-load",
-                                       Expectation::kStaleTolerant)),
-                      a.pair, v))) {
+    // Hoisted out of the comparison: GCC 12 miscompiles a co_await
+    // conditional nested in a larger expression (both arms execute),
+    // which issued a spurious extra pair[] read on every thread.
+    u32 cur_out;
+    if (atomic)
+        cur_out = co_await ecl::readSecond(
+            t.at(ECL_SITE("propagate pair[] out-atomic-load")), a.pair, v);
+    else
+        cur_out = co_await ecl::plainReadSecond(
+            t.at(ECL_SITE_AS("propagate pair[] out-load",
+                             Expectation::kStaleTolerant)),
+            a.pair, v);
+    if (my_out > cur_out) {
         if (atomic)
-            co_await ecl::writeSecond(t, a.pair, v, my_out);
+            co_await ecl::writeSecond(
+                t.at(ECL_SITE("propagate pair[] pull-atomic-store")),
+                a.pair, v, my_out);
         else
             co_await ecl::plainWriteSecond(
                 t.at(ECL_SITE_AS("propagate pair[] pull-store",
@@ -202,7 +239,9 @@ sccPropagate(ThreadCtx& t, const SccArrays& a)
     }
     if (changed) {
         if (atomic)
-            co_await ecl::atomicWrite(t, a.repeat, 0, u32{1});
+            co_await ecl::atomicWrite(
+                t.at(ECL_SITE("propagate repeat-flag atomic-store")),
+                a.repeat, 0, u32{1});
         else
             co_await t
                 .at(ECL_SITE_AS("propagate repeat-flag store",
@@ -230,13 +269,17 @@ sccClassify(ThreadCtx& t, const SccArrays& a)
         co_return;
     const bool atomic = a.variant == Variant::kRaceFree;
     const u32 my_in =
-        atomic ? co_await ecl::readFirst(t, a.pair, v)
+        atomic ? co_await ecl::readFirst(
+                     t.at(ECL_SITE("classify pair[] in-atomic-load")),
+                     a.pair, v)
                : co_await ecl::plainReadFirst(
                      t.at(ECL_SITE_AS("classify pair[] in-load",
                                       Expectation::kStaleTolerant)),
                      a.pair, v);
     const u32 my_out =
-        atomic ? co_await ecl::readSecond(t, a.pair, v)
+        atomic ? co_await ecl::readSecond(
+                     t.at(ECL_SITE("classify pair[] out-atomic-load")),
+                     a.pair, v)
                : co_await ecl::plainReadSecond(
                      t.at(ECL_SITE_AS("classify pair[] out-load",
                                       Expectation::kStaleTolerant)),
@@ -248,7 +291,9 @@ sccClassify(ThreadCtx& t, const SccArrays& a)
             .store(a.label, v, my_in);
     } else {
         if (atomic)
-            co_await ecl::atomicWrite(t, a.repeat, 0, u32{1});
+            co_await ecl::atomicWrite(
+                t.at(ECL_SITE("classify repeat-flag atomic-store")),
+                a.repeat, 0, u32{1});
         else
             co_await t
                 .at(ECL_SITE_AS("classify repeat-flag store",

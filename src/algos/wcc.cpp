@@ -49,7 +49,8 @@ wccPass(ThreadCtx& t, const WccArrays& a)
 
     u32 lv;
     if (atomic) {
-        lv = co_await ecl::atomicRead(t, a.label, v);
+        lv = co_await ecl::atomicRead(
+            t.at(ECL_SITE("pass label[] own-atomic-load")), a.label, v);
     } else {
         lv = co_await t
                  .at(ECL_SITE_AS("pass label[] own-load",
@@ -57,11 +58,14 @@ wccPass(ThreadCtx& t, const WccArrays& a)
                  .load(a.label, v);
     }
 
-    const u32 begin = co_await t.load(a.g.row_offsets, v);
-    const u32 end = co_await t.load(a.g.row_offsets, v + 1);
+    const u32 begin = co_await t.at(ECL_SITE("pass row_offsets[] load"))
+                          .load(a.g.row_offsets, v);
+    const u32 end = co_await t.at(ECL_SITE("pass row_offsets[] end-load"))
+                        .load(a.g.row_offsets, v + 1);
     bool moved = false;
     for (u32 e = begin; e < end; ++e) {
-        const u32 u = co_await t.load(a.g.col_indices, e);
+        const u32 u = co_await t.at(ECL_SITE("pass col_indices[] load"))
+                          .load(a.g.col_indices, e);
         if (atomic) {
             const u32 old = co_await t
                                 .at(ECL_SITE("pass label[] min-rmw"))
@@ -84,7 +88,9 @@ wccPass(ThreadCtx& t, const WccArrays& a)
     }
     if (moved) {
         if (atomic)
-            co_await ecl::atomicWrite(t, a.again, 0, u32{1});
+            co_await ecl::atomicWrite(
+                t.at(ECL_SITE("pass again-flag atomic-store")), a.again, 0,
+                u32{1});
         else
             co_await t
                 .at(ECL_SITE_AS("pass again-flag store",

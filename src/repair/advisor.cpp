@@ -13,6 +13,7 @@
 #include "core/thread_pool.hpp"
 #include "graph/input_catalog.hpp"
 #include "harness/experiment.hpp"
+#include "repair/static_seed.hpp"
 
 namespace eclsim::repair {
 
@@ -151,9 +152,12 @@ runAdvisor(const AdvisorConfig& config_in)
     result.baseline_pairs = detect_rounds[0].total_pairs;
 
     ProposalSet proposals = proposeFixes(detect_rounds);
-    std::map<racecheck::SiteId, u32> first_seen;
+    // Keyed like the proposals themselves: one site can carry a load
+    // and a store proposal, possibly first seen in different rounds.
+    std::map<std::pair<racecheck::SiteId, simt::MemOpKind>, u32>
+        first_seen;
     for (const FixProposal& p : proposals.proposals)
-        first_seen.emplace(p.site, 0u);
+        first_seen.emplace(std::make_pair(p.site, p.kind), 0u);
     simt::SiteOverrideTable accumulated = fullTable(proposals);
     for (u32 round = 1;
          round < config.max_rounds && !proposals.proposals.empty();
@@ -168,7 +172,9 @@ runAdvisor(const AdvisorConfig& config_in)
         const ProposalSet next = proposeFixes(detect_rounds);
         bool grew = false;
         for (const FixProposal& p : next.proposals)
-            grew |= first_seen.emplace(p.site, round).second;
+            grew |= first_seen
+                        .emplace(std::make_pair(p.site, p.kind), round)
+                        .second;
         proposals = next;
         accumulated = fullTable(proposals);
         if (!grew)
@@ -176,6 +182,29 @@ runAdvisor(const AdvisorConfig& config_in)
     }
     result.fixpoint_rounds = static_cast<u32>(detect_rounds.size());
     result.unattributed_pairs = proposals.unattributed_pairs;
+
+    // --- 2b. static seeding (opt-in) --------------------------------------
+    // The staticrace may-set over-approximates every detection round;
+    // whatever non-atomic (site, kind) it predicts beyond the dynamic
+    // proposals becomes a seeded proposal, so races no schedule
+    // manifested still get verified (trivially, they never raced) and
+    // priced. Classes come from declared expectations; the probe reuses
+    // the baseline detection seed.
+    if (config.seed_static) {
+        std::vector<FixProposal> seeded = staticSeedProposals(
+            base, cell, cellSeed(config.seed, 0), proposals);
+        result.static_seeded = static_cast<u32>(seeded.size());
+        for (FixProposal& p : seeded) {
+            first_seen.emplace(std::make_pair(p.site, p.kind), 0u);
+            proposals.proposals.push_back(std::move(p));
+        }
+        std::sort(proposals.proposals.begin(),
+                  proposals.proposals.end(),
+                  [](const FixProposal& a, const FixProposal& b) {
+                      return std::tie(a.site_desc, a.site, a.kind) <
+                             std::tie(b.site_desc, b.site, b.kind);
+                  });
+    }
     const size_t num_proposals = proposals.proposals.size();
 
     // --- 3-5. rank / verify / price: one deterministic task list ----------
@@ -195,9 +224,6 @@ runAdvisor(const AdvisorConfig& config_in)
     // site's silence can depend transitively on fixes of sites it never
     // directly raced with (an emergent site's race only exists with the
     // earlier rounds' fixes installed).
-    std::map<racecheck::SiteId, size_t> index_of;
-    for (size_t i = 0; i < num_proposals; ++i)
-        index_of.emplace(proposals.proposals[i].site, i);
     std::vector<size_t> component(num_proposals);
     std::iota(component.begin(), component.end(), size_t{0});
     std::function<size_t(size_t)> find = [&](size_t x) {
@@ -205,6 +231,16 @@ runAdvisor(const AdvisorConfig& config_in)
             x = component[x] = component[component[x]];
         return x;
     };
+    // A site's load and store proposals share one override slot, so
+    // they cannot be applied independently: pre-union same-site
+    // proposals, then union across the racy-pair edges.
+    std::map<racecheck::SiteId, size_t> index_of;
+    for (size_t i = 0; i < num_proposals; ++i) {
+        const auto [it, fresh] =
+            index_of.emplace(proposals.proposals[i].site, i);
+        if (!fresh)
+            component[find(i)] = find(it->second);
+    }
     for (const racecheck::CellResult& round : detect_rounds)
         for (const racecheck::ClassifiedReport& race : round.races) {
             const auto a = index_of.find(race.report.site_a);
@@ -218,10 +254,16 @@ runAdvisor(const AdvisorConfig& config_in)
     for (size_t i = 0; i < num_proposals; ++i) {
         solo_tables[i].set(proposals.proposals[i].site,
                            proposals.proposals[i].fix);
-        for (size_t j = 0; j < num_proposals; ++j)
-            if (find(j) == find(i))
-                closure_tables[i].set(proposals.proposals[j].site,
-                                      proposals.proposals[j].fix);
+        for (size_t j = 0; j < num_proposals; ++j) {
+            if (find(j) != find(i))
+                continue;
+            const FixProposal& member = proposals.proposals[j];
+            const simt::SiteOverride* have =
+                closure_tables[i].find(member.site);
+            closure_tables[i].set(
+                member.site,
+                have ? strongerFix(*have, member.fix) : member.fix);
+        }
     }
     const simt::SiteOverrideTable repair_all = fullTable(proposals);
 
@@ -313,7 +355,7 @@ runAdvisor(const AdvisorConfig& config_in)
     for (size_t i = 0; i < num_proposals; ++i) {
         SiteRow row;
         row.proposal = std::move(proposals.proposals[i]);
-        row.round = first_seen[row.proposal.site];
+        row.round = first_seen[{row.proposal.site, row.proposal.kind}];
         for (const racecheck::CellResult& explored : exposure_results)
             if (siteRaced(explored, row.proposal.site))
                 ++row.exposed_cells;
@@ -344,7 +386,7 @@ advisorClean(const AdvisorResult& result)
 TextTable
 makeRepairTable(const AdvisorResult& result)
 {
-    TextTable table({"Site", "Observed", "Class", "Fix", "Round",
+    TextTable table({"Site", "Kind", "Observed", "Class", "Fix", "Round",
                      "Exposure", "Pairs", "SoloMs", "Slowdown",
                      "VerifiedSilent"});
     for (const SiteRow& row : result.rows) {
@@ -353,7 +395,8 @@ makeRepairTable(const AdvisorResult& result)
         const std::string site_cell = row.proposal.file + ":" +
                                       std::to_string(row.proposal.line) +
                                       ":" + row.proposal.label;
-        table.addRow({site_cell, row.proposal.observed,
+        table.addRow({site_cell, memOpKindName(row.proposal.kind),
+                      row.proposal.observed,
                       racecheck::raceClassName(row.proposal.cls),
                       fixName(row.proposal.fix),
                       std::to_string(row.round),
@@ -382,6 +425,9 @@ makeRepairSummary(const AdvisorResult& result)
     add("baseline conflict pairs", std::to_string(result.baseline_pairs));
     add("fixpoint detection rounds",
         std::to_string(result.fixpoint_rounds));
+    if (result.config.seed_static)
+        add("static-seeded proposals",
+            std::to_string(result.static_seeded));
     add("unattributed racy pairs",
         std::to_string(result.unattributed_pairs));
     add("baseline ms", fmtFixed(result.baseline_ms, 4));
@@ -416,6 +462,7 @@ renderRepairJson(const AdvisorResult& result)
            std::to_string(result.unattributed_pairs);
     out += ",\"fixpoint_rounds\":" +
            std::to_string(result.fixpoint_rounds);
+    out += ",\"static_seeded\":" + std::to_string(result.static_seeded);
     out += ",\"exposure_cells\":" + std::to_string(result.exposure_cells);
     out += ",\"baseline_ms\":" + jsonNumber(result.baseline_ms);
     out += ",\"repaired_ms\":" + jsonNumber(result.repaired_ms);
@@ -431,6 +478,7 @@ renderRepairJson(const AdvisorResult& result)
         const SiteRow& row = result.rows[i];
         const FixProposal& p = row.proposal;
         out += "{\"site\":" + std::to_string(p.site);
+        out += ",\"kind\":" + jsonQuote(memOpKindName(p.kind));
         out += ",\"desc\":" + jsonQuote(p.site_desc);
         out += ",\"file\":" + jsonQuote(p.file);
         out += ",\"line\":" + std::to_string(p.line);
@@ -447,6 +495,8 @@ renderRepairJson(const AdvisorResult& result)
         out += ",\"solo_slowdown\":" + jsonNumber(row.solo_slowdown);
         out += ",\"verified_silent\":";
         out += jsonBool(row.verified_silent);
+        out += ",\"static_seed\":";
+        out += jsonBool(p.static_seed);
         out += '}';
         out += i + 1 < result.rows.size() ? ",\n" : "\n";
     }

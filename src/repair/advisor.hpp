@@ -73,6 +73,10 @@ struct AdvisorConfig
     /** Fixpoint cap: maximum detection rounds (baseline round
      *  included) before the advisor gives up merging emergent sites. */
     u32 max_rounds = 4;
+    /** Seed proposals from the static may-race set (static_seed.hpp):
+     *  non-atomic uses the analyzer predicts can race but no detection
+     *  round witnessed also get verified and priced. */
+    bool seed_static = false;
 };
 
 /** One report row: a proposal plus its measurements. */
@@ -110,6 +114,8 @@ struct AdvisorResult
      *  round sufficed; see AdvisorConfig::max_rounds). */
     u32 fixpoint_rounds = 1;
     u32 exposure_cells = 0;  ///< denominator of SiteRow::exposed_cells
+    /** Proposals seeded from the static may-set (seed_static only). */
+    u32 static_seeded = 0;
     /** Fast-mode median simulated ms (measure_divisor). */
     double baseline_ms = 0.0;
     double repaired_ms = 0.0;  ///< every proposal applied
@@ -131,8 +137,8 @@ AdvisorResult runAdvisor(const AdvisorConfig& config);
  */
 bool advisorClean(const AdvisorResult& result);
 
-/** Per-site report table (Site, Observed, Class, Fix, Round, Exposure,
- *  Pairs, SoloMs, Slowdown, VerifiedSilent). */
+/** Per-site report table (Site, Kind, Observed, Class, Fix, Round,
+ *  Exposure, Pairs, SoloMs, Slowdown, VerifiedSilent). */
 TextTable makeRepairTable(const AdvisorResult& result);
 
 /** Whole-run summary (baseline/repaired/racefree ms, deltas, gate). */

@@ -19,21 +19,6 @@ worseOf(RaceClass a, RaceClass b)
     return static_cast<u8>(a) >= static_cast<u8>(b) ? a : b;
 }
 
-/** The paper's order choice: relaxed wherever a benignity (or bounded
- *  error) argument exists; seq_cst only when nothing weaker is
- *  justified. */
-simt::SiteOverride
-fixFor(RaceClass cls)
-{
-    simt::SiteOverride fix;
-    fix.mode = simt::AccessMode::kAtomic;
-    fix.scope = simt::Scope::kDevice;
-    fix.order = cls == RaceClass::kUnknownHarmful
-                    ? simt::MemoryOrder::kSeqCst
-                    : simt::MemoryOrder::kRelaxed;
-    return fix;
-}
-
 std::string
 rationaleFor(RaceClass cls)
 {
@@ -71,7 +56,8 @@ joinSorted(const std::set<std::string>& parts)
     return out;
 }
 
-/** Accumulator for one site across every report that involves it. */
+/** Accumulator for one (site, access kind) across every report that
+ *  involves it. */
 struct SiteEvidence
 {
     RaceClass cls = RaceClass::kIdempotentWrite;
@@ -82,6 +68,43 @@ struct SiteEvidence
 };
 
 }  // namespace
+
+const char*
+memOpKindName(simt::MemOpKind kind)
+{
+    switch (kind) {
+      case simt::MemOpKind::kLoad:
+        return "load";
+      case simt::MemOpKind::kStore:
+        return "store";
+      case simt::MemOpKind::kRmw:
+        return "rmw";
+    }
+    return "?";
+}
+
+simt::SiteOverride
+strongerFix(const simt::SiteOverride& a, const simt::SiteOverride& b)
+{
+    simt::SiteOverride out = a;
+    if (static_cast<u8>(b.order) > static_cast<u8>(out.order))
+        out.order = b.order;
+    if (static_cast<u8>(b.scope) > static_cast<u8>(out.scope))
+        out.scope = b.scope;
+    return out;
+}
+
+simt::SiteOverride
+fixForClass(RaceClass cls)
+{
+    simt::SiteOverride fix;
+    fix.mode = simt::AccessMode::kAtomic;
+    fix.scope = simt::Scope::kDevice;
+    fix.order = cls == RaceClass::kUnknownHarmful
+                    ? simt::MemoryOrder::kSeqCst
+                    : simt::MemoryOrder::kRelaxed;
+    return fix;
+}
 
 std::string
 fixName(const simt::SiteOverride& fix)
@@ -122,7 +145,7 @@ proposeFixes(const std::vector<racecheck::CellResult>& results)
     ProposalSet set;
     auto& registry = racecheck::SiteRegistry::instance();
 
-    std::map<SiteId, SiteEvidence> evidence;
+    std::map<std::pair<SiteId, simt::MemOpKind>, SiteEvidence> evidence;
     for (const racecheck::CellResult& cell : results) {
         for (const racecheck::ClassifiedReport& race : cell.races) {
             const racecheck::RaceReport& rep = race.report;
@@ -147,7 +170,8 @@ proposeFixes(const std::vector<racecheck::CellResult>& results)
                     set.unattributed_pairs += rep.count;
                     continue;
                 }
-                SiteEvidence& e = evidence[side.site];
+                SiteEvidence& e =
+                    evidence[{side.site, side.sig.kind}];
                 e.cls = worseOf(e.cls, race.cls);
                 e.observed.insert(racecheck::accessSigName(side.sig));
                 e.allocations.insert(rep.allocation);
@@ -160,18 +184,19 @@ proposeFixes(const std::vector<racecheck::CellResult>& results)
         }
     }
 
-    for (const auto& [site, e] : evidence) {
+    for (const auto& [key, e] : evidence) {
         FixProposal proposal;
-        proposal.site = site;
-        proposal.site_desc = registry.describe(site);
-        const racecheck::Site record = registry.site(site);
+        proposal.site = key.first;
+        proposal.kind = key.second;
+        proposal.site_desc = registry.describe(key.first);
+        const racecheck::Site record = registry.site(key.first);
         proposal.file = record.file;
         proposal.line = record.line;
         proposal.label = record.label;
         proposal.observed = joinSorted(e.observed);
         proposal.allocations = joinSorted(e.allocations);
         proposal.cls = e.cls;
-        proposal.fix = fixFor(e.cls);
+        proposal.fix = fixForClass(e.cls);
         proposal.rationale = rationaleFor(e.cls);
         proposal.partners.assign(e.partners.begin(), e.partners.end());
         proposal.pairs = e.pairs;
@@ -182,18 +207,32 @@ proposeFixes(const std::vector<racecheck::CellResult>& results)
     // the tiebreaker only for distinct sites sharing a description).
     std::sort(set.proposals.begin(), set.proposals.end(),
               [](const FixProposal& a, const FixProposal& b) {
-                  return std::tie(a.site_desc, a.site) <
-                         std::tie(b.site_desc, b.site);
+                  return std::tie(a.site_desc, a.site, a.kind) <
+                         std::tie(b.site_desc, b.site, b.kind);
               });
     return set;
 }
+
+namespace {
+
+/** Install a fix, merging worst-wins with any fix already in the
+ *  site's slot (two proposals of one site share the slot). */
+void
+installFix(simt::SiteOverrideTable& table, racecheck::SiteId site,
+           const simt::SiteOverride& fix)
+{
+    const simt::SiteOverride* have = table.find(site);
+    table.set(site, have ? strongerFix(*have, fix) : fix);
+}
+
+}  // namespace
 
 simt::SiteOverrideTable
 fullTable(const ProposalSet& set)
 {
     simt::SiteOverrideTable table;
     for (const FixProposal& proposal : set.proposals)
-        table.set(proposal.site, proposal.fix);
+        installFix(table, proposal.site, proposal.fix);
     return table;
 }
 
@@ -207,13 +246,13 @@ closureTable(const ProposalSet& set, size_t index)
     table.set(root.site, root.fix);
     for (racecheck::SiteId partner : root.partners) {
         // The partner is a racy side of some pair, so it has its own
-        // proposal; use it (its class may demand a stronger order).
+        // proposal(s); merge every one (a class of either kind may
+        // demand a stronger order than the root's).
         bool found = false;
         for (const FixProposal& other : set.proposals) {
             if (other.site == partner) {
-                table.set(other.site, other.fix);
+                installFix(table, other.site, other.fix);
                 found = true;
-                break;
             }
         }
         if (!found)

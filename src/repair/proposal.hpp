@@ -19,6 +19,13 @@
  * racing against — and verification applies the fix closure
  * (closureTable), mirroring how the paper converts every access to a
  * shared array, not just one of them.
+ *
+ * Evidence is keyed by (site, access kind): one source site can be both
+ * read and written through different racy pairs (a load in one kernel
+ * phase, a store in another), and the two uses can classify into
+ * different taxonomy buckets demanding different orders. The engine's
+ * override table still has one slot per site, so table builders merge
+ * same-site proposals worst-wins (strongerFix).
  */
 #pragma once
 
@@ -34,6 +41,11 @@ namespace eclsim::repair {
 struct FixProposal
 {
     racecheck::SiteId site = racecheck::kUnknownSite;
+    /** Access kind the proposal covers. Evidence is deduplicated by
+     *  (site, kind), not site alone: a site read through one racy pair
+     *  and written through another gets two proposals, whose classes —
+     *  and therefore memory orders — can differ. */
+    simt::MemOpKind kind = simt::MemOpKind::kLoad;
     std::string site_desc;  ///< "file:label" (SiteRegistry::describe)
     std::string file;
     u32 line = 0;
@@ -56,12 +68,16 @@ struct FixProposal
     /** Total conflicting access pairs across reports involving the
      *  site. */
     u64 pairs = 0;
+    /** True when the proposal was seeded from the static may-race set
+     *  (staticrace) with no dynamic witness (static_seed.hpp). */
+    bool static_seed = false;
 };
 
 /** The proposals derived from one detection sweep. */
 struct ProposalSet
 {
-    /** Sorted by (site_desc, site): stable under any interning order. */
+    /** Sorted by (site_desc, site, kind): stable under any interning
+     *  order. */
     std::vector<FixProposal> proposals;
     /** Conflicting pairs whose racy side was not ECL_SITE-instrumented
      *  (kUnknownSite): nothing to override, so nothing to repair. The
@@ -72,11 +88,29 @@ struct ProposalSet
 /** Printable fix ("atomic(relaxed, device)"). */
 std::string fixName(const simt::SiteOverride& fix);
 
+/** Printable access kind ("load", "store", "rmw"). */
+const char* memOpKindName(simt::MemOpKind kind);
+
+/**
+ * Worst-wins merge of two fixes destined for one site's single override
+ * slot (the engine keys overrides by site, not by access kind): the
+ * stronger memory order and the wider scope survive. Enumeration order
+ * is strength order for the orders the proposer emits (relaxed,
+ * seq_cst).
+ */
+simt::SiteOverride strongerFix(const simt::SiteOverride& a,
+                               const simt::SiteOverride& b);
+
+/** The paper's order choice for a taxonomy bucket: relaxed wherever a
+ *  benignity (or bounded-error) argument exists, seq_cst otherwise. */
+simt::SiteOverride fixForClass(racecheck::RaceClass cls);
+
 /** Derive per-site proposals from detection results (see file comment). */
 ProposalSet proposeFixes(
     const std::vector<racecheck::CellResult>& results);
 
-/** Override table applying every proposal (whole-algorithm repair). */
+/** Override table applying every proposal (whole-algorithm repair).
+ *  Proposals sharing a site merge worst-wins (strongerFix). */
 simt::SiteOverrideTable fullTable(const ProposalSet& set);
 
 /**

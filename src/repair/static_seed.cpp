@@ -1,0 +1,149 @@
+#include "repair/static_seed.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "staticrace/runner.hpp"
+
+namespace eclsim::repair {
+
+namespace {
+
+using racecheck::SiteId;
+
+/** Accumulator for one statically predicted (site, kind). */
+struct StaticEvidence
+{
+    std::set<std::string> observed;
+    std::set<std::string> allocations;
+    std::set<SiteId> partners;
+    u64 pairs = 0;
+};
+
+std::string
+joinSorted(const std::set<std::string>& parts)
+{
+    std::string out;
+    for (const std::string& part : parts) {
+        if (!out.empty())
+            out += ", ";
+        out += part;
+    }
+    return out;
+}
+
+}  // namespace
+
+racecheck::RaceClass
+classFromExpectation(racecheck::Expectation expect)
+{
+    using racecheck::Expectation;
+    using racecheck::RaceClass;
+    switch (expect) {
+      case Expectation::kIdempotent:
+        return RaceClass::kIdempotentWrite;
+      case Expectation::kMonotonic:
+        return RaceClass::kMonotonicUpdate;
+      case Expectation::kStaleTolerant:
+        return RaceClass::kStaleReadTolerant;
+      case Expectation::kTearing:
+        return RaceClass::kWordTearing;
+      case Expectation::kBoundedError:
+        return RaceClass::kHarmfulTolerated;
+      case Expectation::kNone:
+        break;
+    }
+    return RaceClass::kUnknownHarmful;
+}
+
+std::vector<FixProposal>
+staticSeedProposals(const racecheck::RunnerConfig& config,
+                    const racecheck::RacecheckCell& cell, u64 seed,
+                    const ProposalSet& dynamic_set)
+{
+    const staticrace::StaticCellResult probe =
+        staticrace::runStaticraceCell(config, cell, seed);
+
+    std::set<std::pair<SiteId, simt::MemOpKind>> dynamic_keys;
+    for (const FixProposal& p : dynamic_set.proposals)
+        dynamic_keys.insert({p.site, p.kind});
+
+    std::map<std::pair<SiteId, simt::MemOpKind>, StaticEvidence>
+        evidence;
+    for (const staticrace::MayRacePair& pair : probe.pairs) {
+        const struct
+        {
+            SiteId site;
+            const racecheck::AccessSig& sig;
+            const std::string& access;
+            SiteId other;
+            bool other_racy;
+        } sides[2] = {
+            {pair.site_a, pair.sig_a, pair.access_a, pair.site_b,
+             !racecheck::sigIsAtomic(pair.sig_b)},
+            {pair.site_b, pair.sig_b, pair.access_b, pair.site_a,
+             !racecheck::sigIsAtomic(pair.sig_a)},
+        };
+        for (int s = 0; s < 2; ++s) {
+            // A self pair contributes its side once.
+            if (s == 1 && sides[0].site == sides[1].site &&
+                sides[0].sig.kind == sides[1].sig.kind)
+                break;
+            const auto& side = sides[s];
+            if (racecheck::sigIsAtomic(side.sig))
+                continue;
+            if (side.site == racecheck::kUnknownSite)
+                continue;
+            if (dynamic_keys.count({side.site, side.sig.kind}))
+                continue;  // already proposed from dynamic evidence
+            StaticEvidence& e = evidence[{side.site, side.sig.kind}];
+            e.observed.insert(side.access);
+            e.allocations.insert(pair.allocation);
+            e.pairs += 1;
+            if (side.other_racy &&
+                side.other != racecheck::kUnknownSite &&
+                side.other != side.site)
+                e.partners.insert(side.other);
+        }
+    }
+
+    auto& registry = racecheck::SiteRegistry::instance();
+    std::vector<FixProposal> out;
+    out.reserve(evidence.size());
+    for (const auto& [key, e] : evidence) {
+        FixProposal proposal;
+        proposal.site = key.first;
+        proposal.kind = key.second;
+        proposal.site_desc = registry.describe(key.first);
+        const racecheck::Site record = registry.site(key.first);
+        proposal.file = record.file;
+        proposal.line = record.line;
+        proposal.label = record.label;
+        proposal.observed = joinSorted(e.observed);
+        proposal.allocations = joinSorted(e.allocations);
+        const racecheck::Expectation expect =
+            registry.expectation(key.first);
+        proposal.cls = classFromExpectation(expect);
+        proposal.fix = fixForClass(proposal.cls);
+        proposal.rationale =
+            expect != racecheck::Expectation::kNone
+                ? "static may-race, no dynamic witness; order from the "
+                  "declared expectation"
+                : "static may-race, no dynamic witness, no declared "
+                  "benignity: conservative seq_cst";
+        proposal.partners.assign(e.partners.begin(), e.partners.end());
+        proposal.pairs = e.pairs;
+        proposal.static_seed = true;
+        out.push_back(std::move(proposal));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FixProposal& a, const FixProposal& b) {
+                  return std::tie(a.site_desc, a.site, a.kind) <
+                         std::tie(b.site_desc, b.site, b.kind);
+              });
+    return out;
+}
+
+}  // namespace eclsim::repair

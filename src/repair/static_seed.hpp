@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Static seeding of the repair advisor (DESIGN.md §16).
+ *
+ * Dynamic detection only prices races it witnesses; a race the probe
+ * schedule never manifests gets no proposal and therefore no cost
+ * estimate. The staticrace analyzer over-approximates the dynamic
+ * report set (its soundness gate enforces exactly that), so its
+ * may-race pairs are a catalog of everything that COULD race.
+ * staticSeedProposals() turns the statically predicted remainder —
+ * non-atomic (site, access kind) uses appearing in the may-set but in
+ * no dynamic proposal — into FixProposals, letting the advisor verify
+ * and price fixes for races no schedule exposed.
+ *
+ * Statically seeded proposals have no classified dynamic evidence;
+ * their taxonomy bucket comes from the site's declared expectation
+ * (ECL_SITE_AS) via classFromExpectation, and an undeclared site gets
+ * the conservative kUnknownHarmful (seq_cst), matching the paper's
+ * stance that a race without a benignity argument must be repaired at
+ * full strength.
+ */
+#pragma once
+
+#include <vector>
+
+#include "racecheck/runner.hpp"
+#include "repair/proposal.hpp"
+
+namespace eclsim::repair {
+
+/** The taxonomy bucket a declared expectation justifies; kNone
+ *  (undeclared) maps to kUnknownHarmful. */
+racecheck::RaceClass classFromExpectation(racecheck::Expectation expect);
+
+/**
+ * Run the staticrace probe for one cell (fast mode, engine seed
+ * `seed`) and derive a proposal for every non-atomic (site, kind) in
+ * the static may-race set that `dynamic_set` lacks. Returned sorted by
+ * (site_desc, site, kind) with static_seed set; the caller merges them
+ * into its proposal list.
+ */
+std::vector<FixProposal> staticSeedProposals(
+    const racecheck::RunnerConfig& config,
+    const racecheck::RacecheckCell& cell, u64 seed,
+    const ProposalSet& dynamic_set);
+
+}  // namespace eclsim::repair

@@ -8,6 +8,7 @@
 #include "core/logging.hpp"
 #include "core/rng.hpp"
 #include "prof/trace.hpp"
+#include "simt/observer.hpp"
 
 namespace eclsim::simt {
 
@@ -42,7 +43,7 @@ Engine::Engine(GpuSpec spec, DeviceMemory& memory, EngineOptions options)
         detector_ = std::make_unique<RaceDetector>(memory_, counters);
     mem_subsystem_ = std::make_unique<MemorySubsystem>(
         spec_, memory_, options_.memory, detector_.get(), counters,
-        options_.perturb);
+        options_.perturb, options_.observer);
     if (trace_)
         kernel_track_ = trace_->track("kernels");
     has_request_overrides_ =
@@ -157,6 +158,9 @@ Engine::launch(std::string_view name, const LaunchConfig& config,
 
     const u64 races_before =
         detector_ ? detector_->reports().size() : 0;
+    if (options_.observer != nullptr)
+        options_.observer->onLaunchBegin(name, config.grid,
+                                         config.blockSize());
     traceLaunchBegin(name, config);
 
     LaunchStats stats;

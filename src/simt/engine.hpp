@@ -110,6 +110,17 @@ struct EngineOptions
      */
     PerturbationHooks* perturb = nullptr;
     /**
+     * Optional passive access observer (simt/observer.hpp,
+     * eclsim::staticrace's recording substrate). When set, the engine
+     * reports each kernel launch (name + shape) and every executed
+     * access piece to the observer, with the same address/size
+     * semantics the race detector sees. The observer must outlive the
+     * engine and must not be shared with another concurrently running
+     * engine. Installing one disables the hookless fast path. Null is
+     * free.
+     */
+    AccessObserver* observer = nullptr;
+    /**
      * Disable the hookless fast access path even when no hooks are
      * installed, forcing every access through the general
      * MemorySubsystem::performPieces route. The two paths are

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hpp"
+#include "simt/observer.hpp"
 
 namespace eclsim::simt {
 
@@ -28,12 +29,13 @@ MemorySubsystem::MemorySubsystem(const GpuSpec& spec, DeviceMemory& memory,
                                  const MemoryOptions& options,
                                  RaceDetector* detector,
                                  prof::CounterRegistry* counters,
-                                 PerturbationHooks* perturb)
+                                 PerturbationHooks* perturb,
+                                 AccessObserver* observer)
     : spec_(spec), memory_(memory), options_(options), detector_(detector),
       l2_cache_(std::max<u64>(spec.l2_bytes / options.cache_divisor,
                               4096),
                 options.line_bytes, options.l2_ways),
-      perturb_(perturb), prof_(counters)
+      perturb_(perturb), observer_(observer), prof_(counters)
 {
     ECLSIM_ASSERT(options_.cache_divisor >= 1, "cache divisor must be >= 1");
     if (prof_) {
@@ -398,6 +400,12 @@ MemorySubsystem::performPieces(const ThreadInfo& who, u32 sm,
                                 req.kind == MemOpKind::kRmw ? req.size
                                                             : piece_size,
                                 det_value, det_old);
+        }
+        // Passive observation mirrors the detector's per-piece view.
+        if (observer_) {
+            observer_->onAccess(who, req, addr,
+                                req.kind == MemOpKind::kRmw ? req.size
+                                                            : piece_size);
         }
     }
     if (is_atomic) {

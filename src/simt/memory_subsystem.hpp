@@ -33,6 +33,8 @@
 
 namespace eclsim::simt {
 
+class AccessObserver;
+
 /** Memory-model configuration. */
 struct MemoryOptions
 {
@@ -85,11 +87,17 @@ class MemorySubsystem
      *        set, racy stores may be buffered/duplicated, snapshot
      *        refreshes skipped, and atomic updates dropped per the
      *        hooks' decisions. Null costs one pointer test per access.
+     * @param observer optional passive access observer
+     *        (simt/observer.hpp); when set, every executed piece is
+     *        reported after its functional effect and timing, with the
+     *        same address/size arguments the race detector receives.
+     *        Null costs one pointer test per access.
      */
     MemorySubsystem(const GpuSpec& spec, DeviceMemory& memory,
                     const MemoryOptions& options, RaceDetector* detector,
                     prof::CounterRegistry* counters = nullptr,
-                    PerturbationHooks* perturb = nullptr);
+                    PerturbationHooks* perturb = nullptr,
+                    AccessObserver* observer = nullptr);
 
     /** Begin-of-launch bookkeeping (visibility snapshot, counters). */
     void beginLaunch();
@@ -119,16 +127,16 @@ class MemorySubsystem
                               const MemRequest& req, u32 first, u32 last);
 
     /**
-     * True when no profiling, perturbation, or race-detection hook is
-     * installed, i.e. every access would take only the plain
-     * functional + timing route. The engine selects the hookless fast
-     * path (performFast) once per launch from this.
+     * True when no profiling, perturbation, race-detection, or
+     * observation hook is installed, i.e. every access would take only
+     * the plain functional + timing route. The engine selects the
+     * hookless fast path (performFast) once per launch from this.
      */
     bool
     hookless() const
     {
         return prof_ == nullptr && perturb_ == nullptr &&
-               detector_ == nullptr;
+               detector_ == nullptr && observer_ == nullptr;
     }
 
     /**
@@ -218,6 +226,8 @@ class MemorySubsystem
 
     // perturbation state (inert when perturb_ is null)
     PerturbationHooks* perturb_ = nullptr;
+    // passive access observer (inert when null)
+    AccessObserver* observer_ = nullptr;
     std::vector<PendingStore> pending_;
     u64 access_clock_ = 0;  ///< memory accesses since engine creation
     u32 launch_index_ = 0;  ///< launches since engine creation

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Passive per-access observation hook.
+ *
+ * An AccessObserver sees every memory access the engine performs —
+ * functional effect and timing untouched — plus a callback at each
+ * kernel-launch boundary. It is the recording substrate of the
+ * staticrace summary extractor (src/staticrace): a fast-mode probe run
+ * with an observer installed captures each ECL_SITE's address stream,
+ * access signature, and barrier phase without paying for the vector-
+ * clock race detector.
+ *
+ * Installing an observer disables the hookless fast access path for the
+ * launch (MemorySubsystem::hookless), so observed accesses flow through
+ * the general performPieces route, piece by piece, with the same
+ * (who, req, addr, size) arguments the race detector receives.
+ */
+#pragma once
+
+#include <string_view>
+
+#include "core/types.hpp"
+#include "simt/access.hpp"
+#include "simt/race_detector.hpp"
+
+namespace eclsim::simt {
+
+/** Passive observer of kernel launches and memory accesses. */
+class AccessObserver
+{
+  public:
+    virtual ~AccessObserver() = default;
+
+    /**
+     * A kernel launch is about to run. @p grid / @p block_size describe
+     * the launch shape (1-D grid, flattened block). Launches are
+     * strictly serial, so every onAccess until the next onLaunchBegin
+     * belongs to this launch.
+     */
+    virtual void onLaunchBegin(std::string_view kernel, u32 grid,
+                               u32 block_size)
+    {
+        (void)kernel;
+        (void)grid;
+        (void)block_size;
+    }
+
+    /**
+     * One executed piece of a request, with the same address/size
+     * semantics as RaceDetector::onAccess: @p addr is the piece
+     * address, @p size the piece width (full request width for RMWs).
+     * who.epoch is the thread's current __syncthreads epoch.
+     */
+    virtual void onAccess(const ThreadInfo& who, const MemRequest& req,
+                          u64 addr, u8 size) = 0;
+};
+
+}  // namespace eclsim::simt

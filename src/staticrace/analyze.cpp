@@ -1,0 +1,320 @@
+#include "staticrace/analyze.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "core/logging.hpp"
+
+namespace eclsim::staticrace {
+
+namespace {
+
+i64
+floorDiv(i64 a, i64 b)
+{
+    ECLSIM_ASSERT(b != 0, "floorDiv by zero");
+    i64 q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+i64
+ceilDiv(i64 a, i64 b)
+{
+    return -floorDiv(-a, b);
+}
+
+/** Byte interval a summary may touch: the observed hull for affine
+ *  summaries, the whole enclosing allocation range for widened ones. */
+void
+summarySpan(const SiteSummary& s,
+            const std::vector<simt::Allocation>& allocations, u64& lo,
+            u64& hi)
+{
+    if (s.model.affine) {
+        lo = s.addr_min;
+        hi = s.addr_end;
+        return;
+    }
+    const simt::Allocation& first = allocations[s.alloc_first];
+    const simt::Allocation& last = allocations[s.alloc_last];
+    lo = first.offset;
+    hi = last.offset + last.bytes;
+}
+
+/** Per-thread footprint of an affine summary: the occurrence term's
+ *  extent plus the widest access. lo_off is the footprint's offset
+ *  below the thread's base address (negative ci runs downward). */
+void
+threadFootprint(const SiteSummary& s, i64& lo_off, i64& width)
+{
+    const i64 iter_extent =
+        (s.model.ci < 0 ? -s.model.ci : s.model.ci) *
+        static_cast<i64>(s.iter_max);
+    lo_off = s.model.ci < 0 ? -iter_extent : 0;
+    width = iter_extent + s.max_size;
+}
+
+/**
+ * Affine-difference disjointness for two same-stride summaries: does
+ * any pair of DISTINCT threads (d = tA - tB != 0) make the per-thread
+ * footprints overlap? Returns true if overlap is possible.
+ */
+bool
+affinePairMayOverlap(const SiteSummary& a, const SiteSummary& b)
+{
+    const i64 s = a.model.ct;  // == b.model.ct, checked by caller
+    i64 lo_a, w_a, lo_b, w_b;
+    threadFootprint(a, lo_a, w_a);
+    threadFootprint(b, lo_b, w_b);
+    // Overlap for thread-difference d iff
+    //   Lo < s*d < Hi,  Lo = (Bb+lo_b) - (Ba+lo_a) - w_a,
+    //                   Hi = (Bb+lo_b+w_b) - (Ba+lo_a)
+    const i64 start_delta = (b.model.base + lo_b) - (a.model.base + lo_a);
+    const i64 lo = start_delta - w_a;
+    const i64 hi = start_delta + w_b;
+    // d range from the observed thread ranges of both sides.
+    const i64 dmin = static_cast<i64>(a.thread_min) -
+                     static_cast<i64>(b.thread_max);
+    const i64 dmax = static_cast<i64>(a.thread_max) -
+                     static_cast<i64>(b.thread_min);
+    if (s == 0) {
+        // Every thread of each side touches the same footprint; any
+        // distinct-thread pair overlaps iff the footprints do (0 in
+        // (lo, hi)) and two distinct threads exist at all.
+        const bool distinct_exists = dmin < 0 || dmax > 0;
+        return distinct_exists && lo < 0 && 0 < hi;
+    }
+    // Integer d with lo < s*d < hi:
+    i64 d_lo, d_hi;
+    if (s > 0) {
+        d_lo = floorDiv(lo, s) + 1;
+        d_hi = ceilDiv(hi, s) - 1;
+    } else {
+        d_lo = floorDiv(-hi, -s) + 1;
+        d_hi = ceilDiv(-lo, -s) - 1;
+        // (negating s and the bounds flips the interval symmetrically;
+        // d solves -hi < (-s)*d < -lo)
+    }
+    d_lo = std::max(d_lo, dmin);
+    d_hi = std::min(d_hi, dmax);
+    if (d_lo > d_hi)
+        return false;
+    if (d_lo == 0 && d_hi == 0)
+        return false;  // only the same-thread solution: program order
+    return true;
+}
+
+const char*
+kindsLabel(bool rw, bool ww)
+{
+    if (rw && ww)
+        return "R/W+W/W";
+    return ww ? "W/W" : "R/W";
+}
+
+}  // namespace
+
+std::string
+MayRacePair::describe() const
+{
+    return kernel + " " + allocation + ": " + desc_a + " " + access_a +
+           " vs " + desc_b + " " + access_b + " [" +
+           kindsLabel(rw, ww) + "]";
+}
+
+void
+analyzeKernel(const KernelGroup& group,
+              const std::vector<simt::Allocation>& allocations,
+              std::vector<MayRacePair>& out)
+{
+    auto& registry = racecheck::SiteRegistry::instance();
+    for (auto it_a = group.sites.begin(); it_a != group.sites.end();
+         ++it_a) {
+        for (auto it_b = it_a; it_b != group.sites.end(); ++it_b) {
+            const SiteSummary& a = it_a->second;
+            const SiteSummary& b = it_b->second;
+            const bool self = it_a == it_b;
+
+            // Write requirement.
+            if (!a.writes && !b.writes)
+                continue;
+
+            // Program order: both sides pinned to one and the same
+            // thread (a self pair needs two distinct threads too).
+            const bool a_single = a.thread_min == a.thread_max;
+            const bool b_single = b.thread_min == b.thread_max;
+            if (self && a_single)
+                continue;
+            if (!self && a_single && b_single &&
+                a.thread_min == b.thread_min)
+                continue;
+
+            // Atomic/atomic excuse (conservative mirror of the dynamic
+            // detector's scope rule; see file comment of analyze.hpp).
+            const bool both_atomic = a.all_atomic && b.all_atomic;
+            if (both_atomic &&
+                (group.max_grid <= 1 ||
+                 (a.min_scope >= simt::Scope::kDevice &&
+                  b.min_scope >= simt::Scope::kDevice)))
+                continue;
+
+            // Barrier phases: single-block kernels only — every thread
+            // shares the block, so disjoint epoch intervals are ordered
+            // through __syncthreads.
+            if (!self && group.max_grid <= 1 &&
+                (a.epoch_max < b.epoch_min || b.epoch_max < a.epoch_min))
+                continue;
+
+            // Byte overlap.
+            u64 lo_a, hi_a, lo_b, hi_b;
+            summarySpan(a, allocations, lo_a, hi_a);
+            summarySpan(b, allocations, lo_b, hi_b);
+            const u64 lo = std::max(lo_a, lo_b);
+            const u64 hi = std::min(hi_a, hi_b);
+            if (lo >= hi)
+                continue;
+
+            std::string overlap_why;
+            if (a.model.affine && b.model.affine) {
+                if (self) {
+                    i64 lo_off, width;
+                    threadFootprint(a, lo_off, width);
+                    const i64 stride =
+                        a.model.ct < 0 ? -a.model.ct : a.model.ct;
+                    if (stride >= width)
+                        continue;  // per-thread slots are disjoint
+                    overlap_why =
+                        "per-thread stride " + std::to_string(stride) +
+                        " < footprint " + std::to_string(width) +
+                        " bytes";
+                } else if (a.model.ct == b.model.ct) {
+                    if (!affinePairMayOverlap(a, b))
+                        continue;
+                    overlap_why =
+                        "affine difference admits a distinct-thread "
+                        "solution at stride " +
+                        std::to_string(a.model.ct);
+                } else {
+                    overlap_why = "affine strides differ (" +
+                                  std::to_string(a.model.ct) + " vs " +
+                                  std::to_string(b.model.ct) +
+                                  "); interval overlap";
+                }
+            } else {
+                overlap_why = "widened (data-dependent) summary; "
+                              "whole-allocation overlap";
+            }
+
+            // Emit one pair per allocation the common range touches.
+            const u32 first = std::max(a.alloc_first, b.alloc_first);
+            const u32 last = std::min(a.alloc_last, b.alloc_last);
+            for (u32 alloc = first; alloc <= last; ++alloc) {
+                const simt::Allocation& info = allocations[alloc];
+                const u64 alo = std::max<u64>(lo, info.offset);
+                const u64 ahi = std::min<u64>(hi, info.offset + info.bytes);
+                if (alo >= ahi)
+                    continue;
+                MayRacePair pair;
+                pair.kernel = group.kernel;
+                pair.alloc_index = alloc;
+                pair.allocation = info.name;
+                pair.site_a = a.site;
+                pair.site_b = b.site;
+                pair.desc_a = registry.describe(a.site);
+                pair.desc_b = registry.describe(b.site);
+                pair.access_a = racecheck::accessSigName(a.sig);
+                pair.access_b = racecheck::accessSigName(b.sig);
+                pair.sig_a = a.sig;
+                pair.sig_b = b.sig;
+                if (pair.desc_b < pair.desc_a) {
+                    std::swap(pair.site_a, pair.site_b);
+                    std::swap(pair.desc_a, pair.desc_b);
+                    std::swap(pair.access_a, pair.access_b);
+                    std::swap(pair.sig_a, pair.sig_b);
+                }
+                pair.ww = a.writes && b.writes;
+                pair.rw = (a.writes && b.reads) || (a.reads && b.writes);
+                pair.non_atomic_side = !both_atomic;
+                const bool a_benign =
+                    a.all_atomic ||
+                    registry.expectation(a.site) !=
+                        racecheck::Expectation::kNone;
+                const bool b_benign =
+                    b.all_atomic ||
+                    registry.expectation(b.site) !=
+                        racecheck::Expectation::kNone;
+                pair.declared_benign = a_benign && b_benign;
+                pair.overlap_bytes = ahi - alo;
+                pair.why =
+                    pair.desc_a + " vs " + pair.desc_b + " on " +
+                    info.name + "[" + std::to_string(alo - info.offset) +
+                    "," + std::to_string(ahi - info.offset) + "): " +
+                    overlap_why + "; no launch/barrier edge (grid<=" +
+                    std::to_string(group.max_grid) + ", epochs [" +
+                    std::to_string(a.epoch_min) + "," +
+                    std::to_string(a.epoch_max) + "] vs [" +
+                    std::to_string(b.epoch_min) + "," +
+                    std::to_string(b.epoch_max) + "])" +
+                    (both_atomic
+                         ? "; block-scope atomics across blocks"
+                         : "; non-atomic side present");
+                out.push_back(std::move(pair));
+            }
+        }
+    }
+}
+
+std::vector<MayRacePair>
+analyzeRecording(const Recorder& recorder)
+{
+    std::vector<MayRacePair> raw;
+    for (const KernelGroup& group : recorder.kernels())
+        analyzeKernel(group, recorder.allocations(), raw);
+
+    // Sites may share a label across lines (a loop body instrumented at
+    // several source positions), and describe() renders "file:label" —
+    // merge pairs that are indistinguishable in the report, keeping the
+    // widest overlap's WHY and joining the conflict kinds.
+    std::map<std::tuple<std::string, u32, std::string, std::string,
+                        std::string, std::string>,
+             MayRacePair>
+        merged;
+    for (MayRacePair& pair : raw) {
+        const auto key =
+            std::make_tuple(pair.kernel, pair.alloc_index, pair.desc_a,
+                            pair.desc_b, pair.access_a, pair.access_b);
+        auto it = merged.find(key);
+        if (it == merged.end()) {
+            merged.emplace(key, std::move(pair));
+            continue;
+        }
+        MayRacePair& have = it->second;
+        if (pair.overlap_bytes > have.overlap_bytes) {
+            have.overlap_bytes = pair.overlap_bytes;
+            have.why = std::move(pair.why);
+        }
+        have.rw = have.rw || pair.rw;
+        have.ww = have.ww || pair.ww;
+        have.non_atomic_side = have.non_atomic_side || pair.non_atomic_side;
+        have.declared_benign = have.declared_benign && pair.declared_benign;
+    }
+    std::vector<MayRacePair> out;
+    out.reserve(merged.size());
+    for (auto& [key, pair] : merged)
+        out.push_back(std::move(pair));
+    std::sort(out.begin(), out.end(),
+              [](const MayRacePair& x, const MayRacePair& y) {
+                  if (x.overlap_bytes != y.overlap_bytes)
+                      return x.overlap_bytes > y.overlap_bytes;
+                  return std::tie(x.kernel, x.allocation, x.desc_a,
+                                  x.desc_b, x.access_a, x.access_b) <
+                         std::tie(y.kernel, y.allocation, y.desc_a,
+                                  y.desc_b, y.access_a, y.access_b);
+              });
+    return out;
+}
+
+}  // namespace eclsim::staticrace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Pairwise may-race analysis over site summaries (DESIGN.md §16).
+ *
+ * The analysis applies the two-thread reduction: a data race needs two
+ * accesses from distinct threads, in the same kernel launch, at least
+ * one a write, not both atomic with mutually reaching scopes, touching
+ * a common byte. Working per KernelGroup (launch boundaries order
+ * different kernels), every site pair — including a site against
+ * itself — is tested against that conjunction using only the symbolic
+ * summaries:
+ *
+ *  - write requirement: at least one side observed a store or RMW;
+ *  - atomic excuse, mirroring the dynamic detector conservatively:
+ *    both sides all-atomic AND (the kernel only ever ran single-block,
+ *    or both sides' narrowest scope is >= device). Block-scope atomics
+ *    under a multi-block grid are NOT excused — the static analysis
+ *    cannot prove two conflicting threads share a block;
+ *  - program order: two single-thread summaries pinned to the same
+ *    thread cannot race;
+ *  - barrier phases: in a single-block kernel, disjoint __syncthreads
+ *    epoch intervals are ordered by the barrier. (Multi-block grids get
+ *    no such edge — barriers are block-local.)
+ *  - overlap, per byte: affine-vs-affine pairs with a common per-thread
+ *    stride get an exact affine-difference decision over the distinct-
+ *    thread constraint (the d != 0 lattice test); a site against itself
+ *    is disjoint when its stride covers its per-thread footprint;
+ *    anything involving a widened (⊤) summary falls back to interval
+ *    intersection against the whole enclosing allocation.
+ *
+ * Every surviving pair is emitted as a MayRacePair with a WHY string
+ * naming the facts that kept it alive, ranked by overlap extent. The
+ * result over-approximates the dynamic racecheck report set; the
+ * soundness gate (runner.hpp) enforces exactly that.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "staticrace/summary.hpp"
+
+namespace eclsim::staticrace {
+
+/** One statically undischarged pair: these two sites may race. */
+struct MayRacePair
+{
+    std::string kernel;
+    u32 alloc_index = 0;
+    std::string allocation;
+    /** Description-ordered (desc_a <= desc_b), so identity never
+     *  depends on site-interning order. */
+    racecheck::SiteId site_a = racecheck::kUnknownSite;
+    racecheck::SiteId site_b = racecheck::kUnknownSite;
+    std::string desc_a, desc_b;      ///< "file:label" renderings
+    std::string access_a, access_b;  ///< accessSigName of each side
+    /** First observed signature of each side (what access_a/access_b
+     *  render); the repair advisor's static seeding keys on the kind
+     *  and atomicity. */
+    racecheck::AccessSig sig_a, sig_b;
+    bool rw = false;  ///< a read/write conflict is possible
+    bool ww = false;  ///< a write/write conflict is possible
+    /** At least one side is non-atomic (the pair a race-free variant
+     *  must not produce). False = an unexcused atomic/atomic pair
+     *  (block-scope atomics under a multi-block grid). */
+    bool non_atomic_side = true;
+    /** Every non-atomic side carries a declared benign-race expectation
+     *  (ECL_SITE_AS; e.g. the MST in_mst[] constant mark-store is
+     *  kIdempotent). The soundness gate's race-free-zero precision rule
+     *  reports such pairs but does not fail on them — the coverage rule
+     *  still guarantees no dynamic race goes unseen. */
+    bool declared_benign = false;
+    /** Bytes of possible overlap (ranking score; allocation size for
+     *  widened pairs). */
+    u64 overlap_bytes = 0;
+    std::string why;
+
+    /** Stable one-line rendering ("kernel alloc: a vs b [R/W|W/W]"). */
+    std::string describe() const;
+};
+
+/**
+ * Analyze one kernel group against the allocation table, appending
+ * surviving pairs to out. Deterministic: iteration is in site-id order
+ * but emitted pairs are description-keyed.
+ */
+void analyzeKernel(const KernelGroup& group,
+                   const std::vector<simt::Allocation>& allocations,
+                   std::vector<MayRacePair>& out);
+
+/** Analyze every kernel of a finalized recording; returns the ranked
+ *  pair list (overlap extent desc, then description). */
+std::vector<MayRacePair> analyzeRecording(const Recorder& recorder);
+
+}  // namespace eclsim::staticrace

@@ -1,0 +1,616 @@
+#include "staticrace/runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <tuple>
+
+#include "algos/apsp.hpp"
+#include "chaos/oracle.hpp"
+#include "core/logging.hpp"
+#include "core/thread_pool.hpp"
+#include "graph/generators.hpp"
+#include "graph/input_catalog.hpp"
+#include "simt/engine.hpp"
+
+namespace eclsim::staticrace {
+
+namespace {
+
+const char*
+kindsLabel(bool rw, bool ww)
+{
+    if (rw && ww)
+        return "R/W+W/W";
+    return ww ? "W/W" : "R/W";
+}
+
+/** Minimal JSON string quoting (descriptions are plain ASCII). */
+std::string
+jsonQuote(const std::string& text)
+{
+    std::string out = "\"";
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+const char*
+jsonBool(bool value)
+{
+    return value ? "true" : "false";
+}
+
+}  // namespace
+
+StaticCellResult
+runStaticraceCell(const racecheck::RunnerConfig& config,
+                  const racecheck::RacecheckCell& cell, u64 seed)
+{
+    StaticCellResult out;
+    out.cell = cell;
+
+    // Same graph selection as runRacecheckCell: the probe must execute
+    // the exact workload whose dynamic race set the gate compares
+    // against.
+    graph::CsrGraph apsp_graph;
+    if (cell.apsp) {
+        apsp_graph = graph::withSyntheticWeights(
+            graph::makeRandomUniform(config.apsp_vertices,
+                                     4ull * config.apsp_vertices, 0xa9),
+            50, 0xa9);
+    }
+    auto& cache = graph::InputCatalog::shared();
+    const bool weighted = cell.algo == harness::Algo::kMst;
+    graph::GraphPtr cached;  // pins the cache slot for the cell
+    if (!cell.apsp)
+        cached = weighted
+                     ? cache.getWeighted(cell.input, config.graph_divisor)
+                     : cache.get(cell.input, config.graph_divisor);
+    const graph::CsrGraph& graph = cell.apsp ? apsp_graph : *cached;
+
+    // The probe runs FAST mode: summaries only need one witnessed
+    // address stream per site, and the fitter/widening make the
+    // downstream analysis schedule-independent (DESIGN.md §16). No
+    // oracle check — the probe's output is its access trace.
+    Recorder recorder;
+    simt::EngineOptions options;
+    options.mode = simt::ExecMode::kFast;
+    options.detect_races = false;
+    options.shuffle_blocks = true;
+    options.seed = seed;
+    options.memory.cache_divisor = config.cache_divisor;
+    options.site_overrides = config.site_overrides;
+    options.observer = &recorder;
+
+    simt::DeviceMemory memory;
+    simt::Engine engine(simt::findGpu(config.gpu), memory, options);
+
+    if (cell.apsp)
+        algos::runApsp(engine, graph);
+    else
+        chaos::runChecked(engine, graph, cell.algo, cell.variant,
+                          /*check_oracle=*/false);
+
+    recorder.finalize(memory);
+    out.kernels = static_cast<u32>(recorder.kernels().size());
+    for (const KernelGroup& group : recorder.kernels()) {
+        for (const auto& [site, summary] : group.sites) {
+            ++out.sites;
+            if (summary.model.affine)
+                ++out.affine_sites;
+            else
+                ++out.top_sites;
+        }
+    }
+    out.samples = recorder.totalSamples();
+    out.pairs = analyzeRecording(recorder);
+    return out;
+}
+
+std::vector<StaticCellResult>
+runStaticrace(const racecheck::RunnerConfig& config,
+              const StaticraceProgressFn& progress)
+{
+    // Pin site-id assignment before any cell runs: summary maps iterate
+    // in id order, and ids must not depend on the worker schedule.
+    racecheck::populateSiteRegistry();
+
+    const auto cells = racecheck::racecheckCells(config);
+    std::vector<StaticCellResult> out(cells.size());
+    const u32 jobs = config.jobs == 0
+                         ? core::ThreadPool::defaultConcurrency()
+                         : config.jobs;
+
+    if (jobs <= 1 || cells.size() <= 1) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out[i] = runStaticraceCell(config, cells[i],
+                                       harness::cellSeed(config.seed, i));
+            if (progress)
+                progress(out[i]);
+        }
+        return out;
+    }
+
+    // PR-2 sharding contract: per-cell seeds from the stable cell index,
+    // results placed by index, so every --jobs value renders identically.
+    std::mutex sink_mutex;
+    core::ThreadPool pool(
+        static_cast<u32>(std::min<size_t>(jobs, cells.size())));
+    std::vector<std::future<void>> done;
+    done.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        done.push_back(pool.submit([&, i] {
+            StaticCellResult result = runStaticraceCell(
+                config, cells[i], harness::cellSeed(config.seed, i));
+            if (progress) {
+                std::lock_guard<std::mutex> lock(sink_mutex);
+                progress(result);
+            }
+            out[i] = std::move(result);
+        }));
+    }
+    for (auto& future : done)
+        future.get();
+    return out;
+}
+
+namespace {
+
+/** Coverage key of one conflict: (allocation, ordered desc pair, kind
+ *  initial 'R' or 'W'). Descriptions, not ids: interning order varies
+ *  between processes, renderings do not. */
+using ConflictKey = std::tuple<std::string, std::string, std::string, char>;
+
+ConflictKey
+dynamicKey(const racecheck::RaceReport& report)
+{
+    auto& sites = racecheck::SiteRegistry::instance();
+    std::string a = sites.describe(report.site_a);
+    std::string b = sites.describe(report.site_b);
+    if (b < a)
+        std::swap(a, b);
+    const char kind =
+        report.kind == racecheck::RaceKind::kWriteWrite ? 'W' : 'R';
+    return {report.allocation, std::move(a), std::move(b), kind};
+}
+
+void
+staticKeys(const MayRacePair& pair, std::vector<ConflictKey>& out)
+{
+    // desc_a <= desc_b already holds (MayRacePair invariant).
+    if (pair.rw)
+        out.push_back({pair.allocation, pair.desc_a, pair.desc_b, 'R'});
+    if (pair.ww)
+        out.push_back({pair.allocation, pair.desc_a, pair.desc_b, 'W'});
+}
+
+}  // namespace
+
+SoundnessResult
+evaluateSoundness(const racecheck::RunnerConfig& config,
+                  const std::vector<StaticCellResult>& statics,
+                  const std::vector<racecheck::CellResult>& dynamics)
+{
+    const auto cells = racecheck::racecheckCells(config);
+    ECLSIM_ASSERT(statics.size() == cells.size() &&
+                      dynamics.size() == cells.size(),
+                  "soundness gate needs cell-aligned sweeps of one config");
+
+    SoundnessResult out;
+    auto fail = [&out](std::string why) {
+        out.pass = false;
+        out.failures.push_back(std::move(why));
+    };
+
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const StaticCellResult& s = statics[i];
+        const racecheck::CellResult& d = dynamics[i];
+        const std::string name = racecheck::cellName(cells[i]);
+
+        CoverageRow row;
+        row.cell = name;
+        row.static_pairs = s.pairs.size();
+
+        std::set<ConflictKey> static_keys;
+        for (const MayRacePair& pair : s.pairs) {
+            std::vector<ConflictKey> keys;
+            staticKeys(pair, keys);
+            static_keys.insert(keys.begin(), keys.end());
+        }
+
+        // Soundness: every dynamic race must be in the static may-set.
+        std::set<ConflictKey> dynamic_keys;
+        for (const racecheck::ClassifiedReport& race : d.races) {
+            ++row.dynamic_races;
+            const ConflictKey key = dynamicKey(race.report);
+            dynamic_keys.insert(key);
+            if (static_keys.count(key)) {
+                ++row.covered;
+            } else {
+                row.misses.push_back(race.report.describe());
+                fail(name + ": statically uncovered dynamic race: " +
+                     race.report.describe());
+            }
+        }
+
+        // Precision accounting: static pairs with no dynamic witness.
+        u64 non_atomic_pairs = 0;
+        const MayRacePair* non_atomic_example = nullptr;
+        for (const MayRacePair& pair : s.pairs) {
+            std::vector<ConflictKey> keys;
+            staticKeys(pair, keys);
+            bool witnessed = false;
+            for (const ConflictKey& key : keys)
+                witnessed = witnessed || dynamic_keys.count(key) > 0;
+            if (!witnessed)
+                ++row.predicted_only;
+            if (pair.non_atomic_side && !pair.declared_benign) {
+                ++non_atomic_pairs;
+                if (non_atomic_example == nullptr)
+                    non_atomic_example = &pair;
+            }
+        }
+
+        // Precision, enforced where the design guarantees it: converted
+        // codes must analyze clean of non-atomic may-races, except
+        // pairs whose every plain side declares a benign-race
+        // expectation (ECL_SITE_AS) — those are audited claims the
+        // chaos classifier validates dynamically. APSP's tiled kernels
+        // widen to ⊤ by construction (file comment) and are exempt;
+        // they still count toward coverage above.
+        if (!cells[i].apsp &&
+            cells[i].variant == algos::Variant::kRaceFree &&
+            non_atomic_pairs > 0) {
+            fail(name + ": " + std::to_string(non_atomic_pairs) +
+                 " non-atomic may-race pair(s) predicted on race-free "
+                 "code, e.g. " +
+                 non_atomic_example->describe());
+        }
+
+        out.rows.push_back(std::move(row));
+    }
+    return out;
+}
+
+TextTable
+makePairTable(const std::vector<StaticCellResult>& results)
+{
+    TextTable table({"Cell", "Kernel", "Allocation", "Kind", "SiteA",
+                     "AccessA", "SiteB", "AccessB", "NonAtomic",
+                     "Benign", "Overlap", "Why"});
+    for (const StaticCellResult& r : results) {
+        for (const MayRacePair& pair : r.pairs) {
+            table.addRow({racecheck::cellName(r.cell), pair.kernel,
+                          pair.allocation,
+                          kindsLabel(pair.rw, pair.ww), pair.desc_a,
+                          pair.access_a, pair.desc_b, pair.access_b,
+                          pair.non_atomic_side ? "yes" : "no",
+                          pair.declared_benign ? "yes" : "no",
+                          std::to_string(pair.overlap_bytes), pair.why});
+        }
+    }
+    return table;
+}
+
+TextTable
+makeStaticSummary(const std::vector<StaticCellResult>& results)
+{
+    TextTable table({"Cell", "Kernels", "Sites", "Affine", "Top",
+                     "Samples", "Pairs", "NonAtomicPairs"});
+    for (const StaticCellResult& r : results) {
+        u64 non_atomic = 0;
+        for (const MayRacePair& pair : r.pairs)
+            non_atomic += pair.non_atomic_side ? 1 : 0;
+        table.addRow({racecheck::cellName(r.cell),
+                      std::to_string(r.kernels), std::to_string(r.sites),
+                      std::to_string(r.affine_sites),
+                      std::to_string(r.top_sites),
+                      std::to_string(r.samples),
+                      std::to_string(r.pairs.size()),
+                      std::to_string(non_atomic)});
+    }
+    return table;
+}
+
+TextTable
+makeCoverageTable(const SoundnessResult& soundness)
+{
+    TextTable table({"Cell", "DynamicRaces", "Covered", "StaticPairs",
+                     "PredictedOnly", "Misses"});
+    for (const CoverageRow& row : soundness.rows) {
+        std::string misses;
+        for (const std::string& miss : row.misses) {
+            if (!misses.empty())
+                misses += "; ";
+            misses += miss;
+        }
+        if (misses.empty())
+            misses = "-";
+        table.addRow({row.cell, std::to_string(row.dynamic_races),
+                      std::to_string(row.covered),
+                      std::to_string(row.static_pairs),
+                      std::to_string(row.predicted_only), misses});
+    }
+    return table;
+}
+
+std::string
+renderStaticraceJson(const std::vector<StaticCellResult>& results,
+                     const SoundnessResult* soundness)
+{
+    std::string out = "{\"schema\":1,\"cells\":[\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const StaticCellResult& r = results[i];
+        out += "{\"cell\":" + jsonQuote(racecheck::cellName(r.cell));
+        out += ",\"kernels\":" + std::to_string(r.kernels);
+        out += ",\"sites\":" + std::to_string(r.sites);
+        out += ",\"affine\":" + std::to_string(r.affine_sites);
+        out += ",\"top\":" + std::to_string(r.top_sites);
+        out += ",\"samples\":" + std::to_string(r.samples);
+        out += ",\"pairs\":[";
+        for (size_t j = 0; j < r.pairs.size(); ++j) {
+            const MayRacePair& pair = r.pairs[j];
+            if (j)
+                out += ',';
+            out += "{\"kernel\":" + jsonQuote(pair.kernel);
+            out += ",\"allocation\":" + jsonQuote(pair.allocation);
+            out += ",\"kind\":" +
+                   jsonQuote(kindsLabel(pair.rw, pair.ww));
+            out += ",\"site_a\":" + jsonQuote(pair.desc_a);
+            out += ",\"access_a\":" + jsonQuote(pair.access_a);
+            out += ",\"site_b\":" + jsonQuote(pair.desc_b);
+            out += ",\"access_b\":" + jsonQuote(pair.access_b);
+            out += ",\"non_atomic_side\":";
+            out += jsonBool(pair.non_atomic_side);
+            out += ",\"declared_benign\":";
+            out += jsonBool(pair.declared_benign);
+            out += ",\"overlap_bytes\":" +
+                   std::to_string(pair.overlap_bytes);
+            out += ",\"why\":" + jsonQuote(pair.why);
+            out += '}';
+        }
+        out += "]}";
+        out += i + 1 < results.size() ? ",\n" : "\n";
+    }
+    out += "]";
+    if (soundness != nullptr) {
+        out += ",\"soundness\":{\"pass\":";
+        out += jsonBool(soundness->pass);
+        out += ",\"rows\":[\n";
+        for (size_t i = 0; i < soundness->rows.size(); ++i) {
+            const CoverageRow& row = soundness->rows[i];
+            out += "{\"cell\":" + jsonQuote(row.cell);
+            out += ",\"dynamic_races\":" +
+                   std::to_string(row.dynamic_races);
+            out += ",\"covered\":" + std::to_string(row.covered);
+            out += ",\"static_pairs\":" +
+                   std::to_string(row.static_pairs);
+            out += ",\"predicted_only\":" +
+                   std::to_string(row.predicted_only);
+            out += ",\"misses\":[";
+            for (size_t j = 0; j < row.misses.size(); ++j) {
+                if (j)
+                    out += ',';
+                out += jsonQuote(row.misses[j]);
+            }
+            out += "]}";
+            out += i + 1 < soundness->rows.size() ? ",\n" : "\n";
+        }
+        out += "],\"failures\":[";
+        for (size_t i = 0; i < soundness->failures.size(); ++i) {
+            if (i)
+                out += ',';
+            out += jsonQuote(soundness->failures[i]);
+        }
+        out += "]}";
+    }
+    out += "}\n";
+    return out;
+}
+
+// --- Site annotation (bench/racecheck --list-sites) -----------------------
+
+namespace {
+
+void
+mergeAnnotations(const Recorder& recorder,
+                 std::map<racecheck::SiteId, SiteAnnotation>& out)
+{
+    for (const KernelGroup& group : recorder.kernels()) {
+        for (const auto& [site, summary] : group.sites) {
+            if (site == racecheck::kUnknownSite)
+                continue;
+            SiteAnnotation& note = out[site];
+            note.accesses.insert(racecheck::accessSigName(summary.sig));
+            if (summary.multi_sig)
+                note.accesses.insert("(+varied)");
+            if (summary.orders_mask != 0) {
+                note.any_atomic = true;
+                note.orders_mask |= summary.orders_mask;
+                note.min_scope =
+                    std::min(note.min_scope, summary.min_scope);
+            }
+            note.epoch_min = std::min(note.epoch_min, summary.epoch_min);
+            note.epoch_max = std::max(note.epoch_max, summary.epoch_max);
+            note.samples += summary.samples;
+        }
+    }
+}
+
+}  // namespace
+
+std::map<racecheck::SiteId, SiteAnnotation>
+annotateSites()
+{
+    racecheck::populateSiteRegistry();
+
+    // The populate pass's graphs: tiny, fixed seeds, every kernel runs.
+    const graph::CsrGraph undirected =
+        graph::makeRandomUniform(64, 256, 0x51);
+    const graph::CsrGraph weighted =
+        graph::withSyntheticWeights(undirected, 50, 0x51);
+    const graph::CsrGraph directed =
+        graph::makeDirectedPowerLaw(6, 256, 0.3, 0x51);
+    const graph::CsrGraph apsp_graph = graph::withSyntheticWeights(
+        graph::makeRandomUniform(24, 96, 0x51), 50, 0x51);
+
+    std::map<racecheck::SiteId, SiteAnnotation> notes;
+    auto run = [&notes](const graph::CsrGraph& g, bool apsp,
+                        harness::Algo algo, algos::Variant variant) {
+        Recorder recorder;
+        simt::EngineOptions options;
+        options.mode = simt::ExecMode::kFast;
+        options.detect_races = false;
+        options.seed = 0x51;
+        options.observer = &recorder;
+        simt::DeviceMemory memory;
+        simt::Engine engine(simt::titanV(), memory, options);
+        if (apsp)
+            algos::runApsp(engine, g);
+        else
+            chaos::runChecked(engine, g, algo, variant,
+                              /*check_oracle=*/false);
+        recorder.finalize(memory);
+        mergeAnnotations(recorder, notes);
+    };
+
+    for (harness::Algo algo :
+         {harness::Algo::kCc, harness::Algo::kGc, harness::Algo::kMis,
+          harness::Algo::kMst, harness::Algo::kScc, harness::Algo::kPr,
+          harness::Algo::kBfs, harness::Algo::kWcc}) {
+        const graph::CsrGraph& g =
+            algos::algoNeedsDirected(algo)
+                ? directed
+                : (algo == harness::Algo::kMst ? weighted : undirected);
+        for (algos::Variant variant :
+             {algos::Variant::kBaseline, algos::Variant::kRaceFree})
+            run(g, false, algo, variant);
+    }
+    run(apsp_graph, true, harness::Algo::kCc, algos::Variant::kBaseline);
+    return notes;
+}
+
+namespace {
+
+struct AnnotatedRow
+{
+    racecheck::Site site;
+    std::string access, orders, scope, epochs;
+};
+
+std::vector<AnnotatedRow>
+annotatedRows()
+{
+    const auto notes = annotateSites();
+    std::vector<AnnotatedRow> rows;
+    for (const racecheck::Site& site :
+         racecheck::SiteRegistry::instance().snapshot()) {
+        AnnotatedRow row;
+        row.site = site;
+        const auto it = notes.find(site.id);
+        if (it == notes.end()) {
+            // Interned but never executed by the annotation probe
+            // (should not happen: the probe runs every kernel).
+            row.access = row.orders = row.scope = row.epochs = "-";
+        } else {
+            const SiteAnnotation& note = it->second;
+            for (const std::string& sig : note.accesses) {
+                if (!row.access.empty())
+                    row.access += "+";
+                row.access += sig;
+            }
+            if (note.any_atomic) {
+                for (u8 bit = 0; bit < 4; ++bit) {
+                    if ((note.orders_mask & (1u << bit)) == 0)
+                        continue;
+                    if (!row.orders.empty())
+                        row.orders += "+";
+                    row.orders += memoryOrderName(
+                        static_cast<simt::MemoryOrder>(bit));
+                }
+                row.scope = scopeName(note.min_scope);
+            } else {
+                row.orders = "-";
+                row.scope = "-";
+            }
+            row.epochs = "[" + std::to_string(note.epoch_min) + "," +
+                         std::to_string(note.epoch_max) + "]";
+        }
+        rows.push_back(std::move(row));
+    }
+    // The makeSiteListTable sort: source position, not interning order.
+    std::sort(rows.begin(), rows.end(),
+              [](const AnnotatedRow& a, const AnnotatedRow& b) {
+                  return std::tie(a.site.file, a.site.line,
+                                  a.site.label) <
+                         std::tie(b.site.file, b.site.line, b.site.label);
+              });
+    return rows;
+}
+
+}  // namespace
+
+TextTable
+makeAnnotatedSiteTable()
+{
+    TextTable table({"Id", "File", "Line", "Label", "Expectation",
+                     "Access", "Orders", "Scope", "Epochs"});
+    for (const AnnotatedRow& row : annotatedRows()) {
+        table.addRow({std::to_string(row.site.id), row.site.file,
+                      std::to_string(row.site.line), row.site.label,
+                      racecheck::expectationName(row.site.expect),
+                      row.access, row.orders, row.scope, row.epochs});
+    }
+    return table;
+}
+
+std::string
+renderSiteListJson()
+{
+    std::string out = "{\"schema\":1,\"sites\":[\n";
+    const auto rows = annotatedRows();
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const AnnotatedRow& row = rows[i];
+        out += "{\"id\":" + std::to_string(row.site.id);
+        out += ",\"file\":" + jsonQuote(row.site.file);
+        out += ",\"line\":" + std::to_string(row.site.line);
+        out += ",\"label\":" + jsonQuote(row.site.label);
+        out += ",\"expectation\":" +
+               jsonQuote(racecheck::expectationName(row.site.expect));
+        out += ",\"access\":" + jsonQuote(row.access);
+        out += ",\"orders\":" + jsonQuote(row.orders);
+        out += ",\"scope\":" + jsonQuote(row.scope);
+        out += ",\"epochs\":" + jsonQuote(row.epochs);
+        out += '}';
+        out += i + 1 < rows.size() ? ",\n" : "\n";
+    }
+    out += "]}\n";
+    return out;
+}
+
+}  // namespace eclsim::staticrace

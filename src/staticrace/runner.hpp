@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The staticrace sweep, soundness gate, and site annotator.
+ *
+ * runStaticrace() mirrors racecheck::runRacecheck cell for cell — the
+ * same (algorithm x variant x input) grid from the same RunnerConfig —
+ * but each cell runs ONE cheap fast-mode probe with a Recorder
+ * installed instead of the interleaved detector, then feeds the
+ * recorded summaries to the pairwise may-race analysis (analyze.hpp).
+ *
+ * evaluateSoundness() is the gate the analyzer ships under: run the
+ * dynamic detector sweep over the SAME config and check, per cell, that
+ * every dynamically observed race pair — keyed by (allocation,
+ * unordered site-description pair, race kind) — appears in the static
+ * may-set. A static analysis that misses a witnessed race is unsound
+ * and the gate hard-fails. Precision is reported (static-only pairs =
+ * predicted races, per cell), and enforced in one place where the
+ * design guarantees it: race-free variants must produce zero may-race
+ * pairs with a non-atomic side. APSP is exempt from the zero rule —
+ * its tiled O(n^3) kernels index by (row, col) products that are not
+ * affine in the global thread id, so its summaries widen to ⊤ and
+ * produce known false positives (DESIGN.md §16) — but it still
+ * participates in coverage.
+ *
+ * annotateSites() serves `bench/racecheck --list-sites`: the
+ * populateSiteRegistry probe re-run with a Recorder attached, merging
+ * per-site observations (access signatures, atomic order/scope,
+ * barrier-phase interval) across every workload into one annotation
+ * table keyed by SiteId.
+ */
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "racecheck/runner.hpp"
+#include "staticrace/analyze.hpp"
+
+namespace eclsim::staticrace {
+
+/** Result of one static-analysis cell. */
+struct StaticCellResult
+{
+    racecheck::RacecheckCell cell;
+    u32 kernels = 0;       ///< distinct kernel names probed
+    u32 sites = 0;         ///< (kernel, site) summaries recorded
+    u32 affine_sites = 0;  ///< summaries with an exact affine model
+    u32 top_sites = 0;     ///< summaries widened to ⊤
+    u64 samples = 0;       ///< accesses observed by the probe
+    /** Ranked may-race pairs (analyzeRecording order). */
+    std::vector<MayRacePair> pairs;
+};
+
+/** Run a single cell's probe + analysis with an explicit engine seed. */
+StaticCellResult runStaticraceCell(const racecheck::RunnerConfig& config,
+                                   const racecheck::RacecheckCell& cell,
+                                   u64 seed);
+
+/** Progress sink; with jobs > 1 it is called under a lock, in
+ *  completion (not cell) order. */
+using StaticraceProgressFn = std::function<void(const StaticCellResult&)>;
+
+/**
+ * Run every cell of the config's grid (racecheckCells order). Calls
+ * populateSiteRegistry() first, so site ids — and therefore summary
+ * iteration order — are jobs-independent; results render byte-identical
+ * for every config.jobs value.
+ */
+std::vector<StaticCellResult> runStaticrace(
+    const racecheck::RunnerConfig& config,
+    const StaticraceProgressFn& progress = {});
+
+/** Per-cell coverage accounting of the soundness gate. */
+struct CoverageRow
+{
+    std::string cell;
+    u64 dynamic_races = 0;   ///< dynamic race site pairs reported
+    u64 covered = 0;         ///< of those, present in the static may-set
+    u64 static_pairs = 0;    ///< static may-race pairs emitted
+    u64 predicted_only = 0;  ///< static pairs with no dynamic witness
+    /** Uncovered dynamic reports (describe() strings); non-empty = the
+     *  gate failed on this cell. */
+    std::vector<std::string> misses;
+};
+
+/** Soundness-gate verdict. */
+struct SoundnessResult
+{
+    bool pass = true;
+    std::vector<CoverageRow> rows;  ///< one per cell, cell order
+    std::vector<std::string> failures;
+};
+
+/**
+ * Apply the soundness gate: statics and dynamics must come from the
+ * same config (cell-for-cell aligned, as runStaticrace/runRacecheck
+ * produce). Every dynamic race must be statically covered; race-free
+ * variants (except APSP) must carry zero non-atomic may-race pairs.
+ */
+SoundnessResult evaluateSoundness(
+    const racecheck::RunnerConfig& config,
+    const std::vector<StaticCellResult>& statics,
+    const std::vector<racecheck::CellResult>& dynamics);
+
+/** Per-cell may-race pair table (the sweep's CSV). */
+TextTable makePairTable(const std::vector<StaticCellResult>& results);
+
+/** Per-cell probe/summary statistics. */
+TextTable makeStaticSummary(const std::vector<StaticCellResult>& results);
+
+/** Per-cell static-vs-dynamic coverage table. */
+TextTable makeCoverageTable(const SoundnessResult& soundness);
+
+/**
+ * Machine-readable export: deterministic JSON, byte-identical for every
+ * --jobs value, one cell object per line; includes the coverage rows
+ * when a soundness evaluation ran (pass soundness = nullptr otherwise).
+ */
+std::string renderStaticraceJson(
+    const std::vector<StaticCellResult>& results,
+    const SoundnessResult* soundness = nullptr);
+
+/** Merged dynamic observation of one site across the annotation probe
+ *  (see annotateSites). */
+struct SiteAnnotation
+{
+    /** Distinct accessSigName renderings observed (sorted). */
+    std::set<std::string> accesses;
+    bool any_atomic = false;
+    u8 orders_mask = 0;  ///< bit per simt::MemoryOrder, atomics only
+    simt::Scope min_scope = simt::Scope::kSystem;
+    u32 epoch_min = ~u32{0};
+    u32 epoch_max = 0;
+    u64 samples = 0;
+};
+
+/**
+ * Observe every instrumented kernel once (the populateSiteRegistry
+ * probe, re-run with a Recorder) and merge what each site did:
+ * signatures, atomic orders/scopes, barrier-phase intervals.
+ * Deterministic and serial; interns the full registry as a side effect.
+ */
+std::map<racecheck::SiteId, SiteAnnotation> annotateSites();
+
+/**
+ * The `bench/racecheck --list-sites` table: makeSiteListTable's five
+ * identity columns plus Access / Orders / Scope / Epochs from
+ * annotateSites(). Sorted by (file, line, label); independent of
+ * interning order.
+ */
+TextTable makeAnnotatedSiteTable();
+
+/** JSON rendering of makeAnnotatedSiteTable (one site object per
+ *  line, same sort). */
+std::string renderSiteListJson();
+
+}  // namespace eclsim::staticrace

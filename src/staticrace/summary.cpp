@@ -1,0 +1,325 @@
+#include "staticrace/summary.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace eclsim::staticrace {
+
+const char*
+memoryOrderName(simt::MemoryOrder order)
+{
+    switch (order) {
+      case simt::MemoryOrder::kRelaxed:
+        return "relaxed";
+      case simt::MemoryOrder::kAcquire:
+        return "acquire";
+      case simt::MemoryOrder::kRelease:
+        return "release";
+      case simt::MemoryOrder::kSeqCst:
+        return "seq_cst";
+    }
+    return "?";
+}
+
+const char*
+scopeName(simt::Scope scope)
+{
+    switch (scope) {
+      case simt::Scope::kBlock:
+        return "block";
+      case simt::Scope::kDevice:
+        return "device";
+      case simt::Scope::kSystem:
+        return "system";
+    }
+    return "?";
+}
+
+// --- AffineFitter ---------------------------------------------------------
+
+void
+AffineFitter::add(u32 thread, u32 iter, u64 addr)
+{
+    ++samples_;
+    if (failed_)
+        return;
+    if (!has_base_) {
+        has_base_ = true;
+        t0_ = thread;
+        i0_ = iter;
+        a0_ = addr;
+        return;
+    }
+    if (thread != t0_)
+        multi_thread_ = true;
+    if (iter != i0_)
+        multi_iter_ = true;
+    if (!consume({thread, iter, addr})) {
+        pending_.push_back({thread, iter, addr});
+        if (pending_.size() > kMaxPending)
+            fail();
+    }
+}
+
+bool
+AffineFitter::consume(const Sample& s)
+{
+    // dt/di fit in i64 comfortably (u32 inputs); da can be negative.
+    const i64 dt = static_cast<i64>(s.thread) - static_cast<i64>(t0_);
+    const i64 di = static_cast<i64>(s.iter) - static_cast<i64>(i0_);
+    const i64 da = static_cast<i64>(s.addr) - static_cast<i64>(a0_);
+
+    if (ct_known_ && ci_known_) {
+        if (da != ct_ * dt + ci_ * di)
+            fail();
+        return true;
+    }
+    if (dt == 0 && di == 0) {
+        // Same (thread, iter) revisited: only consistent if the address
+        // repeats exactly (it cannot — iter is an occurrence counter —
+        // but keep the check for direct fitter use in tests).
+        if (da != 0)
+            fail();
+        return true;
+    }
+    if (di == 0) {
+        if (da % dt != 0) {
+            fail();
+            return true;
+        }
+        const i64 c = da / dt;
+        if (ct_known_ && ct_ != c) {
+            fail();
+            return true;
+        }
+        if (!ct_known_) {
+            ct_ = c;
+            ct_known_ = true;
+            drainPending();
+        }
+        return true;
+    }
+    if (dt == 0) {
+        if (da % di != 0) {
+            fail();
+            return true;
+        }
+        const i64 c = da / di;
+        if (ci_known_ && ci_ != c) {
+            fail();
+            return true;
+        }
+        if (!ci_known_) {
+            ci_ = c;
+            ci_known_ = true;
+            drainPending();
+        }
+        return true;
+    }
+    // Both variables moved; with one coefficient known the other follows.
+    if (ct_known_) {
+        const i64 rem = da - ct_ * dt;
+        if (rem % di != 0) {
+            fail();
+            return true;
+        }
+        const i64 c = rem / di;
+        if (ci_known_ && ci_ != c) {
+            fail();
+            return true;
+        }
+        if (!ci_known_) {
+            ci_ = c;
+            ci_known_ = true;
+            drainPending();
+        }
+        return true;
+    }
+    if (ci_known_) {
+        const i64 rem = da - ci_ * di;
+        if (rem % dt != 0) {
+            fail();
+            return true;
+        }
+        const i64 c = rem / dt;
+        ct_ = c;
+        ct_known_ = true;
+        drainPending();
+        return true;
+    }
+    return false;  // genuinely ambiguous: park it
+}
+
+void
+AffineFitter::drainPending()
+{
+    // A newly pinned coefficient may resolve parked samples, and each
+    // resolution may pin the other coefficient; iterate to a fixpoint.
+    bool progressed = true;
+    while (progressed && !failed_ && !pending_.empty()) {
+        progressed = false;
+        std::vector<Sample> keep;
+        keep.reserve(pending_.size());
+        std::vector<Sample> work;
+        work.swap(pending_);
+        for (const Sample& s : work) {
+            if (failed_)
+                break;
+            if (consume(s))
+                progressed = true;
+            else
+                keep.push_back(s);
+        }
+        if (!failed_)
+            pending_.swap(keep);
+    }
+}
+
+AffineModel
+AffineFitter::done()
+{
+    AffineModel model;
+    if (failed_ || !has_base_)
+        return model;
+    // A variable that only ever took one value leaves its coefficient
+    // unconstrained; zero is as good a representative as any (the
+    // consumer's thread/iter ranges collapse to a point there).
+    if (!ct_known_) {
+        if (multi_thread_)
+            return model;  // varied but never pinned: unverifiable
+        ct_ = 0;
+        ct_known_ = true;
+        drainPending();
+    }
+    if (!ci_known_) {
+        if (multi_iter_)
+            return model;
+        ci_ = 0;
+        ci_known_ = true;
+        drainPending();
+    }
+    if (failed_ || !pending_.empty())
+        return model;
+    model.affine = true;
+    model.base = static_cast<i64>(a0_) - ct_ * static_cast<i64>(t0_) -
+                 ci_ * static_cast<i64>(i0_);
+    model.ct = ct_;
+    model.ci = ci_;
+    return model;
+}
+
+// --- SiteSummary ----------------------------------------------------------
+
+std::string
+SiteSummary::modelDesc() const
+{
+    if (!model.affine) {
+        return "top(data-dependent over [" + std::to_string(addr_min) +
+               "," + std::to_string(addr_end) + "))";
+    }
+    std::string out = "affine(base=" + std::to_string(model.base);
+    if (model.ct != 0)
+        out += (model.ct > 0 ? "+" : "") + std::to_string(model.ct) + "/t";
+    if (model.ci != 0)
+        out += (model.ci > 0 ? "+" : "") + std::to_string(model.ci) + "/i";
+    out += ")";
+    return out;
+}
+
+// --- Recorder -------------------------------------------------------------
+
+void
+Recorder::onLaunchBegin(std::string_view kernel, u32 grid, u32 block_size)
+{
+    ECLSIM_ASSERT(!finalized_, "Recorder reused after finalize()");
+    const std::string name(kernel);
+    auto it = kernel_index_.find(name);
+    if (it == kernel_index_.end()) {
+        it = kernel_index_.emplace(name, kernels_.size()).first;
+        KernelGroup group;
+        group.kernel = name;
+        kernels_.push_back(std::move(group));
+    }
+    current_ = it->second;
+    KernelGroup& group = kernels_[current_];
+    ++group.launches;
+    group.max_grid = std::max(group.max_grid, grid);
+    group.max_block = std::max(group.max_block, block_size);
+    // Occurrence counters are per launch: iter 0 of launch L and iter 0
+    // of launch L+1 are the same loop position re-executed.
+    iter_counters_.clear();
+}
+
+void
+Recorder::onAccess(const racecheck::ThreadInfo& who,
+                   const simt::MemRequest& req, u64 addr, u8 size)
+{
+    ECLSIM_ASSERT(current_ != ~size_t{0},
+                  "access observed before any launch");
+    KernelGroup& group = kernels_[current_];
+    const racecheck::SiteId site = req.site;
+    SiteSummary& summary = group.sites[site];
+    const racecheck::AccessSig sig = racecheck::makeSig(req);
+    if (summary.samples == 0) {
+        summary.site = site;
+        summary.sig = sig;
+    } else if (!summary.multi_sig) {
+        const racecheck::AccessSig& have = summary.sig;
+        summary.multi_sig =
+            have.kind != sig.kind || have.mode != sig.mode ||
+            have.rmw != sig.rmw || have.scope != sig.scope ||
+            have.size != sig.size || have.torn != sig.torn;
+    }
+    ++summary.samples;
+    ++total_samples_;
+
+    const bool is_atomic = racecheck::sigIsAtomic(sig);
+    if (req.kind != simt::MemOpKind::kStore)
+        summary.reads = true;
+    if (req.kind != simt::MemOpKind::kLoad)
+        summary.writes = true;
+    summary.all_atomic = summary.all_atomic && is_atomic;
+    if (is_atomic) {
+        summary.min_scope = std::min(summary.min_scope, req.scope);
+        summary.orders_mask |= static_cast<u8>(1u << static_cast<u8>(
+                                                   req.order));
+    }
+
+    summary.addr_min = std::min(summary.addr_min, addr);
+    summary.addr_end = std::max(summary.addr_end, addr + size);
+    summary.max_size = std::max(summary.max_size, size);
+    summary.thread_min = std::min(summary.thread_min, who.thread);
+    summary.thread_max = std::max(summary.thread_max, who.thread);
+    summary.epoch_min = std::min(summary.epoch_min, who.epoch);
+    summary.epoch_max = std::max(summary.epoch_max, who.epoch);
+
+    const u64 iter_key =
+        (static_cast<u64>(site) << 32) | who.thread;
+    u32& iter = iter_counters_[iter_key];
+    summary.iter_max = std::max(summary.iter_max, iter);
+    fits_[{current_, site}].add(who.thread, iter, addr);
+    ++iter;
+}
+
+void
+Recorder::finalize(const simt::DeviceMemory& memory)
+{
+    ECLSIM_ASSERT(!finalized_, "Recorder::finalize() called twice");
+    finalized_ = true;
+    allocations_.clear();
+    allocations_.reserve(memory.numAllocations());
+    for (size_t i = 0; i < memory.numAllocations(); ++i)
+        allocations_.push_back(memory.allocation(i));
+    for (size_t k = 0; k < kernels_.size(); ++k) {
+        for (auto& [site, summary] : kernels_[k].sites) {
+            summary.model = fits_[{k, site}].done();
+            summary.alloc_first = memory.allocationIndexAt(summary.addr_min);
+            summary.alloc_last =
+                memory.allocationIndexAt(summary.addr_end - 1);
+        }
+    }
+    fits_.clear();
+}
+
+}  // namespace eclsim::staticrace

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Per-site access summaries for the static may-race analyzer.
+ *
+ * The summary extractor is the observation half of eclsim::staticrace
+ * (DESIGN.md §16): a Recorder installed as the engine's AccessObserver
+ * watches one probe execution of a workload and condenses every
+ * ECL_SITE's address stream into a small symbolic summary —
+ *
+ *  - an affine model  addr = base + ct·thread + ci·iter  fitted online
+ *    and verified against every observed sample (thread = global thread
+ *    id, which subsumes (tid, bid) for block-uniform strides; iter = the
+ *    site's per-thread occurrence index within a launch), or
+ *  - ⊤ (top): the stream is data-dependent (CC's parent[] hook jumps)
+ *    or otherwise non-affine, and the summary widens to the whole
+ *    enclosing allocation(s). Widening is what keeps the downstream
+ *    analysis sound: a data-dependent site may touch different
+ *    addresses under a different schedule, so no observed interval is
+ *    trustworthy;
+ *
+ * tagged with the access signature (kind, plain/volatile/atomic, RMW
+ * op, order, scope), the barrier phase interval (min/max __syncthreads
+ * epoch), and the thread/launch-shape ranges the pair analysis
+ * (analyze.hpp) reasons over. Summaries for repeated launches of the
+ * same kernel name are merged: kernel-launch boundaries order
+ * *different* kernels, but two sites can only race within one launch,
+ * and a launch is identified by its kernel name (iterative sweeps
+ * re-launch the same kernel with possibly different grids).
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "racecheck/detector.hpp"
+#include "racecheck/sites.hpp"
+#include "simt/access.hpp"
+#include "simt/device_memory.hpp"
+#include "simt/observer.hpp"
+
+namespace eclsim::staticrace {
+
+/** Fitted address model of one site (valid after AffineFitter::done). */
+struct AffineModel
+{
+    /** True when every observed sample satisfied
+     *  addr = base + ct*thread + ci*iter. False = ⊤ (widened). */
+    bool affine = false;
+    i64 base = 0;
+    i64 ct = 0;  ///< bytes per global thread id step
+    i64 ci = 0;  ///< bytes per per-thread occurrence step
+};
+
+/**
+ * Online exact affine fitter over samples (thread, iter, addr).
+ *
+ * The first sample pins the base point; coefficients are pinned from
+ * samples that differ from the base in exactly one variable (requiring
+ * integer divisibility), samples varying in both are parked on a
+ * bounded pending list and re-verified once a coefficient is known.
+ * Any contradiction — or an over-full pending list, or a coefficient
+ * still unresolved at finalization while its variable took multiple
+ * values — fails the fit. Failing is always safe: the consumer widens
+ * to ⊤.
+ */
+class AffineFitter
+{
+  public:
+    /** Record one observed access. */
+    void add(u32 thread, u32 iter, u64 addr);
+
+    /** Finish the fit and return the model (affine=false on failure). */
+    AffineModel done();
+
+    bool failed() const { return failed_; }
+    u64 samples() const { return samples_; }
+
+  private:
+    struct Sample
+    {
+        u32 thread;
+        u32 iter;
+        u64 addr;
+    };
+
+    void fail() { failed_ = true; pending_.clear(); }
+    /** Re-derive / re-verify parked samples after a coefficient pin. */
+    void drainPending();
+    /** Try to consume one sample; returns false if it must stay parked. */
+    bool consume(const Sample& s);
+
+    /** Ambiguous samples parked beyond this bound fail the fit: a
+     *  dropped sample could hide a contradiction, and soundness demands
+     *  that unverified streams widen rather than narrow. */
+    static constexpr size_t kMaxPending = 1024;
+
+    bool has_base_ = false;
+    bool failed_ = false;
+    bool ct_known_ = false, ci_known_ = false;
+    bool multi_thread_ = false, multi_iter_ = false;
+    u32 t0_ = 0, i0_ = 0;
+    u64 a0_ = 0;
+    i64 ct_ = 0, ci_ = 0;
+    u64 samples_ = 0;
+    std::vector<Sample> pending_;
+};
+
+/** Condensed observation of one (kernel, site) access stream. */
+struct SiteSummary
+{
+    racecheck::SiteId site = racecheck::kUnknownSite;
+    /** First observed signature (display); the reasoning flags below
+     *  are merged over every observed signature. */
+    racecheck::AccessSig sig;
+    bool multi_sig = false;    ///< differing signatures observed
+    bool reads = false;        ///< loads or RMWs observed
+    bool writes = false;       ///< stores or RMWs observed
+    bool all_atomic = true;    ///< every observed access was atomic
+    /** Narrowest scope among atomic observations (meaningful only when
+     *  at least one atomic access was seen). */
+    simt::Scope min_scope = simt::Scope::kSystem;
+    u8 orders_mask = 0;        ///< bit per observed simt::MemoryOrder
+    u64 samples = 0;
+    u64 addr_min = ~u64{0};
+    u64 addr_end = 0;          ///< exclusive end of the touched range
+    u8 max_size = 0;           ///< widest piece observed
+    u32 thread_min = ~u32{0};
+    u32 thread_max = 0;
+    u32 epoch_min = ~u32{0};   ///< barrier-phase interval (per launch)
+    u32 epoch_max = 0;
+    u32 iter_max = 0;          ///< largest per-thread occurrence index
+    AffineModel model;         ///< valid after Recorder::finalize()
+    u32 alloc_first = 0;       ///< allocation index range the summary
+    u32 alloc_last = 0;        ///<   touches (inclusive; ⊤ widens to it)
+
+    /** Human rendering of the model ("affine(+4/t)", "⊤ data-dependent"). */
+    std::string modelDesc() const;
+};
+
+/** All summaries of one kernel name, merged over its launches. */
+struct KernelGroup
+{
+    std::string kernel;
+    u32 launches = 0;
+    u32 max_grid = 0;   ///< widest grid any launch of this kernel used
+    u32 max_block = 0;
+    /** Keyed by site id; rendering sorts by description, so output
+     *  never depends on interning order. */
+    std::map<racecheck::SiteId, SiteSummary> sites;
+};
+
+/**
+ * The AccessObserver that builds kernel groups from a probe execution.
+ * Install via EngineOptions::observer, run the workload, then call
+ * finalize(memory) once to fit models and resolve allocation ranges.
+ */
+class Recorder : public simt::AccessObserver
+{
+  public:
+    void onLaunchBegin(std::string_view kernel, u32 grid,
+                       u32 block_size) override;
+    void onAccess(const racecheck::ThreadInfo& who,
+                  const simt::MemRequest& req, u64 addr, u8 size) override;
+
+    /**
+     * Fit every site's affine model and resolve address intervals to
+     * allocation index ranges against the probe's device memory (must
+     * still be alive). Also snapshots the allocation table so the
+     * analysis can run after the memory is gone. Call exactly once.
+     */
+    void finalize(const simt::DeviceMemory& memory);
+
+    /** Kernel groups in first-launch order (deterministic: launches are
+     *  serial). Valid after finalize(). */
+    const std::vector<KernelGroup>& kernels() const { return kernels_; }
+
+    /** Allocation table snapshot taken by finalize(). */
+    const std::vector<simt::Allocation>& allocations() const
+    {
+        return allocations_;
+    }
+
+    u64 totalSamples() const { return total_samples_; }
+
+  private:
+    std::vector<KernelGroup> kernels_;
+    std::vector<simt::Allocation> allocations_;
+    std::unordered_map<std::string, size_t> kernel_index_;
+    /** Per-site affine fitters, parallel to the summaries (kept out of
+     *  SiteSummary so the summary stays copyable value data). */
+    std::map<std::pair<size_t, racecheck::SiteId>, AffineFitter> fits_;
+    /** (site, thread) -> next occurrence index, reset every launch. */
+    std::unordered_map<u64, u32> iter_counters_;
+    size_t current_ = ~size_t{0};
+    u64 total_samples_ = 0;
+    bool finalized_ = false;
+};
+
+/** Printable memory-order / scope names ("relaxed", "device", ...). */
+const char* memoryOrderName(simt::MemoryOrder order);
+const char* scopeName(simt::Scope scope);
+
+}  // namespace eclsim::staticrace

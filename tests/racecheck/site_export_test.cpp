@@ -17,6 +17,7 @@
 
 #include "racecheck/runner.hpp"
 #include "racecheck/sites.hpp"
+#include "staticrace/runner.hpp"
 
 namespace eclsim::racecheck {
 namespace {
@@ -81,6 +82,50 @@ TEST(SiteExportTest, RepeatedExportIsByteIdentical)
     EXPECT_EQ(first, second);
     EXPECT_NE(first.find("Id,File,Line,Label,Expectation"),
               std::string::npos);
+}
+
+TEST(SiteExportTest, AnnotatedTableExtendsTheIdentityColumns)
+{
+    // `bench/racecheck --list-sites` ships the annotated table: the
+    // five identity columns of makeSiteListTable, cell for cell, plus
+    // observation columns from the one-shot annotation probe.
+    const TextTable table = staticrace::makeAnnotatedSiteTable();
+    const TextTable identity = makeSiteListTable();
+
+    ASSERT_EQ(table.columns(), 9u);
+    ASSERT_EQ(identity.columns(), 5u);
+    ASSERT_EQ(table.rows(), identity.rows());
+    EXPECT_EQ(table.rows(), SiteRegistry::instance().size());
+
+    for (size_t row = 0; row < table.rows(); ++row) {
+        for (size_t col = 0; col < identity.columns(); ++col)
+            EXPECT_EQ(table.cell(row, col), identity.cell(row, col))
+                << "identity mismatch at row " << row << " col " << col;
+        // The probe runs every kernel, so every interned site must
+        // carry a real observation ("-" marks a never-executed site).
+        const std::string where =
+            table.cell(row, 1) + ":" + table.cell(row, 3);
+        EXPECT_NE(table.cell(row, 5), "-") << where;
+        // Orders and Scope are populated together (atomic sites) or
+        // dashed together (never-atomic sites).
+        EXPECT_EQ(table.cell(row, 6) == "-", table.cell(row, 7) == "-")
+            << where;
+        // Barrier-phase interval renders as "[lo,hi]".
+        const std::string& epochs = table.cell(row, 8);
+        EXPECT_EQ(epochs.front(), '[') << where;
+        EXPECT_EQ(epochs.back(), ']') << where;
+        EXPECT_NE(epochs.find(','), std::string::npos) << where;
+    }
+}
+
+TEST(SiteExportTest, AnnotatedJsonIsByteStable)
+{
+    const std::string first = staticrace::renderSiteListJson();
+    const std::string second = staticrace::renderSiteListJson();
+    EXPECT_EQ(first, second);
+    for (const char* key : {"\"id\":", "\"expectation\":", "\"access\":",
+                            "\"orders\":", "\"scope\":", "\"epochs\":"})
+        EXPECT_NE(first.find(key), std::string::npos) << key;
 }
 
 }  // namespace

@@ -148,6 +148,55 @@ TEST(RepairProposalTest, WorstClassGovernsAndUnknownHarmfulGetsSeqCst)
     EXPECT_EQ(writer->partners[0], sites.reader);
 }
 
+TEST(RepairProposalTest, SiteReadAndWrittenGetsDistinctProposalsPerKind)
+{
+    const ProbeSites sites = probeSites();
+    racecheck::CellResult cell;
+    // The regression: one site races as a reader in one pair and as a
+    // writer in another, with different classes. A SiteId-keyed dedup
+    // would swallow both into one proposal; the (site, kind) key must
+    // keep them distinct, each with its own class-derived order.
+    cell.races.push_back(makeReport(
+        "alloc", RaceKind::kReadWrite, sites.writer,
+        plainSig(simt::MemOpKind::kStore), sites.reader,
+        plainSig(simt::MemOpKind::kLoad), 2,
+        RaceClass::kStaleReadTolerant));
+    cell.races.push_back(makeReport(
+        "alloc", RaceKind::kWriteWrite, sites.reader,
+        plainSig(simt::MemOpKind::kStore), sites.writer,
+        plainSig(simt::MemOpKind::kStore), 3,
+        RaceClass::kUnknownHarmful));
+
+    const ProposalSet set = proposeFixes({cell});
+    ASSERT_EQ(set.proposals.size(), 3u);
+    const FixProposal* as_load = nullptr;
+    const FixProposal* as_store = nullptr;
+    for (const FixProposal& p : set.proposals) {
+        if (p.site != sites.reader)
+            continue;
+        if (p.kind == simt::MemOpKind::kLoad)
+            as_load = &p;
+        if (p.kind == simt::MemOpKind::kStore)
+            as_store = &p;
+    }
+    ASSERT_NE(as_load, nullptr);
+    ASSERT_NE(as_store, nullptr);
+    EXPECT_EQ(as_load->cls, RaceClass::kStaleReadTolerant);
+    EXPECT_EQ(as_load->fix.order, simt::MemoryOrder::kRelaxed);
+    EXPECT_EQ(as_load->pairs, 2u);
+    EXPECT_EQ(as_store->cls, RaceClass::kUnknownHarmful);
+    EXPECT_EQ(as_store->fix.order, simt::MemoryOrder::kSeqCst);
+    EXPECT_EQ(as_store->pairs, 3u);
+
+    // The engine has one override slot per site: table builders merge
+    // the two proposals worst-wins, so the slot carries seq_cst.
+    const simt::SiteOverrideTable full = fullTable(set);
+    EXPECT_EQ(full.size(), 2u);
+    const simt::SiteOverride* slot = full.find(sites.reader);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(slot->order, simt::MemoryOrder::kSeqCst);
+}
+
 TEST(RepairProposalTest, UninstrumentedRacySidesAreCountedNotProposed)
 {
     const ProbeSites sites = probeSites();

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests of eclsim::staticrace: exact affine recovery of the classic GPU
+ * access shapes (strided, blocked, two-variable), sound widening of
+ * data-dependent streams, the soundness gate end to end on a real sweep
+ * — including the planted-miss negative case, where a may-set stripped
+ * of one covering pair must hard-fail the gate — and the determinism
+ * contract (byte-identical JSON at --jobs=1 and --jobs=8).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "staticrace/runner.hpp"
+#include "staticrace/summary.hpp"
+
+namespace eclsim::staticrace {
+namespace {
+
+TEST(AffineFitterTest, RecoversStridedAccess)
+{
+    // The grid-stride idiom: thread t touches base + 4t, one access
+    // per thread.
+    AffineFitter fitter;
+    for (u32 t = 0; t < 64; ++t)
+        fitter.add(t, 0, 4096 + 4ull * t);
+    const AffineModel model = fitter.done();
+    ASSERT_TRUE(model.affine);
+    EXPECT_EQ(model.base, 4096);
+    EXPECT_EQ(model.ct, 4);
+    EXPECT_EQ(model.ci, 0);
+}
+
+TEST(AffineFitterTest, RecoversBlockedAccess)
+{
+    // Blocked partitioning: thread t owns a 32-byte chunk and walks it
+    // 4 bytes per iteration.
+    AffineFitter fitter;
+    for (u32 t = 0; t < 16; ++t)
+        for (u32 i = 0; i < 8; ++i)
+            fitter.add(t, i, 256 + 32ull * t + 4ull * i);
+    const AffineModel model = fitter.done();
+    ASSERT_TRUE(model.affine);
+    EXPECT_EQ(model.base, 256);
+    EXPECT_EQ(model.ct, 32);
+    EXPECT_EQ(model.ci, 4);
+}
+
+TEST(AffineFitterTest, RecoversTwoVariableSamplesOutOfOrder)
+{
+    // Samples varying in both thread and iter arrive before either
+    // coefficient is pinned; the pending list must re-verify them once
+    // single-variable samples resolve ct and ci.
+    AffineFitter fitter;
+    fitter.add(0, 0, 1000);                        // base point
+    fitter.add(3, 5, 1000 + 8ull * 3 + 4ull * 5);  // both vary: parked
+    fitter.add(7, 2, 1000 + 8ull * 7 + 4ull * 2);  // both vary: parked
+    fitter.add(1, 0, 1000 + 8);                    // pins ct
+    fitter.add(0, 1, 1000 + 4);                    // pins ci, drains
+    const AffineModel model = fitter.done();
+    ASSERT_TRUE(model.affine);
+    EXPECT_EQ(model.base, 1000);
+    EXPECT_EQ(model.ct, 8);
+    EXPECT_EQ(model.ci, 4);
+}
+
+TEST(AffineFitterTest, WidensDataDependentStream)
+{
+    // A pointer-chase shape (CC's parent[] hooks): addresses jump by a
+    // data-dependent amount. No affine model fits; the fitter must
+    // fail so the consumer widens to ⊤ rather than trusting the hull.
+    AffineFitter fitter;
+    u64 addr = 512;
+    for (u32 t = 0; t < 32; ++t) {
+        fitter.add(t, 0, addr);
+        addr = 512 + (addr * 2654435761ull) % 4096 / 4 * 4;
+    }
+    const AffineModel model = fitter.done();
+    EXPECT_FALSE(model.affine);
+    EXPECT_TRUE(fitter.failed());
+}
+
+TEST(AffineFitterTest, WidensWhenCoefficientStaysUnresolved)
+{
+    // Two threads, identical iteration pattern, but the thread
+    // coefficient is never witnessed by a single-variable sample and
+    // the streams contradict an affine fit.
+    AffineFitter fitter;
+    fitter.add(0, 0, 100);
+    fitter.add(0, 1, 104);
+    fitter.add(1, 0, 120);
+    fitter.add(1, 1, 116);  // ci flips sign for the second thread
+    const AffineModel model = fitter.done();
+    EXPECT_FALSE(model.affine);
+}
+
+racecheck::RunnerConfig
+smallConfig(u32 jobs)
+{
+    racecheck::RunnerConfig config;
+    config.algos = {algos::Algo::kCc};
+    config.variants = {algos::Variant::kBaseline,
+                       algos::Variant::kRaceFree};
+    config.include_apsp = false;
+    config.jobs = jobs;
+    return config;
+}
+
+TEST(StaticraceGateTest, CcSweepIsSoundAndRacefreeIsClean)
+{
+    const racecheck::RunnerConfig config = smallConfig(1);
+    const std::vector<StaticCellResult> statics =
+        runStaticrace(config);
+    const std::vector<racecheck::CellResult> dynamics =
+        racecheck::runRacecheck(config);
+    const SoundnessResult verdict =
+        evaluateSoundness(config, statics, dynamics);
+
+    EXPECT_TRUE(verdict.pass) << (verdict.failures.empty()
+                                      ? std::string("?")
+                                      : verdict.failures.front());
+    ASSERT_EQ(verdict.rows.size(), statics.size());
+    bool any_dynamic = false;
+    for (const CoverageRow& row : verdict.rows) {
+        EXPECT_EQ(row.covered, row.dynamic_races) << row.cell;
+        EXPECT_TRUE(row.misses.empty()) << row.cell;
+        any_dynamic |= row.dynamic_races > 0;
+    }
+    EXPECT_TRUE(any_dynamic) << "cc baseline must report races";
+}
+
+TEST(StaticraceGateTest, PlantedMissFailsTheGate)
+{
+    // Soundness is the whole contract: strip the static may-set of a
+    // racing cell and the gate must hard-fail with the uncovered
+    // dynamic reports named.
+    const racecheck::RunnerConfig config = smallConfig(1);
+    std::vector<StaticCellResult> statics = runStaticrace(config);
+    const std::vector<racecheck::CellResult> dynamics =
+        racecheck::runRacecheck(config);
+
+    bool planted = false;
+    for (size_t i = 0; i < dynamics.size(); ++i) {
+        if (dynamics[i].races.empty())
+            continue;
+        statics[i].pairs.clear();
+        planted = true;
+        break;
+    }
+    ASSERT_TRUE(planted) << "no racing cell to plant a miss in";
+
+    const SoundnessResult verdict =
+        evaluateSoundness(config, statics, dynamics);
+    EXPECT_FALSE(verdict.pass);
+    EXPECT_FALSE(verdict.failures.empty());
+    u64 misses = 0;
+    for (const CoverageRow& row : verdict.rows)
+        misses += row.misses.size();
+    EXPECT_GT(misses, 0u);
+}
+
+TEST(StaticraceDeterminismTest, JsonIsByteIdenticalAcrossJobs)
+{
+    const std::vector<StaticCellResult> serial =
+        runStaticrace(smallConfig(1));
+    const std::vector<StaticCellResult> parallel =
+        runStaticrace(smallConfig(8));
+    EXPECT_EQ(renderStaticraceJson(serial),
+              renderStaticraceJson(parallel));
+    EXPECT_EQ(makePairTable(serial).toCsv(),
+              makePairTable(parallel).toCsv());
+}
+
+}  // namespace
+}  // namespace eclsim::staticrace
