@@ -14,6 +14,10 @@
  *   --jobs=N       worker threads for the suite sweeps (default: one
  *                  per hardware thread; 1 = the exact serial path).
  *                  Results are bit-identical for every N.
+ *   --exec-mode=M  engine execution mode: interleaved | fast | batch
+ *                  (default fast). Tables are byte-identical between
+ *                  fast and batch; interleaved is the cycle-accurate
+ *                  scheduler and far slower.
  *   --chaos-policy=NAME     run every engine under an eclsim::chaos
  *                  perturbation policy (stale-window, store-delay,
  *                  sched-bias, sm-stall, dup-store, drop-atomic)
@@ -95,6 +99,8 @@ configFromFlags(const Flags& flags)
     config.verify = flags.getBool("verify", false);
     config.seed = static_cast<u64>(flags.getInt("seed", 12345));
     config.jobs = static_cast<u32>(flags.getInt("jobs", 0));
+    config.exec_mode =
+        simt::parseExecMode(flags.getString("exec-mode", "fast"));
     // --chaos-policy runs the whole sweep under a perturbation policy:
     // how do the speedup tables shift when the schedule is adversarial?
     const std::string chaos_policy =

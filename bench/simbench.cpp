@@ -10,23 +10,35 @@
  * of the pinned sweep, as JSON (BENCH_SIM.json) for the CI perf gate.
  *
  * Workloads:
- *   stream   grid-stride plain loads+stores (the L1 fast path)
- *   atomics  atomicAdd over a scattered histogram (the L2 atomic path)
- *   frames   many short-lived threads: one store each, many launches
- *            (stresses coroutine-frame allocation and per-launch setup)
- *   sweep    one pinned table4-style harness cell (CC on as-skitter),
- *            baseline + race-free, best of reps
+ *   stream        grid-stride plain loads+stores (the L1 fast path)
+ *   atomics       atomicAdd over a scattered histogram (the L2 atomic
+ *                 path)
+ *   frames        many short-lived threads: one store each, many
+ *                 launches (stresses coroutine-frame allocation and
+ *                 per-launch setup)
+ *   warp_stream   the stream body as a warp kernel: one batched SoA
+ *                 load+store per warp (ExecMode::kWarpBatched, one
+ *                 coalesced line probe per warp op)
+ *   warp_atomics  the atomics body as a warp kernel: scattered batched
+ *                 atomicAdds (batched dispatch, per-lane line probes)
+ *   sweep         one pinned table4-style harness cell (CC on
+ *                 as-skitter), baseline + race-free, best of reps
  *
- * Each workload runs --reps times on the hookless fast path AND on the
- * general (slow) path with all hooks null (EngineOptions::
- * force_slow_path), so the dispatch overhead itself is visible. The two
- * paths are bit-identical by contract — simbench asserts the access
+ * Each scalar workload runs --reps times on the hookless fast path AND
+ * on the general (slow) path with all hooks null (EngineOptions::
+ * force_slow_path), so the dispatch overhead itself is visible. The
+ * warp workloads additionally run in ExecMode::kWarpBatched ("batch"):
+ * all paths are bit-identical by contract — simbench asserts the access
  * counts agree — only wall time may differ.
  *
- * JSON layout: "workloads" carries raw counts and both wall times;
- * "metrics" carries the higher-is-better numbers the CI gate diffs
- * against the committed baseline (fast path only); "comparison" carries
- * the slow-path throughputs and fast/slow ratios, for information.
+ * JSON layout (schema 3): "workloads" carries raw counts and the wall
+ * times of every path run (wall_s = fast, wall_s_slow = forced general,
+ * wall_s_batch = warp-batched, 0 when not applicable); "metrics"
+ * carries the higher-is-better numbers the CI gate diffs against the
+ * committed baseline (fast path, plus the batched path of the warp
+ * workloads as <name>_batch_accesses_per_sec); "comparison" carries the
+ * slow-path throughputs and the fast/slow and batch/fast ratios, for
+ * information.
  *
  * Flags (beyond the common ones):
  *   --quick        smaller workloads for CI (the committed baseline is
@@ -65,7 +77,7 @@ nowSeconds()
         .count();
 }
 
-/** One workload's best-of-reps result, fast and slow path. */
+/** One workload's best-of-reps result, per execution path. */
 struct WorkloadResult
 {
     std::string name;
@@ -74,11 +86,20 @@ struct WorkloadResult
     u64 threads = 0;        ///< simulated threads created per rep
     double wall_s = 0;      ///< best wall seconds, hookless fast path
     double wall_s_slow = 0; ///< best wall seconds, forced general path
+    /** Best wall seconds on the warp-batched route (warp workloads in
+     *  ExecMode::kWarpBatched); 0 = workload has no batched variant. */
+    double wall_s_batch = 0;
 
     double
     fastOverSlow() const
     {
         return wall_s > 0 ? wall_s_slow / wall_s : 0.0;
+    }
+
+    double
+    batchOverFast() const
+    {
+        return wall_s_batch > 0 ? wall_s / wall_s_batch : 0.0;
     }
 };
 
@@ -105,6 +126,25 @@ benchOptions(bool slow)
     return options;
 }
 
+/** The execution routes a warp workload is timed on. */
+enum class WarpPath
+{
+    kBatch,  ///< ExecMode::kWarpBatched, hookless: the batched SoA route
+    kFast,   ///< ExecMode::kFast: per-lane fallback through performFast
+    kSlow,   ///< forced general path: per-lane through performPieces
+};
+
+EngineOptions
+warpBenchOptions(WarpPath path)
+{
+    EngineOptions options;
+    options.seed = 42;
+    options.mode = path == WarpPath::kBatch ? simt::ExecMode::kWarpBatched
+                                            : simt::ExecMode::kFast;
+    options.force_slow_path = path == WarpPath::kSlow;
+    return options;
+}
+
 /** Run one engine-level workload body on both paths, asserting the
  *  simulated access counts are path-independent. */
 template <typename Body>
@@ -117,6 +157,26 @@ bothPaths(u32 reps, WorkloadResult& out, Body&& body)
     ECLSIM_ASSERT(fast_accesses == out.accesses,
                   "{}: fast path simulated {} accesses, slow path {}",
                   out.name, fast_accesses, out.accesses);
+}
+
+/** Run one warp-kernel workload body on all three routes, asserting the
+ *  simulated access counts are path-independent. */
+template <typename Body>
+void
+threePaths(u32 reps, WorkloadResult& out, Body&& body)
+{
+    u64 fast_accesses = 0;
+    u64 batch_accesses = 0;
+    out.wall_s = bestOf(reps, [&] { fast_accesses = body(WarpPath::kFast); });
+    out.wall_s_batch =
+        bestOf(reps, [&] { batch_accesses = body(WarpPath::kBatch); });
+    out.wall_s_slow =
+        bestOf(reps, [&] { out.accesses = body(WarpPath::kSlow); });
+    ECLSIM_ASSERT(
+        fast_accesses == out.accesses && batch_accesses == out.accesses,
+        "{}: access counts diverge across paths (fast {}, batch {}, "
+        "slow {})",
+        out.name, fast_accesses, batch_accesses, out.accesses);
 }
 
 /** Grid-stride plain loads+stores over a working set that fits the L2:
@@ -180,6 +240,96 @@ runAtomics(u32 reps, bool quick)
                     h = h * 1664525u + 1013904223u;
                 }
             });
+        out.launches = 1;
+        out.threads = cfg.totalThreads();
+        return stats.mem.rmws;
+    });
+    return out;
+}
+
+/** The stream body as a warp kernel: one batched SoA load + store per
+ *  warp per grid-stride step. Lanes are unit-stride, so the batched
+ *  route does one coalesced L1 line probe per 32 lanes instead of 32
+ *  independent probes — this is the headline number for the ROADMAP
+ *  throughput target. gridSize divides n in both shapes, so every warp
+ *  op runs with all 32 lanes and no tail predication. */
+WorkloadResult
+runWarpStream(u32 reps, bool quick)
+{
+    const u32 n = 1u << 18;  // 1 MiB of u32
+    const u32 grid = quick ? 256 : 1024;
+    const u32 rounds = 16;
+
+    WorkloadResult out{"warp_stream"};
+    threePaths(reps, out, [&](WarpPath path) -> u64 {
+        DeviceMemory memory;
+        Engine engine(simt::titanV(), memory, warpBenchOptions(path));
+        auto src = memory.alloc<u32>(n, "src");
+        auto dst = memory.alloc<u32>(n, "dst");
+        LaunchConfig cfg;
+        cfg.grid = grid;
+        cfg.block_x = 256;
+        const auto stats = engine.launch(
+            "warp_stream", cfg, [&](simt::WarpCtx& w) {
+                u32 v[simt::WarpCtx::kMaxLanes];
+                for (u32 r = 0; r < rounds; ++r) {
+                    for (u32 i = w.warpBase(); i < n; i += w.gridSize()) {
+                        w.load(src, [&](u32 l) { return i + l; }, v);
+                        w.store(
+                            dst, [&](u32 l) { return i + l; },
+                            [&](u32 l) { return v[l] + r; });
+                    }
+                }
+            });
+        ECLSIM_ASSERT(
+            engine.lastBatch().batched == (path == WarpPath::kBatch),
+            "warp_stream: wrong route selected ({})",
+            simt::batchFallbackName(engine.lastBatch().reason));
+        out.launches = 1;
+        out.threads = cfg.totalThreads();
+        return stats.mem.loads + stats.mem.stores;
+    });
+    return out;
+}
+
+/** The atomics body as a warp kernel: scattered batched atomicAdds.
+ *  Lane addresses are hash-scattered, so the batched route still probes
+ *  one line per lane — this isolates the batched *dispatch* win (one
+ *  template + one functional pass per warp) from the coalescing win. */
+WorkloadResult
+runWarpAtomics(u32 reps, bool quick)
+{
+    const u32 slots = 1u << 12;
+    const u32 grid = quick ? 128 : 512;
+    const u32 rounds = 32;
+
+    WorkloadResult out{"warp_atomics"};
+    threePaths(reps, out, [&](WarpPath path) -> u64 {
+        DeviceMemory memory;
+        Engine engine(simt::titanV(), memory, warpBenchOptions(path));
+        auto hist = memory.alloc<u32>(slots, "hist");
+        LaunchConfig cfg;
+        cfg.grid = grid;
+        cfg.block_x = 256;
+        const auto stats = engine.launch(
+            "warp_atomics", cfg, [&](simt::WarpCtx& w) {
+                // Per-lane hash state, the same sequence the scalar
+                // atomics workload computes per thread.
+                u32 h[simt::WarpCtx::kMaxLanes];
+                for (u32 l = 0; l < w.lanes(); ++l)
+                    h[l] = (w.warpBase() + l) * 2654435761u;
+                for (u32 r = 0; r < rounds; ++r) {
+                    w.atomicAdd(
+                        hist, [&](u32 l) { return h[l] & (slots - 1); },
+                        [](u32) { return u32{1}; });
+                    for (u32 l = 0; l < w.lanes(); ++l)
+                        h[l] = h[l] * 1664525u + 1013904223u;
+                }
+            });
+        ECLSIM_ASSERT(
+            engine.lastBatch().batched == (path == WarpPath::kBatch),
+            "warp_atomics: wrong route selected ({})",
+            simt::batchFallbackName(engine.lastBatch().reason));
         out.launches = 1;
         out.threads = cfg.totalThreads();
         return stats.mem.rmws;
@@ -275,7 +425,7 @@ writeJson(const std::string& path, bool quick,
     if (!file)
         fatal("cannot write {}", path);
     file.precision(6);
-    file << "{\n  \"schema\": 2,\n  \"quick\": "
+    file << "{\n  \"schema\": 3,\n  \"quick\": "
          << (quick ? "true" : "false") << ",\n  \"workloads\": {\n";
     for (size_t i = 0; i < results.size(); ++i) {
         const auto& r = results[i];
@@ -283,17 +433,23 @@ writeJson(const std::string& path, bool quick,
              << ", \"launches\": " << r.launches
              << ", \"threads\": " << r.threads
              << ", \"wall_s\": " << r.wall_s
-             << ", \"wall_s_slow\": " << r.wall_s_slow << "}"
+             << ", \"wall_s_slow\": " << r.wall_s_slow
+             << ", \"wall_s_batch\": " << r.wall_s_batch << "}"
              << (i + 1 < results.size() ? "," : "") << "\n";
     }
     file << "  },\n  \"metrics\": {\n";
-    // Flat higher-is-better fast-path metrics: these are what the CI
-    // gate diffs against the committed baseline.
+    // Flat higher-is-better metrics: these are what the CI gate diffs
+    // against the committed baseline. Fast path for every workload,
+    // plus the batched route for the warp workloads.
     std::vector<std::pair<std::string, double>> metrics;
     for (const auto& r : results) {
         if (r.accesses > 0)
             metrics.emplace_back(r.name + "_accesses_per_sec",
                                  static_cast<double>(r.accesses) / r.wall_s);
+        if (r.accesses > 0 && r.wall_s_batch > 0)
+            metrics.emplace_back(
+                r.name + "_batch_accesses_per_sec",
+                static_cast<double>(r.accesses) / r.wall_s_batch);
         if (r.name == "frames") {
             metrics.emplace_back("frames_launches_per_sec",
                                  static_cast<double>(r.launches) / r.wall_s);
@@ -317,8 +473,11 @@ writeJson(const std::string& path, bool quick,
                      ? static_cast<double>(r.accesses) / r.wall_s_slow
                      : 0.0)
              << ",\n    \"" << r.name
-             << "_fast_over_slow\": " << r.fastOverSlow()
-             << (i + 1 < results.size() ? "," : "") << "\n";
+             << "_fast_over_slow\": " << r.fastOverSlow();
+        if (r.wall_s_batch > 0)
+            file << ",\n    \"" << r.name
+                 << "_batch_over_fast\": " << r.batchOverFast();
+        file << (i + 1 < results.size() ? "," : "") << "\n";
     }
     // Pre-PR engine throughputs on the baseline machine (see
     // kPrePrReference) so the speedup over the unoptimized engine stays
@@ -346,19 +505,27 @@ simbenchMain(int argc, char** argv)
     const std::string json = flags.getString("json", "BENCH_SIM.json");
 
     std::vector<WorkloadResult> results;
-    for (auto* fn : {runStream, runAtomics, runFrames, runSweep}) {
+    for (auto* fn : {runStream, runAtomics, runWarpStream, runWarpAtomics,
+                     runFrames, runSweep}) {
         results.push_back(fn(reps, quick));
         const auto& r = results.back();
         std::cout << r.name << ": ";
-        if (r.accesses > 0)
+        if (r.accesses > 0) {
+            if (r.wall_s_batch > 0)
+                std::cout << static_cast<double>(r.accesses) /
+                                 r.wall_s_batch / 1e6
+                          << " M accesses/s (batch), ";
             std::cout << static_cast<double>(r.accesses) / r.wall_s / 1e6
                       << " M accesses/s (fast), "
                       << static_cast<double>(r.accesses) / r.wall_s_slow /
                              1e6
                       << " M accesses/s (slow), ";
+        }
         std::cout << r.wall_s * 1e3 << " ms/rep, fast/slow "
-                  << r.fastOverSlow() << "x (best of " << reps << ")"
-                  << std::endl;
+                  << r.fastOverSlow();
+        if (r.wall_s_batch > 0)
+            std::cout << "x, batch/fast " << r.batchOverFast();
+        std::cout << "x (best of " << reps << ")" << std::endl;
     }
     writeJson(json, quick, results);
     std::cout << "(json written to " << json << ")" << std::endl;

@@ -13,7 +13,9 @@
 #   throughput  the higher-is-better "metrics" of run 2 are gated softly
 #               against run 1 (the on-box reference): warn past
 #               SIMBENCH_WARN_PCT (10%) regression, fail past
-#               SIMBENCH_FAIL_PCT (25%);
+#               SIMBENCH_FAIL_PCT (25%). This includes the warp-batched
+#               workloads' <wl>_batch_accesses_per_sec metrics (schema
+#               3), so a batched-route slowdown trips the same gate;
 #   committed   throughput deltas vs the committed baseline are printed
 #               for information only — they reflect the recording box's
 #               speed, never this box's health, and never fail.
@@ -53,6 +55,14 @@ with open(current_path) as f:
     cur = json.load(f)
 
 failures = []
+
+# The JSON layout must agree before any field-by-field comparison.
+for tag, run in (("reference", ref), ("current", cur)):
+    if run.get("schema") != base.get("schema"):
+        failures.append(
+            f"{tag} schema {run.get('schema')} != baseline "
+            f"{base.get('schema')} (regenerate bench/BENCH_SIM."
+            "baseline.json with the current simbench)")
 
 # Hard check: the simulated work is deterministic. Counts that drift
 # mean the engine changed behavior, not just speed. Both runs must

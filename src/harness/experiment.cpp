@@ -37,7 +37,7 @@ simt::EngineOptions
 engineOptions(const ExperimentConfig& config, u64 seed)
 {
     simt::EngineOptions options;
-    options.mode = simt::ExecMode::kFast;
+    options.mode = config.exec_mode;
     options.detect_races = false;
     options.shuffle_blocks = true;
     options.seed = seed;

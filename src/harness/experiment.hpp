@@ -20,6 +20,7 @@
 #include "core/rng.hpp"
 #include "core/table.hpp"
 #include "graph/catalog.hpp"
+#include "simt/engine.hpp"
 #include "simt/gpu_spec.hpp"
 
 namespace eclsim::prof {
@@ -106,6 +107,17 @@ struct ExperimentConfig
      * fast path (see simt::EngineOptions::force_slow_path).
      */
     bool force_slow_path = false;
+    /**
+     * Execution mode for every engine the harness creates
+     * (--exec-mode=interleaved|fast|batch on the bench binaries).
+     * kFast is the historical paper-table path. kWarpBatched runs the
+     * same coroutine kernels through the batch-mode engine — they fall
+     * back to the fast route per launch (simt::BatchFallback), so every
+     * table stays byte-identical while the mode plumbing is exercised
+     * end-to-end. kInterleaved is the cycle-accurate scheduler: far
+     * slower, and its racy-variant results are schedule-dependent.
+     */
+    simt::ExecMode exec_mode = simt::ExecMode::kFast;
     /**
      * Per-site access-mode override table (eclsim::repair): installed
      * into every engine the harness creates, so a sweep cell can price a

@@ -112,6 +112,25 @@ struct MemRequest
     }
 };
 
+/**
+ * Structure-of-arrays view of one warp's lanes for a batched access
+ * (the engine's ExecMode::kWarpBatched hot path). A warp op is one
+ * MemRequest *template* carrying everything the lanes share — size,
+ * kind, mode, RMW operator, order, scope, site — plus these
+ * lane-indexed arrays for what differs per lane. Lane l's thread id is
+ * first_thread + l; the arrays hold `count` valid entries. `value` and
+ * `compare` may be null when the op kind never reads them (loads).
+ */
+struct WarpAccessBatch
+{
+    u32 count = 0;         ///< active lanes (arrays' valid length)
+    u32 first_thread = 0;  ///< lane 0's global thread id
+    const u64* addr = nullptr;     ///< per-lane byte addresses
+    const u64* value = nullptr;    ///< store values / RMW operands
+    const u64* compare = nullptr;  ///< CAS expected values
+    u64* out = nullptr;            ///< per-lane result bits (loads, RMW old)
+};
+
 /** True if this request participates in data races (i.e. is not atomic). */
 inline bool
 isRacy(const MemRequest& req)

@@ -68,11 +68,30 @@ class CacheModel
     bool
     access(u64 addr, bool is_store)
     {
+        // count == 1 folds at compile time: identical codegen to the
+        // pre-coalescing single-access body, one definition for both.
+        return accessCoalesced(addr, is_store, 1);
+    }
+
+    /**
+     * Exactly equivalent to `count` back-to-back access(addr, is_store)
+     * calls — one tag search instead of `count`. The warp-batched
+     * engine's coalesced probe: when a run of adjacent lanes touches the
+     * same 128-byte line, only the first lane's access can miss; the
+     * remaining count-1 find the line just touched (nothing intervenes
+     * within a warp op) and are guaranteed hits. Stats, tick, and LRU
+     * state land bit-identically to the per-lane sequence: the probed
+     * way's recency becomes tick_ + count, exactly where count repeated
+     * touches would leave it. Returns the FIRST access's hit/miss.
+     */
+    bool
+    accessCoalesced(u64 addr, bool is_store, u32 count)
+    {
         const u64 line_addr = addr >> line_shift_;
         const u32 set = static_cast<u32>(line_addr & (num_sets_ - 1));
         const size_t base = static_cast<size_t>(set) * ways_;
         u64* tags = &tags_[base];
-        ++tick_;
+        tick_ += count;
 
         // The default L1 is 4-way; compare its whole (32-byte,
         // contiguous) tag row without loop-carried control flow.
@@ -85,9 +104,9 @@ class CacheModel
                 const u32 w = h0 ? 0 : (h1 ? 1 : (h2 ? 2 : 3));
                 lru_[base + w] = tick_;
                 if (is_store)
-                    ++stats_.store_hits;
+                    stats_.store_hits += count;
                 else
-                    ++stats_.load_hits;
+                    stats_.load_hits += count;
                 return true;
             }
         } else {
@@ -95,9 +114,9 @@ class CacheModel
                 if (tags[w] == line_addr) {
                     lru_[base + w] = tick_;
                     if (is_store)
-                        ++stats_.store_hits;
+                        stats_.store_hits += count;
                     else
-                        ++stats_.load_hits;
+                        stats_.load_hits += count;
                     return true;
                 }
             }
@@ -106,6 +125,8 @@ class CacheModel
         // Invalid lines carry lru == 0 while every filled line's lru is
         // >= 1, so min-lru selection fills empty ways before evicting —
         // the same tag leaves the set as with an explicit valid flag.
+        // Of a coalesced run only the first access misses; the other
+        // count-1 re-touch the just-allocated line.
         const u64* lru = &lru_[base];
         u32 victim = 0;
         for (u32 w = 1; w < ways_; ++w)
@@ -113,10 +134,13 @@ class CacheModel
                 victim = w;
         tags[victim] = line_addr;
         lru_[base + victim] = tick_;
-        if (is_store)
+        if (is_store) {
             ++stats_.store_misses;
-        else
+            stats_.store_hits += count - 1;
+        } else {
             ++stats_.load_misses;
+            stats_.load_hits += count - 1;
+        }
         return false;
     }
 

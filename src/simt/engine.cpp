@@ -21,6 +21,57 @@ LaunchStats::operator+=(const LaunchStats& other)
     return *this;
 }
 
+const char*
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::kFast:
+        return "fast";
+      case ExecMode::kInterleaved:
+        return "interleaved";
+      case ExecMode::kWarpBatched:
+        return "batch";
+    }
+    return "fast";
+}
+
+ExecMode
+parseExecMode(std::string_view name)
+{
+    if (name == "fast")
+        return ExecMode::kFast;
+    if (name == "interleaved")
+        return ExecMode::kInterleaved;
+    if (name == "batch")
+        return ExecMode::kWarpBatched;
+    fatal("unknown exec mode '{}' (expected interleaved|fast|batch)",
+          name);
+}
+
+const char*
+batchFallbackName(BatchFallback reason)
+{
+    switch (reason) {
+      case BatchFallback::kNone:
+        return "none";
+      case BatchFallback::kNotBatchMode:
+        return "not_batch_mode";
+      case BatchFallback::kScalarKernel:
+        return "scalar_kernel";
+      case BatchFallback::kForcedSlow:
+        return "forced_slow_path";
+      case BatchFallback::kRaceDetector:
+        return "race_detector";
+      case BatchFallback::kPerturbHooks:
+        return "perturb_hooks";
+      case BatchFallback::kObserver:
+        return "observer";
+      case BatchFallback::kSiteOverrides:
+        return "site_overrides";
+    }
+    return "unknown";
+}
+
 LaunchConfig
 launchFor(u64 work, u32 block)
 {
@@ -44,8 +95,13 @@ Engine::Engine(GpuSpec spec, DeviceMemory& memory, EngineOptions options)
     mem_subsystem_ = std::make_unique<MemorySubsystem>(
         spec_, memory_, options_.memory, detector_.get(), counters,
         options_.perturb, options_.observer);
-    if (trace_)
+    if (trace_) {
         kernel_track_ = trace_->track("kernels");
+        prof::CounterRegistry& reg = trace_->counters();
+        c_batch_launches_ = reg.id("sim/mem/batch/launches");
+        c_batch_batched_ = reg.id("sim/mem/batch/batched");
+        c_batch_fallbacks_ = reg.id("sim/mem/batch/fallbacks");
+    }
     has_request_overrides_ =
         options_.override_atomic_order || options_.override_atomic_scope ||
         (options_.site_overrides != nullptr &&
@@ -108,7 +164,7 @@ Engine::arriveBarrier(ThreadCtx& ctx)
 void
 Engine::chargeWork(ThreadCtx& ctx, u32 cycles)
 {
-    if (fastMode())
+    if (immediateMode())
         sm_cycles_[ctx.sm_] += cycles;
     else
         ctx.deferred_work_ += cycles;
@@ -150,8 +206,17 @@ Engine::launch(std::string_view name, const LaunchConfig& config,
     barrier_count_.assign(config.grid, 0);
     block_alive_.assign(config.grid, config.blockSize());
     now_ = 0;
-    use_fast_path_ = fastMode() && mem_subsystem_->hookless() &&
+    use_fast_path_ = immediateMode() && mem_subsystem_->hookless() &&
                      !options_.force_slow_path;
+    warp_batch_live_ = false;
+    // A coroutine kernel is conservatively treated as divergent — the
+    // engine cannot introspect its body for data-dependent lane
+    // branches — so in batch mode it falls back to running exactly as
+    // kFast, and the fallback is recorded for --counters.
+    if (options_.mode == ExecMode::kWarpBatched)
+        recordBatchOutcome(false, BatchFallback::kScalarKernel);
+    else
+        last_batch_ = {};
     // Recycle coroutine frames through this engine's pool for the whole
     // launch (kernel() instantiations allocate under this scope).
     FramePool::Scope frame_scope(frame_pool_);
@@ -161,11 +226,11 @@ Engine::launch(std::string_view name, const LaunchConfig& config,
     if (options_.observer != nullptr)
         options_.observer->onLaunchBegin(name, config.grid,
                                          config.blockSize());
-    traceLaunchBegin(name, config);
+    traceLaunchBegin(name, config, modeLabel(false));
 
     LaunchStats stats;
     stats.kernel = name;
-    if (fastMode())
+    if (immediateMode())
         runFast(config, kernel, stats);
     else
         runInterleaved(config, kernel, stats);
@@ -177,7 +242,7 @@ Engine::launch(std::string_view name, const LaunchConfig& config,
     stats.mem = mem_subsystem_->launchCounters();
 
     u64 cycles = 0;
-    if (fastMode()) {
+    if (immediateMode()) {
         for (u64 c : sm_cycles_)
             cycles = std::max(cycles, c);
     } else {
@@ -192,9 +257,118 @@ Engine::launch(std::string_view name, const LaunchConfig& config,
     return stats;
 }
 
+LaunchStats
+Engine::launch(std::string_view name, const LaunchConfig& config,
+               const WarpKernel& kernel)
+{
+    ECLSIM_ASSERT(config.grid >= 1 && config.blockSize() >= 1,
+                  "empty launch '{}'", name);
+    ECLSIM_ASSERT(config.shared_bytes == 0,
+                  "warp kernel '{}' cannot declare shared memory", name);
+    ECLSIM_ASSERT(spec_.warp_size >= 1 &&
+                      spec_.warp_size <= WarpCtx::kMaxLanes,
+                  "warp size {} outside WarpCtx capacity {}",
+                  spec_.warp_size, WarpCtx::kMaxLanes);
+    mem_subsystem_->beginLaunch();
+    std::fill(sm_cycles_.begin(), sm_cycles_.end(), 0);
+    now_ = 0;
+    // Warp kernels always run to completion (they are bulk-synchronous
+    // straight-line code), whatever the engine mode; the hookless fast
+    // path and the batched route are each selected once per launch.
+    use_fast_path_ =
+        mem_subsystem_->hookless() && !options_.force_slow_path;
+    const BatchFallback reason = batchEligibility();
+    warp_batch_live_ = reason == BatchFallback::kNone;
+    recordBatchOutcome(warp_batch_live_, reason);
+    // Frame-free execution: no coroutines exist on this path, so no
+    // FramePool::Scope is installed — and none may already be active.
+    ECLSIM_ASSERT(!FramePool::scopeActive(),
+                  "warp-kernel launch '{}' inside a frame-pool scope",
+                  name);
+
+    const u64 races_before =
+        detector_ ? detector_->reports().size() : 0;
+    if (options_.observer != nullptr)
+        options_.observer->onLaunchBegin(name, config.grid,
+                                         config.blockSize());
+    traceLaunchBegin(name, config, modeLabel(warp_batch_live_));
+
+    LaunchStats stats;
+    stats.kernel = name;
+    runWarps(config, kernel, stats);
+
+    mem_subsystem_->endLaunch();
+    ++launch_counter_;
+    stats.mem = mem_subsystem_->launchCounters();
+
+    u64 cycles = 0;
+    for (u64 c : sm_cycles_)
+        cycles = std::max(cycles, c);
+    cycles = std::max(
+        cycles, static_cast<u64>(mem_subsystem_->dramBoundCycles()));
+    stats.cycles = cycles;
+    stats.ms = static_cast<double>(cycles) / (spec_.clock_ghz * 1e6);
+    elapsed_ms_ += stats.ms;
+    traceLaunchEnd(stats, races_before);
+    return stats;
+}
+
+BatchFallback
+Engine::batchEligibility() const
+{
+    if (options_.mode != ExecMode::kWarpBatched)
+        return BatchFallback::kNotBatchMode;
+    if (options_.force_slow_path)
+        return BatchFallback::kForcedSlow;
+    if (detector_ != nullptr)
+        return BatchFallback::kRaceDetector;
+    if (options_.perturb != nullptr)
+        return BatchFallback::kPerturbHooks;
+    if (options_.observer != nullptr)
+        return BatchFallback::kObserver;
+    if (options_.site_overrides != nullptr &&
+        !options_.site_overrides->empty() &&
+        !options_.site_overrides->warpUniform())
+        return BatchFallback::kSiteOverrides;
+    return BatchFallback::kNone;
+}
+
 void
-Engine::traceLaunchBegin(std::string_view name,
-                         const LaunchConfig& config)
+Engine::recordBatchOutcome(bool batched, BatchFallback reason)
+{
+    last_batch_.attempted = true;
+    last_batch_.batched = batched;
+    last_batch_.reason = reason;
+    if (batched)
+        ++batched_launches_;
+    else
+        ++fallback_launches_;
+    if (!trace_)
+        return;
+    prof::CounterRegistry& reg = trace_->counters();
+    reg.add(c_batch_launches_);
+    if (batched) {
+        reg.add(c_batch_batched_);
+    } else {
+        reg.add(c_batch_fallbacks_);
+        reg.add(reg.id(std::string("sim/mem/batch/fallback/") +
+                       batchFallbackName(reason)));
+    }
+}
+
+std::string_view
+Engine::modeLabel(bool batched) const
+{
+    if (batched)
+        return "batch";
+    if (options_.mode == ExecMode::kWarpBatched)
+        return "batch-fallback";
+    return execModeName(options_.mode);
+}
+
+void
+Engine::traceLaunchBegin(std::string_view name, const LaunchConfig& config,
+                         std::string_view mode_label)
 {
     if (!trace_)
         return;
@@ -202,7 +376,7 @@ Engine::traceLaunchBegin(std::string_view name,
     trace_->beginSpan(kernel_track_, std::string(name), trace_base_,
                       {{"grid", std::to_string(config.grid)},
                        {"block", std::to_string(config.blockSize())},
-                       {"mode", fastMode() ? "fast" : "interleaved"}});
+                       {"mode", std::string(mode_label)}});
 }
 
 void
@@ -367,6 +541,52 @@ Engine::runFast(const LaunchConfig& config,
     // returns to frame_pool_ before the launch ends: the pool's
     // outstanding count is zero between launches.
     threads.clear();
+}
+
+void
+Engine::runWarps(const LaunchConfig& config, const WarpKernel& kernel,
+                 LaunchStats& stats)
+{
+    const auto& order = blockOrder(config.grid);
+    const u32 block_size = config.blockSize();
+    const u32 warp = spec_.warp_size;
+    const bool trace_blocks =
+        trace_ != nullptr && config.grid <= kMaxTracedBlockSpans;
+
+    // One engine-owned WarpCtx serves the whole launch (the
+    // resetForReuse idiom): launch-invariant fields are written once,
+    // the per-warp loop only re-points the identification fields, and
+    // the SoA lane arrays are per-op storage.
+    WarpCtx& w = warp_ctx_;
+    w.engine_ = this;
+    w.block_size_ = block_size;
+    w.grid_size_ = config.grid * block_size;
+
+    for (u32 pos = 0; pos < config.grid; ++pos) {
+        const u32 block = order[pos];
+        const u32 sm = pos % spec_.num_sms;
+        if (options_.perturb)
+            sm_cycles_[sm] += options_.perturb->smStallCycles(sm, block);
+        const u64 sm_begin = sm_cycles_[sm];
+        w.block_ = block;
+        w.sm_ = sm;
+        for (u32 t0 = 0; t0 < block_size; t0 += warp) {
+            w.base_tid_ = block * block_size + t0;
+            w.lane_count_ = std::min(warp, block_size - t0);
+            w.next_site_ = 0;
+            kernel(w);
+        }
+        if (trace_blocks)
+            traceBlockSpan(sm, block, stats.kernel, sm_begin,
+                           sm_cycles_[sm]);
+    }
+
+    if (trace_ && !trace_blocks) {
+        for (u32 sm = 0; sm < spec_.num_sms; ++sm)
+            if (sm_cycles_[sm] > 0)
+                traceBlockSpan(sm, config.grid, stats.kernel, 0,
+                               sm_cycles_[sm]);
+    }
 }
 
 void

@@ -4,7 +4,7 @@
  *
  * Engine runs kernels — C++20 coroutines of signature
  * `Task kernel(ThreadCtx&)` — over a simulated GPU described by a
- * GpuSpec. Two execution modes share all kernel code:
+ * GpuSpec. Three execution modes share all kernel code:
  *
  *  - kFast: threads run to completion (suspending only at __syncthreads),
  *    with every memory access routed through the cache/timing model and
@@ -17,6 +17,16 @@
  *    64-bit accesses execute as two 32-bit pieces with simulated time
  *    between them, so word tearing (paper Fig. 1) and data races are
  *    genuinely observable. This mode drives the race-detection tests.
+ *
+ *  - kWarpBatched: like kFast, but launches of *warp kernels* (plain
+ *    functions over a SoA WarpCtx, no coroutines, no frames) execute a
+ *    whole warp's accesses as ONE batched memory operation — one
+ *    tag/LRU probe per touched cache line instead of per lane
+ *    (MemorySubsystem::performWarp). A per-launch eligibility check
+ *    falls back to the per-lane route (and scalar coroutine kernels run
+ *    exactly as kFast) whenever a hook could observe the difference, so
+ *    simulated results are bit-identical across all three modes; only
+ *    wall-clock throughput changes. See DESIGN.md §17.
  *
  * Kernel time is reported as max-over-SMs of accumulated cycles (fast
  * mode) or the final scheduler cycle (interleaved mode), lower-bounded by
@@ -54,6 +64,41 @@ namespace eclsim::simt {
 enum class ExecMode : u8 {
     kFast,
     kInterleaved,
+    kWarpBatched,
+};
+
+/** Canonical flag spelling of a mode: "fast", "interleaved", "batch". */
+const char* execModeName(ExecMode mode);
+/** Parse an --exec-mode flag value ("interleaved" | "fast" | "batch");
+ *  fatal on anything else. */
+ExecMode parseExecMode(std::string_view name);
+
+/**
+ * Why a launch did not take the batched warp route. Recorded per launch
+ * (Engine::lastBatch) and counted under sim/mem/batch/fallback/<reason>
+ * when profiling, so --counters shows why a launch did or didn't batch.
+ */
+enum class BatchFallback : u8 {
+    kNone,          ///< it batched
+    kNotBatchMode,  ///< engine mode is not kWarpBatched
+    kScalarKernel,  ///< coroutine kernel: possible data-dependent lane
+                    ///< divergence, runs exactly as kFast
+    kForcedSlow,    ///< EngineOptions::force_slow_path
+    kRaceDetector,  ///< dynamic race detection needs per-lane events
+    kPerturbHooks,  ///< chaos hooks need per-access decision points
+    kObserver,      ///< an AccessObserver needs per-lane callbacks
+    kSiteOverrides, ///< site-override table is not warp-uniform
+};
+
+/** Counter-name suffix of a fallback reason. */
+const char* batchFallbackName(BatchFallback reason);
+
+/** Outcome of the most recent launch's batch-eligibility check. */
+struct BatchLaunchInfo
+{
+    bool attempted = false;  ///< launch was a batch candidate
+    bool batched = false;    ///< it ran on the batched warp route
+    BatchFallback reason = BatchFallback::kNotBatchMode;
 };
 
 /** Engine configuration. */
@@ -436,6 +481,166 @@ class BarrierAwaiter
     ThreadCtx* ctx_;
 };
 
+/**
+ * Structure-of-arrays context of one warp: the "device API" of warp
+ * kernels (ExecMode::kWarpBatched's batch candidates). Where a ThreadCtx
+ * models one thread resuming a coroutine per access, a WarpCtx models
+ * all lanes of a warp at once: every operation takes per-lane index /
+ * value generator callables (invoked with the lane id 0..lanes()-1),
+ * gathers the warp's addresses into lane-indexed arrays, and issues ONE
+ * batched request for the whole warp. Warp kernels are plain functions —
+ * no coroutine, no frame allocation — and are divergence-free by
+ * construction: every lane of an op executes it (a uniform prefix
+ * `count` can shorten the active lanes, modeling tail predication, but
+ * there is no data-dependent per-lane branching). There is no shared
+ * memory and no barrier: warp kernels are bulk-synchronous straight-line
+ * code, which is exactly the shape that batches.
+ *
+ * The engine owns one WarpCtx as per-launch scratch and re-points its
+ * identification fields per warp (the resetForReuse idiom): the
+ * lane-indexed arrays are launch-invariant storage, written per op.
+ */
+class WarpCtx
+{
+  public:
+    /** Fixed lane-array capacity; specs with warp_size > 32 are rejected
+     *  at warp-kernel launch. */
+    static constexpr u32 kMaxLanes = 32;
+    /** Default `count`: every lane of the warp participates. */
+    static constexpr u32 kAllLanes = ~u32{0};
+
+    // --- identification -------------------------------------------------
+    /** Active lanes of this warp (warp_size, or the block tail). */
+    u32 lanes() const { return lane_count_; }
+    /** Global thread id of lane 0 (lane l is warpBase() + l). */
+    u32 warpBase() const { return base_tid_; }
+    u32 blockId() const { return block_; }
+    u32 blockDim() const { return block_size_; }
+    /** Total threads in the launch (gridDim * blockDim). */
+    u32 gridSize() const { return grid_size_; }
+
+    /** Attribute the next warp operation to a source site (see
+     *  ThreadCtx::at); the site is shared by every lane of the op. */
+    WarpCtx&
+    at(u32 site)
+    {
+        next_site_ = site;
+        return *this;
+    }
+
+    // --- warp-wide memory operations ------------------------------------
+    // index_of / value_of / expected_of are callables u32 lane -> value,
+    // invoked in lane order for the first `count` lanes (count ==
+    // kAllLanes means lanes()). Results land in out[0..count), when out
+    // is non-null for RMWs.
+
+    /** Batched load: out[l] = ptr[index_of(l)]. */
+    template <typename T, typename IdxFn>
+    void load(DevicePtr<T> ptr, IdxFn&& index_of, T* out,
+              u32 count = kAllLanes, AccessMode mode = AccessMode::kPlain,
+              MemoryOrder order = MemoryOrder::kRelaxed,
+              Scope scope = Scope::kDevice);
+
+    /** Batched store: ptr[index_of(l)] = value_of(l). */
+    template <typename T, typename IdxFn, typename ValFn>
+    void store(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& value_of,
+               u32 count = kAllLanes, AccessMode mode = AccessMode::kPlain,
+               MemoryOrder order = MemoryOrder::kRelaxed,
+               Scope scope = Scope::kDevice);
+
+    template <typename T, typename IdxFn, typename ValFn>
+    void atomicAdd(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+                   std::type_identity_t<T>* old_out = nullptr, u32 count = kAllLanes,
+                   MemoryOrder order = MemoryOrder::kRelaxed,
+                   Scope scope = Scope::kDevice);
+    template <typename T, typename IdxFn, typename ValFn>
+    void atomicMin(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+                   std::type_identity_t<T>* old_out = nullptr, u32 count = kAllLanes,
+                   MemoryOrder order = MemoryOrder::kRelaxed,
+                   Scope scope = Scope::kDevice);
+    template <typename T, typename IdxFn, typename ValFn>
+    void atomicMax(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+                   std::type_identity_t<T>* old_out = nullptr, u32 count = kAllLanes,
+                   MemoryOrder order = MemoryOrder::kRelaxed,
+                   Scope scope = Scope::kDevice);
+    template <typename T, typename IdxFn, typename ValFn>
+    void atomicAnd(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+                   std::type_identity_t<T>* old_out = nullptr, u32 count = kAllLanes,
+                   MemoryOrder order = MemoryOrder::kRelaxed,
+                   Scope scope = Scope::kDevice);
+    template <typename T, typename IdxFn, typename ValFn>
+    void atomicOr(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+                  std::type_identity_t<T>* old_out = nullptr, u32 count = kAllLanes,
+                  MemoryOrder order = MemoryOrder::kRelaxed,
+                  Scope scope = Scope::kDevice);
+    template <typename T, typename IdxFn, typename ValFn>
+    void atomicExch(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& desired_of,
+                    std::type_identity_t<T>* old_out = nullptr, u32 count = kAllLanes,
+                    MemoryOrder order = MemoryOrder::kRelaxed,
+                    Scope scope = Scope::kDevice);
+    /** Batched compare-and-swap; old values land in old_out when set. */
+    template <typename T, typename IdxFn, typename CmpFn, typename ValFn>
+    void atomicCas(DevicePtr<T> ptr, IdxFn&& index_of, CmpFn&& expected_of,
+                   ValFn&& desired_of, std::type_identity_t<T>* old_out = nullptr,
+                   u32 count = kAllLanes,
+                   MemoryOrder order = MemoryOrder::kRelaxed,
+                   Scope scope = Scope::kDevice);
+
+    /** Charge pure-compute cycles to every active lane's SM share (the
+     *  warp equivalent of each lane calling ThreadCtx::work(cycles)). */
+    void work(u32 cycles);
+
+  private:
+    friend class Engine;
+
+    /** Consume the pending site attribution (one warp op). */
+    u32
+    takeSite()
+    {
+        const u32 site = next_site_;
+        next_site_ = 0;
+        return site;
+    }
+
+    /** Build the op template shared by all lanes of one warp op. */
+    MemRequest
+    opTemplate(u8 size, MemOpKind kind, AccessMode mode, MemoryOrder order,
+               Scope scope)
+    {
+        MemRequest req;
+        req.size = size;
+        req.kind = kind;
+        req.mode = mode;
+        req.order = order;
+        req.scope = scope;
+        req.site = takeSite();
+        return req;
+    }
+
+    template <typename T, typename IdxFn, typename ValFn>
+    void rmwOp(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+               std::type_identity_t<T>* old_out, u32 count, RmwOp op, MemoryOrder order,
+               Scope scope);
+
+    Engine* engine_ = nullptr;
+    u32 base_tid_ = 0;
+    u32 lane_count_ = 0;
+    u32 block_ = 0;
+    u32 sm_ = 0;
+    u32 block_size_ = 0;
+    u32 grid_size_ = 0;
+    u32 next_site_ = 0;
+
+    // Lane-indexed SoA op state (launch-invariant storage, per-op data).
+    alignas(64) u64 addr_[kMaxLanes] = {};
+    u64 value_[kMaxLanes] = {};
+    u64 compare_[kMaxLanes] = {};
+    u64 out_[kMaxLanes] = {};
+};
+
+/** Warp-kernel signature: plain function of one warp's SoA context. */
+using WarpKernel = std::function<void(WarpCtx&)>;
+
 /** The SIMT execution engine (see file comment). */
 class Engine
 {
@@ -454,6 +659,21 @@ class Engine
     LaunchStats
     launch(std::string_view name, const LaunchConfig& config,
            const std::function<Task(ThreadCtx&)>& kernel);
+
+    /**
+     * Synchronously execute a warp kernel: the kernel is invoked once
+     * per warp (grid * ceil(blockSize / warp_size) times) with the
+     * engine's WarpCtx scratch re-pointed at that warp. Frame-free —
+     * no coroutines are created. In ExecMode::kWarpBatched an eligible
+     * launch takes the batched SoA route (one coalesced probe per
+     * touched line); otherwise every lane routes through the same
+     * per-lane path scalar kernels use, so results are bit-identical
+     * either way (see lastBatch() for which route ran and why).
+     * Requires shared_bytes == 0: warp kernels have no shared memory.
+     */
+    LaunchStats
+    launch(std::string_view name, const LaunchConfig& config,
+           const WarpKernel& kernel);
 
     const GpuSpec& spec() const { return spec_; }
     DeviceMemory& memory() { return memory_; }
@@ -474,19 +694,49 @@ class Engine
     /** True if the current/last launch took the hookless access path. */
     bool usedFastPath() const { return use_fast_path_; }
 
+    /** Outcome of the last batch-candidate launch's eligibility check
+     *  (warp-kernel launches in any mode, plus scalar launches in
+     *  kWarpBatched mode, are candidates). */
+    const BatchLaunchInfo& lastBatch() const { return last_batch_; }
+    /** Candidate launches that ran on the batched warp route. */
+    u64 batchedLaunches() const { return batched_launches_; }
+    /** Candidate launches that fell back to the per-lane route. */
+    u64 batchFallbackLaunches() const { return fallback_launches_; }
+
   private:
     friend class MemAwaiterBase;
     friend class BarrierAwaiter;
     friend class ThreadCtx;
+    friend class WarpCtx;
 
-    bool fastMode() const { return options_.mode == ExecMode::kFast; }
+    /** Modes whose accesses resolve synchronously inside await_ready
+     *  (everything but the cycle-interleaved scheduler). */
+    bool
+    immediateMode() const
+    {
+        return options_.mode != ExecMode::kInterleaved;
+    }
 
     /** Apply the EngineOptions order/scope ablation overrides. */
     void applyAtomicOverrides(MemRequest& req) const;
-    /** Fast-mode inline access: execute, charge the SM, return bits. */
-    u64 performImmediate(ThreadCtx& ctx, const MemRequest& req);
+    /** Immediate-mode inline access: execute, charge the SM, return
+     *  bits. `who`/`sm` identify the issuing simulated thread (a
+     *  ThreadCtx's info, or a synthesized lane identity on the warp
+     *  fallback route). */
+    u64 performImmediate(const ThreadInfo& who, u32 sm,
+                         const MemRequest& req);
     /** Route an (override-applied) request to the selected path. */
-    u64 performRouted(ThreadCtx& ctx, const MemRequest& req);
+    u64 performRouted(const ThreadInfo& who, u32 sm,
+                      const MemRequest& req);
+    /** Issue one warp op: batched when the launch is batch-live, else
+     *  per-lane through performRouted. Applies request overrides to the
+     *  shared template once (all lanes of an op carry the same site, so
+     *  the per-warp and per-lane rewrites coincide). */
+    void warpAccess(WarpCtx& w, MemRequest& tmpl, u32 count);
+    /** Per-launch batch-eligibility check (kNone = batch it). */
+    BatchFallback batchEligibility() const;
+    /** Record a batch candidate's outcome (lastBatch, counters, prof). */
+    void recordBatchOutcome(bool batched, BatchFallback reason);
     /** Interleaved-mode access issue (first piece now, rest at wake). */
     void submitAccess(ThreadCtx& ctx, const MemRequest& req);
     /** Barrier arrival (both modes). */
@@ -516,11 +766,13 @@ class Engine
     const std::vector<u32>& blockOrder(u32 grid);
 
     /** Trace hooks (no-ops when options_.trace is null). */
-    void traceLaunchBegin(std::string_view name,
-                          const LaunchConfig& config);
+    void traceLaunchBegin(std::string_view name, const LaunchConfig& config,
+                          std::string_view mode_label);
     void traceLaunchEnd(const LaunchStats& stats, u64 races_before);
     void traceBlockSpan(u32 sm, u32 block, std::string_view name,
                         u64 sm_begin, u64 sm_end);
+    /** Trace label of the current launch's execution route. */
+    std::string_view modeLabel(bool batched) const;
 
     void runFast(const LaunchConfig& config,
                  const std::function<Task(ThreadCtx&)>& kernel,
@@ -528,6 +780,8 @@ class Engine
     void runInterleaved(const LaunchConfig& config,
                         const std::function<Task(ThreadCtx&)>& kernel,
                         LaunchStats& stats);
+    void runWarps(const LaunchConfig& config, const WarpKernel& kernel,
+                  LaunchStats& stats);
 
     GpuSpec spec_;
     DeviceMemory& memory_;
@@ -548,13 +802,21 @@ class Engine
     u64 now_ = 0;                    ///< interleaved global cycle
     double elapsed_ms_ = 0.0;
     u32 launch_counter_ = 0;
-    /** Selected once per launch: hookless memory subsystem, fast mode,
-     *  and not overridden by EngineOptions::force_slow_path. */
+    /** Selected once per launch: hookless memory subsystem, an
+     *  immediate (non-interleaved) mode, and not overridden by
+     *  EngineOptions::force_slow_path. */
     bool use_fast_path_ = false;
     /** Any request-rewriting override configured — atomic order/scope
      *  ablations or a nonempty per-site table (cached; see
      *  performImmediate). */
     bool has_request_overrides_ = false;
+    /** Selected once per warp-kernel launch: warp ops take the batched
+     *  SoA route (performWarp) instead of the per-lane route. */
+    bool warp_batch_live_ = false;
+    BatchLaunchInfo last_batch_;   ///< last candidate's outcome
+    u64 batched_launches_ = 0;     ///< candidates that batched
+    u64 fallback_launches_ = 0;    ///< candidates that fell back
+    WarpCtx warp_ctx_;             ///< per-launch warp scratch (SoA)
 
     // Per-launch scratch, reused across launches so a sweep's steady
     // state performs no per-launch allocation. thread_scratch_ is
@@ -570,6 +832,9 @@ class Engine
     prof::TraceSession* trace_ = nullptr;
     u32 kernel_track_ = 0;   ///< session track for kernel-launch spans
     u64 trace_base_ = 0;     ///< session timestamp of the current launch
+    // batch-outcome counters (sim/mem/batch/...; valid when trace_ set)
+    prof::CounterId c_batch_launches_ = 0, c_batch_batched_ = 0,
+                    c_batch_fallbacks_ = 0;
 
     static constexpr u32 kIssueCycles = 2;
     static constexpr u32 kBarrierCycles = 20;
@@ -745,7 +1010,8 @@ Engine::applyAtomicOverrides(MemRequest& req) const
 }
 
 inline u64
-Engine::performImmediate(ThreadCtx& ctx, const MemRequest& req_in)
+Engine::performImmediate(const ThreadInfo& who, u32 sm,
+                         const MemRequest& req_in)
 {
     // Request overrides — the atomic order/scope ablations and the
     // per-site repair table — are off in the common case (cached per
@@ -760,40 +1026,90 @@ Engine::performImmediate(ThreadCtx& ctx, const MemRequest& req_in)
         if (options_.site_overrides != nullptr)
             options_.site_overrides->apply(req);
         applyAtomicOverrides(req);
-        return performRouted(ctx, req);
+        return performRouted(who, sm, req);
     }
-    return performRouted(ctx, req_in);
+    return performRouted(who, sm, req_in);
 }
 
 inline u64
-Engine::performRouted(ThreadCtx& ctx, const MemRequest& req)
+Engine::performRouted(const ThreadInfo& who, u32 sm, const MemRequest& req)
 {
     // Latency is overlapped with other resident warps; the issue slots
     // are not. Both terms matter: the ratio between an L1 hit and an L2
     // atomic as *observed throughput* is much smaller than the raw
     // latency ratio on a well-occupied GPU.
     if (use_fast_path_) {
-        // Hookless fast path (selected once per launch): fast mode
-        // never splits accesses, so every request is single-piece.
-        const auto result =
-            mem_subsystem_->performFast(ctx.info_, ctx.sm_, req);
-        sm_cycles_[ctx.sm_] += static_cast<u64>(spec_.issue_cycles) +
-                               hiddenCycles(result.latency);
+        // Hookless fast path (selected once per launch): immediate
+        // modes never split accesses, so every request is single-piece.
+        const auto result = mem_subsystem_->performFast(who, sm, req);
+        sm_cycles_[sm] += static_cast<u64>(spec_.issue_cycles) +
+                          hiddenCycles(result.latency);
         return result.value_bits;
     }
-    const auto result = mem_subsystem_->performPieces(
-        ctx.info_, ctx.sm_, req, 0, req.pieces());
-    sm_cycles_[ctx.sm_] +=
+    const auto result =
+        mem_subsystem_->performPieces(who, sm, req, 0, req.pieces());
+    sm_cycles_[sm] +=
         static_cast<u64>(spec_.issue_cycles) * req.pieces() +
         hiddenCycles(result.latency);
     return result.value_bits;
 }
 
+inline void
+Engine::warpAccess(WarpCtx& w, MemRequest& tmpl, u32 count)
+{
+    // One override application serves the whole warp: every lane of a
+    // warp op shares the op's site, so rewriting the template is the
+    // same transformation per-lane application would produce. (When the
+    // site table is not warp-uniform the launch fell back — the
+    // eligibility contract from ISSUE's spec — but the rewrite below is
+    // still per-op correct on the fallback route for the same reason.)
+    if (has_request_overrides_) [[unlikely]] {
+        if (options_.site_overrides != nullptr)
+            options_.site_overrides->apply(tmpl);
+        applyAtomicOverrides(tmpl);
+    }
+    if (warp_batch_live_) {
+        WarpAccessBatch batch;
+        batch.count = count;
+        batch.first_thread = w.base_tid_;
+        batch.addr = w.addr_;
+        batch.value = w.value_;
+        batch.compare = w.compare_;
+        batch.out = w.out_;
+        const auto hidden = [this](u64 latency) {
+            return hiddenCycles(latency);
+        };
+        // Profiling is allowed on the batched route (kProf mirrors
+        // routeTimingImpl); all other hooks were excluded by the
+        // launch's eligibility check.
+        const u64 charged =
+            trace_ ? mem_subsystem_->performWarp<true>(w.sm_, tmpl, batch,
+                                                       hidden)
+                   : mem_subsystem_->performWarp<false>(w.sm_, tmpl, batch,
+                                                        hidden);
+        sm_cycles_[w.sm_] += charged;
+        return;
+    }
+    // Per-lane fallback: the identical routed path scalar kernels take,
+    // one synthesized lane identity per access. Warp kernels never
+    // suspend, so there is no epoch (no barriers) and no word tearing.
+    for (u32 l = 0; l < count; ++l) {
+        MemRequest req = tmpl;
+        req.addr = w.addr_[l];
+        req.value = w.value_[l];
+        req.compare = w.compare_[l];
+        const ThreadInfo who{launch_counter_, w.base_tid_ + l, w.block_,
+                             0};
+        w.out_[l] = performRouted(who, w.sm_, req);
+    }
+}
+
 inline MemAwaiterBase::MemAwaiterBase(ThreadCtx* ctx, const MemRequest& req)
     : ctx_(ctx)
 {
-    if (ctx->engine_->fastMode()) {
-        result_bits_ = ctx->engine_->performImmediate(*ctx, req);
+    if (ctx->engine_->immediateMode()) {
+        result_bits_ =
+            ctx->engine_->performImmediate(ctx->info_, ctx->sm_, req);
         immediate_ = true;
     } else {
         new (&req_) MemRequest(req);
@@ -805,6 +1121,159 @@ MemAwaiterBase::await_resume()
 {
     return __builtin_expect(immediate_, 1) ? result_bits_
                                            : ctx_->pending_bits_;
+}
+
+// --- inline WarpCtx operations (need Engine) ---------------------------
+//
+// Each op gathers its lanes' addresses/operands into the SoA arrays and
+// issues ONE warpAccess for the warp. Like the scalar chain, every hop
+// lives in this header so a batched access flattens into a call-free
+// loop over the lane arrays.
+
+template <typename T, typename IdxFn>
+void
+WarpCtx::load(DevicePtr<T> ptr, IdxFn&& index_of, T* out, u32 count,
+              AccessMode mode, MemoryOrder order, Scope scope)
+{
+    const u32 n = count == kAllLanes ? lane_count_ : count;
+    for (u32 l = 0; l < n; ++l)
+        addr_[l] = ptr.rawAt(index_of(l));
+    MemRequest req =
+        opTemplate(sizeof(T), MemOpKind::kLoad, mode, order, scope);
+    engine_->warpAccess(*this, req, n);
+    for (u32 l = 0; l < n; ++l)
+        out[l] = detail::fromBits<T>(out_[l]);
+}
+
+template <typename T, typename IdxFn, typename ValFn>
+void
+WarpCtx::store(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& value_of,
+               u32 count, AccessMode mode, MemoryOrder order, Scope scope)
+{
+    const u32 n = count == kAllLanes ? lane_count_ : count;
+    for (u32 l = 0; l < n; ++l) {
+        addr_[l] = ptr.rawAt(index_of(l));
+        value_[l] = detail::toBits<T>(value_of(l));
+    }
+    MemRequest req =
+        opTemplate(sizeof(T), MemOpKind::kStore, mode, order, scope);
+    engine_->warpAccess(*this, req, n);
+}
+
+template <typename T, typename IdxFn, typename ValFn>
+void
+WarpCtx::rmwOp(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+               std::type_identity_t<T>* old_out, u32 count, RmwOp op, MemoryOrder order,
+               Scope scope)
+{
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8,
+                  "CUDA RMW atomics support 32- and 64-bit types only");
+    const u32 n = count == kAllLanes ? lane_count_ : count;
+    for (u32 l = 0; l < n; ++l) {
+        addr_[l] = ptr.rawAt(index_of(l));
+        value_[l] = detail::toBits<T>(operand_of(l));
+    }
+    MemRequest req = opTemplate(sizeof(T), MemOpKind::kRmw,
+                                AccessMode::kAtomic, order, scope);
+    req.rmw = op;
+    engine_->warpAccess(*this, req, n);
+    if (old_out != nullptr)
+        for (u32 l = 0; l < n; ++l)
+            old_out[l] = detail::fromBits<T>(out_[l]);
+}
+
+template <typename T, typename IdxFn, typename ValFn>
+void
+WarpCtx::atomicAdd(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+                   std::type_identity_t<T>* old_out, u32 count, MemoryOrder order, Scope scope)
+{
+    constexpr RmwOp op =
+        std::is_same_v<T, float> ? RmwOp::kAddF : RmwOp::kAdd;
+    rmwOp(ptr, std::forward<IdxFn>(index_of),
+          std::forward<ValFn>(operand_of), old_out, count, op, order,
+          scope);
+}
+
+template <typename T, typename IdxFn, typename ValFn>
+void
+WarpCtx::atomicMin(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+                   std::type_identity_t<T>* old_out, u32 count, MemoryOrder order, Scope scope)
+{
+    rmwOp(ptr, std::forward<IdxFn>(index_of),
+          std::forward<ValFn>(operand_of), old_out, count, RmwOp::kMin,
+          order, scope);
+}
+
+template <typename T, typename IdxFn, typename ValFn>
+void
+WarpCtx::atomicMax(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+                   std::type_identity_t<T>* old_out, u32 count, MemoryOrder order, Scope scope)
+{
+    rmwOp(ptr, std::forward<IdxFn>(index_of),
+          std::forward<ValFn>(operand_of), old_out, count, RmwOp::kMax,
+          order, scope);
+}
+
+template <typename T, typename IdxFn, typename ValFn>
+void
+WarpCtx::atomicAnd(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+                   std::type_identity_t<T>* old_out, u32 count, MemoryOrder order, Scope scope)
+{
+    rmwOp(ptr, std::forward<IdxFn>(index_of),
+          std::forward<ValFn>(operand_of), old_out, count, RmwOp::kAnd,
+          order, scope);
+}
+
+template <typename T, typename IdxFn, typename ValFn>
+void
+WarpCtx::atomicOr(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& operand_of,
+                  std::type_identity_t<T>* old_out, u32 count, MemoryOrder order, Scope scope)
+{
+    rmwOp(ptr, std::forward<IdxFn>(index_of),
+          std::forward<ValFn>(operand_of), old_out, count, RmwOp::kOr,
+          order, scope);
+}
+
+template <typename T, typename IdxFn, typename ValFn>
+void
+WarpCtx::atomicExch(DevicePtr<T> ptr, IdxFn&& index_of, ValFn&& desired_of,
+                    std::type_identity_t<T>* old_out, u32 count, MemoryOrder order, Scope scope)
+{
+    rmwOp(ptr, std::forward<IdxFn>(index_of),
+          std::forward<ValFn>(desired_of), old_out, count, RmwOp::kExch,
+          order, scope);
+}
+
+template <typename T, typename IdxFn, typename CmpFn, typename ValFn>
+void
+WarpCtx::atomicCas(DevicePtr<T> ptr, IdxFn&& index_of, CmpFn&& expected_of,
+                   ValFn&& desired_of, std::type_identity_t<T>* old_out, u32 count,
+                   MemoryOrder order, Scope scope)
+{
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8,
+                  "CUDA RMW atomics support 32- and 64-bit types only");
+    const u32 n = count == kAllLanes ? lane_count_ : count;
+    for (u32 l = 0; l < n; ++l) {
+        addr_[l] = ptr.rawAt(index_of(l));
+        compare_[l] = detail::toBits<T>(expected_of(l));
+        value_[l] = detail::toBits<T>(desired_of(l));
+    }
+    MemRequest req = opTemplate(sizeof(T), MemOpKind::kRmw,
+                                AccessMode::kAtomic, order, scope);
+    req.rmw = RmwOp::kCas;
+    engine_->warpAccess(*this, req, n);
+    if (old_out != nullptr)
+        for (u32 l = 0; l < n; ++l)
+            old_out[l] = detail::fromBits<T>(out_[l]);
+}
+
+inline void
+WarpCtx::work(u32 cycles)
+{
+    // Every active lane does the work, exactly as `lanes()` scalar
+    // threads each calling ThreadCtx::work(cycles) would charge.
+    engine_->sm_cycles_[sm_] +=
+        static_cast<u64>(cycles) * static_cast<u64>(lane_count_);
 }
 
 }  // namespace eclsim::simt

@@ -20,6 +20,12 @@ FramePool::Scope::~Scope()
     t_current_pool = prev_;
 }
 
+bool
+FramePool::scopeActive()
+{
+    return t_current_pool != nullptr;
+}
+
 FramePool::~FramePool()
 {
     if (outstanding_ != 0) {

@@ -49,6 +49,12 @@ class FramePool
     /** Return a frame to the pool that allocated it (or the system). */
     static void deallocateFrame(void* frame) noexcept;
 
+    /** True while some pool is installed as the calling thread's current
+     *  pool. Warp-batched launches are frame-free (no coroutines, so no
+     *  Scope is installed); the engine asserts this stays false across
+     *  them to catch any coroutine allocation sneaking onto that path. */
+    static bool scopeActive();
+
     /** Installs a pool as the calling thread's current pool, restoring
      *  the previous one on destruction. */
     class Scope

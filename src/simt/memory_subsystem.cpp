@@ -51,6 +51,9 @@ MemorySubsystem::MemorySubsystem(const GpuSpec& spec, DeviceMemory& memory,
         c_l2_miss_ = prof_->id("sim/mem/l2_miss");
         c_dram_ = prof_->id("sim/mem/dram_access");
         c_atomic_block_ = prof_->id("sim/mem/atomic_block_scope");
+        c_bat_ops_ = prof_->id("sim/mem/batch/warp_ops");
+        c_bat_lines_ = prof_->id("sim/mem/batch/line_probes");
+        c_bat_coal_ = prof_->id("sim/mem/batch/lanes_coalesced");
         if (perturb_) {
             c_delayed_ = prof_->id("sim/perturb/store_delayed");
             c_dup_ = prof_->id("sim/perturb/store_duplicated");
@@ -65,6 +68,11 @@ MemorySubsystem::MemorySubsystem(const GpuSpec& spec, DeviceMemory& memory,
             options_.line_bytes, options_.l1_ways);
     // bytes/cycle = (GB/s) / (GHz) = bytes per clock of the core clock.
     dram_bytes_per_cycle_ = spec_.mem_bandwidth_gbps / spec_.clock_ghz;
+    // log2(line_bytes): same-line run detection in performWarp shifts
+    // instead of dividing, mirroring CacheModel's line index.
+    while ((u32{1} << line_shift_) < options_.line_bytes)
+        ++line_shift_;
+
 }
 
 void

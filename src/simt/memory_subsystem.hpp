@@ -75,6 +75,23 @@ struct MemoryCounters
     MemoryCounters& operator+=(const MemoryCounters& other);
 };
 
+/**
+ * Engine-lifetime counters of the warp-batched access route (see
+ * MemorySubsystem::performWarp). `line_probes` counts real tag/LRU
+ * searches; `lanes - line_probes` lanes were served from a probe an
+ * earlier lane of the same warp op already paid for — the coalescing
+ * win the batched mode exists for. Cumulative across launches (unlike
+ * MemoryCounters, which reset per launch) so bench/tests can difference
+ * them around any window.
+ */
+struct WarpBatchCounters
+{
+    u64 warp_ops = 0;         ///< batched warp ops executed
+    u64 lanes = 0;            ///< lanes across all batched ops
+    u64 line_probes = 0;      ///< first-level tag/LRU probes performed
+    u64 coalesced_lanes = 0;  ///< lanes served without their own probe
+};
+
 /** The simulated memory hierarchy (see file comment). */
 class MemorySubsystem
 {
@@ -151,6 +168,39 @@ class MemorySubsystem
     PieceResult performFast(const ThreadInfo& who, u32 sm,
                             const MemRequest& req);
 
+    /**
+     * Batched warp entry point (the ExecMode::kWarpBatched hot path):
+     * execute one warp op — the request template `tmpl` over the
+     * batch's per-lane addr/value/compare arrays — as a whole.
+     * Functional effects run in lane order (RMWs to the same address
+     * fold sequentially, exactly as the per-lane route would); timing
+     * groups *adjacent* lanes that touch the same cache line into runs
+     * and pays one tag/LRU probe per run (CacheModel::accessCoalesced),
+     * so a fully coalesced 32-lane load costs one L1 search instead of
+     * 32. Grouping is adjacency-based rather than a sort: a sort would
+     * reorder the probes and break bit-parity with the per-lane path,
+     * while for coalesced access patterns — the ones batching exists
+     * for — adjacency already *is* sorted order. Values, counters,
+     * cache statistics, and charged cycles are bit-identical to issuing
+     * the lanes one by one through performFast/performPieces.
+     *
+     * Callable only when detector/perturb/observer are absent (the
+     * engine's batch eligibility guarantees this); the profiling
+     * registry is allowed and compiled in via kProf, mirroring
+     * routeTimingImpl. `hidden` maps a latency to its hidden-cycle
+     * charge (Engine::hiddenCycles); the return value is the total
+     * issue + hidden cycles to charge the SM for all lanes.
+     */
+    template <bool kProf, typename HiddenFn>
+    u64 performWarp(u32 sm, const MemRequest& tmpl,
+                    const WarpAccessBatch& batch, HiddenFn&& hidden);
+
+    /** Warp-batch route counters (engine lifetime; see the struct). */
+    const WarpBatchCounters& warpBatchCounters() const
+    {
+        return batch_counters_;
+    }
+
     /** Counters accumulated since the last beginLaunch(), including the
      *  cache hit/miss statistics gathered in the same window. */
     MemoryCounters launchCounters() const;
@@ -192,6 +242,19 @@ class MemorySubsystem
                         bool is_store);
     u64 routeTiming(u32 sm, u64 addr, const MemRequest& req, bool is_store);
 
+    /**
+     * Coalesced-run twin of routeTimingImpl: route a run of `run`
+     * same-line lanes with one first-level probe, writing the first
+     * lane's latency (which may miss) and the remaining lanes' latency
+     * (guaranteed hits — the line was just touched) separately. Stats
+     * and counters land exactly as `run` sequential routeTimingImpl
+     * calls would; see performWarp.
+     */
+    template <bool kProf>
+    void routeTimingCoalesced(u32 sm, u64 addr, const MemRequest& req,
+                              bool is_store, u32 run, u64& first_latency,
+                              u64& rest_latency);
+
     /** One racy store held in the simulated write buffer. */
     struct PendingStore
     {
@@ -222,7 +285,11 @@ class MemorySubsystem
     std::vector<CacheModel> l1_caches_;
     CacheModel l2_cache_;
     MemoryCounters counters_;
+    WarpBatchCounters batch_counters_;  ///< cumulative (see the struct)
     double dram_bytes_per_cycle_;
+    /** log2(options_.line_bytes): performWarp's division-free
+     *  adjacent-lane same-line run detection. */
+    u32 line_shift_ = 0;
 
     // perturbation state (inert when perturb_ is null)
     PerturbationHooks* perturb_ = nullptr;
@@ -249,6 +316,8 @@ class MemorySubsystem
     prof::CounterId c_dram_ = 0, c_atomic_block_ = 0;
     prof::CounterId c_delayed_ = 0, c_dup_ = 0, c_dropped_ = 0,
                     c_skip_ = 0;
+    // warp-batch route (sim/mem/batch/...)
+    prof::CounterId c_bat_ops_ = 0, c_bat_lines_ = 0, c_bat_coal_ = 0;
 };
 
 // --- inline hot path ------------------------------------------------------
@@ -422,6 +491,278 @@ MemorySubsystem::performFast(const ThreadInfo& who, u32 sm,
     if (req.kind == MemOpKind::kRmw || req.mode == AccessMode::kAtomic)
         ++counters_.atomic_accesses;
     return result;
+}
+
+template <bool kProf>
+void
+MemorySubsystem::routeTimingCoalesced(u32 sm, u64 addr,
+                                      const MemRequest& req, bool is_store,
+                                      u32 run, u64& first_latency,
+                                      u64& rest_latency)
+{
+    const bool is_atomic =
+        req.kind == MemOpKind::kRmw || req.mode == AccessMode::kAtomic;
+
+    if (req.mode == AccessMode::kPlain && req.kind != MemOpKind::kRmw) {
+        // Regular path: per-SM L1, then L2, then DRAM. Only the run's
+        // first lane can miss the L1; a miss allocates the line, so the
+        // remaining run-1 lanes hit it and never reach the L2 — exactly
+        // the per-lane sequence.
+        if (l1_caches_[sm].accessCoalesced(addr, is_store, run)) {
+            if constexpr (kProf)
+                prof_->add(c_l1_hit_, run);
+            first_latency = rest_latency = spec_.l1_latency;
+            return;
+        }
+        if constexpr (kProf) {
+            prof_->add(c_l1_miss_);
+            if (run > 1)
+                prof_->add(c_l1_hit_, run - 1);
+        }
+        rest_latency = spec_.l1_latency;
+        if (l2_cache_.access(addr, is_store)) {
+            if constexpr (kProf)
+                prof_->add(c_l2_hit_);
+            first_latency = spec_.l2_latency;
+            return;
+        }
+        if constexpr (kProf) {
+            prof_->add(c_l2_miss_);
+            prof_->add(c_dram_);
+        }
+        counters_.dram_bytes += options_.dram_sector_bytes;
+        first_latency = spec_.dram_latency;
+        return;
+    }
+
+    // Block-scope atomics resolve inside the SM; the per-lane route
+    // charges l1_latency + extras regardless of hit/miss, so the whole
+    // run shares one latency and the probe only feeds the statistics.
+    if (is_atomic && req.scope == Scope::kBlock &&
+        spec_.block_scope_in_sm) {
+        l1_caches_[sm].accessCoalesced(addr, is_store, run);
+        if constexpr (kProf)
+            prof_->add(c_atomic_block_, run);
+        u64 latency = spec_.l1_latency + spec_.atomic_extra;
+        if (req.kind == MemOpKind::kRmw)
+            latency += spec_.rmw_extra;
+        latency += orderingCost(req.order);
+        first_latency = rest_latency = latency;
+        return;
+    }
+
+    // Volatile and device/system-scope atomic accesses resolve at the
+    // L2; every lane pays the atomic-unit extras, only the first can
+    // miss to DRAM.
+    u64 extra = 0;
+    if (is_atomic) {
+        extra = spec_.atomic_extra;
+        if (req.kind == MemOpKind::kRmw)
+            extra += spec_.rmw_extra;
+        extra += orderingCost(req.order);
+        if (req.scope == Scope::kSystem)
+            extra += spec_.system_scope_extra;
+    }
+    if (l2_cache_.accessCoalesced(addr, is_store, run)) {
+        if constexpr (kProf)
+            prof_->add(c_l2_hit_, run);
+        first_latency = rest_latency = spec_.l2_latency + extra;
+        return;
+    }
+    if constexpr (kProf) {
+        prof_->add(c_l2_miss_);
+        prof_->add(c_dram_);
+        if (run > 1)
+            prof_->add(c_l2_hit_, run - 1);
+    }
+    counters_.dram_bytes += options_.dram_sector_bytes;
+    first_latency = spec_.dram_latency + extra;
+    rest_latency = spec_.l2_latency + extra;
+}
+
+template <bool kProf, typename HiddenFn>
+u64
+MemorySubsystem::performWarp(u32 sm, const MemRequest& tmpl,
+                             const WarpAccessBatch& batch,
+                             HiddenFn&& hidden)
+{
+    // Warp-batched specialization of `count` performFast calls (or,
+    // with kProf, performPieces calls — profiling does not disqualify
+    // batching). Functional pass first, timing pass second: the arena
+    // and the caches are disjoint state, and within each pass lanes run
+    // in lane order, so the interleaving difference vs the per-lane
+    // route is unobservable. The engine's eligibility check guarantees
+    // no detector/perturb/observer hooks here.
+    ECLSIM_ASSERT(sm < l1_caches_.size(), "SM {} out of range", sm);
+    ECLSIM_ASSERT(batch.count > 0, "empty warp batch");
+
+    const u32 count = batch.count;
+    const u64* addr = batch.addr;
+    const u64 mask = tmpl.size == 8
+                         ? ~u64{0}
+                         : ((u64{1} << (8 * tmpl.size)) - 1);
+
+    // --- functional pass (lane order) --------------------------------
+    if (tmpl.kind == MemOpKind::kLoad) {
+        const bool check_snapshot =
+            tmpl.mode != AccessMode::kAtomic && sweep_check_live_;
+        if (!check_snapshot) {
+            for (u32 l = 0; l < count; ++l)
+                batch.out[l] = memory_.loadLive(addr[l], tmpl.size);
+        } else {
+            // Per-warp hoist of the visibility lookup: when every lane
+            // falls inside lane 0's allocation (the overwhelmingly
+            // common case — a warp op reads one array) the
+            // allocation-table walk and the visibility decision happen
+            // once, not per lane.
+            const Allocation& alloc = memory_.allocationAt(addr[0]);
+            bool same_alloc = true;
+            for (u32 l = 1; l < count; ++l)
+                same_alloc &= addr[l] >= alloc.offset &&
+                              addr[l] - alloc.offset + tmpl.size <=
+                                  alloc.bytes;
+            if (same_alloc &&
+                alloc.visibility != Visibility::kSweepSnapshot) {
+                for (u32 l = 0; l < count; ++l)
+                    batch.out[l] = memory_.loadLive(addr[l], tmpl.size);
+            } else if (same_alloc) {
+                for (u32 l = 0; l < count; ++l)
+                    batch.out[l] = memory_.loadSnapshotAware(
+                        addr[l], tmpl.size, batch.first_thread + l);
+                counters_.stale_reads += count;
+                if constexpr (kProf)
+                    prof_->add(c_stale_, count);
+            } else {
+                // Lanes span allocations: decide per lane, exactly like
+                // the per-lane route.
+                for (u32 l = 0; l < count; ++l) {
+                    if (memory_.allocationAt(addr[l]).visibility ==
+                        Visibility::kSweepSnapshot) {
+                        batch.out[l] = memory_.loadSnapshotAware(
+                            addr[l], tmpl.size, batch.first_thread + l);
+                        ++counters_.stale_reads;
+                        if constexpr (kProf)
+                            prof_->add(c_stale_);
+                    } else {
+                        batch.out[l] =
+                            memory_.loadLive(addr[l], tmpl.size);
+                    }
+                }
+            }
+        }
+        counters_.loads += count;
+        if constexpr (kProf)
+            prof_->add(c_load_, count);
+    } else if (tmpl.kind == MemOpKind::kStore) {
+        const bool snap = memory_.hasSnapshotAllocs();
+        for (u32 l = 0; l < count; ++l) {
+            memory_.storeLive(addr[l], tmpl.size, batch.value[l] & mask);
+            if (snap && memory_.allocationAt(addr[l]).visibility ==
+                            Visibility::kSweepSnapshot) [[unlikely]] {
+                memory_.noteWriter(addr[l], tmpl.size,
+                                   batch.first_thread + l);
+            }
+        }
+        counters_.stores += count;
+        if constexpr (kProf)
+            prof_->add(c_store_, count);
+    } else {
+        // Read-modify-write: lanes fold sequentially in lane order, so
+        // same-address RMWs within the warp observe each other exactly
+        // as the per-lane route would.
+        const bool snap = memory_.hasSnapshotAllocs();
+        for (u32 l = 0; l < count; ++l) {
+            const u64 old_bits = memory_.loadLive(addr[l], tmpl.size);
+            const u64 operand = batch.value[l];
+            u64 new_bits = old_bits;
+            switch (tmpl.rmw) {
+              case RmwOp::kAdd:
+                new_bits = (old_bits + operand) & mask;
+                break;
+              case RmwOp::kMin:
+                new_bits = std::min(old_bits, operand & mask);
+                break;
+              case RmwOp::kMax:
+                new_bits = std::max(old_bits, operand & mask);
+                break;
+              case RmwOp::kAnd:
+                new_bits = old_bits & operand;
+                break;
+              case RmwOp::kOr:
+                new_bits = old_bits | operand;
+                break;
+              case RmwOp::kExch:
+                new_bits = operand & mask;
+                break;
+              case RmwOp::kCas:
+                if (old_bits == (batch.compare[l] & mask))
+                    new_bits = operand & mask;
+                break;
+              case RmwOp::kAddF:
+                new_bits = static_cast<u64>(std::bit_cast<u32>(
+                    std::bit_cast<float>(static_cast<u32>(old_bits)) +
+                    std::bit_cast<float>(static_cast<u32>(operand))));
+                break;
+            }
+            if (new_bits != old_bits) {
+                memory_.storeLive(addr[l], tmpl.size, new_bits);
+                if (snap && memory_.allocationAt(addr[l]).visibility ==
+                                Visibility::kSweepSnapshot) {
+                    memory_.noteWriter(addr[l], tmpl.size,
+                                       batch.first_thread + l);
+                }
+            }
+            batch.out[l] = old_bits;
+        }
+        counters_.rmws += count;
+        if constexpr (kProf)
+            prof_->add(c_rmw_, count);
+    }
+
+    // --- timing pass: adjacent same-line runs, one probe per run -----
+    const bool is_store = tmpl.kind != MemOpKind::kLoad;
+    const u64 issue = spec_.issue_cycles;
+    u64 charged = 0;
+    u32 probes = 0;
+    u32 l = 0;
+    while (l < count) {
+        const u64 line = addr[l] >> line_shift_;
+        u32 end = l + 1;
+        while (end < count && (addr[end] >> line_shift_) == line)
+            ++end;
+        const u32 run = end - l;
+        u64 first_latency = 0, rest_latency = 0;
+        routeTimingCoalesced<kProf>(sm, addr[l], tmpl, is_store, run,
+                                    first_latency, rest_latency);
+        charged += issue + hidden(first_latency);
+        if (run > 1)
+            charged += static_cast<u64>(run - 1) *
+                       (issue + hidden(rest_latency));
+        ++probes;
+        l = end;
+    }
+
+    ++batch_counters_.warp_ops;
+    batch_counters_.lanes += count;
+    batch_counters_.line_probes += probes;
+    batch_counters_.coalesced_lanes += count - probes;
+    if constexpr (kProf) {
+        prof_->add(c_bat_ops_);
+        prof_->add(c_bat_lines_, probes);
+        prof_->add(c_bat_coal_, count - probes);
+    }
+
+    const bool is_atomic =
+        tmpl.kind == MemOpKind::kRmw || tmpl.mode == AccessMode::kAtomic;
+    if (is_atomic) {
+        counters_.atomic_accesses += count;
+        if constexpr (kProf)
+            prof_->add(c_atomic_, count);
+    } else if (tmpl.mode == AccessMode::kVolatile) {
+        if constexpr (kProf)
+            prof_->add(c_volatile_, count);
+    }
+    return charged;
 }
 
 }  // namespace eclsim::simt

@@ -116,6 +116,35 @@ class SiteOverrideTable
         req.scope = override_value->scope;
     }
 
+    /**
+     * True when every installed override names the identical target
+     * {mode, order, scope}. A warp op carries one site shared by all
+     * its lanes, so the warp-batched engine rewrites the op's request
+     * template once per warp instead of once per lane; it restricts
+     * that lift to warp-uniform tables (the per-warp and per-lane
+     * applications are then trivially the same rewrite) and falls back
+     * to the per-lane path for heterogeneous tables. Empty tables are
+     * vacuously uniform. O(table size); called once per launch.
+     */
+    bool
+    warpUniform() const
+    {
+        const SiteOverride* first = nullptr;
+        for (size_t site = 0; site < present_.size(); ++site) {
+            if (!present_[site])
+                continue;
+            const SiteOverride& o = slots_[site];
+            if (first == nullptr) {
+                first = &o;
+                continue;
+            }
+            if (o.mode != first->mode || o.order != first->order ||
+                o.scope != first->scope)
+                return false;
+        }
+        return true;
+    }
+
     /** True if apply() would change this request. */
     bool
     wouldChange(const MemRequest& req) const

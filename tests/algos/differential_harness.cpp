@@ -47,7 +47,15 @@ const char* const kDiffUndirectedKinds[] = {"grid", "rmat", "pref",
 std::string
 modeTag(simt::ExecMode mode)
 {
-    return mode == simt::ExecMode::kFast ? "fast" : "ilv";
+    switch (mode) {
+    case simt::ExecMode::kFast:
+        return "fast";
+    case simt::ExecMode::kInterleaved:
+        return "ilv";
+    case simt::ExecMode::kWarpBatched:
+        return "batch";
+    }
+    return "?";
 }
 
 }  // namespace
@@ -88,8 +96,9 @@ diffCells(algos::Algo algo)
     for (const std::string& kind : kinds)
         for (algos::Variant variant :
              {algos::Variant::kBaseline, algos::Variant::kRaceFree})
-            for (simt::ExecMode mode : {simt::ExecMode::kFast,
-                                        simt::ExecMode::kInterleaved}) {
+            for (simt::ExecMode mode :
+                 {simt::ExecMode::kFast, simt::ExecMode::kInterleaved,
+                  simt::ExecMode::kWarpBatched}) {
                 // See diffCells doc: PR baseline under the adversarial
                 // interleaver sits outside any useful L1 bound.
                 if (algo == algos::Algo::kPr &&
@@ -112,7 +121,8 @@ diffCellsApsp()
     std::vector<DiffCell> cells;
     for (const char* kind : kApspKinds)
         for (simt::ExecMode mode :
-             {simt::ExecMode::kFast, simt::ExecMode::kInterleaved}) {
+             {simt::ExecMode::kFast, simt::ExecMode::kInterleaved,
+              simt::ExecMode::kWarpBatched}) {
             DiffCell cell;
             cell.apsp = true;
             cell.kind = kind;

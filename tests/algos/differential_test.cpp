@@ -30,18 +30,18 @@ using algos::Algo;
 
 TEST(DifferentialCells, StableNamesAndCounts)
 {
-    // 4 kinds x 2 variants x 2 modes for the undirected codes...
-    EXPECT_EQ(diffCells(Algo::kCc).size(), 16u);
-    EXPECT_EQ(diffCells(Algo::kWcc).size(), 16u);
+    // 4 kinds x 2 variants x 3 modes for the undirected codes...
+    EXPECT_EQ(diffCells(Algo::kCc).size(), 24u);
+    EXPECT_EQ(diffCells(Algo::kWcc).size(), 24u);
     // ...and for the directed ones (4 directed kinds)...
-    EXPECT_EQ(diffCells(Algo::kScc).size(), 16u);
-    EXPECT_EQ(diffCells(Algo::kBfs).size(), 16u);
+    EXPECT_EQ(diffCells(Algo::kScc).size(), 24u);
+    EXPECT_EQ(diffCells(Algo::kBfs).size(), 24u);
     // ...except PageRank, whose baseline skips the interleaved mode
     // (see diffCells doc).
-    EXPECT_EQ(diffCells(Algo::kPr).size(), 12u);
-    EXPECT_EQ(diffCellsApsp().size(), 6u);
-    // 6 algos x 16 + PR's 12 + APSP's 6.
-    EXPECT_EQ(allDiffCells().size(), 6u * 16u + 16u + 12u + 6u);
+    EXPECT_EQ(diffCells(Algo::kPr).size(), 20u);
+    EXPECT_EQ(diffCellsApsp().size(), 9u);
+    // 7 algos x 24 + PR's 20 + APSP's 9.
+    EXPECT_EQ(allDiffCells().size(), 7u * 24u + 20u + 9u);
 
     const auto cc = diffCells(Algo::kCc);
     EXPECT_EQ(diffCellName(cc.front()), "CC/baseline/grid/fast");
@@ -52,7 +52,7 @@ TEST(DifferentialCells, PrBaselineNeverRunsInterleaved)
 {
     for (const DiffCell& cell : diffCells(Algo::kPr))
         if (cell.variant == algos::Variant::kBaseline)
-            EXPECT_EQ(cell.mode, simt::ExecMode::kFast)
+            EXPECT_NE(cell.mode, simt::ExecMode::kInterleaved)
                 << diffCellName(cell);
 }
 

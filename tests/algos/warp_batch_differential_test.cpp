@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Differential properties of ExecMode::kWarpBatched across the full
+ * algorithm portfolio (the eight Algo values plus APSP):
+ *
+ *  - batch ≡ fast, bit-exact per cell: every algorithm kernel is a
+ *    scalar coroutine, so a batch-mode launch falls back to the fast
+ *    route (BatchFallback::kScalarKernel) and every measurement —
+ *    simulated ms, cycles, launches, iterations, and all memory
+ *    counters — must match the kFast run exactly. This is what keeps
+ *    the paper-table CSVs byte-identical across --exec-mode.
+ *  - three-way access-count parity on APSP: APSP is race free by
+ *    construction, so even the interleaved scheduler must perform the
+ *    same loads/stores/RMWs (timing differs; the work must not).
+ *  - batch-mode cells obey the PR-2 determinism contract: jobs=1 and
+ *    jobs=8 render byte-identical measurement CSVs.
+ */
+#include <gtest/gtest.h>
+
+#include "algos/apsp.hpp"
+#include "differential_harness.hpp"
+
+namespace eclsim::test {
+namespace {
+
+/** The cell set of one algorithm restricted to `mode` (topology x
+ *  variant breadth comes from diffCells). */
+std::vector<DiffCell>
+cellsInMode(const std::vector<DiffCell>& all, simt::ExecMode mode)
+{
+    std::vector<DiffCell> out;
+    for (DiffCell cell : all) {
+        if (cell.mode != simt::ExecMode::kFast)
+            continue;
+        cell.mode = mode;
+        out.push_back(cell);
+    }
+    return out;
+}
+
+void
+expectCellBitExact(const DiffResult& a, const DiffResult& b)
+{
+    const std::string name = diffCellName(a.cell);
+    EXPECT_EQ(a.verdict.valid, b.verdict.valid) << name;
+    EXPECT_EQ(a.stats.ms, b.stats.ms) << name;
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles) << name;
+    EXPECT_EQ(a.stats.launches, b.stats.launches) << name;
+    EXPECT_EQ(a.stats.iterations, b.stats.iterations) << name;
+    EXPECT_EQ(a.stats.mem.loads, b.stats.mem.loads) << name;
+    EXPECT_EQ(a.stats.mem.stores, b.stats.mem.stores) << name;
+    EXPECT_EQ(a.stats.mem.rmws, b.stats.mem.rmws) << name;
+    EXPECT_EQ(a.stats.mem.atomic_accesses, b.stats.mem.atomic_accesses)
+        << name;
+    EXPECT_EQ(a.stats.mem.stale_reads, b.stats.mem.stale_reads) << name;
+    EXPECT_EQ(a.stats.mem.dram_bytes, b.stats.mem.dram_bytes) << name;
+}
+
+void
+expectBatchMatchesFast(const std::vector<DiffCell>& all_cells)
+{
+    const auto fast_cells = cellsInMode(all_cells, simt::ExecMode::kFast);
+    const auto batch_cells =
+        cellsInMode(all_cells, simt::ExecMode::kWarpBatched);
+    ASSERT_FALSE(fast_cells.empty());
+    const auto fast = runDiffCells(fast_cells, 99, 1);
+    const auto batch = runDiffCells(batch_cells, 99, 1);
+    ASSERT_EQ(fast.size(), batch.size());
+    for (size_t i = 0; i < fast.size(); ++i)
+        expectCellBitExact(fast[i], batch[i]);
+}
+
+TEST(WarpBatchDifferentialTest, BatchMatchesFastBitExactUndirected)
+{
+    for (algos::Algo algo :
+         {algos::Algo::kCc, algos::Algo::kGc, algos::Algo::kMis,
+          algos::Algo::kMst, algos::Algo::kWcc})
+        expectBatchMatchesFast(diffCells(algo));
+}
+
+TEST(WarpBatchDifferentialTest, BatchMatchesFastBitExactDirected)
+{
+    for (algos::Algo algo :
+         {algos::Algo::kScc, algos::Algo::kPr, algos::Algo::kBfs})
+        expectBatchMatchesFast(diffCells(algo));
+}
+
+TEST(WarpBatchDifferentialTest, BatchMatchesFastBitExactApsp)
+{
+    expectBatchMatchesFast(diffCellsApsp());
+}
+
+TEST(WarpBatchDifferentialTest, ThreeModeAccessCountsAgreeForApsp)
+{
+    // APSP is race free by construction: the interleaved scheduler may
+    // charge different cycles, but the simulated *work* must be
+    // identical in all three modes.
+    for (const auto& fast_cell :
+         cellsInMode(diffCellsApsp(), simt::ExecMode::kFast)) {
+        DiffCell batch_cell = fast_cell;
+        batch_cell.mode = simt::ExecMode::kWarpBatched;
+        DiffCell inter_cell = fast_cell;
+        inter_cell.mode = simt::ExecMode::kInterleaved;
+
+        const auto fast = runDiffCell(fast_cell, 7);
+        const auto batch = runDiffCell(batch_cell, 7);
+        const auto inter = runDiffCell(inter_cell, 7);
+        const std::string name = diffCellName(fast_cell);
+        for (const auto* r : {&batch, &inter}) {
+            EXPECT_EQ(fast.stats.mem.loads, r->stats.mem.loads) << name;
+            EXPECT_EQ(fast.stats.mem.stores, r->stats.mem.stores) << name;
+            EXPECT_EQ(fast.stats.mem.rmws, r->stats.mem.rmws) << name;
+            EXPECT_EQ(fast.stats.iterations, r->stats.iterations) << name;
+        }
+    }
+}
+
+TEST(WarpBatchDifferentialTest, BatchModeCellsAreJobsDeterministic)
+{
+    // A representative batch-mode subset through the full jobs=1 vs
+    // jobs=8 CSV-identity check (the all-modes sweep lives in
+    // algos_differential_test).
+    auto cells = cellsInMode(diffCells(algos::Algo::kCc),
+                             simt::ExecMode::kWarpBatched);
+    const auto apsp =
+        cellsInMode(diffCellsApsp(), simt::ExecMode::kWarpBatched);
+    cells.insert(cells.end(), apsp.begin(), apsp.end());
+    expectDifferentialProperty(cells);
+}
+
+}  // namespace
+}  // namespace eclsim::test

@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Tests of the warp-batched execution route (ExecMode::kWarpBatched):
+ * bit-identity between the batched SoA path and the per-lane routes
+ * (including tail warps and partial-count ops), the per-launch
+ * eligibility checks and their fallback reasons, the coalescing
+ * counters (one line probe per touched 128-byte line), and the
+ * sim/mem/batch/* profiling counters.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "prof/trace.hpp"
+#include "simt/engine.hpp"
+#include "simt/observer.hpp"
+#include "simt/perturb.hpp"
+#include "simt/site_override.hpp"
+
+namespace eclsim::simt {
+namespace {
+
+void
+expectSameCacheStats(const CacheStats& a, const CacheStats& b,
+                     const char* which)
+{
+    EXPECT_EQ(a.load_hits, b.load_hits) << which;
+    EXPECT_EQ(a.load_misses, b.load_misses) << which;
+    EXPECT_EQ(a.store_hits, b.store_hits) << which;
+    EXPECT_EQ(a.store_misses, b.store_misses) << which;
+}
+
+void
+expectSameCounters(const MemoryCounters& a, const MemoryCounters& b)
+{
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.rmws, b.rmws);
+    EXPECT_EQ(a.atomic_accesses, b.atomic_accesses);
+    EXPECT_EQ(a.stale_reads, b.stale_reads);
+    EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+    expectSameCacheStats(a.l1, b.l1, "l1");
+    expectSameCacheStats(a.l2, b.l2, "l2");
+}
+
+/**
+ * Runs a mixed warp kernel — coalesced loads/stores, a volatile store,
+ * scattered atomicAdds, same-address RMW folding (atomicMin with
+ * old-value capture), exchange and CAS — over a shape with tail warps
+ * (block_x = 48: warps of 32 and 16 lanes) and partial-count ops (the
+ * grid-stride tail clamps `count` below lanes()). Returns the stats
+ * and the final memory image.
+ */
+LaunchStats
+runWarpMixed(EngineOptions options, std::vector<u32>* image_out,
+             BatchLaunchInfo* batch_out = nullptr)
+{
+    options.seed = 7;
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, options);
+
+    const u32 n = 1 << 12;
+    auto data = memory.alloc<u32>(n, "data");
+    auto hist = memory.alloc<u32>(64, "hist");
+    auto best = memory.alloc<u32>(1, "best");
+    auto casbuf = memory.alloc<u32>(n, "casbuf");
+    memory.fill(best, 1, ~u32{0});
+
+    LaunchConfig cfg;
+    cfg.grid = 8;
+    cfg.block_x = 48;  // not a warp multiple: every block has a 16-lane
+                       // tail warp
+    const u32 stride = cfg.totalThreads();
+
+    const auto stats = engine.launch(
+        "warp_mixed", cfg, [&](WarpCtx& w) {
+            u32 v[WarpCtx::kMaxLanes];
+            u32 old[WarpCtx::kMaxLanes];
+            for (u32 i = w.warpBase(); i < n; i += stride) {
+                const u32 cnt = std::min(w.lanes(), n - i);
+                const auto idx = [i](u32 l) { return i + l; };
+                w.load(data, idx, v, cnt);
+                w.store(
+                    data, idx, [&](u32 l) { return v[l] + 1; }, cnt);
+                w.store(
+                    data, idx, [&](u32 l) { return v[l] ^ l; }, cnt,
+                    AccessMode::kVolatile);
+                w.atomicAdd(
+                    hist,
+                    [&](u32 l) { return ((i + l) * 2654435761u) % 64; },
+                    [](u32) { return u32{1}; }, nullptr, cnt);
+                // Same-address RMW: lanes fold sequentially, each
+                // observing the previous lane's result.
+                w.atomicMin(
+                    best, [](u32) { return u32{0}; },
+                    [&](u32 l) { return v[l] + i; }, old, cnt);
+                w.atomicMax(
+                    hist, [&](u32 l) { return (i + l) % 64; },
+                    [&](u32 l) { return old[l] % 977; }, nullptr, cnt);
+                w.atomicExch(
+                    casbuf, idx, [&](u32 l) { return old[l]; }, nullptr,
+                    cnt);
+                w.atomicCas(
+                    casbuf, idx, [&](u32 l) { return old[l]; },
+                    [&](u32 l) { return v[l] + 3 * l; }, old, cnt);
+            }
+        });
+
+    if (batch_out != nullptr)
+        *batch_out = engine.lastBatch();
+    if (image_out != nullptr) {
+        *image_out = memory.download(data, n);
+        const auto hist_img = memory.download(hist, 64);
+        const auto cas_img = memory.download(casbuf, n);
+        image_out->insert(image_out->end(), hist_img.begin(),
+                          hist_img.end());
+        image_out->insert(image_out->end(), cas_img.begin(),
+                          cas_img.end());
+        image_out->push_back(memory.read(best));
+    }
+    return stats;
+}
+
+EngineOptions
+modeOptions(ExecMode mode, bool force_slow = false)
+{
+    EngineOptions options;
+    options.mode = mode;
+    options.force_slow_path = force_slow;
+    return options;
+}
+
+TEST(WarpBatchTest, BatchedAndPerLaneRoutesAreBitIdentical)
+{
+    std::vector<u32> batch_image, fast_image, slow_image;
+    BatchLaunchInfo batch_info, fast_info, slow_info;
+    const auto batch = runWarpMixed(modeOptions(ExecMode::kWarpBatched),
+                                    &batch_image, &batch_info);
+    const auto fast =
+        runWarpMixed(modeOptions(ExecMode::kFast), &fast_image, &fast_info);
+    const auto slow = runWarpMixed(
+        modeOptions(ExecMode::kWarpBatched, true), &slow_image, &slow_info);
+
+    EXPECT_TRUE(batch_info.batched);
+    EXPECT_EQ(batch_info.reason, BatchFallback::kNone);
+    EXPECT_FALSE(fast_info.batched);
+    EXPECT_EQ(fast_info.reason, BatchFallback::kNotBatchMode);
+    EXPECT_FALSE(slow_info.batched);
+    EXPECT_EQ(slow_info.reason, BatchFallback::kForcedSlow);
+
+    EXPECT_EQ(batch_image, fast_image)
+        << "batched route diverged from the per-lane fast route";
+    EXPECT_EQ(batch_image, slow_image)
+        << "batched route diverged from the forced general route";
+    EXPECT_EQ(batch.cycles, fast.cycles);
+    EXPECT_EQ(batch.cycles, slow.cycles);
+    EXPECT_EQ(batch.ms, fast.ms);
+    expectSameCounters(batch.mem, fast.mem);
+    expectSameCounters(batch.mem, slow.mem);
+}
+
+TEST(WarpBatchTest, InterleavedModeRunsWarpKernelsWithSameResults)
+{
+    // Warp kernels never suspend; in interleaved mode they take the
+    // same per-lane route and must produce identical results.
+    std::vector<u32> batch_image, inter_image;
+    BatchLaunchInfo inter_info;
+    const auto batch =
+        runWarpMixed(modeOptions(ExecMode::kWarpBatched), &batch_image);
+    const auto inter = runWarpMixed(modeOptions(ExecMode::kInterleaved),
+                                    &inter_image, &inter_info);
+    EXPECT_FALSE(inter_info.batched);
+    EXPECT_EQ(inter_info.reason, BatchFallback::kNotBatchMode);
+    EXPECT_EQ(batch_image, inter_image);
+    expectSameCounters(batch.mem, inter.mem);
+}
+
+TEST(WarpBatchTest, ScalarKernelsFallBackAndMatchFastMode)
+{
+    // Coroutine kernels are conservatively ineligible (the engine
+    // cannot prove their lanes converge): in kWarpBatched mode they run
+    // exactly as kFast would, which keeps every paper-table CSV
+    // byte-identical across --exec-mode.
+    const auto run = [](ExecMode mode, std::vector<u32>* image,
+                        BatchLaunchInfo* info) {
+        EngineOptions options;
+        options.mode = mode;
+        options.seed = 7;
+        DeviceMemory memory;
+        Engine engine(titanV(), memory, options);
+        const u32 n = 1 << 10;
+        auto data = memory.alloc<u32>(n, "data");
+        auto hist = memory.alloc<u32>(32, "hist");
+        const auto stats = engine.launch(
+            "scalar", launchFor(n, 128), [&](ThreadCtx& t) -> Task {
+                const u32 i = t.globalThreadId();
+                const u32 v = co_await t.load(data, i % n);
+                co_await t.store(data, i % n, v + i);
+                co_await t.atomicAdd(hist, i % 32, u32{1});
+            });
+        *info = engine.lastBatch();
+        *image = memory.download(data, n);
+        const auto hist_img = memory.download(hist, 32);
+        image->insert(image->end(), hist_img.begin(), hist_img.end());
+        return stats;
+    };
+
+    std::vector<u32> batch_image, fast_image;
+    BatchLaunchInfo batch_info, fast_info;
+    const auto batch =
+        run(ExecMode::kWarpBatched, &batch_image, &batch_info);
+    const auto fast = run(ExecMode::kFast, &fast_image, &fast_info);
+
+    EXPECT_TRUE(batch_info.attempted);
+    EXPECT_FALSE(batch_info.batched);
+    EXPECT_EQ(batch_info.reason, BatchFallback::kScalarKernel);
+    EXPECT_FALSE(fast_info.attempted)
+        << "scalar launches outside kWarpBatched are not candidates";
+
+    EXPECT_EQ(batch_image, fast_image);
+    EXPECT_EQ(batch.cycles, fast.cycles);
+    expectSameCounters(batch.mem, fast.mem);
+}
+
+/** Runs a trivial warp kernel under the given options; returns the
+ *  engine's last batch outcome and fallback count. */
+BatchLaunchInfo
+runTrivialWarp(EngineOptions options, u64* fallbacks_out = nullptr)
+{
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, options);
+    auto out = memory.alloc<u32>(256, "out");
+    LaunchConfig cfg;
+    cfg.grid = 2;
+    cfg.block_x = 128;
+    engine.launch("trivial", cfg, [&](WarpCtx& w) {
+        w.at(3).store(
+            out, [&](u32 l) { return w.warpBase() + l; },
+            [&](u32 l) { return l; });
+    });
+    if (fallbacks_out != nullptr)
+        *fallbacks_out = engine.batchFallbackLaunches();
+    return engine.lastBatch();
+}
+
+TEST(WarpBatchTest, PerturbHooksForceFallback)
+{
+    PerturbationHooks hooks;  // even do-nothing hooks disable batching
+    EngineOptions options = modeOptions(ExecMode::kWarpBatched);
+    options.perturb = &hooks;
+    u64 fallbacks = 0;
+    const auto info = runTrivialWarp(options, &fallbacks);
+    EXPECT_FALSE(info.batched);
+    EXPECT_EQ(info.reason, BatchFallback::kPerturbHooks);
+    EXPECT_EQ(fallbacks, 1u);
+}
+
+TEST(WarpBatchTest, RaceDetectorForcesFallback)
+{
+    EngineOptions options = modeOptions(ExecMode::kWarpBatched);
+    options.detect_races = true;
+    const auto info = runTrivialWarp(options);
+    EXPECT_FALSE(info.batched);
+    EXPECT_EQ(info.reason, BatchFallback::kRaceDetector);
+}
+
+TEST(WarpBatchTest, ObserverForcesFallback)
+{
+    struct NullObserver final : AccessObserver
+    {
+        void
+        onAccess(const ThreadInfo&, const MemRequest&, u64, u8) override
+        {
+        }
+    } observer;
+    EngineOptions options = modeOptions(ExecMode::kWarpBatched);
+    options.observer = &observer;
+    const auto info = runTrivialWarp(options);
+    EXPECT_FALSE(info.batched);
+    EXPECT_EQ(info.reason, BatchFallback::kObserver);
+}
+
+TEST(WarpBatchTest, NonUniformSiteOverridesForceFallback)
+{
+    SiteOverrideTable table;
+    table.set(3, {AccessMode::kAtomic, MemoryOrder::kRelaxed,
+                  Scope::kDevice});
+    table.set(4, {AccessMode::kAtomic, MemoryOrder::kSeqCst,
+                  Scope::kSystem});
+    ASSERT_FALSE(table.warpUniform());
+    EngineOptions options = modeOptions(ExecMode::kWarpBatched);
+    options.site_overrides = &table;
+    const auto info = runTrivialWarp(options);
+    EXPECT_FALSE(info.batched);
+    EXPECT_EQ(info.reason, BatchFallback::kSiteOverrides);
+}
+
+TEST(WarpBatchTest, UniformSiteOverridesStillBatchWithParity)
+{
+    SiteOverrideTable table;
+    table.set(3, {AccessMode::kAtomic, MemoryOrder::kRelaxed,
+                  Scope::kDevice});
+    table.set(5, {AccessMode::kAtomic, MemoryOrder::kRelaxed,
+                  Scope::kDevice});
+    ASSERT_TRUE(table.warpUniform());
+
+    const auto run = [&](ExecMode mode) {
+        EngineOptions options = modeOptions(mode);
+        options.site_overrides = &table;
+        options.seed = 7;
+        DeviceMemory memory;
+        Engine engine(titanV(), memory, options);
+        auto out = memory.alloc<u32>(256, "out");
+        LaunchConfig cfg;
+        cfg.grid = 2;
+        cfg.block_x = 128;
+        const auto stats = engine.launch(
+            "uniform", cfg, [&](WarpCtx& w) {
+                // Site 3 is overridden to atomic; site 9 is not.
+                w.at(3).store(
+                    out, [&](u32 l) { return w.warpBase() + l; },
+                    [&](u32 l) { return l + 1; });
+                w.at(9).store(
+                    out, [&](u32 l) { return w.warpBase() + l; },
+                    [&](u32 l) { return l + 2; });
+            });
+        EXPECT_EQ(engine.lastBatch().batched,
+                  mode == ExecMode::kWarpBatched);
+        return std::make_pair(stats, memory.download(out, 256));
+    };
+
+    const auto [batch, batch_img] = run(ExecMode::kWarpBatched);
+    const auto [fast, fast_img] = run(ExecMode::kFast);
+    EXPECT_EQ(batch_img, fast_img);
+    EXPECT_EQ(batch.cycles, fast.cycles);
+    expectSameCounters(batch.mem, fast.mem);
+    // The override took effect on both routes: one atomic store per
+    // thread (site 3), one plain store per thread (site 9).
+    EXPECT_EQ(batch.mem.atomic_accesses, 256u);
+    EXPECT_EQ(batch.mem.stores, 512u);
+}
+
+TEST(WarpBatchTest, CoalescedLanesProbeOneLinePerOp)
+{
+    EngineOptions options = modeOptions(ExecMode::kWarpBatched);
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, options);
+    const u32 n = 1 << 10;
+    auto data = memory.alloc<u32>(n, "data");
+    LaunchConfig cfg;
+    cfg.grid = 1;
+    cfg.block_x = 256;  // 8 full warps
+    engine.launch("coalesced", cfg, [&](WarpCtx& w) {
+        // 32 consecutive u32 lanes = exactly one 128-byte line.
+        w.store(
+            data, [&](u32 l) { return w.warpBase() + l; },
+            [](u32 l) { return l; });
+    });
+    ASSERT_TRUE(engine.lastBatch().batched);
+    const auto& c = engine.memorySubsystem().warpBatchCounters();
+    EXPECT_EQ(c.warp_ops, 8u);
+    EXPECT_EQ(c.lanes, 256u);
+    EXPECT_EQ(c.line_probes, 8u)
+        << "a fully coalesced warp op must probe exactly one line";
+    EXPECT_EQ(c.coalesced_lanes, 256u - 8u);
+
+    // Scattered lanes (one line each): every lane pays its own probe.
+    auto wide = memory.alloc<u32>(256 * 32, "wide");
+    engine.launch("scattered", cfg, [&](WarpCtx& w) {
+        w.store(
+            wide, [&](u32 l) { return (w.warpBase() + l) * 32; },
+            [](u32 l) { return l; });
+    });
+    const auto& c2 = engine.memorySubsystem().warpBatchCounters();
+    EXPECT_EQ(c2.warp_ops, 16u);
+    EXPECT_EQ(c2.line_probes, 8u + 256u)
+        << "line-per-lane scatter must probe once per lane";
+    EXPECT_EQ(c2.coalesced_lanes, 256u - 8u);
+}
+
+TEST(WarpBatchTest, ProfCountersRecordBatchedOpsAndFallbacks)
+{
+    prof::TraceSession session;
+    EngineOptions options = modeOptions(ExecMode::kWarpBatched);
+    options.trace = &session;
+    DeviceMemory memory;
+    Engine engine(titanV(), memory, options);
+    auto data = memory.alloc<u32>(512, "data");
+    LaunchConfig cfg;
+    cfg.grid = 2;
+    cfg.block_x = 256;
+    engine.launch("profiled", cfg, [&](WarpCtx& w) {
+        w.store(
+            data, [&](u32 l) { return (w.warpBase() + l) % 512; },
+            [](u32 l) { return l; });
+    });
+    // A scalar launch in batch mode records a per-reason fallback.
+    engine.launch("scalar", launchFor(64, 64), [&](ThreadCtx& t) -> Task {
+        co_await t.store(data, t.globalThreadId() % 512, 9u);
+    });
+
+    const auto& reg = session.counters();
+    EXPECT_EQ(reg.valueByName("sim/mem/batch/launches"), 2u);
+    EXPECT_EQ(reg.valueByName("sim/mem/batch/batched"), 1u);
+    EXPECT_EQ(reg.valueByName("sim/mem/batch/fallbacks"), 1u);
+    EXPECT_EQ(reg.valueByName("sim/mem/batch/fallback/scalar_kernel"), 1u);
+    EXPECT_EQ(reg.valueByName("sim/mem/batch/warp_ops"), 16u);
+    EXPECT_GT(reg.valueByName("sim/mem/batch/line_probes"), 0u);
+    EXPECT_GT(reg.valueByName("sim/mem/batch/lanes_coalesced"), 0u);
+}
+
+TEST(WarpBatchTest, ExecModeNamesRoundTrip)
+{
+    EXPECT_STREQ(execModeName(ExecMode::kFast), "fast");
+    EXPECT_STREQ(execModeName(ExecMode::kInterleaved), "interleaved");
+    EXPECT_STREQ(execModeName(ExecMode::kWarpBatched), "batch");
+    EXPECT_EQ(parseExecMode("fast"), ExecMode::kFast);
+    EXPECT_EQ(parseExecMode("interleaved"), ExecMode::kInterleaved);
+    EXPECT_EQ(parseExecMode("batch"), ExecMode::kWarpBatched);
+}
+
+}  // namespace
+}  // namespace eclsim::simt
